@@ -1,0 +1,26 @@
+#include "bench/bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace rapid::bench {
+
+std::string RunMethodSweep(const eval::Environment& env,
+                           const std::vector<std::string>& metric_columns,
+                           const std::string& title,
+                           eval::ResultTable* table_out) {
+  eval::ResultTable local(metric_columns);
+  eval::ResultTable& table = table_out != nullptr ? *table_out : local;
+  for (auto& method : AllMethods()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    table.AddRow(eval::FitAndEvaluate(env, *method));
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::fprintf(stderr, "[%s] %-10s done in %.1fs\n", title.c_str(),
+                 method->name().c_str(), secs);
+  }
+  return table.Render(title);
+}
+
+}  // namespace rapid::bench

@@ -1,0 +1,107 @@
+#ifndef RAPID_BENCH_BENCH_COMMON_H_
+#define RAPID_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rapid.h"
+#include "eval/pipeline.h"
+#include "eval/table.h"
+#include "rankers/din.h"
+#include "rankers/lambdamart.h"
+#include "rankers/svmrank.h"
+#include "rerank/dpp.h"
+#include "rerank/mmr.h"
+#include "rerank/neural_models.h"
+#include "rerank/pdgan.h"
+#include "rerank/ssd.h"
+
+namespace rapid::bench {
+
+/// The standard semi-synthetic experiment scale used by every table/figure
+/// binary: sized so a full method sweep finishes in minutes on one core
+/// while preserving the paper's qualitative orderings (see DESIGN.md).
+inline eval::PipelineConfig StandardConfig(data::DatasetKind kind,
+                                           float lambda,
+                                           uint64_t seed = 2023) {
+  eval::PipelineConfig cfg;
+  cfg.sim.kind = kind;
+  cfg.sim.num_users = 150;
+  cfg.sim.num_items = 800;
+  cfg.sim.rerank_lists_per_user = 8;
+  cfg.sim.test_lists_per_user = 3;
+  cfg.sim.ranker_train_pos_per_user = 6;
+  cfg.sim.candidates_per_request = 60;
+  cfg.sim.candidate_relevant_frac = 0.25f;
+  cfg.dcm.lambda = lambda;
+  cfg.list_len = 20;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The paper's default initial ranker (DIN), deliberately lightly trained —
+/// it is the *initial* stage the re-rankers must improve on.
+inline std::unique_ptr<rank::Ranker> StandardDin() {
+  rank::DinConfig cfg;
+  cfg.epochs = 1;
+  return std::make_unique<rank::DinRanker>(cfg);
+}
+
+/// Training epochs for the neural re-rankers in bench runs.
+inline constexpr int kBenchEpochs = 12;
+
+inline rerank::NeuralRerankConfig BenchNeuralConfig(int hidden = 16) {
+  rerank::NeuralRerankConfig cfg;
+  cfg.epochs = kBenchEpochs;
+  cfg.hidden_dim = hidden;
+  return cfg;
+}
+
+inline core::RapidConfig BenchRapidConfig(
+    core::OutputHead head = core::OutputHead::kProbabilistic,
+    int hidden = 16) {
+  core::RapidConfig cfg;
+  cfg.train = BenchNeuralConfig(hidden);
+  cfg.hidden_dim = hidden;
+  cfg.head = head;
+  return cfg;
+}
+
+/// The full method line-up of Tables II-IV, in the paper's row order.
+inline std::vector<std::unique_ptr<rerank::Reranker>> AllMethods() {
+  std::vector<std::unique_ptr<rerank::Reranker>> out;
+  out.push_back(std::make_unique<rerank::InitReranker>());
+  out.push_back(std::make_unique<rerank::DlcmReranker>(BenchNeuralConfig()));
+  out.push_back(std::make_unique<rerank::PrmReranker>(BenchNeuralConfig()));
+  out.push_back(
+      std::make_unique<rerank::SetRankReranker>(BenchNeuralConfig()));
+  out.push_back(std::make_unique<rerank::SrgaReranker>(BenchNeuralConfig()));
+  out.push_back(std::make_unique<rerank::MmrReranker>());
+  out.push_back(std::make_unique<rerank::DppReranker>());
+  {
+    rerank::NeuralRerankConfig desa_cfg = BenchNeuralConfig();
+    desa_cfg.loss = rerank::RerankLoss::kPairwiseLogistic;
+    out.push_back(std::make_unique<rerank::DesaReranker>(desa_cfg));
+  }
+  out.push_back(std::make_unique<rerank::SsdReranker>());
+  out.push_back(std::make_unique<rerank::AdpMmrReranker>());
+  out.push_back(std::make_unique<rerank::PdGanReranker>());
+  out.push_back(std::make_unique<core::RapidReranker>(
+      BenchRapidConfig(core::OutputHead::kDeterministic)));
+  out.push_back(std::make_unique<core::RapidReranker>(
+      BenchRapidConfig(core::OutputHead::kProbabilistic)));
+  return out;
+}
+
+/// Runs every method on `env` and renders the paper-style table with the
+/// given metric columns. Prints per-method progress to stderr.
+std::string RunMethodSweep(const eval::Environment& env,
+                           const std::vector<std::string>& metric_columns,
+                           const std::string& title,
+                           eval::ResultTable* table_out = nullptr);
+
+}  // namespace rapid::bench
+
+#endif  // RAPID_BENCH_BENCH_COMMON_H_

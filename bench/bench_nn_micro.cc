@@ -1,0 +1,138 @@
+// Microbenchmarks of the rapid::nn substrate: matmul kernels, recurrent
+// cells, attention blocks, and a full RAPID forward/backward pass. These
+// bound the per-request latency budget discussed in the paper's efficiency
+// analysis (Section V-B).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "click/dcm.h"
+#include "core/rapid.h"
+#include "datagen/simulator.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace {
+
+using namespace rapid;
+using nn::Matrix;
+using nn::Variable;
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(1);
+  Matrix a = Matrix::Randn(n, n, 1.0f, rng);
+  Matrix b = Matrix::Randn(n, n, 1.0f, rng);
+  Matrix out;
+  for (auto _ : state) {
+    nn::MatMul(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_LstmStep(benchmark::State& state) {
+  const int batch = 20, in = 32, hidden = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(2);
+  nn::LstmCell cell(in, hidden, rng);
+  Variable x = Variable::Constant(Matrix::Randn(batch, in, 1.0f, rng));
+  Variable h = Variable::Constant(Matrix(batch, hidden));
+  Variable c = Variable::Constant(Matrix(batch, hidden));
+  for (auto _ : state) {
+    auto [h2, c2] = cell.Forward(x, h, c);
+    benchmark::DoNotOptimize(h2.value().data());
+  }
+}
+BENCHMARK(BM_LstmStep)->Arg(16)->Arg(64);
+
+void BM_TransformerEncoderLayer(benchmark::State& state) {
+  const int L = 20, d = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(3);
+  nn::TransformerEncoderLayer enc(d, 2, 2 * d, rng);
+  Variable x = Variable::Constant(Matrix::Randn(L, d, 1.0f, rng));
+  for (auto _ : state) {
+    Variable y = enc.Forward(x);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_TransformerEncoderLayer)->Arg(16)->Arg(64);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  std::mt19937_64 rng(4);
+  nn::Mlp mlp({32, 64, 64, 1}, rng);
+  Variable x = Variable::Constant(Matrix::Randn(20, 32, 1.0f, rng));
+  nn::Adam opt(mlp.Params(), 1e-3f);
+  for (auto _ : state) {
+    opt.ZeroGrad();
+    Variable loss = nn::MeanAll(nn::Square(mlp.Forward(x)));
+    loss.Backward();
+    opt.Step();
+    benchmark::DoNotOptimize(loss.value().data());
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+struct RapidFixture {
+  RapidFixture() {
+    data::SimConfig sim;
+    sim.kind = data::DatasetKind::kTaobao;
+    sim.num_users = 30;
+    sim.num_items = 200;
+    sim.rerank_lists_per_user = 2;
+    data = data::GenerateDataset(sim, 5);
+    click::GroundTruthClickModel dcm(&data, click::DcmConfig{});
+    std::mt19937_64 rng(6);
+    for (const data::Request& req : data.rerank_train_requests) {
+      data::ImpressionList list;
+      list.user_id = req.user_id;
+      list.items.assign(req.candidates.begin(), req.candidates.begin() + 20);
+      for (int i = 0; i < 20; ++i) list.scores.push_back(1.0f - 0.04f * i);
+      list.clicks = dcm.SimulateClicks(list.user_id, list.items, rng);
+      train.push_back(std::move(list));
+    }
+    core::RapidConfig cfg;
+    cfg.train.epochs = 1;
+    model = std::make_unique<core::RapidReranker>(cfg);
+    model->Fit(data, train, 7);
+  }
+  data::Dataset data;
+  std::vector<data::ImpressionList> train;
+  std::unique_ptr<core::RapidReranker> model;
+};
+
+RapidFixture& Fixture() {
+  static RapidFixture* f = new RapidFixture();
+  return *f;
+}
+
+// Per-request inference latency of the full RAPID model (L=20).
+void BM_RapidInferOneList(benchmark::State& state) {
+  RapidFixture& f = Fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model->ScoreList(f.data, f.train[i]));
+    i = (i + 1) % f.train.size();
+  }
+}
+BENCHMARK(BM_RapidInferOneList)->Unit(benchmark::kMillisecond);
+
+// One full training step (16 lists) of RAPID.
+void BM_RapidTrainStep(benchmark::State& state) {
+  RapidFixture& f = Fixture();
+  std::vector<data::ImpressionList> batch(f.train.begin(),
+                                          f.train.begin() + 16);
+  for (auto _ : state) {
+    core::RapidConfig cfg;
+    cfg.train.epochs = 1;
+    core::RapidReranker model(cfg);
+    model.Fit(f.data, batch, 8);
+    benchmark::DoNotOptimize(model.final_loss());
+  }
+}
+BENCHMARK(BM_RapidTrainStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Empirically validates Theorem 5.1: the linearized RAPID with UCB
+// exploration has O~(sqrt(n)) gamma-scaled regret when the click feedback
+// follows a *linear* DCM (the theorem's assumption). Prints cumulative
+// regret and regret/sqrt(n) at checkpoints for
+//   (a) the UCB policy on the linear DCM         -> R/sqrt(n) flattens;
+//   (b) a uniform-random policy on the same DCM  -> R grows linearly;
+//   (c) the UCB policy on the *nonlinear* ground-truth DCM (robustness
+//       check outside the theorem's assumptions) -> sublinear vs random
+//       but with a persistent approximation gap.
+
+#include <cstdio>
+
+#include "bandit/linear_rapid.h"
+#include "datagen/simulator.h"
+
+namespace {
+
+void PrintCurve(const char* name, const rapid::bandit::RegretCurve& curve) {
+  std::printf("%s\n", name);
+  std::printf("%8s  %16s %16s\n", "round", "cum. regret", "R/sqrt(n)");
+  for (int checkpoint : {100, 250, 500, 1000, 2000, 3000, 4500, 6000}) {
+    const int t = checkpoint - 1;
+    if (t >= static_cast<int>(curve.cumulative_regret.size())) break;
+    std::printf("%8d  %16.2f %16.3f\n", checkpoint,
+                curve.cumulative_regret[t], curve.regret_over_sqrt_n[t]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace rapid;
+
+  data::SimConfig sim;
+  sim.kind = data::DatasetKind::kTaobao;
+  sim.num_users = 200;
+  sim.num_items = 1000;
+  data::Dataset data = data::GenerateDataset(sim, 17);
+
+  const int rounds = 6000;
+  const int pool = 15;
+  std::printf(
+      "Theorem 5.1 validation: %d rounds, pool size %d, K=5.\n\n", rounds,
+      pool);
+
+  bandit::LinearDcmEnvironment linear_env(&data, 23);
+  bandit::RegretCurve ucb_linear = bandit::RunRegretExperiment(
+      data, linear_env, bandit::LinearRapidBandit::Config{}, rounds, pool,
+      11);
+  PrintCurve("(a) UCB policy, linear DCM (theorem setting):", ucb_linear);
+
+  bandit::RegretCurve random_linear =
+      bandit::RunRandomPolicyExperiment(data, linear_env, 5, rounds, pool, 11);
+  PrintCurve("(b) uniform-random policy, linear DCM:", random_linear);
+
+  click::DcmConfig dcm_cfg;
+  dcm_cfg.lambda = 0.7f;
+  click::GroundTruthClickModel nonlinear(&data, dcm_cfg);
+  bandit::RegretCurve ucb_nonlinear = bandit::RunRegretExperiment(
+      data, nonlinear, bandit::LinearRapidBandit::Config{}, rounds, pool, 11);
+  PrintCurve("(c) UCB policy, nonlinear ground-truth DCM (robustness):",
+             ucb_nonlinear);
+
+  const double early = ucb_linear.regret_over_sqrt_n[499];
+  const double late = ucb_linear.regret_over_sqrt_n[rounds - 1];
+  std::printf(
+      "Linear setting: UCB regret/sqrt(n) at n=500: %.3f, at n=%d: %.3f "
+      "(%s).\n",
+      early, rounds, late,
+      late <= early * 1.15 ? "flat => consistent with O~(sqrt(n))"
+                           : "still growing");
+  std::printf(
+      "Random policy per-round regret stays constant: R(n)/n = %.4f => "
+      "linear regret.\n",
+      random_linear.cumulative_regret[rounds - 1] / rounds);
+  return 0;
+}

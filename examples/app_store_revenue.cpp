@@ -1,0 +1,60 @@
+// App-store scenario: one-hot app categories, per-item bid prices, and the
+// platform objective is total revenue (rev@k), as in the paper's
+// industrial evaluation (Table III). Shows how re-ranking with
+// personalized diversification lifts revenue over the production-style
+// initial ranking.
+//
+// Build & run:  ./build/examples/app_store_revenue
+
+#include <cstdio>
+
+#include "core/rapid.h"
+#include "eval/pipeline.h"
+#include "eval/table.h"
+#include "rankers/din.h"
+#include "rerank/neural_models.h"
+
+int main() {
+  using namespace rapid;
+
+  eval::PipelineConfig config;
+  config.sim.kind = data::DatasetKind::kAppStore;
+  config.sim.num_users = 100;
+  config.sim.num_items = 600;
+  config.sim.rerank_lists_per_user = 6;
+  config.dcm.lambda = 0.9f;  // Ads-like: clicks mostly relevance-driven.
+  config.seed = 13;
+
+  std::printf("App-store scenario: 23 one-hot categories, bid prices.\n");
+  rank::DinConfig din_config;
+  din_config.epochs = 1;
+  eval::Environment env(config,
+                        std::make_unique<rank::DinRanker>(din_config));
+
+  rerank::InitReranker init;
+  rerank::NeuralRerankConfig ncfg;
+  ncfg.epochs = 8;
+  rerank::PrmReranker prm(ncfg);
+  core::RapidConfig rcfg;
+  rcfg.train.epochs = 8;
+  core::RapidReranker rapid(rcfg);
+
+  eval::ResultTable table({"click@5", "rev@5", "click@10", "rev@10",
+                           "div@10"});
+  table.AddRow(eval::EvaluateReranker(env, init));
+  std::printf("Fitting PRM...\n");
+  table.AddRow(eval::FitAndEvaluate(env, prm));
+  std::printf("Fitting RAPID...\n");
+  table.AddRow(eval::FitAndEvaluate(env, rapid));
+  std::printf("\n%s\n", table.Render("AppStoreSim revenue study").c_str());
+
+  const double init_rev = table.rows()[0].Mean("rev@10");
+  const double rapid_rev = table.rows()[2].Mean("rev@10");
+  std::printf(
+      "Revenue lift of RAPID over the production initial ranking: %+.2f%%\n",
+      100.0 * (rapid_rev - init_rev) / init_rev);
+  std::printf(
+      "(Each unit of rev@k is one simulated bid-weighted click; the paper "
+      "reports the\n same metric on Huawei App Store logs.)\n");
+  return 0;
+}

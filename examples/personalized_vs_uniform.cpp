@@ -1,0 +1,106 @@
+// Personalized vs uniform diversification: the paper's central claim is
+// that diversifying *equally for everyone* hurts focused users, while
+// personalized diversification adapts. This example splits test users into
+// focused / medium / diverse terciles by their (hidden) diversity appetite
+// and reports per-group utility and diversity for a uniform diversifier
+// (MMR with a fixed tradeoff) and RAPID.
+//
+// Build & run:  ./build/examples/personalized_vs_uniform
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/rapid.h"
+#include "eval/pipeline.h"
+#include "metrics/metrics.h"
+#include "rankers/din.h"
+#include "rerank/mmr.h"
+
+int main() {
+  using namespace rapid;
+
+  eval::PipelineConfig config;
+  config.sim.kind = data::DatasetKind::kTaobao;
+  config.sim.num_users = 120;
+  config.sim.num_items = 700;
+  config.sim.rerank_lists_per_user = 6;
+  config.sim.test_lists_per_user = 3;
+  config.dcm.lambda = 0.6f;
+  config.seed = 29;
+
+  rank::DinConfig din_config;
+  din_config.epochs = 1;
+  eval::Environment env(config,
+                        std::make_unique<rank::DinRanker>(din_config));
+  const data::Dataset& data = env.dataset();
+
+  rerank::MmrReranker uniform_mmr(/*trade=*/0.5f);  // Diversify everyone.
+  core::RapidConfig rcfg;
+  rcfg.train.epochs = 8;
+  core::RapidReranker rapid(rcfg);
+  std::printf("Fitting RAPID...\n");
+  rapid.Fit(data, env.train_lists(), 3);
+
+  // Appetite terciles.
+  std::vector<float> appetites;
+  for (const data::User& u : data.users) {
+    appetites.push_back(u.diversity_appetite);
+  }
+  std::sort(appetites.begin(), appetites.end());
+  const float lo = appetites[appetites.size() / 3];
+  const float hi = appetites[2 * appetites.size() / 3];
+  auto group_of = [&](int user) {
+    const float a = data.users[user].diversity_appetite;
+    return a < lo ? 0 : (a < hi ? 1 : 2);
+  };
+  const char* group_names[3] = {"focused", "medium", "diverse"};
+
+  struct Acc {
+    double clicks = 0.0, div = 0.0;
+    int n = 0;
+  };
+  std::map<std::string, Acc> acc[3];
+
+  std::printf("Evaluating per user group...\n");
+  for (size_t r = 0; r < env.test_lists().size(); ++r) {
+    const data::ImpressionList& list = env.test_lists()[r];
+    const int g = group_of(list.user_id);
+    struct Run {
+      const char* name;
+      std::vector<int> order;
+    };
+    const Run runs[3] = {
+        {"Init", list.items},
+        {"uniform MMR", uniform_mmr.Rerank(data, list)},
+        {"RAPID", rapid.Rerank(data, list)},
+    };
+    for (const Run& run : runs) {
+      // Expected clicks (analytic, no sampling noise) + topic coverage.
+      Acc& a = acc[g][run.name];
+      a.clicks += env.dcm().ExpectedClicks(list.user_id, run.order, 10);
+      a.div += metrics::DivAtK(data, run.order, 10);
+      a.n += 1;
+    }
+  }
+
+  std::printf("\nExpected clicks@10 / div@10 by user group:\n");
+  std::printf("%-10s", "");
+  for (const char* method : {"Init", "uniform MMR", "RAPID"}) {
+    std::printf("  %-16s", method);
+  }
+  std::printf("\n");
+  for (int g = 0; g < 3; ++g) {
+    std::printf("%-10s", group_names[g]);
+    for (const char* method : {"Init", "uniform MMR", "RAPID"}) {
+      const Acc& a = acc[g][method];
+      std::printf("  %5.3f / %-8.3f", a.clicks / a.n, a.div / a.n);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nReading: uniform diversification pays a utility toll on focused "
+      "users;\nRAPID diversifies where (and only where) the user wants "
+      "it.\n");
+  return 0;
+}

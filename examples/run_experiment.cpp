@@ -1,0 +1,175 @@
+// Configurable experiment runner: pick the dataset, click-model tradeoff,
+// initial ranker and re-rankers from the command line. Useful for quick
+// what-if studies without writing code.
+//
+// Usage:
+//   run_experiment [--dataset taobao|movielens|appstore] [--lambda F]
+//                  [--ranker din|svmrank|lambdamart] [--epochs N]
+//                  [--users N] [--items N] [--seed N]
+//                  [--methods init,prm,rapid,...]
+//
+// Method names: init, dlcm, prm, setrank, srga, mmr, dpp, desa, ssd,
+//               adpmmr, pdgan, seq2slate, rapid-det, rapid-pro
+//               (aliases: rapid).
+//
+// Example:
+//   ./build/examples/run_experiment --dataset movielens --lambda 0.5
+//       --methods init,prm,dpp,rapid --epochs 8
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "core/rapid.h"
+#include "eval/pipeline.h"
+#include "eval/table.h"
+#include "rankers/din.h"
+#include "rankers/lambdamart.h"
+#include "rankers/svmrank.h"
+#include "rerank/dpp.h"
+#include "rerank/mmr.h"
+#include "rerank/neural_models.h"
+#include "rerank/pdgan.h"
+#include "rerank/seq2slate.h"
+#include "rerank/ssd.h"
+
+namespace {
+
+using namespace rapid;
+
+std::unique_ptr<rerank::Reranker> MakeMethod(const std::string& name,
+                                             int epochs) {
+  rerank::NeuralRerankConfig ncfg;
+  ncfg.epochs = epochs;
+  core::RapidConfig rcfg;
+  rcfg.train = ncfg;
+  if (name == "init") return std::make_unique<rerank::InitReranker>();
+  if (name == "dlcm") return std::make_unique<rerank::DlcmReranker>(ncfg);
+  if (name == "prm") return std::make_unique<rerank::PrmReranker>(ncfg);
+  if (name == "setrank") {
+    return std::make_unique<rerank::SetRankReranker>(ncfg);
+  }
+  if (name == "srga") return std::make_unique<rerank::SrgaReranker>(ncfg);
+  if (name == "mmr") return std::make_unique<rerank::MmrReranker>();
+  if (name == "dpp") return std::make_unique<rerank::DppReranker>();
+  if (name == "desa") {
+    rerank::NeuralRerankConfig desa = rerank::DesaReranker::PairwiseConfig();
+    desa.epochs = epochs;
+    return std::make_unique<rerank::DesaReranker>(desa);
+  }
+  if (name == "ssd") return std::make_unique<rerank::SsdReranker>();
+  if (name == "seq2slate") {
+    return std::make_unique<rerank::Seq2SlateReranker>(ncfg);
+  }
+  if (name == "adpmmr") return std::make_unique<rerank::AdpMmrReranker>();
+  if (name == "pdgan") return std::make_unique<rerank::PdGanReranker>();
+  if (name == "rapid-det") {
+    rcfg.head = core::OutputHead::kDeterministic;
+    return std::make_unique<core::RapidReranker>(rcfg);
+  }
+  if (name == "rapid-pro" || name == "rapid") {
+    return std::make_unique<core::RapidReranker>(rcfg);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = "taobao";
+  std::string ranker = "din";
+  std::string methods = "init,prm,dpp,rapid";
+  float lambda = 0.9f;
+  int epochs = 8;
+  int users = 100;
+  int items = 600;
+  uint64_t seed = 1;
+
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--dataset") {
+      dataset = value;
+    } else if (flag == "--ranker") {
+      ranker = value;
+    } else if (flag == "--methods") {
+      methods = value;
+    } else if (flag == "--lambda") {
+      lambda = std::stof(value);
+    } else if (flag == "--epochs") {
+      epochs = std::stoi(value);
+    } else if (flag == "--users") {
+      users = std::stoi(value);
+    } else if (flag == "--items") {
+      items = std::stoi(value);
+    } else if (flag == "--seed") {
+      seed = std::stoull(value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 1;
+    }
+  }
+
+  eval::PipelineConfig config;
+  if (dataset == "taobao") {
+    config.sim.kind = data::DatasetKind::kTaobao;
+  } else if (dataset == "movielens") {
+    config.sim.kind = data::DatasetKind::kMovieLens;
+  } else if (dataset == "appstore") {
+    config.sim.kind = data::DatasetKind::kAppStore;
+  } else {
+    std::fprintf(stderr, "unknown dataset %s\n", dataset.c_str());
+    return 1;
+  }
+  config.sim.num_users = users;
+  config.sim.num_items = items;
+  config.sim.rerank_lists_per_user = 6;
+  config.dcm.lambda = lambda;
+  config.seed = seed;
+
+  std::unique_ptr<rank::Ranker> initial;
+  if (ranker == "din") {
+    rank::DinConfig din_cfg;
+    din_cfg.epochs = 1;
+    initial = std::make_unique<rank::DinRanker>(din_cfg);
+  } else if (ranker == "svmrank") {
+    initial = std::make_unique<rank::SvmRankRanker>();
+  } else if (ranker == "lambdamart") {
+    initial = std::make_unique<rank::LambdaMartRanker>();
+  } else {
+    std::fprintf(stderr, "unknown ranker %s\n", ranker.c_str());
+    return 1;
+  }
+
+  std::printf("dataset=%s lambda=%.2f ranker=%s users=%d items=%d seed=%llu\n",
+              dataset.c_str(), lambda, ranker.c_str(), users, items,
+              static_cast<unsigned long long>(seed));
+  eval::Environment env(config, std::move(initial));
+
+  const bool has_rev = config.sim.kind == data::DatasetKind::kAppStore;
+  std::vector<std::string> columns = {"click@5", "ndcg@5", "div@5",
+                                      "click@10", "ndcg@10", "div@10"};
+  if (has_rev) {
+    columns.push_back("rev@5");
+    columns.push_back("rev@10");
+  } else {
+    columns.push_back("satis@5");
+    columns.push_back("satis@10");
+  }
+  eval::ResultTable table(columns);
+
+  std::stringstream ss(methods);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    auto method = MakeMethod(name, epochs);
+    if (method == nullptr) {
+      std::fprintf(stderr, "unknown method '%s' (skipped)\n", name.c_str());
+      continue;
+    }
+    std::printf("running %s...\n", method->name().c_str());
+    table.AddRow(eval::FitAndEvaluate(env, *method));
+  }
+  std::printf("\n%s\n", table.Render("run_experiment").c_str());
+  return 0;
+}

@@ -1,0 +1,339 @@
+#include "bandit/linear_rapid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "datagen/history.h"
+
+namespace rapid::bandit {
+
+std::vector<float> BanditFeatures(const data::Dataset& data, int user_id,
+                                  const std::vector<int>& prefix,
+                                  int item_id) {
+  const data::User& user = data.user(user_id);
+  const data::Item& item = data.item(item_id);
+  std::vector<float> eta;
+  eta.reserve(BanditFeatureDim(data));
+  eta.push_back(1.0f);  // Bias.
+  eta.insert(eta.end(), user.features.begin(), user.features.end());
+  eta.insert(eta.end(), item.features.begin(), item.features.end());
+  eta.insert(eta.end(), item.topic_coverage.begin(),
+             item.topic_coverage.end());
+  // Personalized marginal diversity: history distribution (the observable
+  // proxy of theta) times the coverage gain of this item over the prefix.
+  const std::vector<float> hist =
+      data::HistoryTopicDistribution(data, user_id);
+  for (int j = 0; j < data.num_topics; ++j) {
+    double miss = 1.0;
+    for (int v : prefix) miss *= 1.0 - data.item(v).topic_coverage[j];
+    eta.push_back(hist[j] *
+                  static_cast<float>(miss * item.topic_coverage[j]));
+  }
+  return eta;
+}
+
+int BanditFeatureDim(const data::Dataset& data) {
+  return 1 + data.user_feature_dim() + data.item_feature_dim() +
+         2 * data.num_topics;
+}
+
+// ------------------------- LinearDcmEnvironment -------------------------
+
+LinearDcmEnvironment::LinearDcmEnvironment(const data::Dataset* data,
+                                           uint64_t seed)
+    : data_(data) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> uni(0.0f, 1.0f);
+  const int qu = data_->user_feature_dim();
+  const int qv = data_->item_feature_dim();
+  const int m = data_->num_topics;
+  omega_.assign(BanditFeatureDim(*data_), 0.0f);
+  int c = 0;
+  omega_[c++] = 0.12f;  // Bias: base attraction.
+  for (int k = 0; k < qu; ++k) omega_[c++] = 0.0f;  // User demographics.
+  // Item features: only the (last) quality dimension matters, weakly.
+  for (int k = 0; k < qv; ++k) {
+    omega_[c++] = (k == qv - 1) ? 0.06f : 0.0f;
+  }
+  // Topic coverage: mild global topical popularity.
+  for (int j = 0; j < m; ++j) omega_[c++] = 0.08f * uni(rng);
+  // Personalized diversity: the dominant effect (Theorem 5.1's setting).
+  for (int j = 0; j < m; ++j) omega_[c++] = 0.45f + 0.2f * uni(rng);
+}
+
+float LinearDcmEnvironment::Attraction(int user_id,
+                                       const std::vector<int>& items,
+                                       int pos) const {
+  std::vector<int> prefix(items.begin(), items.begin() + pos);
+  const std::vector<float> eta =
+      BanditFeatures(*data_, user_id, prefix, items[pos]);
+  double s = 0.0;
+  for (size_t i = 0; i < eta.size(); ++i) s += omega_[i] * eta[i];
+  return std::clamp(static_cast<float>(s), 0.0f, 1.0f);
+}
+
+float LinearDcmEnvironment::Termination(int k) const {
+  assert(k >= 1);
+  return 0.4f * std::pow(0.9f, static_cast<float>(k - 1));
+}
+
+std::vector<int> LinearDcmEnvironment::SimulateClicks(
+    int user_id, const std::vector<int>& items, std::mt19937_64& rng) const {
+  std::vector<int> clicks(items.size(), 0);
+  std::uniform_real_distribution<float> uni(0.0f, 1.0f);
+  for (size_t pos = 0; pos < items.size(); ++pos) {
+    const float phi = Attraction(user_id, items, static_cast<int>(pos));
+    if (uni(rng) < phi) {
+      clicks[pos] = 1;
+      if (uni(rng) < Termination(static_cast<int>(pos) + 1)) break;
+    }
+  }
+  return clicks;
+}
+
+float LinearDcmEnvironment::TrueSatisfaction(int user_id,
+                                             const std::vector<int>& items,
+                                             int k) const {
+  const int n = std::min<int>(k, static_cast<int>(items.size()));
+  double miss = 1.0;
+  for (int pos = 0; pos < n; ++pos) {
+    miss *= 1.0 - Termination(pos + 1) * Attraction(user_id, items, pos);
+  }
+  return static_cast<float>(1.0 - miss);
+}
+
+// --------------------------- LinearRapidBandit --------------------------
+
+LinearRapidBandit::LinearRapidBandit(const data::Dataset* data, Config config)
+    : data_(data), config_(config) {
+  dim_ = BanditFeatureDim(*data_);
+  m_inv_.assign(dim_, std::vector<double>(dim_, 0.0));
+  for (int i = 0; i < dim_; ++i) m_inv_[i][i] = 1.0 / config_.ridge;
+  b_.assign(dim_, 0.0);
+  omega_.assign(dim_, 0.0);
+}
+
+std::vector<float> LinearRapidBandit::Features(
+    int user_id, const std::vector<int>& prefix, int item_id) const {
+  return BanditFeatures(*data_, user_id, prefix, item_id);
+}
+
+float LinearRapidBandit::MeanScore(const std::vector<float>& eta) const {
+  double s = 0.0;
+  for (int i = 0; i < dim_; ++i) s += omega_[i] * eta[i];
+  return static_cast<float>(s);
+}
+
+float LinearRapidBandit::UcbScore(const std::vector<float>& eta) const {
+  // mean + s * sqrt(eta^T M^-1 eta).
+  double quad = 0.0;
+  for (int i = 0; i < dim_; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < dim_; ++j) row += m_inv_[i][j] * eta[j];
+    quad += eta[i] * row;
+  }
+  return MeanScore(eta) +
+         config_.exploration * static_cast<float>(std::sqrt(quad));
+}
+
+std::vector<int> LinearRapidBandit::SelectList(
+    int user_id, const std::vector<int>& candidates) const {
+  std::vector<int> rest = candidates;
+  std::vector<int> out;
+  const int k = std::min<int>(config_.k, static_cast<int>(rest.size()));
+  out.reserve(k);
+  for (int step = 0; step < k; ++step) {
+    int best = -1;
+    float best_score = -1e30f;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      const float s = UcbScore(Features(user_id, out, rest[i]));
+      if (s > best_score) {
+        best_score = s;
+        best = static_cast<int>(i);
+      }
+    }
+    out.push_back(rest[best]);
+    rest.erase(rest.begin() + best);
+  }
+  return out;
+}
+
+void LinearRapidBandit::Update(int user_id,
+                               const std::vector<int>& displayed,
+                               const std::vector<int>& clicks) {
+  assert(displayed.size() == clicks.size());
+  std::vector<int> prefix;
+  for (size_t pos = 0; pos < displayed.size(); ++pos) {
+    const std::vector<float> eta = Features(user_id, prefix, displayed[pos]);
+    // Sherman-Morrison: M^-1 <- M^-1 - (M^-1 eta eta^T M^-1)/(1+eta^T M^-1 eta)
+    std::vector<double> mi_eta(dim_, 0.0);
+    for (int i = 0; i < dim_; ++i) {
+      double s = 0.0;
+      for (int j = 0; j < dim_; ++j) s += m_inv_[i][j] * eta[j];
+      mi_eta[i] = s;
+    }
+    double denom = 1.0;
+    for (int i = 0; i < dim_; ++i) denom += eta[i] * mi_eta[i];
+    for (int i = 0; i < dim_; ++i) {
+      for (int j = 0; j < dim_; ++j) {
+        m_inv_[i][j] -= mi_eta[i] * mi_eta[j] / denom;
+      }
+    }
+    for (int i = 0; i < dim_; ++i) b_[i] += clicks[pos] * eta[i];
+    prefix.push_back(displayed[pos]);
+  }
+  // omega = M^-1 b.
+  for (int i = 0; i < dim_; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < dim_; ++j) s += m_inv_[i][j] * b_[j];
+    omega_[i] = s;
+  }
+  ++rounds_;
+}
+
+// ------------------------------ experiments -----------------------------
+
+namespace {
+
+template <typename Env>
+std::vector<int> GreedyOracleImpl(const Env& env, int user_id,
+                                  const std::vector<int>& candidates,
+                                  int k) {
+  std::vector<int> rest = candidates;
+  std::vector<int> out;
+  const int kk = std::min<int>(k, static_cast<int>(rest.size()));
+  for (int step = 0; step < kk; ++step) {
+    int best = -1;
+    float best_score = -1e30f;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      std::vector<int> cand = out;
+      cand.push_back(rest[i]);
+      const float a =
+          env.Attraction(user_id, cand, static_cast<int>(out.size()));
+      if (a > best_score) {
+        best_score = a;
+        best = static_cast<int>(i);
+      }
+    }
+    out.push_back(rest[best]);
+    rest.erase(rest.begin() + best);
+  }
+  return out;
+}
+
+template <typename Env, typename SelectFn>
+RegretCurve RunExperiment(const data::Dataset& data, const Env& env, int k,
+                          int num_rounds, int pool_size, uint64_t seed,
+                          SelectFn&& select,
+                          LinearRapidBandit* bandit_to_update) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> user_dist(
+      0, static_cast<int>(data.users.size()) - 1);
+  std::uniform_int_distribution<int> item_dist(
+      0, static_cast<int>(data.items.size()) - 1);
+  RegretCurve curve;
+  curve.cumulative_regret.reserve(num_rounds);
+  curve.regret_over_sqrt_n.reserve(num_rounds);
+  double cumulative = 0.0;
+  for (int t = 0; t < num_rounds; ++t) {
+    const int user = user_dist(rng);
+    std::vector<int> pool;
+    while (static_cast<int>(pool.size()) < pool_size) {
+      const int v = item_dist(rng);
+      if (std::find(pool.begin(), pool.end(), v) == pool.end()) {
+        pool.push_back(v);
+      }
+    }
+    const std::vector<int> chosen = select(user, pool);
+    const std::vector<int> oracle = GreedyOracleImpl(env, user, pool, k);
+    const double regret = env.TrueSatisfaction(user, oracle, k) -
+                          env.TrueSatisfaction(user, chosen, k);
+    cumulative += std::max(regret, 0.0);
+    curve.cumulative_regret.push_back(cumulative);
+    curve.regret_over_sqrt_n.push_back(cumulative / std::sqrt(t + 1.0));
+    if (bandit_to_update != nullptr) {
+      const std::vector<int> clicks = env.SimulateClicks(user, chosen, rng);
+      bandit_to_update->Update(user, chosen, clicks);
+    }
+  }
+  return curve;
+}
+
+template <typename Env>
+RegretCurve RunUcb(const data::Dataset& data, const Env& env,
+                   LinearRapidBandit::Config config, int num_rounds,
+                   int pool_size, uint64_t seed) {
+  LinearRapidBandit bandit(&data, config);
+  return RunExperiment(
+      data, env, config.k, num_rounds, pool_size, seed,
+      [&bandit](int user, const std::vector<int>& pool) {
+        return bandit.SelectList(user, pool);
+      },
+      &bandit);
+}
+
+template <typename Env>
+RegretCurve RunRandom(const data::Dataset& data, const Env& env, int k,
+                      int num_rounds, int pool_size, uint64_t seed) {
+  std::mt19937_64 policy_rng(seed ^ 0x9e3779b97f4a7c15ull);
+  return RunExperiment(
+      data, env, k, num_rounds, pool_size, seed,
+      [&policy_rng, k](int /*user*/, const std::vector<int>& pool) {
+        std::vector<int> shuffled = pool;
+        std::shuffle(shuffled.begin(), shuffled.end(), policy_rng);
+        shuffled.resize(std::min<size_t>(k, shuffled.size()));
+        return shuffled;
+      },
+      nullptr);
+}
+
+}  // namespace
+
+RegretCurve RunRegretExperiment(const data::Dataset& data,
+                                const click::GroundTruthClickModel& dcm,
+                                LinearRapidBandit::Config config,
+                                int num_rounds, int pool_size,
+                                uint64_t seed) {
+  return RunUcb(data, dcm, config, num_rounds, pool_size, seed);
+}
+
+RegretCurve RunRegretExperiment(const data::Dataset& data,
+                                const LinearDcmEnvironment& env,
+                                LinearRapidBandit::Config config,
+                                int num_rounds, int pool_size,
+                                uint64_t seed) {
+  return RunUcb(data, env, config, num_rounds, pool_size, seed);
+}
+
+RegretCurve RunRandomPolicyExperiment(const data::Dataset& data,
+                                      const click::GroundTruthClickModel& dcm,
+                                      int k, int num_rounds, int pool_size,
+                                      uint64_t seed) {
+  return RunRandom(data, dcm, k, num_rounds, pool_size, seed);
+}
+
+RegretCurve RunRandomPolicyExperiment(const data::Dataset& data,
+                                      const LinearDcmEnvironment& env, int k,
+                                      int num_rounds, int pool_size,
+                                      uint64_t seed) {
+  return RunRandom(data, env, k, num_rounds, pool_size, seed);
+}
+
+std::vector<int> GreedyOracleList(const data::Dataset& /*data*/,
+                                  const click::GroundTruthClickModel& dcm,
+                                  int user_id,
+                                  const std::vector<int>& candidates,
+                                  int k) {
+  return GreedyOracleImpl(dcm, user_id, candidates, k);
+}
+
+std::vector<int> GreedyOracleList(const data::Dataset& /*data*/,
+                                  const LinearDcmEnvironment& env,
+                                  int user_id,
+                                  const std::vector<int>& candidates,
+                                  int k) {
+  return GreedyOracleImpl(env, user_id, candidates, k);
+}
+
+}  // namespace rapid::bandit

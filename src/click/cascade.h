@@ -1,0 +1,57 @@
+#ifndef RAPID_CLICK_CASCADE_H_
+#define RAPID_CLICK_CASCADE_H_
+
+#include <random>
+#include <vector>
+
+#include "click/dcm.h"
+#include "datagen/types.h"
+
+namespace rapid::click {
+
+/// The classic cascade click model (Craswell et al. 2008): the user scans
+/// top-down, clicks the first attractive item, and leaves. A single click
+/// per list at most — the model the regret analyses of [37], [38]
+/// generalize from, and a robustness environment for the re-ranking
+/// conclusions (the DCM reduces to it when the termination probability
+/// is 1 everywhere).
+///
+/// The attraction probability reuses the ground-truth DCM composition
+/// `lambda * relevance + (1-lambda) * rho_u . zeta` so the two
+/// environments differ only in the examination process.
+class CascadeClickModel {
+ public:
+  CascadeClickModel(const data::Dataset* data, const DcmConfig& config)
+      : dcm_(data, [&config] {
+          DcmConfig c = config;
+          c.termination_base = 1.0f;
+          c.termination_decay = 1.0f;
+          return c;
+        }()) {}
+
+  /// Attraction of the item at `pos`, identical to the DCM's.
+  float Attraction(int user_id, const std::vector<int>& items,
+                   int pos) const {
+    return dcm_.Attraction(user_id, items, pos);
+  }
+
+  /// Samples the cascade: at most one click (the first attractive item).
+  std::vector<int> SimulateClicks(int user_id, const std::vector<int>& items,
+                                  std::mt19937_64& rng, int k = -1) const {
+    return dcm_.SimulateClicks(user_id, items, rng, k);
+  }
+
+  /// P(click within top-k) = 1 - prod (1 - phi(v_i)); the cascade's
+  /// utility, equal to the DCM satisfaction at unit termination.
+  float ClickProbability(int user_id, const std::vector<int>& items,
+                         int k) const {
+    return dcm_.TrueSatisfaction(user_id, items, k);
+  }
+
+ private:
+  GroundTruthClickModel dcm_;
+};
+
+}  // namespace rapid::click
+
+#endif  // RAPID_CLICK_CASCADE_H_

@@ -1,0 +1,168 @@
+#include "click/dcm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "datagen/simulator.h"
+
+namespace rapid::click {
+
+float GroundTruthClickModel::Termination(int k) const {
+  assert(k >= 1);
+  return config_.termination_base *
+         std::pow(config_.termination_decay, static_cast<float>(k - 1));
+}
+
+std::vector<float> GroundTruthClickModel::Rho(int user_id) const {
+  const data::User& user = data_->user(user_id);
+  std::vector<float> rho(data_->num_topics);
+  for (int j = 0; j < data_->num_topics; ++j) {
+    rho[j] = config_.rho_scale * user.diversity_appetite * user.topic_pref[j];
+  }
+  return rho;
+}
+
+float GroundTruthClickModel::Attraction(int user_id,
+                                        const std::vector<int>& items,
+                                        int pos) const {
+  const data::User& user = data_->user(user_id);
+  const data::Item& item = data_->item(items[pos]);
+  const float rel = data::TrueRelevance(user, item);
+
+  // zeta: marginal coverage gain of this item over the shown prefix,
+  // c(S_{1..pos+1}) - c(S_{1..pos}) per topic.
+  float div = 0.0f;
+  const std::vector<float> rho = Rho(user_id);
+  for (int j = 0; j < data_->num_topics; ++j) {
+    double prefix_miss = 1.0;
+    for (int i = 0; i < pos; ++i) {
+      prefix_miss *= 1.0 - data_->item(items[i]).topic_coverage[j];
+    }
+    const float zeta_j =
+        static_cast<float>(prefix_miss * item.topic_coverage[j]);
+    div += rho[j] * zeta_j;
+  }
+  const float phi = config_.lambda * rel + (1.0f - config_.lambda) * div;
+  return std::clamp(phi, 0.0f, 1.0f);
+}
+
+std::vector<int> GroundTruthClickModel::SimulateClicks(
+    int user_id, const std::vector<int>& items, std::mt19937_64& rng,
+    int k) const {
+  const int n = k < 0 ? static_cast<int>(items.size())
+                      : std::min<int>(k, static_cast<int>(items.size()));
+  std::vector<int> clicks(n, 0);
+  std::uniform_real_distribution<float> uni(0.0f, 1.0f);
+  for (int pos = 0; pos < n; ++pos) {
+    const float phi = Attraction(user_id, items, pos);
+    if (uni(rng) < phi) {
+      clicks[pos] = 1;
+      if (uni(rng) < Termination(pos + 1)) break;  // Satisfied; leaves.
+    }
+  }
+  return clicks;
+}
+
+float GroundTruthClickModel::ExpectedClicks(int user_id,
+                                            const std::vector<int>& items,
+                                            int k) const {
+  const int n = std::min<int>(k, static_cast<int>(items.size()));
+  double examined = 1.0;
+  double expected = 0.0;
+  for (int pos = 0; pos < n; ++pos) {
+    const double phi = Attraction(user_id, items, pos);
+    expected += examined * phi;
+    // Continue examining unless (click and terminate).
+    examined *= 1.0 - phi * Termination(pos + 1);
+  }
+  return static_cast<float>(expected);
+}
+
+float GroundTruthClickModel::TrueSatisfaction(int user_id,
+                                              const std::vector<int>& items,
+                                              int k) const {
+  const int n = std::min<int>(k, static_cast<int>(items.size()));
+  double miss = 1.0;
+  for (int pos = 0; pos < n; ++pos) {
+    miss *= 1.0 - Termination(pos + 1) * Attraction(user_id, items, pos);
+  }
+  return static_cast<float>(1.0 - miss);
+}
+
+void EstimatedDcm::Fit(const data::Dataset& data,
+                       const std::vector<data::ImpressionList>& logs) {
+  const int num_items = static_cast<int>(data.items.size());
+  std::vector<double> clicks(num_items, 0.0), exams(num_items, 0.0);
+  size_t max_len = 0;
+  for (const auto& log : logs) max_len = std::max(max_len, log.items.size());
+  std::vector<double> last_clicks(max_len, 0.0), any_clicks(max_len, 0.0);
+
+  for (const auto& log : logs) {
+    if (log.clicks.empty()) continue;
+    // Positions up to and including the last click are examined; if no
+    // click, the whole list was examined (user left unsatisfied).
+    int last_click = -1;
+    for (size_t i = 0; i < log.clicks.size(); ++i) {
+      if (log.clicks[i]) last_click = static_cast<int>(i);
+    }
+    const int examined_upto = last_click >= 0
+                                  ? last_click
+                                  : static_cast<int>(log.clicks.size()) - 1;
+    for (int i = 0; i <= examined_upto; ++i) {
+      exams[log.items[i]] += 1.0;
+      clicks[log.items[i]] += log.clicks[i];
+      if (log.clicks[i]) {
+        any_clicks[i] += 1.0;
+        if (i == last_click) last_clicks[i] += 1.0;
+      }
+    }
+  }
+
+  double total_clicks = 0.0, total_exams = 0.0;
+  for (int v = 0; v < num_items; ++v) {
+    total_clicks += clicks[v];
+    total_exams += exams[v];
+  }
+  global_attraction_ =
+      total_exams > 0.0 ? static_cast<float>(total_clicks / total_exams)
+                        : 0.1f;
+
+  attraction_.resize(num_items);
+  for (int v = 0; v < num_items; ++v) {
+    // Laplace smoothing toward the global rate.
+    attraction_[v] = static_cast<float>(
+        (clicks[v] + 2.0 * global_attraction_) / (exams[v] + 2.0));
+  }
+
+  termination_.resize(max_len);
+  for (size_t i = 0; i < max_len; ++i) {
+    termination_[i] = static_cast<float>((last_clicks[i] + 1.0) /
+                                         (any_clicks[i] + 2.0));
+  }
+}
+
+float EstimatedDcm::Attraction(int item_id) const {
+  if (item_id < 0 || item_id >= static_cast<int>(attraction_.size())) {
+    return global_attraction_;
+  }
+  return attraction_[item_id];
+}
+
+float EstimatedDcm::Termination(int k) const {
+  assert(k >= 1);
+  if (termination_.empty()) return 0.5f;
+  const size_t idx = std::min<size_t>(k - 1, termination_.size() - 1);
+  return termination_[idx];
+}
+
+float EstimatedDcm::Satisfaction(const std::vector<int>& items, int k) const {
+  const int n = std::min<int>(k, static_cast<int>(items.size()));
+  double miss = 1.0;
+  for (int pos = 0; pos < n; ++pos) {
+    miss *= 1.0 - Termination(pos + 1) * Attraction(items[pos]);
+  }
+  return static_cast<float>(1.0 - miss);
+}
+
+}  // namespace rapid::click

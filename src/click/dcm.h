@@ -1,0 +1,105 @@
+#ifndef RAPID_CLICK_DCM_H_
+#define RAPID_CLICK_DCM_H_
+
+#include <random>
+#include <vector>
+
+#include "datagen/types.h"
+
+namespace rapid::click {
+
+/// Parameters of the dependent click model (DCM) environment used for
+/// semi-synthetic evaluation (paper Section IV-B1).
+struct DcmConfig {
+  /// Relevance-diversity tradeoff of the attraction probability:
+  /// `phi(v_k) = lambda * alpha(v_k) + (1-lambda) * rho_u^T zeta(v_k)`.
+  /// 1.0 = clicks purely relevance-driven; 0.5 = equal weight.
+  float lambda = 0.9f;
+  /// Scales the per-user diversity weight `rho_u`.
+  float rho_scale = 2.5f;
+  /// Base termination probability at position 1. Kept moderate so multiple
+  /// clicks per list are common, as in the paper's DCM setup.
+  float termination_base = 0.35f;
+  /// Geometric decay of termination with position (keeps
+  /// eps(1) >= eps(2) >= ... as assumed by the regret analysis).
+  float termination_decay = 0.9f;
+};
+
+/// The ground-truth user model: a DCM whose attraction combines the hidden
+/// true relevance with the *personalized* marginal topic coverage gain.
+///
+/// Examination process for a displayed list S (top-K):
+///   for position k = 1..K:
+///     click ~ Bernoulli(phi(v_k));
+///     if click: terminate with probability eps(k) (user satisfied).
+/// Clicks at different positions are therefore dependent (hence "DCM").
+class GroundTruthClickModel {
+ public:
+  GroundTruthClickModel(const data::Dataset* data, const DcmConfig& config)
+      : data_(data), config_(config) {}
+
+  /// Termination probability at 1-based position `k`.
+  float Termination(int k) const;
+
+  /// Per-user diversity weight vector `rho_u` (m-dim): the user's
+  /// diversity appetite spread over their preferred topics.
+  std::vector<float> Rho(int user_id) const;
+
+  /// Attraction probability of the item at position `pos` (0-based) of
+  /// `items`, given the items placed before it (the coverage-gain term
+  /// `zeta` is the marginal coverage of this item over the prefix).
+  float Attraction(int user_id, const std::vector<int>& items, int pos) const;
+
+  /// Samples clicks for the top-`k` prefix of `items` (whole list if k<0).
+  /// Returns one 0/1 entry per examined-or-not position (size = prefix len).
+  std::vector<int> SimulateClicks(int user_id, const std::vector<int>& items,
+                                  std::mt19937_64& rng, int k = -1) const;
+
+  /// Expected number of clicks in the top-k prefix under the DCM
+  /// (analytic, no sampling): sum over positions of
+  /// P(examined) * attraction.
+  float ExpectedClicks(int user_id, const std::vector<int>& items,
+                       int k) const;
+
+  /// True satisfaction `f(S, eps, phi) = 1 - prod_k (1 - eps(k) phi(v_k))`
+  /// of the top-k prefix; the utility the regret analysis optimizes.
+  float TrueSatisfaction(int user_id, const std::vector<int>& items,
+                         int k) const;
+
+  const DcmConfig& config() const { return config_; }
+
+ private:
+  const data::Dataset* data_;
+  DcmConfig config_;
+};
+
+/// DCM parameters estimated from click logs by the classic counting MLE
+/// (Guo et al. 2009): per-item attraction is clicks over examinations
+/// (positions up to and including the last click are examined), per-position
+/// termination is P(last click | click at position). Used to compute the
+/// `satis@k` metric without peeking at ground truth.
+class EstimatedDcm {
+ public:
+  /// Fits from logged impressions with clicks filled in.
+  void Fit(const data::Dataset& data,
+           const std::vector<data::ImpressionList>& logs);
+
+  /// Estimated attraction of an item (Laplace-smoothed; falls back to the
+  /// global mean for never-examined items).
+  float Attraction(int item_id) const;
+
+  /// Estimated termination probability at 1-based position `k`.
+  float Termination(int k) const;
+
+  /// `satis@k` of a displayed list: `1 - prod (1 - eps~(i) phi~(v_i))`.
+  float Satisfaction(const std::vector<int>& items, int k) const;
+
+ private:
+  std::vector<float> attraction_;
+  std::vector<float> termination_;
+  float global_attraction_ = 0.1f;
+};
+
+}  // namespace rapid::click
+
+#endif  // RAPID_CLICK_DCM_H_

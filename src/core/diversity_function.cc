@@ -1,0 +1,77 @@
+#include "core/diversity_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rapid::core {
+
+namespace {
+
+// Sum of tau^j over the first `upto` items.
+double TopicMass(const data::Dataset& data, const std::vector<int>& item_ids,
+                 int topic, int upto) {
+  const size_t n = upto < 0 ? item_ids.size()
+                            : std::min<size_t>(upto, item_ids.size());
+  double mass = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mass += data.item(item_ids[i]).topic_coverage[topic];
+  }
+  return mass;
+}
+
+// Normalizer for concave-over-modular so a fully saturated topic maps
+// near 1 on typical list lengths (sqrt(4) = 2 items of full coverage).
+constexpr double kComNormalizer = 2.0;
+
+}  // namespace
+
+float DiversityValue(DiversityFunctionKind kind, const data::Dataset& data,
+                     const std::vector<int>& item_ids, int topic, int upto) {
+  switch (kind) {
+    case DiversityFunctionKind::kProbabilisticCoverage:
+      return data::TopicCoverage(data, item_ids, topic, upto);
+    case DiversityFunctionKind::kConcaveOverModular:
+      return static_cast<float>(
+          std::sqrt(TopicMass(data, item_ids, topic, upto)) /
+          kComNormalizer);
+    case DiversityFunctionKind::kSaturatingLinear:
+      return static_cast<float>(
+          std::min(1.0, TopicMass(data, item_ids, topic, upto)));
+  }
+  return 0.0f;
+}
+
+std::vector<std::vector<float>> MarginalDiversityOf(
+    DiversityFunctionKind kind, const data::Dataset& data,
+    const std::vector<int>& item_ids) {
+  if (kind == DiversityFunctionKind::kProbabilisticCoverage) {
+    // Keep the optimized leave-one-out product implementation.
+    return data::MarginalDiversity(data, item_ids);
+  }
+  const int m = data.num_topics;
+  const int L = static_cast<int>(item_ids.size());
+  std::vector<std::vector<float>> out(L, std::vector<float>(m));
+  for (int j = 0; j < m; ++j) {
+    const float full = DiversityValue(kind, data, item_ids, j);
+    for (int i = 0; i < L; ++i) {
+      std::vector<int> without = item_ids;
+      without.erase(without.begin() + i);
+      out[i][j] = full - DiversityValue(kind, data, without, j);
+    }
+  }
+  return out;
+}
+
+const char* DiversityFunctionName(DiversityFunctionKind kind) {
+  switch (kind) {
+    case DiversityFunctionKind::kProbabilisticCoverage:
+      return "prob-coverage";
+    case DiversityFunctionKind::kConcaveOverModular:
+      return "concave-over-modular";
+    case DiversityFunctionKind::kSaturatingLinear:
+      return "saturating-linear";
+  }
+  return "?";
+}
+
+}  // namespace rapid::core

@@ -1,0 +1,257 @@
+#include "core/rapid.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "datagen/history.h"
+
+namespace rapid::core {
+
+namespace {
+
+using nn::Variable;
+
+// Per-item relevance input e_i = [x_u, x_v, tau_v, initial score] (paper
+// Section III-B plus the normalized initial score, so every neural
+// re-ranker in this repo sees identical per-item inputs — see DESIGN.md).
+nn::Matrix RelevanceFeatureMatrix(const data::Dataset& data,
+                                  const data::ImpressionList& list) {
+  return rerank::ListFeatureMatrix(data, list);
+}
+
+std::vector<Variable> RowSequence(const nn::Matrix& feats) {
+  std::vector<Variable> rows;
+  rows.reserve(feats.rows());
+  for (int i = 0; i < feats.rows(); ++i) {
+    nn::Matrix r(1, feats.cols());
+    for (int c = 0; c < feats.cols(); ++c) r.at(0, c) = feats.at(i, c);
+    rows.push_back(Variable::Constant(std::move(r)));
+  }
+  return rows;
+}
+
+}  // namespace
+
+struct RapidReranker::Net {
+  Net(const data::Dataset& data, const RapidConfig& cfg, std::mt19937_64& rng)
+      : rel_in_dim(rerank::ListFeatureDim(data)),
+        beh_in_dim(data.user_feature_dim() + data.item_feature_dim()) {
+    const int h = cfg.hidden_dim;
+    const int m = data.num_topics;
+    if (cfg.relevance_encoder == RelevanceEncoder::kBiLstm) {
+      bilstm = std::make_unique<nn::BiLstm>(rel_in_dim, h, rng);
+    } else {
+      // Transformer relevance encoder at d_model = 2h so the head input
+      // width matches the Bi-LSTM variant.
+      trans_proj = std::make_unique<nn::Linear>(rel_in_dim, 2 * h, rng);
+      trans_enc =
+          std::make_unique<nn::TransformerEncoderLayer>(2 * h, 2, 4 * h, rng);
+    }
+    if (cfg.diversity_aggregator == DiversityAggregator::kLstm) {
+      topic_lstm = std::make_unique<nn::Lstm>(beh_in_dim, h, rng);
+    } else if (cfg.diversity_aggregator == DiversityAggregator::kMean) {
+      mean_proj = std::make_unique<nn::Linear>(beh_in_dim, h, rng,
+                                               nn::Activation::kTanh);
+    }
+    if (cfg.diversity_aggregator != DiversityAggregator::kNone) {
+      // Input: flattened attended topic matrix plus a skip connection of
+      // the empirical history topic distribution (aids trainability at
+      // small data scale; see DESIGN.md).
+      theta_mlp = std::make_unique<nn::Mlp>(
+          std::vector<int>{m * h + m, 2 * h, m}, rng, nn::Activation::kRelu);
+    }
+    // Head input: encoded context, raw-feature skip, and (when the
+    // diversity estimator is on) the m per-topic gains plus their sum.
+    const int head_in =
+        2 * h + rel_in_dim +
+        (cfg.diversity_aggregator == DiversityAggregator::kNone ? 0 : m + 1);
+    score_mlp = std::make_unique<nn::Mlp>(std::vector<int>{head_in, h, 1},
+                                          rng, nn::Activation::kRelu);
+    if (cfg.head == OutputHead::kProbabilistic) {
+      sigma_mlp = std::make_unique<nn::Mlp>(std::vector<int>{head_in, h, 1},
+                                            rng, nn::Activation::kRelu);
+    }
+  }
+
+  int rel_in_dim;
+  int beh_in_dim;
+  std::unique_ptr<nn::BiLstm> bilstm;
+  std::unique_ptr<nn::Linear> trans_proj;
+  std::unique_ptr<nn::TransformerEncoderLayer> trans_enc;
+  std::unique_ptr<nn::Lstm> topic_lstm;
+  std::unique_ptr<nn::Linear> mean_proj;
+  std::unique_ptr<nn::Mlp> theta_mlp;
+  std::unique_ptr<nn::Mlp> score_mlp;  // deterministic head / mean head
+  std::unique_ptr<nn::Mlp> sigma_mlp;  // probabilistic std head
+};
+
+RapidReranker::RapidReranker(RapidConfig config)
+    : NeuralReranker(config.train), rapid_config_(config) {}
+RapidReranker::~RapidReranker() = default;
+
+std::string RapidReranker::name() const {
+  if (rapid_config_.diversity_aggregator == DiversityAggregator::kNone) {
+    return "RAPID-RNN";
+  }
+  if (rapid_config_.diversity_aggregator == DiversityAggregator::kMean) {
+    return "RAPID-mean";
+  }
+  if (rapid_config_.relevance_encoder == RelevanceEncoder::kTransformer) {
+    return "RAPID-trans";
+  }
+  return rapid_config_.head == OutputHead::kProbabilistic ? "RAPID-pro"
+                                                          : "RAPID-det";
+}
+
+void RapidReranker::InitNet(const data::Dataset& data, std::mt19937_64& rng) {
+  net_ = std::make_unique<Net>(data, rapid_config_, rng);
+}
+
+Variable RapidReranker::RelevanceStates(
+    const data::Dataset& data, const data::ImpressionList& list) const {
+  const nn::Matrix feats = RelevanceFeatureMatrix(data, list);
+  if (rapid_config_.relevance_encoder == RelevanceEncoder::kBiLstm) {
+    return nn::ConcatRows(net_->bilstm->Forward(RowSequence(feats)));
+  }
+  Variable h = net_->trans_proj->Forward(Variable::Constant(feats));
+  h = nn::Add(h, Variable::Constant(nn::SinusoidalPositionalEncoding(
+                     feats.rows(), h.cols())));
+  return net_->trans_enc->Forward(h);
+}
+
+Variable RapidReranker::Theta(const data::Dataset& data, int user_id) const {
+  const int m = data.num_topics;
+  const int D = rapid_config_.max_seq_len;
+  const int qu = data.user_feature_dim();
+  const int qv = data.item_feature_dim();
+  const data::User& user = data.user(user_id);
+  const auto seqs = data::SplitHistoryByTopic(data, user_id, D);
+
+  Variable topic_repr;  // (m x q_h)
+  if (rapid_config_.diversity_aggregator == DiversityAggregator::kLstm) {
+    // Batch all m topic sequences through one shared LSTM: step t input is
+    // the (m x (qu+qv)) matrix of each topic's t-th item (left-padded), the
+    // mask keeps padded topics' state unchanged.
+    std::vector<Variable> inputs, masks;
+    inputs.reserve(D);
+    masks.reserve(D);
+    for (int t = 0; t < D; ++t) {
+      nn::Matrix x(m, qu + qv);
+      nn::Matrix mask(m, 1);
+      for (int j = 0; j < m; ++j) {
+        const int len = static_cast<int>(seqs[j].size());
+        const int offset = D - len;  // left padding
+        if (t >= offset) {
+          const data::Item& item = data.item(seqs[j][t - offset]);
+          for (int k = 0; k < qu; ++k) x.at(j, k) = user.features[k];
+          for (int k = 0; k < qv; ++k) x.at(j, qu + k) = item.features[k];
+          mask.at(j, 0) = 1.0f;
+        }
+      }
+      inputs.push_back(Variable::Constant(std::move(x)));
+      masks.push_back(Variable::Constant(std::move(mask)));
+    }
+    topic_repr = net_->topic_lstm->ForwardLast(inputs, masks);
+  } else {
+    // RAPID-mean: mean item embedding per topic, projected to q_h.
+    nn::Matrix x(m, qu + qv);
+    for (int j = 0; j < m; ++j) {
+      if (seqs[j].empty()) continue;
+      for (int k = 0; k < qu; ++k) x.at(j, k) = user.features[k];
+      for (int v : seqs[j]) {
+        const data::Item& item = data.item(v);
+        for (int k = 0; k < qv; ++k) {
+          x.at(j, qu + k) += item.features[k] / seqs[j].size();
+        }
+      }
+    }
+    topic_repr = net_->mean_proj->Forward(Variable::Constant(std::move(x)));
+  }
+
+  // Inter-topic interactions (Eq. 2) and the preference head (Eq. 3).
+  // A sigmoid (not softmax) keeps per-topic preferences independent —
+  // a softmax here collapses under the elementwise-product gradient path.
+  Variable attended = nn::UnprojectedSelfAttention(topic_repr);
+  const std::vector<float> hist_dist =
+      data::HistoryTopicDistribution(data, user_id);
+  Variable theta = net_->theta_mlp->Forward(nn::ConcatCols(
+      {nn::FlattenToRow(attended),
+       Variable::Constant(nn::Matrix::RowVector(hist_dist))}));  // (1 x m)
+  return nn::Sigmoid(theta);
+}
+
+Variable RapidReranker::BuildLogits(const data::Dataset& data,
+                                    const data::ImpressionList& list,
+                                    bool training,
+                                    std::mt19937_64& rng) const {
+  const int L = static_cast<int>(list.items.size());
+  // Skip connection of the raw per-item features into the head alongside
+  // the encoded listwise context (small-scale trainability; DESIGN.md).
+  Variable head_in =
+      nn::ConcatCols({RelevanceStates(data, list),
+                      Variable::Constant(RelevanceFeatureMatrix(data, list))});
+
+  if (rapid_config_.diversity_aggregator != DiversityAggregator::kNone) {
+    Variable theta = Theta(data, list.user_id);  // (1 x m)
+    // Marginal diversity d_R (Eq. 5, under the configured submodular
+    // function) as a constant (L x m), weighted by the personalized
+    // preference (Eq. 6).
+    const auto md = MarginalDiversityOf(rapid_config_.diversity_function,
+                                        data, list.items);
+    nn::Matrix d_mat(L, data.num_topics);
+    for (int i = 0; i < L; ++i) {
+      for (int j = 0; j < data.num_topics; ++j) d_mat.at(i, j) = md[i][j];
+    }
+    Variable delta =
+        nn::MulRowBroadcast(Variable::Constant(std::move(d_mat)), theta);
+    // Alongside the per-topic gains, expose their sum `theta . d_i` — the
+    // scalar personalized diversity gain — which is the easiest signal for
+    // the head when m is large and the per-topic columns are sparse.
+    head_in = nn::ConcatCols({head_in, delta, nn::SumCols(delta)});
+  }
+
+  Variable mean_logits = net_->score_mlp->Forward(head_in);  // (L x 1)
+  if (rapid_config_.head == OutputHead::kDeterministic) {
+    return mean_logits;
+  }
+
+  // Probabilistic head (Section III-D2): std via softplus; training uses
+  // the reparameterization trick, inference the UCB (mean + std).
+  Variable sigma = nn::Softplus(net_->sigma_mlp->Forward(head_in));
+  if (training) {
+    nn::Matrix noise(L, 1);
+    std::normal_distribution<float> n01(0.0f, 1.0f);
+    for (int i = 0; i < L; ++i) noise.at(i, 0) = n01(rng);
+    return nn::Add(mean_logits,
+                   nn::Mul(sigma, Variable::Constant(std::move(noise))));
+  }
+  return nn::Add(mean_logits, sigma);
+}
+
+std::vector<Variable> RapidReranker::Params() const {
+  std::vector<Variable> out;
+  auto append = [&out](const std::vector<Variable>& ps) {
+    out.insert(out.end(), ps.begin(), ps.end());
+  };
+  if (net_->bilstm) append(net_->bilstm->Params());
+  if (net_->trans_proj) append(net_->trans_proj->Params());
+  if (net_->trans_enc) append(net_->trans_enc->Params());
+  if (net_->topic_lstm) append(net_->topic_lstm->Params());
+  if (net_->mean_proj) append(net_->mean_proj->Params());
+  if (net_->theta_mlp) append(net_->theta_mlp->Params());
+  append(net_->score_mlp->Params());
+  if (net_->sigma_mlp) append(net_->sigma_mlp->Params());
+  return out;
+}
+
+std::vector<float> RapidReranker::PreferenceDistribution(
+    const data::Dataset& data, int user_id) const {
+  assert(net_ != nullptr && "call Fit before PreferenceDistribution");
+  assert(rapid_config_.diversity_aggregator != DiversityAggregator::kNone);
+  const nn::Matrix theta = Theta(data, user_id).value();
+  std::vector<float> out(theta.cols());
+  for (int j = 0; j < theta.cols(); ++j) out[j] = theta.at(0, j);
+  return out;
+}
+
+}  // namespace rapid::core

@@ -1,0 +1,131 @@
+#include "datagen/gmm.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rapid::data {
+
+namespace {
+
+double SquaredDistance(const std::vector<float>& a,
+                       const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+GaussianMixture::GaussianMixture(int k, int dim)
+    : k_(k),
+      dim_(dim),
+      means_(k, std::vector<double>(dim, 0.0)),
+      vars_(k, 1.0),
+      weights_(k, 1.0 / k) {}
+
+void GaussianMixture::Fit(const std::vector<std::vector<float>>& points,
+                          std::mt19937_64& rng, int max_iters, double tol) {
+  assert(!points.empty());
+  const int n = static_cast<int>(points.size());
+
+  // k-means++ seeding: first mean uniform, the rest proportional to the
+  // squared distance from the nearest chosen mean.
+  std::uniform_int_distribution<int> uni(0, n - 1);
+  {
+    const auto& p0 = points[uni(rng)];
+    for (int d = 0; d < dim_; ++d) means_[0][d] = p0[d];
+  }
+  std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+  for (int c = 1; c < k_; ++c) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      min_d2[i] = std::min(min_d2[i], SquaredDistance(points[i], means_[c - 1]));
+      total += min_d2[i];
+    }
+    std::uniform_real_distribution<double> pick(0.0, total);
+    double r = pick(rng);
+    int chosen = n - 1;
+    for (int i = 0; i < n; ++i) {
+      r -= min_d2[i];
+      if (r <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    for (int d = 0; d < dim_; ++d) means_[c][d] = points[chosen][d];
+  }
+
+  std::vector<std::vector<double>> resp(n, std::vector<double>(k_));
+  double prev_ll = -std::numeric_limits<double>::max();
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // E-step with log-sum-exp stabilization.
+    double ll = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double max_log = -std::numeric_limits<double>::max();
+      std::vector<double> logp(k_);
+      for (int c = 0; c < k_; ++c) {
+        const double var = vars_[c];
+        logp[c] = std::log(weights_[c]) -
+                  0.5 * dim_ * std::log(2.0 * M_PI * var) -
+                  SquaredDistance(points[i], means_[c]) / (2.0 * var);
+        max_log = std::max(max_log, logp[c]);
+      }
+      double denom = 0.0;
+      for (int c = 0; c < k_; ++c) denom += std::exp(logp[c] - max_log);
+      ll += max_log + std::log(denom);
+      for (int c = 0; c < k_; ++c) {
+        resp[i][c] = std::exp(logp[c] - max_log) / denom;
+      }
+    }
+    log_likelihood_ = ll / n;
+
+    // M-step.
+    for (int c = 0; c < k_; ++c) {
+      double nc = 0.0;
+      std::vector<double> mean(dim_, 0.0);
+      for (int i = 0; i < n; ++i) {
+        nc += resp[i][c];
+        for (int d = 0; d < dim_; ++d) mean[d] += resp[i][c] * points[i][d];
+      }
+      nc = std::max(nc, 1e-9);
+      for (int d = 0; d < dim_; ++d) mean[d] /= nc;
+      double var = 0.0;
+      for (int i = 0; i < n; ++i) {
+        var += resp[i][c] * SquaredDistance(points[i], mean) / dim_;
+      }
+      var = std::max(var / nc, 1e-4);
+      means_[c] = std::move(mean);
+      vars_[c] = var;
+      weights_[c] = nc / n;
+    }
+
+    if (log_likelihood_ - prev_ll < tol && iter > 0) break;
+    prev_ll = log_likelihood_;
+  }
+}
+
+std::vector<float> GaussianMixture::Posterior(const std::vector<float>& point,
+                                              double var_inflation) const {
+  std::vector<double> logp(k_);
+  double max_log = -std::numeric_limits<double>::max();
+  for (int c = 0; c < k_; ++c) {
+    const double var = vars_[c] * var_inflation;
+    logp[c] = std::log(weights_[c]) -
+              0.5 * dim_ * std::log(2.0 * M_PI * var) -
+              SquaredDistance(point, means_[c]) / (2.0 * var);
+    max_log = std::max(max_log, logp[c]);
+  }
+  double denom = 0.0;
+  for (int c = 0; c < k_; ++c) denom += std::exp(logp[c] - max_log);
+  std::vector<float> out(k_);
+  for (int c = 0; c < k_; ++c) {
+    out[c] = static_cast<float>(std::exp(logp[c] - max_log) / denom);
+  }
+  return out;
+}
+
+}  // namespace rapid::data

@@ -1,0 +1,52 @@
+#ifndef RAPID_DATAGEN_GMM_H_
+#define RAPID_DATAGEN_GMM_H_
+
+#include <random>
+#include <vector>
+
+namespace rapid::data {
+
+/// A spherical Gaussian mixture model fit with expectation-maximization.
+///
+/// Used by the Taobao simulator to cluster item latent vectors into soft
+/// topics, mirroring the paper's "we use Gaussian Mixture Models to cluster
+/// items into 5 topics as the item's topic coverage".
+class GaussianMixture {
+ public:
+  /// `k` components over `dim`-dimensional points.
+  GaussianMixture(int k, int dim);
+
+  /// Fits the mixture to `points` (each of size `dim`) by EM, initialized
+  /// with k-means++-style seeding from `rng`. Runs at most `max_iters`
+  /// iterations or until the log-likelihood improvement drops below `tol`.
+  void Fit(const std::vector<std::vector<float>>& points, std::mt19937_64& rng,
+           int max_iters = 50, double tol = 1e-4);
+
+  /// Posterior responsibilities p(component | point): a length-`k`
+  /// distribution (sums to 1). `var_inflation > 1` evaluates the components
+  /// with inflated variances, tempering the posterior toward uniform —
+  /// useful when a soft cluster-membership signal is wanted from
+  /// well-separated clusters (e.g. soft topic coverage).
+  std::vector<float> Posterior(const std::vector<float>& point,
+                               double var_inflation = 1.0) const;
+
+  /// Average per-point log-likelihood of the last Fit call.
+  double log_likelihood() const { return log_likelihood_; }
+
+  int num_components() const { return k_; }
+  const std::vector<std::vector<double>>& means() const { return means_; }
+  const std::vector<double>& variances() const { return vars_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  int k_;
+  int dim_;
+  std::vector<std::vector<double>> means_;  // k x dim
+  std::vector<double> vars_;                // k (spherical)
+  std::vector<double> weights_;             // k, sums to 1
+  double log_likelihood_ = 0.0;
+};
+
+}  // namespace rapid::data
+
+#endif  // RAPID_DATAGEN_GMM_H_

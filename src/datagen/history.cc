@@ -1,0 +1,56 @@
+#include "datagen/history.h"
+
+#include <algorithm>
+
+namespace rapid::data {
+
+std::vector<int> TopicMembership(const Item& item, float threshold) {
+  std::vector<int> topics;
+  int argmax = 0;
+  for (size_t j = 0; j < item.topic_coverage.size(); ++j) {
+    if (item.topic_coverage[j] >= threshold) {
+      topics.push_back(static_cast<int>(j));
+    }
+    if (item.topic_coverage[j] > item.topic_coverage[argmax]) {
+      argmax = static_cast<int>(j);
+    }
+  }
+  if (topics.empty()) topics.push_back(argmax);
+  return topics;
+}
+
+std::vector<std::vector<int>> SplitHistoryByTopic(const Dataset& data,
+                                                  int user_id, int max_len,
+                                                  float threshold) {
+  std::vector<std::vector<int>> seqs(data.num_topics);
+  for (int item_id : data.history[user_id]) {
+    for (int j : TopicMembership(data.item(item_id), threshold)) {
+      seqs[j].push_back(item_id);
+    }
+  }
+  // Keep only the most recent `max_len` per topic (history is oldest-first).
+  for (auto& seq : seqs) {
+    if (static_cast<int>(seq.size()) > max_len) {
+      seq.erase(seq.begin(), seq.end() - max_len);
+    }
+  }
+  return seqs;
+}
+
+std::vector<float> HistoryTopicDistribution(const Dataset& data, int user_id,
+                                            float threshold) {
+  std::vector<float> dist(data.num_topics, 0.0f);
+  float total = 0.0f;
+  for (int item_id : data.history[user_id]) {
+    for (int j : TopicMembership(data.item(item_id), threshold)) {
+      dist[j] += 1.0f;
+      total += 1.0f;
+    }
+  }
+  if (total > 0.0f) {
+    for (float& x : dist) x /= total;
+  }
+  return dist;
+}
+
+}  // namespace rapid::data

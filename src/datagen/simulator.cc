@@ -1,0 +1,291 @@
+#include "datagen/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "datagen/gmm.h"
+
+namespace rapid::data {
+
+namespace {
+
+// Relevance calibration: chosen so the population mean attraction is about
+// 0.2 with a long tail of highly relevant items (verified in tests). The
+// topic-match term dominates, and the user's topic preference is *hidden*
+// (only inferable from behavior history), which is what leaves headroom for
+// the re-ranking stage over any pointwise initial ranker.
+constexpr float kTopicMatchWeight = 4.0f;
+constexpr float kQualityWeight = 1.2f;
+constexpr float kRelevanceBias = -2.4f;
+
+// Observation noise of the user-feature projection and the item-quality
+// feature (how much of the hidden state leaks into observable features).
+constexpr float kUserObsNoise = 0.8f;
+constexpr float kQualityObsNoise = 0.6f;
+
+// Variance inflation applied to GMM posteriors when deriving soft topic
+// coverage from well-separated item clusters (kTaobao only).
+constexpr double kCoverageVarInflation = 25.0;
+
+float Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  float s = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+// Samples `count` distinct indices from `logits` via Gumbel-top-k (softmax
+// sampling without replacement).
+std::vector<int> SampleWithoutReplacement(const std::vector<float>& logits,
+                                          int count, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> uni(1e-12, 1.0);
+  std::vector<std::pair<float, int>> keys(logits.size());
+  for (size_t i = 0; i < logits.size(); ++i) {
+    const float gumbel = -std::log(-std::log(uni(rng)));
+    keys[i] = {logits[i] + gumbel, static_cast<int>(i)};
+  }
+  const int k = std::min<int>(count, static_cast<int>(logits.size()));
+  std::partial_sort(keys.begin(), keys.begin() + k, keys.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<int> out(k);
+  for (int i = 0; i < k; ++i) out[i] = keys[i].second;
+  return out;
+}
+
+std::vector<float> DirichletSample(int dim, float alpha,
+                                   std::mt19937_64& rng) {
+  std::gamma_distribution<float> gamma(alpha, 1.0f);
+  std::vector<float> out(dim);
+  float sum = 0.0f;
+  for (int j = 0; j < dim; ++j) {
+    out[j] = std::max(gamma(rng), 1e-8f);
+    sum += out[j];
+  }
+  for (float& x : out) x /= sum;
+  return out;
+}
+
+float NormalizedEntropy(const std::vector<float>& p) {
+  double h = 0.0;
+  for (float x : p) {
+    if (x > 0.0f) h -= x * std::log(x);
+  }
+  return static_cast<float>(h / std::log(static_cast<double>(p.size())));
+}
+
+}  // namespace
+
+int SimConfig::num_topics() const {
+  switch (kind) {
+    case DatasetKind::kTaobao:
+      return 5;
+    case DatasetKind::kMovieLens:
+      return 20;
+    case DatasetKind::kAppStore:
+      return 23;
+  }
+  return 5;
+}
+
+float TrueRelevanceLogit(const User& user, const Item& item) {
+  const float topic_match = Dot(user.topic_pref, item.topic_coverage);
+  return kTopicMatchWeight * topic_match +
+         kQualityWeight * item.hidden_quality + kRelevanceBias;
+}
+
+float TrueRelevance(const User& user, const Item& item) {
+  const float z = TrueRelevanceLogit(user, item);
+  return z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                   : std::exp(z) / (1.0f + std::exp(z));
+}
+
+Dataset GenerateDataset(const SimConfig& config, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const int m = config.num_topics();
+  const int d = config.latent_dim;
+
+  Dataset data;
+  data.num_topics = m;
+  switch (config.kind) {
+    case DatasetKind::kTaobao:
+      data.name = "TaobaoSim";
+      break;
+    case DatasetKind::kMovieLens:
+      data.name = "MovieLensSim";
+      break;
+    case DatasetKind::kAppStore:
+      data.name = "AppStoreSim";
+      break;
+  }
+
+  // Topic centroids.
+  std::normal_distribution<float> unit_normal(0.0f, 1.0f);
+  std::vector<std::vector<float>> centroids(m, std::vector<float>(d));
+  for (int j = 0; j < m; ++j) {
+    for (int k = 0; k < d; ++k) {
+      centroids[j][k] = unit_normal(rng) * config.topic_spread;
+    }
+  }
+
+  // Items: latent near a primary topic centroid; Zipf-ish topic popularity.
+  std::vector<double> topic_pop(m);
+  for (int j = 0; j < m; ++j) topic_pop[j] = 1.0 / (1.0 + j * 0.35);
+  std::discrete_distribution<int> topic_dist(topic_pop.begin(),
+                                             topic_pop.end());
+  std::lognormal_distribution<float> bid_dist(0.0f, 0.5f);
+  data.items.resize(config.num_items);
+  std::vector<int> primary_topic(config.num_items);
+  for (int v = 0; v < config.num_items; ++v) {
+    Item& item = data.items[v];
+    item.id = v;
+    const int t = topic_dist(rng);
+    primary_topic[v] = t;
+    item.features.resize(d);
+    for (int k = 0; k < d; ++k) {
+      item.features[k] = centroids[t][k] + unit_normal(rng) * config.item_noise;
+    }
+    item.hidden_quality = unit_normal(rng) * 0.7f;
+    item.topic_coverage.assign(m, 0.0f);
+    item.bid = 0.0f;
+  }
+
+  // Topic coverage per dataset kind.
+  switch (config.kind) {
+    case DatasetKind::kTaobao: {
+      // GMM soft clustering of item latents (paper Section IV-A1).
+      std::vector<std::vector<float>> latents;
+      latents.reserve(data.items.size());
+      for (const Item& item : data.items) latents.push_back(item.features);
+      GaussianMixture gmm(m, d);
+      gmm.Fit(latents, rng);
+      for (Item& item : data.items) {
+        item.topic_coverage =
+            gmm.Posterior(item.features, kCoverageVarInflation);
+      }
+      break;
+    }
+    case DatasetKind::kMovieLens: {
+      // Normalized multi-hot genres: primary genre plus 0-2 extras.
+      std::uniform_real_distribution<float> coin(0.0f, 1.0f);
+      std::uniform_int_distribution<int> genre(0, m - 1);
+      for (int v = 0; v < config.num_items; ++v) {
+        std::vector<int> genres = {primary_topic[v]};
+        if (coin(rng) < 0.55f) genres.push_back(genre(rng));
+        if (coin(rng) < 0.20f) genres.push_back(genre(rng));
+        std::sort(genres.begin(), genres.end());
+        genres.erase(std::unique(genres.begin(), genres.end()), genres.end());
+        const float w = 1.0f / genres.size();
+        for (int g : genres) data.items[v].topic_coverage[g] = w;
+      }
+      break;
+    }
+    case DatasetKind::kAppStore: {
+      for (int v = 0; v < config.num_items; ++v) {
+        data.items[v].topic_coverage[primary_topic[v]] = 1.0f;
+        data.items[v].bid = bid_dist(rng);
+      }
+      break;
+    }
+  }
+
+  // Append the noisy observable quality feature (after coverage, so GMM
+  // clustering above ran on the topic-structured latent dims only).
+  for (Item& item : data.items) {
+    item.features.push_back(item.hidden_quality +
+                            unit_normal(rng) * kQualityObsNoise);
+  }
+
+  // Users: heterogeneous Dirichlet concentration -> heterogeneous
+  // diversity appetite (focused / medium / diverse thirds).
+  data.users.resize(config.num_users);
+  std::uniform_int_distribution<int> third(0, 2);
+  for (int u = 0; u < config.num_users; ++u) {
+    User& user = data.users[u];
+    user.id = u;
+    float alpha = 0.0f;
+    switch (third(rng)) {
+      case 0:
+        alpha = 0.05f;  // focused
+        break;
+      case 1:
+        alpha = 0.6f;  // medium
+        break;
+      default:
+        alpha = 2.5f;  // diverse
+        break;
+    }
+    user.topic_pref = DirichletSample(m, alpha, rng);
+    user.diversity_appetite = NormalizedEntropy(user.topic_pref);
+    // Observed user features: a fixed random projection of the hidden
+    // preference plus observation noise — a weak "demographic" signal. The
+    // projection matrix is shared across users (sampled once below).
+    user.features.resize(d);
+  }
+  {
+    std::vector<std::vector<float>> proj(d, std::vector<float>(m));
+    for (int k = 0; k < d; ++k) {
+      for (int j = 0; j < m; ++j) proj[k][j] = unit_normal(rng);
+    }
+    for (User& user : data.users) {
+      for (int k = 0; k < d; ++k) {
+        float mix = 0.0f;
+        for (int j = 0; j < m; ++j) mix += proj[k][j] * user.topic_pref[j];
+        user.features[k] = mix + unit_normal(rng) * config.user_noise;
+      }
+    }
+  }
+
+  // Per-user relevance logits over all items drive every sampling step.
+  data.history.resize(config.num_users);
+  std::uniform_int_distribution<int> random_item(0, config.num_items - 1);
+  for (int u = 0; u < config.num_users; ++u) {
+    const User& user = data.users[u];
+    std::vector<float> logits(config.num_items);
+    for (int v = 0; v < config.num_items; ++v) {
+      // Sharpen (x2) so sampled positives are genuinely relevant.
+      logits[v] = 2.0f * TrueRelevanceLogit(user, data.items[v]);
+    }
+
+    // Behavior history: relevance-weighted sample, random temporal order.
+    data.history[u] = SampleWithoutReplacement(logits, config.history_len, rng);
+    std::shuffle(data.history[u].begin(), data.history[u].end(), rng);
+
+    // Initial-ranker training interactions: positives by relevance
+    // sampling, negatives uniform.
+    std::vector<int> pos = SampleWithoutReplacement(
+        logits, config.ranker_train_pos_per_user, rng);
+    for (int v : pos) {
+      data.ranker_train.push_back({u, v, 1});
+      data.ranker_train.push_back({u, random_item(rng), 0});
+    }
+
+    // Candidate pools: 70% relevance-sampled, 30% uniform exploration.
+    auto make_request = [&]() {
+      Request req;
+      req.user_id = u;
+      const int n_rel = static_cast<int>(config.candidates_per_request *
+                                         config.candidate_relevant_frac);
+      req.candidates = SampleWithoutReplacement(logits, n_rel, rng);
+      while (static_cast<int>(req.candidates.size()) <
+             config.candidates_per_request) {
+        const int v = random_item(rng);
+        if (std::find(req.candidates.begin(), req.candidates.end(), v) ==
+            req.candidates.end()) {
+          req.candidates.push_back(v);
+        }
+      }
+      return req;
+    };
+    for (int r = 0; r < config.rerank_lists_per_user; ++r) {
+      data.rerank_train_requests.push_back(make_request());
+    }
+    for (int r = 0; r < config.test_lists_per_user; ++r) {
+      data.test_requests.push_back(make_request());
+    }
+  }
+
+  return data;
+}
+
+}  // namespace rapid::data

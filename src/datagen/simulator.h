@@ -1,0 +1,78 @@
+#ifndef RAPID_DATAGEN_SIMULATOR_H_
+#define RAPID_DATAGEN_SIMULATOR_H_
+
+#include <random>
+#include <vector>
+
+#include "datagen/types.h"
+
+namespace rapid::data {
+
+/// Which public/industrial dataset the synthetic universe stands in for.
+/// The three kinds differ in topic structure exactly as the paper's
+/// datasets do:
+///  - kTaobao:    m=5 soft topic coverage from GMM clustering of item
+///                latents (the paper clusters Taobao's 9439 categories into
+///                5 topics with GMMs);
+///  - kMovieLens: m=20 normalized multi-hot genre vectors (1-3 genres);
+///  - kAppStore:  m=23 one-hot categories plus per-item bid prices.
+enum class DatasetKind { kTaobao, kMovieLens, kAppStore };
+
+/// Scale and shape parameters of the synthetic universe.
+struct SimConfig {
+  DatasetKind kind = DatasetKind::kTaobao;
+  int num_users = 300;
+  int num_items = 1500;
+  /// Latent/feature dimensionality (q_u = q_v).
+  int latent_dim = 8;
+  /// Items per user in the behavior-history split.
+  int history_len = 30;
+  /// Positive (and equally many negative) interactions per user for the
+  /// initial-ranker training split.
+  int ranker_train_pos_per_user = 12;
+  /// Re-ranking training requests per user.
+  int rerank_lists_per_user = 4;
+  /// Test requests per user.
+  int test_lists_per_user = 1;
+  /// Candidate-pool size per request (initial ranker keeps the top-L).
+  int candidates_per_request = 40;
+  /// Fraction of each candidate pool sampled by relevance; the rest is
+  /// uniform. Lower values leave more headroom for the re-ranking stage
+  /// (the initial ranker must find the needles).
+  float candidate_relevant_frac = 0.3f;
+  /// Spread of topic centroids in latent space (larger = easier topics).
+  float topic_spread = 2.0f;
+  /// Item latent noise around its topic centroid.
+  float item_noise = 0.6f;
+  /// Observation noise of the user-feature projection (how much of the
+  /// hidden topic preference leaks into the observable features).
+  float user_noise = 0.8f;
+
+  /// Returns the number of topics implied by `kind` (5 / 20 / 23).
+  int num_topics() const;
+};
+
+/// Generates a full synthetic dataset. Deterministic given `seed`.
+///
+/// Ground-truth structure (hidden from models):
+///  - topic centroids `mu_j` spread in latent space;
+///  - item latents near their topic centroid; coverage per `kind`;
+///  - user topic preferences `theta_u` ~ Dirichlet with per-user
+///    concentration drawn from a focused/medium/diverse mixture, so
+///    diversity appetite is heterogeneous across the population;
+///  - `diversity_appetite` = normalized entropy of `theta_u`;
+///  - relevance-driven sampling of histories, training interactions, and
+///    candidate pools.
+Dataset GenerateDataset(const SimConfig& config, uint64_t seed);
+
+/// Ground-truth relevance `alpha(u, v)` in (0,1) used by the click
+/// simulator: a calibrated logistic of the user-item latent affinity and
+/// the topic-preference match. Models never see this directly.
+float TrueRelevance(const User& user, const Item& item);
+
+/// The raw (pre-sigmoid) relevance logit; exposed for samplers and tests.
+float TrueRelevanceLogit(const User& user, const Item& item);
+
+}  // namespace rapid::data
+
+#endif  // RAPID_DATAGEN_SIMULATOR_H_

@@ -1,0 +1,65 @@
+#include "datagen/types.h"
+
+#include <cassert>
+
+namespace rapid::data {
+
+float TopicCoverage(const Dataset& data, const std::vector<int>& item_ids,
+                    int topic, int upto) {
+  const size_t n = upto < 0 ? item_ids.size()
+                            : std::min<size_t>(upto, item_ids.size());
+  double prod = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    prod *= 1.0 - data.item(item_ids[i]).topic_coverage[topic];
+  }
+  return static_cast<float>(1.0 - prod);
+}
+
+std::vector<float> CoverageVector(const Dataset& data,
+                                  const std::vector<int>& item_ids,
+                                  int upto) {
+  std::vector<float> out(data.num_topics);
+  for (int j = 0; j < data.num_topics; ++j) {
+    out[j] = TopicCoverage(data, item_ids, j, upto);
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> MarginalDiversity(
+    const Dataset& data, const std::vector<int>& item_ids) {
+  const int m = data.num_topics;
+  const int L = static_cast<int>(item_ids.size());
+  // prod_all[j] = prod_v (1 - tau_v^j). Marginal diversity of item i in
+  // topic j is prod_{v != i}(1 - tau_v^j) * tau_i^j. Guard division by zero
+  // when some tau is exactly 1 by recomputing the leave-one-out product.
+  std::vector<double> prod_all(m, 1.0);
+  std::vector<int> zero_count(m, 0);
+  for (int i = 0; i < L; ++i) {
+    const auto& tau = data.item(item_ids[i]).topic_coverage;
+    for (int j = 0; j < m; ++j) {
+      const double f = 1.0 - tau[j];
+      if (f == 0.0) {
+        ++zero_count[j];
+      } else {
+        prod_all[j] *= f;
+      }
+    }
+  }
+  std::vector<std::vector<float>> out(L, std::vector<float>(m));
+  for (int i = 0; i < L; ++i) {
+    const auto& tau = data.item(item_ids[i]).topic_coverage;
+    for (int j = 0; j < m; ++j) {
+      const double f = 1.0 - tau[j];
+      double loo;  // prod over v != i of (1 - tau_v^j)
+      if (f == 0.0) {
+        loo = (zero_count[j] == 1) ? prod_all[j] : 0.0;
+      } else {
+        loo = (zero_count[j] > 0) ? 0.0 : prod_all[j] / f;
+      }
+      out[i][j] = static_cast<float>(loo * tau[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace rapid::data

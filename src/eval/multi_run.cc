@@ -1,0 +1,82 @@
+#include "eval/multi_run.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace rapid::eval {
+
+double MultiRunResult::Mean(const std::string& metric) const {
+  auto it = per_seed_means.find(metric);
+  if (it == per_seed_means.end() || it->second.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : it->second) s += v;
+  return s / it->second.size();
+}
+
+double MultiRunResult::StdDev(const std::string& metric) const {
+  auto it = per_seed_means.find(metric);
+  if (it == per_seed_means.end() || it->second.size() < 2) return 0.0;
+  const double mean = Mean(metric);
+  double ss = 0.0;
+  for (double v : it->second) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / (it->second.size() - 1));
+}
+
+std::vector<MultiRunResult> MultiSeedEvaluate(
+    const PipelineConfig& base_config,
+    const std::function<std::unique_ptr<rank::Ranker>()>& make_ranker,
+    const std::vector<std::pair<std::string, MethodFactory>>& methods,
+    int num_seeds, const std::vector<int>& ks) {
+  std::vector<MultiRunResult> results(methods.size());
+  for (size_t m = 0; m < methods.size(); ++m) {
+    results[m].name = methods[m].first;
+  }
+  for (int s = 0; s < num_seeds; ++s) {
+    PipelineConfig config = base_config;
+    config.seed = base_config.seed + static_cast<uint64_t>(s);
+    Environment env(config, make_ranker());
+    for (size_t m = 0; m < methods.size(); ++m) {
+      std::unique_ptr<rerank::Reranker> method = methods[m].second();
+      MethodMetrics metrics = FitAndEvaluate(env, *method, ks,
+                                             /*fit_seed=*/99 + s,
+                                             /*eval_seed=*/777 + s);
+      for (const auto& [name, values] : metrics.per_request) {
+        double total = 0.0;
+        for (float v : values) total += v;
+        results[m].per_seed_means[name].push_back(
+            values.empty() ? 0.0 : total / values.size());
+      }
+    }
+  }
+  return results;
+}
+
+std::string RenderMultiRun(const std::vector<MultiRunResult>& results,
+                           const std::vector<std::string>& metrics,
+                           const std::string& title) {
+  std::ostringstream os;
+  os << "== " << title << " (mean +- std over seeds) ==\n";
+  os << std::string(12, ' ');
+  for (const std::string& m : metrics) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %-17s", m.c_str());
+    os << buf;
+  }
+  os << "\n";
+  for (const MultiRunResult& row : results) {
+    char name_buf[32];
+    std::snprintf(name_buf, sizeof(name_buf), "%-12s", row.name.c_str());
+    os << name_buf;
+    for (const std::string& m : metrics) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), " %7.4f +- %6.4f", row.Mean(m),
+                    row.StdDev(m));
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rapid::eval

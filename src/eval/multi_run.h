@@ -1,0 +1,53 @@
+#ifndef RAPID_EVAL_MULTI_RUN_H_
+#define RAPID_EVAL_MULTI_RUN_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/pipeline.h"
+
+namespace rapid::eval {
+
+/// Aggregated results of one method across several independently seeded
+/// environments: per-seed means plus the cross-seed mean and standard
+/// deviation for every metric.
+struct MultiRunResult {
+  std::string name;
+  /// metric -> one mean per seed.
+  std::map<std::string, std::vector<double>> per_seed_means;
+
+  /// Cross-seed mean of a metric.
+  double Mean(const std::string& metric) const;
+  /// Cross-seed sample standard deviation of a metric.
+  double StdDev(const std::string& metric) const;
+};
+
+/// A method factory: multi-run evaluation needs a *fresh* model per seed
+/// (fitting mutates state). Called once per seed.
+using MethodFactory = std::function<std::unique_ptr<rerank::Reranker>()>;
+
+/// Runs `factory`'s method across environments built from `base_config`
+/// with seeds `base_config.seed + i` for i in [0, num_seeds), fitting and
+/// evaluating in each, and aggregates the per-seed metric means.
+///
+/// `make_ranker` builds the initial ranker per seed (also stateful).
+/// This is the variance-aware counterpart of `FitAndEvaluate`: use it when
+/// a conclusion must be robust to the environment draw, not just the
+/// click draw.
+std::vector<MultiRunResult> MultiSeedEvaluate(
+    const PipelineConfig& base_config,
+    const std::function<std::unique_ptr<rank::Ranker>()>& make_ranker,
+    const std::vector<std::pair<std::string, MethodFactory>>& methods,
+    int num_seeds, const std::vector<int>& ks = {5, 10});
+
+/// Renders a mean +- std table across seeds.
+std::string RenderMultiRun(const std::vector<MultiRunResult>& results,
+                           const std::vector<std::string>& metrics,
+                           const std::string& title);
+
+}  // namespace rapid::eval
+
+#endif  // RAPID_EVAL_MULTI_RUN_H_

@@ -1,0 +1,106 @@
+#include "eval/pipeline.h"
+
+#include <cassert>
+
+#include "metrics/metrics.h"
+
+namespace rapid::eval {
+
+Environment::Environment(const PipelineConfig& config,
+                         std::unique_ptr<rank::Ranker> ranker)
+    : config_(config),
+      data_(data::GenerateDataset(config.sim, config.seed)),
+      ranker_(std::move(ranker)) {
+  ranker_->Train(data_, config.seed + 1);
+  dcm_ = std::make_unique<click::GroundTruthClickModel>(&data_, config.dcm);
+
+  // Initial lists for the re-ranking training split, with simulated clicks
+  // (one independent click realization per request).
+  std::mt19937_64 click_rng(config.seed + 2);
+  train_lists_.reserve(data_.rerank_train_requests.size());
+  for (const data::Request& req : data_.rerank_train_requests) {
+    data::ImpressionList list =
+        ranker_->RankRequest(data_, req, config.list_len);
+    list.clicks = dcm_->SimulateClicks(list.user_id, list.items, click_rng);
+    train_lists_.push_back(std::move(list));
+  }
+
+  test_lists_.reserve(data_.test_requests.size());
+  for (const data::Request& req : data_.test_requests) {
+    test_lists_.push_back(ranker_->RankRequest(data_, req, config.list_len));
+  }
+
+  est_dcm_.Fit(data_, train_lists_);
+}
+
+double MethodMetrics::Mean(const std::string& metric) const {
+  auto it = per_request.find(metric);
+  if (it == per_request.end() || it->second.empty()) return 0.0;
+  return metrics::Summarize(it->second).mean;
+}
+
+MethodMetrics EvaluateReranker(const Environment& env,
+                               const rerank::Reranker& reranker,
+                               const std::vector<int>& ks,
+                               uint64_t eval_seed,
+                               int num_click_realizations) {
+  MethodMetrics out;
+  out.name = reranker.name();
+  const data::Dataset& data = env.dataset();
+  const bool has_bids = data.items.empty() ? false : data.items[0].bid > 0.0f;
+
+  for (size_t r = 0; r < env.test_lists().size(); ++r) {
+    const data::ImpressionList& initial = env.test_lists()[r];
+    const std::vector<int> reranked = reranker.Rerank(data, initial);
+    assert(reranked.size() == initial.items.size());
+
+    // Common random numbers: the click RNG depends on the request, not the
+    // method, so method comparisons share noise where lists agree.
+    std::mt19937_64 rng(eval_seed * 1000003ull + r);
+    for (int k : ks) {
+      const std::string suffix = "@" + std::to_string(k);
+      double click_sum = 0.0, ndcg_sum = 0.0, rev_sum = 0.0;
+      std::mt19937_64 realization_rng = rng;  // Same draws for every k.
+      for (int t = 0; t < num_click_realizations; ++t) {
+        const std::vector<int> clicks = env.dcm().SimulateClicks(
+            initial.user_id, reranked, realization_rng);
+        click_sum += metrics::ClickAtK(clicks, k);
+        ndcg_sum += metrics::NdcgAtK(clicks, k);
+        if (has_bids) rev_sum += metrics::RevAtK(data, reranked, clicks, k);
+      }
+      const float inv = 1.0f / num_click_realizations;
+      out.per_request["click" + suffix].push_back(
+          static_cast<float>(click_sum) * inv);
+      out.per_request["ndcg" + suffix].push_back(
+          static_cast<float>(ndcg_sum) * inv);
+      out.per_request["div" + suffix].push_back(
+          metrics::DivAtK(data, reranked, k));
+      out.per_request["satis" + suffix].push_back(
+          env.estimated_dcm().Satisfaction(reranked, k));
+      if (has_bids) {
+        out.per_request["rev" + suffix].push_back(
+            static_cast<float>(rev_sum) * inv);
+      }
+    }
+  }
+  return out;
+}
+
+MethodMetrics FitAndEvaluate(const Environment& env,
+                             rerank::Reranker& reranker,
+                             const std::vector<int>& ks, uint64_t fit_seed,
+                             uint64_t eval_seed, int num_click_realizations) {
+  reranker.Fit(env.dataset(), env.train_lists(), fit_seed);
+  return EvaluateReranker(env, reranker, ks, eval_seed,
+                          num_click_realizations);
+}
+
+double CompareMethods(const MethodMetrics& a, const MethodMetrics& b,
+                      const std::string& metric) {
+  const auto ia = a.per_request.find(metric);
+  const auto ib = b.per_request.find(metric);
+  assert(ia != a.per_request.end() && ib != b.per_request.end());
+  return metrics::PairedTTestPValue(ia->second, ib->second);
+}
+
+}  // namespace rapid::eval

@@ -1,0 +1,102 @@
+#ifndef RAPID_EVAL_PIPELINE_H_
+#define RAPID_EVAL_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "click/dcm.h"
+#include "datagen/simulator.h"
+#include "rankers/ranker.h"
+#include "rerank/reranker.h"
+
+namespace rapid::eval {
+
+/// End-to-end experiment configuration: the synthetic universe, the DCM
+/// click environment, and the initial-list length L.
+struct PipelineConfig {
+  data::SimConfig sim;
+  click::DcmConfig dcm;
+  /// Initial list length L (paper default 20).
+  int list_len = 20;
+  uint64_t seed = 1;
+};
+
+/// A prepared semi-synthetic experiment environment, following the paper's
+/// protocol: generate the dataset, train the initial ranker on its split,
+/// produce initial lists for the re-ranking train/test splits, simulate
+/// training clicks with the ground-truth DCM, and fit the estimated DCM
+/// (for `satis@k`) from those logs.
+class Environment {
+ public:
+  /// Builds everything. `ranker` is trained inside; the environment keeps
+  /// ownership.
+  Environment(const PipelineConfig& config,
+              std::unique_ptr<rank::Ranker> ranker);
+
+  const data::Dataset& dataset() const { return data_; }
+  const rank::Ranker& ranker() const { return *ranker_; }
+  const click::GroundTruthClickModel& dcm() const { return *dcm_; }
+  const click::EstimatedDcm& estimated_dcm() const { return est_dcm_; }
+  /// Training lists (initial order) with simulated clicks.
+  const std::vector<data::ImpressionList>& train_lists() const {
+    return train_lists_;
+  }
+  /// Test lists (initial order), clicks left empty.
+  const std::vector<data::ImpressionList>& test_lists() const {
+    return test_lists_;
+  }
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  PipelineConfig config_;
+  data::Dataset data_;
+  std::unique_ptr<rank::Ranker> ranker_;
+  std::unique_ptr<click::GroundTruthClickModel> dcm_;
+  click::EstimatedDcm est_dcm_;
+  std::vector<data::ImpressionList> train_lists_;
+  std::vector<data::ImpressionList> test_lists_;
+};
+
+/// Per-method evaluation results: every metric keeps its per-request
+/// values so means and paired significance tests are both available.
+struct MethodMetrics {
+  std::string name;
+  /// Metric name ("click@5", "ndcg@10", "div@5", "satis@10", "rev@5", ...)
+  /// -> per-request values, aligned across methods for paired tests.
+  std::map<std::string, std::vector<float>> per_request;
+
+  double Mean(const std::string& metric) const;
+};
+
+/// Evaluates a (fitted) re-ranker on the environment's test lists: re-ranks
+/// each list, simulates clicks on the re-ranked order with the ground-truth
+/// DCM (common random numbers across methods via per-request seeds), and
+/// computes click/ndcg/div/satis[/rev]@k for each k in `ks`.
+///
+/// Click-based metrics are averaged over `num_click_realizations`
+/// independent DCM simulations per request, suppressing click-sampling
+/// noise so method differences reflect the lists, not the dice.
+MethodMetrics EvaluateReranker(const Environment& env,
+                               const rerank::Reranker& reranker,
+                               const std::vector<int>& ks = {5, 10},
+                               uint64_t eval_seed = 777,
+                               int num_click_realizations = 8);
+
+/// Convenience: fits the re-ranker on the environment's training lists and
+/// evaluates it.
+MethodMetrics FitAndEvaluate(const Environment& env,
+                             rerank::Reranker& reranker,
+                             const std::vector<int>& ks = {5, 10},
+                             uint64_t fit_seed = 99,
+                             uint64_t eval_seed = 777,
+                             int num_click_realizations = 8);
+
+/// Paired t-test p-value between two methods on one metric.
+double CompareMethods(const MethodMetrics& a, const MethodMetrics& b,
+                      const std::string& metric);
+
+}  // namespace rapid::eval
+
+#endif  // RAPID_EVAL_PIPELINE_H_

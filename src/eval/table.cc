@@ -1,0 +1,67 @@
+#include "eval/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace rapid::eval {
+
+ResultTable::ResultTable(std::vector<std::string> metrics)
+    : metrics_(std::move(metrics)) {}
+
+void ResultTable::AddRow(const MethodMetrics& m) { rows_.push_back(m); }
+
+std::string ResultTable::Render(const std::string& title) const {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  const int name_w = 12;
+  const int col_w = 10;
+  os << std::string(name_w, ' ');
+  for (const std::string& m : metrics_) {
+    os << " " << m << std::string(std::max<int>(1, col_w - 1 -
+                                                static_cast<int>(m.size())),
+                                  ' ');
+  }
+  os << "\n";
+
+  // Best value per column (max).
+  std::vector<double> best(metrics_.size(), -1e300);
+  for (const MethodMetrics& row : rows_) {
+    for (size_t c = 0; c < metrics_.size(); ++c) {
+      best[c] = std::max(best[c], row.Mean(metrics_[c]));
+    }
+  }
+
+  for (const MethodMetrics& row : rows_) {
+    char name_buf[64];
+    std::snprintf(name_buf, sizeof(name_buf), "%-*s", name_w,
+                  row.name.c_str());
+    os << name_buf;
+    for (size_t c = 0; c < metrics_.size(); ++c) {
+      const double v = row.Mean(metrics_[c]);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %8.4f%c", v,
+                    v >= best[c] - 1e-12 ? '*' : ' ');
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+double ResultTable::ImprovementPercent(const std::string& a,
+                                       const std::string& b,
+                                       const std::string& metric) const {
+  const MethodMetrics* ma = nullptr;
+  const MethodMetrics* mb = nullptr;
+  for (const MethodMetrics& row : rows_) {
+    if (row.name == a) ma = &row;
+    if (row.name == b) mb = &row;
+  }
+  assert(ma && mb);
+  const double vb = mb->Mean(metric);
+  if (vb == 0.0) return 0.0;
+  return 100.0 * (ma->Mean(metric) - vb) / vb;
+}
+
+}  // namespace rapid::eval

@@ -1,0 +1,39 @@
+#ifndef RAPID_EVAL_TABLE_H_
+#define RAPID_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/pipeline.h"
+
+namespace rapid::eval {
+
+/// Plain-text table formatter mirroring the paper's result tables: one row
+/// per method, one column per metric.
+class ResultTable {
+ public:
+  /// `metrics` defines the column order (e.g. {"click@5", "ndcg@5", ...}).
+  explicit ResultTable(std::vector<std::string> metrics);
+
+  /// Appends a method row.
+  void AddRow(const MethodMetrics& m);
+
+  /// Renders with aligned columns; the best value per column is starred.
+  /// `title` is printed above the header.
+  std::string Render(const std::string& title) const;
+
+  /// Relative improvement (%) of method `a` over method `b` on `metric`
+  /// (the paper's "impv%" row). Rows must have been added already.
+  double ImprovementPercent(const std::string& a, const std::string& b,
+                            const std::string& metric) const;
+
+  const std::vector<MethodMetrics>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> metrics_;
+  std::vector<MethodMetrics> rows_;
+};
+
+}  // namespace rapid::eval
+
+#endif  // RAPID_EVAL_TABLE_H_

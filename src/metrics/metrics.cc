@@ -1,0 +1,219 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rapid::metrics {
+
+float ClickAtK(const std::vector<int>& clicks, int k) {
+  const int n = std::min<int>(k, static_cast<int>(clicks.size()));
+  int total = 0;
+  for (int i = 0; i < n; ++i) total += clicks[i];
+  return static_cast<float>(total);
+}
+
+float NdcgAtK(const std::vector<int>& clicks, int k) {
+  const int n = std::min<int>(k, static_cast<int>(clicks.size()));
+  double dcg = 0.0;
+  int num_clicks = 0;
+  for (int i = 0; i < n; ++i) {
+    if (clicks[i]) {
+      dcg += 1.0 / std::log2(i + 2.0);
+      ++num_clicks;
+    }
+  }
+  if (num_clicks == 0) return 0.0f;
+  double idcg = 0.0;
+  for (int i = 0; i < num_clicks; ++i) idcg += 1.0 / std::log2(i + 2.0);
+  return static_cast<float>(dcg / idcg);
+}
+
+float DivAtK(const data::Dataset& data, const std::vector<int>& items,
+             int k) {
+  float total = 0.0f;
+  for (int j = 0; j < data.num_topics; ++j) {
+    total += data::TopicCoverage(data, items, j, k);
+  }
+  return total;
+}
+
+float RevAtK(const data::Dataset& data, const std::vector<int>& items,
+             const std::vector<int>& clicks, int k) {
+  const int n = std::min<int>(
+      k, static_cast<int>(std::min(items.size(), clicks.size())));
+  float total = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    if (clicks[i]) total += data.item(items[i]).bid;
+  }
+  return total;
+}
+
+namespace {
+
+float CoverageCosineOf(const data::Item& a, const data::Item& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t j = 0; j < a.topic_coverage.size(); ++j) {
+    dot += a.topic_coverage[j] * b.topic_coverage[j];
+    na += a.topic_coverage[j] * a.topic_coverage[j];
+    nb += b.topic_coverage[j] * b.topic_coverage[j];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0f;
+  return static_cast<float>(dot / std::sqrt(na * nb));
+}
+
+// Redundancy-penalized DCG of an ordering (alpha-DCG numerator).
+double AlphaDcg(const data::Dataset& data, const std::vector<int>& order,
+                int k, float alpha) {
+  const int n = std::min<int>(k, static_cast<int>(order.size()));
+  std::vector<double> seen(data.num_topics, 0.0);  // Cover counts.
+  double dcg = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto& tau = data.item(order[i]).topic_coverage;
+    double gain = 0.0;
+    for (int j = 0; j < data.num_topics; ++j) {
+      gain += tau[j] * std::pow(1.0 - alpha, seen[j]);
+      seen[j] += tau[j];
+    }
+    dcg += gain / std::log2(i + 2.0);
+  }
+  return dcg;
+}
+
+}  // namespace
+
+float IldAtK(const data::Dataset& data, const std::vector<int>& items,
+             int k) {
+  const int n = std::min<int>(k, static_cast<int>(items.size()));
+  if (n < 2) return 0.0f;
+  double total = 0.0;
+  int pairs = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      total += 1.0 - CoverageCosineOf(data.item(items[i]),
+                                      data.item(items[j]));
+      ++pairs;
+    }
+  }
+  return static_cast<float>(total / pairs);
+}
+
+float AlphaNdcgAtK(const data::Dataset& data, const std::vector<int>& items,
+                   int k, float alpha) {
+  const int n = std::min<int>(k, static_cast<int>(items.size()));
+  if (n == 0) return 0.0f;
+  const double dcg = AlphaDcg(data, items, n, alpha);
+
+  // Greedy ideal ordering of the same item set.
+  std::vector<int> rest(items.begin(), items.begin() + n);
+  std::vector<int> ideal;
+  std::vector<double> seen(data.num_topics, 0.0);
+  while (!rest.empty()) {
+    int best = -1;
+    double best_gain = -1.0;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      const auto& tau = data.item(rest[i]).topic_coverage;
+      double gain = 0.0;
+      for (int j = 0; j < data.num_topics; ++j) {
+        gain += tau[j] * std::pow(1.0 - alpha, seen[j]);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(i);
+      }
+    }
+    const auto& tau = data.item(rest[best]).topic_coverage;
+    for (int j = 0; j < data.num_topics; ++j) seen[j] += tau[j];
+    ideal.push_back(rest[best]);
+    rest.erase(rest.begin() + best);
+  }
+  const double idcg = AlphaDcg(data, ideal, n, alpha);
+  return idcg > 0.0 ? static_cast<float>(dcg / idcg) : 0.0f;
+}
+
+Summary Summarize(const std::vector<float>& values) {
+  Summary s;
+  s.n = static_cast<int>(values.size());
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (float v : values) sum += v;
+  s.mean = sum / s.n;
+  double ss = 0.0;
+  for (float v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(ss / (s.n - 1)) : 0.0;
+  return s;
+}
+
+namespace {
+
+// Regularized incomplete beta function I_x(a, b) by Lentz's continued
+// fraction (Numerical Recipes style).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b, qap = a + 1.0, qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front =
+      std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+}  // namespace
+
+double StudentTCdf(double t, double df) {
+  const double x = df / (df + t * t);
+  const double p = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+double PairedTTestPValue(const std::vector<float>& a,
+                         const std::vector<float>& b) {
+  assert(a.size() == b.size());
+  const int n = static_cast<int>(a.size());
+  assert(n >= 2);
+  std::vector<float> diff(n);
+  for (int i = 0; i < n; ++i) diff[i] = a[i] - b[i];
+  Summary s = Summarize(diff);
+  if (s.stddev == 0.0) return s.mean == 0.0 ? 1.0 : 0.0;
+  const double t = s.mean / (s.stddev / std::sqrt(static_cast<double>(n)));
+  const double df = n - 1;
+  // Two-sided.
+  return 2.0 * (1.0 - StudentTCdf(std::fabs(t), df));
+}
+
+}  // namespace rapid::metrics

@@ -1,0 +1,61 @@
+#ifndef RAPID_METRICS_METRICS_H_
+#define RAPID_METRICS_METRICS_H_
+
+#include <vector>
+
+#include "datagen/types.h"
+
+namespace rapid::metrics {
+
+/// Total clicks in the top-k prefix (paper's `click@k` per request).
+float ClickAtK(const std::vector<int>& clicks, int k);
+
+/// Normalized discounted cumulative gain at k with the click labels as
+/// gains: DCG over the displayed order divided by the DCG of the ideal
+/// (clicks-first) order. Lists with no clicks in the top-k score 0.
+float NdcgAtK(const std::vector<int>& clicks, int k);
+
+/// Expected number of covered topics of the top-k items:
+/// `sum_j c_j(S_{1:k})` with the probabilistic coverage of Eq.(4).
+float DivAtK(const data::Dataset& data, const std::vector<int>& items, int k);
+
+/// Revenue at k: sum of bid prices of clicked items in the top-k prefix
+/// (the App Store platform objective).
+float RevAtK(const data::Dataset& data, const std::vector<int>& items,
+             const std::vector<int>& clicks, int k);
+
+/// Intra-list distance at k: mean pairwise (1 - cosine) dissimilarity of
+/// the top-k items' topic-coverage vectors. A standard complementary
+/// diversity metric (Ziegler et al. 2005); 0 for k < 2.
+float IldAtK(const data::Dataset& data, const std::vector<int>& items,
+             int k);
+
+/// alpha-NDCG at k (Clarke et al. 2008): redundancy-penalized DCG where
+/// the gain of covering topic j a (c+1)-th time is `tau^j (1-alpha)^c`,
+/// normalized by the greedy-ideal ordering of the same items.
+/// Rewards rankings that cover many topics early.
+float AlphaNdcgAtK(const data::Dataset& data, const std::vector<int>& items,
+                   int k, float alpha = 0.5f);
+
+/// Mean / standard deviation / count of a sample.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int n = 0;
+};
+
+Summary Summarize(const std::vector<float>& values);
+
+/// Two-sided paired t-test p-value for H0: mean(a - b) == 0.
+/// `a` and `b` must be the same length (>= 2). Returns 1.0 when the
+/// difference is identically zero.
+double PairedTTestPValue(const std::vector<float>& a,
+                         const std::vector<float>& b);
+
+/// CDF of Student's t distribution with `df` degrees of freedom (via the
+/// regularized incomplete beta function). Exposed for tests.
+double StudentTCdf(double t, double df);
+
+}  // namespace rapid::metrics
+
+#endif  // RAPID_METRICS_METRICS_H_

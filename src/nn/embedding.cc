@@ -1,0 +1,38 @@
+#include "nn/embedding.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace rapid::nn {
+
+Embedding::Embedding(int vocab, int dim, std::mt19937_64& rng)
+    : table_(Variable::Parameter(
+          Matrix::Randn(vocab, dim, 1.0f / std::sqrt(static_cast<float>(dim)),
+                        rng))) {}
+
+Variable Embedding::Lookup(const std::vector<int>& ids) const {
+  const int dim = table_.cols();
+  Matrix out(static_cast<int>(ids.size()), dim);
+  for (size_t r = 0; r < ids.size(); ++r) {
+    assert(ids[r] >= 0 && ids[r] < table_.rows());
+    const float* src = table_.value().row(ids[r]);
+    float* dst = out.row(static_cast<int>(r));
+    for (int c = 0; c < dim; ++c) dst[c] = src[c];
+  }
+  auto ids_copy = std::make_shared<std::vector<int>>(ids);
+  return Variable::FromOp(
+      std::move(out), {table_}, [ids_copy](internal::Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        Matrix& tg = n.parents[0]->grad;
+        for (size_t r = 0; r < ids_copy->size(); ++r) {
+          const float* g = n.grad.row(static_cast<int>(r));
+          float* dst = tg.row((*ids_copy)[r]);
+          for (int c = 0; c < n.grad.cols(); ++c) dst[c] += g[c];
+        }
+      });
+}
+
+Variable Embedding::LookupOne(int id) const { return Lookup({id}); }
+
+}  // namespace rapid::nn

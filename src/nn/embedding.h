@@ -1,0 +1,38 @@
+#ifndef RAPID_NN_EMBEDDING_H_
+#define RAPID_NN_EMBEDDING_H_
+
+#include <random>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace rapid::nn {
+
+/// A learned embedding table: maps integer ids in `[0, vocab)` to
+/// `dim`-dimensional trainable rows.
+///
+/// `Lookup` returns a `(ids.size() x dim)` variable whose backward pass
+/// scatters gradients into only the referenced rows, so training with
+/// small batches touches a sparse subset of the table.
+class Embedding : public Module {
+ public:
+  Embedding(int vocab, int dim, std::mt19937_64& rng);
+
+  /// Gathers the rows for `ids`; every id must be in `[0, vocab)`.
+  Variable Lookup(const std::vector<int>& ids) const;
+
+  /// Single-id convenience: a `(1 x dim)` row.
+  Variable LookupOne(int id) const;
+
+  std::vector<Variable> Params() const override { return {table_}; }
+  int vocab() const { return table_.rows(); }
+  int dim() const { return table_.cols(); }
+
+ private:
+  Variable table_;  // (vocab x dim) parameter
+};
+
+}  // namespace rapid::nn
+
+#endif  // RAPID_NN_EMBEDDING_H_

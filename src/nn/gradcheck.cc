@@ -1,0 +1,54 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rapid::nn {
+
+GradCheckResult CheckGradients(const std::function<Variable()>& loss_fn,
+                               const std::vector<Variable>& params,
+                               float eps, int max_entries_per_param) {
+  GradCheckResult result;
+
+  // One analytic pass.
+  for (Variable p : params) p.ZeroGrad();
+  Variable loss = loss_fn();
+  loss.Backward();
+  std::vector<Matrix> analytic;
+  analytic.reserve(params.size());
+  float gmax = 0.0f;
+  for (const Variable& p : params) {
+    analytic.push_back(p.grad());
+    gmax = std::max(gmax, p.grad().MaxAbs());
+  }
+  // Entries whose gradient is tiny relative to the largest gradient are
+  // roundoff-dominated in float32; floor the denominator accordingly.
+  const float floor = std::max(1e-4f, 0.05f * gmax);
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Variable p = params[pi];
+    Matrix& w = p.mutable_value();
+    const int n = std::min(w.size(), max_entries_per_param);
+    // Spread the checked entries across the whole parameter.
+    const int stride = std::max(1, w.size() / std::max(n, 1));
+    int checked_here = 0;
+    for (int j = 0; j < w.size() && checked_here < n; j += stride) {
+      const float orig = w.data()[j];
+      w.data()[j] = orig + eps;
+      const float lp = loss_fn().value().at(0, 0);
+      w.data()[j] = orig - eps;
+      const float lm = loss_fn().value().at(0, 0);
+      w.data()[j] = orig;
+      const float numeric = (lp - lm) / (2.0f * eps);
+      const float a = analytic[pi].data()[j];
+      const float denom = std::max({std::fabs(a), std::fabs(numeric), floor});
+      result.max_rel_error =
+          std::max(result.max_rel_error, std::fabs(a - numeric) / denom);
+      ++result.checked;
+      ++checked_here;
+    }
+  }
+  return result;
+}
+
+}  // namespace rapid::nn

@@ -1,0 +1,36 @@
+#ifndef RAPID_NN_GRADCHECK_H_
+#define RAPID_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace rapid::nn {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  /// Maximum relative error across all checked parameter entries.
+  float max_rel_error = 0.0f;
+  /// Number of scalar entries checked.
+  int checked = 0;
+  /// The default tolerance reflects float32 central-difference roundoff on
+  /// deep composite functions (LSTM stacks, attention blocks): genuine
+  /// gradient bugs show up as O(1) relative error, numeric noise as <=5e-2.
+  bool ok(float tol = 6e-2f) const { return max_rel_error <= tol; }
+};
+
+/// Verifies the analytic gradients of `loss_fn` against central finite
+/// differences with step `eps`, over all entries of `params` (capped at
+/// `max_entries_per_param` entries per parameter to keep checks fast).
+///
+/// `loss_fn` must rebuild the graph and return the scalar loss each call
+/// (define-by-run), reading the current values of `params`.
+GradCheckResult CheckGradients(const std::function<Variable()>& loss_fn,
+                               const std::vector<Variable>& params,
+                               float eps = 2e-3f,
+                               int max_entries_per_param = 24);
+
+}  // namespace rapid::nn
+
+#endif  // RAPID_NN_GRADCHECK_H_

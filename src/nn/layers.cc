@@ -1,0 +1,262 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rapid::nn {
+
+namespace {
+
+// Xavier/Glorot uniform initialization.
+Matrix XavierUniform(int in_dim, int out_dim, std::mt19937_64& rng) {
+  const float limit = std::sqrt(6.0f / (in_dim + out_dim));
+  return Matrix::Uniform(in_dim, out_dim, -limit, limit, rng);
+}
+
+}  // namespace
+
+Variable Activate(const Variable& x, Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+  }
+  return x;
+}
+
+int Module::NumParams() const {
+  int n = 0;
+  for (const Variable& p : Params()) n += p.value().size();
+  return n;
+}
+
+Linear::Linear(int in_dim, int out_dim, std::mt19937_64& rng, Activation act)
+    : w_(Variable::Parameter(XavierUniform(in_dim, out_dim, rng))),
+      b_(Variable::Parameter(Matrix(1, out_dim))),
+      act_(act) {}
+
+Variable Linear::Forward(const Variable& x) const {
+  return Activate(AddRowBroadcast(MatMul(x, w_), b_), act_);
+}
+
+Mlp::Mlp(const std::vector<int>& dims, std::mt19937_64& rng,
+         Activation hidden_act, Activation output_act) {
+  assert(dims.size() >= 2);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = (i + 2 == dims.size());
+    layers_.emplace_back(dims[i], dims[i + 1], rng,
+                         last ? output_act : hidden_act);
+  }
+}
+
+Variable Mlp::Forward(const Variable& x) const {
+  Variable h = x;
+  for (const Linear& l : layers_) h = l.Forward(h);
+  return h;
+}
+
+std::vector<Variable> Mlp::Params() const {
+  std::vector<Variable> out;
+  for (const Linear& l : layers_) {
+    for (const Variable& p : l.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+LstmCell::LstmCell(int in_dim, int hidden_dim, std::mt19937_64& rng)
+    : hidden_dim_(hidden_dim),
+      wx_(Variable::Parameter(XavierUniform(in_dim, 4 * hidden_dim, rng))),
+      wh_(Variable::Parameter(XavierUniform(hidden_dim, 4 * hidden_dim, rng))),
+      b_(Variable::Parameter(Matrix(1, 4 * hidden_dim))) {
+  // Initialize the forget-gate bias to 1 (standard trick for gradient flow).
+  for (int c = hidden_dim; c < 2 * hidden_dim; ++c) {
+    b_.mutable_value().at(0, c) = 1.0f;
+  }
+}
+
+std::pair<Variable, Variable> LstmCell::Forward(const Variable& x,
+                                                const Variable& h,
+                                                const Variable& c) const {
+  const int hd = hidden_dim_;
+  Variable gates =
+      AddRowBroadcast(Add(MatMul(x, wx_), MatMul(h, wh_)), b_);
+  Variable i = Sigmoid(SliceCols(gates, 0, hd));
+  Variable f = Sigmoid(SliceCols(gates, hd, hd));
+  Variable g = Tanh(SliceCols(gates, 2 * hd, hd));
+  Variable o = Sigmoid(SliceCols(gates, 3 * hd, hd));
+  Variable c_new = Add(Mul(f, c), Mul(i, g));
+  Variable h_new = Mul(o, Tanh(c_new));
+  return {h_new, c_new};
+}
+
+GruCell::GruCell(int in_dim, int hidden_dim, std::mt19937_64& rng)
+    : hidden_dim_(hidden_dim),
+      wx_zr_(Variable::Parameter(XavierUniform(in_dim, 2 * hidden_dim, rng))),
+      wh_zr_(
+          Variable::Parameter(XavierUniform(hidden_dim, 2 * hidden_dim, rng))),
+      b_zr_(Variable::Parameter(Matrix(1, 2 * hidden_dim))),
+      wx_n_(Variable::Parameter(XavierUniform(in_dim, hidden_dim, rng))),
+      wh_n_(Variable::Parameter(XavierUniform(hidden_dim, hidden_dim, rng))),
+      b_n_(Variable::Parameter(Matrix(1, hidden_dim))) {}
+
+Variable GruCell::Forward(const Variable& x, const Variable& h) const {
+  const int hd = hidden_dim_;
+  Variable zr =
+      Sigmoid(AddRowBroadcast(Add(MatMul(x, wx_zr_), MatMul(h, wh_zr_)), b_zr_));
+  Variable z = SliceCols(zr, 0, hd);
+  Variable r = SliceCols(zr, hd, hd);
+  Variable n = Tanh(AddRowBroadcast(
+      Add(MatMul(x, wx_n_), Mul(r, MatMul(h, wh_n_))), b_n_));
+  // h' = (1 - z) ⊙ n + z ⊙ h.
+  Variable one_minus_z = AddScalar(Scale(z, -1.0f), 1.0f);
+  return Add(Mul(one_minus_z, n), Mul(z, h));
+}
+
+Lstm::Lstm(int in_dim, int hidden_dim, std::mt19937_64& rng)
+    : cell_(in_dim, hidden_dim, rng) {}
+
+std::vector<Variable> Lstm::Forward(const std::vector<Variable>& inputs,
+                                    const std::vector<Variable>& masks) const {
+  assert(!inputs.empty());
+  assert(masks.empty() || masks.size() == inputs.size());
+  const int batch = inputs[0].rows();
+  Variable h = Variable::Constant(Matrix(batch, cell_.hidden_dim()));
+  Variable c = Variable::Constant(Matrix(batch, cell_.hidden_dim()));
+  std::vector<Variable> states;
+  states.reserve(inputs.size());
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    auto [h_new, c_new] = cell_.Forward(inputs[t], h, c);
+    if (!masks.empty()) {
+      // Masked rows keep the previous state: s = m*s_new + (1-m)*s_old.
+      const Variable& m = masks[t];
+      Variable inv_m = AddScalar(Scale(m, -1.0f), 1.0f);
+      h_new = Add(MulColBroadcast(h_new, m), MulColBroadcast(h, inv_m));
+      c_new = Add(MulColBroadcast(c_new, m), MulColBroadcast(c, inv_m));
+    }
+    h = h_new;
+    c = c_new;
+    states.push_back(h);
+  }
+  return states;
+}
+
+Variable Lstm::ForwardLast(const std::vector<Variable>& inputs,
+                           const std::vector<Variable>& masks) const {
+  return Forward(inputs, masks).back();
+}
+
+BiLstm::BiLstm(int in_dim, int hidden_dim, std::mt19937_64& rng)
+    : fwd_(in_dim, hidden_dim, rng), bwd_(in_dim, hidden_dim, rng) {}
+
+std::vector<Variable> BiLstm::Forward(
+    const std::vector<Variable>& inputs) const {
+  std::vector<Variable> fwd_states = fwd_.Forward(inputs);
+  std::vector<Variable> reversed(inputs.rbegin(), inputs.rend());
+  std::vector<Variable> bwd_states = bwd_.Forward(reversed);
+  std::vector<Variable> out;
+  out.reserve(inputs.size());
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    out.push_back(ConcatCols(
+        {fwd_states[t], bwd_states[inputs.size() - 1 - t]}));
+  }
+  return out;
+}
+
+std::vector<Variable> BiLstm::Params() const {
+  std::vector<Variable> out = fwd_.Params();
+  for (const Variable& p : bwd_.Params()) out.push_back(p);
+  return out;
+}
+
+Variable UnprojectedSelfAttention(const Variable& v) {
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(v.cols()));
+  Variable scores = Scale(MatMul(v, Transpose(v)), inv_sqrt_d);
+  return MatMul(SoftmaxRows(scores), v);
+}
+
+MultiHeadAttention::MultiHeadAttention(int dim, int num_heads,
+                                       std::mt19937_64& rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng) {
+  assert(dim % num_heads == 0);
+}
+
+Variable MultiHeadAttention::Forward(const Variable& x) const {
+  assert(x.cols() == dim_);
+  Variable q = wq_.Forward(x);
+  Variable k = wk_.Forward(x);
+  Variable v = wv_.Forward(x);
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Variable> heads;
+  heads.reserve(num_heads_);
+  for (int hidx = 0; hidx < num_heads_; ++hidx) {
+    Variable qh = SliceCols(q, hidx * head_dim_, head_dim_);
+    Variable kh = SliceCols(k, hidx * head_dim_, head_dim_);
+    Variable vh = SliceCols(v, hidx * head_dim_, head_dim_);
+    Variable attn = SoftmaxRows(Scale(MatMul(qh, Transpose(kh)), inv_sqrt_d));
+    heads.push_back(MatMul(attn, vh));
+  }
+  return wo_.Forward(ConcatCols(heads));
+}
+
+std::vector<Variable> MultiHeadAttention::Params() const {
+  std::vector<Variable> out;
+  for (const Linear* l : {&wq_, &wk_, &wv_, &wo_}) {
+    for (const Variable& p : l->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int dim, int num_heads,
+                                                 int ffn_dim,
+                                                 std::mt19937_64& rng)
+    : mha_(dim, num_heads, rng),
+      ffn1_(dim, ffn_dim, rng, Activation::kRelu),
+      ffn2_(ffn_dim, dim, rng),
+      ln1_gamma_(Variable::Parameter(Matrix::Constant(1, dim, 1.0f))),
+      ln1_beta_(Variable::Parameter(Matrix(1, dim))),
+      ln2_gamma_(Variable::Parameter(Matrix::Constant(1, dim, 1.0f))),
+      ln2_beta_(Variable::Parameter(Matrix(1, dim))) {}
+
+Variable TransformerEncoderLayer::Forward(const Variable& x) const {
+  Variable h = Add(x, mha_.Forward(LayerNorm(x, ln1_gamma_, ln1_beta_)));
+  Variable h2 =
+      Add(h, ffn2_.Forward(ffn1_.Forward(LayerNorm(h, ln2_gamma_, ln2_beta_))));
+  return h2;
+}
+
+std::vector<Variable> TransformerEncoderLayer::Params() const {
+  std::vector<Variable> out = mha_.Params();
+  for (const Variable& p : ffn1_.Params()) out.push_back(p);
+  for (const Variable& p : ffn2_.Params()) out.push_back(p);
+  out.push_back(ln1_gamma_);
+  out.push_back(ln1_beta_);
+  out.push_back(ln2_gamma_);
+  out.push_back(ln2_beta_);
+  return out;
+}
+
+Matrix SinusoidalPositionalEncoding(int length, int dim) {
+  Matrix pe(length, dim);
+  for (int pos = 0; pos < length; ++pos) {
+    for (int i = 0; i < dim; ++i) {
+      const double angle =
+          pos / std::pow(10000.0, 2.0 * (i / 2) / static_cast<double>(dim));
+      pe.at(pos, i) = static_cast<float>(i % 2 == 0 ? std::sin(angle)
+                                                    : std::cos(angle));
+    }
+  }
+  return pe;
+}
+
+}  // namespace rapid::nn

@@ -1,0 +1,190 @@
+#ifndef RAPID_NN_LAYERS_H_
+#define RAPID_NN_LAYERS_H_
+
+#include <memory>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "nn/ops.h"
+#include "nn/variable.h"
+
+namespace rapid::nn {
+
+/// Elementwise nonlinearity selector for `Linear` / `Mlp`.
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid };
+
+/// Applies the selected activation to `x`.
+Variable Activate(const Variable& x, Activation act);
+
+/// Base class for trainable components: anything that owns parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+  /// All trainable parameters of this module (recursively).
+  virtual std::vector<Variable> Params() const = 0;
+  /// Total scalar parameter count.
+  int NumParams() const;
+};
+
+/// Fully connected layer `y = act(x W + b)` with `x: (batch x in)`.
+class Linear : public Module {
+ public:
+  /// Xavier-uniform initialization of `W: (in x out)`, zero bias.
+  Linear(int in_dim, int out_dim, std::mt19937_64& rng,
+         Activation act = Activation::kIdentity);
+
+  Variable Forward(const Variable& x) const;
+  std::vector<Variable> Params() const override { return {w_, b_}; }
+
+  int in_dim() const { return w_.rows(); }
+  int out_dim() const { return w_.cols(); }
+  const Variable& weight() const { return w_; }
+  const Variable& bias() const { return b_; }
+
+ private:
+  Variable w_;
+  Variable b_;
+  Activation act_;
+};
+
+/// Multi-layer perceptron. `dims = {in, h1, ..., out}`; hidden layers use
+/// `hidden_act`, the final layer uses `output_act`.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int>& dims, std::mt19937_64& rng,
+      Activation hidden_act = Activation::kRelu,
+      Activation output_act = Activation::kIdentity);
+
+  Variable Forward(const Variable& x) const;
+  std::vector<Variable> Params() const override;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+/// A single LSTM cell (Hochreiter & Schmidhuber, 1997) with fused gate
+/// weights in i, f, g, o order.
+class LstmCell : public Module {
+ public:
+  LstmCell(int in_dim, int hidden_dim, std::mt19937_64& rng);
+
+  /// One step. `x: (batch x in)`, `h`/`c`: `(batch x hidden)`.
+  /// Returns the new `(h, c)`.
+  std::pair<Variable, Variable> Forward(const Variable& x, const Variable& h,
+                                        const Variable& c) const;
+
+  std::vector<Variable> Params() const override { return {wx_, wh_, b_}; }
+  int hidden_dim() const { return hidden_dim_; }
+  int in_dim() const { return wx_.rows(); }
+
+ private:
+  int hidden_dim_;
+  Variable wx_;  // (in x 4h)
+  Variable wh_;  // (h x 4h)
+  Variable b_;   // (1 x 4h)
+};
+
+/// A single GRU cell (used by the DLCM baseline) with fused z, r gates and a
+/// separate candidate path.
+class GruCell : public Module {
+ public:
+  GruCell(int in_dim, int hidden_dim, std::mt19937_64& rng);
+
+  /// One step. Returns the new hidden state.
+  Variable Forward(const Variable& x, const Variable& h) const;
+
+  std::vector<Variable> Params() const override {
+    return {wx_zr_, wh_zr_, b_zr_, wx_n_, wh_n_, b_n_};
+  }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int hidden_dim_;
+  Variable wx_zr_, wh_zr_, b_zr_;  // fused z,r gates
+  Variable wx_n_, wh_n_, b_n_;     // candidate
+};
+
+/// Unidirectional LSTM over a timestep-major sequence of `(batch x in)`
+/// inputs. Supports optional per-step `(batch x 1)` masks: masked-out rows
+/// carry their previous state through the step (left/right padding safe).
+class Lstm : public Module {
+ public:
+  Lstm(int in_dim, int hidden_dim, std::mt19937_64& rng);
+
+  /// Runs the sequence; returns one `(batch x hidden)` state per step.
+  /// `masks` is empty (no masking) or one `(batch x 1)` 0/1 matrix per step.
+  std::vector<Variable> Forward(const std::vector<Variable>& inputs,
+                                const std::vector<Variable>& masks = {}) const;
+
+  /// Runs the sequence and returns only the final state.
+  Variable ForwardLast(const std::vector<Variable>& inputs,
+                       const std::vector<Variable>& masks = {}) const;
+
+  std::vector<Variable> Params() const override { return cell_.Params(); }
+  int hidden_dim() const { return cell_.hidden_dim(); }
+
+ private:
+  LstmCell cell_;
+};
+
+/// Bidirectional LSTM: concatenates forward and backward per-step states
+/// into `(batch x 2*hidden)` outputs.
+class BiLstm : public Module {
+ public:
+  BiLstm(int in_dim, int hidden_dim, std::mt19937_64& rng);
+
+  std::vector<Variable> Forward(const std::vector<Variable>& inputs) const;
+
+  std::vector<Variable> Params() const override;
+  int hidden_dim() const { return fwd_.hidden_dim(); }
+
+ private:
+  Lstm fwd_;
+  Lstm bwd_;
+};
+
+/// Parameter-free scaled dot-product self-attention over the rows of `v`:
+/// `softmax(v v^T / sqrt(d)) v`. This is Eq.(2) of the RAPID paper.
+Variable UnprojectedSelfAttention(const Variable& v);
+
+/// Multi-head self-attention with learned Q/K/V/O projections over the rows
+/// of an `(L x d)` input (one list at a time).
+class MultiHeadAttention : public Module {
+ public:
+  /// `dim` must be divisible by `num_heads`.
+  MultiHeadAttention(int dim, int num_heads, std::mt19937_64& rng);
+
+  Variable Forward(const Variable& x) const;
+  std::vector<Variable> Params() const override;
+
+ private:
+  int dim_;
+  int num_heads_;
+  int head_dim_;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+/// Pre-LN transformer encoder block: MHA + position-wise FFN with residual
+/// connections and layer normalization (used by PRM / SetRank / RAPID-trans).
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int dim, int num_heads, int ffn_dim,
+                          std::mt19937_64& rng);
+
+  Variable Forward(const Variable& x) const;
+  std::vector<Variable> Params() const override;
+
+ private:
+  MultiHeadAttention mha_;
+  Linear ffn1_, ffn2_;
+  Variable ln1_gamma_, ln1_beta_, ln2_gamma_, ln2_beta_;
+};
+
+/// Returns the sinusoidal positional-encoding matrix `(length x dim)`
+/// (Vaswani et al., 2017).
+Matrix SinusoidalPositionalEncoding(int length, int dim);
+
+}  // namespace rapid::nn
+
+#endif  // RAPID_NN_LAYERS_H_

@@ -1,0 +1,225 @@
+#include "nn/matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace rapid::nn {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, 0.0f) {
+  assert(rows >= 0 && cols >= 0);
+}
+
+Matrix::Matrix(int rows, int cols, std::vector<float> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  assert(static_cast<size_t>(rows) * cols == data_.size());
+}
+
+void Matrix::Fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+Matrix Matrix::Constant(int rows, int cols, float v) {
+  Matrix m(rows, cols);
+  m.Fill(v);
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::Randn(int rows, int cols, float stddev, std::mt19937_64& rng) {
+  Matrix m(rows, cols);
+  std::normal_distribution<float> dist(0.0f, stddev);
+  for (int i = 0; i < m.size(); ++i) m.data()[i] = dist(rng);
+  return m;
+}
+
+Matrix Matrix::Uniform(int rows, int cols, float lo, float hi,
+                       std::mt19937_64& rng) {
+  Matrix m(rows, cols);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (int i = 0; i < m.size(); ++i) m.data()[i] = dist(rng);
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<float>& values) {
+  return Matrix(1, static_cast<int>(values.size()), values);
+}
+
+Matrix Matrix::ColVector(const std::vector<float>& values) {
+  return Matrix(static_cast<int>(values.size()), 1, values);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+float Matrix::Sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+float Matrix::Mean() const { return empty() ? 0.0f : Sum() / size(); }
+
+float Matrix::MaxAbs() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+float Matrix::Norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+bool Matrix::Equals(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         data_ == other.data_;
+}
+
+bool Matrix::AllClose(const Matrix& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (int i = 0; i < size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")[";
+  const int max_show = 8;
+  for (int i = 0; i < std::min(size(), max_show); ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (size() > max_show) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+namespace {
+
+// Core matmul kernel: out(+)= a * b with the i-k-j loop order so the inner
+// loop streams over contiguous rows of `b` and `out`.
+void MatMulKernel(const Matrix& a, const Matrix& b, Matrix* out,
+                  bool accumulate) {
+  assert(a.cols() == b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  if (!accumulate || out->rows() != m || out->cols() != n) {
+    assert(!accumulate || out->empty());
+    *out = Matrix(m, n);
+  }
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(kk);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  MatMulKernel(a, b, out, /*accumulate=*/false);
+}
+
+void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* out) {
+  assert(out->rows() == a.rows() && out->cols() == b.cols());
+  MatMulKernel(a, b, out, /*accumulate=*/true);
+}
+
+void MatMulTransAAcc(const Matrix& a, const Matrix& b, Matrix* out) {
+  // out(+)= a^T * b ; a is (k x m), b is (k x n), out is (m x n).
+  assert(a.rows() == b.rows());
+  assert(out->rows() == a.cols() && out->cols() == b.cols());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a.row(kk);
+    const float* brow = b.row(kk);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out->row(i);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransBAcc(const Matrix& a, const Matrix& b, Matrix* out) {
+  // out(+)= a * b^T ; a is (m x k), b is (n x k), out is (m x n).
+  assert(a.cols() == b.cols());
+  assert(out->rows() == a.rows() && out->cols() == b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      double s = 0.0;
+      for (int kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      orow[j] += static_cast<float>(s);
+    }
+  }
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out = a;
+  AddInPlace(&out, b);
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out = a;
+  for (int i = 0; i < out.size(); ++i) out.data()[i] -= b.data()[i];
+  return out;
+}
+
+Matrix Mul(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out = a;
+  for (int i = 0; i < out.size(); ++i) out.data()[i] *= b.data()[i];
+  return out;
+}
+
+void AddInPlace(Matrix* a, const Matrix& b) {
+  assert(a->rows() == b.rows() && a->cols() == b.cols());
+  for (int i = 0; i < a->size(); ++i) a->data()[i] += b.data()[i];
+}
+
+void AxpyInPlace(Matrix* a, float s, const Matrix& b) {
+  assert(a->rows() == b.rows() && a->cols() == b.cols());
+  for (int i = 0; i < a->size(); ++i) a->data()[i] += s * b.data()[i];
+}
+
+void ScaleInPlace(Matrix* a, float s) {
+  for (int i = 0; i < a->size(); ++i) a->data()[i] *= s;
+}
+
+void AddRowBroadcastInPlace(Matrix* a, const Matrix& bias) {
+  assert(bias.rows() == 1 && bias.cols() == a->cols());
+  for (int r = 0; r < a->rows(); ++r) {
+    float* arow = a->row(r);
+    for (int c = 0; c < a->cols(); ++c) arow[c] += bias.at(0, c);
+  }
+}
+
+}  // namespace rapid::nn

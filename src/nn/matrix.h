@@ -1,0 +1,133 @@
+#ifndef RAPID_NN_MATRIX_H_
+#define RAPID_NN_MATRIX_H_
+
+#include <cstddef>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace rapid::nn {
+
+/// A dense row-major 2-D matrix of single-precision floats.
+///
+/// `Matrix` is the storage type underneath the autograd layer. All neural
+/// computations in this library are expressed over 2-D matrices; batched
+/// sequence models iterate over timesteps with `(batch x feature)` slices so
+/// that the hot loops stay inside the matmul kernels below.
+class Matrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Creates a `rows x cols` matrix initialized to zero.
+  Matrix(int rows, int cols);
+
+  /// Creates a `rows x cols` matrix from a flat row-major buffer.
+  /// `values.size()` must equal `rows * cols`.
+  Matrix(int rows, int cols, std::vector<float> values);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// Number of rows.
+  int rows() const { return rows_; }
+  /// Number of columns.
+  int cols() const { return cols_; }
+  /// Total number of elements.
+  int size() const { return rows_ * cols_; }
+  /// True if the matrix holds no elements.
+  bool empty() const { return size() == 0; }
+
+  /// Mutable element access (no bounds checks in release builds).
+  float& at(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  /// Const element access.
+  float at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Raw row-major buffer.
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Pointer to the start of row `r`.
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  /// Sets every element to `v`.
+  void Fill(float v);
+  /// Sets every element to zero.
+  void SetZero() { Fill(0.0f); }
+
+  /// Returns a `rows x cols` matrix of zeros.
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+  /// Returns a `rows x cols` matrix with every element `v`.
+  static Matrix Constant(int rows, int cols, float v);
+  /// Returns the `n x n` identity.
+  static Matrix Identity(int n);
+  /// Returns a matrix with i.i.d. N(0, stddev^2) entries.
+  static Matrix Randn(int rows, int cols, float stddev, std::mt19937_64& rng);
+  /// Returns a matrix with i.i.d. Uniform(lo, hi) entries.
+  static Matrix Uniform(int rows, int cols, float lo, float hi,
+                        std::mt19937_64& rng);
+  /// Builds a `1 x values.size()` row vector.
+  static Matrix RowVector(const std::vector<float>& values);
+  /// Builds a `values.size() x 1` column vector.
+  static Matrix ColVector(const std::vector<float>& values);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Sum of all elements.
+  float Sum() const;
+  /// Mean of all elements.
+  float Mean() const;
+  /// Maximum absolute element; 0 for an empty matrix.
+  float MaxAbs() const;
+  /// Frobenius norm.
+  float Norm() const;
+
+  /// True if shapes and all elements match exactly.
+  bool Equals(const Matrix& other) const;
+  /// True if shapes match and elements differ by at most `tol`.
+  bool AllClose(const Matrix& other, float tol) const;
+
+  /// Human-readable rendering for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
+/// out += a * b (accumulating matmul).
+void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* out);
+/// out += a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
+void MatMulTransAAcc(const Matrix& a, const Matrix& b, Matrix* out);
+/// out += a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+void MatMulTransBAcc(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a + b, elementwise; shapes must match.
+Matrix Add(const Matrix& a, const Matrix& b);
+/// out = a - b, elementwise; shapes must match.
+Matrix Sub(const Matrix& a, const Matrix& b);
+/// out = a ⊙ b, elementwise; shapes must match.
+Matrix Mul(const Matrix& a, const Matrix& b);
+/// a += b, elementwise; shapes must match.
+void AddInPlace(Matrix* a, const Matrix& b);
+/// a += s * b, elementwise (axpy); shapes must match.
+void AxpyInPlace(Matrix* a, float s, const Matrix& b);
+/// a *= s.
+void ScaleInPlace(Matrix* a, float s);
+/// Adds the `1 x cols` row vector `bias` to every row of `a`.
+void AddRowBroadcastInPlace(Matrix* a, const Matrix& bias);
+
+}  // namespace rapid::nn
+
+#endif  // RAPID_NN_MATRIX_H_

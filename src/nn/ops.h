@@ -1,0 +1,123 @@
+#ifndef RAPID_NN_OPS_H_
+#define RAPID_NN_OPS_H_
+
+#include <random>
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace rapid::nn {
+
+/// Differentiable ops over `Variable`. Each function runs the forward
+/// computation eagerly and records a backward closure on the output node.
+///
+/// Shape conventions follow the library-wide `(batch x feature)` layout.
+
+/// Matrix product: `(m x k) * (k x n) -> (m x n)`.
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// Elementwise sum; shapes must match.
+Variable Add(const Variable& a, const Variable& b);
+
+/// Adds a `1 x cols` bias row to every row of `x`.
+Variable AddRowBroadcast(const Variable& x, const Variable& bias);
+
+/// Elementwise difference; shapes must match.
+Variable Sub(const Variable& a, const Variable& b);
+
+/// Elementwise (Hadamard) product; shapes must match.
+Variable Mul(const Variable& a, const Variable& b);
+
+/// Multiplies every element of row `r` of `x` by `s(r, 0)`.
+/// `s` must be `(x.rows() x 1)`. Used for per-row sequence masks.
+Variable MulColBroadcast(const Variable& x, const Variable& s);
+
+/// Multiplies every row of `x` elementwise by the `1 x cols` row vector `v`
+/// (e.g. weighting per-topic columns by a preference distribution).
+Variable MulRowBroadcast(const Variable& x, const Variable& v);
+
+/// Multiplies every element by the constant `s`.
+Variable Scale(const Variable& a, float s);
+
+/// Adds the constant `s` to every element.
+Variable AddScalar(const Variable& a, float s);
+
+/// Elementwise logistic sigmoid.
+Variable Sigmoid(const Variable& x);
+
+/// Elementwise hyperbolic tangent.
+Variable Tanh(const Variable& x);
+
+/// Elementwise rectified linear unit.
+Variable Relu(const Variable& x);
+
+/// Elementwise softplus `log(1 + e^x)` (numerically stable).
+Variable Softplus(const Variable& x);
+
+/// Elementwise square.
+Variable Square(const Variable& x);
+
+/// Elementwise natural exponential.
+Variable Exp(const Variable& x);
+
+/// Elementwise natural logarithm; inputs must be positive.
+Variable Log(const Variable& x);
+
+/// Row-wise softmax: each row of the output sums to 1.
+Variable SoftmaxRows(const Variable& x);
+
+/// Horizontal concatenation `[a_1, ..., a_n]`; all inputs share `rows`.
+Variable ConcatCols(const std::vector<Variable>& parts);
+
+/// Vertical concatenation (stacking); all inputs share `cols`.
+Variable ConcatRows(const std::vector<Variable>& parts);
+
+/// Column slice `[start, start+len)` of every row.
+Variable SliceCols(const Variable& x, int start, int len);
+
+/// Row slice `[start, start+len)`.
+Variable SliceRows(const Variable& x, int start, int len);
+
+/// Matrix transpose.
+Variable Transpose(const Variable& x);
+
+/// Reshapes `(r x c)` into a single `(1 x r*c)` row (row-major order).
+Variable FlattenToRow(const Variable& x);
+
+/// Sum of all elements, as a `1x1` variable.
+Variable SumAll(const Variable& x);
+
+/// Mean of all elements, as a `1x1` variable.
+Variable MeanAll(const Variable& x);
+
+/// Column-wise mean over rows: `(r x c) -> (1 x c)`.
+Variable MeanRows(const Variable& x);
+
+/// Row-wise sum over columns: `(r x c) -> (r x 1)`.
+Variable SumCols(const Variable& x);
+
+/// Inverted-dropout regularization. With probability `p` an element is
+/// zeroed, survivors are scaled by `1/(1-p)`. Identity when `!training`.
+Variable Dropout(const Variable& x, float p, bool training,
+                 std::mt19937_64& rng);
+
+/// Layer normalization over each row, followed by an affine map with the
+/// learned `1 x cols` `gamma` (scale) and `beta` (shift).
+Variable LayerNorm(const Variable& x, const Variable& gamma,
+                   const Variable& beta, float eps = 1e-5f);
+
+/// Numerically stable binary cross-entropy on logits.
+///
+/// `targets` (0/1) and `weights` (importance per element; use 1 to include,
+/// 0 to mask padding) are plain matrices, not differentiated through.
+/// Returns the weighted mean loss as a `1x1` variable; the mean divides by
+/// `sum(weights)` (or 1 if that is 0).
+Variable BceWithLogits(const Variable& logits, const Matrix& targets,
+                       const Matrix& weights);
+
+/// Mean squared error `mean((x - target)^2)` against a constant target.
+Variable MseLoss(const Variable& x, const Matrix& target);
+
+}  // namespace rapid::nn
+
+#endif  // RAPID_NN_OPS_H_

@@ -1,0 +1,93 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace rapid::nn {
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Variable& p : params_) {
+      velocity_.emplace_back(p.rows(), p.cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& w = params_[i].mutable_value();
+    const Matrix& g = params_[i].grad();
+    if (momentum_ != 0.0f) {
+      Matrix& vel = velocity_[i];
+      for (int j = 0; j < w.size(); ++j) {
+        vel.data()[j] = momentum_ * vel.data()[j] + g.data()[j];
+        w.data()[j] -= lr_ * vel.data()[j];
+      }
+    } else {
+      for (int j = 0; j < w.size(); ++j) w.data()[j] -= lr_ * g.data()[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.emplace_back(p.rows(), p.cols());
+    v_.emplace_back(p.rows(), p.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& w = params_[i].mutable_value();
+    const Matrix& g = params_[i].grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (int j = 0; j < w.size(); ++j) {
+      const float gj = g.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1.0f - beta1_) * gj;
+      v.data()[j] = beta2_ * v.data()[j] + (1.0f - beta2_) * gj * gj;
+      const float mhat = m.data()[j] / bc1;
+      const float vhat = v.data()[j] / bc2;
+      w.data()[j] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) +
+                            weight_decay_ * w.data()[j]);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
+  double total = 0.0;
+  for (const Variable& p : params) {
+    const Matrix& g = p.grad();
+    for (int j = 0; j < g.size(); ++j) {
+      total += static_cast<double>(g.data()[j]) * g.data()[j];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Variable p : params) {  // Cheap handle copy; shares the node.
+      Matrix& g = p.mutable_grad();
+      for (int j = 0; j < g.size(); ++j) g.data()[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace rapid::nn

@@ -1,0 +1,62 @@
+#ifndef RAPID_NN_OPTIMIZER_H_
+#define RAPID_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace rapid::nn {
+
+/// Base class for first-order optimizers over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in the params.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients. Call before each forward/backward pass.
+  void ZeroGrad();
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+/// Plain stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2014) with bias correction and optional decoupled
+/// weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm);
+
+}  // namespace rapid::nn
+
+#endif  // RAPID_NN_OPTIMIZER_H_

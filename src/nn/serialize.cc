@@ -1,0 +1,49 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace rapid::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x52415044;  // "RAPD"
+}  // namespace
+
+bool SaveParams(const std::string& path, const std::vector<Variable>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const uint32_t magic = kMagic;
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Variable& p : params) {
+    const int32_t rows = p.rows();
+    const int32_t cols = p.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(sizeof(float)) * p.value().size());
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadParams(const std::string& path, std::vector<Variable>* params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint32_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic || count != params->size()) return false;
+  for (Variable& p : *params) {
+    int32_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in || rows != p.rows() || cols != p.cols()) return false;
+    in.read(reinterpret_cast<char*>(p.mutable_value().data()),
+            static_cast<std::streamsize>(sizeof(float)) * p.value().size());
+    if (!in) return false;
+  }
+  return true;
+}
+
+}  // namespace rapid::nn

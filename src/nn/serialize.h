@@ -1,0 +1,23 @@
+#ifndef RAPID_NN_SERIALIZE_H_
+#define RAPID_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/variable.h"
+
+namespace rapid::nn {
+
+/// Writes the values of `params` to `path` in a small binary format
+/// (magic, count, then per-parameter rows/cols/data). Returns false on I/O
+/// failure.
+bool SaveParams(const std::string& path, const std::vector<Variable>& params);
+
+/// Loads parameter values saved by `SaveParams` back into `params`.
+/// The parameter list must have the same length and per-entry shapes as at
+/// save time. Returns false on I/O failure or shape mismatch.
+bool LoadParams(const std::string& path, std::vector<Variable>* params);
+
+}  // namespace rapid::nn
+
+#endif  // RAPID_NN_SERIALIZE_H_

@@ -1,0 +1,106 @@
+#include "nn/variable.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace rapid::nn {
+
+Variable Variable::Constant(Matrix value) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  node->is_leaf = true;
+  return Variable(std::move(node));
+}
+
+Variable Variable::Parameter(Matrix value) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->is_leaf = true;
+  node->grad = Matrix(node->value.rows(), node->value.cols());
+  return Variable(std::move(node));
+}
+
+Variable Variable::FromOp(Matrix value, std::vector<Variable> parents,
+                          std::function<void(internal::Node&)> backward_fn) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->is_leaf = false;
+  for (const Variable& p : parents) {
+    node->parents.push_back(p.node());
+    if (p.requires_grad()) node->requires_grad = true;
+  }
+  if (node->requires_grad) node->backward_fn = std::move(backward_fn);
+  return Variable(std::move(node));
+}
+
+void Variable::ZeroGrad() {
+  if (node_->grad.rows() != node_->value.rows() ||
+      node_->grad.cols() != node_->value.cols()) {
+    node_->grad = Matrix(node_->value.rows(), node_->value.cols());
+  } else {
+    node_->grad.SetZero();
+  }
+}
+
+namespace {
+
+// Iterative post-order DFS building a topological order of the graph
+// reachable from `root`, restricted to nodes that require grad.
+void TopoSort(const std::shared_ptr<internal::Node>& root,
+              std::vector<internal::Node*>* order) {
+  std::unordered_set<internal::Node*> visited;
+  struct Frame {
+    internal::Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (!root->requires_grad) return;
+  stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      internal::Node* p = f.node->parents[f.next_parent++].get();
+      if (p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      order->push_back(f.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Variable::Backward() {
+  assert(node_->value.rows() == 1 && node_->value.cols() == 1 &&
+         "Backward() must start from a scalar");
+  if (!node_->requires_grad) return;
+
+  std::vector<internal::Node*> order;
+  TopoSort(node_, &order);
+
+  // Ensure grad buffers exist and are zeroed for non-leaf nodes. Leaf
+  // parameter grads accumulate across Backward calls (optimizer zeroes them).
+  for (internal::Node* n : order) {
+    if (n->grad.rows() != n->value.rows() ||
+        n->grad.cols() != n->value.cols()) {
+      n->grad = Matrix(n->value.rows(), n->value.cols());
+    } else if (!n->is_leaf) {
+      n->grad.SetZero();
+    }
+  }
+  node_->grad.at(0, 0) = 1.0f;
+
+  // `order` is post-order (parents before children), so iterate in reverse.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::Node* n = *it;
+    if (n->backward_fn) n->backward_fn(*n);
+  }
+}
+
+}  // namespace rapid::nn

@@ -1,0 +1,101 @@
+#ifndef RAPID_NN_VARIABLE_H_
+#define RAPID_NN_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace rapid::nn {
+
+class Variable;
+
+namespace internal {
+
+/// A node in the define-by-run autograd graph. Holds the forward value, the
+/// accumulated gradient, the parent nodes, and a closure that propagates
+/// `grad` back into the parents' gradients.
+struct Node {
+  Matrix value;
+  Matrix grad;  // Allocated lazily in Backward(); same shape as `value`.
+  bool requires_grad = false;
+  bool is_leaf = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates this node's `grad` into `parents[*]->grad`. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+};
+
+}  // namespace internal
+
+/// A differentiable matrix value.
+///
+/// `Variable` is a cheap shared handle to an autograd `Node`. Applying the
+/// ops in `nn/ops.h` builds a graph; calling `Backward()` on a scalar output
+/// fills `grad()` of every reachable node that `requires_grad`.
+///
+/// Typical usage:
+/// ```
+/// Variable w = Variable::Parameter(Matrix::Randn(4, 2, 0.1f, rng));
+/// Variable y = MatMul(x, w);
+/// Variable loss = MeanAll(Square(Sub(y, target)));
+/// loss.Backward();
+/// // w.grad() now holds dloss/dw.
+/// ```
+class Variable {
+ public:
+  /// Creates a detached empty variable.
+  Variable() : node_(std::make_shared<internal::Node>()) {}
+
+  /// Wraps a constant (non-trainable) value.
+  static Variable Constant(Matrix value);
+
+  /// Wraps a trainable leaf parameter. Gradients accumulate into `grad()`.
+  static Variable Parameter(Matrix value);
+
+  /// Internal: creates an op-output node.
+  static Variable FromOp(Matrix value, std::vector<Variable> parents,
+                         std::function<void(internal::Node&)> backward_fn);
+
+  /// The forward value.
+  const Matrix& value() const { return node_->value; }
+  Matrix& mutable_value() { return node_->value; }
+
+  /// The accumulated gradient (empty until Backward has run through here).
+  const Matrix& grad() const { return node_->grad; }
+  Matrix& mutable_grad() { return node_->grad; }
+
+  /// Whether gradients flow into/through this variable.
+  bool requires_grad() const { return node_->requires_grad; }
+
+  /// True if this is a leaf (parameter or constant), not an op output.
+  bool is_leaf() const { return node_->is_leaf; }
+
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+
+  /// Runs reverse-mode differentiation from this variable, which must hold a
+  /// single scalar (1x1). Seeds d(self)/d(self)=1 and accumulates gradients
+  /// into every reachable `requires_grad` node.
+  void Backward();
+
+  /// Zeroes this variable's gradient buffer.
+  void ZeroGrad();
+
+  /// Identity comparison (same underlying node).
+  bool SameNodeAs(const Variable& other) const {
+    return node_ == other.node_;
+  }
+
+  std::shared_ptr<internal::Node> node() const { return node_; }
+
+ private:
+  explicit Variable(std::shared_ptr<internal::Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<internal::Node> node_;
+};
+
+}  // namespace rapid::nn
+
+#endif  // RAPID_NN_VARIABLE_H_

@@ -1,0 +1,146 @@
+#include "rankers/din.h"
+
+#include <algorithm>
+
+#include "nn/embedding.h"
+#include "nn/optimizer.h"
+
+namespace rapid::rank {
+
+namespace {
+
+using nn::Variable;
+
+// Builds the (H x q_v) matrix of a user's history item features.
+nn::Matrix HistoryMatrix(const data::Dataset& data, int user_id) {
+  const auto& hist = data.history[user_id];
+  const int q = data.item_feature_dim();
+  nn::Matrix out(static_cast<int>(hist.size()), q);
+  for (size_t i = 0; i < hist.size(); ++i) {
+    const auto& f = data.item(hist[i]).features;
+    for (int c = 0; c < q; ++c) out.at(static_cast<int>(i), c) = f[c];
+  }
+  return out;
+}
+
+nn::Matrix RowFrom(const std::vector<float>& v) {
+  return nn::Matrix(1, static_cast<int>(v.size()), v);
+}
+
+}  // namespace
+
+struct DinRanker::Net {
+  Net(const data::Dataset& data, const DinConfig& cfg, std::mt19937_64& rng)
+      : item_dim(data.item_feature_dim() +
+                 (cfg.use_id_embeddings ? cfg.id_embedding_dim : 0)),
+        user_dim(data.user_feature_dim() +
+                 (cfg.use_id_embeddings ? cfg.id_embedding_dim : 0)),
+        attention({3 * item_dim, cfg.hidden_dim, 1}, rng,
+                  nn::Activation::kRelu),
+        scorer({user_dim + 2 * item_dim, cfg.hidden_dim, cfg.hidden_dim, 1},
+               rng, nn::Activation::kRelu) {
+    if (cfg.use_id_embeddings) {
+      user_emb = std::make_unique<nn::Embedding>(
+          static_cast<int>(data.users.size()), cfg.id_embedding_dim, rng);
+      item_emb = std::make_unique<nn::Embedding>(
+          static_cast<int>(data.items.size()), cfg.id_embedding_dim, rng);
+    }
+  }
+
+  std::vector<Variable> Params() const {
+    std::vector<Variable> out = attention.Params();
+    for (const Variable& p : scorer.Params()) out.push_back(p);
+    if (user_emb) out.push_back(user_emb->Params()[0]);
+    if (item_emb) out.push_back(item_emb->Params()[0]);
+    return out;
+  }
+
+  int item_dim;
+  int user_dim;
+  nn::Mlp attention;  // [h, v, h*v] -> attention logit
+  nn::Mlp scorer;     // [x_u, x_v, pooled_history] -> logit
+  std::unique_ptr<nn::Embedding> user_emb;
+  std::unique_ptr<nn::Embedding> item_emb;
+};
+
+DinRanker::DinRanker(DinConfig config) : config_(config) {}
+DinRanker::~DinRanker() = default;
+
+Variable DinRanker::ScoreLogit(const data::Dataset& data, int user_id,
+                               int item_id) const {
+  const data::User& user = data.user(user_id);
+  const data::Item& item = data.item(item_id);
+  const auto& history = data.history[user_id];
+  const int h_len = static_cast<int>(history.size());
+
+  // Item representation: dense features, optionally with ID embeddings.
+  Variable hist = Variable::Constant(HistoryMatrix(data, user_id));
+  Variable cand_row = Variable::Constant(RowFrom(item.features));
+  if (net_->item_emb) {
+    hist = nn::ConcatCols({hist, net_->item_emb->Lookup(history)});
+    cand_row =
+        nn::ConcatCols({cand_row, net_->item_emb->LookupOne(item_id)});
+  }
+  // Tile the candidate representation to align with history rows.
+  std::vector<Variable> tiled(h_len, cand_row);
+  Variable cand = nn::ConcatRows(tiled);
+
+  // Attention logits over history, keyed by the candidate.
+  Variable att_in = nn::ConcatCols({hist, cand, nn::Mul(hist, cand)});
+  Variable att_logits = net_->attention.Forward(att_in);       // (H x 1)
+  Variable att = nn::SoftmaxRows(nn::Transpose(att_logits));   // (1 x H)
+  Variable pooled = nn::MatMul(att, hist);                     // (1 x item_dim)
+
+  Variable user_row = Variable::Constant(RowFrom(user.features));
+  if (net_->user_emb) {
+    user_row = nn::ConcatCols({user_row, net_->user_emb->LookupOne(user_id)});
+  }
+  Variable x = nn::ConcatCols({user_row, cand_row, pooled});
+  return net_->scorer.Forward(x);  // (1 x 1) logit
+}
+
+void DinRanker::Train(const data::Dataset& data, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  net_ = std::make_unique<Net>(data, config_, rng);
+  nn::Adam opt(net_->Params(), config_.learning_rate);
+
+  std::vector<int> order(data.ranker_train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end =
+          std::min(order.size(), start + config_.batch_size);
+      opt.ZeroGrad();
+      std::vector<Variable> logits;
+      nn::Matrix targets(static_cast<int>(end - start), 1);
+      for (size_t i = start; i < end; ++i) {
+        const data::Interaction& it = data.ranker_train[order[i]];
+        logits.push_back(ScoreLogit(data, it.user_id, it.item_id));
+        targets.at(static_cast<int>(i - start), 0) =
+            static_cast<float>(it.label);
+      }
+      Variable batch_logits = nn::ConcatRows(logits);
+      nn::Matrix weights =
+          nn::Matrix::Constant(targets.rows(), 1, 1.0f);
+      Variable loss = nn::BceWithLogits(batch_logits, targets, weights);
+      loss.Backward();
+      nn::ClipGradNorm(opt.params(), config_.grad_clip);
+      opt.Step();
+      epoch_loss += loss.value().at(0, 0);
+      ++batches;
+    }
+    final_loss_ = static_cast<float>(epoch_loss / std::max(batches, 1));
+  }
+}
+
+float DinRanker::Score(const data::Dataset& data, int user_id,
+                       int item_id) const {
+  return ScoreLogit(data, user_id, item_id).value().at(0, 0);
+}
+
+}  // namespace rapid::rank

@@ -1,0 +1,101 @@
+#include "rankers/lambdamart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rapid::rank {
+
+namespace {
+
+// NDCG discount at 0-based rank i.
+double Discount(int i) { return 1.0 / std::log2(i + 2.0); }
+
+}  // namespace
+
+void LambdaMartRanker::Train(const data::Dataset& data, uint64_t /*seed*/) {
+  trees_.clear();
+
+  // Build per-query (per-user) document groups with precomputed features.
+  struct Query {
+    std::vector<int> docs;  // indices into the flat arrays below
+  };
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+  std::vector<Query> queries(data.users.size());
+  for (const data::Interaction& it : data.ranker_train) {
+    queries[it.user_id].docs.push_back(static_cast<int>(features.size()));
+    features.push_back(PairFeatures(data, it.user_id, it.item_id));
+    labels.push_back(it.label);
+  }
+  const int n = static_cast<int>(features.size());
+  if (n == 0) return;
+
+  std::vector<float> scores(n, 0.0f);
+  std::vector<float> lambdas(n), hessians(n);
+
+  for (int t = 0; t < config_.num_trees; ++t) {
+    std::fill(lambdas.begin(), lambdas.end(), 0.0f);
+    std::fill(hessians.begin(), hessians.end(), 0.0f);
+
+    for (const Query& q : queries) {
+      if (q.docs.size() < 2) continue;
+      // Current ranking of this query's docs by score (for delta-NDCG).
+      std::vector<int> order(q.docs.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return scores[q.docs[a]] > scores[q.docs[b]];
+      });
+      std::vector<int> rank_of(q.docs.size());
+      for (size_t r = 0; r < order.size(); ++r) rank_of[order[r]] = static_cast<int>(r);
+
+      // Ideal DCG for normalization.
+      int num_pos = 0;
+      for (int d : q.docs) num_pos += labels[d];
+      if (num_pos == 0 || num_pos == static_cast<int>(q.docs.size())) continue;
+      double idcg = 0.0;
+      for (int i = 0; i < num_pos; ++i) idcg += Discount(i);
+
+      for (size_t a = 0; a < q.docs.size(); ++a) {
+        for (size_t b = 0; b < q.docs.size(); ++b) {
+          const int da = q.docs[a], db = q.docs[b];
+          if (labels[da] <= labels[db]) continue;  // a must beat b
+          const double delta_ndcg =
+              std::fabs(Discount(rank_of[a]) - Discount(rank_of[b])) / idcg;
+          const double s_diff =
+              config_.sigma * (scores[da] - scores[db]);
+          const double rho = 1.0 / (1.0 + std::exp(s_diff));
+          const double lambda = config_.sigma * rho * delta_ndcg;
+          const double hess = config_.sigma * config_.sigma * rho *
+                              (1.0 - rho) * delta_ndcg;
+          lambdas[da] += static_cast<float>(lambda);
+          lambdas[db] -= static_cast<float>(lambda);
+          hessians[da] += static_cast<float>(hess);
+          hessians[db] += static_cast<float>(hess);
+        }
+      }
+    }
+
+    RegressionTree tree;
+    tree.Fit(features, lambdas, hessians, config_.tree);
+    for (int i = 0; i < n; ++i) {
+      scores[i] += config_.learning_rate * tree.Predict(features[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+float LambdaMartRanker::PredictFeatures(const std::vector<float>& f) const {
+  double s = 0.0;
+  for (const RegressionTree& t : trees_) {
+    s += config_.learning_rate * t.Predict(f);
+  }
+  return static_cast<float>(s);
+}
+
+float LambdaMartRanker::Score(const data::Dataset& data, int user_id,
+                              int item_id) const {
+  return PredictFeatures(PairFeatures(data, user_id, item_id));
+}
+
+}  // namespace rapid::rank

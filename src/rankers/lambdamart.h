@@ -1,0 +1,44 @@
+#ifndef RAPID_RANKERS_LAMBDAMART_H_
+#define RAPID_RANKERS_LAMBDAMART_H_
+
+#include <string>
+#include <vector>
+
+#include "rankers/ranker.h"
+#include "rankers/regression_tree.h"
+
+namespace rapid::rank {
+
+/// Configuration for the LambdaMART initial ranker.
+struct LambdaMartConfig {
+  int num_trees = 40;
+  float learning_rate = 0.15f;
+  RegressionTree::Options tree;
+  /// Sigmoid sharpness of the pairwise lambda gradients.
+  float sigma = 1.0f;
+};
+
+/// LambdaMART: gradient-boosted regression trees driven by LambdaRank
+/// gradients (pairwise logistic gradients weighted by |delta-NDCG|), the
+/// listwise learning-to-rank baseline of the paper's RQ2 study.
+class LambdaMartRanker : public Ranker {
+ public:
+  explicit LambdaMartRanker(LambdaMartConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "LambdaMART"; }
+  void Train(const data::Dataset& data, uint64_t seed) override;
+  float Score(const data::Dataset& data, int user_id,
+              int item_id) const override;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  float PredictFeatures(const std::vector<float>& f) const;
+
+  LambdaMartConfig config_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace rapid::rank
+
+#endif  // RAPID_RANKERS_LAMBDAMART_H_

@@ -1,0 +1,54 @@
+#include "rankers/ranker.h"
+
+#include <algorithm>
+#include <numeric>
+
+
+namespace rapid::rank {
+
+data::ImpressionList Ranker::RankRequest(const data::Dataset& data,
+                                         const data::Request& request,
+                                         int list_len) const {
+  std::vector<std::pair<float, int>> scored;
+  scored.reserve(request.candidates.size());
+  for (int v : request.candidates) {
+    scored.push_back({Score(data, request.user_id, v), v});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  data::ImpressionList out;
+  out.user_id = request.user_id;
+  const int n = std::min<int>(list_len, static_cast<int>(scored.size()));
+  out.items.reserve(n);
+  out.scores.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.scores.push_back(scored[i].first);
+    out.items.push_back(scored[i].second);
+  }
+  return out;
+}
+
+std::vector<float> PairFeatures(const data::Dataset& data, int user_id,
+                                int item_id) {
+  const data::User& user = data.user(user_id);
+  const data::Item& item = data.item(item_id);
+  std::vector<float> f;
+  f.reserve(PairFeatureDim(data));
+  f.insert(f.end(), user.features.begin(), user.features.end());
+  f.insert(f.end(), item.features.begin(), item.features.end());
+  f.insert(f.end(), item.topic_coverage.begin(), item.topic_coverage.end());
+  float dot = 0.0f;
+  const size_t d = std::min(user.features.size(), item.features.size());
+  for (size_t i = 0; i < d; ++i) {
+    dot += user.features[i] * item.features[i];
+  }
+  f.push_back(dot / static_cast<float>(d));
+  return f;
+}
+
+int PairFeatureDim(const data::Dataset& data) {
+  return data.user_feature_dim() + data.item_feature_dim() +
+         data.num_topics + 1;
+}
+
+}  // namespace rapid::rank

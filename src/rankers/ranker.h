@@ -1,0 +1,49 @@
+#ifndef RAPID_RANKERS_RANKER_H_
+#define RAPID_RANKERS_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/types.h"
+
+namespace rapid::rank {
+
+/// Interface for initial rankers (the stage before re-ranking).
+///
+/// A ranker is trained on the initial-ranker split of a dataset and then
+/// scores (user, item) pairs pointwise; `RankRequest` turns a request's
+/// candidate pool into a ranked initial list.
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+
+  /// Human-readable name used in experiment tables.
+  virtual std::string name() const = 0;
+
+  /// Fits the ranker on `data.ranker_train`.
+  virtual void Train(const data::Dataset& data, uint64_t seed) = 0;
+
+  /// Relevance score for one user-item pair (higher = more relevant).
+  virtual float Score(const data::Dataset& data, int user_id,
+                      int item_id) const = 0;
+
+  /// Scores the request's candidates and returns the top-`list_len` as an
+  /// initial `ImpressionList` (descending score; clicks left empty).
+  data::ImpressionList RankRequest(const data::Dataset& data,
+                                   const data::Request& request,
+                                   int list_len) const;
+};
+
+/// Hand-crafted feature vector for the linear / tree rankers:
+/// `[x_u, x_v, tau_v, <x_u,x_v>/d]`. Static features only — unlike DIN,
+/// these classical rankers do not consume the behavior history, which is
+/// exactly why DIN is the strongest initial ranker (as in the paper).
+std::vector<float> PairFeatures(const data::Dataset& data, int user_id,
+                                int item_id);
+
+/// Dimensionality of `PairFeatures` for `data`.
+int PairFeatureDim(const data::Dataset& data);
+
+}  // namespace rapid::rank
+
+#endif  // RAPID_RANKERS_RANKER_H_

@@ -1,0 +1,128 @@
+#include "rankers/regression_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rapid::rank {
+
+namespace {
+
+// Newton leaf value with a small ridge term for stability.
+float LeafValue(const std::vector<float>& targets,
+                const std::vector<float>& hessians,
+                const std::vector<int>& indices) {
+  double g = 0.0, h = 0.0;
+  for (int i : indices) {
+    g += targets[i];
+    h += hessians.empty() ? 1.0 : hessians[i];
+  }
+  return static_cast<float>(g / (h + 1e-6));
+}
+
+}  // namespace
+
+void RegressionTree::Fit(const std::vector<std::vector<float>>& features,
+                         const std::vector<float>& targets,
+                         const std::vector<float>& hessians,
+                         const Options& options) {
+  assert(features.size() == targets.size());
+  assert(hessians.empty() || hessians.size() == targets.size());
+  nodes_.clear();
+  std::vector<int> indices(features.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = static_cast<int>(i);
+  Build(features, targets, hessians, indices, 0, options);
+}
+
+int RegressionTree::Build(const std::vector<std::vector<float>>& features,
+                          const std::vector<float>& targets,
+                          const std::vector<float>& hessians,
+                          std::vector<int>& indices, int depth,
+                          const Options& options) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  const int n = static_cast<int>(indices.size());
+  if (depth >= options.max_depth || n < 2 * options.min_leaf_size) {
+    nodes_[node_id].value = LeafValue(targets, hessians, indices);
+    return node_id;
+  }
+
+  // Current SSE baseline.
+  double sum = 0.0;
+  for (int i : indices) sum += targets[i];
+  const double mean = sum / n;
+  double best_gain = 1e-8;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  const int dim = static_cast<int>(features[0].size());
+  std::vector<float> column(n);
+  for (int f = 0; f < dim; ++f) {
+    for (int i = 0; i < n; ++i) column[i] = features[indices[i]][f];
+    // Quantile threshold candidates.
+    std::vector<float> sorted = column;
+    std::sort(sorted.begin(), sorted.end());
+    for (int q = 1; q <= options.candidate_thresholds; ++q) {
+      const int pos = q * (n - 1) / (options.candidate_thresholds + 1);
+      const float thr = sorted[pos];
+      if (thr >= sorted[n - 1]) continue;  // Would send everything left.
+      double lsum = 0.0, rsum = 0.0;
+      int ln = 0, rn = 0;
+      for (int i = 0; i < n; ++i) {
+        if (column[i] <= thr) {
+          lsum += targets[indices[i]];
+          ++ln;
+        } else {
+          rsum += targets[indices[i]];
+          ++rn;
+        }
+      }
+      if (ln < options.min_leaf_size || rn < options.min_leaf_size) continue;
+      // Variance-reduction gain = SSE(parent) - SSE(children), which
+      // simplifies to sum-of-squares of child means minus parent.
+      const double gain = lsum * lsum / ln + rsum * rsum / rn -
+                          mean * mean * n;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = thr;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    nodes_[node_id].value = LeafValue(targets, hessians, indices);
+    return node_id;
+  }
+
+  std::vector<int> left, right;
+  for (int i : indices) {
+    if (features[i][best_feature] <= best_threshold) {
+      left.push_back(i);
+    } else {
+      right.push_back(i);
+    }
+  }
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int l = Build(features, targets, hessians, left, depth + 1, options);
+  const int r = Build(features, targets, hessians, right, depth + 1, options);
+  nodes_[node_id].left = l;
+  nodes_[node_id].right = r;
+  return node_id;
+}
+
+float RegressionTree::Predict(const std::vector<float>& f) const {
+  assert(!nodes_.empty());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = f[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace rapid::rank

@@ -1,0 +1,53 @@
+#ifndef RAPID_RANKERS_REGRESSION_TREE_H_
+#define RAPID_RANKERS_REGRESSION_TREE_H_
+
+#include <random>
+#include <vector>
+
+namespace rapid::rank {
+
+/// A CART-style binary regression tree used as the base learner of
+/// LambdaMART. Splits greedily on variance reduction of the targets; leaf
+/// values are Newton steps `sum(gradient) / sum(hessian)` when hessians are
+/// provided (as LambdaMART requires), plain means otherwise.
+class RegressionTree {
+ public:
+  struct Options {
+    int max_depth = 4;
+    int min_leaf_size = 10;
+    /// Thresholds tried per feature at each split (quantile candidates).
+    int candidate_thresholds = 8;
+  };
+
+  /// Fits to `features[i]` -> `targets[i]`. `hessians` may be empty (plain
+  /// regression) or aligned with `targets` (Newton leaf values).
+  void Fit(const std::vector<std::vector<float>>& features,
+           const std::vector<float>& targets,
+           const std::vector<float>& hessians, const Options& options);
+
+  /// Predicted value for one feature vector.
+  float Predict(const std::vector<float>& f) const;
+
+  /// Number of nodes (for tests); 0 before Fit.
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 = leaf
+    float threshold = 0.0f;  // go left if f[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    float value = 0.0f;  // leaf prediction
+  };
+
+  int Build(const std::vector<std::vector<float>>& features,
+            const std::vector<float>& targets,
+            const std::vector<float>& hessians, std::vector<int>& indices,
+            int depth, const Options& options);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rapid::rank
+
+#endif  // RAPID_RANKERS_REGRESSION_TREE_H_

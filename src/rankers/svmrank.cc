@@ -1,0 +1,67 @@
+#include "rankers/svmrank.h"
+
+#include <algorithm>
+#include <random>
+
+namespace rapid::rank {
+
+void SvmRankRanker::Train(const data::Dataset& data, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const int dim = PairFeatureDim(data);
+  w_.assign(dim, 0.0f);
+
+  // Group interactions per user and precompute features.
+  struct Doc {
+    std::vector<float> f;
+    int label;
+  };
+  std::vector<std::vector<Doc>> per_user(data.users.size());
+  for (const data::Interaction& it : data.ranker_train) {
+    per_user[it.user_id].push_back(
+        {PairFeatures(data, it.user_id, it.item_id), it.label});
+  }
+
+  // All (pos, neg) index pairs per user.
+  struct Pair {
+    const Doc* pos;
+    const Doc* neg;
+  };
+  std::vector<Pair> pairs;
+  for (const auto& docs : per_user) {
+    for (const Doc& a : docs) {
+      if (!a.label) continue;
+      for (const Doc& b : docs) {
+        if (b.label) continue;
+        pairs.push_back({&a, &b});
+      }
+    }
+  }
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(pairs.begin(), pairs.end(), rng);
+    const float lr =
+        config_.learning_rate / (1.0f + 0.3f * static_cast<float>(epoch));
+    for (const Pair& p : pairs) {
+      float margin = 0.0f;
+      for (int i = 0; i < dim; ++i) {
+        margin += w_[i] * (p.pos->f[i] - p.neg->f[i]);
+      }
+      // Hinge subgradient + L2 shrinkage.
+      for (int i = 0; i < dim; ++i) {
+        float g = config_.l2 * w_[i];
+        if (margin < 1.0f) g -= (p.pos->f[i] - p.neg->f[i]);
+        w_[i] -= lr * g;
+      }
+    }
+  }
+}
+
+float SvmRankRanker::Score(const data::Dataset& data, int user_id,
+                           int item_id) const {
+  const std::vector<float> f = PairFeatures(data, user_id, item_id);
+  float s = 0.0f;
+  for (size_t i = 0; i < f.size(); ++i) s += w_[i] * f[i];
+  return s;
+}
+
+}  // namespace rapid::rank

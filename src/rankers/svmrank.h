@@ -1,0 +1,40 @@
+#ifndef RAPID_RANKERS_SVMRANK_H_
+#define RAPID_RANKERS_SVMRANK_H_
+
+#include <string>
+#include <vector>
+
+#include "rankers/ranker.h"
+
+namespace rapid::rank {
+
+/// Configuration for the pairwise linear SVM ranker.
+struct SvmRankConfig {
+  int epochs = 12;
+  float learning_rate = 0.05f;
+  /// L2 regularization strength.
+  float l2 = 1e-4f;
+};
+
+/// RankSVM (Joachims, KDD 2006): a linear model over `PairFeatures` trained
+/// with the pairwise hinge loss `max(0, 1 - w^T (f_pos - f_neg))` by SGD
+/// over per-user positive/negative pairs.
+class SvmRankRanker : public Ranker {
+ public:
+  explicit SvmRankRanker(SvmRankConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "SVMRank"; }
+  void Train(const data::Dataset& data, uint64_t seed) override;
+  float Score(const data::Dataset& data, int user_id,
+              int item_id) const override;
+
+  const std::vector<float>& weights() const { return w_; }
+
+ private:
+  SvmRankConfig config_;
+  std::vector<float> w_;
+};
+
+}  // namespace rapid::rank
+
+#endif  // RAPID_RANKERS_SVMRANK_H_

@@ -1,0 +1,75 @@
+#include "rerank/dpp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rapid::rerank {
+
+std::vector<int> DppReranker::GreedyMapInference(
+    const std::vector<std::vector<float>>& kernel, int max_items) {
+  const int n = static_cast<int>(kernel.size());
+  const int k = std::min(max_items, n);
+  // Chen et al. 2018: maintain for every candidate i the squared marginal
+  // gain d2[i] and its Cholesky row c[i] against the selected set.
+  std::vector<double> d2(n);
+  for (int i = 0; i < n; ++i) d2[i] = kernel[i][i];
+  std::vector<std::vector<double>> c(n);
+  std::vector<bool> used(n, false);
+  std::vector<int> selected;
+  selected.reserve(k);
+
+  for (int step = 0; step < k; ++step) {
+    int best = -1;
+    double best_gain = 1e-12;  // PSD feasibility floor
+    for (int i = 0; i < n; ++i) {
+      if (!used[i] && d2[i] > best_gain) {
+        best_gain = d2[i];
+        best = i;
+      }
+    }
+    if (best < 0) break;  // No item adds positive volume.
+    used[best] = true;
+    selected.push_back(best);
+    const double dj = std::sqrt(d2[best]);
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      double dot = 0.0;
+      for (size_t t = 0; t < c[best].size(); ++t) dot += c[best][t] * c[i][t];
+      const double e = (kernel[best][i] - dot) / dj;
+      c[i].push_back(e);
+      d2[i] -= e * e;
+    }
+    c[best].clear();
+  }
+
+  // Degenerate kernels can exhaust positive-volume items early; keep the
+  // output a full permutation by appending the rest in original order.
+  for (int i = 0; i < n; ++i) {
+    if (!used[i]) selected.push_back(i);
+  }
+  return selected;
+}
+
+std::vector<int> DppReranker::Rerank(const data::Dataset& data,
+                                     const data::ImpressionList& list) const {
+  const int n = static_cast<int>(list.items.size());
+  const std::vector<float> rel = NormalizedScores(list);
+  std::vector<std::vector<float>> kernel(n, std::vector<float>(n));
+  for (int i = 0; i < n; ++i) {
+    const float qi = std::exp(alpha_ * rel[i]);
+    for (int j = 0; j < n; ++j) {
+      const float qj = std::exp(alpha_ * rel[j]);
+      float s = CoverageCosine(data.item(list.items[i]),
+                               data.item(list.items[j]));
+      if (i == j) s = 1.0f + 1e-3f;  // Diagonal jitter for stability.
+      kernel[i][j] = qi * s * qj;
+    }
+  }
+  const std::vector<int> order = GreedyMapInference(kernel, n);
+  std::vector<int> out;
+  out.reserve(n);
+  for (int idx : order) out.push_back(list.items[idx]);
+  return out;
+}
+
+}  // namespace rapid::rerank

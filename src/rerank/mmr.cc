@@ -1,0 +1,64 @@
+#include "rerank/mmr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/history.h"
+
+namespace rapid::rerank {
+
+std::vector<int> MmrReranker::GreedyMmr(const data::Dataset& data,
+                                        const data::ImpressionList& list,
+                                        float trade) {
+  const int n = static_cast<int>(list.items.size());
+  const std::vector<float> rel = NormalizedScores(list);
+  std::vector<bool> used(n, false);
+  std::vector<int> out;
+  out.reserve(n);
+  std::vector<float> max_sim(n, 0.0f);  // max similarity to selected set
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    float best_score = -1e30f;
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const float score = trade * rel[i] - (1.0f - trade) * max_sim[i];
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    used[best] = true;
+    out.push_back(list.items[best]);
+    const data::Item& chosen = data.item(list.items[best]);
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      max_sim[i] = std::max(max_sim[i],
+                            CoverageCosine(data.item(list.items[i]), chosen));
+    }
+  }
+  return out;
+}
+
+std::vector<int> MmrReranker::Rerank(const data::Dataset& data,
+                                     const data::ImpressionList& list) const {
+  return GreedyMmr(data, list, trade_);
+}
+
+std::vector<int> AdpMmrReranker::Rerank(
+    const data::Dataset& data, const data::ImpressionList& list) const {
+  const std::vector<float> dist =
+      data::HistoryTopicDistribution(data, list.user_id);
+  double entropy = 0.0;
+  for (float p : dist) {
+    if (p > 0.0f) entropy -= p * std::log(p);
+  }
+  const double max_entropy = std::log(static_cast<double>(data.num_topics));
+  const float propensity =
+      max_entropy > 0.0 ? static_cast<float>(entropy / max_entropy) : 0.0f;
+  // Focused users (low propensity) keep relevance weight near 1; diverse
+  // users drop toward 0.5 (equal weighting).
+  const float trade = 1.0f - 0.5f * propensity;
+  return GreedyMmr(data, list, trade);
+}
+
+}  // namespace rapid::rerank

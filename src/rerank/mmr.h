@@ -1,0 +1,47 @@
+#ifndef RAPID_RERANK_MMR_H_
+#define RAPID_RERANK_MMR_H_
+
+#include <string>
+#include <vector>
+
+#include "rerank/reranker.h"
+
+namespace rapid::rerank {
+
+/// Maximum Marginal Relevance (Carbonell & Goldstein, SIGIR 1998): greedily
+/// appends the item maximizing
+/// `trade * rel(v) - (1 - trade) * max_{s in selected} sim(v, s)`
+/// with `sim` the topic-coverage cosine and `rel` the normalized initial
+/// score. `trade` is a fixed global constant.
+class MmrReranker : public Reranker {
+ public:
+  explicit MmrReranker(float trade = 0.7f) : trade_(trade) {}
+
+  std::string name() const override { return "MMR"; }
+  std::vector<int> Rerank(const data::Dataset& data,
+                          const data::ImpressionList& list) const override;
+
+ protected:
+  /// Greedy MMR with an explicit tradeoff (shared with adpMMR).
+  static std::vector<int> GreedyMmr(const data::Dataset& data,
+                                    const data::ImpressionList& list,
+                                    float trade);
+
+ private:
+  float trade_;
+};
+
+/// adpMMR (Di Noia et al., RecSys 2014): MMR whose tradeoff is personalized
+/// by a rule — the user's propensity toward diversity is the normalized
+/// entropy of their behavior-history topic distribution. High-entropy
+/// (diverse) users get a lower relevance weight, i.e. more diversification.
+class AdpMmrReranker : public MmrReranker {
+ public:
+  std::string name() const override { return "adpMMR"; }
+  std::vector<int> Rerank(const data::Dataset& data,
+                          const data::ImpressionList& list) const override;
+};
+
+}  // namespace rapid::rerank
+
+#endif  // RAPID_RERANK_MMR_H_

@@ -1,0 +1,148 @@
+#include "rerank/neural_base.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "nn/serialize.h"
+
+namespace rapid::rerank {
+
+nn::Matrix ListFeatureMatrix(const data::Dataset& data,
+                             const data::ImpressionList& list) {
+  const int L = static_cast<int>(list.items.size());
+  const int qu = data.user_feature_dim();
+  const int qv = data.item_feature_dim();
+  const int m = data.num_topics;
+  nn::Matrix out(L, qu + qv + m + 1);
+  const std::vector<float> norm_scores = NormalizedScores(list);
+  const data::User& user = data.user(list.user_id);
+  for (int i = 0; i < L; ++i) {
+    const data::Item& item = data.item(list.items[i]);
+    int c = 0;
+    for (int k = 0; k < qu; ++k) out.at(i, c++) = user.features[k];
+    for (int k = 0; k < qv; ++k) out.at(i, c++) = item.features[k];
+    for (int j = 0; j < m; ++j) out.at(i, c++) = item.topic_coverage[j];
+    out.at(i, c++) = norm_scores[i];
+  }
+  return out;
+}
+
+int ListFeatureDim(const data::Dataset& data) {
+  return data.user_feature_dim() + data.item_feature_dim() +
+         data.num_topics + 1;
+}
+
+nn::Variable NeuralReranker::ListLoss(const data::Dataset& data,
+                                      const data::ImpressionList& list,
+                                      std::mt19937_64& rng) const {
+  assert(list.clicks.size() == list.items.size());
+  nn::Variable logits = BuildLogits(data, list, /*training=*/true, rng);
+  const int L = static_cast<int>(list.items.size());
+
+  if (config_.loss == RerankLoss::kPairwiseLogistic) {
+    std::vector<int> pos, neg;
+    for (int i = 0; i < L; ++i) {
+      (list.clicks[i] ? pos : neg).push_back(i);
+    }
+    if (pos.empty() || neg.empty()) {
+      // No informative pairs: fall through to the pointwise loss so the
+      // batch still contributes gradient.
+    } else {
+      // mean over pairs of softplus(-(s_pos - s_neg)).
+      std::vector<nn::Variable> pair_losses;
+      pair_losses.reserve(pos.size() * neg.size());
+      for (int i : pos) {
+        nn::Variable si = nn::SliceRows(logits, i, 1);
+        for (int j : neg) {
+          nn::Variable sj = nn::SliceRows(logits, j, 1);
+          pair_losses.push_back(
+              nn::Softplus(nn::Scale(nn::Sub(si, sj), -1.0f)));
+        }
+      }
+      return nn::MeanAll(nn::ConcatRows(pair_losses));
+    }
+  }
+
+  nn::Matrix targets(L, 1);
+  for (int i = 0; i < L; ++i) {
+    targets.at(i, 0) = static_cast<float>(list.clicks[i]);
+  }
+  return nn::BceWithLogits(logits, targets, nn::Matrix::Constant(L, 1, 1.0f));
+}
+
+void NeuralReranker::Fit(const data::Dataset& data,
+                         const std::vector<data::ImpressionList>& train,
+                         uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  InitNet(data, rng);
+  nn::Adam opt(Params(), config_.learning_rate);
+
+  std::vector<int> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      opt.ZeroGrad();
+      nn::Variable total;
+      bool first = true;
+      for (size_t i = start; i < end; ++i) {
+        nn::Variable l = ListLoss(data, train[order[i]], rng);
+        total = first ? l : nn::Add(total, l);
+        first = false;
+      }
+      nn::Variable loss =
+          nn::Scale(total, 1.0f / static_cast<float>(end - start));
+      loss.Backward();
+      nn::ClipGradNorm(opt.params(), config_.grad_clip);
+      opt.Step();
+      epoch_loss += loss.value().at(0, 0);
+      ++batches;
+    }
+    final_loss_ = static_cast<float>(epoch_loss / std::max(batches, 1));
+  }
+}
+
+bool NeuralReranker::SaveModel(const std::string& path) const {
+  return nn::SaveParams(path, Params());
+}
+
+bool NeuralReranker::LoadModel(const data::Dataset& data,
+                               const std::string& path) {
+  std::mt19937_64 rng(0);  // Initialization values are overwritten.
+  InitNet(data, rng);
+  std::vector<nn::Variable> params = Params();
+  return nn::LoadParams(path, &params);
+}
+
+std::vector<float> NeuralReranker::ScoreList(
+    const data::Dataset& data, const data::ImpressionList& list) const {
+  std::mt19937_64 rng(0);  // Inference paths must not consume randomness.
+  nn::Variable logits = BuildLogits(data, list, /*training=*/false, rng);
+  std::vector<float> out(list.items.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = logits.value().at(static_cast<int>(i), 0);
+  }
+  return out;
+}
+
+std::vector<int> NeuralReranker::Rerank(
+    const data::Dataset& data, const data::ImpressionList& list) const {
+  const std::vector<float> scores = ScoreList(data, list);
+  std::vector<int> idx(list.items.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](int a, int b) {
+    return scores[a] > scores[b];
+  });
+  std::vector<int> out;
+  out.reserve(idx.size());
+  for (int i : idx) out.push_back(list.items[i]);
+  return out;
+}
+
+}  // namespace rapid::rerank

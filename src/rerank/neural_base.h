@@ -1,0 +1,102 @@
+#ifndef RAPID_RERANK_NEURAL_BASE_H_
+#define RAPID_RERANK_NEURAL_BASE_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "rerank/reranker.h"
+
+namespace rapid::rerank {
+
+/// Per-list training objective.
+enum class RerankLoss {
+  /// The paper's Eq. 11: pointwise binary cross-entropy on clicks.
+  kPointwiseBce,
+  /// BPR-style pairwise logistic loss over (clicked, unclicked) pairs
+  /// within a list (used by DESA, whose original formulation is pairwise).
+  kPairwiseLogistic,
+};
+
+/// Shared hyper-parameters of all neural re-rankers.
+struct NeuralRerankConfig {
+  int hidden_dim = 16;
+  int epochs = 10;
+  /// Lists per gradient step.
+  int batch_size = 16;
+  /// Grid-searched over {1e-3, 3e-3, 6e-3, 1e-2} on the Taobao simulator;
+  /// 6e-3 is the best shared setting across all neural re-rankers.
+  float learning_rate = 6e-3f;
+  float grad_clip = 5.0f;
+  RerankLoss loss = RerankLoss::kPointwiseBce;
+};
+
+/// Base class for neural re-rankers: owns the training loop (Adam over
+/// mini-batches of lists, pointwise BCE on click labels, gradient
+/// clipping) and the score-then-sort inference. Subclasses implement the
+/// network: `InitNet` builds parameters, `BuildLogits` maps one list to a
+/// `(L x 1)` logit column.
+class NeuralReranker : public Reranker {
+ public:
+  explicit NeuralReranker(NeuralRerankConfig config) : config_(config) {}
+
+  void Fit(const data::Dataset& data,
+           const std::vector<data::ImpressionList>& train,
+           uint64_t seed) override;
+
+  std::vector<int> Rerank(const data::Dataset& data,
+                          const data::ImpressionList& list) const override;
+
+  /// Per-item re-ranking scores in list order (inference mode).
+  virtual std::vector<float> ScoreList(const data::Dataset& data,
+                                       const data::ImpressionList& list) const;
+
+  /// Mean training loss of the last epoch.
+  float final_loss() const { return final_loss_; }
+
+  /// Persists the trained weights to `path` (binary). Requires a prior
+  /// Fit (or LoadModel). Returns false on I/O failure.
+  bool SaveModel(const std::string& path) const;
+
+  /// Rebuilds the network for `data`'s dimensions and restores weights
+  /// saved by `SaveModel`. The configuration must match the one used at
+  /// save time (shape mismatches fail). Returns false on failure.
+  bool LoadModel(const data::Dataset& data, const std::string& path);
+
+ protected:
+  /// Builds the network parameters for `data`'s dimensions.
+  virtual void InitNet(const data::Dataset& data, std::mt19937_64& rng) = 0;
+
+  /// Forward pass for one list. `training` enables stochastic paths
+  /// (exploration noise, dropout) using `rng`.
+  virtual nn::Variable BuildLogits(const data::Dataset& data,
+                                   const data::ImpressionList& list,
+                                   bool training,
+                                   std::mt19937_64& rng) const = 0;
+
+  /// All trainable parameters.
+  virtual std::vector<nn::Variable> Params() const = 0;
+
+  /// Per-list training loss; default is pointwise BCE of `BuildLogits`
+  /// against the list's clicks. Subclasses may override (e.g. pairwise).
+  virtual nn::Variable ListLoss(const data::Dataset& data,
+                                const data::ImpressionList& list,
+                                std::mt19937_64& rng) const;
+
+  NeuralRerankConfig config_;
+  float final_loss_ = 0.0f;
+};
+
+/// Builds the `(L x F)` per-item input matrix of a list:
+/// `[x_u, x_v, tau_v, normalized initial score]`, `F = q_u + q_v + m + 1`.
+nn::Matrix ListFeatureMatrix(const data::Dataset& data,
+                             const data::ImpressionList& list);
+
+/// The input feature dimension of `ListFeatureMatrix` for `data`.
+int ListFeatureDim(const data::Dataset& data);
+
+}  // namespace rapid::rerank
+
+#endif  // RAPID_RERANK_NEURAL_BASE_H_

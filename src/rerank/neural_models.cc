@@ -1,0 +1,299 @@
+#include "rerank/neural_models.h"
+
+#include <cmath>
+
+namespace rapid::rerank {
+
+namespace {
+
+using nn::Variable;
+
+// Splits the (L x F) feature matrix into L single-row constants for
+// sequential (RNN) processing.
+std::vector<Variable> RowSequence(const nn::Matrix& feats) {
+  std::vector<Variable> rows;
+  rows.reserve(feats.rows());
+  for (int i = 0; i < feats.rows(); ++i) {
+    nn::Matrix r(1, feats.cols());
+    for (int c = 0; c < feats.cols(); ++c) r.at(0, c) = feats.at(i, c);
+    rows.push_back(Variable::Constant(std::move(r)));
+  }
+  return rows;
+}
+
+// (L x L) additive attention mask: 0 where attention is allowed,
+// -1e9 where blocked. `causal` blocks j > i; `band >= 0` additionally
+// blocks |i - j| > band.
+nn::Matrix AttentionMask(int L, bool causal, int band) {
+  nn::Matrix mask(L, L);
+  for (int i = 0; i < L; ++i) {
+    for (int j = 0; j < L; ++j) {
+      const bool blocked =
+          (causal && j > i) || (band >= 0 && std::abs(i - j) > band);
+      mask.at(i, j) = blocked ? -1e9f : 0.0f;
+    }
+  }
+  return mask;
+}
+
+// Single-head projected attention with an additive mask.
+Variable MaskedAttention(const Variable& x, const nn::Linear& wq,
+                         const nn::Linear& wk, const nn::Linear& wv,
+                         const nn::Matrix& mask) {
+  Variable q = wq.Forward(x);
+  Variable k = wk.Forward(x);
+  Variable v = wv.Forward(x);
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(q.cols()));
+  Variable scores = nn::Scale(nn::MatMul(q, nn::Transpose(k)), inv_sqrt_d);
+  scores = nn::Add(scores, Variable::Constant(mask));
+  return nn::MatMul(nn::SoftmaxRows(scores), v);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- DLCM --
+
+struct DlcmReranker::Net {
+  Net(int in_dim, int hidden, std::mt19937_64& rng)
+      : gru(in_dim, hidden, rng),
+        scorer({2 * hidden, hidden, 1}, rng, nn::Activation::kRelu) {}
+  nn::GruCell gru;
+  nn::Mlp scorer;
+};
+
+DlcmReranker::DlcmReranker(NeuralRerankConfig config)
+    : NeuralReranker(config) {}
+DlcmReranker::~DlcmReranker() = default;
+
+void DlcmReranker::InitNet(const data::Dataset& data, std::mt19937_64& rng) {
+  net_ = std::make_unique<Net>(ListFeatureDim(data), config_.hidden_dim, rng);
+}
+
+Variable DlcmReranker::BuildLogits(const data::Dataset& data,
+                                   const data::ImpressionList& list,
+                                   bool /*training*/,
+                                   std::mt19937_64& /*rng*/) const {
+  const std::vector<Variable> rows =
+      RowSequence(ListFeatureMatrix(data, list));
+  Variable h = Variable::Constant(nn::Matrix(1, net_->gru.hidden_dim()));
+  std::vector<Variable> states;
+  states.reserve(rows.size());
+  for (const Variable& x : rows) {
+    h = net_->gru.Forward(x, h);
+    states.push_back(h);
+  }
+  // Score each item against the final (whole-list) context state.
+  Variable state_mat = nn::ConcatRows(states);  // (L x h)
+  std::vector<Variable> final_tiled(rows.size(), states.back());
+  Variable context = nn::ConcatRows(final_tiled);  // (L x h)
+  return net_->scorer.Forward(nn::ConcatCols({state_mat, context}));
+}
+
+std::vector<Variable> DlcmReranker::Params() const {
+  std::vector<Variable> out = net_->gru.Params();
+  for (const Variable& p : net_->scorer.Params()) out.push_back(p);
+  return out;
+}
+
+// ----------------------------------------------------------------- PRM --
+
+struct PrmReranker::Net {
+  Net(int in_dim, int hidden, std::mt19937_64& rng)
+      : input_proj(in_dim, hidden, rng),
+        encoder(hidden, 2, 2 * hidden, rng),
+        scorer({hidden, hidden, 1}, rng, nn::Activation::kRelu) {}
+  nn::Linear input_proj;
+  nn::TransformerEncoderLayer encoder;
+  nn::Mlp scorer;
+};
+
+PrmReranker::PrmReranker(NeuralRerankConfig config) : NeuralReranker(config) {}
+PrmReranker::~PrmReranker() = default;
+
+void PrmReranker::InitNet(const data::Dataset& data, std::mt19937_64& rng) {
+  net_ = std::make_unique<Net>(ListFeatureDim(data), config_.hidden_dim, rng);
+}
+
+Variable PrmReranker::BuildLogits(const data::Dataset& data,
+                                  const data::ImpressionList& list,
+                                  bool /*training*/,
+                                  std::mt19937_64& /*rng*/) const {
+  const int L = static_cast<int>(list.items.size());
+  Variable x = Variable::Constant(ListFeatureMatrix(data, list));
+  Variable h = net_->input_proj.Forward(x);
+  h = nn::Add(h, Variable::Constant(
+                     nn::SinusoidalPositionalEncoding(L, h.cols())));
+  h = net_->encoder.Forward(h);
+  return net_->scorer.Forward(h);
+}
+
+std::vector<Variable> PrmReranker::Params() const {
+  std::vector<Variable> out = net_->input_proj.Params();
+  for (const Variable& p : net_->encoder.Params()) out.push_back(p);
+  for (const Variable& p : net_->scorer.Params()) out.push_back(p);
+  return out;
+}
+
+// ------------------------------------------------------------- SetRank --
+
+struct SetRankReranker::Net {
+  Net(int in_dim, int hidden, std::mt19937_64& rng)
+      : input_proj(in_dim, hidden, rng),
+        block1(hidden, 2, 2 * hidden, rng),
+        block2(hidden, 2, 2 * hidden, rng),
+        scorer({hidden, hidden, 1}, rng, nn::Activation::kRelu) {}
+  nn::Linear input_proj;
+  nn::TransformerEncoderLayer block1;
+  nn::TransformerEncoderLayer block2;
+  nn::Mlp scorer;
+};
+
+SetRankReranker::SetRankReranker(NeuralRerankConfig config)
+    : NeuralReranker(config) {}
+SetRankReranker::~SetRankReranker() = default;
+
+void SetRankReranker::InitNet(const data::Dataset& data,
+                              std::mt19937_64& rng) {
+  net_ = std::make_unique<Net>(ListFeatureDim(data), config_.hidden_dim, rng);
+}
+
+Variable SetRankReranker::BuildLogits(const data::Dataset& data,
+                                      const data::ImpressionList& list,
+                                      bool /*training*/,
+                                      std::mt19937_64& /*rng*/) const {
+  // No positional encoding: permutation-invariant by construction.
+  Variable h = net_->input_proj.Forward(
+      Variable::Constant(ListFeatureMatrix(data, list)));
+  h = net_->block1.Forward(h);
+  h = net_->block2.Forward(h);
+  return net_->scorer.Forward(h);
+}
+
+std::vector<Variable> SetRankReranker::Params() const {
+  std::vector<Variable> out = net_->input_proj.Params();
+  for (const Variable& p : net_->block1.Params()) out.push_back(p);
+  for (const Variable& p : net_->block2.Params()) out.push_back(p);
+  for (const Variable& p : net_->scorer.Params()) out.push_back(p);
+  return out;
+}
+
+// ---------------------------------------------------------------- SRGA --
+
+struct SrgaReranker::Net {
+  Net(int in_dim, int hidden, std::mt19937_64& rng)
+      : input_proj(in_dim, hidden, rng),
+        wq_glob(hidden, hidden, rng),
+        wk_glob(hidden, hidden, rng),
+        wv_glob(hidden, hidden, rng),
+        wq_loc(hidden, hidden, rng),
+        wk_loc(hidden, hidden, rng),
+        wv_loc(hidden, hidden, rng),
+        gate(Variable::Parameter(nn::Matrix(1, hidden))),
+        scorer({2 * hidden, hidden, 1}, rng, nn::Activation::kRelu) {}
+  nn::Linear input_proj;
+  nn::Linear wq_glob, wk_glob, wv_glob;  // unidirectional (causal) head
+  nn::Linear wq_loc, wk_loc, wv_loc;     // local-window head
+  Variable gate;                          // learned fusion gate (1 x h)
+  nn::Mlp scorer;
+};
+
+SrgaReranker::SrgaReranker(NeuralRerankConfig config, int local_window)
+    : NeuralReranker(config), local_window_(local_window) {}
+SrgaReranker::~SrgaReranker() = default;
+
+void SrgaReranker::InitNet(const data::Dataset& data, std::mt19937_64& rng) {
+  net_ = std::make_unique<Net>(ListFeatureDim(data), config_.hidden_dim, rng);
+}
+
+Variable SrgaReranker::BuildLogits(const data::Dataset& data,
+                                   const data::ImpressionList& list,
+                                   bool /*training*/,
+                                   std::mt19937_64& /*rng*/) const {
+  const int L = static_cast<int>(list.items.size());
+  Variable h = net_->input_proj.Forward(
+      Variable::Constant(ListFeatureMatrix(data, list)));
+  Variable glob =
+      MaskedAttention(h, net_->wq_glob, net_->wk_glob, net_->wv_glob,
+                      AttentionMask(L, /*causal=*/true, /*band=*/-1));
+  Variable loc =
+      MaskedAttention(h, net_->wq_loc, net_->wk_loc, net_->wv_loc,
+                      AttentionMask(L, /*causal=*/false, local_window_));
+  // Gated fusion g*glob + (1-g)*loc with a learned per-dimension gate.
+  Variable g = nn::Sigmoid(net_->gate);
+  Variable inv_g = nn::AddScalar(nn::Scale(g, -1.0f), 1.0f);
+  Variable fused = nn::Add(nn::MulRowBroadcast(glob, g),
+                           nn::MulRowBroadcast(loc, inv_g));
+  return net_->scorer.Forward(nn::ConcatCols({h, fused}));
+}
+
+std::vector<Variable> SrgaReranker::Params() const {
+  std::vector<Variable> out = net_->input_proj.Params();
+  for (const nn::Linear* l :
+       {&net_->wq_glob, &net_->wk_glob, &net_->wv_glob, &net_->wq_loc,
+        &net_->wk_loc, &net_->wv_loc}) {
+    for (const Variable& p : l->Params()) out.push_back(p);
+  }
+  out.push_back(net_->gate);
+  for (const Variable& p : net_->scorer.Params()) out.push_back(p);
+  return out;
+}
+
+// ---------------------------------------------------------------- DESA --
+
+struct DesaReranker::Net {
+  Net(int in_dim, int num_topics, int hidden, std::mt19937_64& rng)
+      : input_proj(in_dim, hidden, rng),
+        rel_attention(hidden, 2, rng),
+        scorer({hidden + num_topics, hidden, 1}, rng,
+               nn::Activation::kRelu) {}
+  nn::Linear input_proj;
+  nn::MultiHeadAttention rel_attention;
+  nn::Mlp scorer;
+};
+
+NeuralRerankConfig DesaReranker::PairwiseConfig() {
+  NeuralRerankConfig cfg;
+  cfg.loss = RerankLoss::kPairwiseLogistic;
+  return cfg;
+}
+
+DesaReranker::DesaReranker(NeuralRerankConfig config)
+    : NeuralReranker(config) {}
+DesaReranker::~DesaReranker() = default;
+
+void DesaReranker::InitNet(const data::Dataset& data, std::mt19937_64& rng) {
+  net_ = std::make_unique<Net>(ListFeatureDim(data), data.num_topics,
+                               config_.hidden_dim, rng);
+}
+
+Variable DesaReranker::BuildLogits(const data::Dataset& data,
+                                   const data::ImpressionList& list,
+                                   bool /*training*/,
+                                   std::mt19937_64& /*rng*/) const {
+  const int L = static_cast<int>(list.items.size());
+  // Relevance branch: projected multi-head self-attention over items.
+  Variable h = net_->input_proj.Forward(
+      Variable::Constant(ListFeatureMatrix(data, list)));
+  Variable rel = nn::Add(h, net_->rel_attention.Forward(h));
+
+  // Diversity branch: parameter-free self-attention over coverage rows —
+  // each item's row becomes a mixture of similar items' coverages, so
+  // redundant items light up and novel ones stay distinct.
+  nn::Matrix cov(L, data.num_topics);
+  for (int i = 0; i < L; ++i) {
+    const auto& tau = data.item(list.items[i]).topic_coverage;
+    for (int j = 0; j < data.num_topics; ++j) cov.at(i, j) = tau[j];
+  }
+  Variable div = nn::UnprojectedSelfAttention(Variable::Constant(cov));
+
+  return net_->scorer.Forward(nn::ConcatCols({rel, div}));
+}
+
+std::vector<Variable> DesaReranker::Params() const {
+  std::vector<Variable> out = net_->input_proj.Params();
+  for (const Variable& p : net_->rel_attention.Params()) out.push_back(p);
+  for (const Variable& p : net_->scorer.Params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace rapid::rerank

@@ -1,0 +1,126 @@
+#ifndef RAPID_RERANK_NEURAL_MODELS_H_
+#define RAPID_RERANK_NEURAL_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rerank/neural_base.h"
+
+namespace rapid::rerank {
+
+/// DLCM (Ai et al., SIGIR 2018): a GRU encodes the top-ranked items in
+/// initial order into a local context embedding; each item is scored by an
+/// MLP over its GRU state and the final (whole-list) state.
+class DlcmReranker : public NeuralReranker {
+ public:
+  explicit DlcmReranker(NeuralRerankConfig config = {});
+  ~DlcmReranker() override;
+  std::string name() const override { return "DLCM"; }
+
+ protected:
+  void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
+  nn::Variable BuildLogits(const data::Dataset& data,
+                           const data::ImpressionList& list, bool training,
+                           std::mt19937_64& rng) const override;
+  std::vector<nn::Variable> Params() const override;
+
+ private:
+  struct Net;
+  std::unique_ptr<Net> net_;
+};
+
+/// PRM (Pei et al., RecSys 2019): transformer encoder over the item
+/// sequence with sinusoidal positional encoding, modeling cross-item
+/// interactions explicitly.
+class PrmReranker : public NeuralReranker {
+ public:
+  explicit PrmReranker(NeuralRerankConfig config = {});
+  ~PrmReranker() override;
+  std::string name() const override { return "PRM"; }
+
+ protected:
+  void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
+  nn::Variable BuildLogits(const data::Dataset& data,
+                           const data::ImpressionList& list, bool training,
+                           std::mt19937_64& rng) const override;
+  std::vector<nn::Variable> Params() const override;
+
+ private:
+  struct Net;
+  std::unique_ptr<Net> net_;
+};
+
+/// SetRank (Pang et al., SIGIR 2020): multi-head self-attention blocks
+/// *without* positional encoding — a permutation-invariant set encoder.
+class SetRankReranker : public NeuralReranker {
+ public:
+  explicit SetRankReranker(NeuralRerankConfig config = {});
+  ~SetRankReranker() override;
+  std::string name() const override { return "SetRank"; }
+
+ protected:
+  void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
+  nn::Variable BuildLogits(const data::Dataset& data,
+                           const data::ImpressionList& list, bool training,
+                           std::mt19937_64& rng) const override;
+  std::vector<nn::Variable> Params() const override;
+
+ private:
+  struct Net;
+  std::unique_ptr<Net> net_;
+};
+
+/// SRGA (Qian et al., WSDM 2022): scope-aware gated attention — a
+/// unidirectional (causal) attention head models the browsing direction, a
+/// local-window head models neighboring-item interactions, and a learned
+/// sigmoid gate fuses them.
+class SrgaReranker : public NeuralReranker {
+ public:
+  explicit SrgaReranker(NeuralRerankConfig config = {}, int local_window = 3);
+  ~SrgaReranker() override;
+  std::string name() const override { return "SRGA"; }
+
+ protected:
+  void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
+  nn::Variable BuildLogits(const data::Dataset& data,
+                           const data::ImpressionList& list, bool training,
+                           std::mt19937_64& rng) const override;
+  std::vector<nn::Variable> Params() const override;
+
+ private:
+  struct Net;
+  std::unique_ptr<Net> net_;
+  int local_window_;
+};
+
+/// DESA (Qin et al., CIKM 2020): jointly estimates relevance (projected
+/// multi-head self-attention over item embeddings) and diversity
+/// (parameter-free self-attention over the topic-coverage rows), fusing
+/// both with an MLP. Trained with the pairwise logistic loss by default,
+/// matching the original formulation.
+class DesaReranker : public NeuralReranker {
+ public:
+  /// A `NeuralRerankConfig` with the pairwise loss selected (DESA's
+  /// original objective); all other fields at their defaults.
+  static NeuralRerankConfig PairwiseConfig();
+
+  explicit DesaReranker(NeuralRerankConfig config = PairwiseConfig());
+  ~DesaReranker() override;
+  std::string name() const override { return "DESA"; }
+
+ protected:
+  void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
+  nn::Variable BuildLogits(const data::Dataset& data,
+                           const data::ImpressionList& list, bool training,
+                           std::mt19937_64& rng) const override;
+  std::vector<nn::Variable> Params() const override;
+
+ private:
+  struct Net;
+  std::unique_ptr<Net> net_;
+};
+
+}  // namespace rapid::rerank
+
+#endif  // RAPID_RERANK_NEURAL_MODELS_H_

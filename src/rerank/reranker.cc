@@ -1,0 +1,41 @@
+#include "rerank/reranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rapid::rerank {
+
+void Reranker::Fit(const data::Dataset& /*data*/,
+                   const std::vector<data::ImpressionList>& /*train*/,
+                   uint64_t /*seed*/) {}
+
+std::vector<int> InitReranker::Rerank(
+    const data::Dataset& /*data*/, const data::ImpressionList& list) const {
+  return list.items;
+}
+
+std::vector<float> NormalizedScores(const data::ImpressionList& list) {
+  std::vector<float> out(list.scores);
+  if (out.empty()) return out;
+  const auto [mn_it, mx_it] = std::minmax_element(out.begin(), out.end());
+  const float mn = *mn_it, mx = *mx_it;
+  if (mx - mn < 1e-9f) {
+    std::fill(out.begin(), out.end(), 0.5f);
+    return out;
+  }
+  for (float& s : out) s = (s - mn) / (mx - mn);
+  return out;
+}
+
+float CoverageCosine(const data::Item& a, const data::Item& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t j = 0; j < a.topic_coverage.size(); ++j) {
+    dot += a.topic_coverage[j] * b.topic_coverage[j];
+    na += a.topic_coverage[j] * a.topic_coverage[j];
+    nb += b.topic_coverage[j] * b.topic_coverage[j];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0f;
+  return static_cast<float>(dot / std::sqrt(na * nb));
+}
+
+}  // namespace rapid::rerank

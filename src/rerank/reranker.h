@@ -1,0 +1,55 @@
+#ifndef RAPID_RERANK_RERANKER_H_
+#define RAPID_RERANK_RERANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/types.h"
+
+namespace rapid::rerank {
+
+/// Interface for re-ranking models (the paper's final MRS stage).
+///
+/// A re-ranker receives an initial `ImpressionList` (items, initial-ranker
+/// scores, and — during training — simulated clicks) and outputs a
+/// permutation of the list. Heuristic methods ignore `Fit`.
+class Reranker {
+ public:
+  virtual ~Reranker() = default;
+
+  /// Name used in experiment tables (matches the paper's method names).
+  virtual std::string name() const = 0;
+
+  /// Trains on logged initial lists with click labels. Default: no-op
+  /// (heuristic methods).
+  virtual void Fit(const data::Dataset& data,
+                   const std::vector<data::ImpressionList>& train,
+                   uint64_t seed);
+
+  /// Returns the re-ranked item ids — a permutation of `list.items`.
+  /// Evaluation metrics are computed over prefixes of this permutation.
+  virtual std::vector<int> Rerank(const data::Dataset& data,
+                                  const data::ImpressionList& list) const = 0;
+};
+
+/// The identity re-ranker: returns the initial ranking unchanged ("Init"
+/// rows of the paper's tables).
+class InitReranker : public Reranker {
+ public:
+  std::string name() const override { return "Init"; }
+  std::vector<int> Rerank(const data::Dataset& data,
+                          const data::ImpressionList& list) const override;
+};
+
+/// Min-max normalizes the initial scores of a list into [0,1] (constant
+/// lists map to all-0.5). Heuristic re-rankers use this as their relevance
+/// estimate.
+std::vector<float> NormalizedScores(const data::ImpressionList& list);
+
+/// Cosine similarity of two items' topic-coverage vectors (0 when either
+/// is all-zero).
+float CoverageCosine(const data::Item& a, const data::Item& b);
+
+}  // namespace rapid::rerank
+
+#endif  // RAPID_RERANK_RERANKER_H_

@@ -1,0 +1,178 @@
+#include "rerank/seq2slate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace rapid::rerank {
+
+namespace {
+
+using nn::Variable;
+
+}  // namespace
+
+struct Seq2SlateReranker::Net {
+  Net(int in_dim, int hidden, std::mt19937_64& rng)
+      : input_proj(in_dim, hidden, rng, nn::Activation::kTanh),
+        encoder(hidden, hidden, rng),
+        decoder_cell(hidden, hidden, rng),
+        att_enc(hidden, hidden, rng),
+        att_dec(hidden, hidden, rng),
+        att_v(hidden, 1, rng) {}
+  nn::Linear input_proj;
+  nn::Lstm encoder;
+  nn::LstmCell decoder_cell;
+  // Additive (Bahdanau) pointer attention: v^T tanh(W1 e_i + W2 d).
+  nn::Linear att_enc, att_dec, att_v;
+};
+
+Seq2SlateReranker::Seq2SlateReranker(NeuralRerankConfig config,
+                                     int decode_steps)
+    : NeuralReranker(config), decode_steps_(decode_steps) {}
+Seq2SlateReranker::~Seq2SlateReranker() = default;
+
+void Seq2SlateReranker::InitNet(const data::Dataset& data,
+                                std::mt19937_64& rng) {
+  net_ = std::make_unique<Net>(ListFeatureDim(data), config_.hidden_dim,
+                               rng);
+}
+
+Variable Seq2SlateReranker::Encode(const data::Dataset& data,
+                                   const data::ImpressionList& list) const {
+  const nn::Matrix feats = ListFeatureMatrix(data, list);
+  Variable projected = net_->input_proj.Forward(Variable::Constant(feats));
+  // Run the encoder LSTM over the projected rows.
+  std::vector<Variable> steps;
+  steps.reserve(projected.rows());
+  for (int i = 0; i < projected.rows(); ++i) {
+    steps.push_back(nn::SliceRows(projected, i, 1));
+  }
+  return nn::ConcatRows(net_->encoder.Forward(steps));  // (L x h)
+}
+
+Variable Seq2SlateReranker::PointerLogits(
+    const Variable& encoder_states, const Variable& decoder_state,
+    const std::vector<bool>& selected) const {
+  const int L = encoder_states.rows();
+  // (L x h) + broadcast (1 x h) -> tanh -> (L x 1) scores.
+  Variable keys = net_->att_enc.Forward(encoder_states);
+  Variable query = net_->att_dec.Forward(decoder_state);  // (1 x h)
+  Variable scores =
+      net_->att_v.Forward(nn::Tanh(nn::AddRowBroadcast(keys, query)));
+  nn::Matrix mask(L, 1);
+  for (int i = 0; i < L; ++i) mask.at(i, 0) = selected[i] ? -1e9f : 0.0f;
+  return nn::Add(scores, Variable::Constant(std::move(mask)));  // (L x 1)
+}
+
+nn::Variable Seq2SlateReranker::ListLoss(const data::Dataset& data,
+                                         const data::ImpressionList& list,
+                                         std::mt19937_64& /*rng*/) const {
+  assert(list.clicks.size() == list.items.size());
+  const int L = static_cast<int>(list.items.size());
+  Variable enc = Encode(data, list);
+
+  // Target ordering: clicked items first (initial order within groups).
+  std::vector<int> target;
+  for (int i = 0; i < L; ++i) {
+    if (list.clicks[i]) target.push_back(i);
+  }
+  for (int i = 0; i < L; ++i) {
+    if (!list.clicks[i]) target.push_back(i);
+  }
+
+  const int steps = std::min(decode_steps_, L);
+  std::vector<bool> selected(L, false);
+  Variable h = Variable::Constant(nn::Matrix(1, config_.hidden_dim));
+  Variable c = Variable::Constant(nn::Matrix(1, config_.hidden_dim));
+  Variable dec_in = Variable::Constant(nn::Matrix(1, config_.hidden_dim));
+  std::vector<Variable> step_losses;
+  step_losses.reserve(steps);
+  for (int t = 0; t < steps; ++t) {
+    auto [h2, c2] = net_->decoder_cell.Forward(dec_in, h, c);
+    h = h2;
+    c = c2;
+    Variable logits = PointerLogits(enc, h, selected);       // (L x 1)
+    Variable probs = nn::SoftmaxRows(nn::Transpose(logits));  // (1 x L)
+    const int choice = target[t];
+    Variable p = nn::SliceCols(probs, choice, 1);
+    step_losses.push_back(
+        nn::Scale(nn::Log(nn::AddScalar(p, 1e-9f)), -1.0f));
+    // Teacher forcing: feed the target item's encoder state next.
+    selected[choice] = true;
+    dec_in = nn::SliceRows(enc, choice, 1);
+  }
+  return nn::MeanAll(nn::ConcatRows(step_losses));
+}
+
+nn::Variable Seq2SlateReranker::BuildLogits(const data::Dataset& data,
+                                            const data::ImpressionList& list,
+                                            bool /*training*/,
+                                            std::mt19937_64& /*rng*/) const {
+  // Greedy decode; logits are the step index at which each item was
+  // picked, negated so earlier picks score higher (permutation-compatible
+  // with the score-and-sort base-class plumbing).
+  const std::vector<int> order = Rerank(data, list);
+  nn::Matrix out(static_cast<int>(list.items.size()), 1);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const auto it =
+        std::find(list.items.begin(), list.items.end(), order[rank]);
+    const int pos = static_cast<int>(it - list.items.begin());
+    out.at(pos, 0) = -static_cast<float>(rank);
+  }
+  return Variable::Constant(std::move(out));
+}
+
+std::vector<int> Seq2SlateReranker::Rerank(
+    const data::Dataset& data, const data::ImpressionList& list) const {
+  assert(net_ != nullptr && "Fit must run before Rerank");
+  const int L = static_cast<int>(list.items.size());
+  Variable enc = Encode(data, list);
+  std::vector<bool> selected(L, false);
+  Variable h = Variable::Constant(nn::Matrix(1, config_.hidden_dim));
+  Variable c = Variable::Constant(nn::Matrix(1, config_.hidden_dim));
+  Variable dec_in = Variable::Constant(nn::Matrix(1, config_.hidden_dim));
+  std::vector<int> out;
+  out.reserve(L);
+  for (int t = 0; t < L; ++t) {
+    auto [h2, c2] = net_->decoder_cell.Forward(dec_in, h, c);
+    h = h2;
+    c = c2;
+    Variable logits = PointerLogits(enc, h, selected);
+    int best = -1;
+    float best_score = -1e30f;
+    for (int i = 0; i < L; ++i) {
+      if (!selected[i] && logits.value().at(i, 0) > best_score) {
+        best_score = logits.value().at(i, 0);
+        best = i;
+      }
+    }
+    selected[best] = true;
+    out.push_back(list.items[best]);
+    dec_in = nn::SliceRows(enc, best, 1);
+  }
+  return out;
+}
+
+std::vector<float> Seq2SlateReranker::ScoreList(
+    const data::Dataset& data, const data::ImpressionList& list) const {
+  std::mt19937_64 rng(0);
+  Variable logits = BuildLogits(data, list, false, rng);
+  std::vector<float> out(list.items.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = logits.value().at(static_cast<int>(i), 0);
+  }
+  return out;
+}
+
+std::vector<nn::Variable> Seq2SlateReranker::Params() const {
+  std::vector<Variable> out = net_->input_proj.Params();
+  for (const Variable& p : net_->encoder.Params()) out.push_back(p);
+  for (const Variable& p : net_->decoder_cell.Params()) out.push_back(p);
+  for (const nn::Linear* l : {&net_->att_enc, &net_->att_dec, &net_->att_v}) {
+    for (const Variable& p : l->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace rapid::rerank

@@ -1,0 +1,67 @@
+#ifndef RAPID_RERANK_SEQ2SLATE_H_
+#define RAPID_RERANK_SEQ2SLATE_H_
+
+#include <memory>
+#include <string>
+
+#include "rerank/neural_base.h"
+
+namespace rapid::rerank {
+
+/// Seq2Slate (Bello et al. 2019, reference [1] of the paper): a pointer
+/// network that *generates* the re-ranked slate item by item — an LSTM
+/// encoder over the initial list, an LSTM decoder whose additive attention
+/// points at the next item among the not-yet-selected candidates.
+///
+/// Trained with the supervised cross-entropy variant from the original
+/// paper: the target ordering places clicked items first (in initial
+/// order), and the per-step pointer distribution is pushed toward the
+/// target choice over the first `decode_steps` positions. Inference decodes
+/// greedily into a full permutation.
+///
+/// Provided as an extension baseline (generative, rather than
+/// score-and-sort, re-ranking); not part of the paper's Table II line-up.
+class Seq2SlateReranker : public NeuralReranker {
+ public:
+  explicit Seq2SlateReranker(NeuralRerankConfig config = {},
+                             int decode_steps = 10);
+  ~Seq2SlateReranker() override;
+  std::string name() const override { return "Seq2Slate"; }
+
+  /// Generative decoding: not score-and-sort.
+  std::vector<int> Rerank(const data::Dataset& data,
+                          const data::ImpressionList& list) const override;
+
+  /// Greedy pointer probabilities of the generated order (diagnostics).
+  std::vector<float> ScoreList(const data::Dataset& data,
+                               const data::ImpressionList& list)
+      const override;
+
+ protected:
+  void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
+  nn::Variable BuildLogits(const data::Dataset& data,
+                           const data::ImpressionList& list, bool training,
+                           std::mt19937_64& rng) const override;
+  nn::Variable ListLoss(const data::Dataset& data,
+                        const data::ImpressionList& list,
+                        std::mt19937_64& rng) const override;
+  std::vector<nn::Variable> Params() const override;
+
+ private:
+  struct Net;
+  /// Encoder states for a list: (L x h).
+  nn::Variable Encode(const data::Dataset& data,
+                      const data::ImpressionList& list) const;
+  /// Pointer logits over all L items for one decoder state, with already
+  /// selected positions masked to -1e9.
+  nn::Variable PointerLogits(const nn::Variable& encoder_states,
+                             const nn::Variable& decoder_state,
+                             const std::vector<bool>& selected) const;
+
+  std::unique_ptr<Net> net_;
+  int decode_steps_;
+};
+
+}  // namespace rapid::rerank
+
+#endif  // RAPID_RERANK_SEQ2SLATE_H_

@@ -1,0 +1,95 @@
+#include "rerank/ssd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace rapid::rerank {
+
+namespace {
+
+using Vec = std::vector<double>;
+
+double Dot(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+// Unit-normalized item embedding: topic coverage concatenated with l2
+// normalized latent features (both signals matter for spanned volume).
+Vec Embedding(const data::Item& item) {
+  Vec v;
+  v.reserve(item.topic_coverage.size() + item.features.size());
+  for (float t : item.topic_coverage) v.push_back(t);
+  double fn = 0.0;
+  for (float f : item.features) fn += static_cast<double>(f) * f;
+  fn = std::sqrt(std::max(fn, 1e-12));
+  for (float f : item.features) v.push_back(f / fn);
+  const double n = std::max(Norm(v), 1e-12);
+  for (double& x : v) x /= n;
+  return v;
+}
+
+// Residual of `v` after projecting out the (orthonormal) basis vectors.
+Vec Residual(const Vec& v, const std::deque<Vec>& basis) {
+  Vec r = v;
+  for (const Vec& b : basis) {
+    const double proj = Dot(r, b);
+    for (size_t i = 0; i < r.size(); ++i) r[i] -= proj * b[i];
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<int> SsdReranker::Rerank(const data::Dataset& data,
+                                     const data::ImpressionList& list) const {
+  const int n = static_cast<int>(list.items.size());
+  const std::vector<float> rel = NormalizedScores(list);
+  std::vector<Vec> emb(n);
+  for (int i = 0; i < n; ++i) emb[i] = Embedding(data.item(list.items[i]));
+
+  std::vector<bool> used(n, false);
+  std::deque<Vec> basis;  // Orthonormal basis of the sliding window.
+  std::deque<Vec> raw_window;
+  std::vector<int> out;
+  out.reserve(n);
+
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    double best_score = -1e30;
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const double vol = Norm(Residual(emb[i], basis));
+      const double score = rel[i] + gamma_ * vol;
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    used[best] = true;
+    out.push_back(list.items[best]);
+
+    raw_window.push_back(emb[best]);
+    if (static_cast<int>(raw_window.size()) > window_) {
+      raw_window.pop_front();
+    }
+    // Rebuild the orthonormal basis of the window by modified Gram-Schmidt
+    // (window is small, so this stays cheap and numerically clean).
+    basis.clear();
+    for (const Vec& w : raw_window) {
+      Vec r = Residual(w, basis);
+      const double nr = Norm(r);
+      if (nr > 1e-8) {
+        for (double& x : r) x /= nr;
+        basis.push_back(std::move(r));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rapid::rerank

@@ -1,0 +1,33 @@
+#ifndef RAPID_RERANK_SSD_H_
+#define RAPID_RERANK_SSD_H_
+
+#include <string>
+#include <vector>
+
+#include "rerank/reranker.h"
+
+namespace rapid::rerank {
+
+/// Sliding Spectrum Decomposition (Huang et al., KDD 2021): greedily
+/// appends the item maximizing `rel(v) + gamma * ||residual(v)||`, where
+/// the residual is the component of the item's embedding orthogonal to the
+/// span of the last `window` selected items (maintained by modified
+/// Gram-Schmidt). Maximizing the residual norm maximizes the volume spanned
+/// by the trajectory tensor within the sliding window.
+class SsdReranker : public Reranker {
+ public:
+  explicit SsdReranker(float gamma = 0.4f, int window = 5)
+      : gamma_(gamma), window_(window) {}
+
+  std::string name() const override { return "SSD"; }
+  std::vector<int> Rerank(const data::Dataset& data,
+                          const data::ImpressionList& list) const override;
+
+ private:
+  float gamma_;
+  int window_;
+};
+
+}  // namespace rapid::rerank
+
+#endif  // RAPID_RERANK_SSD_H_

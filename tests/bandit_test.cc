@@ -1,0 +1,151 @@
+#include "bandit/linear_rapid.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/simulator.h"
+
+namespace rapid::bandit {
+namespace {
+
+class BanditTest : public ::testing::Test {
+ protected:
+  BanditTest() {
+    data::SimConfig cfg;
+    cfg.kind = data::DatasetKind::kTaobao;
+    cfg.num_users = 40;
+    cfg.num_items = 250;
+    data_ = data::GenerateDataset(cfg, 81);
+    dcm_ = std::make_unique<click::GroundTruthClickModel>(
+        &data_, click::DcmConfig{.lambda = 0.7f});
+  }
+  data::Dataset data_;
+  std::unique_ptr<click::GroundTruthClickModel> dcm_;
+};
+
+TEST_F(BanditTest, FeatureDimension) {
+  LinearRapidBandit bandit(&data_, {});
+  // 1 (bias) + q_u + q_v + m (coverage) + m (pers. diversity) = 1+8+9+5+5.
+  EXPECT_EQ(bandit.dim(), 28);
+  EXPECT_EQ(BanditFeatureDim(data_), 28);
+  auto eta = bandit.Features(0, {}, 3);
+  EXPECT_EQ(static_cast<int>(eta.size()), bandit.dim());
+  EXPECT_FLOAT_EQ(eta[0], 1.0f);  // Bias feature.
+}
+
+TEST_F(BanditTest, LinearEnvironmentAttractionMatchesOmega) {
+  LinearDcmEnvironment env(&data_, 3);
+  std::vector<int> items = {4, 9};
+  const auto eta = BanditFeatures(data_, 0, {4}, 9);
+  double expect = 0.0;
+  for (size_t i = 0; i < eta.size(); ++i) {
+    expect += env.omega_star()[i] * eta[i];
+  }
+  EXPECT_NEAR(env.Attraction(0, items, 1),
+              std::clamp(expect, 0.0, 1.0), 1e-5);
+}
+
+TEST_F(BanditTest, LinearEnvironmentAttractionsInRange) {
+  LinearDcmEnvironment env(&data_, 4);
+  std::vector<int> items = {1, 2, 3, 4, 5};
+  for (int pos = 0; pos < 5; ++pos) {
+    const float a = env.Attraction(0, items, pos);
+    EXPECT_GE(a, 0.0f);
+    EXPECT_LE(a, 1.0f);
+  }
+}
+
+TEST_F(BanditTest, LinearSettingRegretOverSqrtNFlattens) {
+  LinearDcmEnvironment env(&data_, 5);
+  const int rounds = 800;
+  RegretCurve curve = RunRegretExperiment(
+      data_, env, LinearRapidBandit::Config{}, rounds, 12, 9);
+  // Consistent with O~(sqrt(n)): the normalized curve must not grow from
+  // the first half to the second half.
+  EXPECT_LE(curve.regret_over_sqrt_n[rounds - 1],
+            curve.regret_over_sqrt_n[rounds / 2 - 1] * 1.1);
+}
+
+TEST_F(BanditTest, DiversityFeatureShrinksWithCoveredPrefix) {
+  LinearRapidBandit bandit(&data_, {});
+  auto eta_empty = bandit.Features(0, {}, 3);
+  auto eta_prefixed = bandit.Features(0, {3}, 3);  // Same item as prefix.
+  const int m = data_.num_topics;
+  for (int j = 0; j < m; ++j) {
+    const int idx = bandit.dim() - m + j;
+    EXPECT_LE(eta_prefixed[idx], eta_empty[idx] + 1e-6f);
+  }
+}
+
+TEST_F(BanditTest, UcbShrinksWithObservations) {
+  LinearRapidBandit bandit(&data_, {});
+  auto eta = bandit.Features(0, {}, 3);
+  const float before = bandit.UcbScore(eta) - bandit.MeanScore(eta);
+  // Feed the same context many times.
+  for (int t = 0; t < 30; ++t) bandit.Update(0, {3}, {0});
+  const float after = bandit.UcbScore(eta) - bandit.MeanScore(eta);
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, 0.0f);
+}
+
+TEST_F(BanditTest, SelectListSizeAndUniqueness) {
+  LinearRapidBandit::Config cfg;
+  cfg.k = 4;
+  LinearRapidBandit bandit(&data_, cfg);
+  std::vector<int> pool = {1, 5, 9, 13, 17, 21, 25};
+  auto list = bandit.SelectList(0, pool);
+  EXPECT_EQ(list.size(), 4u);
+  std::set<int> uniq(list.begin(), list.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  for (int v : list) {
+    EXPECT_TRUE(std::find(pool.begin(), pool.end(), v) != pool.end());
+  }
+}
+
+TEST_F(BanditTest, GreedyOracleBeatsRandomOnTrueSatisfaction) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<int> item_dist(0, 249);
+  double oracle_total = 0.0, random_total = 0.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<int> pool;
+    for (int i = 0; i < 15; ++i) pool.push_back(item_dist(rng));
+    auto oracle = GreedyOracleList(data_, *dcm_, trial % 40, pool, 5);
+    std::vector<int> random(pool.begin(), pool.begin() + 5);
+    oracle_total += dcm_->TrueSatisfaction(trial % 40, oracle, 5);
+    random_total += dcm_->TrueSatisfaction(trial % 40, random, 5);
+  }
+  EXPECT_GT(oracle_total, random_total);
+}
+
+TEST_F(BanditTest, BanditRegretSublinearVsRandomLinear) {
+  const int rounds = 600;
+  RegretCurve bandit_curve = RunRegretExperiment(
+      data_, *dcm_, LinearRapidBandit::Config{}, rounds, 15, 5);
+  RegretCurve random_curve =
+      RunRandomPolicyExperiment(data_, *dcm_, 5, rounds, 15, 5);
+  ASSERT_EQ(bandit_curve.cumulative_regret.size(),
+            static_cast<size_t>(rounds));
+  // The learning policy must beat uniform-random by a wide margin.
+  EXPECT_LT(bandit_curve.cumulative_regret.back(),
+            0.6 * random_curve.cumulative_regret.back());
+  // Regret/sqrt(n) should not be exploding: the second-half maximum should
+  // not exceed the first-half maximum by much (flattening curve).
+  double first_half = 0.0, second_half = 0.0;
+  for (int t = 0; t < rounds / 2; ++t) {
+    first_half = std::max(first_half, bandit_curve.regret_over_sqrt_n[t]);
+  }
+  for (int t = rounds / 2; t < rounds; ++t) {
+    second_half = std::max(second_half, bandit_curve.regret_over_sqrt_n[t]);
+  }
+  EXPECT_LT(second_half, first_half * 1.3);
+}
+
+TEST_F(BanditTest, CumulativeRegretIsNonDecreasing) {
+  RegretCurve curve = RunRegretExperiment(
+      data_, *dcm_, LinearRapidBandit::Config{}, 100, 12, 6);
+  for (size_t t = 1; t < curve.cumulative_regret.size(); ++t) {
+    EXPECT_GE(curve.cumulative_regret[t], curve.cumulative_regret[t - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace rapid::bandit

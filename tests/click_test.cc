@@ -1,0 +1,201 @@
+#include "click/dcm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/simulator.h"
+
+namespace rapid::click {
+namespace {
+
+using data::Dataset;
+using data::DatasetKind;
+using data::GenerateDataset;
+using data::SimConfig;
+
+class DcmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimConfig cfg;
+    cfg.kind = DatasetKind::kTaobao;
+    cfg.num_users = 40;
+    cfg.num_items = 300;
+    data_ = GenerateDataset(cfg, 21);
+  }
+  Dataset data_;
+};
+
+TEST_F(DcmTest, TerminationIsDecreasing) {
+  GroundTruthClickModel dcm(&data_, DcmConfig{});
+  for (int k = 1; k < 10; ++k) {
+    EXPECT_GE(dcm.Termination(k), dcm.Termination(k + 1));
+    EXPECT_GT(dcm.Termination(k), 0.0f);
+    EXPECT_LT(dcm.Termination(k), 1.0f);
+  }
+}
+
+TEST_F(DcmTest, AttractionInUnitInterval) {
+  GroundTruthClickModel dcm(&data_, DcmConfig{.lambda = 0.5f});
+  std::vector<int> items = {0, 5, 9, 33, 71};
+  for (int pos = 0; pos < 5; ++pos) {
+    const float phi = dcm.Attraction(0, items, pos);
+    EXPECT_GE(phi, 0.0f);
+    EXPECT_LE(phi, 1.0f);
+  }
+}
+
+TEST_F(DcmTest, LambdaOneIsPureRelevance) {
+  GroundTruthClickModel dcm(&data_, DcmConfig{.lambda = 1.0f});
+  std::vector<int> items = {0, 5, 9};
+  for (int pos = 0; pos < 3; ++pos) {
+    EXPECT_NEAR(dcm.Attraction(0, items, pos),
+                data::TrueRelevance(data_.users[0], data_.items[items[pos]]),
+                1e-6f);
+  }
+}
+
+TEST_F(DcmTest, DiversityTermRewardsNovelTopics) {
+  // At lambda=0, attraction is purely the personalized coverage gain; a
+  // duplicate-topic item at position 2 must attract no more than at
+  // position 1 (its gain can only shrink once the topic is covered).
+  GroundTruthClickModel dcm(&data_, DcmConfig{.lambda = 0.0f});
+  // Find two items with very similar coverage.
+  int a = 0, b = -1;
+  for (int v = 1; v < 300 && b < 0; ++v) {
+    float diff = 0.0f;
+    for (int j = 0; j < data_.num_topics; ++j) {
+      diff += std::fabs(data_.items[a].topic_coverage[j] -
+                        data_.items[v].topic_coverage[j]);
+    }
+    if (diff < 0.1f) b = v;
+  }
+  ASSERT_GE(b, 0) << "dataset should contain near-duplicate coverage items";
+  std::vector<int> dup_first = {a, b};
+  std::vector<int> alone = {b};
+  const float gain_after_dup = dcm.Attraction(0, dup_first, 1);
+  const float gain_alone = dcm.Attraction(0, alone, 0);
+  EXPECT_LE(gain_after_dup, gain_alone + 1e-6f);
+}
+
+TEST_F(DcmTest, RhoScalesWithAppetiteAndPref) {
+  DcmConfig cfg;
+  GroundTruthClickModel dcm(&data_, cfg);
+  for (int u = 0; u < 5; ++u) {
+    auto rho = dcm.Rho(u);
+    for (int j = 0; j < data_.num_topics; ++j) {
+      EXPECT_NEAR(rho[j],
+                  cfg.rho_scale * data_.users[u].diversity_appetite *
+                      data_.users[u].topic_pref[j],
+                  1e-6f);
+    }
+  }
+}
+
+TEST_F(DcmTest, SimulatedClickRateMatchesExpectedClicks) {
+  GroundTruthClickModel dcm(&data_, DcmConfig{.lambda = 0.9f});
+  std::vector<int> items = {1, 7, 19, 44, 80, 101, 150, 200, 250, 299};
+  std::mt19937_64 rng(3);
+  double total = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    auto clicks = dcm.SimulateClicks(0, items, rng);
+    for (int c : clicks) total += c;
+  }
+  const float expected = dcm.ExpectedClicks(0, items, 10);
+  EXPECT_NEAR(total / trials, expected, 0.05 * expected + 0.03);
+}
+
+TEST_F(DcmTest, ClicksStopAfterTermination) {
+  // With termination probability ~1 after a click, at most one click.
+  DcmConfig cfg;
+  cfg.termination_base = 1.0f;
+  cfg.termination_decay = 1.0f;
+  GroundTruthClickModel dcm(&data_, cfg);
+  std::vector<int> items = {1, 7, 19, 44, 80};
+  std::mt19937_64 rng(4);
+  for (int t = 0; t < 200; ++t) {
+    auto clicks = dcm.SimulateClicks(0, items, rng);
+    int total = 0;
+    for (int c : clicks) total += c;
+    EXPECT_LE(total, 1);
+  }
+}
+
+TEST_F(DcmTest, TrueSatisfactionIncreasesWithBetterItems) {
+  GroundTruthClickModel dcm(&data_, DcmConfig{.lambda = 1.0f});
+  // Rank all items by relevance for user 0; top-5 should satisfy more
+  // than bottom-5.
+  std::vector<std::pair<float, int>> rel;
+  for (int v = 0; v < 300; ++v) {
+    rel.push_back({data::TrueRelevance(data_.users[0], data_.items[v]), v});
+  }
+  std::sort(rel.rbegin(), rel.rend());
+  std::vector<int> best, worst;
+  for (int i = 0; i < 5; ++i) {
+    best.push_back(rel[i].second);
+    worst.push_back(rel[295 + i].second);
+  }
+  EXPECT_GT(dcm.TrueSatisfaction(0, best, 5),
+            dcm.TrueSatisfaction(0, worst, 5));
+}
+
+TEST_F(DcmTest, EstimatedDcmRecoversAttractionOrdering) {
+  GroundTruthClickModel dcm(&data_, DcmConfig{.lambda = 1.0f});
+  // Build logs: many impressions of random lists, simulate clicks.
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<int> item_dist(0, 299);
+  std::uniform_int_distribution<int> user_dist(0, 39);
+  std::vector<data::ImpressionList> logs;
+  for (int t = 0; t < 3000; ++t) {
+    data::ImpressionList imp;
+    imp.user_id = user_dist(rng);
+    for (int i = 0; i < 10; ++i) imp.items.push_back(item_dist(rng));
+    imp.clicks = dcm.SimulateClicks(imp.user_id, imp.items, rng);
+    logs.push_back(std::move(imp));
+  }
+  EstimatedDcm est;
+  est.Fit(data_, logs);
+
+  // Average estimated attraction of globally attractive items should beat
+  // that of unattractive ones.
+  std::vector<std::pair<float, int>> pop;
+  for (int v = 0; v < 300; ++v) {
+    double mean_rel = 0.0;
+    for (int u = 0; u < 40; ++u) {
+      mean_rel += data::TrueRelevance(data_.users[u], data_.items[v]);
+    }
+    pop.push_back({static_cast<float>(mean_rel / 40), v});
+  }
+  std::sort(pop.rbegin(), pop.rend());
+  double top = 0.0, bottom = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    top += est.Attraction(pop[i].second);
+    bottom += est.Attraction(pop[269 + i].second);
+  }
+  EXPECT_GT(top, bottom);
+}
+
+TEST_F(DcmTest, EstimatedSatisfactionInUnitInterval) {
+  EstimatedDcm est;
+  std::vector<data::ImpressionList> logs;
+  data::ImpressionList imp;
+  imp.user_id = 0;
+  imp.items = {1, 2, 3};
+  imp.clicks = {0, 1, 0};
+  logs.push_back(imp);
+  est.Fit(data_, logs);
+  const float s = est.Satisfaction({1, 2, 3}, 3);
+  EXPECT_GT(s, 0.0f);
+  EXPECT_LT(s, 1.0f);
+}
+
+TEST_F(DcmTest, SimulatePrefixOnly) {
+  GroundTruthClickModel dcm(&data_, DcmConfig{});
+  std::mt19937_64 rng(6);
+  auto clicks = dcm.SimulateClicks(0, {1, 2, 3, 4, 5, 6, 7, 8}, rng, 5);
+  EXPECT_EQ(clicks.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rapid::click

@@ -1,0 +1,97 @@
+#include "core/diversity_function.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/simulator.h"
+
+namespace rapid::core {
+namespace {
+
+class DiversityFunctionTest
+    : public ::testing::TestWithParam<DiversityFunctionKind> {
+ protected:
+  DiversityFunctionTest() {
+    data::SimConfig cfg;
+    cfg.kind = data::DatasetKind::kTaobao;
+    cfg.num_users = 10;
+    cfg.num_items = 120;
+    data_ = data::GenerateDataset(cfg, 91);
+  }
+  data::Dataset data_;
+};
+
+TEST_P(DiversityFunctionTest, EmptyListIsZero) {
+  for (int j = 0; j < data_.num_topics; ++j) {
+    EXPECT_FLOAT_EQ(DiversityValue(GetParam(), data_, {}, j), 0.0f);
+  }
+}
+
+TEST_P(DiversityFunctionTest, MonotoneInListLength) {
+  std::vector<int> list = {0, 7, 14, 21, 28, 35};
+  for (int j = 0; j < data_.num_topics; ++j) {
+    float prev = 0.0f;
+    for (int k = 1; k <= 6; ++k) {
+      const float v = DiversityValue(GetParam(), data_, list, j, k);
+      EXPECT_GE(v, prev - 1e-6f);
+      prev = v;
+    }
+  }
+}
+
+TEST_P(DiversityFunctionTest, SubmodularDiminishingReturns) {
+  // Gain of adding item x to a subset >= gain of adding it to a superset.
+  std::vector<int> small = {0, 7};
+  std::vector<int> big = {0, 7, 14, 21};
+  std::vector<int> small_plus = {0, 7, 50};
+  std::vector<int> big_plus = {0, 7, 14, 21, 50};
+  for (int j = 0; j < data_.num_topics; ++j) {
+    const float gain_small =
+        DiversityValue(GetParam(), data_, small_plus, j) -
+        DiversityValue(GetParam(), data_, small, j);
+    const float gain_big = DiversityValue(GetParam(), data_, big_plus, j) -
+                           DiversityValue(GetParam(), data_, big, j);
+    EXPECT_LE(gain_big, gain_small + 1e-5f)
+        << DiversityFunctionName(GetParam()) << " topic " << j;
+  }
+}
+
+TEST_P(DiversityFunctionTest, MarginalMatchesLeaveOneOut) {
+  std::vector<int> list = {3, 11, 42, 77};
+  const auto md = MarginalDiversityOf(GetParam(), data_, list);
+  ASSERT_EQ(md.size(), list.size());
+  for (size_t i = 0; i < list.size(); ++i) {
+    std::vector<int> without = list;
+    without.erase(without.begin() + i);
+    for (int j = 0; j < data_.num_topics; ++j) {
+      const float expect = DiversityValue(GetParam(), data_, list, j) -
+                           DiversityValue(GetParam(), data_, without, j);
+      EXPECT_NEAR(md[i][j], expect, 1e-5f)
+          << DiversityFunctionName(GetParam());
+    }
+  }
+}
+
+TEST_P(DiversityFunctionTest, MarginalsAreNonNegative) {
+  std::vector<int> list = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (const auto& row : MarginalDiversityOf(GetParam(), data_, list)) {
+    for (float v : row) EXPECT_GE(v, -1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, DiversityFunctionTest,
+    ::testing::Values(DiversityFunctionKind::kProbabilisticCoverage,
+                      DiversityFunctionKind::kConcaveOverModular,
+                      DiversityFunctionKind::kSaturatingLinear));
+
+TEST(DiversityFunctionNameTest, DistinctNames) {
+  EXPECT_STRNE(
+      DiversityFunctionName(DiversityFunctionKind::kProbabilisticCoverage),
+      DiversityFunctionName(DiversityFunctionKind::kConcaveOverModular));
+  EXPECT_STRNE(
+      DiversityFunctionName(DiversityFunctionKind::kConcaveOverModular),
+      DiversityFunctionName(DiversityFunctionKind::kSaturatingLinear));
+}
+
+}  // namespace
+}  // namespace rapid::core

@@ -1,0 +1,134 @@
+#include "eval/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/table.h"
+#include "rankers/svmrank.h"
+#include "rerank/mmr.h"
+#include "rerank/reranker.h"
+
+namespace rapid::eval {
+namespace {
+
+PipelineConfig SmallConfig() {
+  PipelineConfig cfg;
+  cfg.sim.kind = data::DatasetKind::kTaobao;
+  cfg.sim.num_users = 30;
+  cfg.sim.num_items = 200;
+  cfg.sim.rerank_lists_per_user = 2;
+  cfg.sim.test_lists_per_user = 1;
+  cfg.sim.candidates_per_request = 30;
+  cfg.list_len = 10;
+  cfg.seed = 5;
+  return cfg;
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest()
+      : env_(SmallConfig(), std::make_unique<rank::SvmRankRanker>()) {}
+  Environment env_;
+};
+
+TEST_F(EvalTest, EnvironmentStructure) {
+  EXPECT_EQ(env_.train_lists().size(), 60u);
+  EXPECT_EQ(env_.test_lists().size(), 30u);
+  for (const auto& list : env_.train_lists()) {
+    EXPECT_EQ(list.items.size(), 10u);
+    EXPECT_EQ(list.clicks.size(), 10u);
+    EXPECT_EQ(list.scores.size(), 10u);
+  }
+  for (const auto& list : env_.test_lists()) {
+    EXPECT_TRUE(list.clicks.empty());
+    // Initial lists must be sorted by ranker score.
+    for (size_t i = 1; i < list.scores.size(); ++i) {
+      EXPECT_GE(list.scores[i - 1], list.scores[i]);
+    }
+  }
+}
+
+TEST_F(EvalTest, TrainingClicksAreNonTrivial) {
+  int total = 0;
+  for (const auto& list : env_.train_lists()) {
+    for (int c : list.clicks) total += c;
+  }
+  EXPECT_GT(total, 20) << "the click model should produce clicks";
+  EXPECT_LT(total, 60 * 10) << "but not click everything";
+}
+
+TEST_F(EvalTest, EvaluateProducesAlignedMetrics) {
+  rerank::InitReranker init;
+  MethodMetrics m = EvaluateReranker(env_, init, {5, 10});
+  const std::vector<std::string> expected = {
+      "click@5",  "ndcg@5",  "div@5",  "satis@5",
+      "click@10", "ndcg@10", "div@10", "satis@10"};
+  for (const std::string& name : expected) {
+    ASSERT_TRUE(m.per_request.count(name)) << name;
+    EXPECT_EQ(m.per_request.at(name).size(), env_.test_lists().size());
+  }
+  // Taobao has no bids: no rev metric.
+  EXPECT_FALSE(m.per_request.count("rev@5"));
+  // Monotonicity: click@10 >= click@5 on average.
+  EXPECT_GE(m.Mean("click@10"), m.Mean("click@5"));
+  EXPECT_GE(m.Mean("div@10"), m.Mean("div@5"));
+  EXPECT_GE(m.Mean("satis@10"), m.Mean("satis@5") - 1e-6);
+}
+
+TEST_F(EvalTest, EvaluationIsDeterministic) {
+  rerank::InitReranker init;
+  MethodMetrics a = EvaluateReranker(env_, init);
+  MethodMetrics b = EvaluateReranker(env_, init);
+  EXPECT_EQ(a.per_request.at("click@5"), b.per_request.at("click@5"));
+}
+
+TEST_F(EvalTest, CommonRandomNumbersShareNoiseForIdenticalLists) {
+  // Two methods producing the same permutation must get identical clicks.
+  rerank::InitReranker init;
+  rerank::MmrReranker pure_rel(/*trade=*/1.0f);  // Keeps score order.
+  MethodMetrics a = EvaluateReranker(env_, init);
+  MethodMetrics b = EvaluateReranker(env_, pure_rel);
+  EXPECT_EQ(a.per_request.at("click@5"), b.per_request.at("click@5"));
+}
+
+TEST_F(EvalTest, MoreRealizationsReduceNoise) {
+  rerank::InitReranker init;
+  MethodMetrics few = EvaluateReranker(env_, init, {5}, 777, 1);
+  MethodMetrics many = EvaluateReranker(env_, init, {5}, 777, 16);
+  // Means should be close (same distribution), but not identical samples.
+  EXPECT_NEAR(few.Mean("click@5"), many.Mean("click@5"), 0.5);
+}
+
+TEST_F(EvalTest, CompareMethodsSelfIsNotSignificant) {
+  rerank::InitReranker init;
+  MethodMetrics a = EvaluateReranker(env_, init);
+  EXPECT_NEAR(CompareMethods(a, a, "click@5"), 1.0, 1e-9);
+}
+
+TEST_F(EvalTest, AppStoreEnvironmentReportsRevenue) {
+  PipelineConfig cfg = SmallConfig();
+  cfg.sim.kind = data::DatasetKind::kAppStore;
+  Environment env(cfg, std::make_unique<rank::SvmRankRanker>());
+  rerank::InitReranker init;
+  MethodMetrics m = EvaluateReranker(env, init);
+  ASSERT_TRUE(m.per_request.count("rev@5"));
+  EXPECT_GT(m.Mean("rev@10"), 0.0);
+  EXPECT_GE(m.Mean("rev@10"), m.Mean("rev@5"));
+}
+
+TEST(ResultTableTest, RenderAndImprovement) {
+  MethodMetrics a, b;
+  a.name = "A";
+  b.name = "B";
+  a.per_request["click@5"] = {1.0f, 2.0f};  // mean 1.5
+  b.per_request["click@5"] = {1.0f, 1.0f};  // mean 1.0
+  ResultTable table({"click@5"});
+  table.AddRow(a);
+  table.AddRow(b);
+  const std::string out = table.Render("test");
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("1.5000*"), std::string::npos);
+  EXPECT_NEAR(table.ImprovementPercent("A", "B", "click@5"), 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rapid::eval

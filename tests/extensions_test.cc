@@ -1,0 +1,174 @@
+// Tests for the extension features beyond the paper's core: the Seq2Slate
+// generative baseline, the cascade click model, and the complementary
+// diversity metrics (ILD, alpha-NDCG).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "click/cascade.h"
+#include "datagen/simulator.h"
+#include "metrics/metrics.h"
+#include "nn/gradcheck.h"
+#include "rerank/seq2slate.h"
+
+namespace rapid {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SimConfig cfg;
+    cfg.kind = data::DatasetKind::kTaobao;
+    cfg.num_users = 20;
+    cfg.num_items = 120;
+    cfg.rerank_lists_per_user = 3;
+    data_ = data::GenerateDataset(cfg, 131);
+    click::GroundTruthClickModel dcm(&data_, click::DcmConfig{});
+    std::mt19937_64 rng(4);
+    for (const data::Request& req : data_.rerank_train_requests) {
+      data::ImpressionList list;
+      list.user_id = req.user_id;
+      list.items.assign(req.candidates.begin(), req.candidates.begin() + 10);
+      for (int i = 0; i < 10; ++i) list.scores.push_back(1.0f - 0.05f * i);
+      list.clicks = dcm.SimulateClicks(list.user_id, list.items, rng);
+      train_.push_back(std::move(list));
+    }
+  }
+  data::Dataset data_;
+  std::vector<data::ImpressionList> train_;
+};
+
+TEST_F(ExtensionsTest, Seq2SlateTrainsAndPermutes) {
+  rerank::NeuralRerankConfig cfg;
+  cfg.epochs = 2;
+  cfg.hidden_dim = 8;
+  rerank::Seq2SlateReranker model(cfg, /*decode_steps=*/6);
+  model.Fit(data_, train_, 5);
+  EXPECT_TRUE(std::isfinite(model.final_loss()));
+  EXPECT_GT(model.final_loss(), 0.0f);
+  auto out = model.Rerank(data_, train_[0]);
+  std::multiset<int> sa(out.begin(), out.end()),
+      sb(train_[0].items.begin(), train_[0].items.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST_F(ExtensionsTest, Seq2SlateLossDecreasesWithTraining) {
+  rerank::NeuralRerankConfig cfg;
+  cfg.epochs = 1;
+  cfg.hidden_dim = 8;
+  rerank::Seq2SlateReranker one(cfg, 6);
+  one.Fit(data_, train_, 6);
+  cfg.epochs = 6;
+  rerank::Seq2SlateReranker six(cfg, 6);
+  six.Fit(data_, train_, 6);
+  EXPECT_LT(six.final_loss(), one.final_loss());
+}
+
+TEST_F(ExtensionsTest, Seq2SlateScoreListConsistentWithDecoding) {
+  rerank::NeuralRerankConfig cfg;
+  cfg.epochs = 1;
+  cfg.hidden_dim = 8;
+  rerank::Seq2SlateReranker model(cfg, 6);
+  model.Fit(data_, train_, 7);
+  const auto order = model.Rerank(data_, train_[1]);
+  const auto scores = model.ScoreList(data_, train_[1]);
+  // The item decoded first must carry the highest score.
+  const auto it = std::find(train_[1].items.begin(), train_[1].items.end(),
+                            order[0]);
+  const size_t first_pos = it - train_[1].items.begin();
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_LE(scores[i], scores[first_pos]);
+  }
+}
+
+TEST_F(ExtensionsTest, CascadeProducesAtMostOneClick) {
+  click::CascadeClickModel cascade(&data_, click::DcmConfig{});
+  std::mt19937_64 rng(8);
+  for (int t = 0; t < 200; ++t) {
+    auto clicks = cascade.SimulateClicks(t % 20, {1, 5, 9, 13, 17}, rng);
+    int total = 0;
+    for (int c : clicks) total += c;
+    EXPECT_LE(total, 1);
+  }
+}
+
+TEST_F(ExtensionsTest, CascadeAttractionMatchesDcm) {
+  click::DcmConfig cfg;
+  click::CascadeClickModel cascade(&data_, cfg);
+  click::GroundTruthClickModel dcm(&data_, cfg);
+  std::vector<int> items = {2, 4, 6};
+  for (int pos = 0; pos < 3; ++pos) {
+    EXPECT_FLOAT_EQ(cascade.Attraction(0, items, pos),
+                    dcm.Attraction(0, items, pos));
+  }
+}
+
+TEST_F(ExtensionsTest, CascadeClickProbabilityIncreasesWithK) {
+  click::CascadeClickModel cascade(&data_, click::DcmConfig{});
+  std::vector<int> items = {2, 4, 6, 8, 10};
+  float prev = 0.0f;
+  for (int k = 1; k <= 5; ++k) {
+    const float p = cascade.ClickProbability(0, items, k);
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, 1.0f);
+    prev = p;
+  }
+}
+
+TEST_F(ExtensionsTest, IldBasics) {
+  // Two identical one-hot items: ILD 0; orthogonal items: ILD 1.
+  data::Dataset tiny;
+  tiny.num_topics = 2;
+  data::Item a, b, c;
+  a.id = 0;
+  a.topic_coverage = {1, 0};
+  b.id = 1;
+  b.topic_coverage = {1, 0};
+  c.id = 2;
+  c.topic_coverage = {0, 1};
+  tiny.items = {a, b, c};
+  EXPECT_FLOAT_EQ(metrics::IldAtK(tiny, {0, 1}, 2), 0.0f);
+  EXPECT_FLOAT_EQ(metrics::IldAtK(tiny, {0, 2}, 2), 1.0f);
+  EXPECT_NEAR(metrics::IldAtK(tiny, {0, 1, 2}, 3), 2.0f / 3.0f, 1e-5f);
+  EXPECT_FLOAT_EQ(metrics::IldAtK(tiny, {0}, 5), 0.0f);
+}
+
+TEST_F(ExtensionsTest, AlphaNdcgDiverseFirstBeatsRedundantFirst) {
+  data::Dataset tiny;
+  tiny.num_topics = 2;
+  for (int i = 0; i < 4; ++i) {
+    data::Item item;
+    item.id = i;
+    item.topic_coverage = (i < 3) ? std::vector<float>{1.0f, 0.0f}
+                                  : std::vector<float>{0.0f, 1.0f};
+    tiny.items.push_back(item);
+  }
+  // Redundant order: three topic-A items then the topic-B item.
+  const float redundant = metrics::AlphaNdcgAtK(tiny, {0, 1, 2, 3}, 4);
+  // Diverse order: topic-B item second.
+  const float diverse = metrics::AlphaNdcgAtK(tiny, {0, 3, 1, 2}, 4);
+  EXPECT_GT(diverse, redundant);
+  EXPECT_FLOAT_EQ(diverse, 1.0f);  // Matches the greedy ideal.
+}
+
+TEST_F(ExtensionsTest, AlphaNdcgBounds) {
+  std::vector<int> items = {0, 7, 14, 21, 28};
+  const float v = metrics::AlphaNdcgAtK(data_, items, 5);
+  EXPECT_GT(v, 0.0f);
+  EXPECT_LE(v, 1.0f + 1e-5f);
+  EXPECT_FLOAT_EQ(metrics::AlphaNdcgAtK(data_, {}, 5), 0.0f);
+}
+
+TEST_F(ExtensionsTest, ExpLogOpsGradCheck) {
+  std::mt19937_64 rng(9);
+  nn::Variable x = nn::Variable::Parameter(
+      nn::Matrix::Uniform(3, 3, 0.5f, 2.0f, rng));
+  nn::GradCheckResult r = nn::CheckGradients(
+      [&] { return nn::SumAll(nn::Log(nn::AddScalar(nn::Exp(x), 1.0f))); },
+      {x});
+  EXPECT_TRUE(r.ok()) << r.max_rel_error;
+}
+
+}  // namespace
+}  // namespace rapid

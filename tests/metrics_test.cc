@@ -1,0 +1,132 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "datagen/simulator.h"
+
+namespace rapid::metrics {
+namespace {
+
+TEST(ClickAtKTest, CountsPrefixOnly) {
+  std::vector<int> clicks = {1, 0, 1, 1, 0, 1};
+  EXPECT_FLOAT_EQ(ClickAtK(clicks, 3), 2.0f);
+  EXPECT_FLOAT_EQ(ClickAtK(clicks, 6), 4.0f);
+  EXPECT_FLOAT_EQ(ClickAtK(clicks, 100), 4.0f);
+  EXPECT_FLOAT_EQ(ClickAtK({}, 5), 0.0f);
+}
+
+TEST(NdcgTest, PerfectOrderingIsOne) {
+  EXPECT_FLOAT_EQ(NdcgAtK({1, 1, 0, 0}, 4), 1.0f);
+}
+
+TEST(NdcgTest, WorstOrderingBelowOne) {
+  const float ndcg = NdcgAtK({0, 0, 1, 1}, 4);
+  EXPECT_GT(ndcg, 0.0f);
+  EXPECT_LT(ndcg, 1.0f);
+  // DCG = 1/log2(4) + 1/log2(5); IDCG = 1/log2(2) + 1/log2(3).
+  const float expect =
+      (1.0f / std::log2(4.0f) + 1.0f / std::log2(5.0f)) /
+      (1.0f / std::log2(2.0f) + 1.0f / std::log2(3.0f));
+  EXPECT_NEAR(ndcg, expect, 1e-5f);
+}
+
+TEST(NdcgTest, NoClicksIsZero) {
+  EXPECT_FLOAT_EQ(NdcgAtK({0, 0, 0}, 3), 0.0f);
+}
+
+TEST(NdcgTest, MonotoneInClickPosition) {
+  EXPECT_GT(NdcgAtK({1, 0, 0, 0}, 4), NdcgAtK({0, 1, 0, 0}, 4));
+  EXPECT_GT(NdcgAtK({0, 1, 0, 0}, 4), NdcgAtK({0, 0, 0, 1}, 4));
+}
+
+TEST(DivRevTest, AgainstDataset) {
+  data::SimConfig cfg;
+  cfg.kind = data::DatasetKind::kAppStore;
+  cfg.num_users = 10;
+  cfg.num_items = 100;
+  data::Dataset data = data::GenerateDataset(cfg, 33);
+
+  // One-hot items: div@k equals the number of distinct topics in prefix.
+  std::vector<int> items = {0, 1, 2, 3, 4};
+  float div = DivAtK(data, items, 5);
+  std::vector<bool> seen(data.num_topics, false);
+  int distinct = 0;
+  for (int v : items) {
+    for (int j = 0; j < data.num_topics; ++j) {
+      if (data.items[v].topic_coverage[j] == 1.0f && !seen[j]) {
+        seen[j] = true;
+        ++distinct;
+      }
+    }
+  }
+  EXPECT_NEAR(div, static_cast<float>(distinct), 1e-5f);
+
+  // rev@k sums bids over clicked prefix items.
+  std::vector<int> clicks = {1, 0, 1, 0, 1};
+  const float rev = RevAtK(data, items, clicks, 3);
+  EXPECT_NEAR(rev, data.items[0].bid + data.items[2].bid, 1e-5f);
+}
+
+TEST(SummaryTest, MeanAndStddev) {
+  Summary s = Summarize({2.0f, 4.0f, 4.0f, 4.0f, 5.0f, 5.0f, 7.0f, 9.0f});
+  EXPECT_NEAR(s.mean, 5.0, 1e-9);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-6);
+  EXPECT_EQ(s.n, 8);
+}
+
+TEST(SummaryTest, EmptyAndSingleton) {
+  EXPECT_EQ(Summarize({}).n, 0);
+  Summary s = Summarize({3.0f});
+  EXPECT_NEAR(s.mean, 3.0, 1e-9);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(StudentTTest, CdfKnownValues) {
+  // t=0 -> 0.5 for any df.
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-9);
+  // df=1 is Cauchy: CDF(1) = 0.75.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-6);
+  // Large df approaches the normal: CDF(1.96, 1e6) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), 0.975, 1e-3);
+  // Symmetry.
+  EXPECT_NEAR(StudentTCdf(-2.0, 10.0) + StudentTCdf(2.0, 10.0), 1.0, 1e-9);
+}
+
+TEST(PairedTTest, IdenticalSamplesGivePOne) {
+  std::vector<float> a = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(PairedTTestPValue(a, a), 1.0, 1e-9);
+}
+
+TEST(PairedTTest, ClearDifferenceGivesSmallP) {
+  std::mt19937_64 rng(1);
+  std::normal_distribution<float> noise(0.0f, 0.1f);
+  std::vector<float> a, b;
+  for (int i = 0; i < 50; ++i) {
+    const float base = noise(rng);
+    a.push_back(base + 1.0f);
+    b.push_back(base);
+  }
+  EXPECT_LT(PairedTTestPValue(a, b), 1e-6);
+}
+
+TEST(PairedTTest, NullDifferenceUsuallyNotSignificant) {
+  std::mt19937_64 rng(2);
+  std::normal_distribution<float> noise(0.0f, 1.0f);
+  int significant = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<float> a, b;
+    for (int i = 0; i < 30; ++i) {
+      a.push_back(noise(rng));
+      b.push_back(noise(rng));
+    }
+    if (PairedTTestPValue(a, b) < 0.05) ++significant;
+  }
+  // ~5% false positive rate; allow generous slack.
+  EXPECT_LE(significant, 8);
+}
+
+}  // namespace
+}  // namespace rapid::metrics

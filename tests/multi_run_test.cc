@@ -1,0 +1,82 @@
+#include "eval/multi_run.h"
+
+#include <gtest/gtest.h>
+
+#include "rankers/svmrank.h"
+#include "rerank/mmr.h"
+
+namespace rapid::eval {
+namespace {
+
+PipelineConfig TinyConfig() {
+  PipelineConfig cfg;
+  cfg.sim.kind = data::DatasetKind::kTaobao;
+  cfg.sim.num_users = 20;
+  cfg.sim.num_items = 150;
+  cfg.sim.rerank_lists_per_user = 2;
+  cfg.sim.test_lists_per_user = 1;
+  cfg.sim.candidates_per_request = 20;
+  cfg.list_len = 8;
+  cfg.seed = 10;
+  return cfg;
+}
+
+std::vector<std::pair<std::string, MethodFactory>> TwoMethods() {
+  return {
+      {"Init",
+       [] { return std::make_unique<rerank::InitReranker>(); }},
+      {"MMR", [] { return std::make_unique<rerank::MmrReranker>(); }},
+  };
+}
+
+TEST(MultiRunTest, AggregatesAcrossSeeds) {
+  auto results = MultiSeedEvaluate(
+      TinyConfig(), [] { return std::make_unique<rank::SvmRankRanker>(); },
+      TwoMethods(), /*num_seeds=*/3);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].name, "Init");
+  ASSERT_EQ(results[0].per_seed_means.at("click@5").size(), 3u);
+  EXPECT_GT(results[0].Mean("click@5"), 0.0);
+  EXPECT_GE(results[0].StdDev("click@5"), 0.0);
+}
+
+TEST(MultiRunTest, SeedsProduceDifferentEnvironments) {
+  auto results = MultiSeedEvaluate(
+      TinyConfig(), [] { return std::make_unique<rank::SvmRankRanker>(); },
+      TwoMethods(), 3);
+  const auto& means = results[0].per_seed_means.at("click@5");
+  // At least two of the three seeds must differ (different universes).
+  EXPECT_TRUE(means[0] != means[1] || means[1] != means[2]);
+}
+
+TEST(MultiRunTest, DeterministicGivenSameBaseSeed) {
+  auto a = MultiSeedEvaluate(
+      TinyConfig(), [] { return std::make_unique<rank::SvmRankRanker>(); },
+      TwoMethods(), 2);
+  auto b = MultiSeedEvaluate(
+      TinyConfig(), [] { return std::make_unique<rank::SvmRankRanker>(); },
+      TwoMethods(), 2);
+  EXPECT_EQ(a[1].per_seed_means.at("click@10"),
+            b[1].per_seed_means.at("click@10"));
+}
+
+TEST(MultiRunTest, RenderContainsRowsAndUncertainty) {
+  auto results = MultiSeedEvaluate(
+      TinyConfig(), [] { return std::make_unique<rank::SvmRankRanker>(); },
+      TwoMethods(), 2);
+  const std::string out =
+      RenderMultiRun(results, {"click@5", "div@5"}, "tiny");
+  EXPECT_NE(out.find("Init"), std::string::npos);
+  EXPECT_NE(out.find("MMR"), std::string::npos);
+  EXPECT_NE(out.find("+-"), std::string::npos);
+}
+
+TEST(MultiRunTest, SingleSeedHasZeroStdDev) {
+  auto results = MultiSeedEvaluate(
+      TinyConfig(), [] { return std::make_unique<rank::SvmRankRanker>(); },
+      TwoMethods(), 1);
+  EXPECT_EQ(results[0].StdDev("click@5"), 0.0);
+}
+
+}  // namespace
+}  // namespace rapid::eval

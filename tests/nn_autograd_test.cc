@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "nn/gradcheck.h"
+#include "nn/ops.h"
+#include "nn/variable.h"
+
+namespace rapid::nn {
+namespace {
+
+// ---------- basic mechanics ----------
+
+TEST(VariableTest, ParameterStartsWithZeroGrad) {
+  Variable p = Variable::Parameter(Matrix(2, 2, {1, 2, 3, 4}));
+  EXPECT_TRUE(p.requires_grad());
+  EXPECT_TRUE(p.is_leaf());
+  EXPECT_EQ(p.grad().Sum(), 0.0f);
+}
+
+TEST(VariableTest, ConstantDoesNotRequireGrad) {
+  Variable c = Variable::Constant(Matrix(1, 1, {3.0f}));
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(c.is_leaf());
+}
+
+TEST(VariableTest, BackwardThroughSum) {
+  Variable p = Variable::Parameter(Matrix(2, 3, {1, 2, 3, 4, 5, 6}));
+  Variable loss = SumAll(p);
+  loss.Backward();
+  for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(p.grad().data()[i], 1.0f);
+}
+
+TEST(VariableTest, GradAccumulatesAcrossBackwardCalls) {
+  Variable p = Variable::Parameter(Matrix(1, 2, {1, 1}));
+  SumAll(p).Backward();
+  SumAll(p).Backward();
+  EXPECT_FLOAT_EQ(p.grad().at(0, 0), 2.0f);
+  p.ZeroGrad();
+  EXPECT_FLOAT_EQ(p.grad().at(0, 0), 0.0f);
+}
+
+TEST(VariableTest, DiamondGraphAccumulatesBothPaths) {
+  // loss = sum(p + p) => dloss/dp = 2.
+  Variable p = Variable::Parameter(Matrix(1, 2, {3, 4}));
+  Variable loss = SumAll(Add(p, p));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(p.grad().at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(p.grad().at(0, 1), 2.0f);
+}
+
+TEST(VariableTest, SharedSubexpressionBackpropagatesOnce) {
+  // y = p*p (elementwise); loss = sum(y + y). dloss/dp = 4p.
+  Variable p = Variable::Parameter(Matrix(1, 2, {2, 5}));
+  Variable y = Mul(p, p);
+  Variable loss = SumAll(Add(y, y));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(p.grad().at(0, 0), 8.0f);
+  EXPECT_FLOAT_EQ(p.grad().at(0, 1), 20.0f);
+}
+
+TEST(VariableTest, NoGradThroughConstants) {
+  Variable p = Variable::Parameter(Matrix(1, 1, {2.0f}));
+  Variable c = Variable::Constant(Matrix(1, 1, {5.0f}));
+  Variable loss = SumAll(Mul(p, c));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(p.grad().at(0, 0), 5.0f);
+  // Constant's grad buffer stays empty; nothing to assert beyond no crash.
+}
+
+// ---------- exact known gradients ----------
+
+TEST(OpsTest, MatMulForwardAndGrad) {
+  Variable a = Variable::Parameter(Matrix(1, 2, {1, 2}));
+  Variable b = Variable::Parameter(Matrix(2, 1, {3, 4}));
+  Variable out = MatMul(a, b);
+  EXPECT_FLOAT_EQ(out.value().at(0, 0), 11.0f);
+  out.Backward();
+  EXPECT_FLOAT_EQ(a.grad().at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(a.grad().at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(b.grad().at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(b.grad().at(1, 0), 2.0f);
+}
+
+TEST(OpsTest, SigmoidForward) {
+  Variable x = Variable::Constant(Matrix(1, 3, {0.0f, 100.0f, -100.0f}));
+  Matrix y = Sigmoid(x).value();
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.5f);
+  EXPECT_NEAR(y.at(0, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(y.at(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  std::mt19937_64 rng(11);
+  Variable x = Variable::Constant(Matrix::Randn(4, 7, 3.0f, rng));
+  Matrix y = SoftmaxRows(x).value();
+  for (int r = 0; r < 4; ++r) {
+    double s = 0.0;
+    for (int c = 0; c < 7; ++c) {
+      EXPECT_GT(y.at(r, c), 0.0f);
+      s += y.at(r, c);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(OpsTest, SoftmaxIsShiftInvariant) {
+  Variable a = Variable::Constant(Matrix(1, 3, {1, 2, 3}));
+  Variable b = Variable::Constant(Matrix(1, 3, {101, 102, 103}));
+  EXPECT_TRUE(
+      SoftmaxRows(a).value().AllClose(SoftmaxRows(b).value(), 1e-5f));
+}
+
+TEST(OpsTest, ConcatAndSliceRoundTrip) {
+  Variable a = Variable::Constant(Matrix(2, 2, {1, 2, 3, 4}));
+  Variable b = Variable::Constant(Matrix(2, 1, {5, 6}));
+  Variable cat = ConcatCols({a, b});
+  EXPECT_EQ(cat.cols(), 3);
+  EXPECT_TRUE(SliceCols(cat, 0, 2).value().Equals(a.value()));
+  EXPECT_TRUE(SliceCols(cat, 2, 1).value().Equals(b.value()));
+
+  Variable rcat = ConcatRows({a, Variable::Constant(Matrix(1, 2, {9, 9}))});
+  EXPECT_EQ(rcat.rows(), 3);
+  EXPECT_TRUE(SliceRows(rcat, 0, 2).value().Equals(a.value()));
+}
+
+TEST(OpsTest, BceWithLogitsMatchesManual) {
+  // p = sigmoid(z); loss = -(y log p + (1-y) log(1-p)).
+  Variable z = Variable::Parameter(Matrix(1, 2, {0.3f, -1.2f}));
+  Matrix y(1, 2, {1.0f, 0.0f});
+  Matrix w = Matrix::Constant(1, 2, 1.0f);
+  Variable loss = BceWithLogits(z, y, w);
+  auto manual = [](float zi, float yi) {
+    const float p = 1.0f / (1.0f + std::exp(-zi));
+    return -(yi * std::log(p) + (1.0f - yi) * std::log(1.0f - p));
+  };
+  const float expect = (manual(0.3f, 1.0f) + manual(-1.2f, 0.0f)) / 2.0f;
+  EXPECT_NEAR(loss.value().at(0, 0), expect, 1e-5f);
+  loss.Backward();
+  // dL/dz = (sigmoid(z) - y) / 2.
+  EXPECT_NEAR(z.grad().at(0, 0),
+              (1.0f / (1.0f + std::exp(-0.3f)) - 1.0f) / 2.0f, 1e-5f);
+}
+
+TEST(OpsTest, BceWeightsMaskOutEntries) {
+  Variable z = Variable::Parameter(Matrix(1, 2, {5.0f, -5.0f}));
+  Matrix y(1, 2, {0.0f, 0.0f});
+  Matrix w(1, 2, {0.0f, 1.0f});  // First entry masked out.
+  Variable loss = BceWithLogits(z, y, w);
+  // Only the second term contributes: log(1+exp(-5)) approx 0.00672.
+  EXPECT_NEAR(loss.value().at(0, 0), std::log1p(std::exp(-5.0f)), 1e-5f);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(z.grad().at(0, 0), 0.0f);
+  EXPECT_NE(z.grad().at(0, 1), 0.0f);
+}
+
+TEST(OpsTest, BceExtremeLogitsAreFinite) {
+  Variable z = Variable::Parameter(Matrix(1, 2, {80.0f, -80.0f}));
+  Matrix y(1, 2, {0.0f, 1.0f});
+  Matrix w = Matrix::Constant(1, 2, 1.0f);
+  Variable loss = BceWithLogits(z, y, w);
+  EXPECT_TRUE(std::isfinite(loss.value().at(0, 0)));
+  loss.Backward();
+  EXPECT_TRUE(std::isfinite(z.grad().at(0, 0)));
+}
+
+TEST(OpsTest, DropoutTrainingZeroesAndRescales) {
+  std::mt19937_64 rng(5);
+  Variable x = Variable::Constant(Matrix::Constant(20, 20, 1.0f));
+  Matrix y = Dropout(x, 0.5f, /*training=*/true, rng).value();
+  int zeros = 0;
+  for (int i = 0; i < y.size(); ++i) {
+    if (y.data()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(y.data()[i], 2.0f);
+    }
+  }
+  EXPECT_GT(zeros, 100);
+  EXPECT_LT(zeros, 300);
+}
+
+TEST(OpsTest, DropoutEvalIsIdentity) {
+  std::mt19937_64 rng(5);
+  Variable x = Variable::Constant(Matrix::Constant(4, 4, 3.0f));
+  Matrix y = Dropout(x, 0.9f, /*training=*/false, rng).value();
+  EXPECT_TRUE(y.AllClose(x.value(), 0.0f));
+}
+
+TEST(OpsTest, MulColBroadcastMasksRows) {
+  Variable x = Variable::Constant(Matrix(2, 2, {1, 2, 3, 4}));
+  Variable m = Variable::Constant(Matrix(2, 1, {1, 0}));
+  Matrix y = MulColBroadcast(x, m).value();
+  EXPECT_TRUE(y.Equals(Matrix(2, 2, {1, 2, 0, 0})));
+}
+
+TEST(OpsTest, LayerNormRowsAreNormalized) {
+  std::mt19937_64 rng(9);
+  Variable x = Variable::Constant(Matrix::Randn(3, 16, 4.0f, rng));
+  Variable gamma = Variable::Constant(Matrix::Constant(1, 16, 1.0f));
+  Variable beta = Variable::Constant(Matrix(1, 16));
+  Matrix y = LayerNorm(x, gamma, beta).value();
+  for (int r = 0; r < 3; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (int c = 0; c < 16; ++c) mean += y.at(r, c);
+    mean /= 16;
+    for (int c = 0; c < 16; ++c) {
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+// ---------- finite-difference gradient checks over every op ----------
+
+class OpGradCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpGradCheckTest, AllOpsMatchFiniteDifferences) {
+  const int seed = GetParam();
+  std::mt19937_64 rng(seed);
+  Variable a = Variable::Parameter(Matrix::Randn(3, 4, 0.8f, rng));
+  Variable b = Variable::Parameter(Matrix::Randn(3, 4, 0.8f, rng));
+  Variable w = Variable::Parameter(Matrix::Randn(4, 5, 0.8f, rng));
+  Variable bias = Variable::Parameter(Matrix::Randn(1, 5, 0.8f, rng));
+  Variable gamma = Variable::Parameter(Matrix::Constant(1, 4, 1.2f));
+  Variable beta = Variable::Parameter(Matrix::Randn(1, 4, 0.3f, rng));
+
+  struct Case {
+    const char* name;
+    std::function<Variable()> loss;
+    std::vector<Variable> params;
+  };
+  std::vector<Case> cases = {
+      {"matmul+bias",
+       [&] { return SumAll(Tanh(AddRowBroadcast(MatMul(a, w), bias))); },
+       {a, w, bias}},
+      {"add/sub/mul mix",
+       [&] { return MeanAll(Mul(Add(a, b), Sub(a, b))); },
+       {a, b}},
+      {"sigmoid", [&] { return SumAll(Sigmoid(a)); }, {a}},
+      {"tanh", [&] { return SumAll(Tanh(a)); }, {a}},
+      {"relu", [&] { return SumAll(Relu(a)); }, {a}},
+      {"softplus", [&] { return SumAll(Softplus(a)); }, {a}},
+      {"square", [&] { return SumAll(Square(a)); }, {a}},
+      {"softmax",
+       [&] { return SumAll(Mul(SoftmaxRows(a), b)); },
+       {a, b}},
+      {"scale+addscalar",
+       [&] { return SumAll(AddScalar(Scale(a, 2.5f), 1.0f)); },
+       {a}},
+      {"concat cols",
+       [&] { return SumAll(Square(ConcatCols({a, b}))); },
+       {a, b}},
+      {"concat rows",
+       [&] { return SumAll(Square(ConcatRows({a, b}))); },
+       {a, b}},
+      {"slice cols", [&] { return SumAll(Square(SliceCols(a, 1, 2))); }, {a}},
+      {"slice rows", [&] { return SumAll(Square(SliceRows(a, 1, 2))); }, {a}},
+      {"transpose",
+       [&] { return SumAll(Square(MatMul(Transpose(a), b))); },
+       {a, b}},
+      {"mean rows", [&] { return SumAll(Square(MeanRows(a))); }, {a}},
+      {"sum cols", [&] { return SumAll(Square(SumCols(a))); }, {a}},
+      {"mulcolbroadcast",
+       [&] {
+         Variable s = SliceCols(a, 0, 1);
+         return SumAll(Square(MulColBroadcast(b, s)));
+       },
+       {a, b}},
+      {"mulrowbroadcast",
+       [&] {
+         Variable v = SliceRows(a, 0, 1);
+         return SumAll(Square(MulRowBroadcast(b, v)));
+       },
+       {a, b}},
+      {"layernorm",
+       [&] { return SumAll(Square(LayerNorm(a, gamma, beta))); },
+       {a, gamma, beta}},
+      {"meanall", [&] { return MeanAll(Square(a)); }, {a}},
+  };
+  for (const Case& c : cases) {
+    GradCheckResult r = CheckGradients(c.loss, c.params);
+    EXPECT_TRUE(r.ok()) << c.name << ": max_rel_error=" << r.max_rel_error
+                        << " over " << r.checked << " entries";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpGradCheckTest, ::testing::Values(1, 2, 3));
+
+TEST(OpGradCheckTest, BceWithLogitsGradient) {
+  std::mt19937_64 rng(13);
+  Variable z = Variable::Parameter(Matrix::Randn(4, 3, 1.0f, rng));
+  Matrix y(4, 3);
+  for (int i = 0; i < y.size(); ++i) y.data()[i] = (i % 2 == 0) ? 1.0f : 0.0f;
+  Matrix w = Matrix::Constant(4, 3, 1.0f);
+  w.at(0, 0) = 0.0f;  // Include a masked entry.
+  GradCheckResult r =
+      CheckGradients([&] { return BceWithLogits(z, y, w); }, {z});
+  EXPECT_TRUE(r.ok()) << r.max_rel_error;
+}
+
+}  // namespace
+}  // namespace rapid::nn

@@ -1,0 +1,89 @@
+#include "nn/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/gradcheck.h"
+#include "nn/optimizer.h"
+
+namespace rapid::nn {
+namespace {
+
+TEST(EmbeddingTest, LookupShapesAndValues) {
+  std::mt19937_64 rng(1);
+  Embedding emb(10, 4, rng);
+  EXPECT_EQ(emb.vocab(), 10);
+  EXPECT_EQ(emb.dim(), 4);
+  Variable rows = emb.Lookup({3, 7, 3});
+  EXPECT_EQ(rows.rows(), 3);
+  EXPECT_EQ(rows.cols(), 4);
+  // Duplicate ids return identical rows.
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(rows.value().at(0, c), rows.value().at(2, c));
+  }
+  // LookupOne matches Lookup.
+  Variable one = emb.LookupOne(7);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(one.value().at(0, c), rows.value().at(1, c));
+  }
+}
+
+TEST(EmbeddingTest, GradientsScatterOnlyToReferencedRows) {
+  std::mt19937_64 rng(2);
+  Embedding emb(6, 3, rng);
+  Variable table = emb.Params()[0];
+  table.ZeroGrad();
+  Variable out = emb.Lookup({1, 4});
+  SumAll(out).Backward();
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const float g = table.grad().at(r, c);
+      if (r == 1 || r == 4) {
+        EXPECT_FLOAT_EQ(g, 1.0f);
+      } else {
+        EXPECT_FLOAT_EQ(g, 0.0f);
+      }
+    }
+  }
+}
+
+TEST(EmbeddingTest, DuplicateIdsAccumulateGradient) {
+  std::mt19937_64 rng(3);
+  Embedding emb(4, 2, rng);
+  Variable table = emb.Params()[0];
+  table.ZeroGrad();
+  SumAll(emb.Lookup({2, 2, 2})).Backward();
+  EXPECT_FLOAT_EQ(table.grad().at(2, 0), 3.0f);
+}
+
+TEST(EmbeddingTest, GradCheck) {
+  std::mt19937_64 rng(4);
+  Embedding emb(5, 3, rng);
+  GradCheckResult r = CheckGradients(
+      [&] { return SumAll(Square(emb.Lookup({0, 2, 2, 4}))); },
+      emb.Params());
+  EXPECT_TRUE(r.ok()) << r.max_rel_error;
+}
+
+TEST(EmbeddingTest, TrainableEndToEnd) {
+  // Learn embeddings so that id 0 scores high and id 1 scores low through
+  // a fixed linear readout.
+  std::mt19937_64 rng(5);
+  Embedding emb(2, 4, rng);
+  Variable readout = Variable::Constant(Matrix::Constant(4, 1, 1.0f));
+  Adam opt(emb.Params(), 0.05f);
+  Matrix targets(2, 1, {1.0f, 0.0f});
+  Matrix weights = Matrix::Constant(2, 1, 1.0f);
+  float loss_val = 1.0f;
+  for (int step = 0; step < 200; ++step) {
+    opt.ZeroGrad();
+    Variable logits = MatMul(emb.Lookup({0, 1}), readout);
+    Variable loss = BceWithLogits(logits, targets, weights);
+    loss.Backward();
+    opt.Step();
+    loss_val = loss.value().at(0, 0);
+  }
+  EXPECT_LT(loss_val, 0.05f);
+}
+
+}  // namespace
+}  // namespace rapid::nn

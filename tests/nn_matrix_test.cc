@@ -1,0 +1,184 @@
+#include "nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace rapid::nn {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(m.at(r, c), 0.0f);
+  }
+}
+
+TEST(MatrixTest, ConstructFromFlatBuffer) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.at(0, 0), 1.0f);
+  EXPECT_EQ(m.at(0, 2), 3.0f);
+  EXPECT_EQ(m.at(1, 0), 4.0f);
+  EXPECT_EQ(m.at(1, 2), 6.0f);
+}
+
+TEST(MatrixTest, FillAndConstant) {
+  Matrix m = Matrix::Constant(2, 2, 7.5f);
+  EXPECT_EQ(m.at(1, 1), 7.5f);
+  m.SetZero();
+  EXPECT_EQ(m.Sum(), 0.0f);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_EQ(id.at(0, 0), 1.0f);
+  EXPECT_EQ(id.at(1, 1), 1.0f);
+  EXPECT_EQ(id.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(id.Sum(), 3.0f);
+}
+
+TEST(MatrixTest, RandnStats) {
+  std::mt19937_64 rng(42);
+  Matrix m = Matrix::Randn(100, 100, 2.0f, rng);
+  // Mean near 0, stddev near 2.
+  EXPECT_NEAR(m.Mean(), 0.0f, 0.1f);
+  double var = 0.0;
+  for (int i = 0; i < m.size(); ++i) {
+    var += static_cast<double>(m.data()[i]) * m.data()[i];
+  }
+  var /= m.size();
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(MatrixTest, UniformBounds) {
+  std::mt19937_64 rng(7);
+  Matrix m = Matrix::Uniform(50, 50, -1.0f, 3.0f, rng);
+  for (int i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], -1.0f);
+    EXPECT_LE(m.data()[i], 3.0f);
+  }
+}
+
+TEST(MatrixTest, RowColVector) {
+  Matrix r = Matrix::RowVector({1, 2, 3});
+  EXPECT_EQ(r.rows(), 1);
+  EXPECT_EQ(r.cols(), 3);
+  Matrix c = Matrix::ColVector({1, 2, 3});
+  EXPECT_EQ(c.rows(), 3);
+  EXPECT_EQ(c.cols(), 1);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.at(0, 1), 4.0f);
+  EXPECT_EQ(t.at(2, 0), 3.0f);
+  EXPECT_TRUE(t.Transposed().Equals(m));
+}
+
+TEST(MatrixTest, SumMeanNorm) {
+  Matrix m(2, 2, {3, 4, 0, 0});
+  EXPECT_FLOAT_EQ(m.Sum(), 7.0f);
+  EXPECT_FLOAT_EQ(m.Mean(), 1.75f);
+  EXPECT_FLOAT_EQ(m.Norm(), 5.0f);
+  EXPECT_FLOAT_EQ(m.MaxAbs(), 4.0f);
+}
+
+TEST(MatrixTest, AllClose) {
+  Matrix a(1, 2, {1.0f, 2.0f});
+  Matrix b(1, 2, {1.005f, 2.0f});
+  EXPECT_TRUE(a.AllClose(b, 0.01f));
+  EXPECT_FALSE(a.AllClose(b, 0.001f));
+  Matrix c(2, 1, {1.0f, 2.0f});
+  EXPECT_FALSE(a.AllClose(c, 1.0f));  // Shape mismatch.
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix out;
+  MatMul(a, b, &out);
+  EXPECT_EQ(out.rows(), 2);
+  EXPECT_EQ(out.cols(), 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  std::mt19937_64 rng(1);
+  Matrix a = Matrix::Randn(4, 4, 1.0f, rng);
+  Matrix out;
+  MatMul(a, Matrix::Identity(4), &out);
+  EXPECT_TRUE(out.AllClose(a, 1e-6f));
+}
+
+TEST(MatMulTest, TransAAccMatchesExplicitTranspose) {
+  std::mt19937_64 rng(2);
+  Matrix a = Matrix::Randn(5, 3, 1.0f, rng);
+  Matrix b = Matrix::Randn(5, 4, 1.0f, rng);
+  Matrix expect;
+  MatMul(a.Transposed(), b, &expect);
+  Matrix got(3, 4);
+  MatMulTransAAcc(a, b, &got);
+  EXPECT_TRUE(got.AllClose(expect, 1e-4f));
+}
+
+TEST(MatMulTest, TransBAccMatchesExplicitTranspose) {
+  std::mt19937_64 rng(3);
+  Matrix a = Matrix::Randn(5, 3, 1.0f, rng);
+  Matrix b = Matrix::Randn(4, 3, 1.0f, rng);
+  Matrix expect;
+  MatMul(a, b.Transposed(), &expect);
+  Matrix got(5, 4);
+  MatMulTransBAcc(a, b, &got);
+  EXPECT_TRUE(got.AllClose(expect, 1e-4f));
+}
+
+TEST(MatMulTest, AccumulationAddsOnTop) {
+  Matrix a = Matrix::Identity(2);
+  Matrix b(2, 2, {1, 2, 3, 4});
+  Matrix out = Matrix::Constant(2, 2, 10.0f);
+  MatMulAcc(a, b, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 14.0f);
+}
+
+TEST(ElementwiseTest, AddSubMul) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(1, 3, {4, 5, 6});
+  EXPECT_TRUE(Add(a, b).Equals(Matrix(1, 3, {5, 7, 9})));
+  EXPECT_TRUE(Sub(b, a).Equals(Matrix(1, 3, {3, 3, 3})));
+  EXPECT_TRUE(Mul(a, b).Equals(Matrix(1, 3, {4, 10, 18})));
+}
+
+TEST(ElementwiseTest, InPlaceOps) {
+  Matrix a(1, 2, {1, 2});
+  AddInPlace(&a, Matrix(1, 2, {10, 20}));
+  EXPECT_TRUE(a.Equals(Matrix(1, 2, {11, 22})));
+  AxpyInPlace(&a, 2.0f, Matrix(1, 2, {1, 1}));
+  EXPECT_TRUE(a.Equals(Matrix(1, 2, {13, 24})));
+  ScaleInPlace(&a, 0.5f);
+  EXPECT_TRUE(a.Equals(Matrix(1, 2, {6.5f, 12})));
+}
+
+TEST(ElementwiseTest, RowBroadcast) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  AddRowBroadcastInPlace(&a, Matrix::RowVector({10, 20}));
+  EXPECT_TRUE(a.Equals(Matrix(2, 2, {11, 22, 13, 24})));
+}
+
+}  // namespace
+}  // namespace rapid::nn

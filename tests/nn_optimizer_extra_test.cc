@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace rapid::nn {
+namespace {
+
+TEST(AdamExtraTest, WeightDecayShrinksUnusedParameters) {
+  // A parameter with zero gradient decays toward zero under decoupled
+  // weight decay, and stays put without it.
+  Variable with_decay = Variable::Parameter(Matrix(1, 1, {1.0f}));
+  Variable without_decay = Variable::Parameter(Matrix(1, 1, {1.0f}));
+  Adam decayed({with_decay}, 0.01f, 0.9f, 0.999f, 1e-8f,
+               /*weight_decay=*/0.1f);
+  Adam plain({without_decay}, 0.01f);
+  for (int i = 0; i < 100; ++i) {
+    decayed.ZeroGrad();
+    plain.ZeroGrad();
+    decayed.Step();
+    plain.Step();
+  }
+  EXPECT_LT(with_decay.value().at(0, 0), 0.95f);
+  EXPECT_FLOAT_EQ(without_decay.value().at(0, 0), 1.0f);
+}
+
+TEST(SgdExtraTest, MomentumAcceleratesOnConstantGradient) {
+  // With a constant gradient of 1, momentum accumulates: after enough
+  // steps the per-step update approaches lr / (1 - momentum).
+  Variable p_mom = Variable::Parameter(Matrix(1, 1, {0.0f}));
+  Variable p_plain = Variable::Parameter(Matrix(1, 1, {0.0f}));
+  Sgd mom({p_mom}, 0.01f, 0.9f);
+  Sgd plain({p_plain}, 0.01f);
+  for (int i = 0; i < 50; ++i) {
+    p_mom.ZeroGrad();
+    p_mom.mutable_grad().at(0, 0) = 1.0f;
+    mom.Step();
+    p_plain.ZeroGrad();
+    p_plain.mutable_grad().at(0, 0) = 1.0f;
+    plain.Step();
+  }
+  // Both move in the negative direction; momentum must have travelled
+  // much further (approaching lr/(1-momentum) = 10x per-step updates).
+  EXPECT_LT(p_mom.value().at(0, 0), 0.0f);
+  EXPECT_GT(std::fabs(p_mom.value().at(0, 0)),
+            3.0f * std::fabs(p_plain.value().at(0, 0)));
+}
+
+TEST(AdamExtraTest, StepSizeBoundedByLearningRate) {
+  // Adam's first update magnitude is ~lr regardless of gradient scale.
+  for (float gscale : {1e-3f, 1.0f, 1e3f}) {
+    Variable p = Variable::Parameter(Matrix(1, 1, {0.0f}));
+    Adam opt({p}, 0.01f);
+    p.mutable_grad().at(0, 0) = gscale;
+    opt.Step();
+    EXPECT_NEAR(std::fabs(p.value().at(0, 0)), 0.01f, 0.002f)
+        << "gradient scale " << gscale;
+  }
+}
+
+TEST(LstmExtraTest, AllStatesShapesAndProgression) {
+  std::mt19937_64 rng(3);
+  Lstm lstm(4, 6, rng);
+  std::vector<Variable> inputs;
+  for (int t = 0; t < 5; ++t) {
+    inputs.push_back(Variable::Constant(Matrix::Randn(2, 4, 1.0f, rng)));
+  }
+  const auto states = lstm.Forward(inputs);
+  ASSERT_EQ(states.size(), 5u);
+  for (const Variable& s : states) {
+    EXPECT_EQ(s.rows(), 2);
+    EXPECT_EQ(s.cols(), 6);
+  }
+  // States evolve: consecutive states differ.
+  EXPECT_FALSE(
+      states[0].value().AllClose(states[4].value(), 1e-6f));
+}
+
+TEST(ActivationTest, HelperMatchesOps) {
+  std::mt19937_64 rng(4);
+  Variable x = Variable::Constant(Matrix::Randn(2, 3, 1.0f, rng));
+  EXPECT_TRUE(Activate(x, Activation::kIdentity).value().Equals(x.value()));
+  EXPECT_TRUE(
+      Activate(x, Activation::kRelu).value().Equals(Relu(x).value()));
+  EXPECT_TRUE(
+      Activate(x, Activation::kTanh).value().Equals(Tanh(x).value()));
+  EXPECT_TRUE(Activate(x, Activation::kSigmoid)
+                  .value()
+                  .Equals(Sigmoid(x).value()));
+}
+
+TEST(ModuleTest, NumParamsCountsEverything) {
+  std::mt19937_64 rng(5);
+  Linear l(3, 4, rng);
+  EXPECT_EQ(l.NumParams(), 3 * 4 + 4);
+  LstmCell cell(3, 4, rng);
+  EXPECT_EQ(cell.NumParams(), 3 * 16 + 4 * 16 + 16);
+}
+
+}  // namespace
+}  // namespace rapid::nn

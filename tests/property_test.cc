@@ -1,0 +1,249 @@
+// Property-style sweeps across seeds and configurations: invariants that
+// must hold for every method, dataset kind, and click-model setting.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "click/dcm.h"
+#include "core/rapid.h"
+#include "datagen/simulator.h"
+#include "metrics/metrics.h"
+#include "rerank/dpp.h"
+#include "rerank/mmr.h"
+#include "rerank/neural_models.h"
+#include "rerank/pdgan.h"
+#include "rerank/ssd.h"
+
+namespace rapid {
+namespace {
+
+// ---------- every method is a permutation, across seeds ----------
+
+class PermutationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermutationSweep, AllMethodsPermuteRandomLists) {
+  const int seed = GetParam();
+  data::SimConfig cfg;
+  cfg.kind = (seed % 3 == 0)   ? data::DatasetKind::kTaobao
+             : (seed % 3 == 1) ? data::DatasetKind::kMovieLens
+                               : data::DatasetKind::kAppStore;
+  cfg.num_users = 15;
+  cfg.num_items = 100;
+  cfg.rerank_lists_per_user = 2;
+  data::Dataset data = data::GenerateDataset(cfg, seed);
+  click::GroundTruthClickModel dcm(&data, click::DcmConfig{});
+  std::mt19937_64 rng(seed);
+  std::vector<data::ImpressionList> train;
+  for (const data::Request& req : data.rerank_train_requests) {
+    data::ImpressionList list;
+    list.user_id = req.user_id;
+    list.items.assign(req.candidates.begin(), req.candidates.begin() + 9);
+    for (int i = 0; i < 9; ++i) list.scores.push_back(1.0f - 0.1f * i);
+    list.clicks = dcm.SimulateClicks(list.user_id, list.items, rng);
+    train.push_back(std::move(list));
+  }
+
+  std::vector<std::unique_ptr<rerank::Reranker>> methods;
+  methods.push_back(std::make_unique<rerank::InitReranker>());
+  methods.push_back(std::make_unique<rerank::MmrReranker>());
+  methods.push_back(std::make_unique<rerank::AdpMmrReranker>());
+  methods.push_back(std::make_unique<rerank::DppReranker>());
+  methods.push_back(std::make_unique<rerank::SsdReranker>());
+  methods.push_back(std::make_unique<rerank::PdGanReranker>());
+  rerank::NeuralRerankConfig ncfg;
+  ncfg.epochs = 1;
+  ncfg.hidden_dim = 8;
+  methods.push_back(std::make_unique<rerank::DlcmReranker>(ncfg));
+  methods.push_back(std::make_unique<rerank::PrmReranker>(ncfg));
+  core::RapidConfig rcfg;
+  rcfg.train = ncfg;
+  rcfg.hidden_dim = 8;
+  methods.push_back(std::make_unique<core::RapidReranker>(rcfg));
+
+  for (auto& method : methods) {
+    method->Fit(data, train, seed);
+    for (int l = 0; l < 4; ++l) {
+      const auto out = method->Rerank(data, train[l]);
+      std::multiset<int> sa(out.begin(), out.end()),
+          sb(train[l].items.begin(), train[l].items.end());
+      EXPECT_EQ(sa, sb) << method->name() << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationSweep,
+                         ::testing::Values(201, 202, 203, 204, 205, 206));
+
+// ---------- DCM statistics across lambda ----------
+
+class DcmLambdaSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(DcmLambdaSweep, AttractionBoundsAndClickRates) {
+  const float lambda = GetParam();
+  data::SimConfig cfg;
+  cfg.kind = data::DatasetKind::kTaobao;
+  cfg.num_users = 25;
+  cfg.num_items = 150;
+  data::Dataset data = data::GenerateDataset(cfg, 301);
+  click::DcmConfig dcm_cfg;
+  dcm_cfg.lambda = lambda;
+  click::GroundTruthClickModel dcm(&data, dcm_cfg);
+  std::mt19937_64 rng(7);
+  double total_clicks = 0.0;
+  int lists = 0;
+  for (int u = 0; u < 25; ++u) {
+    std::vector<int> items;
+    for (int i = 0; i < 10; ++i) items.push_back((u * 17 + i * 11) % 150);
+    for (int pos = 0; pos < 10; ++pos) {
+      const float a = dcm.Attraction(u, items, pos);
+      ASSERT_GE(a, 0.0f);
+      ASSERT_LE(a, 1.0f);
+    }
+    auto clicks = dcm.SimulateClicks(u, items, rng);
+    for (int c : clicks) total_clicks += c;
+    ++lists;
+    // Analytic and satisfaction values bounded.
+    const float s = dcm.TrueSatisfaction(u, items, 10);
+    ASSERT_GE(s, 0.0f);
+    ASSERT_LE(s, 1.0f);
+  }
+  // Clicks happen but are not saturated, at every lambda.
+  EXPECT_GT(total_clicks / lists, 0.1);
+  EXPECT_LT(total_clicks / lists, 9.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, DcmLambdaSweep,
+                         ::testing::Values(0.0f, 0.3f, 0.5f, 0.9f, 1.0f));
+
+// ---------- greedy-selection properties ----------
+
+TEST(GreedyPropertyTest, MmrFirstPickIsTopScore) {
+  // The first MMR pick always maximizes pure relevance (no similarity yet)
+  // for any tradeoff > 0.
+  data::SimConfig cfg;
+  cfg.kind = data::DatasetKind::kMovieLens;
+  cfg.num_users = 10;
+  cfg.num_items = 80;
+  data::Dataset data = data::GenerateDataset(cfg, 302);
+  for (float trade : {0.2f, 0.5f, 0.9f}) {
+    rerank::MmrReranker mmr(trade);
+    data::ImpressionList list;
+    list.user_id = 0;
+    for (int i = 0; i < 8; ++i) {
+      list.items.push_back(i * 9 % 80);
+      list.scores.push_back(static_cast<float>((i * 37) % 11));
+    }
+    const auto out = mmr.Rerank(data, list);
+    const auto norm = rerank::NormalizedScores(list);
+    const int best = static_cast<int>(
+        std::max_element(norm.begin(), norm.end()) - norm.begin());
+    EXPECT_EQ(out[0], list.items[best]) << "trade=" << trade;
+  }
+}
+
+TEST(GreedyPropertyTest, DppSelectionPrefixIsGreedyOptimal) {
+  // For the greedy MAP order o, each o[t] must maximize the marginal gain
+  // over the previously selected prefix (verified by recomputing log-det
+  // gains directly on a small kernel).
+  std::mt19937_64 rng(5);
+  const int n = 6;
+  // Random PSD kernel: L = B B^T + eps I.
+  std::vector<std::vector<float>> b(n, std::vector<float>(n));
+  std::normal_distribution<float> g(0.0f, 1.0f);
+  for (auto& row : b) {
+    for (float& x : row) x = g(rng);
+  }
+  std::vector<std::vector<float>> kernel(n, std::vector<float>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < n; ++k) s += b[i][k] * b[j][k];
+      kernel[i][j] = static_cast<float>(s) + (i == j ? 0.01f : 0.0f);
+    }
+  }
+  const auto order = rerank::DppReranker::GreedyMapInference(kernel, 3);
+
+  // Brute-force: determinant of the kernel submatrix for a given set.
+  auto det = [&](std::vector<int> set) {
+    const int m = static_cast<int>(set.size());
+    std::vector<std::vector<double>> a(m, std::vector<double>(m));
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) a[i][j] = kernel[set[i]][set[j]];
+    }
+    double d = 1.0;
+    for (int c = 0; c < m; ++c) {  // Gaussian elimination.
+      int pivot = c;
+      for (int r = c + 1; r < m; ++r) {
+        if (std::fabs(a[r][c]) > std::fabs(a[pivot][c])) pivot = r;
+      }
+      if (std::fabs(a[pivot][c]) < 1e-12) return 0.0;
+      if (pivot != c) {
+        std::swap(a[pivot], a[c]);
+        d = -d;
+      }
+      d *= a[c][c];
+      for (int r = c + 1; r < m; ++r) {
+        const double f = a[r][c] / a[c][c];
+        for (int cc = c; cc < m; ++cc) a[r][cc] -= f * a[c][cc];
+      }
+    }
+    return d;
+  };
+
+  std::vector<int> prefix;
+  for (int t = 0; t < 3; ++t) {
+    const double chosen_det = [&] {
+      std::vector<int> s = prefix;
+      s.push_back(order[t]);
+      return det(s);
+    }();
+    for (int cand = 0; cand < n; ++cand) {
+      if (std::find(prefix.begin(), prefix.end(), cand) != prefix.end()) {
+        continue;
+      }
+      std::vector<int> s = prefix;
+      s.push_back(cand);
+      EXPECT_LE(det(s), chosen_det * (1.0 + 1e-4) + 1e-9)
+          << "step " << t << " candidate " << cand;
+    }
+    prefix.push_back(order[t]);
+  }
+}
+
+// ---------- metric relationships ----------
+
+TEST(MetricPropertyTest, DivAtKBoundedByTopicCountAndK) {
+  data::SimConfig cfg;
+  cfg.kind = data::DatasetKind::kAppStore;
+  cfg.num_users = 5;
+  cfg.num_items = 60;
+  data::Dataset data = data::GenerateDataset(cfg, 303);
+  std::vector<int> items;
+  for (int i = 0; i < 12; ++i) items.push_back(i * 5 % 60);
+  for (int k = 1; k <= 12; ++k) {
+    const float div = metrics::DivAtK(data, items, k);
+    EXPECT_LE(div, static_cast<float>(std::min(k, data.num_topics)) + 1e-5f);
+    EXPECT_GE(div, 0.99f);  // At least ~1 topic covered (one-hot items).
+  }
+}
+
+TEST(MetricPropertyTest, SatisfactionMonotoneInK) {
+  data::SimConfig cfg;
+  cfg.kind = data::DatasetKind::kTaobao;
+  cfg.num_users = 8;
+  cfg.num_items = 60;
+  data::Dataset data = data::GenerateDataset(cfg, 304);
+  click::GroundTruthClickModel dcm(&data, click::DcmConfig{});
+  std::vector<int> items = {0, 5, 10, 15, 20, 25};
+  float prev = 0.0f;
+  for (int k = 1; k <= 6; ++k) {
+    const float s = dcm.TrueSatisfaction(0, items, k);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace rapid

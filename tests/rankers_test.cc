@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "datagen/simulator.h"
+#include "rankers/din.h"
+#include "rankers/lambdamart.h"
+#include "rankers/ranker.h"
+#include "rankers/regression_tree.h"
+#include "rankers/svmrank.h"
+
+namespace rapid::rank {
+namespace {
+
+data::Dataset SmallData(uint64_t seed = 51) {
+  data::SimConfig cfg;
+  cfg.kind = data::DatasetKind::kTaobao;
+  cfg.num_users = 40;
+  cfg.num_items = 250;
+  cfg.history_len = 20;
+  cfg.ranker_train_pos_per_user = 10;
+  return data::GenerateDataset(cfg, seed);
+}
+
+// AUC of ranker scores against ground-truth relevance-sampled positives.
+double RankerAuc(const Ranker& ranker, const data::Dataset& data) {
+  double correct = 0.0, total = 0.0;
+  for (int u = 0; u < static_cast<int>(data.users.size()); u += 4) {
+    // Positives: history items. Negatives: arbitrary items.
+    for (int i = 0; i < 8; ++i) {
+      const int pos = data.history[u][i];
+      const int neg = (u * 37 + i * 13) % data.items.size();
+      if (std::find(data.history[u].begin(), data.history[u].end(), neg) !=
+          data.history[u].end()) {
+        continue;
+      }
+      const float sp = ranker.Score(data, u, pos);
+      const float sn = ranker.Score(data, u, neg);
+      if (sp > sn) correct += 1.0;
+      if (sp == sn) correct += 0.5;
+      total += 1.0;
+    }
+  }
+  return correct / total;
+}
+
+TEST(PairFeaturesTest, DimensionMatches) {
+  data::Dataset data = SmallData();
+  const auto f = PairFeatures(data, 0, 0);
+  EXPECT_EQ(static_cast<int>(f.size()), PairFeatureDim(data));
+  // q_u + q_v + m + 1 = 8 + 9 + 5 + 1 (item features carry the extra
+  // noisy-quality dimension; no history features for classical rankers).
+  EXPECT_EQ(PairFeatureDim(data), 23);
+}
+
+TEST(RankRequestTest, ReturnsTopKDescending) {
+  data::Dataset data = SmallData();
+  SvmRankRanker svm;
+  svm.Train(data, 1);
+  const data::Request& req = data.test_requests[0];
+  data::ImpressionList list = svm.RankRequest(data, req, 20);
+  EXPECT_EQ(list.items.size(), 20u);
+  EXPECT_EQ(list.user_id, req.user_id);
+  for (size_t i = 1; i < list.scores.size(); ++i) {
+    EXPECT_GE(list.scores[i - 1], list.scores[i]);
+  }
+  for (int v : list.items) {
+    EXPECT_TRUE(std::find(req.candidates.begin(), req.candidates.end(), v) !=
+                req.candidates.end());
+  }
+}
+
+TEST(RankRequestTest, ShortCandidatePoolHandled) {
+  data::Dataset data = SmallData();
+  SvmRankRanker svm;
+  svm.Train(data, 1);
+  data::Request req;
+  req.user_id = 0;
+  req.candidates = {1, 2, 3};
+  data::ImpressionList list = svm.RankRequest(data, req, 20);
+  EXPECT_EQ(list.items.size(), 3u);
+}
+
+TEST(SvmRankTest, LearnsBetterThanRandom) {
+  data::Dataset data = SmallData();
+  SvmRankRanker svm;
+  svm.Train(data, 2);
+  EXPECT_GT(RankerAuc(svm, data), 0.62);
+}
+
+TEST(SvmRankTest, WeightsAreFiniteAndNonZero) {
+  data::Dataset data = SmallData();
+  SvmRankRanker svm;
+  svm.Train(data, 3);
+  float norm = 0.0f;
+  for (float w : svm.weights()) {
+    EXPECT_TRUE(std::isfinite(w));
+    norm += w * w;
+  }
+  EXPECT_GT(norm, 0.0f);
+}
+
+TEST(DinTest, TrainsAndBeatsRandom) {
+  data::Dataset data = SmallData();
+  DinConfig cfg;
+  cfg.epochs = 3;
+  DinRanker din(cfg);
+  din.Train(data, 4);
+  EXPECT_LT(din.final_loss(), 0.69f);  // Below chance-level BCE.
+  EXPECT_GT(RankerAuc(din, data), 0.62);
+}
+
+TEST(DinTest, IdEmbeddingVariantTrains) {
+  data::Dataset data = SmallData();
+  DinConfig cfg;
+  cfg.epochs = 2;
+  cfg.use_id_embeddings = true;
+  DinRanker din(cfg);
+  din.Train(data, 40);
+  EXPECT_LT(din.final_loss(), 0.69f);
+  EXPECT_GT(RankerAuc(din, data), 0.6);
+  // Scores differ across items (embeddings wired in).
+  EXPECT_NE(din.Score(data, 0, 1), din.Score(data, 0, 2));
+}
+
+TEST(DinTest, DeterministicGivenSeed) {
+  data::Dataset data = SmallData();
+  DinConfig cfg;
+  cfg.epochs = 1;
+  DinRanker a(cfg), b(cfg);
+  a.Train(data, 5);
+  b.Train(data, 5);
+  EXPECT_FLOAT_EQ(a.Score(data, 0, 7), b.Score(data, 0, 7));
+}
+
+TEST(RegressionTreeTest, FitsAxisAlignedStep) {
+  std::vector<std::vector<float>> x;
+  std::vector<float> y;
+  for (int i = 0; i < 200; ++i) {
+    const float v = static_cast<float>(i) / 200.0f;
+    x.push_back({v, 0.5f});
+    y.push_back(v < 0.5f ? -1.0f : 2.0f);
+  }
+  RegressionTree tree;
+  tree.Fit(x, y, {}, RegressionTree::Options{});
+  EXPECT_NEAR(tree.Predict({0.1f, 0.5f}), -1.0f, 0.2f);
+  EXPECT_NEAR(tree.Predict({0.9f, 0.5f}), 2.0f, 0.2f);
+  EXPECT_GT(tree.num_nodes(), 1);
+}
+
+TEST(RegressionTreeTest, RespectsMinLeafSize) {
+  std::vector<std::vector<float>> x;
+  std::vector<float> y;
+  for (int i = 0; i < 15; ++i) {
+    x.push_back({static_cast<float>(i)});
+    y.push_back(static_cast<float>(i % 2));
+  }
+  RegressionTree tree;
+  RegressionTree::Options opt;
+  opt.min_leaf_size = 10;
+  tree.Fit(x, y, {}, opt);
+  EXPECT_EQ(tree.num_nodes(), 1);  // Can't split: 15 < 2*10.
+}
+
+TEST(RegressionTreeTest, ConstantTargetsGiveLeafMean) {
+  std::vector<std::vector<float>> x = {{0.0f}, {1.0f}, {2.0f}, {3.0f}};
+  std::vector<float> y = {5.0f, 5.0f, 5.0f, 5.0f};
+  RegressionTree tree;
+  tree.Fit(x, y, {}, RegressionTree::Options{});
+  EXPECT_NEAR(tree.Predict({1.5f}), 5.0f, 1e-5f);
+}
+
+TEST(RegressionTreeTest, NewtonLeavesUseHessians) {
+  // With hessian 2 everywhere, leaf value = sum(g) / sum(h) = mean(g)/2.
+  std::vector<std::vector<float>> x = {{0.0f}, {1.0f}};
+  std::vector<float> g = {4.0f, 4.0f};
+  std::vector<float> h = {2.0f, 2.0f};
+  RegressionTree tree;
+  tree.Fit(x, g, h, RegressionTree::Options{});
+  EXPECT_NEAR(tree.Predict({0.5f}), 2.0f, 1e-4f);
+}
+
+TEST(LambdaMartTest, BuildsTreesAndBeatsRandom) {
+  data::Dataset data = SmallData();
+  LambdaMartConfig cfg;
+  cfg.num_trees = 25;
+  LambdaMartRanker lm(cfg);
+  lm.Train(data, 6);
+  EXPECT_EQ(lm.num_trees(), 25);
+  EXPECT_GT(RankerAuc(lm, data), 0.6);
+}
+
+TEST(LambdaMartTest, ScoresPositivesAboveNegativesInTraining) {
+  data::Dataset data = SmallData();
+  LambdaMartRanker lm;
+  lm.Train(data, 7);
+  double pos_mean = 0.0, neg_mean = 0.0;
+  int np = 0, nn = 0;
+  for (const data::Interaction& it : data.ranker_train) {
+    const float s = lm.Score(data, it.user_id, it.item_id);
+    if (it.label) {
+      pos_mean += s;
+      ++np;
+    } else {
+      neg_mean += s;
+      ++nn;
+    }
+  }
+  EXPECT_GT(pos_mean / np, neg_mean / nn);
+}
+
+TEST(RankerComparisonTest, AllRankersProduceValidLists) {
+  data::Dataset data = SmallData();
+  std::vector<std::unique_ptr<Ranker>> rankers;
+  DinConfig din_cfg;
+  din_cfg.epochs = 1;
+  rankers.push_back(std::make_unique<DinRanker>(din_cfg));
+  rankers.push_back(std::make_unique<SvmRankRanker>());
+  LambdaMartConfig lm_cfg;
+  lm_cfg.num_trees = 5;
+  rankers.push_back(std::make_unique<LambdaMartRanker>(lm_cfg));
+  for (auto& r : rankers) {
+    r->Train(data, 8);
+    data::ImpressionList list =
+        r->RankRequest(data, data.test_requests[0], 20);
+    EXPECT_EQ(list.items.size(), 20u) << r->name();
+  }
+}
+
+}  // namespace
+}  // namespace rapid::rank

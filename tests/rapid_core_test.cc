@@ -1,0 +1,176 @@
+#include "core/rapid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "click/dcm.h"
+#include "datagen/simulator.h"
+
+namespace rapid::core {
+namespace {
+
+class RapidTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SimConfig cfg;
+    cfg.kind = data::DatasetKind::kTaobao;
+    cfg.num_users = 25;
+    cfg.num_items = 150;
+    cfg.rerank_lists_per_user = 3;
+    data_ = data::GenerateDataset(cfg, 71);
+    click::GroundTruthClickModel dcm(&data_, click::DcmConfig{});
+    std::mt19937_64 rng(3);
+    for (const data::Request& req : data_.rerank_train_requests) {
+      data::ImpressionList list;
+      list.user_id = req.user_id;
+      list.items.assign(req.candidates.begin(), req.candidates.begin() + 12);
+      for (int i = 0; i < 12; ++i) list.scores.push_back(1.0f - 0.05f * i);
+      list.clicks = dcm.SimulateClicks(list.user_id, list.items, rng);
+      train_.push_back(std::move(list));
+    }
+  }
+
+  RapidConfig FastConfig() {
+    RapidConfig cfg;
+    cfg.train.epochs = 2;
+    cfg.hidden_dim = 8;
+    return cfg;
+  }
+
+  data::Dataset data_;
+  std::vector<data::ImpressionList> train_;
+};
+
+TEST_F(RapidTest, NamesFollowConfiguration) {
+  RapidConfig cfg;
+  EXPECT_EQ(RapidReranker(cfg).name(), "RAPID-pro");
+  cfg.head = OutputHead::kDeterministic;
+  EXPECT_EQ(RapidReranker(cfg).name(), "RAPID-det");
+  cfg = RapidConfig();
+  cfg.diversity_aggregator = DiversityAggregator::kNone;
+  EXPECT_EQ(RapidReranker(cfg).name(), "RAPID-RNN");
+  cfg = RapidConfig();
+  cfg.diversity_aggregator = DiversityAggregator::kMean;
+  EXPECT_EQ(RapidReranker(cfg).name(), "RAPID-mean");
+  cfg = RapidConfig();
+  cfg.relevance_encoder = RelevanceEncoder::kTransformer;
+  EXPECT_EQ(RapidReranker(cfg).name(), "RAPID-trans");
+}
+
+class RapidVariantTest : public RapidTest,
+                         public ::testing::WithParamInterface<int> {};
+
+TEST_P(RapidVariantTest, TrainsAndProducesPermutations) {
+  RapidConfig cfg;
+  cfg.train.epochs = 2;
+  cfg.hidden_dim = 8;
+  switch (GetParam()) {
+    case 0:
+      break;  // RAPID-pro
+    case 1:
+      cfg.head = OutputHead::kDeterministic;
+      break;
+    case 2:
+      cfg.diversity_aggregator = DiversityAggregator::kNone;
+      break;
+    case 3:
+      cfg.diversity_aggregator = DiversityAggregator::kMean;
+      break;
+    case 4:
+      cfg.relevance_encoder = RelevanceEncoder::kTransformer;
+      break;
+  }
+  RapidReranker model(cfg);
+  model.Fit(data_, train_, 11);
+  EXPECT_GT(model.final_loss(), 0.0f);
+  // 2 epochs on 75 tiny lists: just check the loss is in a sane BCE range.
+  EXPECT_LT(model.final_loss(), 0.8f) << model.name();
+  auto out = model.Rerank(data_, train_[0]);
+  std::multiset<int> sa(out.begin(), out.end()),
+      sb(train_[0].items.begin(), train_[0].items.end());
+  EXPECT_EQ(sa, sb) << model.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, RapidVariantTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST_F(RapidTest, PreferenceDistributionShapeAndRange) {
+  RapidReranker model(FastConfig());
+  model.Fit(data_, train_, 12);
+  auto theta = model.PreferenceDistribution(data_, 0);
+  EXPECT_EQ(static_cast<int>(theta.size()), data_.num_topics);
+  for (float t : theta) {
+    EXPECT_GE(t, 0.0f);
+    EXPECT_LE(t, 1.0f);
+  }
+}
+
+TEST_F(RapidTest, PreferenceDiffersAcrossUsers) {
+  RapidReranker model(FastConfig());
+  model.Fit(data_, train_, 13);
+  auto t0 = model.PreferenceDistribution(data_, 0);
+  bool any_differs = false;
+  for (int u = 1; u < 10; ++u) {
+    auto tu = model.PreferenceDistribution(data_, u);
+    for (int j = 0; j < data_.num_topics; ++j) {
+      if (std::fabs(tu[j] - t0[j]) > 1e-3f) any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs) << "theta must be personalized";
+}
+
+TEST_F(RapidTest, ProbabilisticInferenceIsDeterministic) {
+  // UCB scoring must not consume randomness: same list, same scores.
+  RapidReranker model(FastConfig());
+  model.Fit(data_, train_, 14);
+  auto s1 = model.ScoreList(data_, train_[0]);
+  auto s2 = model.ScoreList(data_, train_[0]);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST_F(RapidTest, UcbScoresAtLeastMeanScores) {
+  // The probabilistic head adds a nonnegative sigma at inference, so its
+  // scores upper-bound the deterministic mean head's output of the same
+  // trained model. Train pro, compare its UCB vs mean part indirectly:
+  // sigma = softplus(.) > 0 implies UCB > mean is guaranteed by
+  // construction; here we assert scores are finite and ordered output
+  // works.
+  RapidReranker model(FastConfig());
+  model.Fit(data_, train_, 15);
+  auto scores = model.ScoreList(data_, train_[0]);
+  for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST_F(RapidTest, TrainingIsSeedDeterministic) {
+  RapidReranker a(FastConfig()), b(FastConfig());
+  a.Fit(data_, train_, 77);
+  b.Fit(data_, train_, 77);
+  EXPECT_EQ(a.Rerank(data_, train_[2]), b.Rerank(data_, train_[2]));
+}
+
+TEST_F(RapidTest, HandlesUsersWithEmptyTopicSequences) {
+  // A user whose history misses some topics entirely must still get a
+  // valid theta (masked LSTM path).
+  RapidReranker model(FastConfig());
+  model.Fit(data_, train_, 16);
+  for (int u = 0; u < 20; ++u) {
+    auto theta = model.PreferenceDistribution(data_, u);
+    for (float t : theta) EXPECT_TRUE(std::isfinite(t));
+  }
+}
+
+TEST_F(RapidTest, ShortListsHandled) {
+  RapidReranker model(FastConfig());
+  model.Fit(data_, train_, 17);
+  data::ImpressionList tiny;
+  tiny.user_id = 0;
+  tiny.items = {3, 9};
+  tiny.scores = {0.9f, 0.1f};
+  auto out = model.Rerank(data_, tiny);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rapid::core
