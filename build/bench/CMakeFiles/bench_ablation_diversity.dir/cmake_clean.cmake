@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_diversity.dir/bench_ablation_diversity.cc.o"
+  "CMakeFiles/bench_ablation_diversity.dir/bench_ablation_diversity.cc.o.d"
+  "bench_ablation_diversity"
+  "bench_ablation_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nn_micro.dir/bench_nn_micro.cc.o"
+  "CMakeFiles/bench_nn_micro.dir/bench_nn_micro.cc.o.d"
+  "bench_nn_micro"
+  "bench_nn_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nn_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regret.dir/bench_regret.cc.o"
+  "CMakeFiles/bench_regret.dir/bench_regret.cc.o.d"
+  "bench_regret"
+  "bench_regret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness_cascade.dir/bench_robustness_cascade.cc.o"
+  "CMakeFiles/bench_robustness_cascade.dir/bench_robustness_cascade.cc.o.d"
+  "bench_robustness_cascade"
+  "bench_robustness_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_robustness_cascade.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3.cc" "bench/CMakeFiles/bench_table3.dir/bench_table3.cc.o" "gcc" "bench/CMakeFiles/bench_table3.dir/bench_table3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rapid_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/rapid_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/rapid_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rapid_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rapid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rerank/CMakeFiles/rapid_rerank.dir/DependInfo.cmake"
+  "/root/repo/build/src/rankers/CMakeFiles/rapid_rankers.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/rapid_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rapid_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

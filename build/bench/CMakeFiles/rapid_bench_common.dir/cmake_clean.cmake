@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/rapid_bench_common.dir/bench_common.cc.o.d"
+  "librapid_bench_common.a"
+  "librapid_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_store_revenue.dir/app_store_revenue.cpp.o"
+  "CMakeFiles/app_store_revenue.dir/app_store_revenue.cpp.o.d"
+  "app_store_revenue"
+  "app_store_revenue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_store_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for app_store_revenue.
+# This may be replaced when dependencies are built.

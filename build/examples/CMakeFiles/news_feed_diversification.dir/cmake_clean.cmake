@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_feed_diversification.dir/news_feed_diversification.cpp.o"
+  "CMakeFiles/news_feed_diversification.dir/news_feed_diversification.cpp.o.d"
+  "news_feed_diversification"
+  "news_feed_diversification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_feed_diversification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

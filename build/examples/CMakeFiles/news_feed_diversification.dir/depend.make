@@ -1,0 +1,2 @@
+# Empty dependencies file for news_feed_diversification.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_vs_uniform.dir/personalized_vs_uniform.cpp.o"
+  "CMakeFiles/personalized_vs_uniform.dir/personalized_vs_uniform.cpp.o.d"
+  "personalized_vs_uniform"
+  "personalized_vs_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_vs_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

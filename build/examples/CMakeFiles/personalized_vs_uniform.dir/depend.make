@@ -1,0 +1,2 @@
+# Empty dependencies file for personalized_vs_uniform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_bandit.dir/linear_rapid.cc.o"
+  "CMakeFiles/rapid_bandit.dir/linear_rapid.cc.o.d"
+  "librapid_bandit.a"
+  "librapid_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rapid_bandit.
+# This may be replaced when dependencies are built.

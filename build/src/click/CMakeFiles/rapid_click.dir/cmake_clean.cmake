@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_click.dir/dcm.cc.o"
+  "CMakeFiles/rapid_click.dir/dcm.cc.o.d"
+  "librapid_click.a"
+  "librapid_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_core.dir/diversity_function.cc.o"
+  "CMakeFiles/rapid_core.dir/diversity_function.cc.o.d"
+  "CMakeFiles/rapid_core.dir/rapid.cc.o"
+  "CMakeFiles/rapid_core.dir/rapid.cc.o.d"
+  "librapid_core.a"
+  "librapid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

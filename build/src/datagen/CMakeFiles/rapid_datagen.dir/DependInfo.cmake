@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/gmm.cc" "src/datagen/CMakeFiles/rapid_datagen.dir/gmm.cc.o" "gcc" "src/datagen/CMakeFiles/rapid_datagen.dir/gmm.cc.o.d"
+  "/root/repo/src/datagen/history.cc" "src/datagen/CMakeFiles/rapid_datagen.dir/history.cc.o" "gcc" "src/datagen/CMakeFiles/rapid_datagen.dir/history.cc.o.d"
+  "/root/repo/src/datagen/simulator.cc" "src/datagen/CMakeFiles/rapid_datagen.dir/simulator.cc.o" "gcc" "src/datagen/CMakeFiles/rapid_datagen.dir/simulator.cc.o.d"
+  "/root/repo/src/datagen/types.cc" "src/datagen/CMakeFiles/rapid_datagen.dir/types.cc.o" "gcc" "src/datagen/CMakeFiles/rapid_datagen.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

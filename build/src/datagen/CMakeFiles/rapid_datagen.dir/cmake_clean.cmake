@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_datagen.dir/gmm.cc.o"
+  "CMakeFiles/rapid_datagen.dir/gmm.cc.o.d"
+  "CMakeFiles/rapid_datagen.dir/history.cc.o"
+  "CMakeFiles/rapid_datagen.dir/history.cc.o.d"
+  "CMakeFiles/rapid_datagen.dir/simulator.cc.o"
+  "CMakeFiles/rapid_datagen.dir/simulator.cc.o.d"
+  "CMakeFiles/rapid_datagen.dir/types.cc.o"
+  "CMakeFiles/rapid_datagen.dir/types.cc.o.d"
+  "librapid_datagen.a"
+  "librapid_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

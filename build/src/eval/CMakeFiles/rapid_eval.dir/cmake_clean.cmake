@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_eval.dir/multi_run.cc.o"
+  "CMakeFiles/rapid_eval.dir/multi_run.cc.o.d"
+  "CMakeFiles/rapid_eval.dir/pipeline.cc.o"
+  "CMakeFiles/rapid_eval.dir/pipeline.cc.o.d"
+  "CMakeFiles/rapid_eval.dir/table.cc.o"
+  "CMakeFiles/rapid_eval.dir/table.cc.o.d"
+  "librapid_eval.a"
+  "librapid_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_metrics.dir/metrics.cc.o"
+  "CMakeFiles/rapid_metrics.dir/metrics.cc.o.d"
+  "librapid_metrics.a"
+  "librapid_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/rapid_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/rapid_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/gradcheck.cc" "src/nn/CMakeFiles/rapid_nn.dir/gradcheck.cc.o" "gcc" "src/nn/CMakeFiles/rapid_nn.dir/gradcheck.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/rapid_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/rapid_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/rapid_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/rapid_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/rapid_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/rapid_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/rapid_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/rapid_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/rapid_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/rapid_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/variable.cc" "src/nn/CMakeFiles/rapid_nn.dir/variable.cc.o" "gcc" "src/nn/CMakeFiles/rapid_nn.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_nn.dir/embedding.cc.o"
+  "CMakeFiles/rapid_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/rapid_nn.dir/gradcheck.cc.o"
+  "CMakeFiles/rapid_nn.dir/gradcheck.cc.o.d"
+  "CMakeFiles/rapid_nn.dir/layers.cc.o"
+  "CMakeFiles/rapid_nn.dir/layers.cc.o.d"
+  "CMakeFiles/rapid_nn.dir/matrix.cc.o"
+  "CMakeFiles/rapid_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/rapid_nn.dir/ops.cc.o"
+  "CMakeFiles/rapid_nn.dir/ops.cc.o.d"
+  "CMakeFiles/rapid_nn.dir/optimizer.cc.o"
+  "CMakeFiles/rapid_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/rapid_nn.dir/serialize.cc.o"
+  "CMakeFiles/rapid_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/rapid_nn.dir/variable.cc.o"
+  "CMakeFiles/rapid_nn.dir/variable.cc.o.d"
+  "librapid_nn.a"
+  "librapid_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librapid_nn.a"
+)

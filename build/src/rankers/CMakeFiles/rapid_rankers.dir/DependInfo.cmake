@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rankers/din.cc" "src/rankers/CMakeFiles/rapid_rankers.dir/din.cc.o" "gcc" "src/rankers/CMakeFiles/rapid_rankers.dir/din.cc.o.d"
+  "/root/repo/src/rankers/lambdamart.cc" "src/rankers/CMakeFiles/rapid_rankers.dir/lambdamart.cc.o" "gcc" "src/rankers/CMakeFiles/rapid_rankers.dir/lambdamart.cc.o.d"
+  "/root/repo/src/rankers/ranker.cc" "src/rankers/CMakeFiles/rapid_rankers.dir/ranker.cc.o" "gcc" "src/rankers/CMakeFiles/rapid_rankers.dir/ranker.cc.o.d"
+  "/root/repo/src/rankers/regression_tree.cc" "src/rankers/CMakeFiles/rapid_rankers.dir/regression_tree.cc.o" "gcc" "src/rankers/CMakeFiles/rapid_rankers.dir/regression_tree.cc.o.d"
+  "/root/repo/src/rankers/svmrank.cc" "src/rankers/CMakeFiles/rapid_rankers.dir/svmrank.cc.o" "gcc" "src/rankers/CMakeFiles/rapid_rankers.dir/svmrank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/rapid_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rapid_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

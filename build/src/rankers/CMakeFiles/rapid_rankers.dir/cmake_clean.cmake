@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_rankers.dir/din.cc.o"
+  "CMakeFiles/rapid_rankers.dir/din.cc.o.d"
+  "CMakeFiles/rapid_rankers.dir/lambdamart.cc.o"
+  "CMakeFiles/rapid_rankers.dir/lambdamart.cc.o.d"
+  "CMakeFiles/rapid_rankers.dir/ranker.cc.o"
+  "CMakeFiles/rapid_rankers.dir/ranker.cc.o.d"
+  "CMakeFiles/rapid_rankers.dir/regression_tree.cc.o"
+  "CMakeFiles/rapid_rankers.dir/regression_tree.cc.o.d"
+  "CMakeFiles/rapid_rankers.dir/svmrank.cc.o"
+  "CMakeFiles/rapid_rankers.dir/svmrank.cc.o.d"
+  "librapid_rankers.a"
+  "librapid_rankers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_rankers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rapid_rankers.
+# This may be replaced when dependencies are built.

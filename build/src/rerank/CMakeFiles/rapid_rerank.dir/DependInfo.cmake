@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rerank/dpp.cc" "src/rerank/CMakeFiles/rapid_rerank.dir/dpp.cc.o" "gcc" "src/rerank/CMakeFiles/rapid_rerank.dir/dpp.cc.o.d"
+  "/root/repo/src/rerank/mmr.cc" "src/rerank/CMakeFiles/rapid_rerank.dir/mmr.cc.o" "gcc" "src/rerank/CMakeFiles/rapid_rerank.dir/mmr.cc.o.d"
+  "/root/repo/src/rerank/neural_base.cc" "src/rerank/CMakeFiles/rapid_rerank.dir/neural_base.cc.o" "gcc" "src/rerank/CMakeFiles/rapid_rerank.dir/neural_base.cc.o.d"
+  "/root/repo/src/rerank/neural_models.cc" "src/rerank/CMakeFiles/rapid_rerank.dir/neural_models.cc.o" "gcc" "src/rerank/CMakeFiles/rapid_rerank.dir/neural_models.cc.o.d"
+  "/root/repo/src/rerank/pdgan.cc" "src/rerank/CMakeFiles/rapid_rerank.dir/pdgan.cc.o" "gcc" "src/rerank/CMakeFiles/rapid_rerank.dir/pdgan.cc.o.d"
+  "/root/repo/src/rerank/reranker.cc" "src/rerank/CMakeFiles/rapid_rerank.dir/reranker.cc.o" "gcc" "src/rerank/CMakeFiles/rapid_rerank.dir/reranker.cc.o.d"
+  "/root/repo/src/rerank/seq2slate.cc" "src/rerank/CMakeFiles/rapid_rerank.dir/seq2slate.cc.o" "gcc" "src/rerank/CMakeFiles/rapid_rerank.dir/seq2slate.cc.o.d"
+  "/root/repo/src/rerank/ssd.cc" "src/rerank/CMakeFiles/rapid_rerank.dir/ssd.cc.o" "gcc" "src/rerank/CMakeFiles/rapid_rerank.dir/ssd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/rapid_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rapid_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_rerank.dir/dpp.cc.o"
+  "CMakeFiles/rapid_rerank.dir/dpp.cc.o.d"
+  "CMakeFiles/rapid_rerank.dir/mmr.cc.o"
+  "CMakeFiles/rapid_rerank.dir/mmr.cc.o.d"
+  "CMakeFiles/rapid_rerank.dir/neural_base.cc.o"
+  "CMakeFiles/rapid_rerank.dir/neural_base.cc.o.d"
+  "CMakeFiles/rapid_rerank.dir/neural_models.cc.o"
+  "CMakeFiles/rapid_rerank.dir/neural_models.cc.o.d"
+  "CMakeFiles/rapid_rerank.dir/pdgan.cc.o"
+  "CMakeFiles/rapid_rerank.dir/pdgan.cc.o.d"
+  "CMakeFiles/rapid_rerank.dir/reranker.cc.o"
+  "CMakeFiles/rapid_rerank.dir/reranker.cc.o.d"
+  "CMakeFiles/rapid_rerank.dir/seq2slate.cc.o"
+  "CMakeFiles/rapid_rerank.dir/seq2slate.cc.o.d"
+  "CMakeFiles/rapid_rerank.dir/ssd.cc.o"
+  "CMakeFiles/rapid_rerank.dir/ssd.cc.o.d"
+  "librapid_rerank.a"
+  "librapid_rerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_rerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandit_test.dir/bandit_test.cc.o"
+  "CMakeFiles/bandit_test.dir/bandit_test.cc.o.d"
+  "bandit_test"
+  "bandit_test.pdb"
+  "bandit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

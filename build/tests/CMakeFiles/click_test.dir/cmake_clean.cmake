@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/click_test.dir/click_test.cc.o"
+  "CMakeFiles/click_test.dir/click_test.cc.o.d"
+  "click_test"
+  "click_test.pdb"
+  "click_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/click_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversity_function_test.dir/diversity_function_test.cc.o"
+  "CMakeFiles/diversity_function_test.dir/diversity_function_test.cc.o.d"
+  "diversity_function_test"
+  "diversity_function_test.pdb"
+  "diversity_function_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversity_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

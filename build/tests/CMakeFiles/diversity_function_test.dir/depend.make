@@ -1,0 +1,2 @@
+# Empty dependencies file for diversity_function_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgecases_test.dir/edgecases_test.cc.o"
+  "CMakeFiles/edgecases_test.dir/edgecases_test.cc.o.d"
+  "edgecases_test"
+  "edgecases_test.pdb"
+  "edgecases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgecases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

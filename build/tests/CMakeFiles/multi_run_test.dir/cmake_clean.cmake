@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_run_test.dir/multi_run_test.cc.o"
+  "CMakeFiles/multi_run_test.dir/multi_run_test.cc.o.d"
+  "multi_run_test"
+  "multi_run_test.pdb"
+  "multi_run_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_autograd_test.dir/nn_autograd_test.cc.o"
+  "CMakeFiles/nn_autograd_test.dir/nn_autograd_test.cc.o.d"
+  "nn_autograd_test"
+  "nn_autograd_test.pdb"
+  "nn_autograd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_autograd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

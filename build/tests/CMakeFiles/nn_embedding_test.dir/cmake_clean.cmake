@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_embedding_test.dir/nn_embedding_test.cc.o"
+  "CMakeFiles/nn_embedding_test.dir/nn_embedding_test.cc.o.d"
+  "nn_embedding_test"
+  "nn_embedding_test.pdb"
+  "nn_embedding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

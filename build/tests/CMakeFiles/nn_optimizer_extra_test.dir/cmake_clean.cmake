@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_optimizer_extra_test.dir/nn_optimizer_extra_test.cc.o"
+  "CMakeFiles/nn_optimizer_extra_test.dir/nn_optimizer_extra_test.cc.o.d"
+  "nn_optimizer_extra_test"
+  "nn_optimizer_extra_test.pdb"
+  "nn_optimizer_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_optimizer_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rankers_test.dir/rankers_test.cc.o"
+  "CMakeFiles/rankers_test.dir/rankers_test.cc.o.d"
+  "rankers_test"
+  "rankers_test.pdb"
+  "rankers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rankers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapid_core_test.dir/rapid_core_test.cc.o"
+  "CMakeFiles/rapid_core_test.dir/rapid_core_test.cc.o.d"
+  "rapid_core_test"
+  "rapid_core_test.pdb"
+  "rapid_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapid_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rerank_test.dir/rerank_test.cc.o"
+  "CMakeFiles/rerank_test.dir/rerank_test.cc.o.d"
+  "rerank_test"
+  "rerank_test.pdb"
+  "rerank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
