@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <sstream>
 
 namespace rapid::bench {
 
@@ -21,6 +23,35 @@ std::string RunMethodSweep(const eval::Environment& env,
                  method->name().c_str(), secs);
   }
   return table.Render(title);
+}
+
+bool JsonFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return true;
+  }
+  return false;
+}
+
+std::string TableJson(const eval::ResultTable& table,
+                      const std::vector<std::string>& metric_columns,
+                      const std::string& title) {
+  std::ostringstream out;
+  out << "{\"title\": \"" << title << "\", \"rows\": [";
+  bool first_row = true;
+  for (const eval::MethodMetrics& row : table.rows()) {
+    if (!first_row) out << ", ";
+    first_row = false;
+    out << "{\"method\": \"" << row.name << "\", \"metrics\": {";
+    bool first_metric = true;
+    for (const std::string& metric : metric_columns) {
+      if (!first_metric) out << ", ";
+      first_metric = false;
+      out << "\"" << metric << "\": " << row.Mean(metric);
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
 }
 
 }  // namespace rapid::bench

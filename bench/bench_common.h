@@ -102,6 +102,18 @@ std::string RunMethodSweep(const eval::Environment& env,
                            const std::string& title,
                            eval::ResultTable* table_out = nullptr);
 
+/// True when the command line contains `--json`. Bench binaries use this to
+/// switch from the human-readable paper tables to machine-readable output
+/// for perf-trajectory tracking.
+bool JsonFlag(int argc, char** argv);
+
+/// Renders a swept result table as one JSON object:
+/// `{"title": ..., "rows": [{"method": ..., "metrics": {"click@5": ...}}]}`
+/// with per-metric means, matching the numbers in the rendered table.
+std::string TableJson(const eval::ResultTable& table,
+                      const std::vector<std::string>& metric_columns,
+                      const std::string& title);
+
 }  // namespace rapid::bench
 
 #endif  // RAPID_BENCH_BENCH_COMMON_H_

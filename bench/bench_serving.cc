@@ -1,0 +1,196 @@
+// Serving throughput/latency harness: trains a RAPID model once, ships it
+// through the snapshot path (train -> save -> load, exactly what a serving
+// process does), then replays an identical request stream through
+// `serve::ServingEngine` at worker counts 1/2/4/8 and reports throughput,
+// latency percentiles, and fallback counts as JSON.
+//
+// The sweep runs in two modes:
+//  - "compute":       requests are pure model inference. Scaling here
+//                     tracks physical cores (flat on a 1-core box).
+//  - "fetch+compute": each request first emulates the feature-store /
+//                     candidate-fetch RPC that precedes scoring in a live
+//                     recommender (cf. arXiv:2004.06390). The engine
+//                     overlaps those waits across workers, so this mode
+//                     demonstrates the concurrency win (>= 2x from 1 -> 4
+//                     workers) even when cores are scarce.
+//
+// Output is one JSON object on stdout (perf-trajectory artifact); progress
+// goes to stderr.
+//
+//   ./build/bench/bench_serving            # full sweep
+//   ./build/bench/bench_serving --quick    # fewer requests (smoke test)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+// Decorates a fitted re-ranker with the per-request fetch stall of a live
+// deployment. Stateless around a const inner model, so it inherits the
+// thread-safety contract of `rerank::Reranker`.
+class FetchStallReranker : public rapid::rerank::Reranker {
+ public:
+  FetchStallReranker(const rapid::rerank::Reranker& inner, int stall_us)
+      : inner_(inner), stall_us_(stall_us) {}
+
+  std::string name() const override { return inner_.name() + "+fetch"; }
+
+  std::vector<int> Rerank(
+      const rapid::data::Dataset& data,
+      const rapid::data::ImpressionList& list) const override {
+    if (stall_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(stall_us_));
+    }
+    return inner_.Rerank(data, list);
+  }
+
+ private:
+  const rapid::rerank::Reranker& inner_;
+  const int stall_us_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  // A mid-size universe: big enough that one Rerank call does real matrix
+  // work, small enough that the whole sweep runs in a couple of minutes.
+  eval::PipelineConfig config;
+  config.sim.kind = data::DatasetKind::kTaobao;
+  config.sim.num_users = 80;
+  config.sim.num_items = 500;
+  config.sim.rerank_lists_per_user = 4;
+  config.sim.test_lists_per_user = 2;
+  config.dcm.lambda = 0.9f;
+  config.seed = 2023;
+
+  std::fprintf(stderr, "[serving] building environment...\n");
+  eval::Environment env(config, bench::StandardDin());
+
+  std::fprintf(stderr, "[serving] training RAPID...\n");
+  core::RapidConfig rapid_config = bench::BenchRapidConfig();
+  rapid_config.train.epochs = 2;  // Throughput is weight-agnostic.
+  core::RapidReranker trained(rapid_config);
+  trained.Fit(env.dataset(), env.train_lists(), /*seed=*/7);
+
+  // Snapshot round trip: serve what a production process would load.
+  const std::string snapshot_path = "/tmp/bench_serving.rsnp";
+  if (!serve::Snapshot::Save(snapshot_path, trained, env.dataset())) {
+    std::fprintf(stderr, "[serving] snapshot save failed\n");
+    return 1;
+  }
+  const auto model = serve::Snapshot::Load(snapshot_path, env.dataset());
+  if (model == nullptr) {
+    std::fprintf(stderr, "[serving] snapshot load failed\n");
+    return 1;
+  }
+
+  // Identical request stream for every (mode, thread count) cell: the test
+  // lists repeated to a fixed total.
+  const int total_requests = quick ? 200 : 1000;
+  std::vector<const data::ImpressionList*> stream;
+  stream.reserve(total_requests);
+  for (int i = 0; i < total_requests; ++i) {
+    stream.push_back(&env.test_lists()[i % env.test_lists().size()]);
+  }
+
+  struct Mode {
+    const char* name;
+    int stall_us;
+  };
+  const Mode modes[] = {{"compute", 0}, {"fetch+compute", 1500}};
+
+  std::string results_json;
+  bool first = true;
+  for (const Mode& mode : modes) {
+    const FetchStallReranker served(*model, mode.stall_us);
+    double throughput_1 = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      serve::ServingConfig serving;
+      serving.num_threads = threads;
+      serving.max_batch = 4;
+      serving.max_wait_us = 100;
+      serving.queue_capacity = 256;
+      serving.deadline_us = 0;  // Measure the pure model path.
+      serve::ServingEngine engine(env.dataset(), served, serving);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::future<serve::RerankResponse>> futures;
+      futures.reserve(stream.size());
+      for (const data::ImpressionList* list : stream) {
+        futures.push_back(engine.Submit(*list));
+      }
+      for (auto& f : futures) f.get();
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      engine.Shutdown();
+
+      const serve::ServingStats stats = engine.stats();
+      const double throughput = static_cast<double>(total_requests) / secs;
+      if (threads == 1) throughput_1 = throughput;
+      std::fprintf(
+          stderr,
+          "[serving] %-13s threads=%d  %7.0f req/s  (%.2fx vs 1 thread)  "
+          "p50=%.0fus p99=%.0fus\n",
+          mode.name, threads, throughput,
+          throughput_1 > 0 ? throughput / throughput_1 : 1.0, stats.p50_us,
+          stats.p99_us);
+      char row[768];
+      std::snprintf(row, sizeof(row),
+                    "%s  {\"mode\": \"%s\", \"threads\": %d, "
+                    "\"fetch_stall_us\": %d, \"throughput_rps\": %.1f, "
+                    "\"speedup_vs_1\": %.2f, \"stats\": %s}",
+                    first ? "" : ",\n", mode.name, threads, mode.stall_us,
+                    throughput, throughput_1 > 0 ? throughput / throughput_1
+                                                 : 1.0,
+                    stats.ToJson().c_str());
+      results_json += row;
+      first = false;
+    }
+  }
+
+  // Final pass: a tight deadline at 4 threads to exercise the graceful
+  // degradation path under load.
+  serve::ServingConfig serving;
+  serving.num_threads = 4;
+  serving.deadline_us = quick ? 2000 : 5000;
+  serving.fallback = serve::FallbackPolicy::kInitialOrder;
+  serve::ServingEngine engine(env.dataset(), *model, serving);
+  std::vector<std::future<serve::RerankResponse>> futures;
+  for (const data::ImpressionList* list : stream) {
+    futures.push_back(engine.Submit(*list));
+  }
+  for (auto& f : futures) f.get();
+  engine.Shutdown();
+  const serve::ServingStats stats = engine.stats();
+  std::fprintf(stderr,
+               "[serving] deadline=%lldus: %llu/%llu degraded to fallback\n",
+               static_cast<long long>(serving.deadline_us),
+               static_cast<unsigned long long>(stats.fallbacks),
+               static_cast<unsigned long long>(stats.requests));
+
+  std::printf(
+      "{\"bench\": \"serving\", \"requests\": %d, \"list_len\": %d, "
+      "\"hardware_threads\": %u, \"results\": [\n%s\n], "
+      "\"deadline_run\": {\"threads\": 4, \"deadline_us\": %lld, "
+      "\"stats\": %s}}\n",
+      total_requests, config.list_len, std::thread::hardware_concurrency(),
+      results_json.c_str(), static_cast<long long>(serving.deadline_us),
+      stats.ToJson().c_str());
+  return 0;
+}

@@ -7,21 +7,31 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rapid;
+  const bool json = bench::JsonFlag(argc, argv);
   const std::vector<std::string> columns = {
       "click@5",  "ndcg@5",  "div@5",  "rev@5",
       "click@10", "ndcg@10", "div@10", "rev@10"};
 
-  std::printf("Table III: overall performance on the App Store dataset.\n\n");
+  if (!json) {
+    std::printf(
+        "Table III: overall performance on the App Store dataset.\n\n");
+  }
 
   eval::Environment env(
       bench::StandardConfig(data::DatasetKind::kAppStore, 0.9f),
       bench::StandardDin());
   eval::ResultTable table(columns);
-  std::printf("%s\n",
-              bench::RunMethodSweep(env, columns, "Table III, AppStoreSim",
-                                    &table).c_str());
+  const std::string rendered =
+      bench::RunMethodSweep(env, columns, "Table III, AppStoreSim", &table);
+  if (json) {
+    std::printf("%s\n",
+                bench::TableJson(table, columns, "Table III, AppStoreSim")
+                    .c_str());
+    return 0;
+  }
+  std::printf("%s\n", rendered.c_str());
 
   // The paper reports improvement of RAPID-pro over PRM (the strongest
   // baseline on rev@k) plus significance.

@@ -7,13 +7,16 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rapid;
+  const bool json = bench::JsonFlag(argc, argv);
   const std::vector<std::string> columns = {"click@10", "div@10"};
 
-  std::printf(
-      "Table IV: comparison on different initial ranking lists "
-      "(lambda=0.9).\n\n");
+  if (!json) {
+    std::printf(
+        "Table IV: comparison on different initial ranking lists "
+        "(lambda=0.9).\n\n");
+  }
 
   struct RankerSpec {
     const char* name;
@@ -39,6 +42,8 @@ int main() {
        }},
   };
 
+  bool first = true;
+  if (json) std::printf("[");
   for (const RankerSpec& spec : rankers) {
     for (data::DatasetKind kind :
          {data::DatasetKind::kTaobao, data::DatasetKind::kMovieLens}) {
@@ -46,9 +51,18 @@ int main() {
       char title[96];
       std::snprintf(title, sizeof(title), "Table IV, %s initial ranker, %s",
                     spec.name, env.dataset().name.c_str());
-      std::printf("%s\n",
-                  bench::RunMethodSweep(env, columns, title).c_str());
+      eval::ResultTable table(columns);
+      const std::string rendered =
+          bench::RunMethodSweep(env, columns, title, &table);
+      if (json) {
+        std::printf("%s%s", first ? "" : ",\n",
+                    bench::TableJson(table, columns, title).c_str());
+        first = false;
+      } else {
+        std::printf("%s\n", rendered.c_str());
+      }
     }
   }
+  if (json) std::printf("]\n");
   return 0;
 }

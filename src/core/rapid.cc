@@ -88,6 +88,8 @@ struct RapidReranker::Net {
 RapidReranker::RapidReranker(RapidConfig config)
     : NeuralReranker(config.train), rapid_config_(config) {}
 RapidReranker::~RapidReranker() = default;
+RapidReranker::RapidReranker(RapidReranker&&) noexcept = default;
+RapidReranker& RapidReranker::operator=(RapidReranker&&) noexcept = default;
 
 std::string RapidReranker::name() const {
   if (rapid_config_.diversity_aggregator == DiversityAggregator::kNone) {

@@ -63,6 +63,11 @@ class RapidReranker : public rerank::NeuralReranker {
   explicit RapidReranker(RapidConfig config = {});
   ~RapidReranker() override;
 
+  /// Movable (the network lives behind a pimpl), not copyable — serving
+  /// code hands fitted models around by value or `unique_ptr`.
+  RapidReranker(RapidReranker&&) noexcept;
+  RapidReranker& operator=(RapidReranker&&) noexcept;
+
   /// "RAPID-pro", "RAPID-det", "RAPID-RNN", "RAPID-mean" or "RAPID-trans",
   /// derived from the configuration.
   std::string name() const override;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <ostream>
 
 namespace rapid::nn {
 
@@ -9,8 +10,7 @@ namespace {
 constexpr uint32_t kMagic = 0x52415044;  // "RAPD"
 }  // namespace
 
-bool SaveParams(const std::string& path, const std::vector<Variable>& params) {
-  std::ofstream out(path, std::ios::binary);
+bool SaveParams(std::ostream& out, const std::vector<Variable>& params) {
   if (!out) return false;
   const uint32_t magic = kMagic;
   const uint32_t count = static_cast<uint32_t>(params.size());
@@ -27,8 +27,7 @@ bool SaveParams(const std::string& path, const std::vector<Variable>& params) {
   return static_cast<bool>(out);
 }
 
-bool LoadParams(const std::string& path, std::vector<Variable>* params) {
-  std::ifstream in(path, std::ios::binary);
+bool LoadParams(std::istream& in, std::vector<Variable>* params) {
   if (!in) return false;
   uint32_t magic = 0, count = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
@@ -44,6 +43,18 @@ bool LoadParams(const std::string& path, std::vector<Variable>* params) {
     if (!in) return false;
   }
   return true;
+}
+
+bool SaveParams(const std::string& path, const std::vector<Variable>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  return SaveParams(out, params);
+}
+
+bool LoadParams(const std::string& path, std::vector<Variable>* params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  return LoadParams(in, params);
 }
 
 }  // namespace rapid::nn

@@ -1,6 +1,7 @@
 #ifndef RAPID_NN_SERIALIZE_H_
 #define RAPID_NN_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,13 @@ bool SaveParams(const std::string& path, const std::vector<Variable>& params);
 /// The parameter list must have the same length and per-entry shapes as at
 /// save time. Returns false on I/O failure or shape mismatch.
 bool LoadParams(const std::string& path, std::vector<Variable>* params);
+
+/// Stream variants of the same format, so parameter blobs can be embedded
+/// inside larger container files (e.g. serving snapshots that prepend a
+/// model-configuration header). The stream is left positioned just past the
+/// parameter blob on success.
+bool SaveParams(std::ostream& out, const std::vector<Variable>& params);
+bool LoadParams(std::istream& in, std::vector<Variable>* params);
 
 }  // namespace rapid::nn
 

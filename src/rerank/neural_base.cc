@@ -120,6 +120,17 @@ bool NeuralReranker::LoadModel(const data::Dataset& data,
   return nn::LoadParams(path, &params);
 }
 
+bool NeuralReranker::SaveModel(std::ostream& out) const {
+  return nn::SaveParams(out, Params());
+}
+
+bool NeuralReranker::LoadModel(const data::Dataset& data, std::istream& in) {
+  std::mt19937_64 rng(0);  // Initialization values are overwritten.
+  InitNet(data, rng);
+  std::vector<nn::Variable> params = Params();
+  return nn::LoadParams(in, &params);
+}
+
 std::vector<float> NeuralReranker::ScoreList(
     const data::Dataset& data, const data::ImpressionList& list) const {
   std::mt19937_64 rng(0);  // Inference paths must not consume randomness.

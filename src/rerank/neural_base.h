@@ -1,6 +1,7 @@
 #ifndef RAPID_RERANK_NEURAL_BASE_H_
 #define RAPID_RERANK_NEURAL_BASE_H_
 
+#include <iosfwd>
 #include <random>
 #include <string>
 #include <vector>
@@ -38,6 +39,14 @@ struct NeuralRerankConfig {
 /// clipping) and the score-then-sort inference. Subclasses implement the
 /// network: `InitNet` builds parameters, `BuildLogits` maps one list to a
 /// `(L x 1)` logit column.
+///
+/// Thread safety: `Fit`/`LoadModel` are exclusive; after either completes,
+/// the const inference surface (`Rerank`/`ScoreList`/`SaveModel`) is safe
+/// to call concurrently from many threads (see the contract on
+/// `Reranker::Rerank`). Subclass `BuildLogits` implementations must uphold
+/// this: with `training == false` they may only *read* the network
+/// parameters and must keep all scratch state (graphs, buffers) local to
+/// the call.
 class NeuralReranker : public Reranker {
  public:
   explicit NeuralReranker(NeuralRerankConfig config) : config_(config) {}
@@ -64,6 +73,11 @@ class NeuralReranker : public Reranker {
   /// saved by `SaveModel`. The configuration must match the one used at
   /// save time (shape mismatches fail). Returns false on failure.
   bool LoadModel(const data::Dataset& data, const std::string& path);
+
+  /// Stream variants, used by `serve::Snapshot` to embed the weight blob
+  /// after its own configuration header.
+  bool SaveModel(std::ostream& out) const;
+  bool LoadModel(const data::Dataset& data, std::istream& in);
 
  protected:
   /// Builds the network parameters for `data`'s dimensions.

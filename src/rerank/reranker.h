@@ -13,6 +13,24 @@ namespace rapid::rerank {
 /// A re-ranker receives an initial `ImpressionList` (items, initial-ranker
 /// scores, and — during training — simulated clicks) and outputs a
 /// permutation of the list. Heuristic methods ignore `Fit`.
+///
+/// ## Thread-safety contract (relied on by `serve::ServingEngine`)
+///
+/// `Fit` (and `NeuralReranker::LoadModel`) require exclusive access. Once
+/// fitting/loading has completed, every const member — `Rerank`, `name`,
+/// and subclass const methods such as `NeuralReranker::ScoreList` — MUST be
+/// safe to call concurrently from any number of threads with no external
+/// locking. Concretely, implementations of the const inference path must
+/// not mutate shared state: no memoization caches, no reused scratch
+/// buffers, no member RNGs. Any working memory (autograd graphs, feature
+/// matrices, RNGs for tie-breaking) is allocated per call or thread-local.
+///
+/// The in-tree implementations satisfy this by construction (audited for
+/// the serving subsystem): the heuristic methods are pure functions of
+/// their arguments, and the neural methods build a fresh autograd graph
+/// per `BuildLogits` call whose only shared nodes are the parameter
+/// leaves, which inference only reads (`Backward` is never invoked on the
+/// inference path, so even lazy gradient allocation cannot race).
 class Reranker {
  public:
   virtual ~Reranker() = default;

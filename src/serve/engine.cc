@@ -1,0 +1,100 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rapid::serve {
+
+namespace {
+
+ServingConfig Sanitized(ServingConfig cfg) {
+  cfg.num_threads = std::max(cfg.num_threads, 1);
+  cfg.max_batch = std::max(cfg.max_batch, 1);
+  cfg.max_wait_us = std::max(cfg.max_wait_us, 0);
+  cfg.queue_capacity = std::max(cfg.queue_capacity, 1);
+  cfg.deadline_us = std::max<int64_t>(cfg.deadline_us, 0);
+  return cfg;
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(const data::Dataset& data,
+                             const rerank::Reranker& model,
+                             ServingConfig config)
+    : data_(data),
+      model_(model),
+      config_(Sanitized(config)),
+      queue_(static_cast<size_t>(config_.queue_capacity)) {
+  workers_.reserve(config_.num_threads);
+  for (int i = 0; i < config_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+void ServingEngine::WorkerLoop() {
+  std::vector<PendingRequest> batch;
+  batch.reserve(config_.max_batch);
+  while (queue_.PopBatch(static_cast<size_t>(config_.max_batch),
+                         std::chrono::microseconds(config_.max_wait_us),
+                         &batch) > 0) {
+    for (PendingRequest& request : batch) Process(&request);
+    batch.clear();
+  }
+}
+
+void ServingEngine::Process(PendingRequest* request) {
+  const auto now = std::chrono::steady_clock::now;
+  const int64_t waited_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now() - request->enqueued_at)
+          .count();
+
+  RerankResponse response;
+  if (config_.deadline_us > 0 && waited_us > config_.deadline_us) {
+    // Deadline already blown in the queue: answer with the cheap heuristic
+    // rather than making the client wait out a full model pass.
+    const rerank::Reranker& fallback =
+        config_.fallback == FallbackPolicy::kMmr
+            ? static_cast<const rerank::Reranker&>(mmr_fallback_)
+            : static_cast<const rerank::Reranker&>(init_fallback_);
+    response.items = fallback.Rerank(data_, request->list);
+    response.degraded = true;
+  } else {
+    response.items = model_.Rerank(data_, request->list);
+  }
+
+  response.latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            now() - request->enqueued_at)
+                            .count();
+  metrics_.RecordRequest(static_cast<uint64_t>(response.latency_us),
+                         response.degraded);
+  request->promise.set_value(std::move(response));
+}
+
+std::future<RerankResponse> ServingEngine::Submit(data::ImpressionList list) {
+  PendingRequest request;
+  request.list = std::move(list);
+  request.enqueued_at = std::chrono::steady_clock::now();
+  std::future<RerankResponse> future = request.promise.get_future();
+  if (!queue_.Push(std::move(request))) {
+    // Engine already shut down (Push refused without consuming the
+    // request): serve inline on the caller's thread so the submission
+    // still gets a valid, deterministic answer.
+    Process(&request);
+    return future;
+  }
+  metrics_.RecordQueueDepth(static_cast<int>(queue_.size()));
+  return future;
+}
+
+void ServingEngine::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+}  // namespace rapid::serve

@@ -1,0 +1,111 @@
+#ifndef RAPID_SERVE_ENGINE_H_
+#define RAPID_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "datagen/types.h"
+#include "rerank/mmr.h"
+#include "rerank/reranker.h"
+#include "serve/metrics.h"
+#include "serve/request_queue.h"
+
+namespace rapid::serve {
+
+/// Which cheap heuristic answers a request once its deadline has passed
+/// (graceful degradation): the untouched initial ranking, or a greedy MMR
+/// pass that at least diversifies.
+enum class FallbackPolicy { kInitialOrder, kMmr };
+
+struct ServingConfig {
+  /// Fixed worker pool size.
+  int num_threads = 4;
+  /// Requests a worker pulls per micro-batch.
+  int max_batch = 8;
+  /// After the first request of a batch is dequeued, how long a worker
+  /// waits for the batch to fill before running it. 0 = run immediately.
+  int max_wait_us = 200;
+  /// Bounded request queue capacity; `Submit` blocks when full.
+  int queue_capacity = 1024;
+  /// Per-request deadline measured from `Submit`. A request dequeued after
+  /// its deadline is answered by the fallback heuristic instead of the
+  /// model and counted in `ServingStats::fallbacks`. 0 disables the
+  /// deadline (every request runs the model — fully deterministic).
+  int64_t deadline_us = 0;
+  FallbackPolicy fallback = FallbackPolicy::kInitialOrder;
+};
+
+/// One answered re-ranking request.
+struct RerankResponse {
+  /// Re-ranked item ids (a permutation of the submitted `list.items`).
+  std::vector<int> items;
+  /// True if the deadline fallback produced `items`.
+  bool degraded = false;
+  /// End-to-end latency (submit -> response ready), microseconds.
+  int64_t latency_us = 0;
+};
+
+/// The online serving core: a bounded request queue feeding a fixed pool
+/// of worker threads that micro-batch incoming `ImpressionList` requests
+/// and run the fitted re-ranker on each.
+///
+/// The engine borrows `data` and `model`; both must outlive it and `model`
+/// must already be fitted (or snapshot-loaded). Workers call only the
+/// const inference surface, which the `Reranker` contract guarantees is
+/// safe to share (see reranker.h). With `deadline_us == 0`, responses are
+/// byte-identical to calling `model.Rerank` directly on the same lists,
+/// regardless of thread count or batching — scheduling never affects
+/// scores, only latency.
+class ServingEngine {
+ public:
+  ServingEngine(const data::Dataset& data, const rerank::Reranker& model,
+                ServingConfig config = {});
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Enqueues a request and returns a future for its response. Blocks
+  /// while the queue is full (backpressure). After `Shutdown`, the request
+  /// is served synchronously on the caller's thread instead (the future is
+  /// already ready when returned), so no submission is ever lost.
+  std::future<RerankResponse> Submit(data::ImpressionList list);
+
+  /// Closes the queue, drains outstanding requests, and joins the worker
+  /// pool. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Point-in-time serving metrics.
+  ServingStats stats() const { return metrics_.Snapshot(); }
+
+  const ServingConfig& config() const { return config_; }
+
+ private:
+  struct PendingRequest {
+    data::ImpressionList list;
+    std::promise<RerankResponse> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void WorkerLoop();
+  /// Runs one request (model or deadline fallback) and fulfills its
+  /// promise.
+  void Process(PendingRequest* request);
+
+  const data::Dataset& data_;
+  const rerank::Reranker& model_;
+  const ServingConfig config_;
+  rerank::InitReranker init_fallback_;
+  rerank::MmrReranker mmr_fallback_;
+  ServingMetrics metrics_;
+  BoundedRequestQueue<PendingRequest> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace rapid::serve
+
+#endif  // RAPID_SERVE_ENGINE_H_

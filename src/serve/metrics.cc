@@ -1,0 +1,115 @@
+#include "serve/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <vector>
+
+namespace rapid::serve {
+
+int ServingMetrics::BucketIndex(uint64_t us) {
+  if (us < (1u << kSubBucketBits)) return static_cast<int>(us);
+  // Octave = position of the highest set bit; the next kSubBucketBits bits
+  // select the sub-bucket, giving a fixed relative resolution of
+  // 2^-kSubBucketBits (~12.5% bucket width, ~9% mean error).
+  const int octave = 63 - std::countl_zero(us);
+  const int sub =
+      static_cast<int>((us >> (octave - kSubBucketBits)) & ((1 << kSubBucketBits) - 1));
+  const int index = ((octave - kSubBucketBits + 1) << kSubBucketBits) + sub;
+  return index < kNumBuckets ? index : kNumBuckets - 1;
+}
+
+double ServingMetrics::BucketValue(int index) {
+  if (index < (1 << kSubBucketBits)) return index;
+  const int octave = (index >> kSubBucketBits) + kSubBucketBits - 1;
+  const int sub = index & ((1 << kSubBucketBits) - 1);
+  const double base = static_cast<double>(1ull << octave);
+  return base + sub * (base / (1 << kSubBucketBits));
+}
+
+void ServingMetrics::RecordRequest(uint64_t latency_us, bool fallback) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (fallback) fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  total_us_.fetch_add(latency_us, std::memory_order_relaxed);
+  uint64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (prev < latency_us &&
+         !max_us_.compare_exchange_weak(prev, latency_us,
+                                        std::memory_order_relaxed)) {
+  }
+  buckets_[BucketIndex(latency_us)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServingMetrics::RecordQueueDepth(int depth) {
+  int prev = max_queue_depth_.load(std::memory_order_relaxed);
+  while (prev < depth &&
+         !max_queue_depth_.compare_exchange_weak(prev, depth,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+ServingStats ServingMetrics::Snapshot() const {
+  ServingStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  s.max_us = max_us_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  if (s.requests == 0) return s;
+  s.mean_us = static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
+              static_cast<double>(s.requests);
+
+  std::vector<uint64_t> counts(kNumBuckets);
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  auto percentile = [&](double q) -> double {
+    const uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(total - 1));
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += counts[i];
+      if (seen > rank) return BucketValue(i);
+    }
+    return BucketValue(kNumBuckets - 1);
+  };
+  if (total > 0) {
+    s.p50_us = percentile(0.50);
+    s.p95_us = percentile(0.95);
+    s.p99_us = percentile(0.99);
+  }
+  return s;
+}
+
+std::string ServingStats::ToTable() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  requests        %10llu\n"
+                "  fallbacks       %10llu\n"
+                "  p50 latency     %10.0f us\n"
+                "  p95 latency     %10.0f us\n"
+                "  p99 latency     %10.0f us\n"
+                "  mean latency    %10.0f us\n"
+                "  max latency     %10llu us\n"
+                "  max queue depth %10d\n",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(fallbacks), p50_us, p95_us,
+                p99_us, mean_us, static_cast<unsigned long long>(max_us),
+                max_queue_depth);
+  return buf;
+}
+
+std::string ServingStats::ToJson() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"requests\": %llu, \"fallbacks\": %llu, "
+                "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+                "\"mean_us\": %.1f, \"max_us\": %llu, "
+                "\"max_queue_depth\": %d}",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(fallbacks), p50_us, p95_us,
+                p99_us, mean_us, static_cast<unsigned long long>(max_us),
+                max_queue_depth);
+  return buf;
+}
+
+}  // namespace rapid::serve

@@ -1,0 +1,68 @@
+#ifndef RAPID_SERVE_METRICS_H_
+#define RAPID_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rapid::serve {
+
+/// A point-in-time summary of a `ServingMetrics` instance, safe to copy
+/// around and render after the engine has been shut down.
+struct ServingStats {
+  /// Completed requests (including degraded ones).
+  uint64_t requests = 0;
+  /// Requests answered by the fallback heuristic after a deadline miss.
+  uint64_t fallbacks = 0;
+  /// End-to-end (submit -> response ready) latency percentiles, in
+  /// microseconds. Bucketed with ~9% resolution; 0 when no requests.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  uint64_t max_us = 0;
+  /// Highest queue depth observed at submit time.
+  int max_queue_depth = 0;
+
+  /// Two-column human-readable table.
+  std::string ToTable() const;
+  /// Flat JSON object (no trailing newline), e.g. for bench output.
+  std::string ToJson() const;
+};
+
+/// Lock-free serving-side metrics: a request/fallback counter, an
+/// HDR-style log-bucketed latency histogram (32 octaves x 8 sub-buckets,
+/// ~9% relative error), and a max queue-depth gauge. All recording methods
+/// are safe to call concurrently from workers and submitters; `Snapshot`
+/// may race with recording and yields a merely slightly stale view.
+class ServingMetrics {
+ public:
+  /// Records one completed request with its end-to-end latency.
+  void RecordRequest(uint64_t latency_us, bool fallback);
+
+  /// Records the queue depth seen when a request was enqueued.
+  void RecordQueueDepth(int depth);
+
+  /// Summarizes counters and percentile estimates.
+  ServingStats Snapshot() const;
+
+ private:
+  static constexpr int kSubBucketBits = 3;  // 8 sub-buckets per octave.
+  static constexpr int kNumBuckets = 32 << kSubBucketBits;
+
+  static int BucketIndex(uint64_t us);
+  /// Representative (lower-bound) latency of a bucket, in microseconds.
+  static double BucketValue(int index);
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+  std::atomic<uint64_t> total_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+  std::atomic<int> max_queue_depth_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+}  // namespace rapid::serve
+
+#endif  // RAPID_SERVE_METRICS_H_

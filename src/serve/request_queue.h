@@ -1,0 +1,96 @@
+#ifndef RAPID_SERVE_REQUEST_QUEUE_H_
+#define RAPID_SERVE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace rapid::serve {
+
+/// A bounded multi-producer/multi-consumer queue with micro-batch pops.
+///
+/// Producers block in `Push` while the queue is full (backpressure —
+/// admission control beyond "block the caller" is a roadmap follow-on).
+/// Consumers call `PopBatch`, which blocks until at least one item is
+/// available, then keeps collecting until the batch is full or the batching
+/// window has elapsed — the micro-batching primitive of `ServingEngine`.
+/// `Close` wakes everyone: producers fail fast, consumers drain what is
+/// left and then see empty batches.
+template <typename T>
+class BoundedRequestQueue {
+ public:
+  explicit BoundedRequestQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedRequestQueue(const BoundedRequestQueue&) = delete;
+  BoundedRequestQueue& operator=(const BoundedRequestQueue&) = delete;
+
+  /// Blocks while full. Returns false once closed, in which case `item` is
+  /// left untouched so the caller can still dispose of or serve it.
+  bool Push(T&& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pops up to `max_items` into `out` (appended). Blocks until the first
+  /// item arrives; afterwards waits at most `max_wait` for the batch to
+  /// fill. Returns the number popped — 0 only when the queue is closed and
+  /// fully drained.
+  size_t PopBatch(size_t max_items, std::chrono::microseconds max_wait,
+                  std::vector<T>* out) {
+    const size_t before = out->size();
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    for (;;) {
+      while (!items_.empty() && out->size() - before < max_items) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+        not_full_.notify_one();
+      }
+      if (out->size() - before >= max_items || closed_ ||
+          max_wait.count() <= 0) {
+        break;
+      }
+      if (!not_empty_.wait_until(lock, deadline, [this] {
+            return !items_.empty() || closed_;
+          })) {
+        break;  // Batching window elapsed.
+      }
+    }
+    return out->size() - before;
+  }
+
+  /// Marks the queue closed and wakes all waiters. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Current depth (racy by nature; used for gauges).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rapid::serve
+
+#endif  // RAPID_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,123 @@
+#include "serve/snapshot.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace rapid::serve {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x52534E50;  // "RSNP"
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  int32_t hidden_dim = 0;
+  int32_t max_seq_len = 0;
+  int32_t relevance_encoder = 0;
+  int32_t diversity_aggregator = 0;
+  int32_t head = 0;
+  int32_t diversity_function = 0;
+  int32_t train_hidden_dim = 0;
+  int32_t train_epochs = 0;
+  int32_t train_batch_size = 0;
+  float train_learning_rate = 0.0f;
+  float train_grad_clip = 0.0f;
+  int32_t train_loss = 0;
+  // Dataset fingerprint: the loader must serve the same feature space the
+  // model was trained on, or every forward pass would shape-mismatch.
+  int32_t num_topics = 0;
+  int32_t user_feature_dim = 0;
+  int32_t item_feature_dim = 0;
+};
+
+Header MakeHeader(const core::RapidConfig& cfg, const data::Dataset& data) {
+  Header h;
+  h.hidden_dim = cfg.hidden_dim;
+  h.max_seq_len = cfg.max_seq_len;
+  h.relevance_encoder = static_cast<int32_t>(cfg.relevance_encoder);
+  h.diversity_aggregator = static_cast<int32_t>(cfg.diversity_aggregator);
+  h.head = static_cast<int32_t>(cfg.head);
+  h.diversity_function = static_cast<int32_t>(cfg.diversity_function);
+  h.train_hidden_dim = cfg.train.hidden_dim;
+  h.train_epochs = cfg.train.epochs;
+  h.train_batch_size = cfg.train.batch_size;
+  h.train_learning_rate = cfg.train.learning_rate;
+  h.train_grad_clip = cfg.train.grad_clip;
+  h.train_loss = static_cast<int32_t>(cfg.train.loss);
+  h.num_topics = data.num_topics;
+  h.user_feature_dim = data.user_feature_dim();
+  h.item_feature_dim = data.item_feature_dim();
+  return h;
+}
+
+core::RapidConfig ConfigFromHeader(const Header& h) {
+  core::RapidConfig cfg;
+  cfg.hidden_dim = h.hidden_dim;
+  cfg.max_seq_len = h.max_seq_len;
+  cfg.relevance_encoder =
+      static_cast<core::RelevanceEncoder>(h.relevance_encoder);
+  cfg.diversity_aggregator =
+      static_cast<core::DiversityAggregator>(h.diversity_aggregator);
+  cfg.head = static_cast<core::OutputHead>(h.head);
+  cfg.diversity_function =
+      static_cast<core::DiversityFunctionKind>(h.diversity_function);
+  cfg.train.hidden_dim = h.train_hidden_dim;
+  cfg.train.epochs = h.train_epochs;
+  cfg.train.batch_size = h.train_batch_size;
+  cfg.train.learning_rate = h.train_learning_rate;
+  cfg.train.grad_clip = h.train_grad_clip;
+  cfg.train.loss = static_cast<rerank::RerankLoss>(h.train_loss);
+  return cfg;
+}
+
+bool ReadHeader(std::istream& in, Header* h) {
+  uint32_t magic = 0, version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || magic != kMagic || version != kVersion) return false;
+  in.read(reinterpret_cast<char*>(h), sizeof(*h));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool Snapshot::Save(const std::string& path, const core::RapidReranker& model,
+                    const data::Dataset& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const uint32_t magic = kMagic;
+  const uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const Header h = MakeHeader(model.config(), data);
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  if (!out) return false;
+  return model.SaveModel(out);
+}
+
+std::unique_ptr<core::RapidReranker> Snapshot::Load(
+    const std::string& path, const data::Dataset& data) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  Header h;
+  if (!ReadHeader(in, &h)) return nullptr;
+  if (h.num_topics != data.num_topics ||
+      h.user_feature_dim != data.user_feature_dim() ||
+      h.item_feature_dim != data.item_feature_dim()) {
+    return nullptr;
+  }
+  auto model = std::make_unique<core::RapidReranker>(ConfigFromHeader(h));
+  if (!model->LoadModel(data, in)) return nullptr;
+  return model;
+}
+
+bool Snapshot::ReadConfig(const std::string& path, core::RapidConfig* config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  Header h;
+  if (!ReadHeader(in, &h)) return false;
+  *config = ConfigFromHeader(h);
+  return true;
+}
+
+}  // namespace rapid::serve

@@ -1,0 +1,42 @@
+#ifndef RAPID_SERVE_SNAPSHOT_H_
+#define RAPID_SERVE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/rapid.h"
+
+namespace rapid::serve {
+
+/// Self-describing on-disk format for a fitted `RapidReranker`: a
+/// `RapidConfig` header plus a dataset fingerprint (topic count and feature
+/// dims), followed by the weight blob of `nn::SaveParams`. Unlike
+/// `NeuralReranker::SaveModel`, a snapshot can be rehydrated without the
+/// loader knowing the training-time configuration — the header carries it —
+/// which is what an online serving process needs: train offline, ship one
+/// file, `Load` and serve.
+///
+/// The format is versioned; `Load` rejects unknown versions, mismatched
+/// dataset dimensions, and truncated weight blobs by returning null.
+struct Snapshot {
+  /// Writes `model`'s configuration and weights to `path`. `data` supplies
+  /// the dimension fingerprint validated at load time. The model must have
+  /// been fitted (or loaded). Returns false on I/O failure.
+  static bool Save(const std::string& path, const core::RapidReranker& model,
+                   const data::Dataset& data);
+
+  /// Reads the header, reconstructs a `RapidReranker` with the saved
+  /// configuration, and restores its weights. Returns null if the file is
+  /// missing/corrupt, the version is unknown, or `data`'s dimensions do not
+  /// match the fingerprint recorded at save time.
+  static std::unique_ptr<core::RapidReranker> Load(const std::string& path,
+                                                   const data::Dataset& data);
+
+  /// Reads only the configuration header (inspection/tooling). Returns
+  /// false if the file is not a valid snapshot.
+  static bool ReadConfig(const std::string& path, core::RapidConfig* config);
+};
+
+}  // namespace rapid::serve
+
+#endif  // RAPID_SERVE_SNAPSHOT_H_

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "click/dcm.h"
+#include "core/rapid.h"
+#include "datagen/simulator.h"
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "serve/request_queue.h"
+#include "serve/snapshot.h"
+
+namespace rapid {
+namespace {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SimConfig cfg;
+    cfg.kind = data::DatasetKind::kTaobao;
+    cfg.num_users = 20;
+    cfg.num_items = 120;
+    cfg.rerank_lists_per_user = 2;
+    data_ = data::GenerateDataset(cfg, 101);
+    click::GroundTruthClickModel dcm(&data_, click::DcmConfig{});
+    std::mt19937_64 rng(2);
+    for (const data::Request& req : data_.rerank_train_requests) {
+      data::ImpressionList list;
+      list.user_id = req.user_id;
+      list.items.assign(req.candidates.begin(), req.candidates.begin() + 10);
+      for (int i = 0; i < 10; ++i) list.scores.push_back(1.0f - 0.05f * i);
+      list.clicks = dcm.SimulateClicks(list.user_id, list.items, rng);
+      train_.push_back(std::move(list));
+    }
+  }
+
+  core::RapidReranker FittedModel(core::RapidConfig cfg = SmallConfig()) {
+    core::RapidReranker model(cfg);
+    model.Fit(data_, train_, 6);
+    return model;
+  }
+
+  static core::RapidConfig SmallConfig() {
+    core::RapidConfig cfg;
+    cfg.train.epochs = 1;
+    cfg.hidden_dim = 8;
+    return cfg;
+  }
+
+  data::Dataset data_;
+  std::vector<data::ImpressionList> train_;
+};
+
+TEST_F(ServeTest, SnapshotRoundTripIsBitExact) {
+  const core::RapidReranker trained = FittedModel();
+  const std::string path = ::testing::TempDir() + "/rapid.rsnp";
+  ASSERT_TRUE(serve::Snapshot::Save(path, trained, data_));
+
+  const auto restored = serve::Snapshot::Load(path, data_);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->name(), trained.name());
+  for (const data::ImpressionList& list : train_) {
+    const std::vector<float> a = trained.ScoreList(data_, list);
+    const std::vector<float> b = restored->ScoreList(data_, list);
+    ASSERT_EQ(a.size(), b.size());
+    // Bit-for-bit: the snapshot stores raw float words, so inference from
+    // the restored model must be exactly reproducible, not just close.
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+    EXPECT_EQ(trained.Rerank(data_, list), restored->Rerank(data_, list));
+  }
+}
+
+TEST_F(ServeTest, SnapshotHeaderCarriesConfig) {
+  core::RapidConfig cfg = SmallConfig();
+  cfg.head = core::OutputHead::kDeterministic;
+  cfg.diversity_aggregator = core::DiversityAggregator::kMean;
+  cfg.diversity_function = core::DiversityFunctionKind::kSaturatingLinear;
+  const core::RapidReranker trained = FittedModel(cfg);
+  const std::string path = ::testing::TempDir() + "/rapid_det.rsnp";
+  ASSERT_TRUE(serve::Snapshot::Save(path, trained, data_));
+
+  core::RapidConfig loaded;
+  ASSERT_TRUE(serve::Snapshot::ReadConfig(path, &loaded));
+  EXPECT_EQ(loaded.hidden_dim, cfg.hidden_dim);
+  EXPECT_EQ(loaded.head, cfg.head);
+  EXPECT_EQ(loaded.diversity_aggregator, cfg.diversity_aggregator);
+  EXPECT_EQ(loaded.diversity_function, cfg.diversity_function);
+  // Load reconstructs the right variant without being told the config.
+  const auto restored = serve::Snapshot::Load(path, data_);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->name(), "RAPID-mean");
+}
+
+TEST_F(ServeTest, SnapshotRejectsMismatchedDatasetAndGarbage) {
+  const core::RapidReranker trained = FittedModel();
+  const std::string path = ::testing::TempDir() + "/rapid_dims.rsnp";
+  ASSERT_TRUE(serve::Snapshot::Save(path, trained, data_));
+
+  data::SimConfig other_cfg;
+  other_cfg.kind = data::DatasetKind::kMovieLens;  // 20 topics, not 5.
+  other_cfg.num_users = 10;
+  other_cfg.num_items = 80;
+  const data::Dataset other = data::GenerateDataset(other_cfg, 5);
+  EXPECT_EQ(serve::Snapshot::Load(path, other), nullptr);
+
+  EXPECT_EQ(serve::Snapshot::Load("/nonexistent/m.rsnp", data_), nullptr);
+  const std::string garbage = ::testing::TempDir() + "/garbage.rsnp";
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "not a snapshot";
+  }
+  EXPECT_EQ(serve::Snapshot::Load(garbage, data_), nullptr);
+  core::RapidConfig ignored;
+  EXPECT_FALSE(serve::Snapshot::ReadConfig(garbage, &ignored));
+}
+
+TEST_F(ServeTest, EngineMatchesDirectRerankAcrossThreadCounts) {
+  const core::RapidReranker model = FittedModel();
+  std::vector<std::vector<int>> reference;
+  reference.reserve(train_.size());
+  for (const auto& list : train_) {
+    reference.push_back(model.Rerank(data_, list));
+  }
+
+  for (int threads : {1, 4}) {
+    serve::ServingConfig cfg;
+    cfg.num_threads = threads;
+    cfg.max_batch = 3;
+    cfg.max_wait_us = 50;
+    serve::ServingEngine engine(data_, model, cfg);
+    std::vector<std::future<serve::RerankResponse>> futures;
+    for (const auto& list : train_) futures.push_back(engine.Submit(list));
+    for (size_t i = 0; i < futures.size(); ++i) {
+      serve::RerankResponse response = futures[i].get();
+      EXPECT_FALSE(response.degraded);
+      EXPECT_EQ(response.items, reference[i]);
+      EXPECT_GE(response.latency_us, 0);
+    }
+    const serve::ServingStats stats = engine.stats();
+    EXPECT_EQ(stats.requests, train_.size());
+    EXPECT_EQ(stats.fallbacks, 0u);
+  }
+}
+
+TEST_F(ServeTest, ConcurrentSubmittersGetConsistentResults) {
+  const core::RapidReranker model = FittedModel();
+  std::vector<std::vector<int>> reference;
+  for (const auto& list : train_) {
+    reference.push_back(model.Rerank(data_, list));
+  }
+
+  serve::ServingConfig cfg;
+  cfg.num_threads = 4;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 100;
+  cfg.queue_capacity = 8;  // Small: exercises producer backpressure.
+  serve::ServingEngine engine(data_, model, cfg);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kRoundsPerSubmitter = 5;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < kRoundsPerSubmitter; ++round) {
+        const size_t idx = (s + round * kSubmitters) % train_.size();
+        auto future = engine.Submit(train_[idx]);
+        if (future.get().items != reference[idx]) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  engine.Shutdown();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const serve::ServingStats stats = engine.stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<uint64_t>(kSubmitters * kRoundsPerSubmitter));
+  EXPECT_GE(stats.max_queue_depth, 1);
+  EXPECT_GT(stats.p50_us, 0.0);
+  EXPECT_LE(stats.p50_us, stats.p99_us);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineFallsBackToHeuristic) {
+  const core::RapidReranker model = FittedModel();
+  serve::ServingConfig cfg;
+  cfg.num_threads = 1;
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.deadline_us = 1;  // Unmeetable: queue wait alone exceeds it.
+  cfg.fallback = serve::FallbackPolicy::kInitialOrder;
+  serve::ServingEngine engine(data_, model, cfg);
+
+  std::vector<std::future<serve::RerankResponse>> futures;
+  for (const auto& list : train_) futures.push_back(engine.Submit(list));
+  uint64_t degraded = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    serve::RerankResponse response = futures[i].get();
+    if (response.degraded) {
+      ++degraded;
+      // kInitialOrder serves the initial ranking unchanged.
+      EXPECT_EQ(response.items, train_[i].items);
+    }
+  }
+  EXPECT_GT(degraded, 0u);
+  EXPECT_EQ(engine.stats().fallbacks, degraded);
+}
+
+TEST_F(ServeTest, SubmitAfterShutdownServesInline) {
+  const core::RapidReranker model = FittedModel();
+  serve::ServingEngine engine(data_, model, {});
+  engine.Shutdown();
+  auto future = engine.Submit(train_[0]);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get().items, model.Rerank(data_, train_[0]));
+}
+
+TEST(RequestQueueTest, PopBatchCollectsUpToMaxAndDrainsOnClose) {
+  serve::BoundedRequestQueue<int> queue(16);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.Push(std::move(i)));
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(3, std::chrono::microseconds(0), &batch), 3u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+  queue.Close();
+  EXPECT_EQ(queue.PopBatch(8, std::chrono::microseconds(0), &batch), 2u);
+  EXPECT_EQ(batch.size(), 5u);
+  // Closed and drained: returns 0 instead of blocking; Push refuses.
+  EXPECT_EQ(queue.PopBatch(8, std::chrono::microseconds(0), &batch), 0u);
+  int rejected = 7;
+  EXPECT_FALSE(queue.Push(std::move(rejected)));
+}
+
+TEST(ServingMetricsTest, PercentilesAndCountersTrackRecordings) {
+  serve::ServingMetrics metrics;
+  for (uint64_t us = 1; us <= 100; ++us) {
+    metrics.RecordRequest(us, /*fallback=*/us > 98);
+  }
+  metrics.RecordQueueDepth(3);
+  metrics.RecordQueueDepth(9);
+  metrics.RecordQueueDepth(4);
+  const serve::ServingStats stats = metrics.Snapshot();
+  EXPECT_EQ(stats.requests, 100u);
+  EXPECT_EQ(stats.fallbacks, 2u);
+  EXPECT_EQ(stats.max_us, 100u);
+  EXPECT_EQ(stats.max_queue_depth, 9);
+  EXPECT_NEAR(stats.mean_us, 50.5, 1e-9);
+  // Log-bucketed estimates: within one ~12.5% bucket of the true value.
+  EXPECT_NEAR(stats.p50_us, 50.0, 50.0 * 0.13);
+  EXPECT_NEAR(stats.p95_us, 95.0, 95.0 * 0.13);
+  EXPECT_NEAR(stats.p99_us, 99.0, 99.0 * 0.13);
+  EXPECT_NE(stats.ToJson().find("\"requests\": 100"), std::string::npos);
+  EXPECT_NE(stats.ToTable().find("fallbacks"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rapid
