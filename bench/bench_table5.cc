@@ -1,19 +1,25 @@
 // Reproduces Table V (RQ4): RAPID with maximum per-topic behavior sequence
 // lengths D in {3, 5, 10} on the App Store environment.
+//
+//   ./build/bench/bench_table5           # paper-style table
+//   ./build/bench/bench_table5 --json    # machine-readable (perf ledger)
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rapid;
+  const bool json = bench::JsonFlag(argc, argv);
   const std::vector<std::string> columns = {
       "click@5",  "ndcg@5",  "div@5",  "rev@5",
       "click@10", "ndcg@10", "div@10", "rev@10"};
 
-  std::printf(
-      "Table V: RAPID with different maximum lengths of behavior "
-      "sequences (App Store).\n\n");
+  if (!json) {
+    std::printf(
+        "Table V: RAPID with different maximum lengths of behavior "
+        "sequences (App Store).\n\n");
+  }
 
   eval::Environment env(
       bench::StandardConfig(data::DatasetKind::kAppStore, 0.9f),
@@ -28,6 +34,11 @@ int main() {
     table.AddRow(m);
     std::fprintf(stderr, "[table5] D=%d done\n", d);
   }
-  std::printf("%s\n", table.Render("Table V, AppStoreSim").c_str());
+  if (json) {
+    std::printf("%s\n",
+                bench::TableJson(table, columns, "table5").c_str());
+  } else {
+    std::printf("%s\n", table.Render("Table V, AppStoreSim").c_str());
+  }
   return 0;
 }

@@ -2,6 +2,11 @@
 // RAPID on all three environments — total training time (train-all), plus
 // google-benchmark timings of one 16-list training step (train-b) and one
 // 16-list inference pass (test-b).
+//
+// `--json` switches to a machine-readable single-object output for the
+// perf ledger: train-all plus chrono-timed train-b/test-b per cell
+// (google-benchmark is skipped — its repetition protocol is for the
+// human-facing run; the ledger wants one comparable number per cell).
 
 #include <benchmark/benchmark.h>
 
@@ -134,9 +139,72 @@ void PrintTrainAll() {
   std::printf("\n");
 }
 
+// One JSON row per (dataset, model) cell with train-all, train-b, and
+// test-b seconds, all chrono-timed.
+void PrintJson() {
+  const data::DatasetKind kinds[] = {data::DatasetKind::kTaobao,
+                                     data::DatasetKind::kMovieLens,
+                                     data::DatasetKind::kAppStore};
+  const char* models[] = {"PRM", "DESA", "RAPID"};
+  std::string rows;
+  for (data::DatasetKind kind : kinds) {
+    Cell& cell = GetCell(kind);
+    for (int m = 0; m < 3; ++m) {
+      const auto timed = [](auto&& fn) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+            .count();
+      };
+      std::unique_ptr<rerank::NeuralReranker> full;
+      if (m == 0) {
+        full = std::make_unique<rerank::PrmReranker>(bench::BenchNeuralConfig());
+      } else if (m == 1) {
+        full = std::make_unique<rerank::DesaReranker>(
+            bench::BenchNeuralConfig());
+      } else {
+        full = std::make_unique<core::RapidReranker>(bench::BenchRapidConfig());
+      }
+      const double train_all_s = timed([&] {
+        full->Fit(cell.env->dataset(), cell.env->train_lists(), 1);
+      });
+
+      auto batch_model = MakeModel(m);
+      const double train_b_s = timed([&] {
+        batch_model->Fit(cell.env->dataset(), cell.batch, 1);
+      });
+      const double test_b_s = timed([&] {
+        for (const auto& list : cell.batch) {
+          benchmark::DoNotOptimize(
+              batch_model->ScoreList(cell.env->dataset(), list));
+        }
+      });
+
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "%s  {\"dataset\": \"%s\", \"model\": \"%s\", "
+                    "\"train_all_s\": %.3f, \"train_b_s\": %.4f, "
+                    "\"test_b_s\": %.4f}",
+                    rows.empty() ? "" : ",\n",
+                    cell.env->dataset().name.c_str(), models[m], train_all_s,
+                    train_b_s, test_b_s);
+      rows += row;
+      std::fprintf(stderr, "[table6] %s/%s done\n",
+                   cell.env->dataset().name.c_str(), models[m]);
+    }
+  }
+  std::printf("{\"bench\": \"table6\", \"epochs\": %d, \"rows\": [\n%s\n]}\n",
+              bench::kBenchEpochs, rows.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (bench::JsonFlag(argc, argv)) {
+    PrintJson();
+    return 0;
+  }
   PrintTrainAll();
   RegisterAll();
   benchmark::Initialize(&argc, argv);

@@ -65,6 +65,11 @@ class NeuralReranker : public Reranker {
   /// Mean training loss of the last epoch.
   float final_loss() const { return final_loss_; }
 
+  /// The shared training hyper-parameters. `serve::Snapshot` persists these
+  /// in its header so a serving process can reconstruct the model family
+  /// without the training code's configuration.
+  const NeuralRerankConfig& train_config() const { return config_; }
+
   /// Persists the trained weights to `path` (binary). Requires a prior
   /// Fit (or LoadModel). Returns false on I/O failure.
   bool SaveModel(const std::string& path) const;

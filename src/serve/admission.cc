@@ -1,0 +1,27 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace rapid::serve {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config,
+                                         int queue_capacity)
+    : config_(config) {
+  config_.high_bursts_per_low = std::max(config_.high_bursts_per_low, 1);
+  const size_t capacity = static_cast<size_t>(std::max(queue_capacity, 1));
+  auto resolve = [capacity](int mark) {
+    return mark <= 0 ? capacity
+                     : std::min(static_cast<size_t>(mark), capacity);
+  };
+  low_mark_ = resolve(config_.low_lane_watermark);
+  // The high lane never sheds before the low lane: a high watermark below
+  // the low one would invert the priority order.
+  high_mark_ = std::max(resolve(config_.high_lane_watermark), low_mark_);
+}
+
+bool AdmissionController::Admit(Lane lane, size_t depth) const {
+  if (config_.policy == AdmissionPolicy::kBlock) return true;
+  return depth < watermark(lane);
+}
+
+}  // namespace rapid::serve

@@ -1,0 +1,72 @@
+#ifndef RAPID_SERVE_ADMISSION_H_
+#define RAPID_SERVE_ADMISSION_H_
+
+#include <cstddef>
+
+namespace rapid::serve {
+
+/// Priority lane of a routed request. High-priority traffic (interactive
+/// surfaces) is drained first and shed last; low-priority traffic
+/// (prefetch, background refresh) absorbs overload first. The drain is
+/// starvation-free (see `BoundedRequestQueue`), so low-lane requests make
+/// progress even under a sustained high-lane flood.
+enum class Lane { kHigh = 0, kLow = 1 };
+
+inline constexpr int kNumLanes = 2;
+
+/// What happens when the request queue runs hot.
+enum class AdmissionPolicy {
+  /// Producers block in `Submit` while the queue is full (backpressure) —
+  /// the single-engine default. Latency is unbounded under overload.
+  kBlock,
+  /// Requests arriving above a lane's depth watermark are rejected and
+  /// answered immediately by the fallback heuristic (`shed` in the
+  /// response and per-slot metrics). `Submit` never blocks; tail latency
+  /// stays bounded by queue depth at the watermark.
+  kShed,
+};
+
+/// Load-shedding configuration of a `ServingRouter`.
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kBlock;
+  /// Queue depth at/above which low-lane requests are shed (kShed only).
+  /// 0 means "the full queue capacity" — shed only when the queue is full.
+  int low_lane_watermark = 0;
+  /// Depth at/above which even high-lane requests are shed. 0 = capacity.
+  /// Must be >= the low watermark to mean anything; the controller clamps.
+  int high_lane_watermark = 0;
+  /// Starvation-free drain: after this many consecutive high-lane pops
+  /// while low-lane work waited, one low-lane request is served.
+  int high_bursts_per_low = 4;
+};
+
+/// Decides, per request, whether it enters the queue or is shed. Stateless
+/// after construction (all watermarks resolved against the queue
+/// capacity), so `Admit` is safe to call from any number of submitter
+/// threads concurrently.
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionConfig& config, int queue_capacity);
+
+  /// True if a request on `lane` arriving while the queue holds `depth`
+  /// items should be admitted; false means shed it (answer with the
+  /// fallback immediately). Always true under `kBlock` — blocking
+  /// backpressure is applied by the queue itself, not here.
+  bool Admit(Lane lane, size_t depth) const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// The resolved shed watermark for a lane, in requests.
+  size_t watermark(Lane lane) const {
+    return lane == Lane::kHigh ? high_mark_ : low_mark_;
+  }
+
+ private:
+  AdmissionConfig config_;
+  size_t low_mark_ = 0;
+  size_t high_mark_ = 0;
+};
+
+}  // namespace rapid::serve
+
+#endif  // RAPID_SERVE_ADMISSION_H_

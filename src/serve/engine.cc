@@ -44,7 +44,7 @@ void ServingEngine::WorkerLoop() {
   }
 }
 
-void ServingEngine::Process(PendingRequest* request) {
+void ServingEngine::Process(PendingRequest* request, bool force_fallback) {
   const auto now = std::chrono::steady_clock::now;
   const int64_t waited_us =
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -52,7 +52,8 @@ void ServingEngine::Process(PendingRequest* request) {
           .count();
 
   RerankResponse response;
-  if (config_.deadline_us > 0 && waited_us > config_.deadline_us) {
+  if (force_fallback ||
+      (config_.deadline_us > 0 && waited_us > config_.deadline_us)) {
     // Deadline already blown in the queue: answer with the cheap heuristic
     // rather than making the client wait out a full model pass.
     const rerank::Reranker& fallback =
@@ -78,15 +79,57 @@ std::future<RerankResponse> ServingEngine::Submit(data::ImpressionList list) {
   request.list = std::move(list);
   request.enqueued_at = std::chrono::steady_clock::now();
   std::future<RerankResponse> future = request.promise.get_future();
-  if (!queue_.Push(std::move(request))) {
-    // Engine already shut down (Push refused without consuming the
-    // request): serve inline on the caller's thread so the submission
-    // still gets a valid, deterministic answer.
-    Process(&request);
-    return future;
+
+  using PushResult = BoundedRequestQueue<PendingRequest>::PushResult;
+  PushResult result;
+  if (config_.deadline_us > 0) {
+    // Backpressure capped by the request's own deadline: there is no point
+    // blocking for queue space longer than the request could still be
+    // served within it.
+    const auto deadline =
+        request.enqueued_at + std::chrono::microseconds(config_.deadline_us);
+    result = queue_.PushUntil(std::move(request), deadline);
+  } else {
+    result = queue_.Push(std::move(request)) ? PushResult::kOk
+                                             : PushResult::kClosed;
   }
-  metrics_.RecordQueueDepth(static_cast<int>(queue_.size()));
+  switch (result) {
+    case PushResult::kOk:
+      metrics_.RecordQueueDepth(static_cast<int>(queue_.size()));
+      break;
+    case PushResult::kFull:
+      // The deadline elapsed while blocked on a full queue: the request is
+      // already past saving, answer with the fallback heuristic.
+      Process(&request, /*force_fallback=*/true);
+      break;
+    case PushResult::kClosed:
+      // Engine already shut down (the queue refused without consuming the
+      // request): serve inline on the caller's thread so the submission
+      // still gets a valid, deterministic answer.
+      Process(&request);
+      break;
+  }
   return future;
+}
+
+std::optional<std::future<RerankResponse>> ServingEngine::TrySubmit(
+    data::ImpressionList list) {
+  PendingRequest request;
+  request.list = std::move(list);
+  request.enqueued_at = std::chrono::steady_clock::now();
+  std::future<RerankResponse> future = request.promise.get_future();
+  using PushResult = BoundedRequestQueue<PendingRequest>::PushResult;
+  switch (queue_.TryPush(std::move(request))) {
+    case PushResult::kOk:
+      metrics_.RecordQueueDepth(static_cast<int>(queue_.size()));
+      return future;
+    case PushResult::kClosed:
+      Process(&request);
+      return future;
+    case PushResult::kFull:
+      return std::nullopt;
+  }
+  return std::nullopt;
 }
 
 void ServingEngine::Shutdown() {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -28,7 +29,8 @@ struct ServingConfig {
   /// After the first request of a batch is dequeued, how long a worker
   /// waits for the batch to fill before running it. 0 = run immediately.
   int max_wait_us = 200;
-  /// Bounded request queue capacity; `Submit` blocks when full.
+  /// Bounded request queue capacity; `Submit` blocks when full (at most
+  /// `deadline_us` when a deadline is set), `TrySubmit` never blocks.
   int queue_capacity = 1024;
   /// Per-request deadline measured from `Submit`. A request dequeued after
   /// its deadline is answered by the fallback heuristic instead of the
@@ -69,10 +71,20 @@ class ServingEngine {
   ServingEngine& operator=(const ServingEngine&) = delete;
 
   /// Enqueues a request and returns a future for its response. Blocks
-  /// while the queue is full (backpressure). After `Shutdown`, the request
-  /// is served synchronously on the caller's thread instead (the future is
+  /// while the queue is full (backpressure) — but never past the request's
+  /// own deadline: with `deadline_us` configured, a submission that cannot
+  /// enter the queue in time is answered by the fallback heuristic on the
+  /// caller's thread instead of blocking forever. After `Shutdown`, the
+  /// request is served synchronously on the caller's thread (the future is
   /// already ready when returned), so no submission is ever lost.
   std::future<RerankResponse> Submit(data::ImpressionList list);
+
+  /// Non-blocking submit: returns an empty optional immediately when the
+  /// queue is full, leaving the caller free to shed, retry, or degrade
+  /// (see `serve::ServingRouter` for a policy-driven version). After
+  /// `Shutdown` the request is served inline, like `Submit`.
+  std::optional<std::future<RerankResponse>> TrySubmit(
+      data::ImpressionList list);
 
   /// Closes the queue, drains outstanding requests, and joins the worker
   /// pool. Idempotent; called by the destructor.
@@ -92,8 +104,9 @@ class ServingEngine {
 
   void WorkerLoop();
   /// Runs one request (model or deadline fallback) and fulfills its
-  /// promise.
-  void Process(PendingRequest* request);
+  /// promise. `force_fallback` skips the model unconditionally (used when
+  /// the submission already timed out waiting for queue space).
+  void Process(PendingRequest* request, bool force_fallback = false);
 
   const data::Dataset& data_;
   const rerank::Reranker& model_;

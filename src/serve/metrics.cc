@@ -38,6 +38,10 @@ void ServingMetrics::RecordRequest(uint64_t latency_us, bool fallback) {
   buckets_[BucketIndex(latency_us)].fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServingMetrics::RecordShed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ServingMetrics::RecordQueueDepth(int depth) {
   int prev = max_queue_depth_.load(std::memory_order_relaxed);
   while (prev < depth &&
@@ -50,6 +54,7 @@ ServingStats ServingMetrics::Snapshot() const {
   ServingStats s;
   s.requests = requests_.load(std::memory_order_relaxed);
   s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
   s.max_us = max_us_.load(std::memory_order_relaxed);
   s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
   if (s.requests == 0) return s;
@@ -85,6 +90,7 @@ std::string ServingStats::ToTable() const {
   std::snprintf(buf, sizeof(buf),
                 "  requests        %10llu\n"
                 "  fallbacks       %10llu\n"
+                "  shed            %10llu\n"
                 "  p50 latency     %10.0f us\n"
                 "  p95 latency     %10.0f us\n"
                 "  p99 latency     %10.0f us\n"
@@ -92,7 +98,8 @@ std::string ServingStats::ToTable() const {
                 "  max latency     %10llu us\n"
                 "  max queue depth %10d\n",
                 static_cast<unsigned long long>(requests),
-                static_cast<unsigned long long>(fallbacks), p50_us, p95_us,
+                static_cast<unsigned long long>(fallbacks),
+                static_cast<unsigned long long>(shed), p50_us, p95_us,
                 p99_us, mean_us, static_cast<unsigned long long>(max_us),
                 max_queue_depth);
   return buf;
@@ -101,12 +108,13 @@ std::string ServingStats::ToTable() const {
 std::string ServingStats::ToJson() const {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "{\"requests\": %llu, \"fallbacks\": %llu, "
+                "{\"requests\": %llu, \"fallbacks\": %llu, \"shed\": %llu, "
                 "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
                 "\"mean_us\": %.1f, \"max_us\": %llu, "
                 "\"max_queue_depth\": %d}",
                 static_cast<unsigned long long>(requests),
-                static_cast<unsigned long long>(fallbacks), p50_us, p95_us,
+                static_cast<unsigned long long>(fallbacks),
+                static_cast<unsigned long long>(shed), p50_us, p95_us,
                 p99_us, mean_us, static_cast<unsigned long long>(max_us),
                 max_queue_depth);
   return buf;

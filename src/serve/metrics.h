@@ -11,10 +11,13 @@ namespace rapid::serve {
 /// A point-in-time summary of a `ServingMetrics` instance, safe to copy
 /// around and render after the engine has been shut down.
 struct ServingStats {
-  /// Completed requests (including degraded ones).
+  /// Completed requests (including degraded and shed ones).
   uint64_t requests = 0;
   /// Requests answered by the fallback heuristic after a deadline miss.
   uint64_t fallbacks = 0;
+  /// Requests rejected by admission control (load shedding) and answered
+  /// immediately by the fallback heuristic instead of entering the queue.
+  uint64_t shed = 0;
   /// End-to-end (submit -> response ready) latency percentiles, in
   /// microseconds. Bucketed with ~9% resolution; 0 when no requests.
   double p50_us = 0.0;
@@ -31,7 +34,7 @@ struct ServingStats {
   std::string ToJson() const;
 };
 
-/// Lock-free serving-side metrics: a request/fallback counter, an
+/// Lock-free serving-side metrics: request/fallback/shed counters, an
 /// HDR-style log-bucketed latency histogram (32 octaves x 8 sub-buckets,
 /// ~9% relative error), and a max queue-depth gauge. All recording methods
 /// are safe to call concurrently from workers and submitters; `Snapshot`
@@ -40,6 +43,10 @@ class ServingMetrics {
  public:
   /// Records one completed request with its end-to-end latency.
   void RecordRequest(uint64_t latency_us, bool fallback);
+
+  /// Records one request shed by admission control (call in addition to
+  /// `RecordRequest` for the fallback answer it received).
+  void RecordShed();
 
   /// Records the queue depth seen when a request was enqueued.
   void RecordQueueDepth(int depth);
@@ -57,6 +64,7 @@ class ServingMetrics {
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> fallbacks_{0};
+  std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> total_us_{0};
   std::atomic<uint64_t> max_us_{0};
   std::atomic<int> max_queue_depth_{0};

@@ -10,49 +10,96 @@
 
 namespace rapid::serve {
 
-/// A bounded multi-producer/multi-consumer queue with micro-batch pops.
+/// A bounded multi-producer/multi-consumer queue with micro-batch pops and
+/// optional priority lanes.
 ///
-/// Producers block in `Push` while the queue is full (backpressure —
-/// admission control beyond "block the caller" is a roadmap follow-on).
+/// The queue holds `num_lanes` FIFO lanes sharing one capacity; lane 0 is
+/// the highest priority. `PopBatch` normally drains the highest-priority
+/// non-empty lane, but the drain is starvation-free: after
+/// `bursts_per_yield` consecutive pops that bypassed a waiting
+/// lower-priority item, one item from the next non-empty lower lane is
+/// served before priority resumes. With the default single lane the queue
+/// degenerates to the plain FIFO used by `ServingEngine`.
+///
+/// Producers choose between three admission styles:
+///  - `Push`       blocks while the queue is full (backpressure);
+///  - `TryPush`    never blocks — reports `kFull` so the caller can shed;
+///  - `PushUntil`  blocks at most until a deadline (a request never waits
+///                 in admission longer than it could still be served).
+/// On any failure the item is left untouched so the caller can still
+/// dispose of or serve it.
+///
 /// Consumers call `PopBatch`, which blocks until at least one item is
 /// available, then keeps collecting until the batch is full or the batching
-/// window has elapsed — the micro-batching primitive of `ServingEngine`.
+/// window has elapsed — the micro-batching primitive of the serving tier.
 /// `Close` wakes everyone: producers fail fast, consumers drain what is
 /// left and then see empty batches.
 template <typename T>
 class BoundedRequestQueue {
  public:
-  explicit BoundedRequestQueue(size_t capacity) : capacity_(capacity) {}
+  /// Outcome of a non-blocking or deadline-bounded push.
+  enum class PushResult { kOk, kFull, kClosed };
+
+  explicit BoundedRequestQueue(size_t capacity, int num_lanes = 1,
+                               int bursts_per_yield = 4)
+      : capacity_(capacity > 0 ? capacity : 1),
+        bursts_per_yield_(bursts_per_yield > 0 ? bursts_per_yield : 1),
+        lanes_(num_lanes > 0 ? static_cast<size_t>(num_lanes) : 1) {}
 
   BoundedRequestQueue(const BoundedRequestQueue&) = delete;
   BoundedRequestQueue& operator=(const BoundedRequestQueue&) = delete;
 
   /// Blocks while full. Returns false once closed, in which case `item` is
   /// left untouched so the caller can still dispose of or serve it.
-  bool Push(T&& item) {
+  bool Push(T&& item, size_t lane = 0) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return items_.size() < capacity_ || closed_; });
+    not_full_.wait(lock, [this] { return count_ < capacity_ || closed_; });
     if (closed_) return false;
-    items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    Enqueue(std::move(item), lane);
     return true;
   }
 
-  /// Pops up to `max_items` into `out` (appended). Blocks until the first
-  /// item arrives; afterwards waits at most `max_wait` for the batch to
-  /// fill. Returns the number popped — 0 only when the queue is closed and
-  /// fully drained.
+  /// Never blocks: `kFull` when at capacity, `kClosed` after `Close`; the
+  /// item is moved from only on `kOk`.
+  PushResult TryPush(T&& item, size_t lane = 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (count_ >= capacity_) return PushResult::kFull;
+    Enqueue(std::move(item), lane);
+    return PushResult::kOk;
+  }
+
+  /// Blocks while full, but only until `deadline`; `kFull` on timeout. The
+  /// item is moved from only on `kOk`.
+  PushResult PushUntil(T&& item, std::chrono::steady_clock::time_point deadline,
+                       size_t lane = 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_full_.wait_until(lock, deadline, [this] {
+          return count_ < capacity_ || closed_;
+        })) {
+      return PushResult::kFull;
+    }
+    if (closed_) return PushResult::kClosed;
+    Enqueue(std::move(item), lane);
+    return PushResult::kOk;
+  }
+
+  /// Pops up to `max_items` into `out` (appended), following the
+  /// starvation-free priority drain. Blocks until the first item arrives;
+  /// afterwards waits at most `max_wait` for the batch to fill. Returns the
+  /// number popped — 0 only when the queue is closed and fully drained.
   size_t PopBatch(size_t max_items, std::chrono::microseconds max_wait,
                   std::vector<T>* out) {
     const size_t before = out->size();
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    not_empty_.wait(lock, [this] { return count_ > 0 || closed_; });
     const auto deadline = std::chrono::steady_clock::now() + max_wait;
     for (;;) {
-      while (!items_.empty() && out->size() - before < max_items) {
-        out->push_back(std::move(items_.front()));
-        items_.pop_front();
+      while (count_ > 0 && out->size() - before < max_items) {
+        std::deque<T>& lane = lanes_[PickLaneLocked()];
+        out->push_back(std::move(lane.front()));
+        lane.pop_front();
+        --count_;
         not_full_.notify_one();
       }
       if (out->size() - before >= max_items || closed_ ||
@@ -60,7 +107,7 @@ class BoundedRequestQueue {
         break;
       }
       if (!not_empty_.wait_until(lock, deadline, [this] {
-            return !items_.empty() || closed_;
+            return count_ > 0 || closed_;
           })) {
         break;  // Batching window elapsed.
       }
@@ -76,18 +123,58 @@ class BoundedRequestQueue {
     not_full_.notify_all();
   }
 
-  /// Current depth (racy by nature; used for gauges).
+  /// Current total depth across lanes (racy by nature; used for gauges and
+  /// admission watermarks).
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return items_.size();
+    return count_;
   }
 
+  /// Current depth of one lane.
+  size_t lane_size(size_t lane) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lane < lanes_.size() ? lanes_[lane].size() : 0;
+  }
+
+  size_t num_lanes() const { return lanes_.size(); }
+
  private:
+  void Enqueue(T&& item, size_t lane) {
+    lanes_[lane < lanes_.size() ? lane : lanes_.size() - 1].push_back(
+        std::move(item));
+    ++count_;
+    not_empty_.notify_one();
+  }
+
+  /// The drain policy. Picks the highest-priority non-empty lane unless
+  /// that choice has already bypassed waiting lower-priority work
+  /// `bursts_per_yield_` times in a row, in which case the next non-empty
+  /// lower lane is served once. Requires `count_ > 0`; caller holds `mu_`.
+  size_t PickLaneLocked() {
+    size_t top = 0;
+    while (lanes_[top].empty()) ++top;
+    size_t lower = top + 1;
+    while (lower < lanes_.size() && lanes_[lower].empty()) ++lower;
+    if (lower >= lanes_.size()) {  // Nothing waiting behind `top`.
+      bypass_streak_ = 0;
+      return top;
+    }
+    if (bypass_streak_ >= bursts_per_yield_) {
+      bypass_streak_ = 0;
+      return lower;
+    }
+    ++bypass_streak_;
+    return top;
+  }
+
   const size_t capacity_;
+  const int bursts_per_yield_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  std::vector<std::deque<T>> lanes_;
+  size_t count_ = 0;
+  int bypass_streak_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,230 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "serve/snapshot.h"
+
+namespace rapid::serve {
+
+namespace {
+
+RouterConfig Sanitized(RouterConfig cfg) {
+  cfg.num_threads = std::max(cfg.num_threads, 1);
+  cfg.max_batch = std::max(cfg.max_batch, 1);
+  cfg.max_wait_us = std::max(cfg.max_wait_us, 0);
+  cfg.queue_capacity = std::max(cfg.queue_capacity, 1);
+  cfg.deadline_us = std::max<int64_t>(cfg.deadline_us, 0);
+  return cfg;
+}
+
+}  // namespace
+
+ServingRouter::ServingRouter(const data::Dataset& data, RouterConfig config)
+    : data_(data),
+      config_(Sanitized(config)),
+      admission_(config_.admission, config_.queue_capacity),
+      queue_(static_cast<size_t>(config_.queue_capacity), kNumLanes,
+             admission_.config().high_bursts_per_low) {
+  workers_.reserve(config_.num_threads);
+  for (int i = 0; i < config_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingRouter::~ServingRouter() { Shutdown(); }
+
+uint64_t ServingRouter::LoadSlot(const std::string& slot,
+                                 const std::string& path) {
+  // The expensive part of the swap — rebuilding the model from disk —
+  // happens here on the caller's thread; workers keep answering from the
+  // old version until the Publish below swaps the slot pointer.
+  std::shared_ptr<const rerank::Reranker> model =
+      Snapshot::LoadAny(path, data_);
+  if (model == nullptr) return 0;
+  return registry_.Publish(slot, std::move(model));
+}
+
+uint64_t ServingRouter::InstallSlot(
+    const std::string& slot, std::shared_ptr<const rerank::Reranker> model) {
+  if (model == nullptr) return 0;
+  return registry_.Publish(slot, std::move(model));
+}
+
+bool ServingRouter::RemoveSlot(const std::string& slot) {
+  return registry_.Remove(slot);
+}
+
+void ServingRouter::WorkerLoop() {
+  std::vector<PendingRequest> batch;
+  batch.reserve(config_.max_batch);
+  while (queue_.PopBatch(static_cast<size_t>(config_.max_batch),
+                         std::chrono::microseconds(config_.max_wait_us),
+                         &batch) > 0) {
+    for (PendingRequest& request : batch) Process(&request);
+    batch.clear();
+  }
+}
+
+std::vector<int> ServingRouter::FallbackRerank(
+    const data::ImpressionList& list) const {
+  const rerank::Reranker& fallback =
+      config_.fallback == FallbackPolicy::kMmr
+          ? static_cast<const rerank::Reranker&>(mmr_fallback_)
+          : static_cast<const rerank::Reranker&>(init_fallback_);
+  return fallback.Rerank(data_, list);
+}
+
+void ServingRouter::Process(PendingRequest* request, bool shed) {
+  const auto now = std::chrono::steady_clock::now;
+  const int64_t waited_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now() - request->enqueued_at)
+          .count();
+
+  // Resolve the slot exactly once: everything below — the re-rank and the
+  // attribution stamped on the response — uses this one published version,
+  // even if a hot swap republishes the slot mid-flight.
+  const std::shared_ptr<const ServedModel> served =
+      registry_.Acquire(request->request.slot);
+  const bool deadline_blown =
+      config_.deadline_us > 0 && waited_us >= config_.deadline_us;
+
+  RouterResponse response;
+  if (shed || deadline_blown || served == nullptr) {
+    response.items = FallbackRerank(request->request.list);
+    response.degraded = true;
+    response.shed = shed;
+    if (!shed && !deadline_blown && served == nullptr) {
+      unknown_slot_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    response.items = served->model->Rerank(data_, request->request.list);
+    response.model_name = served->model_name;
+    response.model_version = served->version;
+  }
+
+  response.latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            now() - request->enqueued_at)
+                            .count();
+  const uint64_t latency = static_cast<uint64_t>(response.latency_us);
+  aggregate_metrics_.RecordRequest(latency, response.degraded);
+  if (shed) aggregate_metrics_.RecordShed();
+  if (served != nullptr) {
+    served->metrics->RecordRequest(latency, response.degraded);
+    if (shed) served->metrics->RecordShed();
+  }
+  request->promise.set_value(std::move(response));
+}
+
+std::future<RouterResponse> ServingRouter::Submit(RouterRequest request) {
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.enqueued_at = std::chrono::steady_clock::now();
+  std::future<RouterResponse> future = pending.promise.get_future();
+
+  if (shutdown_.load(std::memory_order_acquire)) {
+    // Serve inline on the caller's thread so no submission is ever lost.
+    Process(&pending);
+    return future;
+  }
+
+  const size_t lane = pending.request.lane == Lane::kHigh ? 0 : 1;
+  if (!admission_.Admit(pending.request.lane, queue_.size())) {
+    Process(&pending, /*shed=*/true);
+    return future;
+  }
+
+  using PushResult = BoundedRequestQueue<PendingRequest>::PushResult;
+  PushResult result;
+  if (admission_.config().policy == AdmissionPolicy::kShed) {
+    // Shed mode never blocks: losing the TryPush race to capacity is the
+    // same signal as the watermark.
+    result = queue_.TryPush(std::move(pending), lane);
+  } else if (config_.deadline_us > 0) {
+    const auto deadline =
+        pending.enqueued_at + std::chrono::microseconds(config_.deadline_us);
+    result = queue_.PushUntil(std::move(pending), deadline, lane);
+  } else {
+    result = queue_.Push(std::move(pending), lane) ? PushResult::kOk
+                                                   : PushResult::kClosed;
+  }
+
+  switch (result) {
+    case PushResult::kOk:
+      aggregate_metrics_.RecordQueueDepth(static_cast<int>(queue_.size()));
+      break;
+    case PushResult::kFull:
+      // Shed mode: full queue. Block mode: the deadline elapsed while the
+      // producer waited, so the request is already past saving — answer
+      // with the fallback instead of the model.
+      Process(&pending,
+              /*shed=*/admission_.config().policy == AdmissionPolicy::kShed);
+      break;
+    case PushResult::kClosed:
+      Process(&pending);
+      break;
+  }
+  return future;
+}
+
+void ServingRouter::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+RouterStats ServingRouter::stats() const {
+  RouterStats out;
+  out.total = aggregate_metrics_.Snapshot();
+  out.unknown_slot = unknown_slot_.load(std::memory_order_relaxed);
+  for (const std::string& name : registry_.Names()) {
+    const auto served = registry_.Acquire(name);
+    if (served == nullptr) continue;  // Removed since Names().
+    out.slots.push_back({name, served->model_name, served->version,
+                         served->metrics->Snapshot()});
+  }
+  return out;
+}
+
+std::string RouterStats::ToTable() const {
+  std::string out = "aggregate:\n" + total.ToTable();
+  char line[256];
+  std::snprintf(line, sizeof(line), "  unknown slot    %10llu\n",
+                static_cast<unsigned long long>(unknown_slot));
+  out += line;
+  for (const SlotEntry& slot : slots) {
+    std::snprintf(line, sizeof(line), "slot %s (%s v%llu):\n",
+                  slot.slot.c_str(), slot.model_name.c_str(),
+                  static_cast<unsigned long long>(slot.version));
+    out += line;
+    out += slot.stats.ToTable();
+  }
+  return out;
+}
+
+std::string RouterStats::ToJson() const {
+  std::string out = "{\"total\": " + total.ToJson();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), ", \"unknown_slot\": %llu, \"slots\": {",
+                static_cast<unsigned long long>(unknown_slot));
+  out += buf;
+  bool first = true;
+  for (const SlotEntry& slot : slots) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": {\"model\": \"%s\", "
+                  "\"version\": %llu, \"stats\": ",
+                  first ? "" : ", ", slot.slot.c_str(),
+                  slot.model_name.c_str(),
+                  static_cast<unsigned long long>(slot.version));
+    out += buf;
+    out += slot.stats.ToJson();
+    out += "}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace rapid::serve

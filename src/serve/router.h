@@ -1,0 +1,185 @@
+#ifndef RAPID_SERVE_ROUTER_H_
+#define RAPID_SERVE_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "datagen/types.h"
+#include "rerank/mmr.h"
+#include "rerank/reranker.h"
+#include "serve/admission.h"
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/request_queue.h"
+
+namespace rapid::serve {
+
+struct RouterConfig {
+  /// Size of the worker pool *shared by every slot* — the structural
+  /// difference from one `ServingEngine` (and pool) per model.
+  int num_threads = 4;
+  /// Requests a worker pulls per micro-batch (may mix slots and lanes).
+  int max_batch = 8;
+  /// Batching window after the first dequeue of a batch, microseconds.
+  int max_wait_us = 200;
+  /// Bounded request queue capacity, shared across both priority lanes.
+  int queue_capacity = 1024;
+  /// Per-request deadline measured from `Submit`; 0 disables. A request
+  /// dequeued after its deadline is answered by the fallback heuristic.
+  int64_t deadline_us = 0;
+  FallbackPolicy fallback = FallbackPolicy::kInitialOrder;
+  /// Load-shedding policy, watermarks, and the lane drain ratio.
+  AdmissionConfig admission;
+};
+
+/// One routed re-ranking request: which model slot should answer, on which
+/// priority lane.
+struct RouterRequest {
+  std::string slot;
+  Lane lane = Lane::kHigh;
+  data::ImpressionList list;
+};
+
+/// One answered routed request.
+struct RouterResponse {
+  /// Re-ranked item ids (a permutation of the submitted `list.items`).
+  std::vector<int> items;
+  /// True if the fallback heuristic produced `items` (deadline miss,
+  /// shed, or unknown slot) — the model did not run.
+  bool degraded = false;
+  /// True if admission control rejected the request (implies `degraded`).
+  bool shed = false;
+  /// Attribution: the published model that answered, or version 0 and an
+  /// empty name for degraded responses. Under a concurrent hot swap every
+  /// response carries exactly the pre- or the post-swap version — never a
+  /// mixture.
+  std::string model_name;
+  uint64_t model_version = 0;
+  /// End-to-end latency (submit -> response ready), microseconds.
+  int64_t latency_us = 0;
+};
+
+/// Point-in-time view of the router: per-slot serving stats plus the
+/// aggregate across all traffic (including unknown-slot requests).
+struct RouterStats {
+  struct SlotEntry {
+    std::string slot;
+    std::string model_name;
+    uint64_t version = 0;
+    ServingStats stats;
+  };
+  std::vector<SlotEntry> slots;  // Sorted by slot name.
+  ServingStats total;
+  /// Requests whose slot key matched no registered slot (answered by the
+  /// fallback heuristic, counted in `total` only).
+  uint64_t unknown_slot = 0;
+
+  std::string ToTable() const;
+  /// One JSON object: `{"total": {...}, "unknown_slot": n, "slots": {...}}`.
+  std::string ToJson() const;
+};
+
+/// The multi-tenant serving tier: N named model slots served by one shared
+/// worker pool, with hot snapshot swap and admission control.
+///
+/// Requests enter a two-lane bounded queue (high lane drained first,
+/// starvation-free) guarded by an `AdmissionController`: under the `kShed`
+/// policy a request arriving above its lane's depth watermark is answered
+/// immediately by the cheap fallback heuristic instead of blocking the
+/// caller. Workers micro-batch across slots; each request resolves its
+/// slot to the currently published `ServedModel` exactly once, so a
+/// concurrent `LoadSlot` swap is invisible except through the version
+/// stamped on each response: in-flight requests finish on the old model,
+/// new dequeues see the new one, and the old snapshot retires when its
+/// last reference drops — zero requests are dropped or torn by a swap.
+///
+/// The router borrows `data` (must outlive it) and owns its models via the
+/// registry. Published models must be fitted and uphold the `Reranker`
+/// const-inference thread-safety contract (see reranker.h).
+class ServingRouter {
+ public:
+  explicit ServingRouter(const data::Dataset& data, RouterConfig config = {});
+  ~ServingRouter();
+
+  ServingRouter(const ServingRouter&) = delete;
+  ServingRouter& operator=(const ServingRouter&) = delete;
+
+  /// Hot swap: loads the family-tagged snapshot at `path` on the calling
+  /// thread (workers keep serving the old version throughout the build),
+  /// then atomically publishes it as the new current model of `slot`,
+  /// creating the slot on first use. Returns the new version, or 0 if the
+  /// snapshot failed to load.
+  uint64_t LoadSlot(const std::string& slot, const std::string& path);
+
+  /// Publishes an in-memory fitted model into `slot` (same swap semantics
+  /// as `LoadSlot`). Useful for heuristic models and tests.
+  uint64_t InstallSlot(const std::string& slot,
+                       std::shared_ptr<const rerank::Reranker> model);
+
+  /// Unregisters `slot`. In-flight requests finish on the retiring model;
+  /// subsequent submissions to the slot degrade to the fallback.
+  bool RemoveSlot(const std::string& slot);
+
+  /// Registered slot names, sorted.
+  std::vector<std::string> slots() const { return registry_.Names(); }
+
+  /// Current published version of `slot`, 0 if absent.
+  uint64_t SlotVersion(const std::string& slot) const {
+    return registry_.VersionOf(slot);
+  }
+
+  /// Routes a request. Never loses a submission: depending on admission
+  /// policy and queue state the future resolves from the model, the
+  /// fallback heuristic (shed / deadline / unknown slot), or — after
+  /// `Shutdown` — an inline synchronous serve on the caller's thread.
+  /// Under `kBlock` with a deadline configured, the blocking wait is
+  /// capped at the deadline and times out into the fallback.
+  std::future<RouterResponse> Submit(RouterRequest request);
+
+  /// Closes the queue, drains outstanding requests, and joins the shared
+  /// worker pool. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Per-slot and aggregate serving stats.
+  RouterStats stats() const;
+
+  const RouterConfig& config() const { return config_; }
+
+ private:
+  struct PendingRequest {
+    RouterRequest request;
+    std::promise<RouterResponse> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void WorkerLoop();
+  /// Runs one request (model, fallback, or forced shed) and fulfills its
+  /// promise.
+  void Process(PendingRequest* request, bool shed = false);
+  /// The fallback heuristic for `list` under the configured policy.
+  std::vector<int> FallbackRerank(const data::ImpressionList& list) const;
+
+  const data::Dataset& data_;
+  const RouterConfig config_;
+  rerank::InitReranker init_fallback_;
+  rerank::MmrReranker mmr_fallback_;
+  ModelRegistry registry_;
+  AdmissionController admission_;
+  ServingMetrics aggregate_metrics_;
+  std::atomic<uint64_t> unknown_slot_{0};
+  BoundedRequestQueue<PendingRequest> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace rapid::serve
+
+#endif  // RAPID_SERVE_ROUTER_H_

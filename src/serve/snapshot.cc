@@ -3,12 +3,16 @@
 #include <cstdint>
 #include <fstream>
 
+#include "rerank/neural_models.h"
+
 namespace rapid::serve {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x52534E50;  // "RSNP"
-constexpr uint32_t kVersion = 1;
+// v1: magic, version, Header (implicitly a RapidReranker).
+// v2: magic, version, family tag (int32), Header.
+constexpr uint32_t kVersion = 2;
 
 struct Header {
   int32_t hidden_dim = 0;
@@ -30,6 +34,12 @@ struct Header {
   int32_t item_feature_dim = 0;
 };
 
+void FingerprintHeader(const data::Dataset& data, Header* h) {
+  h->num_topics = data.num_topics;
+  h->user_feature_dim = data.user_feature_dim();
+  h->item_feature_dim = data.item_feature_dim();
+}
+
 Header MakeHeader(const core::RapidConfig& cfg, const data::Dataset& data) {
   Header h;
   h.hidden_dim = cfg.hidden_dim;
@@ -44,10 +54,18 @@ Header MakeHeader(const core::RapidConfig& cfg, const data::Dataset& data) {
   h.train_learning_rate = cfg.train.learning_rate;
   h.train_grad_clip = cfg.train.grad_clip;
   h.train_loss = static_cast<int32_t>(cfg.train.loss);
-  h.num_topics = data.num_topics;
-  h.user_feature_dim = data.user_feature_dim();
-  h.item_feature_dim = data.item_feature_dim();
+  FingerprintHeader(data, &h);
   return h;
+}
+
+// Header for the baseline families, which share `NeuralRerankConfig` only:
+// the RAPID-specific architecture fields stay at their defaults.
+Header MakeHeader(const rerank::NeuralRerankConfig& cfg,
+                  const data::Dataset& data) {
+  core::RapidConfig rapid_cfg;
+  rapid_cfg.hidden_dim = cfg.hidden_dim;
+  rapid_cfg.train = cfg;
+  return MakeHeader(rapid_cfg, data);
 }
 
 core::RapidConfig ConfigFromHeader(const Header& h) {
@@ -70,40 +88,122 @@ core::RapidConfig ConfigFromHeader(const Header& h) {
   return cfg;
 }
 
-bool ReadHeader(std::istream& in, Header* h) {
+bool KnownFamily(int32_t tag) {
+  return tag >= static_cast<int32_t>(SnapshotFamily::kRapid) &&
+         tag <= static_cast<int32_t>(SnapshotFamily::kDesa);
+}
+
+bool ReadHeader(std::istream& in, Header* h, SnapshotFamily* family,
+                uint32_t* format_version) {
   uint32_t magic = 0, version = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || magic != kMagic || version != kVersion) return false;
+  if (!in || magic != kMagic || version < 1 || version > kVersion) {
+    return false;
+  }
+  int32_t family_tag = static_cast<int32_t>(SnapshotFamily::kRapid);
+  if (version >= 2) {
+    in.read(reinterpret_cast<char*>(&family_tag), sizeof(family_tag));
+    if (!in || !KnownFamily(family_tag)) return false;
+  }
   in.read(reinterpret_cast<char*>(h), sizeof(*h));
-  return static_cast<bool>(in);
+  if (!in) return false;
+  *family = static_cast<SnapshotFamily>(family_tag);
+  *format_version = version;
+  return true;
 }
 
-}  // namespace
-
-bool Snapshot::Save(const std::string& path, const core::RapidReranker& model,
-                    const data::Dataset& data) {
+bool WriteSnapshot(const std::string& path, SnapshotFamily family,
+                   const Header& header,
+                   const rerank::NeuralReranker& model) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   const uint32_t magic = kMagic;
   const uint32_t version = kVersion;
+  const int32_t family_tag = static_cast<int32_t>(family);
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  const Header h = MakeHeader(model.config(), data);
-  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  out.write(reinterpret_cast<const char*>(&family_tag), sizeof(family_tag));
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
   if (!out) return false;
   return model.SaveModel(out);
 }
 
-std::unique_ptr<core::RapidReranker> Snapshot::Load(
-    const std::string& path, const data::Dataset& data) {
+bool FingerprintMatches(const Header& h, const data::Dataset& data) {
+  return h.num_topics == data.num_topics &&
+         h.user_feature_dim == data.user_feature_dim() &&
+         h.item_feature_dim == data.item_feature_dim();
+}
+
+std::unique_ptr<rerank::NeuralReranker> MakeModel(SnapshotFamily family,
+                                                  const Header& h) {
+  const core::RapidConfig cfg = ConfigFromHeader(h);
+  switch (family) {
+    case SnapshotFamily::kRapid:
+      return std::make_unique<core::RapidReranker>(cfg);
+    case SnapshotFamily::kDlcm:
+      return std::make_unique<rerank::DlcmReranker>(cfg.train);
+    case SnapshotFamily::kPrm:
+      return std::make_unique<rerank::PrmReranker>(cfg.train);
+    case SnapshotFamily::kSetRank:
+      return std::make_unique<rerank::SetRankReranker>(cfg.train);
+    case SnapshotFamily::kSrga:
+      return std::make_unique<rerank::SrgaReranker>(cfg.train);
+    case SnapshotFamily::kDesa:
+      return std::make_unique<rerank::DesaReranker>(cfg.train);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* SnapshotFamilyName(SnapshotFamily family) {
+  switch (family) {
+    case SnapshotFamily::kRapid:
+      return "RAPID";
+    case SnapshotFamily::kDlcm:
+      return "DLCM";
+    case SnapshotFamily::kPrm:
+      return "PRM";
+    case SnapshotFamily::kSetRank:
+      return "SetRank";
+    case SnapshotFamily::kSrga:
+      return "SRGA";
+    case SnapshotFamily::kDesa:
+      return "DESA";
+  }
+  return "unknown";
+}
+
+bool Snapshot::Save(const std::string& path, const core::RapidReranker& model,
+                    const data::Dataset& data) {
+  return WriteSnapshot(path, SnapshotFamily::kRapid,
+                       MakeHeader(model.config(), data), model);
+}
+
+bool Snapshot::Save(const std::string& path,
+                    const rerank::NeuralReranker& model, SnapshotFamily family,
+                    const data::Dataset& data) {
+  // A RapidReranker shipped through the generic path keeps its full
+  // architecture header, not just the shared training config.
+  if (family == SnapshotFamily::kRapid) {
+    const auto* rapid = dynamic_cast<const core::RapidReranker*>(&model);
+    if (rapid == nullptr) return false;
+    return Save(path, *rapid, data);
+  }
+  return WriteSnapshot(path, family, MakeHeader(model.train_config(), data),
+                       model);
+}
+
+std::unique_ptr<core::RapidReranker> Snapshot::Load(const std::string& path,
+                                                    const data::Dataset& data) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return nullptr;
   Header h;
-  if (!ReadHeader(in, &h)) return nullptr;
-  if (h.num_topics != data.num_topics ||
-      h.user_feature_dim != data.user_feature_dim() ||
-      h.item_feature_dim != data.item_feature_dim()) {
+  SnapshotFamily family;
+  uint32_t version;
+  if (!ReadHeader(in, &h, &family, &version)) return nullptr;
+  if (family != SnapshotFamily::kRapid || !FingerprintMatches(h, data)) {
     return nullptr;
   }
   auto model = std::make_unique<core::RapidReranker>(ConfigFromHeader(h));
@@ -111,12 +211,33 @@ std::unique_ptr<core::RapidReranker> Snapshot::Load(
   return model;
 }
 
+std::unique_ptr<rerank::NeuralReranker> Snapshot::LoadAny(
+    const std::string& path, const data::Dataset& data) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  Header h;
+  SnapshotFamily family;
+  uint32_t version;
+  if (!ReadHeader(in, &h, &family, &version)) return nullptr;
+  if (!FingerprintMatches(h, data)) return nullptr;
+  std::unique_ptr<rerank::NeuralReranker> model = MakeModel(family, h);
+  if (model == nullptr || !model->LoadModel(data, in)) return nullptr;
+  return model;
+}
+
 bool Snapshot::ReadConfig(const std::string& path, core::RapidConfig* config) {
+  SnapshotInfo info;
+  if (!ReadInfo(path, &info)) return false;
+  *config = info.config;
+  return true;
+}
+
+bool Snapshot::ReadInfo(const std::string& path, SnapshotInfo* info) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   Header h;
-  if (!ReadHeader(in, &h)) return false;
-  *config = ConfigFromHeader(h);
+  if (!ReadHeader(in, &h, &info->family, &info->format_version)) return false;
+  info->config = ConfigFromHeader(h);
   return true;
 }
 

@@ -1,6 +1,7 @@
 #ifndef RAPID_SERVE_SNAPSHOT_H_
 #define RAPID_SERVE_SNAPSHOT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -8,16 +9,46 @@
 
 namespace rapid::serve {
 
-/// Self-describing on-disk format for a fitted `RapidReranker`: a
-/// `RapidConfig` header plus a dataset fingerprint (topic count and feature
-/// dims), followed by the weight blob of `nn::SaveParams`. Unlike
-/// `NeuralReranker::SaveModel`, a snapshot can be rehydrated without the
-/// loader knowing the training-time configuration — the header carries it —
-/// which is what an online serving process needs: train offline, ship one
-/// file, `Load` and serve.
+/// Which re-ranker family a snapshot rehydrates into. Stored as a tag in
+/// the snapshot header (format v2+) so a serving process can reconstruct
+/// the right class without being told; v1 files predate the tag and are
+/// implicitly `kRapid`.
+enum class SnapshotFamily : int32_t {
+  kRapid = 0,
+  kDlcm = 1,
+  kPrm = 2,
+  kSetRank = 3,
+  kSrga = 4,
+  kDesa = 5,
+};
+
+/// Human-readable family name ("RAPID", "PRM", ...).
+const char* SnapshotFamilyName(SnapshotFamily family);
+
+/// Everything the header records about a snapshot, for inspection tooling
+/// and the model registry.
+struct SnapshotInfo {
+  SnapshotFamily family = SnapshotFamily::kRapid;
+  /// On-disk format version of the file (1 or 2).
+  uint32_t format_version = 0;
+  /// Full configuration. For `kRapid` every field is meaningful; for the
+  /// baseline families only `train` (the shared `NeuralRerankConfig`)
+  /// applies — the RAPID-specific architecture enums are left at defaults.
+  core::RapidConfig config;
+};
+
+/// Self-describing on-disk format for a fitted neural re-ranker: a family
+/// tag and configuration header plus a dataset fingerprint (topic count
+/// and feature dims), followed by the weight blob of `nn::SaveParams`.
+/// Unlike `NeuralReranker::SaveModel`, a snapshot can be rehydrated
+/// without the loader knowing the training-time configuration — the header
+/// carries it — which is what an online serving process needs: train
+/// offline, ship one file, `Load` and serve.
 ///
-/// The format is versioned; `Load` rejects unknown versions, mismatched
-/// dataset dimensions, and truncated weight blobs by returning null.
+/// The format is versioned; loaders reject unknown versions, unknown
+/// family tags, mismatched dataset dimensions, and truncated weight blobs
+/// by returning null. v1 files (written before the family tag existed)
+/// still load, as `RapidReranker`.
 struct Snapshot {
   /// Writes `model`'s configuration and weights to `path`. `data` supplies
   /// the dimension fingerprint validated at load time. The model must have
@@ -25,16 +56,39 @@ struct Snapshot {
   static bool Save(const std::string& path, const core::RapidReranker& model,
                    const data::Dataset& data);
 
+  /// Family-tagged save for any neural re-ranker, so baselines (PRM, DLCM,
+  /// ...) ship through the same registry. `family` must name `model`'s
+  /// actual class — `LoadAny` reconstructs from the tag, and a mismatched
+  /// tag surfaces as a weight-shape failure at load. Passing a
+  /// `RapidReranker` with `kRapid` is equivalent to the overload above
+  /// (the full RAPID architecture header is written). Baseline families
+  /// persist the shared `NeuralRerankConfig` only; constructor arguments
+  /// outside it (e.g. SRGA's local window) reload at their defaults.
+  static bool Save(const std::string& path,
+                   const rerank::NeuralReranker& model, SnapshotFamily family,
+                   const data::Dataset& data);
+
   /// Reads the header, reconstructs a `RapidReranker` with the saved
   /// configuration, and restores its weights. Returns null if the file is
-  /// missing/corrupt, the version is unknown, or `data`'s dimensions do not
-  /// match the fingerprint recorded at save time.
+  /// missing/corrupt, the version is unknown, the family is not `kRapid`,
+  /// or `data`'s dimensions do not match the fingerprint recorded at save
+  /// time.
   static std::unique_ptr<core::RapidReranker> Load(const std::string& path,
                                                    const data::Dataset& data);
+
+  /// Like `Load`, but dispatches on the family tag and reconstructs the
+  /// corresponding re-ranker class — the loader the multi-model registry
+  /// uses. Returns null under the same conditions as `Load` (any known
+  /// family is accepted).
+  static std::unique_ptr<rerank::NeuralReranker> LoadAny(
+      const std::string& path, const data::Dataset& data);
 
   /// Reads only the configuration header (inspection/tooling). Returns
   /// false if the file is not a valid snapshot.
   static bool ReadConfig(const std::string& path, core::RapidConfig* config);
+
+  /// Reads the header including the family tag and format version.
+  static bool ReadInfo(const std::string& path, SnapshotInfo* info);
 };
 
 }  // namespace rapid::serve

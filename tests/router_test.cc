@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "click/dcm.h"
+#include "core/rapid.h"
+#include "datagen/simulator.h"
+#include "serve/admission.h"
+#include "serve/model_registry.h"
+#include "serve/router.h"
+#include "serve/snapshot.h"
+
+namespace rapid {
+namespace {
+
+/// A deterministic stand-in model: rotates the list left by `shift` and
+/// optionally stalls, emulating inference cost. Stateless, so it satisfies
+/// the const-inference thread-safety contract by construction.
+class RotateReranker : public rerank::Reranker {
+ public:
+  explicit RotateReranker(int shift, int stall_us = 0)
+      : shift_(shift), stall_us_(stall_us) {}
+
+  std::string name() const override {
+    return "rotate-" + std::to_string(shift_);
+  }
+
+  std::vector<int> Rerank(const data::Dataset& /*data*/,
+                          const data::ImpressionList& list) const override {
+    if (stall_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(stall_us_));
+    }
+    std::vector<int> out = list.items;
+    if (!out.empty()) {
+      std::rotate(out.begin(),
+                  out.begin() + (shift_ % static_cast<int>(out.size())),
+                  out.end());
+    }
+    return out;
+  }
+
+ private:
+  const int shift_;
+  const int stall_us_;
+};
+
+data::ImpressionList TenItemList(int user_id = 0) {
+  data::ImpressionList list;
+  list.user_id = user_id;
+  for (int i = 0; i < 10; ++i) {
+    list.items.push_back(i);
+    list.scores.push_back(1.0f - 0.05f * i);
+  }
+  return list;
+}
+
+std::vector<int> Rotated(const std::vector<int>& items, int shift) {
+  std::vector<int> out = items;
+  std::rotate(out.begin(), out.begin() + shift, out.end());
+  return out;
+}
+
+TEST(ModelRegistryTest, PublishAcquireSwapRemove) {
+  serve::ModelRegistry registry;
+  EXPECT_EQ(registry.Acquire("a"), nullptr);
+  EXPECT_EQ(registry.VersionOf("a"), 0u);
+
+  EXPECT_EQ(registry.Publish("a", std::make_shared<RotateReranker>(1)), 1u);
+  EXPECT_EQ(registry.Publish("b", std::make_shared<RotateReranker>(2)), 1u);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"a", "b"}));
+
+  const auto v1 = registry.Acquire("a");
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(v1->model_name, "rotate-1");
+
+  // Republish: version bumps, metrics object survives, and the previously
+  // acquired handle keeps serving the old model (RCU semantics).
+  v1->metrics->RecordRequest(10, false);
+  EXPECT_EQ(registry.Publish("a", std::make_shared<RotateReranker>(3)), 2u);
+  const auto v2 = registry.Acquire("a");
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(v2->model_name, "rotate-3");
+  EXPECT_EQ(v2->metrics, v1->metrics);
+  EXPECT_EQ(v1->model_name, "rotate-1");  // Old handle untouched.
+
+  EXPECT_TRUE(registry.Remove("a"));
+  EXPECT_FALSE(registry.Remove("a"));
+  EXPECT_EQ(registry.Acquire("a"), nullptr);
+  // The removed slot's model outlives the table while referenced.
+  EXPECT_EQ(v2->model->Rerank({}, TenItemList()), Rotated(TenItemList().items, 3));
+}
+
+TEST(AdmissionControllerTest, WatermarksResolveAndClamp) {
+  serve::AdmissionConfig cfg;
+  cfg.policy = serve::AdmissionPolicy::kShed;
+  cfg.low_lane_watermark = 4;
+  cfg.high_lane_watermark = 0;  // 0 = full capacity.
+  serve::AdmissionController admission(cfg, /*queue_capacity=*/16);
+  EXPECT_EQ(admission.watermark(serve::Lane::kLow), 4u);
+  EXPECT_EQ(admission.watermark(serve::Lane::kHigh), 16u);
+  EXPECT_TRUE(admission.Admit(serve::Lane::kLow, 3));
+  EXPECT_FALSE(admission.Admit(serve::Lane::kLow, 4));
+  EXPECT_TRUE(admission.Admit(serve::Lane::kHigh, 4));
+  EXPECT_FALSE(admission.Admit(serve::Lane::kHigh, 16));
+
+  // A high watermark below the low one is clamped up (priority inversion).
+  cfg.low_lane_watermark = 8;
+  cfg.high_lane_watermark = 2;
+  serve::AdmissionController clamped(cfg, 16);
+  EXPECT_EQ(clamped.watermark(serve::Lane::kHigh), 8u);
+
+  // kBlock never sheds regardless of depth.
+  cfg.policy = serve::AdmissionPolicy::kBlock;
+  serve::AdmissionController blocking(cfg, 16);
+  EXPECT_TRUE(blocking.Admit(serve::Lane::kLow, 16));
+}
+
+TEST(ServingRouterTest, RoutesBySlotWithAttribution) {
+  const data::Dataset data;
+  serve::RouterConfig cfg;
+  cfg.num_threads = 2;
+  serve::ServingRouter router(data, cfg);
+  EXPECT_EQ(router.InstallSlot("arm-a", std::make_shared<RotateReranker>(1)),
+            1u);
+  EXPECT_EQ(router.InstallSlot("arm-b", std::make_shared<RotateReranker>(2)),
+            1u);
+  EXPECT_EQ(router.slots(), (std::vector<std::string>{"arm-a", "arm-b"}));
+
+  const data::ImpressionList list = TenItemList();
+  auto fa = router.Submit({"arm-a", serve::Lane::kHigh, list});
+  auto fb = router.Submit({"arm-b", serve::Lane::kLow, list});
+  const serve::RouterResponse ra = fa.get();
+  const serve::RouterResponse rb = fb.get();
+  EXPECT_EQ(ra.items, Rotated(list.items, 1));
+  EXPECT_EQ(ra.model_name, "rotate-1");
+  EXPECT_EQ(ra.model_version, 1u);
+  EXPECT_FALSE(ra.degraded);
+  EXPECT_FALSE(ra.shed);
+  EXPECT_EQ(rb.items, Rotated(list.items, 2));
+  EXPECT_EQ(rb.model_name, "rotate-2");
+
+  router.Shutdown();
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.total.requests, 2u);
+  EXPECT_EQ(stats.unknown_slot, 0u);
+  ASSERT_EQ(stats.slots.size(), 2u);
+  EXPECT_EQ(stats.slots[0].slot, "arm-a");
+  EXPECT_EQ(stats.slots[0].stats.requests, 1u);
+  EXPECT_NE(stats.ToJson().find("\"arm-b\""), std::string::npos);
+  EXPECT_NE(stats.ToTable().find("slot arm-a"), std::string::npos);
+}
+
+TEST(ServingRouterTest, UnknownSlotDegradesToFallback) {
+  const data::Dataset data;
+  serve::ServingRouter router(data, {});
+  const data::ImpressionList list = TenItemList();
+  const serve::RouterResponse r =
+      router.Submit({"nope", serve::Lane::kHigh, list}).get();
+  EXPECT_TRUE(r.degraded);
+  EXPECT_FALSE(r.shed);
+  EXPECT_EQ(r.items, list.items);  // kInitialOrder fallback.
+  EXPECT_EQ(r.model_version, 0u);
+  EXPECT_EQ(r.model_name, "");
+  EXPECT_EQ(router.stats().unknown_slot, 1u);
+}
+
+TEST(ServingRouterTest, RemoveSlotRetiresModelSafely) {
+  const data::Dataset data;
+  serve::ServingRouter router(data, {});
+  router.InstallSlot("a", std::make_shared<RotateReranker>(1));
+  ASSERT_TRUE(router.RemoveSlot("a"));
+  EXPECT_FALSE(router.RemoveSlot("a"));
+  const serve::RouterResponse r =
+      router.Submit({"a", serve::Lane::kHigh, TenItemList()}).get();
+  EXPECT_TRUE(r.degraded);
+}
+
+// The acceptance test for the hot-swap protocol: sustained concurrent load
+// while the slot is republished several times. Zero requests may be
+// dropped, and every non-degraded response must be exactly the output of
+// the model version stamped on it — a torn read (half old, half new
+// model) would produce a permutation matching neither.
+TEST(ServingRouterTest, HotSwapUnderLoadZeroDropsCleanAttribution) {
+  const data::Dataset data;
+  serve::RouterConfig cfg;
+  cfg.num_threads = 4;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 50;
+  cfg.queue_capacity = 64;
+  serve::ServingRouter router(data, cfg);
+  // Even shifts only, so each version's output is distinguishable and no
+  // rotation composes into another (list length 10).
+  router.InstallSlot("main", std::make_shared<RotateReranker>(2, 200));
+
+  const data::ImpressionList list = TenItemList();
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 60;
+  std::atomic<int> bad_attribution{0};
+  std::atomic<int> degraded{0};
+  std::atomic<uint64_t> completed{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        serve::RouterResponse r =
+            router.Submit({"main", serve::Lane::kHigh, list}).get();
+        ++completed;
+        if (r.degraded) {
+          ++degraded;
+          continue;
+        }
+        // Version v was installed with shift 2*v.
+        const int shift = static_cast<int>(r.model_version) * 2;
+        if (r.items != Rotated(list.items, shift) ||
+            r.model_name != "rotate-" + std::to_string(shift)) {
+          ++bad_attribution;
+        }
+      }
+    });
+  }
+  // Hot swaps while the submitters hammer the queue.
+  std::vector<uint64_t> versions;
+  for (int swap = 2; swap <= 4; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    versions.push_back(router.InstallSlot(
+        "main", std::make_shared<RotateReranker>(2 * swap, 200)));
+  }
+  for (auto& t : submitters) t.join();
+  router.Shutdown();
+
+  EXPECT_EQ(versions, (std::vector<uint64_t>{2, 3, 4}));
+  EXPECT_EQ(completed.load(),
+            static_cast<uint64_t>(kSubmitters * kPerSubmitter));
+  EXPECT_EQ(bad_attribution.load(), 0);
+  EXPECT_EQ(degraded.load(), 0);  // No deadline configured: nothing degrades.
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.total.requests, completed.load());
+  EXPECT_EQ(stats.total.fallbacks, 0u);
+  ASSERT_EQ(stats.slots.size(), 1u);
+  EXPECT_EQ(stats.slots[0].version, 4u);
+  EXPECT_EQ(stats.slots[0].stats.requests, completed.load());
+}
+
+TEST(ServingRouterTest, ShedModeRejectsAboveWatermarkAndNeverBlocks) {
+  const data::Dataset data;
+  serve::RouterConfig cfg;
+  cfg.num_threads = 1;
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.queue_capacity = 16;
+  cfg.admission.policy = serve::AdmissionPolicy::kShed;
+  cfg.admission.low_lane_watermark = 2;
+  serve::ServingRouter router(data, cfg);
+  router.InstallSlot("main", std::make_shared<RotateReranker>(1, 5000));
+
+  const data::ImpressionList list = TenItemList();
+  std::vector<std::future<serve::RouterResponse>> futures;
+  constexpr int kBurst = 24;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(router.Submit({"main", serve::Lane::kLow, list}));
+  }
+  const double submit_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  int shed = 0;
+  for (auto& f : futures) {
+    const serve::RouterResponse r = f.get();
+    if (r.shed) {
+      ++shed;
+      EXPECT_TRUE(r.degraded);
+      EXPECT_EQ(r.items, list.items);  // Fallback, not the model.
+      EXPECT_EQ(r.model_version, 0u);
+    }
+  }
+  router.Shutdown();
+  // With a 5ms-per-request model and watermark 2, most of the burst is
+  // shed, and shedding answers immediately — the burst of 24 must not take
+  // anywhere near 24 model passes (120ms) to *submit*.
+  EXPECT_GT(shed, 0);
+  EXPECT_LT(submit_ms, 60.0);
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.total.requests, static_cast<uint64_t>(kBurst));
+  EXPECT_EQ(stats.total.shed, static_cast<uint64_t>(shed));
+  ASSERT_EQ(stats.slots.size(), 1u);
+  EXPECT_EQ(stats.slots[0].stats.shed, static_cast<uint64_t>(shed));
+}
+
+TEST(ServingRouterTest, HighLaneSurvivesLowLaneFlood) {
+  const data::Dataset data;
+  serve::RouterConfig cfg;
+  cfg.num_threads = 1;
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.queue_capacity = 32;
+  cfg.admission.policy = serve::AdmissionPolicy::kShed;
+  cfg.admission.low_lane_watermark = 4;  // Low lane sheds early...
+  cfg.admission.high_lane_watermark = 32;  // ...high lane only when full.
+  serve::ServingRouter router(data, cfg);
+  router.InstallSlot("main", std::make_shared<RotateReranker>(1, 2000));
+
+  const data::ImpressionList list = TenItemList();
+  std::vector<std::future<serve::RouterResponse>> low, high;
+  for (int i = 0; i < 20; ++i) {
+    low.push_back(router.Submit({"main", serve::Lane::kLow, list}));
+  }
+  for (int i = 0; i < 8; ++i) {
+    high.push_back(router.Submit({"main", serve::Lane::kHigh, list}));
+  }
+  int low_shed = 0, high_shed = 0;
+  for (auto& f : low) low_shed += f.get().shed ? 1 : 0;
+  for (auto& f : high) high_shed += f.get().shed ? 1 : 0;
+  router.Shutdown();
+  EXPECT_GT(low_shed, 0);
+  EXPECT_EQ(high_shed, 0);
+}
+
+TEST(ServingRouterTest, BlockModeDeadlineCapsProducerWait) {
+  const data::Dataset data;
+  serve::RouterConfig cfg;
+  cfg.num_threads = 1;
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.queue_capacity = 1;
+  cfg.deadline_us = 10'000;  // 10ms.
+  serve::ServingRouter router(data, cfg);
+  router.InstallSlot("main", std::make_shared<RotateReranker>(1, 30'000));
+
+  const data::ImpressionList list = TenItemList();
+  std::vector<std::future<serve::RouterResponse>> futures;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(router.Submit({"main", serve::Lane::kHigh, list}));
+  }
+  const double submit_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  int degraded = 0;
+  for (auto& f : futures) degraded += f.get().degraded ? 1 : 0;
+  router.Shutdown();
+
+  // Without the deadline cap the producer would block ~30ms per queued
+  // request (~150ms total); with it, each Submit waits at most ~10ms.
+  EXPECT_LT(submit_ms, 100.0);
+  EXPECT_GT(degraded, 0);
+}
+
+TEST(ServingRouterTest, SubmitAfterShutdownServesInline) {
+  const data::Dataset data;
+  serve::ServingRouter router(data, {});
+  router.InstallSlot("main", std::make_shared<RotateReranker>(3));
+  router.Shutdown();
+  auto future = router.Submit({"main", serve::Lane::kHigh, TenItemList()});
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const serve::RouterResponse r = future.get();
+  EXPECT_EQ(r.items, Rotated(TenItemList().items, 3));
+  EXPECT_EQ(r.model_version, 1u);
+}
+
+// End-to-end through the snapshot path with real models: two differently
+// configured RAPID fits ship through LoadSlot, and the swap changes both
+// the served scores and the attribution.
+class RouterSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SimConfig cfg;
+    cfg.kind = data::DatasetKind::kTaobao;
+    cfg.num_users = 15;
+    cfg.num_items = 100;
+    cfg.rerank_lists_per_user = 2;
+    data_ = data::GenerateDataset(cfg, 77);
+    click::GroundTruthClickModel dcm(&data_, click::DcmConfig{});
+    std::mt19937_64 rng(3);
+    for (const data::Request& req : data_.rerank_train_requests) {
+      data::ImpressionList list;
+      list.user_id = req.user_id;
+      list.items.assign(req.candidates.begin(), req.candidates.begin() + 10);
+      for (int i = 0; i < 10; ++i) list.scores.push_back(1.0f - 0.05f * i);
+      list.clicks = dcm.SimulateClicks(list.user_id, list.items, rng);
+      train_.push_back(std::move(list));
+    }
+  }
+
+  std::string TrainAndSnapshot(int hidden, uint64_t seed,
+                               const std::string& file) {
+    core::RapidConfig cfg;
+    cfg.train.epochs = 1;
+    cfg.hidden_dim = hidden;
+    core::RapidReranker model(cfg);
+    model.Fit(data_, train_, seed);
+    const std::string path = ::testing::TempDir() + "/" + file;
+    EXPECT_TRUE(serve::Snapshot::Save(path, model, data_));
+    return path;
+  }
+
+  data::Dataset data_;
+  std::vector<data::ImpressionList> train_;
+};
+
+TEST_F(RouterSnapshotTest, LoadSlotHotSwapsSnapshots) {
+  const std::string path_a = TrainAndSnapshot(8, 1, "router_a.rsnp");
+  const std::string path_b = TrainAndSnapshot(12, 2, "router_b.rsnp");
+  const auto model_a = serve::Snapshot::Load(path_a, data_);
+  const auto model_b = serve::Snapshot::Load(path_b, data_);
+  ASSERT_NE(model_a, nullptr);
+  ASSERT_NE(model_b, nullptr);
+
+  serve::RouterConfig cfg;
+  cfg.num_threads = 2;
+  serve::ServingRouter router(data_, cfg);
+  EXPECT_EQ(router.LoadSlot("main", path_a), 1u);
+  EXPECT_EQ(router.LoadSlot("main", "/nonexistent.rsnp"), 0u);
+  EXPECT_EQ(router.SlotVersion("main"), 1u);
+
+  const data::ImpressionList& list = train_.front();
+  serve::RouterResponse r1 =
+      router.Submit({"main", serve::Lane::kHigh, list}).get();
+  EXPECT_EQ(r1.items, model_a->Rerank(data_, list));
+  EXPECT_EQ(r1.model_version, 1u);
+
+  EXPECT_EQ(router.LoadSlot("main", path_b), 2u);
+  serve::RouterResponse r2 =
+      router.Submit({"main", serve::Lane::kHigh, list}).get();
+  EXPECT_EQ(r2.items, model_b->Rerank(data_, list));
+  EXPECT_EQ(r2.model_version, 2u);
+}
+
+}  // namespace
+}  // namespace rapid

@@ -1,15 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "click/dcm.h"
 #include "core/rapid.h"
 #include "datagen/simulator.h"
+#include "rerank/neural_models.h"
 #include "serve/engine.h"
 #include "serve/metrics.h"
 #include "serve/request_queue.h"
@@ -221,6 +225,84 @@ TEST_F(ServeTest, SubmitAfterShutdownServesInline) {
   EXPECT_EQ(future.get().items, model.Rerank(data_, train_[0]));
 }
 
+// A re-ranker with a fixed per-request cost, used to hold the engine's
+// queue full long enough to exercise TrySubmit / bounded-blocking paths.
+class StallInitReranker : public rerank::Reranker {
+ public:
+  explicit StallInitReranker(int stall_us) : stall_us_(stall_us) {}
+  std::string name() const override { return "StallInit"; }
+  std::vector<int> Rerank(const data::Dataset& /*data*/,
+                          const data::ImpressionList& list) const override {
+    std::this_thread::sleep_for(std::chrono::microseconds(stall_us_));
+    return list.items;
+  }
+
+ private:
+  const int stall_us_;
+};
+
+TEST_F(ServeTest, TrySubmitRejectsWhenFullWithoutBlocking) {
+  const StallInitReranker slow(20'000);
+  serve::ServingConfig cfg;
+  cfg.num_threads = 1;
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.queue_capacity = 1;
+  serve::ServingEngine engine(data_, slow, cfg);
+
+  // Saturate: one request occupies the worker, then fill the queue slot.
+  std::vector<std::future<serve::RerankResponse>> accepted;
+  accepted.push_back(engine.Submit(train_[0]));
+  bool saw_rejection = false;
+  for (int i = 0; i < 64 && !saw_rejection; ++i) {
+    auto maybe = engine.TrySubmit(train_[0]);
+    if (maybe.has_value()) {
+      accepted.push_back(std::move(*maybe));
+    } else {
+      saw_rejection = true;  // Full queue reported immediately, no block.
+    }
+  }
+  EXPECT_TRUE(saw_rejection);
+  for (auto& f : accepted) EXPECT_EQ(f.get().items, train_[0].items);
+  engine.Shutdown();
+
+  // After shutdown TrySubmit serves inline like Submit.
+  auto inline_future = engine.TrySubmit(train_[1]);
+  ASSERT_TRUE(inline_future.has_value());
+  ASSERT_EQ(inline_future->wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(inline_future->get().items, train_[1].items);
+}
+
+TEST_F(ServeTest, SubmitBlocksAtMostTheRequestDeadline) {
+  const StallInitReranker slow(30'000);
+  serve::ServingConfig cfg;
+  cfg.num_threads = 1;
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.queue_capacity = 1;
+  cfg.deadline_us = 10'000;
+  cfg.fallback = serve::FallbackPolicy::kInitialOrder;
+  serve::ServingEngine engine(data_, slow, cfg);
+
+  std::vector<std::future<serve::RerankResponse>> futures;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) futures.push_back(engine.Submit(train_[0]));
+  const double submit_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  uint64_t degraded = 0;
+  for (auto& f : futures) degraded += f.get().degraded ? 1 : 0;
+  engine.Shutdown();
+
+  // Pre-fix, each blocked Submit waited a full 30ms model pass (~90ms for
+  // the burst); now every Submit returns within its own 10ms deadline.
+  EXPECT_LT(submit_ms, 100.0);
+  EXPECT_GT(degraded, 0u);
+  EXPECT_EQ(engine.stats().fallbacks, degraded);
+}
+
 TEST(RequestQueueTest, PopBatchCollectsUpToMaxAndDrainsOnClose) {
   serve::BoundedRequestQueue<int> queue(16);
   for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.Push(std::move(i)));
@@ -234,6 +316,203 @@ TEST(RequestQueueTest, PopBatchCollectsUpToMaxAndDrainsOnClose) {
   EXPECT_EQ(queue.PopBatch(8, std::chrono::microseconds(0), &batch), 0u);
   int rejected = 7;
   EXPECT_FALSE(queue.Push(std::move(rejected)));
+}
+
+TEST(RequestQueueTest, CapacityOneAlternatesAndReportsFull) {
+  using Queue = serve::BoundedRequestQueue<int>;
+  Queue queue(1);
+  EXPECT_EQ(queue.TryPush(1), Queue::PushResult::kOk);
+  EXPECT_EQ(queue.TryPush(2), Queue::PushResult::kFull);
+  EXPECT_EQ(queue.PushUntil(2, std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(1)),
+            Queue::PushResult::kFull);
+
+  // A blocked producer is released as soon as the consumer pops.
+  std::thread producer([&queue] { EXPECT_TRUE(queue.Push(2)); });
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(1, std::chrono::microseconds(0), &batch), 1u);
+  producer.join();
+  EXPECT_EQ(queue.PopBatch(1, std::chrono::microseconds(0), &batch), 1u);
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(3), Queue::PushResult::kClosed);
+}
+
+TEST(RequestQueueTest, CloseReleasesBlockedProducersWithItemsIntact) {
+  using Queue = serve::BoundedRequestQueue<std::unique_ptr<int>>;
+  Queue queue(1);
+  ASSERT_EQ(queue.TryPush(std::make_unique<int>(0)), Queue::PushResult::kOk);
+
+  constexpr int kProducers = 3;
+  std::atomic<int> refused{0};
+  std::vector<std::thread> producers;
+  for (int i = 0; i < kProducers; ++i) {
+    producers.emplace_back([&queue, &refused, i] {
+      auto item = std::make_unique<int>(i + 1);
+      if (!queue.Push(std::move(item))) {
+        // Push refused without consuming: the caller can still serve it.
+        ASSERT_NE(item, nullptr);
+        ++refused;
+      }
+    });
+  }
+  // Let the producers reach the full-queue wait, then close underneath
+  // them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(refused.load(), kProducers);
+
+  // The pre-close item is still drainable.
+  std::vector<std::unique_ptr<int>> batch;
+  EXPECT_EQ(queue.PopBatch(4, std::chrono::microseconds(0), &batch), 1u);
+  EXPECT_EQ(*batch[0], 0);
+}
+
+TEST(RequestQueueTest, PriorityDrainIsStarvationFree) {
+  // Two lanes, yield to the starved lane after 2 consecutive bypasses.
+  serve::BoundedRequestQueue<int> queue(32, /*num_lanes=*/2,
+                                        /*bursts_per_yield=*/2);
+  for (int i = 1; i <= 6; ++i) ASSERT_TRUE(queue.Push(100 + i, /*lane=*/0));
+  for (int i = 1; i <= 3; ++i) ASSERT_TRUE(queue.Push(200 + i, /*lane=*/1));
+  EXPECT_EQ(queue.lane_size(0), 6u);
+  EXPECT_EQ(queue.lane_size(1), 3u);
+
+  std::vector<int> order;
+  while (queue.size() > 0) {
+    queue.PopBatch(1, std::chrono::microseconds(0), &order);
+  }
+  // High lane first, but every third pop yields to the waiting low lane;
+  // once the high lane drains, the low remainder flows FIFO.
+  EXPECT_EQ(order, (std::vector<int>{101, 102, 201, 103, 104, 202, 105, 106,
+                                     203}));
+}
+
+TEST(RequestQueueTest, SingleLaneDrainStaysFifo) {
+  serve::BoundedRequestQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.Push(std::move(i)));
+  std::vector<int> order;
+  queue.PopBatch(5, std::chrono::microseconds(0), &order);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(ServeTest, ReadConfigRejectsTruncatedAndCorruptFiles) {
+  const core::RapidReranker trained = FittedModel();
+  const std::string path = ::testing::TempDir() + "/rapid_trunc.rsnp";
+  ASSERT_TRUE(serve::Snapshot::Save(path, trained, data_));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  ASSERT_GT(bytes.size(), 100u);
+
+  const std::string cut = ::testing::TempDir() + "/rapid_cut.rsnp";
+  core::RapidConfig config;
+  // Truncations inside magic/version/family/header: header read fails.
+  for (size_t size : {size_t{0}, size_t{2}, size_t{6}, size_t{10}, size_t{40},
+                      size_t{70}}) {
+    std::ofstream(cut, std::ios::binary).write(bytes.data(), size);
+    EXPECT_FALSE(serve::Snapshot::ReadConfig(cut, &config)) << size;
+    EXPECT_EQ(serve::Snapshot::Load(cut, data_), nullptr) << size;
+  }
+  // Truncation inside the weight blob: the header still reads, the model
+  // does not.
+  std::ofstream(cut, std::ios::binary).write(bytes.data(), 100);
+  EXPECT_TRUE(serve::Snapshot::ReadConfig(cut, &config));
+  EXPECT_EQ(serve::Snapshot::Load(cut, data_), nullptr);
+
+  // Wrong magic and absurd version numbers.
+  std::string wrong = bytes;
+  wrong[0] = 'X';
+  std::ofstream(cut, std::ios::binary).write(wrong.data(), wrong.size());
+  EXPECT_FALSE(serve::Snapshot::ReadConfig(cut, &config));
+  wrong = bytes;
+  wrong[4] = 99;
+  std::ofstream(cut, std::ios::binary).write(wrong.data(), wrong.size());
+  EXPECT_FALSE(serve::Snapshot::ReadConfig(cut, &config));
+  EXPECT_EQ(serve::Snapshot::LoadAny(cut, data_), nullptr);
+}
+
+TEST_F(ServeTest, V1SnapshotsStillLoadAsRapid) {
+  const core::RapidReranker trained = FittedModel();
+  const std::string path = ::testing::TempDir() + "/rapid_v2.rsnp";
+  ASSERT_TRUE(serve::Snapshot::Save(path, trained, data_));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  // Rewrite as the v1 layout: magic, version=1, header — no family tag
+  // (v2 inserts the 4-byte tag right after the version word).
+  const std::string v1_path = ::testing::TempDir() + "/rapid_v1.rsnp";
+  {
+    std::ofstream out(v1_path, std::ios::binary);
+    const uint32_t version = 1;
+    out.write(bytes.data(), 4);  // magic
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(bytes.data() + 12, bytes.size() - 12);  // skip v2 tag
+  }
+
+  serve::SnapshotInfo info;
+  ASSERT_TRUE(serve::Snapshot::ReadInfo(v1_path, &info));
+  EXPECT_EQ(info.format_version, 1u);
+  EXPECT_EQ(info.family, serve::SnapshotFamily::kRapid);
+
+  const auto restored = serve::Snapshot::Load(v1_path, data_);
+  ASSERT_NE(restored, nullptr);
+  const std::vector<float> a = trained.ScoreList(data_, train_[0]);
+  const std::vector<float> b = restored->ScoreList(data_, train_[0]);
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+}
+
+TEST_F(ServeTest, FamilyTaggedSnapshotRoundTripsBaselines) {
+  rerank::NeuralRerankConfig cfg;
+  cfg.epochs = 1;
+  cfg.hidden_dim = 8;
+  rerank::PrmReranker prm(cfg);
+  prm.Fit(data_, train_, 11);
+
+  const std::string path = ::testing::TempDir() + "/prm.rsnp";
+  ASSERT_TRUE(
+      serve::Snapshot::Save(path, prm, serve::SnapshotFamily::kPrm, data_));
+
+  serve::SnapshotInfo info;
+  ASSERT_TRUE(serve::Snapshot::ReadInfo(path, &info));
+  EXPECT_EQ(info.family, serve::SnapshotFamily::kPrm);
+  EXPECT_EQ(info.format_version, 2u);
+  EXPECT_EQ(info.config.train.hidden_dim, 8);
+  EXPECT_STREQ(serve::SnapshotFamilyName(info.family), "PRM");
+
+  // The RAPID-only loader refuses; the family dispatcher reconstructs the
+  // right class with bit-exact scores.
+  EXPECT_EQ(serve::Snapshot::Load(path, data_), nullptr);
+  const auto restored = serve::Snapshot::LoadAny(path, data_);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->name(), "PRM");
+  for (const data::ImpressionList& list : train_) {
+    const std::vector<float> a = prm.ScoreList(data_, list);
+    const std::vector<float> b = restored->ScoreList(data_, list);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+  }
+
+  // Tagging a non-RAPID model as kRapid is refused at save time, and a
+  // RAPID model through the generic path keeps its full header.
+  EXPECT_FALSE(
+      serve::Snapshot::Save(path, prm, serve::SnapshotFamily::kRapid, data_));
+  const core::RapidReranker rapid = FittedModel();
+  const std::string rapid_path = ::testing::TempDir() + "/rapid_gen.rsnp";
+  ASSERT_TRUE(serve::Snapshot::Save(rapid_path, rapid,
+                                    serve::SnapshotFamily::kRapid, data_));
+  const auto rapid_restored = serve::Snapshot::LoadAny(rapid_path, data_);
+  ASSERT_NE(rapid_restored, nullptr);
+  EXPECT_EQ(rapid_restored->name(), rapid.name());
 }
 
 TEST(ServingMetricsTest, PercentilesAndCountersTrackRecordings) {
