@@ -1,0 +1,321 @@
+// Result-cache harness: measures what the router-level cache buys and
+// verifies what it must never cost.
+//
+//  1. "steady": a Zipf-distributed request stream (a few hot users
+//     dominate, a long tail of cold ones) against one published model,
+//     with the cache capacity deliberately smaller than the distinct-list
+//     universe so the LRU actually evicts. Reported: hit rate, hit vs miss
+//     p50/p99 (from the per-response latency stamp), throughput, and the
+//     same workload replayed with the cache disabled as the baseline.
+//
+//  2. "swap": the same Zipf stream while the slot is hot-swapped between
+//     two snapshots mid-run. Every non-degraded response is checked
+//     against a fresh re-rank by the model version stamped on it — a
+//     stale cache entry surviving a swap, or a torn (version, items)
+//     pair, counts as `stale` and fails the bench (exit 1).
+//
+// Output is one JSON object on stdout (perf-trajectory artifact); progress
+// goes to stderr. `--json` is accepted for run_ledger.sh uniformity (the
+// output is always JSON); `--quick` shrinks the stream.
+//
+//   ./build/bench/bench_cache            # full run
+//   ./build/bench/bench_cache --quick    # smoke test
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/router.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Samples list indices with P(rank k) proportional to 1/k^s — the classic
+// recommender access pattern: a handful of hot (user, candidate-set)
+// pairs absorb most traffic.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  size_t Sample(std::mt19937_64& rng) const {
+    const double u =
+        std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+double Percentile(std::vector<int64_t>* latencies, double p) {
+  if (latencies->empty()) return 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(latencies->size() - 1));
+  return static_cast<double>((*latencies)[idx]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rapid;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  eval::PipelineConfig config;
+  config.sim.kind = data::DatasetKind::kTaobao;
+  config.sim.num_users = 60;
+  config.sim.num_items = 400;
+  config.sim.rerank_lists_per_user = 4;
+  config.sim.test_lists_per_user = 2;
+  config.dcm.lambda = 0.9f;
+  config.seed = 2023;
+
+  std::fprintf(stderr, "[cache] building environment...\n");
+  eval::Environment env(config, bench::StandardDin());
+  const std::vector<data::ImpressionList>& lists = env.test_lists();
+
+  std::fprintf(stderr, "[cache] training two RAPID variants...\n");
+  const std::string path_a = "/tmp/bench_cache_a.rsnp";
+  const std::string path_b = "/tmp/bench_cache_b.rsnp";
+  {
+    core::RapidConfig cfg = bench::BenchRapidConfig();
+    cfg.train.epochs = 2;
+    core::RapidReranker model_a(cfg);
+    model_a.Fit(env.dataset(), env.train_lists(), /*seed=*/7);
+    cfg.head = core::OutputHead::kDeterministic;
+    core::RapidReranker model_b(cfg);
+    model_b.Fit(env.dataset(), env.train_lists(), /*seed=*/8);
+    if (!serve::Snapshot::Save(path_a, model_a, env.dataset()) ||
+        !serve::Snapshot::Save(path_b, model_b, env.dataset())) {
+      std::fprintf(stderr, "[cache] snapshot save failed\n");
+      return 1;
+    }
+  }
+
+  const int submitters = 4;
+  const int requests_per_submitter = quick ? 250 : 1000;
+  const int total = submitters * requests_per_submitter;
+  const double zipf_s = 1.2;
+  // Capacity below the distinct-list universe, so the cold tail evicts and
+  // the reported hit rate reflects LRU retention of the hot head, not an
+  // everything-fits warm cache.
+  const size_t cache_capacity = std::max<size_t>(lists.size() / 2, 8);
+  const ZipfSampler zipf(lists.size(), zipf_s);
+
+  serve::RouterConfig base_cfg;
+  base_cfg.num_threads = 4;
+  base_cfg.max_batch = 4;
+  base_cfg.max_wait_us = 100;
+  base_cfg.queue_capacity = 256;
+
+  struct StreamResult {
+    std::vector<int64_t> hit_us;
+    std::vector<int64_t> miss_us;
+    uint64_t degraded = 0;
+    double secs = 0.0;
+  };
+  // Replays the Zipf stream against `router` from `submitters` threads.
+  // Per-thread rngs are seeded deterministically so every run (cached,
+  // uncached, swapping) sees the same request sequence.
+  const auto run_stream = [&](serve::ServingRouter& router) {
+    std::vector<std::vector<serve::RouterResponse>> responses(submitters);
+    std::vector<std::thread> threads;
+    const auto t0 = Clock::now();
+    for (int s = 0; s < submitters; ++s) {
+      threads.emplace_back([&, s] {
+        std::mt19937_64 rng(1000 + s);
+        responses[s].reserve(requests_per_submitter);
+        for (int i = 0; i < requests_per_submitter; ++i) {
+          serve::RouterRequest req;
+          req.slot = "main";
+          req.list = lists[zipf.Sample(rng)];
+          responses[s].push_back(router.Submit(std::move(req)).get());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    StreamResult result;
+    result.secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    for (auto& per_thread : responses) {
+      for (serve::RouterResponse& r : per_thread) {
+        if (r.degraded) {
+          ++result.degraded;
+        } else {
+          (r.cache_hit ? result.hit_us : result.miss_us)
+              .push_back(r.latency_us);
+        }
+      }
+    }
+    return result;
+  };
+
+  // ---------------------------------------------------------------- steady
+  std::fprintf(stderr,
+               "[cache] steady: %d reqs over %zu lists (zipf s=%.1f, "
+               "capacity %zu)...\n",
+               total, lists.size(), zipf_s, cache_capacity);
+  serve::RouterConfig cached_cfg = base_cfg;
+  cached_cfg.cache.enabled = true;
+  cached_cfg.cache.capacity = cache_capacity;
+  serve::ServingRouter cached(env.dataset(), cached_cfg);
+  if (cached.LoadSlot("main", path_a) == 0) {
+    std::fprintf(stderr, "[cache] LoadSlot failed\n");
+    return 1;
+  }
+  StreamResult steady = run_stream(cached);
+  cached.Shutdown();
+  const serve::CacheStats steady_cache = cached.stats().cache;
+
+  const double hit_rate =
+      static_cast<double>(steady.hit_us.size()) /
+      std::max<double>(1.0, static_cast<double>(steady.hit_us.size() +
+                                                steady.miss_us.size()));
+  const double hit_p50 = Percentile(&steady.hit_us, 0.50);
+  const double hit_p99 = Percentile(&steady.hit_us, 0.99);
+  const double miss_p50 = Percentile(&steady.miss_us, 0.50);
+  const double miss_p99 = Percentile(&steady.miss_us, 0.99);
+  std::fprintf(stderr,
+               "[cache] steady: hit_rate=%.2f hit p50=%.0fus p99=%.0fus | "
+               "miss p50=%.0fus p99=%.0fus | %.0f req/s\n",
+               hit_rate, hit_p50, hit_p99, miss_p50, miss_p99,
+               (steady.hit_us.size() + steady.miss_us.size()) / steady.secs);
+
+  // Baseline: identical stream, cache disabled.
+  std::fprintf(stderr, "[cache] baseline (cache off)...\n");
+  serve::ServingRouter uncached(env.dataset(), base_cfg);
+  if (uncached.LoadSlot("main", path_a) == 0) {
+    std::fprintf(stderr, "[cache] LoadSlot failed\n");
+    return 1;
+  }
+  StreamResult baseline = run_stream(uncached);
+  uncached.Shutdown();
+  const double base_p50 = Percentile(&baseline.miss_us, 0.50);
+  const double base_p99 = Percentile(&baseline.miss_us, 0.99);
+  std::fprintf(stderr, "[cache] baseline: p50=%.0fus p99=%.0fus %.0f req/s\n",
+               base_p50, base_p99, baseline.miss_us.size() / baseline.secs);
+
+  // ------------------------------------------------------------------ swap
+  // Reference outputs per (model, list): version 1 and every odd version
+  // serve snapshot A, even versions serve B (swaps alternate B, A, B, ...).
+  const auto model_a = serve::Snapshot::Load(path_a, env.dataset());
+  const auto model_b = serve::Snapshot::Load(path_b, env.dataset());
+  if (model_a == nullptr || model_b == nullptr) {
+    std::fprintf(stderr, "[cache] snapshot reload failed\n");
+    return 1;
+  }
+  std::vector<std::vector<int>> ref_a(lists.size()), ref_b(lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    ref_a[i] = model_a->Rerank(env.dataset(), lists[i]);
+    ref_b[i] = model_b->Rerank(env.dataset(), lists[i]);
+  }
+
+  const int swaps = quick ? 6 : 12;
+  std::fprintf(stderr, "[cache] swap: %d reqs, %d swaps...\n", total, swaps);
+  serve::ServingRouter swapping(env.dataset(), cached_cfg);
+  if (swapping.LoadSlot("main", path_a) == 0) {
+    std::fprintf(stderr, "[cache] LoadSlot failed\n");
+    return 1;
+  }
+
+  std::atomic<uint64_t> stale{0};
+  std::atomic<uint64_t> swap_hits{0};
+  std::atomic<uint64_t> swap_degraded{0};
+  std::vector<std::thread> threads;
+  const auto swap_t0 = Clock::now();
+  for (int s = 0; s < submitters; ++s) {
+    threads.emplace_back([&, s] {
+      std::mt19937_64 rng(2000 + s);
+      for (int i = 0; i < requests_per_submitter; ++i) {
+        const size_t idx = zipf.Sample(rng);
+        serve::RouterRequest req;
+        req.slot = "main";
+        req.list = lists[idx];
+        const serve::RouterResponse r =
+            swapping.Submit(std::move(req)).get();
+        if (r.degraded) {
+          ++swap_degraded;
+          continue;
+        }
+        if (r.cache_hit) ++swap_hits;
+        const std::vector<int>& expected =
+            (r.model_version % 2 == 1) ? ref_a[idx] : ref_b[idx];
+        if (r.items != expected) ++stale;
+      }
+    });
+  }
+  for (int i = 0; i < swaps; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(quick ? 10 : 20));
+    if (swapping.LoadSlot("main", (i % 2 == 0) ? path_b : path_a) == 0) {
+      std::fprintf(stderr, "[cache] mid-run LoadSlot failed\n");
+      return 1;
+    }
+  }
+  for (auto& t : threads) t.join();
+  const double swap_secs =
+      std::chrono::duration<double>(Clock::now() - swap_t0).count();
+  swapping.DrainCacheMaintenance();
+  swapping.Shutdown();
+  const serve::RouterStats swap_stats = swapping.stats();
+
+  const double swap_hit_rate =
+      static_cast<double>(swap_hits.load()) /
+      std::max<double>(1.0, static_cast<double>(total) -
+                                static_cast<double>(swap_degraded.load()));
+  std::fprintf(stderr,
+               "[cache] swap: stale=%llu hit_rate=%.2f swept=%llu "
+               "%.0f req/s\n",
+               static_cast<unsigned long long>(stale.load()), swap_hit_rate,
+               static_cast<unsigned long long>(swap_stats.cache.swept),
+               total / swap_secs);
+
+  std::printf(
+      "{\"bench\": \"cache\", \"hardware_threads\": %u, "
+      "\"steady\": {\"requests\": %d, \"distinct_lists\": %zu, "
+      "\"zipf_s\": %.2f, \"capacity\": %zu, \"hit_rate\": %.3f, "
+      "\"hit_p50_us\": %.0f, \"hit_p99_us\": %.0f, \"miss_p50_us\": %.0f, "
+      "\"miss_p99_us\": %.0f, \"throughput_rps\": %.1f, \"cache\": %s}, "
+      "\"baseline\": {\"p50_us\": %.0f, \"p99_us\": %.0f, "
+      "\"throughput_rps\": %.1f}, "
+      "\"swap\": {\"requests\": %d, \"swaps\": %d, \"stale\": %llu, "
+      "\"degraded\": %llu, \"hit_rate\": %.3f, \"swept\": %llu, "
+      "\"throughput_rps\": %.1f}}\n",
+      std::thread::hardware_concurrency(), total, lists.size(), zipf_s,
+      cache_capacity, hit_rate, hit_p50, hit_p99, miss_p50, miss_p99,
+      (steady.hit_us.size() + steady.miss_us.size()) / steady.secs,
+      steady_cache.ToJson().c_str(), base_p50, base_p99,
+      baseline.miss_us.size() / baseline.secs, total, swaps,
+      static_cast<unsigned long long>(stale.load()),
+      static_cast<unsigned long long>(swap_degraded.load()), swap_hit_rate,
+      static_cast<unsigned long long>(swap_stats.cache.swept),
+      total / swap_secs);
+
+  if (stale.load() > 0) {
+    std::fprintf(stderr,
+                 "[cache] FAIL: %llu stale responses across swaps\n",
+                 static_cast<unsigned long long>(stale.load()));
+    return 1;
+  }
+  return 0;
+}

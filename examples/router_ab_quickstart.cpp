@@ -9,6 +9,9 @@
 //    the A/B readout.
 // 4. Hot-swap the treatment slot with a retrained snapshot while traffic
 //    flows; responses are version-stamped, so the cutover point is exact.
+// 5. Guard the swap with a canary probe (recorded ScoreList output) so a
+//    corrupt-but-parseable snapshot is rejected before publish, and serve
+//    repeat requests from the router-level result cache.
 //
 // Build & run:  ./build/examples/router_ab_quickstart
 
@@ -67,11 +70,30 @@ int main() {
   router_config.num_threads = 4;
   router_config.admission.policy = serve::AdmissionPolicy::kShed;
   router_config.admission.low_lane_watermark = 128;
+  // Result cache: repeat (user, candidate-set) requests against the same
+  // published version are answered inline, bypassing the queue.
+  router_config.cache.enabled = true;
+  router_config.cache.capacity = 256;
   serve::ServingRouter router(env.dataset(), router_config);
   if (router.LoadSlot("control", control_path) == 0 ||
       router.LoadSlot("treatment", treatment_path) == 0) {
     std::printf("LoadSlot failed\n");
     return 1;
+  }
+
+  // Canary-guard the treatment slot: record the retrained model's scores
+  // on one probe list; LoadSlot re-scores every candidate snapshot against
+  // the probe before publishing it.
+  {
+    const auto v2 = serve::Snapshot::Load(treatment_v2_path, env.dataset());
+    if (v2 == nullptr) {
+      std::printf("snapshot reload failed\n");
+      return 1;
+    }
+    serve::CanaryProbe probe;
+    probe.list = env.test_lists().front();
+    probe.expected_scores = v2->ScoreList(env.dataset(), probe.list);
+    router.SetCanary("treatment", probe);
   }
   std::printf("Serving slots:");
   for (const std::string& slot : router.slots()) {
@@ -114,11 +136,38 @@ int main() {
       ++treatment_v1;
     }
   }
-  router.Shutdown();
   std::printf("Responses on pre-swap versions: %llu, on the swapped v2: "
               "%llu (every response names its model — no torn reads)\n",
               static_cast<unsigned long long>(treatment_v1),
               static_cast<unsigned long long>(treatment_v2));
+
+  // ---- Result cache and canary in action --------------------------------
+  // The same request twice: the first answer was computed by a worker (and
+  // inserted), the repeat is served inline from the cache — same items,
+  // same version stamp, a fraction of the latency.
+  {
+    serve::RouterRequest req;
+    req.slot = "control";
+    req.list = env.test_lists().front();
+    const serve::RouterResponse first = router.Submit(req).get();
+    const serve::RouterResponse repeat = router.Submit(req).get();
+    std::printf("Repeat request: cache_hit=%s, %lldus (first %lldus), "
+                "same v%llu answer\n",
+                repeat.cache_hit ? "yes" : "no",
+                static_cast<long long>(repeat.latency_us),
+                static_cast<long long>(first.latency_us),
+                static_cast<unsigned long long>(repeat.model_version));
+  }
+  // A snapshot that parses but scores differently from the recorded probe
+  // (here: the control arm's weights) is rejected before publish — the
+  // treatment slot keeps serving its current version.
+  if (router.LoadSlot("treatment", control_path) == 0) {
+    std::printf("Canary rejected the mismatched snapshot; treatment still "
+                "v%llu\n",
+                static_cast<unsigned long long>(
+                    router.SlotVersion("treatment")));
+  }
+  router.Shutdown();
 
   // ---- The A/B readout ---------------------------------------------------
   const serve::RouterStats stats = router.stats();

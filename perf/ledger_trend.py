@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Perf-trajectory trend gate over the committed ledger.
+
+Compares the two most recent entries under perf/ledger/ (filenames start
+with a UTC timestamp, so lexicographic order is chronological) and fails
+when a latency or throughput metric regressed beyond the threshold:
+
+  * keys ending in ``p99_us``          -- lower is better
+  * keys ending in ``throughput_rps``  -- higher is better
+
+Metrics are matched per bench (by the ``"bench"`` field of each entry in
+the ledger's ``benches`` array) and per JSON path, so adding a new bench
+or a new metric never trips the gate -- only a metric present in *both*
+entries can regress. Sub-floor p99s (microsecond-scale cache hits and the
+like) are skipped: at that magnitude scheduler noise swamps any signal.
+A p99 regression must also move by at least ``--min-delta-us`` in
+absolute terms -- the serving metrics histogram is log-bucketed, so at
+millisecond magnitudes one bucket step between adjacent runs already
+exceeds a 20% ratio without meaning anything.
+
+Usage:
+  perf/ledger_trend.py [--ledger-dir DIR] [--threshold 0.20]
+                       [--min-p99-us 200] [--min-delta-us 1000]
+
+Exit status: 0 = no regression (or fewer than two entries), 1 =
+regression, 2 = malformed ledger. Registered as the tier-2 ctest target
+``perf_ledger_trend`` (run with ``ctest -C perf``).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def collect_metrics(node, path, out):
+    """Flattens numeric p99/throughput leaves into {json.path: value}."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            collect_metrics(value, f"{path}.{key}" if path else key, out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            collect_metrics(value, f"{path}[{i}]", out)
+    elif isinstance(node, (int, float)):
+        if path.endswith("p99_us") or path.endswith("throughput_rps"):
+            out[path] = float(node)
+
+
+def entry_metrics(ledger):
+    """{bench_name: {metric_path: value}} for one ledger file."""
+    out = {}
+    for bench in ledger.get("benches", []):
+        name = bench.get("bench", "?")
+        metrics = {}
+        collect_metrics(bench, "", metrics)
+        out[name] = metrics
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "ledger")
+    parser.add_argument("--ledger-dir", default=default_dir)
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="fractional regression that fails the gate")
+    parser.add_argument("--min-p99-us", type=float, default=200.0,
+                        help="ignore p99 metrics below this baseline")
+    parser.add_argument("--min-delta-us", type=float, default=1000.0,
+                        help="a p99 regression must also grow by this many "
+                             "microseconds (histogram-bucket noise guard)")
+    args = parser.parse_args()
+
+    try:
+        files = sorted(f for f in os.listdir(args.ledger_dir)
+                       if f.endswith(".json"))
+    except FileNotFoundError:
+        print(f"ledger_trend: no ledger dir at {args.ledger_dir}")
+        return 0
+    if len(files) < 2:
+        print(f"ledger_trend: {len(files)} entr{'y' if len(files) == 1 else 'ies'}"
+              " in the ledger; need two to diff -- skipping")
+        return 0
+
+    prev_file, curr_file = files[-2], files[-1]
+    entries = []
+    for name in (prev_file, curr_file):
+        try:
+            with open(os.path.join(args.ledger_dir, name)) as f:
+                entries.append(entry_metrics(json.load(f)))
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"ledger_trend: cannot read {name}: {err}")
+            return 2
+    prev, curr = entries
+
+    print(f"ledger_trend: {prev_file} -> {curr_file} "
+          f"(threshold {args.threshold:.0%})")
+    regressions = []
+    compared = 0
+    for bench, prev_metrics in sorted(prev.items()):
+        curr_metrics = curr.get(bench)
+        if curr_metrics is None:
+            print(f"  [{bench}] dropped from the latest entry -- skipping")
+            continue
+        for path, old in sorted(prev_metrics.items()):
+            new = curr_metrics.get(path)
+            if new is None or old <= 0.0:
+                continue
+            if path.endswith("p99_us"):
+                if old < args.min_p99_us:
+                    continue  # Microsecond-scale noise, not signal.
+                ratio = new / old
+                worse = (ratio > 1.0 + args.threshold and
+                         new - old >= args.min_delta_us)
+                arrow = "p99"
+            else:
+                ratio = new / old
+                worse = ratio < 1.0 - args.threshold
+                arrow = "rps"
+            compared += 1
+            status = "REGRESSED" if worse else "ok"
+            print(f"  [{bench}] {path}: {old:.1f} -> {new:.1f} "
+                  f"({arrow} ratio {ratio:.2f}) {status}")
+            if worse:
+                regressions.append(f"{bench}:{path}")
+
+    if regressions:
+        print(f"ledger_trend: {len(regressions)} regression(s): "
+              + ", ".join(regressions))
+        return 1
+    print(f"ledger_trend: {compared} metric(s) compared, no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,8 +5,11 @@
 # the repo a queryable history of serving/perf numbers per revision.
 #
 # Usage:
-#   perf/run_ledger.sh           # quick set: bench_serving + bench_router
+#   perf/run_ledger.sh           # quick set: serving + router + cache
 #   perf/run_ledger.sh --full    # adds bench_table5 + bench_table6 (slow)
+#
+# After writing the entry, perf/ledger_trend.py diffs it against the
+# previous one (report only here; the tier-2 ctest target enforces it).
 #
 # Requires a configured build tree (default ./build, override with
 # BUILD_DIR). The new file is `git add`ed but not committed.
@@ -27,7 +30,11 @@ if [[ ! -d "$build_dir" ]]; then
   exit 1
 fi
 
-benches=("bench_serving --quick" "bench_router --quick")
+benches=(
+  "bench_serving --quick"
+  "bench_router --quick --json"
+  "bench_cache --quick --json"
+)
 if [[ "$mode" == "full" ]]; then
   benches+=("bench_table5 --json" "bench_table6 --json")
 fi
@@ -62,3 +69,8 @@ mkdir -p "$ledger_dir"
 
 git -C "$repo_root" add "$out"
 echo "[ledger] wrote $out" >&2
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$repo_root/perf/ledger_trend.py" --ledger-dir "$ledger_dir" >&2 ||
+    echo "[ledger] warning: trend gate reported a regression (see above)" >&2
+fi

@@ -44,6 +44,11 @@ struct AdmissionConfig {
 /// after construction (all watermarks resolved against the queue
 /// capacity), so `Admit` is safe to call from any number of submitter
 /// threads concurrently.
+///
+/// Ordering note: the router consults its result cache *before* admission
+/// — a cache hit is answered inline without entering either lane, so hits
+/// neither count toward queue depth nor can be shed. Only cache misses
+/// (and bypassed slots) reach `Admit`.
 class AdmissionController {
  public:
   AdmissionController(const AdmissionConfig& config, int queue_capacity);

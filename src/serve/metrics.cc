@@ -85,6 +85,48 @@ ServingStats ServingMetrics::Snapshot() const {
   return s;
 }
 
+double CacheStats::hit_rate() const {
+  const uint64_t lookups = hits + misses;
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+std::string CacheStats::ToTable() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  cache hits      %10llu (hit rate %3.0f%%)\n"
+                "  cache misses    %10llu\n"
+                "  cache inserts   %10llu\n"
+                "  cache evictions %10llu\n"
+                "  cache expired   %10llu\n"
+                "  cache bypass    %10llu\n"
+                "  cache swept     %10llu\n",
+                static_cast<unsigned long long>(hits), 100.0 * hit_rate(),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(inserts),
+                static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(expired),
+                static_cast<unsigned long long>(bypass),
+                static_cast<unsigned long long>(swept));
+  return buf;
+}
+
+std::string CacheStats::ToJson() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"hits\": %llu, \"misses\": %llu, \"inserts\": %llu, "
+                "\"evictions\": %llu, \"expired\": %llu, \"bypass\": %llu, "
+                "\"swept\": %llu, \"hit_rate\": %.3f}",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                static_cast<unsigned long long>(inserts),
+                static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(expired),
+                static_cast<unsigned long long>(bypass),
+                static_cast<unsigned long long>(swept), hit_rate());
+  return buf;
+}
+
 std::string ServingStats::ToTable() const {
   char buf[512];
   std::snprintf(buf, sizeof(buf),

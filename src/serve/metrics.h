@@ -34,6 +34,33 @@ struct ServingStats {
   std::string ToJson() const;
 };
 
+/// Point-in-time counters of the router-level result cache (see
+/// serve/result_cache.h), reported per slot and in aggregate by
+/// `RouterStats`. All zero when caching is disabled.
+struct CacheStats {
+  /// Lookups answered from the cache (inline, bypassing the queue).
+  uint64_t hits = 0;
+  /// Lookups that found no usable entry (absent, expired, or dead).
+  uint64_t misses = 0;
+  /// Entries written after a model answered a cache miss.
+  uint64_t inserts = 0;
+  /// Entries displaced by the LRU capacity bound.
+  uint64_t evictions = 0;
+  /// Entries discarded because their TTL elapsed.
+  uint64_t expired = 0;
+  /// Requests that skipped the cache entirely (slot on the bypass list).
+  uint64_t bypass = 0;
+  /// Dead-version entries reclaimed by the background sweep after a swap.
+  uint64_t swept = 0;
+
+  /// hits / (hits + misses); 0 when no lookups happened.
+  double hit_rate() const;
+  /// Two-column human-readable block matching `ServingStats::ToTable`.
+  std::string ToTable() const;
+  /// Flat JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
 /// Lock-free serving-side metrics: request/fallback/shed counters, an
 /// HDR-style log-bucketed latency histogram (32 octaves x 8 sub-buckets,
 /// ~9% relative error), and a max queue-depth gauge. All recording methods

@@ -27,7 +27,11 @@ struct ServedModel {
   /// `model->name()`, captured at publish (name() is virtual and cheap,
   /// but capturing it makes response attribution allocation-free).
   std::string model_name;
-  /// Monotonically increasing per slot, starting at 1.
+  /// Monotonically increasing per slot, starting at 1. Monotonicity is
+  /// load-bearing beyond attribution: `serve::ResultCache` keys entries on
+  /// this version, so "versions are never reused" is exactly what makes
+  /// every stale cache entry unreachable the instant a publish lands — a
+  /// recycled version number would resurrect old cached responses.
   uint64_t version = 0;
 };
 

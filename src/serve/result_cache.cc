@@ -1,0 +1,230 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+
+namespace rapid::serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+CachePolicy Sanitized(CachePolicy policy) {
+  policy.capacity = std::max<size_t>(policy.capacity, 1);
+  policy.num_shards = std::clamp<int>(policy.num_shards, 1,
+                                      static_cast<int>(policy.capacity));
+  policy.ttl_us = std::max<int64_t>(policy.ttl_us, 0);
+  return policy;
+}
+
+}  // namespace
+
+CacheStats ResultCache::Counters::Snapshot() const {
+  CacheStats s;
+  s.hits = hits.load(std::memory_order_relaxed);
+  s.misses = misses.load(std::memory_order_relaxed);
+  s.inserts = inserts.load(std::memory_order_relaxed);
+  s.evictions = evictions.load(std::memory_order_relaxed);
+  s.expired = expired.load(std::memory_order_relaxed);
+  s.bypass = bypass.load(std::memory_order_relaxed);
+  s.swept = swept.load(std::memory_order_relaxed);
+  return s;
+}
+
+ResultCache::ResultCache(CachePolicy policy)
+    : policy_(Sanitized(std::move(policy))),
+      per_shard_capacity_(std::max<size_t>(
+          policy_.capacity / static_cast<size_t>(policy_.num_shards), 1)) {
+  shards_.reserve(static_cast<size_t>(policy_.num_shards));
+  for (int i = 0; i < policy_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (policy_.enabled) {
+    sweeper_ = std::thread([this] { SweeperLoop(); });
+  }
+}
+
+ResultCache::~ResultCache() {
+  {
+    std::lock_guard<std::mutex> lock(sweep_mu_);
+    stop_ = true;
+  }
+  sweep_cv_.notify_all();
+  if (sweeper_.joinable()) sweeper_.join();
+}
+
+uint64_t ResultCache::Fingerprint(const data::ImpressionList& list) {
+  uint64_t h = kFnvOffset;
+  const int32_t user = list.user_id;
+  h = Fnv1a(h, &user, sizeof(user));
+  // Hashing the arrays front-to-back makes the fingerprint order-sensitive
+  // by construction: a permuted candidate list is a different key.
+  const uint32_t num_items = static_cast<uint32_t>(list.items.size());
+  h = Fnv1a(h, &num_items, sizeof(num_items));
+  h = Fnv1a(h, list.items.data(), list.items.size() * sizeof(int));
+  const uint32_t num_scores = static_cast<uint32_t>(list.scores.size());
+  h = Fnv1a(h, &num_scores, sizeof(num_scores));
+  h = Fnv1a(h, list.scores.data(), list.scores.size() * sizeof(float));
+  return h;
+}
+
+bool ResultCache::EnabledFor(const std::string& slot) const {
+  if (!policy_.enabled) return false;
+  return std::find(policy_.bypass_slots.begin(), policy_.bypass_slots.end(),
+                   slot) == policy_.bypass_slots.end();
+}
+
+ResultCache::Counters& ResultCache::CountersFor(const std::string& slot) {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  std::unique_ptr<Counters>& counters = slot_counters_[slot];
+  if (counters == nullptr) counters = std::make_unique<Counters>();
+  return *counters;
+}
+
+void ResultCache::RecordBypass(const std::string& slot) {
+  total_.bypass.fetch_add(1, std::memory_order_relaxed);
+  CountersFor(slot).bypass.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<ResultCache::CachedResult> ResultCache::Lookup(
+    const std::string& slot, uint64_t version, uint64_t fingerprint) {
+  Key key{slot, version, fingerprint};
+  Shard& shard = ShardFor(key);
+  Counters& counters = CountersFor(slot);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    total_.misses.fetch_add(1, std::memory_order_relaxed);
+    counters.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (ExpiredAt(*it->second, Clock::now())) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    total_.expired.fetch_add(1, std::memory_order_relaxed);
+    counters.expired.fetch_add(1, std::memory_order_relaxed);
+    total_.misses.fetch_add(1, std::memory_order_relaxed);
+    counters.misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  total_.hits.fetch_add(1, std::memory_order_relaxed);
+  counters.hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
+}
+
+void ResultCache::Insert(const std::string& slot, uint64_t version,
+                         uint64_t fingerprint, CachedResult result) {
+  Key key{slot, version, fingerprint};
+  Shard& shard = ShardFor(key);
+  Counters& counters = CountersFor(slot);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Concurrent misses on the same key both run the model; last writer
+    // refreshes (both computed the same deterministic answer anyway).
+    it->second->result = std::move(result);
+    it->second->inserted_at = Clock::now();
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{std::move(key), std::move(result), Clock::now()});
+  shard.index.emplace(shard.lru.front().key, shard.lru.begin());
+  total_.inserts.fetch_add(1, std::memory_order_relaxed);
+  counters.inserts.fetch_add(1, std::memory_order_relaxed);
+  while (shard.lru.size() > per_shard_capacity_) {
+    const Entry& victim = shard.lru.back();
+    total_.evictions.fetch_add(1, std::memory_order_relaxed);
+    CountersFor(victim.key.slot)
+        .evictions.fetch_add(1, std::memory_order_relaxed);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+  }
+}
+
+void ResultCache::ScheduleSweep(std::string slot, uint64_t live_version) {
+  if (!policy_.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(sweep_mu_);
+    if (stop_) return;
+    pending_sweeps_.emplace_back(std::move(slot), live_version);
+  }
+  sweep_cv_.notify_one();
+}
+
+void ResultCache::DrainSweeps() {
+  std::unique_lock<std::mutex> lock(sweep_mu_);
+  sweep_idle_cv_.wait(
+      lock, [this] { return pending_sweeps_.empty() && !sweep_active_; });
+}
+
+void ResultCache::SweeperLoop() {
+  std::unique_lock<std::mutex> lock(sweep_mu_);
+  for (;;) {
+    sweep_cv_.wait(lock, [this] { return stop_ || !pending_sweeps_.empty(); });
+    if (pending_sweeps_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    const auto [slot, live_version] = std::move(pending_sweeps_.front());
+    pending_sweeps_.pop_front();
+    sweep_active_ = true;
+    lock.unlock();
+    SweepSlot(slot, live_version);
+    lock.lock();
+    sweep_active_ = false;
+    if (pending_sweeps_.empty()) sweep_idle_cv_.notify_all();
+  }
+}
+
+void ResultCache::SweepSlot(const std::string& slot, uint64_t live_version) {
+  const Clock::time_point now = Clock::now();
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      const bool dead_version =
+          it->key.slot == slot && it->key.version != live_version;
+      const bool aged_out = ExpiredAt(*it, now);
+      if (!dead_version && !aged_out) {
+        ++it;
+        continue;
+      }
+      Counters& counters = CountersFor(it->key.slot);
+      if (dead_version) {
+        total_.swept.fetch_add(1, std::memory_order_relaxed);
+        counters.swept.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        total_.expired.fetch_add(1, std::memory_order_relaxed);
+        counters.expired.fetch_add(1, std::memory_order_relaxed);
+      }
+      shard->index.erase(it->key);
+      it = shard->lru.erase(it);
+    }
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+CacheStats ResultCache::StatsFor(const std::string& slot) const {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  const auto it = slot_counters_.find(slot);
+  return it == slot_counters_.end() ? CacheStats{} : it->second->Snapshot();
+}
+
+}  // namespace rapid::serve

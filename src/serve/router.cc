@@ -1,6 +1,7 @@
 #include "serve/router.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "serve/snapshot.h"
@@ -24,6 +25,7 @@ ServingRouter::ServingRouter(const data::Dataset& data, RouterConfig config)
     : data_(data),
       config_(Sanitized(config)),
       admission_(config_.admission, config_.queue_capacity),
+      cache_(config_.cache),
       queue_(static_cast<size_t>(config_.queue_capacity), kNumLanes,
              admission_.config().high_bursts_per_low) {
   workers_.reserve(config_.num_threads);
@@ -39,21 +41,65 @@ uint64_t ServingRouter::LoadSlot(const std::string& slot,
   // The expensive part of the swap — rebuilding the model from disk —
   // happens here on the caller's thread; workers keep answering from the
   // old version until the Publish below swaps the slot pointer.
-  std::shared_ptr<const rerank::Reranker> model =
-      Snapshot::LoadAny(path, data_);
+  std::unique_ptr<rerank::NeuralReranker> model = Snapshot::LoadAny(path, data_);
   if (model == nullptr) return 0;
-  return registry_.Publish(slot, std::move(model));
+  if (!CanaryPasses(slot, *model)) {
+    canary_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  const uint64_t version = registry_.Publish(
+      slot, std::shared_ptr<const rerank::Reranker>(std::move(model)));
+  // Entries cached under older versions became unreachable with the
+  // publish (the version is part of the key); reclaim their memory.
+  cache_.ScheduleSweep(slot, version);
+  return version;
 }
 
 uint64_t ServingRouter::InstallSlot(
     const std::string& slot, std::shared_ptr<const rerank::Reranker> model) {
   if (model == nullptr) return 0;
-  return registry_.Publish(slot, std::move(model));
+  const uint64_t version = registry_.Publish(slot, std::move(model));
+  cache_.ScheduleSweep(slot, version);
+  return version;
 }
 
 bool ServingRouter::RemoveSlot(const std::string& slot) {
-  return registry_.Remove(slot);
+  if (!registry_.Remove(slot)) return false;
+  cache_.ScheduleSweep(slot, /*live_version=*/0);
+  return true;
 }
+
+void ServingRouter::SetCanary(const std::string& slot, CanaryProbe probe) {
+  std::lock_guard<std::mutex> lock(canary_mu_);
+  canaries_[slot] = std::move(probe);
+}
+
+bool ServingRouter::ClearCanary(const std::string& slot) {
+  std::lock_guard<std::mutex> lock(canary_mu_);
+  return canaries_.erase(slot) > 0;
+}
+
+bool ServingRouter::CanaryPasses(const std::string& slot,
+                                 const rerank::NeuralReranker& model) const {
+  CanaryProbe probe;
+  {
+    std::lock_guard<std::mutex> lock(canary_mu_);
+    const auto it = canaries_.find(slot);
+    if (it == canaries_.end()) return true;
+    probe = it->second;
+  }
+  const std::vector<float> scores = model.ScoreList(data_, probe.list);
+  if (scores.size() != probe.expected_scores.size()) return false;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const float drift = std::fabs(scores[i] - probe.expected_scores[i]);
+    // Negated comparison so NaN drift (corrupted weights can produce NaN
+    // scores) fails the probe instead of slipping through.
+    if (!(drift <= probe.tolerance)) return false;
+  }
+  return true;
+}
+
+void ServingRouter::DrainCacheMaintenance() { cache_.DrainSweeps(); }
 
 void ServingRouter::WorkerLoop() {
   std::vector<PendingRequest> batch;
@@ -102,6 +148,14 @@ void ServingRouter::Process(PendingRequest* request, bool shed) {
     response.items = served->model->Rerank(data_, request->request.list);
     response.model_name = served->model_name;
     response.model_version = served->version;
+    if (request->cacheable) {
+      // Keyed under the version that actually answered — which may already
+      // be newer than the one probed at submit time if a swap landed in
+      // between. Either way the (version, items) pair is consistent.
+      cache_.Insert(request->request.slot, served->version,
+                    request->fingerprint,
+                    {response.items, served->model_name, served->version});
+    }
   }
 
   response.latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -125,8 +179,42 @@ std::future<RouterResponse> ServingRouter::Submit(RouterRequest request) {
 
   if (shutdown_.load(std::memory_order_acquire)) {
     // Serve inline on the caller's thread so no submission is ever lost.
+    // The inline path always runs the model (no cache lookup or insert).
     Process(&pending);
     return future;
+  }
+
+  if (cache_.enabled()) {
+    if (!cache_.EnabledFor(pending.request.slot)) {
+      cache_.RecordBypass(pending.request.slot);
+    } else if (const std::shared_ptr<const ServedModel> served =
+                   registry_.Acquire(pending.request.slot);
+               served != nullptr) {
+      // Probe under the version published right now. A swap racing this
+      // lookup is harmless: the response is stamped with the same version
+      // whose cached output it carries, exactly as if the request had been
+      // processed an instant before the swap.
+      pending.fingerprint = ResultCache::Fingerprint(pending.request.list);
+      pending.cacheable = true;
+      std::optional<ResultCache::CachedResult> hit = cache_.Lookup(
+          pending.request.slot, served->version, pending.fingerprint);
+      if (hit.has_value()) {
+        RouterResponse response;
+        response.items = std::move(hit->items);
+        response.model_name = std::move(hit->model_name);
+        response.model_version = hit->model_version;
+        response.cache_hit = true;
+        response.latency_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - pending.enqueued_at)
+                .count();
+        const uint64_t latency = static_cast<uint64_t>(response.latency_us);
+        aggregate_metrics_.RecordRequest(latency, /*fallback=*/false);
+        served->metrics->RecordRequest(latency, /*fallback=*/false);
+        pending.promise.set_value(std::move(response));
+        return future;
+      }
+    }
   }
 
   const size_t lane = pending.request.lane == Lane::kHigh ? 0 : 1;
@@ -179,21 +267,26 @@ void ServingRouter::Shutdown() {
 RouterStats ServingRouter::stats() const {
   RouterStats out;
   out.total = aggregate_metrics_.Snapshot();
+  out.cache = cache_.TotalStats();
   out.unknown_slot = unknown_slot_.load(std::memory_order_relaxed);
+  out.canary_rejected = canary_rejected_.load(std::memory_order_relaxed);
   for (const std::string& name : registry_.Names()) {
     const auto served = registry_.Acquire(name);
     if (served == nullptr) continue;  // Removed since Names().
     out.slots.push_back({name, served->model_name, served->version,
-                         served->metrics->Snapshot()});
+                         served->metrics->Snapshot(), cache_.StatsFor(name)});
   }
   return out;
 }
 
 std::string RouterStats::ToTable() const {
-  std::string out = "aggregate:\n" + total.ToTable();
+  std::string out = "aggregate:\n" + total.ToTable() + cache.ToTable();
   char line[256];
-  std::snprintf(line, sizeof(line), "  unknown slot    %10llu\n",
-                static_cast<unsigned long long>(unknown_slot));
+  std::snprintf(line, sizeof(line),
+                "  unknown slot    %10llu\n"
+                "  canary rejected %10llu\n",
+                static_cast<unsigned long long>(unknown_slot),
+                static_cast<unsigned long long>(canary_rejected));
   out += line;
   for (const SlotEntry& slot : slots) {
     std::snprintf(line, sizeof(line), "slot %s (%s v%llu):\n",
@@ -201,15 +294,20 @@ std::string RouterStats::ToTable() const {
                   static_cast<unsigned long long>(slot.version));
     out += line;
     out += slot.stats.ToTable();
+    out += slot.cache.ToTable();
   }
   return out;
 }
 
 std::string RouterStats::ToJson() const {
   std::string out = "{\"total\": " + total.ToJson();
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), ", \"unknown_slot\": %llu, \"slots\": {",
-                static_cast<unsigned long long>(unknown_slot));
+  out += ", \"cache\": " + cache.ToJson();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                ", \"unknown_slot\": %llu, \"canary_rejected\": %llu, "
+                "\"slots\": {",
+                static_cast<unsigned long long>(unknown_slot),
+                static_cast<unsigned long long>(canary_rejected));
   out += buf;
   bool first = true;
   for (const SlotEntry& slot : slots) {
@@ -220,6 +318,7 @@ std::string RouterStats::ToJson() const {
                   static_cast<unsigned long long>(slot.version));
     out += buf;
     out += slot.stats.ToJson();
+    out += ", \"cache\": " + slot.cache.ToJson();
     out += "}";
     first = false;
   }

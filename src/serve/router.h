@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -13,12 +15,14 @@
 
 #include "datagen/types.h"
 #include "rerank/mmr.h"
+#include "rerank/neural_base.h"
 #include "rerank/reranker.h"
 #include "serve/admission.h"
 #include "serve/engine.h"
 #include "serve/metrics.h"
 #include "serve/model_registry.h"
 #include "serve/request_queue.h"
+#include "serve/result_cache.h"
 
 namespace rapid::serve {
 
@@ -38,6 +42,12 @@ struct RouterConfig {
   FallbackPolicy fallback = FallbackPolicy::kInitialOrder;
   /// Load-shedding policy, watermarks, and the lane drain ratio.
   AdmissionConfig admission;
+  /// Router-level result cache (off by default): repeated
+  /// (user, candidate-set) requests against the same published model
+  /// version are answered inline from a sharded LRU instead of re-running
+  /// the forward pass. See `serve::ResultCache` for the swap-consistency
+  /// argument.
+  CachePolicy cache;
 };
 
 /// One routed re-ranking request: which model slot should answer, on which
@@ -63,8 +73,26 @@ struct RouterResponse {
   /// mixture.
   std::string model_name;
   uint64_t model_version = 0;
+  /// True if the result cache answered inline (queue and admission lanes
+  /// bypassed). The items are byte-identical to what the stamped model
+  /// version would have produced — only the latency differs.
+  bool cache_hit = false;
   /// End-to-end latency (submit -> response ready), microseconds.
   int64_t latency_us = 0;
+};
+
+/// A recorded probe for validating snapshots before they are published
+/// (`ServingRouter::SetCanary`): `expected_scores` is the fitted model's
+/// `ScoreList` output on `list`, captured at save time. A snapshot whose
+/// scores drift past `tolerance` on any item — including NaN — is
+/// corrupt-but-parseable and is rejected before the swap.
+struct CanaryProbe {
+  data::ImpressionList list;
+  std::vector<float> expected_scores;
+  /// Max absolute per-score drift. Snapshot round trips are bit-exact, so
+  /// any honest load reproduces the scores exactly; the tolerance only
+  /// absorbs future quantized/compressed formats.
+  float tolerance = 1e-4f;
 };
 
 /// Point-in-time view of the router: per-slot serving stats plus the
@@ -75,12 +103,19 @@ struct RouterStats {
     std::string model_name;
     uint64_t version = 0;
     ServingStats stats;
+    /// Result-cache counters attributed to this slot.
+    CacheStats cache;
   };
   std::vector<SlotEntry> slots;  // Sorted by slot name.
   ServingStats total;
+  /// Aggregate result-cache counters across all slots.
+  CacheStats cache;
   /// Requests whose slot key matched no registered slot (answered by the
   /// fallback heuristic, counted in `total` only).
   uint64_t unknown_slot = 0;
+  /// Snapshots rejected by a canary probe before publish (`LoadSlot`
+  /// returned 0 and the slot kept serving its previous version).
+  uint64_t canary_rejected = 0;
 
   std::string ToTable() const;
   /// One JSON object: `{"total": {...}, "unknown_slot": n, "slots": {...}}`.
@@ -115,9 +150,20 @@ class ServingRouter {
   /// Hot swap: loads the family-tagged snapshot at `path` on the calling
   /// thread (workers keep serving the old version throughout the build),
   /// then atomically publishes it as the new current model of `slot`,
-  /// creating the slot on first use. Returns the new version, or 0 if the
-  /// snapshot failed to load.
+  /// creating the slot on first use. If a canary probe is registered for
+  /// the slot, the candidate is scored against it *before* publish and a
+  /// drifting (corrupt-but-parseable) snapshot is rejected. Returns the
+  /// new version, or 0 if the snapshot failed to load or the canary
+  /// rejected it — either way the slot keeps serving its current version.
   uint64_t LoadSlot(const std::string& slot, const std::string& path);
+
+  /// Registers (or replaces) the canary probe guarding `LoadSlot` for
+  /// `slot`. Record `probe.expected_scores` with `ScoreList` on the fitted
+  /// model at snapshot-save time.
+  void SetCanary(const std::string& slot, CanaryProbe probe);
+
+  /// Drops the canary for `slot`; returns false if none was set.
+  bool ClearCanary(const std::string& slot);
 
   /// Publishes an in-memory fitted model into `slot` (same swap semantics
   /// as `LoadSlot`). Useful for heuristic models and tests.
@@ -148,6 +194,11 @@ class ServingRouter {
   /// worker pool. Idempotent; called by the destructor.
   void Shutdown();
 
+  /// Blocks until all scheduled cache sweeps have completed — dead-version
+  /// entries are unreachable regardless (the version is part of the cache
+  /// key); this only makes the memory reclaim observable (tests, ops).
+  void DrainCacheMaintenance();
+
   /// Per-slot and aggregate serving stats.
   RouterStats stats() const;
 
@@ -158,6 +209,10 @@ class ServingRouter {
     RouterRequest request;
     std::promise<RouterResponse> promise;
     std::chrono::steady_clock::time_point enqueued_at;
+    /// Set at submit time when the cache missed: the worker that answers
+    /// this request inserts its result under the version that served it.
+    bool cacheable = false;
+    uint64_t fingerprint = 0;
   };
 
   void WorkerLoop();
@@ -166,6 +221,10 @@ class ServingRouter {
   void Process(PendingRequest* request, bool shed = false);
   /// The fallback heuristic for `list` under the configured policy.
   std::vector<int> FallbackRerank(const data::ImpressionList& list) const;
+  /// True if no canary is set for `slot` or `model` reproduces the probe's
+  /// recorded scores within tolerance.
+  bool CanaryPasses(const std::string& slot,
+                    const rerank::NeuralReranker& model) const;
 
   const data::Dataset& data_;
   const RouterConfig config_;
@@ -173,6 +232,10 @@ class ServingRouter {
   rerank::MmrReranker mmr_fallback_;
   ModelRegistry registry_;
   AdmissionController admission_;
+  ResultCache cache_;
+  mutable std::mutex canary_mu_;
+  std::map<std::string, CanaryProbe> canaries_;
+  std::atomic<uint64_t> canary_rejected_{0};
   ServingMetrics aggregate_metrics_;
   std::atomic<uint64_t> unknown_slot_{0};
   BoundedRequestQueue<PendingRequest> queue_;

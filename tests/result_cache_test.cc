@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "click/dcm.h"
+#include "core/rapid.h"
+#include "datagen/simulator.h"
+#include "serve/result_cache.h"
+#include "serve/router.h"
+#include "serve/snapshot.h"
+
+namespace rapid {
+namespace {
+
+data::ImpressionList TenItemList(int user_id = 0) {
+  data::ImpressionList list;
+  list.user_id = user_id;
+  for (int i = 0; i < 10; ++i) {
+    list.items.push_back(i);
+    list.scores.push_back(1.0f - 0.05f * i);
+  }
+  return list;
+}
+
+serve::ResultCache::CachedResult Result(uint64_t version,
+                                        std::vector<int> items = {1, 2, 3}) {
+  return {std::move(items), "model", version};
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+
+TEST(ResultCacheFingerprintTest, SensitiveToUserOrderAndScores) {
+  const data::ImpressionList base = TenItemList(7);
+  const uint64_t fp = serve::ResultCache::Fingerprint(base);
+  EXPECT_EQ(serve::ResultCache::Fingerprint(base), fp);  // Deterministic.
+
+  data::ImpressionList other_user = base;
+  other_user.user_id = 8;
+  EXPECT_NE(serve::ResultCache::Fingerprint(other_user), fp);
+
+  // Re-rankers are order-aware, so a permutation of the same candidates
+  // must be a different key.
+  data::ImpressionList permuted = base;
+  std::rotate(permuted.items.begin(), permuted.items.begin() + 1,
+              permuted.items.end());
+  std::rotate(permuted.scores.begin(), permuted.scores.begin() + 1,
+              permuted.scores.end());
+  EXPECT_NE(serve::ResultCache::Fingerprint(permuted), fp);
+
+  data::ImpressionList rescored = base;
+  rescored.scores[3] += 0.25f;
+  EXPECT_NE(serve::ResultCache::Fingerprint(rescored), fp);
+
+  // Clicks are training-only; inference ignores them, so must the key.
+  data::ImpressionList clicked = base;
+  clicked.clicks.assign(base.items.size(), 1);
+  EXPECT_EQ(serve::ResultCache::Fingerprint(clicked), fp);
+}
+
+// ---------------------------------------------------------------------------
+// LRU / TTL / capacity semantics (single shard for exact bounds)
+
+serve::CachePolicy UnitPolicy(size_t capacity, int64_t ttl_us = 0) {
+  serve::CachePolicy policy;
+  policy.enabled = true;
+  policy.capacity = capacity;
+  policy.num_shards = 1;
+  policy.ttl_us = ttl_us;
+  return policy;
+}
+
+TEST(ResultCacheTest, LruEvictsLeastRecentlyUsed) {
+  serve::ResultCache cache(UnitPolicy(2));
+  cache.Insert("m", 1, /*fingerprint=*/1, Result(1, {1}));
+  cache.Insert("m", 1, 2, Result(1, {2}));
+  // Touch fp=1 so fp=2 becomes the cold end.
+  ASSERT_TRUE(cache.Lookup("m", 1, 1).has_value());
+  cache.Insert("m", 1, 3, Result(1, {3}));
+
+  EXPECT_TRUE(cache.Lookup("m", 1, 1).has_value());
+  EXPECT_FALSE(cache.Lookup("m", 1, 2).has_value());  // Evicted.
+  EXPECT_TRUE(cache.Lookup("m", 1, 3).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+
+  const serve::CacheStats stats = cache.TotalStats();
+  EXPECT_EQ(stats.inserts, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ResultCacheTest, CapacityOneKeepsOnlyTheLatestEntry) {
+  serve::ResultCache cache(UnitPolicy(1));
+  cache.Insert("m", 1, 1, Result(1, {1}));
+  EXPECT_TRUE(cache.Lookup("m", 1, 1).has_value());
+  cache.Insert("m", 1, 2, Result(1, {2}));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Lookup("m", 1, 1).has_value());
+  const auto hit = cache.Lookup("m", 1, 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->items, (std::vector<int>{2}));
+  EXPECT_EQ(cache.TotalStats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, TtlExpiresEntries) {
+  serve::ResultCache cache(UnitPolicy(8, /*ttl_us=*/20'000));
+  cache.Insert("m", 1, 1, Result(1));
+  EXPECT_TRUE(cache.Lookup("m", 1, 1).has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_FALSE(cache.Lookup("m", 1, 1).has_value());
+  const serve::CacheStats stats = cache.TotalStats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, LookupOnAnotherVersionMisses) {
+  // The unit-level swap-consistency property: entries are only reachable
+  // under the exact version they were computed by.
+  serve::ResultCache cache(UnitPolicy(8));
+  cache.Insert("m", 1, 1, Result(1));
+  EXPECT_FALSE(cache.Lookup("m", 2, 1).has_value());
+  EXPECT_FALSE(cache.Lookup("other", 1, 1).has_value());
+  EXPECT_TRUE(cache.Lookup("m", 1, 1).has_value());
+}
+
+TEST(ResultCacheTest, SweepReclaimsDeadVersionsOnly) {
+  serve::CachePolicy policy = UnitPolicy(16);
+  policy.num_shards = 2;
+  serve::ResultCache cache(policy);
+  cache.Insert("m", 1, 1, Result(1));
+  cache.Insert("m", 1, 2, Result(1));
+  cache.Insert("m", 1, 3, Result(1));
+  cache.Insert("m", 2, 4, Result(2));
+  cache.Insert("x", 1, 5, Result(1));
+  ASSERT_EQ(cache.size(), 5u);
+
+  cache.ScheduleSweep("m", /*live_version=*/2);
+  cache.DrainSweeps();
+  EXPECT_EQ(cache.size(), 2u);  // m@v2 and x@v1 survive.
+  EXPECT_TRUE(cache.Lookup("m", 2, 4).has_value());
+  EXPECT_TRUE(cache.Lookup("x", 1, 5).has_value());
+  EXPECT_EQ(cache.TotalStats().swept, 3u);
+  EXPECT_EQ(cache.StatsFor("m").swept, 3u);
+  EXPECT_EQ(cache.StatsFor("x").swept, 0u);
+
+  // live_version 0 (slot removal) reclaims every version of the slot.
+  cache.ScheduleSweep("x", 0);
+  cache.DrainSweeps();
+  EXPECT_FALSE(cache.Lookup("x", 1, 5).has_value());
+}
+
+TEST(ResultCacheTest, PolicyGatesAndBypassCounters) {
+  serve::CachePolicy policy = UnitPolicy(8);
+  policy.bypass_slots = {"raw"};
+  serve::ResultCache cache(policy);
+  EXPECT_TRUE(cache.EnabledFor("main"));
+  EXPECT_FALSE(cache.EnabledFor("raw"));
+  cache.RecordBypass("raw");
+  cache.RecordBypass("raw");
+  EXPECT_EQ(cache.TotalStats().bypass, 2u);
+  EXPECT_EQ(cache.StatsFor("raw").bypass, 2u);
+
+  serve::CachePolicy off;  // enabled = false
+  serve::ResultCache disabled(off);
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_FALSE(disabled.EnabledFor("main"));
+}
+
+// ---------------------------------------------------------------------------
+// Router integration: deterministic stand-in model
+
+class RotateReranker : public rerank::Reranker {
+ public:
+  explicit RotateReranker(int shift) : shift_(shift) {}
+  std::string name() const override {
+    return "rotate-" + std::to_string(shift_);
+  }
+  std::vector<int> Rerank(const data::Dataset& /*data*/,
+                          const data::ImpressionList& list) const override {
+    std::vector<int> out = list.items;
+    if (!out.empty()) {
+      std::rotate(out.begin(),
+                  out.begin() + (shift_ % static_cast<int>(out.size())),
+                  out.end());
+    }
+    return out;
+  }
+
+ private:
+  const int shift_;
+};
+
+std::vector<int> Rotated(const std::vector<int>& items, int shift) {
+  std::vector<int> out = items;
+  std::rotate(out.begin(), out.begin() + shift, out.end());
+  return out;
+}
+
+TEST(RouterCacheTest, SwapMakesStaleEntriesUnreachableAndSweepsThem) {
+  const data::Dataset data;
+  serve::RouterConfig cfg;
+  cfg.num_threads = 2;
+  cfg.cache.enabled = true;
+  cfg.cache.capacity = 64;
+  serve::ServingRouter router(data, cfg);
+  router.InstallSlot("main", std::make_shared<RotateReranker>(2));
+
+  const data::ImpressionList list = TenItemList();
+  const serve::RouterResponse miss =
+      router.Submit({"main", serve::Lane::kHigh, list}).get();
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_EQ(miss.items, Rotated(list.items, 2));
+  const serve::RouterResponse hit =
+      router.Submit({"main", serve::Lane::kHigh, list}).get();
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.items, miss.items);
+  EXPECT_EQ(hit.model_version, 1u);
+  EXPECT_EQ(hit.model_name, "rotate-2");
+
+  // Hot swap: the v1 entry becomes unreachable with the publish itself.
+  router.InstallSlot("main", std::make_shared<RotateReranker>(4));
+  const serve::RouterResponse fresh =
+      router.Submit({"main", serve::Lane::kHigh, list}).get();
+  EXPECT_FALSE(fresh.cache_hit);  // Never the stale v1 answer.
+  EXPECT_EQ(fresh.model_version, 2u);
+  EXPECT_EQ(fresh.items, Rotated(list.items, 4));
+  const serve::RouterResponse fresh_hit =
+      router.Submit({"main", serve::Lane::kHigh, list}).get();
+  EXPECT_TRUE(fresh_hit.cache_hit);
+  EXPECT_EQ(fresh_hit.model_version, 2u);
+  EXPECT_EQ(fresh_hit.items, Rotated(list.items, 4));
+
+  router.DrainCacheMaintenance();
+  router.Shutdown();
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.cache.hits, 2u);
+  EXPECT_EQ(stats.cache.misses, 2u);
+  EXPECT_EQ(stats.cache.inserts, 2u);
+  EXPECT_EQ(stats.cache.swept, 1u);  // The dead v1 entry was reclaimed.
+  ASSERT_EQ(stats.slots.size(), 1u);
+  EXPECT_EQ(stats.slots[0].cache.hits, 2u);
+  EXPECT_NE(stats.ToJson().find("\"cache\""), std::string::npos);
+  EXPECT_NE(stats.ToTable().find("cache hits"), std::string::npos);
+}
+
+TEST(RouterCacheTest, BypassSlotNeverConsultsTheCache) {
+  const data::Dataset data;
+  serve::RouterConfig cfg;
+  cfg.cache.enabled = true;
+  cfg.cache.bypass_slots = {"raw"};
+  serve::ServingRouter router(data, cfg);
+  router.InstallSlot("raw", std::make_shared<RotateReranker>(1));
+
+  const data::ImpressionList list = TenItemList();
+  for (int i = 0; i < 3; ++i) {
+    const serve::RouterResponse r =
+        router.Submit({"raw", serve::Lane::kHigh, list}).get();
+    EXPECT_FALSE(r.cache_hit);
+    EXPECT_EQ(r.items, Rotated(list.items, 1));
+  }
+  router.Shutdown();
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.cache.bypass, 3u);
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.inserts, 0u);
+  ASSERT_EQ(stats.slots.size(), 1u);
+  EXPECT_EQ(stats.slots[0].cache.bypass, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Router integration: real model through the snapshot path — the cached
+// answer must be bit-exact against a fresh forward pass.
+
+class RouterCacheModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SimConfig cfg;
+    cfg.kind = data::DatasetKind::kTaobao;
+    cfg.num_users = 12;
+    cfg.num_items = 80;
+    cfg.rerank_lists_per_user = 2;
+    data_ = data::GenerateDataset(cfg, 91);
+    click::GroundTruthClickModel dcm(&data_, click::DcmConfig{});
+    std::mt19937_64 rng(5);
+    for (const data::Request& req : data_.rerank_train_requests) {
+      data::ImpressionList list;
+      list.user_id = req.user_id;
+      list.items.assign(req.candidates.begin(), req.candidates.begin() + 10);
+      for (int i = 0; i < 10; ++i) list.scores.push_back(1.0f - 0.05f * i);
+      list.clicks = dcm.SimulateClicks(list.user_id, list.items, rng);
+      train_.push_back(std::move(list));
+    }
+
+    core::RapidConfig model_cfg;
+    model_cfg.train.epochs = 1;
+    model_cfg.hidden_dim = 8;
+    model_ = std::make_unique<core::RapidReranker>(model_cfg);
+    model_->Fit(data_, train_, /*seed=*/11);
+    path_ = ::testing::TempDir() + "/result_cache_model.rsnp";
+    ASSERT_TRUE(serve::Snapshot::Save(path_, *model_, data_));
+  }
+
+  data::Dataset data_;
+  std::vector<data::ImpressionList> train_;
+  std::unique_ptr<core::RapidReranker> model_;
+  std::string path_;
+};
+
+TEST_F(RouterCacheModelTest, CachedResponseIsBitExactAgainstScoreList) {
+  serve::RouterConfig cfg;
+  cfg.num_threads = 2;
+  cfg.cache.enabled = true;
+  cfg.cache.capacity = 128;
+  serve::ServingRouter router(data_, cfg);
+  ASSERT_EQ(router.LoadSlot("main", path_), 1u);
+
+  const data::ImpressionList& list = train_.front();
+  const serve::RouterResponse first =
+      router.Submit({"main", serve::Lane::kHigh, list}).get();
+  const serve::RouterResponse second =
+      router.Submit({"main", serve::Lane::kHigh, list}).get();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.items, first.items);
+  EXPECT_EQ(second.model_name, first.model_name);
+  EXPECT_EQ(second.model_version, 1u);
+
+  // Bit-exact against a fresh forward pass: the cached ordering must be
+  // exactly the ranking induced by `ScoreList` on the same list.
+  const std::vector<float> scores = model_->ScoreList(data_, list);
+  std::vector<int> idx(list.items.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](int a, int b) { return scores[a] > scores[b]; });
+  std::vector<int> expected;
+  for (int i : idx) expected.push_back(list.items[i]);
+  EXPECT_EQ(second.items, expected);
+  EXPECT_EQ(second.items, model_->Rerank(data_, list));
+}
+
+TEST_F(RouterCacheModelTest, PermutedCandidateListMisses) {
+  serve::RouterConfig cfg;
+  cfg.cache.enabled = true;
+  serve::ServingRouter router(data_, cfg);
+  ASSERT_EQ(router.LoadSlot("main", path_), 1u);
+
+  const data::ImpressionList& list = train_.front();
+  const serve::RouterResponse first =
+      router.Submit({"main", serve::Lane::kHigh, list}).get();
+  EXPECT_FALSE(first.cache_hit);
+
+  // Same candidates, permuted order (scores move with their items): the
+  // order-sensitive fingerprint must treat this as a different request.
+  data::ImpressionList permuted = list;
+  std::rotate(permuted.items.begin(), permuted.items.begin() + 3,
+              permuted.items.end());
+  std::rotate(permuted.scores.begin(), permuted.scores.begin() + 3,
+              permuted.scores.end());
+  const serve::RouterResponse r =
+      router.Submit({"main", serve::Lane::kHigh, permuted}).get();
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(r.items, model_->Rerank(data_, permuted));
+
+  router.Shutdown();
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.misses, 2u);
+  EXPECT_EQ(stats.cache.inserts, 2u);
+}
+
+}  // namespace
+}  // namespace rapid

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <string>
@@ -437,6 +438,141 @@ TEST_F(RouterSnapshotTest, LoadSlotHotSwapsSnapshots) {
       router.Submit({"main", serve::Lane::kHigh, list}).get();
   EXPECT_EQ(r2.items, model_b->Rerank(data_, list));
   EXPECT_EQ(r2.model_version, 2u);
+}
+
+// Copies `path` and XOR-flips the last `tail` bytes. The snapshot file
+// ends with the last weight matrix's float payload, so flipping only the
+// final float keeps the copy structurally parseable — dimensions and
+// magics intact, weights wrong (flipping every bit of a float always
+// changes its value, or yields NaN). That is exactly the failure mode a
+// canary must catch: corrupt-but-loadable.
+std::string BitFlippedCopy(const std::string& path, size_t tail) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_GT(bytes.size(), tail);
+  for (size_t i = bytes.size() - tail; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>(bytes[i] ^ 0xFF);
+  }
+  const std::string out_path = path + ".corrupt";
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out_path;
+}
+
+TEST_F(RouterSnapshotTest, CanaryRejectsCorruptSnapshotBeforePublish) {
+  const std::string path = TrainAndSnapshot(8, 5, "router_canary.rsnp");
+  const auto model = serve::Snapshot::Load(path, data_);
+  ASSERT_NE(model, nullptr);
+
+  serve::CanaryProbe probe;
+  probe.list = train_.front();
+  probe.expected_scores = model->ScoreList(data_, probe.list);
+  serve::ServingRouter router(data_, {});
+  router.SetCanary("main", probe);
+
+  // The faithful snapshot reproduces the recorded scores and publishes.
+  EXPECT_EQ(router.LoadSlot("main", path), 1u);
+
+  // The bit-flipped snapshot parses but scores differently (or NaN): the
+  // canary rejects it before publish and v1 keeps serving.
+  const std::string corrupt = BitFlippedCopy(path, /*tail=*/4);
+  EXPECT_EQ(router.LoadSlot("main", corrupt), 0u);
+  EXPECT_EQ(router.SlotVersion("main"), 1u);
+  const serve::RouterResponse r =
+      router.Submit({"main", serve::Lane::kHigh, train_.front()}).get();
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.model_version, 1u);
+  EXPECT_EQ(r.items, model->Rerank(data_, train_.front()));
+  EXPECT_EQ(router.stats().canary_rejected, 1u);
+  EXPECT_NE(router.stats().ToJson().find("\"canary_rejected\": 1"),
+            std::string::npos);
+
+  // Without the canary the same file loads fine — proof that the blob was
+  // still parseable and the probe (not the parser) was the gate.
+  EXPECT_TRUE(router.ClearCanary("main"));
+  EXPECT_FALSE(router.ClearCanary("main"));
+  EXPECT_EQ(router.LoadSlot("main", corrupt), 2u);
+}
+
+// Cache-on variant of the hot-swap acceptance test, sized for TSan: one
+// hot user hammers a slot through the result cache while LoadSlot swaps
+// the slot six times between two real snapshots. Every response must be
+// internally consistent — the items must be exactly the output of the
+// model version stamped on the response. A stale cache entry surviving a
+// swap, or a torn (version, items) pair, fails the parity check.
+TEST_F(RouterSnapshotTest, CacheStaysSwapConsistentUnderHotUserLoad) {
+  const std::string path_a = TrainAndSnapshot(8, 1, "cache_swap_a.rsnp");
+  const std::string path_b = TrainAndSnapshot(12, 2, "cache_swap_b.rsnp");
+  const auto model_a = serve::Snapshot::Load(path_a, data_);
+  const auto model_b = serve::Snapshot::Load(path_b, data_);
+  ASSERT_NE(model_a, nullptr);
+  ASSERT_NE(model_b, nullptr);
+
+  // Pick a hot list the two models rank differently, so a stale answer is
+  // visible as a wrong permutation rather than a harmless coincidence.
+  data::ImpressionList hot = train_.front();
+  for (const data::ImpressionList& list : train_) {
+    if (model_a->Rerank(data_, list) != model_b->Rerank(data_, list)) {
+      hot = list;
+      break;
+    }
+  }
+  const std::vector<int> ref_a = model_a->Rerank(data_, hot);
+  const std::vector<int> ref_b = model_b->Rerank(data_, hot);
+
+  serve::RouterConfig cfg;
+  cfg.num_threads = 3;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 50;
+  cfg.cache.enabled = true;
+  cfg.cache.capacity = 256;
+  serve::ServingRouter router(data_, cfg);
+  ASSERT_EQ(router.LoadSlot("main", path_a), 1u);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 50;
+  std::atomic<int> inconsistent{0};
+  std::atomic<int> degraded{0};
+  std::atomic<uint64_t> hit_responses{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        serve::RouterResponse r =
+            router.Submit({"main", serve::Lane::kHigh, hot}).get();
+        if (r.degraded) {
+          ++degraded;
+          continue;
+        }
+        if (r.cache_hit) ++hit_responses;
+        // v1 is model A; swaps alternate B, A, B, ... so odd versions are
+        // A and even versions are B.
+        const std::vector<int>& expected =
+            (r.model_version % 2 == 1) ? ref_a : ref_b;
+        if (r.items != expected) ++inconsistent;
+      }
+    });
+  }
+
+  std::vector<uint64_t> versions;
+  for (int swap = 0; swap < 6; ++swap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    versions.push_back(
+        router.LoadSlot("main", swap % 2 == 0 ? path_b : path_a));
+  }
+  for (std::thread& t : submitters) t.join();
+  router.DrainCacheMaintenance();
+  router.Shutdown();
+
+  EXPECT_EQ(versions, (std::vector<uint64_t>{2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(inconsistent.load(), 0);
+  EXPECT_EQ(degraded.load(), 0);
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.total.requests,
+            static_cast<uint64_t>(kSubmitters * kPerSubmitter));
+  EXPECT_EQ(stats.cache.hits, hit_responses.load());
+  EXPECT_GT(stats.cache.hits, 0u);  // The hot user actually hit the cache.
 }
 
 }  // namespace
