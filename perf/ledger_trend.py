@@ -1,26 +1,43 @@
 #!/usr/bin/env python3
 """Perf-trajectory trend gate over the committed ledger.
 
-Compares the two most recent entries under perf/ledger/ (filenames start
-with a UTC timestamp, so lexicographic order is chronological) and fails
-when a latency or throughput metric regressed beyond the threshold:
+Compares the most recent entry under perf/ledger/ (filenames start with a
+UTC timestamp, so lexicographic order is chronological) against the
+*median* of the preceding window of entries (``--window``, default 5) and
+fails when a latency or throughput metric regressed beyond the threshold:
 
   * keys ending in ``p99_us``          -- lower is better
   * keys ending in ``throughput_rps``  -- higher is better
 
+The windowed median makes the baseline robust to one anomalously fast or
+slow historical run: a single lucky entry can no longer make every
+subsequent run look like a regression, and a single unlucky one cannot
+mask a real slide. With a window of 1 this degenerates to the previous
+pairwise behaviour.
+
+A flagged metric must regress beyond the threshold against *both* the
+windowed median and the best window observation (lowest p99 / highest
+throughput). The window entries sample the same machine-noise
+distribution as the new run -- on a single-core CI box back-to-back runs
+of an identical binary can differ by 40%+ -- so a new value that some
+recent run already matched is within observed variance, while a genuine
+code regression lands worse than every recent observation.
+
 Metrics are matched per bench (by the ``"bench"`` field of each entry in
 the ledger's ``benches`` array) and per JSON path, so adding a new bench
-or a new metric never trips the gate -- only a metric present in *both*
-entries can regress. Sub-floor p99s (microsecond-scale cache hits and the
-like) are skipped: at that magnitude scheduler noise swamps any signal.
-A p99 regression must also move by at least ``--min-delta-us`` in
-absolute terms -- the serving metrics histogram is log-bucketed, so at
-millisecond magnitudes one bucket step between adjacent runs already
-exceeds a 20% ratio without meaning anything.
+or a new metric never trips the gate -- only a metric present in the
+latest entry *and* at least one window entry can regress. Sub-floor p99s
+(microsecond-scale cache hits and the like) are skipped: at that
+magnitude scheduler noise swamps any signal. A p99 regression must also
+move by at least ``--min-delta-us`` in absolute terms -- the serving
+metrics histogram is log-bucketed, so at millisecond magnitudes one
+bucket step between adjacent runs already exceeds a 20% ratio without
+meaning anything.
 
 Usage:
   perf/ledger_trend.py [--ledger-dir DIR] [--threshold 0.20]
-                       [--min-p99-us 200] [--min-delta-us 1000]
+                       [--window 5] [--min-p99-us 200]
+                       [--min-delta-us 1000]
 
 Exit status: 0 = no regression (or fewer than two entries), 1 =
 regression, 2 = malformed ledger. Registered as the tier-2 ctest target
@@ -30,6 +47,7 @@ regression, 2 = malformed ledger. Registered as the tier-2 ctest target
 import argparse
 import json
 import os
+import statistics
 import sys
 
 
@@ -57,6 +75,16 @@ def entry_metrics(ledger):
     return out
 
 
+def window_baseline(window_entries):
+    """Per-(bench, path) samples across the window entries that have it."""
+    samples = {}
+    for entry in window_entries:
+        for bench, metrics in entry.items():
+            for path, value in metrics.items():
+                samples.setdefault((bench, path), []).append(value)
+    return samples
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     default_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
@@ -64,12 +92,18 @@ def main():
     parser.add_argument("--ledger-dir", default=default_dir)
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="fractional regression that fails the gate")
+    parser.add_argument("--window", type=int, default=5,
+                        help="history entries (before the latest) whose "
+                             "median forms the baseline")
     parser.add_argument("--min-p99-us", type=float, default=200.0,
                         help="ignore p99 metrics below this baseline")
     parser.add_argument("--min-delta-us", type=float, default=1000.0,
                         help="a p99 regression must also grow by this many "
                              "microseconds (histogram-bucket noise guard)")
     args = parser.parse_args()
+    if args.window < 1:
+        print("ledger_trend: --window must be >= 1")
+        return 2
 
     try:
         files = sorted(f for f in os.listdir(args.ledger_dir)
@@ -82,47 +116,57 @@ def main():
               " in the ledger; need two to diff -- skipping")
         return 0
 
-    prev_file, curr_file = files[-2], files[-1]
+    curr_file = files[-1]
+    window_files = files[-1 - args.window:-1]
     entries = []
-    for name in (prev_file, curr_file):
+    for name in window_files + [curr_file]:
         try:
             with open(os.path.join(args.ledger_dir, name)) as f:
                 entries.append(entry_metrics(json.load(f)))
         except (OSError, json.JSONDecodeError) as err:
             print(f"ledger_trend: cannot read {name}: {err}")
             return 2
-    prev, curr = entries
+    curr = entries[-1]
+    baseline = window_baseline(entries[:-1])
 
-    print(f"ledger_trend: {prev_file} -> {curr_file} "
+    print(f"ledger_trend: median of {len(window_files)} "
+          f"({window_files[0]} .. {window_files[-1]}) -> {curr_file} "
           f"(threshold {args.threshold:.0%})")
     regressions = []
     compared = 0
-    for bench, prev_metrics in sorted(prev.items()):
+    for (bench, path), samples in sorted(baseline.items()):
         curr_metrics = curr.get(bench)
         if curr_metrics is None:
-            print(f"  [{bench}] dropped from the latest entry -- skipping")
             continue
-        for path, old in sorted(prev_metrics.items()):
-            new = curr_metrics.get(path)
-            if new is None or old <= 0.0:
-                continue
-            if path.endswith("p99_us"):
-                if old < args.min_p99_us:
-                    continue  # Microsecond-scale noise, not signal.
-                ratio = new / old
-                worse = (ratio > 1.0 + args.threshold and
-                         new - old >= args.min_delta_us)
-                arrow = "p99"
-            else:
-                ratio = new / old
-                worse = ratio < 1.0 - args.threshold
-                arrow = "rps"
-            compared += 1
-            status = "REGRESSED" if worse else "ok"
-            print(f"  [{bench}] {path}: {old:.1f} -> {new:.1f} "
-                  f"({arrow} ratio {ratio:.2f}) {status}")
-            if worse:
-                regressions.append(f"{bench}:{path}")
+        new = curr_metrics.get(path)
+        old = statistics.median(samples)
+        if new is None or old <= 0.0:
+            continue
+        if path.endswith("p99_us"):
+            if old < args.min_p99_us:
+                continue  # Microsecond-scale noise, not signal.
+            best = min(samples)
+            ratio = new / old
+            worse = (ratio > 1.0 + args.threshold and
+                     new - old >= args.min_delta_us and
+                     best > 0.0 and new / best > 1.0 + args.threshold)
+            arrow = "p99"
+        else:
+            best = max(samples)
+            ratio = new / old
+            worse = (ratio < 1.0 - args.threshold and
+                     new / best < 1.0 - args.threshold)
+            arrow = "rps"
+        compared += 1
+        status = "REGRESSED" if worse else "ok"
+        print(f"  [{bench}] {path}: median {old:.1f} (best {best:.1f}) -> "
+              f"{new:.1f} ({arrow} ratio {ratio:.2f}) {status}")
+        if worse:
+            regressions.append(f"{bench}:{path}")
+
+    dropped = sorted({bench for (bench, _) in baseline} - set(curr))
+    for bench in dropped:
+        print(f"  [{bench}] dropped from the latest entry -- skipping")
 
     if regressions:
         print(f"ledger_trend: {len(regressions)} regression(s): "

@@ -1,0 +1,139 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rapid::net {
+
+Client::~Client() { Close(); }
+
+bool Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+  stashed_.clear();
+}
+
+void Client::FinishSending() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+uint64_t Client::Send(WireRequest* request) {
+  if (fd_ < 0) return 0;
+  if (request->request_id == 0) request->request_id = next_request_id_++;
+  std::vector<uint8_t> frame;
+  EncodeScoreRequest(*request, &frame);
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + written,
+                             frame.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return 0;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return request->request_id;
+}
+
+bool Client::ReadFrame(Reply* out, int timeout_ms) {
+  for (;;) {
+    // A complete frame may already be buffered from an earlier read.
+    Frame frame;
+    size_t consumed = 0;
+    const DecodeStatus status =
+        ExtractFrame(rbuf_.data(), rbuf_.size(), &consumed, &frame, limits_);
+    if (status == DecodeStatus::kError) return false;
+    if (status == DecodeStatus::kOk) {
+      rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<ptrdiff_t>(consumed));
+      if (frame.header.type == FrameType::kScoreResponse) {
+        out->is_error = false;
+        return ParseScoreResponse(frame, &out->response, limits_);
+      }
+      if (frame.header.type == FrameType::kError) {
+        WireError error;
+        if (!ParseError(frame, &error, limits_)) return false;
+        out->is_error = true;
+        out->error_request_id = error.request_id;
+        out->error_message = std::move(error.message);
+        return true;
+      }
+      return false;  // A server never sends request frames.
+    }
+    if (timeout_ms >= 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) return false;  // Timeout or poll error.
+    }
+    uint8_t scratch[16384];
+    const ssize_t n = ::read(fd_, scratch, sizeof(scratch));
+    if (n == 0) return false;  // Clean EOF (server drained and closed).
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    rbuf_.insert(rbuf_.end(), scratch, scratch + n);
+  }
+}
+
+bool Client::Receive(Reply* out, int timeout_ms) {
+  if (!stashed_.empty()) {
+    *out = std::move(stashed_.front());
+    stashed_.pop_front();
+    return true;
+  }
+  if (fd_ < 0) return false;
+  return ReadFrame(out, timeout_ms);
+}
+
+bool Client::Call(WireRequest request, Reply* out, int timeout_ms) {
+  const uint64_t id = Send(&request);
+  if (id == 0) return false;
+  // Drain replies until this request's arrives; out-of-order replies to
+  // earlier pipelined sends are stashed for later Receive calls.
+  for (auto it = stashed_.begin(); it != stashed_.end(); ++it) {
+    if (it->request_id() == id) {
+      *out = std::move(*it);
+      stashed_.erase(it);
+      return true;
+    }
+  }
+  for (;;) {
+    Reply reply;
+    if (!ReadFrame(&reply, timeout_ms)) return false;
+    if (reply.request_id() == id) {
+      *out = std::move(reply);
+      return true;
+    }
+    stashed_.push_back(std::move(reply));
+  }
+}
+
+}  // namespace rapid::net

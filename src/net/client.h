@@ -1,0 +1,79 @@
+#ifndef RAPID_NET_CLIENT_H_
+#define RAPID_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+
+namespace rapid::net {
+
+/// A small blocking client for the wire protocol, with pipelining: many
+/// requests may be in flight before the first response is read, and
+/// responses may arrive out of order (the request id correlates them).
+/// Used by the tests, the quickstart, and `bench_net`'s load driver.
+///
+/// Not thread-safe: one client per thread (open N clients for N
+/// connections, which is exactly what the load driver does).
+class Client {
+ public:
+  /// One received frame: either a score response or a server-side error
+  /// report for the given request id.
+  struct Reply {
+    WireResponse response;
+    bool is_error = false;
+    std::string error_message;
+    uint64_t request_id() const {
+      return is_error ? error_request_id : response.request_id;
+    }
+    uint64_t error_request_id = 0;
+  };
+
+  Client() = default;
+  explicit Client(CodecLimits limits) : limits_(limits) {}
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to `host:port`. Returns false on any socket error.
+  bool Connect(const std::string& host, uint16_t port);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Half-close: tells the server no more requests are coming while
+  /// responses can still be read — how a pipelined batch is finished.
+  void FinishSending();
+
+  /// Encodes and writes one request frame (blocking until fully written).
+  /// Assigns `request->request_id` from an internal counter when it is 0.
+  /// Returns the request id, or 0 on a write failure.
+  uint64_t Send(WireRequest* request);
+
+  /// Reads the next response or error frame, in arrival order (stashed
+  /// frames from `Call` first). `timeout_ms < 0` blocks indefinitely.
+  /// Returns false on timeout, EOF, or a protocol error.
+  bool Receive(Reply* out, int timeout_ms = -1);
+
+  /// Synchronous convenience: `Send` + receive until *this* request's
+  /// reply arrives, stashing any other pipelined replies for later
+  /// `Receive` calls.
+  bool Call(WireRequest request, Reply* out, int timeout_ms = -1);
+
+ private:
+  /// Blocking-reads one frame off the socket into `out`.
+  bool ReadFrame(Reply* out, int timeout_ms);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::vector<uint8_t> rbuf_;
+  std::deque<Reply> stashed_;
+  CodecLimits limits_;
+};
+
+}  // namespace rapid::net
+
+#endif  // RAPID_NET_CLIENT_H_

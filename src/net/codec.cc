@@ -1,0 +1,225 @@
+#include "net/codec.h"
+
+#include <cstring>
+
+namespace rapid::net {
+
+namespace {
+
+// The wire format is defined little-endian; every supported target of this
+// repo (x86-64, aarch64 Linux) is little-endian, so encode/decode are raw
+// byte copies. A big-endian port would swap here, in one place.
+
+template <typename T>
+void Append(std::vector<uint8_t>* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &value, sizeof(T));
+}
+
+void AppendBytes(std::vector<uint8_t>* out, const void* data, size_t n) {
+  if (n == 0) return;  // Empty vectors may hand over a null data().
+  const size_t at = out->size();
+  out->resize(at + n);
+  std::memcpy(out->data() + at, data, n);
+}
+
+void AppendString(std::vector<uint8_t>* out, std::string_view s) {
+  Append<uint16_t>(out, static_cast<uint16_t>(s.size()));
+  AppendBytes(out, s.data(), s.size());
+}
+
+/// Bounds-checked sequential reader over one frame payload. Every `Read*`
+/// fails (returns false) instead of reading past `size_`; a parser that
+/// only ever advances through this class cannot overrun the buffer no
+/// matter what the length fields claim.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadString(std::string* out, uint32_t max_bytes) {
+    uint16_t len = 0;
+    if (!Read(&len) || len > max_bytes || size_ - pos_ < len) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadArray(std::vector<T>* out, uint32_t max_elems) {
+    uint32_t count = 0;
+    if (!Read(&count) || count > max_elems) return false;
+    // Checked before the resize: a hostile count can never size an
+    // allocation beyond max_elems or read past the payload.
+    if ((size_ - pos_) / sizeof(T) < count) return false;
+    out->resize(count);
+    if (count > 0) {
+      std::memcpy(out->data(), data_ + pos_, count * sizeof(T));
+      pos_ += count * sizeof(T);
+    }
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                 uint64_t request_id, const std::vector<uint8_t>& payload) {
+  out->reserve(out->size() + kFrameHeaderBytes + payload.size());
+  Append<uint32_t>(out, kFrameMagic);
+  Append<uint8_t>(out, kProtocolVersion);
+  Append<uint8_t>(out, static_cast<uint8_t>(type));
+  Append<uint16_t>(out, 0);  // flags
+  Append<uint64_t>(out, request_id);
+  Append<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+  AppendBytes(out, payload.data(), payload.size());
+}
+
+constexpr uint8_t kFlagDegraded = 1;
+constexpr uint8_t kFlagShed = 2;
+constexpr uint8_t kFlagCacheHit = 4;
+
+}  // namespace
+
+void EncodeScoreRequest(const WireRequest& request,
+                        std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  AppendString(&payload, request.slot);
+  Append<uint8_t>(&payload, request.lane == serve::Lane::kHigh ? 0 : 1);
+  Append<int64_t>(&payload, request.deadline_us);
+  Append<int32_t>(&payload, request.list.user_id);
+  Append<uint32_t>(&payload,
+                   static_cast<uint32_t>(request.list.items.size()));
+  AppendBytes(&payload, request.list.items.data(),
+              request.list.items.size() * sizeof(int));
+  Append<uint32_t>(&payload,
+                   static_cast<uint32_t>(request.list.scores.size()));
+  AppendBytes(&payload, request.list.scores.data(),
+              request.list.scores.size() * sizeof(float));
+  AppendFrame(out, FrameType::kScoreRequest, request.request_id, payload);
+}
+
+void EncodeScoreResponse(const WireResponse& response,
+                         std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  uint8_t flags = 0;
+  if (response.degraded) flags |= kFlagDegraded;
+  if (response.shed) flags |= kFlagShed;
+  if (response.cache_hit) flags |= kFlagCacheHit;
+  Append<uint8_t>(&payload, flags);
+  Append<uint64_t>(&payload, response.model_version);
+  AppendString(&payload, response.model_name);
+  Append<int64_t>(&payload, response.server_latency_us);
+  Append<uint32_t>(&payload, static_cast<uint32_t>(response.items.size()));
+  AppendBytes(&payload, response.items.data(),
+              response.items.size() * sizeof(int));
+  AppendFrame(out, FrameType::kScoreResponse, response.request_id, payload);
+}
+
+void EncodeError(uint64_t request_id, std::string_view message,
+                 std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  AppendString(&payload, message.substr(0, 255));
+  AppendFrame(out, FrameType::kError, request_id, payload);
+}
+
+DecodeStatus ExtractFrame(const uint8_t* data, size_t size, size_t* consumed,
+                          Frame* out, const CodecLimits& limits) {
+  if (size < kFrameHeaderBytes) {
+    // Reject a wrong magic as soon as 4 bytes are visible — no point
+    // waiting for a full header that can never become valid.
+    if (size >= sizeof(uint32_t)) {
+      uint32_t magic = 0;
+      std::memcpy(&magic, data, sizeof(magic));
+      if (magic != kFrameMagic) return DecodeStatus::kError;
+    }
+    return DecodeStatus::kNeedMore;
+  }
+  ByteReader reader(data, kFrameHeaderBytes);
+  uint32_t magic = 0;
+  uint8_t version = 0, type = 0;
+  uint16_t flags = 0;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+  reader.Read(&magic);
+  reader.Read(&version);
+  reader.Read(&type);
+  reader.Read(&flags);
+  reader.Read(&request_id);
+  reader.Read(&payload_len);
+  if (magic != kFrameMagic || version != kProtocolVersion || flags != 0 ||
+      payload_len > limits.max_payload_bytes) {
+    return DecodeStatus::kError;
+  }
+  if (size - kFrameHeaderBytes < payload_len) return DecodeStatus::kNeedMore;
+  out->header.version = version;
+  out->header.type = static_cast<FrameType>(type);
+  out->header.request_id = request_id;
+  out->header.payload_len = payload_len;
+  out->payload.assign(data + kFrameHeaderBytes,
+                      data + kFrameHeaderBytes + payload_len);
+  *consumed = kFrameHeaderBytes + payload_len;
+  return DecodeStatus::kOk;
+}
+
+bool ParseScoreRequest(const Frame& frame, WireRequest* out,
+                       const CodecLimits& limits) {
+  if (frame.header.type != FrameType::kScoreRequest) return false;
+  out->request_id = frame.header.request_id;
+  ByteReader reader(frame.payload.data(), frame.payload.size());
+  uint8_t lane = 0;
+  if (!reader.ReadString(&out->slot, limits.max_string_bytes) ||
+      !reader.Read(&lane) || lane > 1 || !reader.Read(&out->deadline_us) ||
+      !reader.Read(&out->list.user_id) ||
+      !reader.ReadArray(&out->list.items, limits.max_items) ||
+      !reader.ReadArray(&out->list.scores, limits.max_items)) {
+    return false;
+  }
+  out->lane = lane == 0 ? serve::Lane::kHigh : serve::Lane::kLow;
+  out->list.clicks.clear();
+  return reader.AtEnd();
+}
+
+bool ParseScoreResponse(const Frame& frame, WireResponse* out,
+                        const CodecLimits& limits) {
+  if (frame.header.type != FrameType::kScoreResponse) return false;
+  out->request_id = frame.header.request_id;
+  ByteReader reader(frame.payload.data(), frame.payload.size());
+  uint8_t flags = 0;
+  if (!reader.Read(&flags) || !reader.Read(&out->model_version) ||
+      !reader.ReadString(&out->model_name, limits.max_string_bytes) ||
+      !reader.Read(&out->server_latency_us) ||
+      !reader.ReadArray(&out->items, limits.max_items)) {
+    return false;
+  }
+  out->degraded = (flags & kFlagDegraded) != 0;
+  out->shed = (flags & kFlagShed) != 0;
+  out->cache_hit = (flags & kFlagCacheHit) != 0;
+  return reader.AtEnd();
+}
+
+bool ParseError(const Frame& frame, WireError* out,
+                const CodecLimits& limits) {
+  if (frame.header.type != FrameType::kError) return false;
+  out->request_id = frame.header.request_id;
+  ByteReader reader(frame.payload.data(), frame.payload.size());
+  return reader.ReadString(&out->message, limits.max_string_bytes) &&
+         reader.AtEnd();
+}
+
+}  // namespace rapid::net

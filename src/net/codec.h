@@ -1,0 +1,152 @@
+#ifndef RAPID_NET_CODEC_H_
+#define RAPID_NET_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datagen/types.h"
+#include "serve/admission.h"
+
+namespace rapid::net {
+
+/// The wire protocol of the network serving front-end: compact
+/// length-prefixed binary frames carrying score requests and responses
+/// between a remote caller and a `net::Server` wrapping a
+/// `serve::ServingRouter`.
+///
+/// ## Frame layout (all integers little-endian)
+///
+///   offset  size  field
+///        0     4  magic "RNET" (0x54454E52)
+///        4     1  protocol version (kProtocolVersion)
+///        5     1  frame type (`FrameType`)
+///        6     2  flags (reserved, must be 0)
+///        8     8  request id (caller-chosen, echoed on the response)
+///       16     4  payload length in bytes
+///       20     N  payload (type-specific, see Encode*/Parse* below)
+///
+/// Responses may arrive out of order relative to submissions on the same
+/// connection (a cache hit overtakes a model run); the request id is the
+/// correlation key.
+///
+/// ## Robustness contract
+///
+/// Decoding is strictly bounds-checked and never trusts a length field:
+/// `ExtractFrame` rejects bad magic, unknown versions, nonzero reserved
+/// flags, and oversized payload lengths as `kError` without reading past
+/// the buffer; a torn prefix is `kNeedMore`, never a crash. Payload
+/// parsers (`ParseScoreRequest` etc.) consume a *complete* frame and fail
+/// cleanly on truncated or internally inconsistent payloads (an item
+/// count pointing past the payload end), so a malformed payload never
+/// desynchronizes the framing layer.
+inline constexpr uint32_t kFrameMagic = 0x54454E52;  // "RNET"
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+
+enum class FrameType : uint8_t {
+  kScoreRequest = 1,
+  kScoreResponse = 2,
+  /// Server -> client: the request could not be served (malformed payload,
+  /// unknown frame type, server draining). Payload is a UTF-8 message.
+  kError = 3,
+};
+
+/// Decoder bounds, enforced before any allocation sized from wire data.
+struct CodecLimits {
+  /// Frames with a larger payload length are rejected outright.
+  uint32_t max_payload_bytes = 1u << 20;
+  /// Candidate items per request/response list.
+  uint32_t max_items = 4096;
+  /// Slot-name / model-name / error-message length.
+  uint32_t max_string_bytes = 256;
+};
+
+struct FrameHeader {
+  uint8_t version = 0;
+  FrameType type = FrameType::kError;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+/// One complete frame pulled off a connection's read buffer.
+struct Frame {
+  FrameHeader header;
+  std::vector<uint8_t> payload;
+};
+
+/// A score request as it crosses the wire: the routing envelope plus the
+/// candidate list. Click labels never cross the wire — inference does not
+/// read them (see `serve::ResultCache`).
+struct WireRequest {
+  uint64_t request_id = 0;
+  std::string slot;
+  serve::Lane lane = serve::Lane::kHigh;
+  /// Advisory per-request deadline, microseconds from submission; 0 =
+  /// none. Carried on the wire for forward compatibility; the router
+  /// currently applies its configured per-request deadline.
+  int64_t deadline_us = 0;
+  /// `user_id`, `items`, `scores` are meaningful; `clicks` is ignored.
+  data::ImpressionList list;
+};
+
+/// A score response as it crosses the wire (mirrors
+/// `serve::RouterResponse` minus the transport-local latency stamp).
+struct WireResponse {
+  uint64_t request_id = 0;
+  bool degraded = false;
+  bool shed = false;
+  bool cache_hit = false;
+  std::string model_name;
+  uint64_t model_version = 0;
+  /// Server-side latency (router submit -> response ready), microseconds.
+  int64_t server_latency_us = 0;
+  std::vector<int> items;
+};
+
+struct WireError {
+  uint64_t request_id = 0;
+  std::string message;
+};
+
+/// Appends one encoded frame to `out` (does not clear it), so a pipelined
+/// batch can be serialized into one flat buffer and written with one
+/// syscall.
+void EncodeScoreRequest(const WireRequest& request, std::vector<uint8_t>* out);
+void EncodeScoreResponse(const WireResponse& response,
+                         std::vector<uint8_t>* out);
+void EncodeError(uint64_t request_id, std::string_view message,
+                 std::vector<uint8_t>* out);
+
+enum class DecodeStatus {
+  /// One complete frame extracted; `*consumed` bytes were used.
+  kOk,
+  /// The buffer holds a valid prefix of a frame; read more bytes.
+  kNeedMore,
+  /// The buffer does not start with a well-formed frame (bad magic,
+  /// unknown version, oversized length). The connection is
+  /// unrecoverable — framing is lost — and should be closed.
+  kError,
+};
+
+/// Tries to pull one frame off the front of `data[0..size)`. On `kOk`,
+/// `*out` holds the frame and `*consumed` the bytes to discard; on
+/// `kNeedMore`/`kError` nothing is consumed.
+DecodeStatus ExtractFrame(const uint8_t* data, size_t size, size_t* consumed,
+                          Frame* out, const CodecLimits& limits = {});
+
+/// Payload parsers. Each requires the matching frame type and returns
+/// false on any truncated, oversized, or internally inconsistent payload
+/// (the output is unspecified but never out-of-bounds).
+bool ParseScoreRequest(const Frame& frame, WireRequest* out,
+                       const CodecLimits& limits = {});
+bool ParseScoreResponse(const Frame& frame, WireResponse* out,
+                        const CodecLimits& limits = {});
+bool ParseError(const Frame& frame, WireError* out,
+                const CodecLimits& limits = {});
+
+}  // namespace rapid::net
+
+#endif  // RAPID_NET_CODEC_H_

@@ -1,0 +1,696 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace rapid::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint32_t kWatchRead = 1;
+constexpr uint32_t kWatchWrite = 2;
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+ServerConfig Sanitized(ServerConfig cfg) {
+  cfg.num_dispatchers = std::max(cfg.num_dispatchers, 1);
+  cfg.max_connections = std::max(cfg.max_connections, 1);
+  cfg.max_inflight_per_conn = std::max(cfg.max_inflight_per_conn, 1);
+  cfg.idle_timeout_ms = std::max<int64_t>(cfg.idle_timeout_ms, 0);
+  cfg.write_stall_timeout_ms = std::max<int64_t>(cfg.write_stall_timeout_ms, 0);
+  cfg.max_write_buffer_bytes = std::max<size_t>(cfg.max_write_buffer_bytes, 1);
+  cfg.drain_linger_ms = std::max<int64_t>(cfg.drain_linger_ms, 0);
+  cfg.poll_tick_ms = std::clamp<int64_t>(cfg.poll_tick_ms, 1, 1000);
+  return cfg;
+}
+
+}  // namespace
+
+/// One accepted connection. Owned and touched exclusively by the event
+/// loop thread; dispatchers only ever see the connection *id*.
+struct Server::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  /// Raw inbound bytes; complete frames are parsed off the front.
+  std::vector<uint8_t> rbuf;
+  /// Encoded outbound frames, front partially written up to `woff`.
+  struct OutFrame {
+    std::vector<uint8_t> bytes;
+    bool is_response = false;
+  };
+  std::deque<OutFrame> wbufs;
+  size_t woff = 0;
+  size_t wbuf_bytes = 0;
+  /// Parsed score requests not yet answered on the wire.
+  int inflight = 0;
+  uint32_t watch_mask = 0;
+  /// Peer half-closed (EOF on read): answer what was parsed, flush, then
+  /// close — a client may pipeline a batch and immediately SHUT_WR.
+  bool peer_eof = false;
+  Clock::time_point last_read;
+  Clock::time_point last_write_progress;
+};
+
+class Server::Poller {
+ public:
+  virtual ~Poller() = default;
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+  /// Registers, re-arms, or (mask 0) removes `fd`. Level-triggered.
+  virtual void Watch(int fd, uint32_t mask) = 0;
+  virtual void Wait(int timeout_ms, std::vector<Event>* out) = 0;
+};
+
+namespace {
+
+/// Portable fallback: rebuilds the pollfd array per wait. O(fds) per call,
+/// which is irrelevant below a few hundred connections.
+class PollPoller : public Server::Poller {
+ public:
+  void Watch(int fd, uint32_t mask) override {
+    if (mask == 0) {
+      masks_.erase(fd);
+    } else {
+      masks_[fd] = mask;
+    }
+  }
+
+  void Wait(int timeout_ms, std::vector<Event>* out) override {
+    fds_.clear();
+    for (const auto& [fd, mask] : masks_) {
+      short events = 0;
+      if (mask & kWatchRead) events |= POLLIN;
+      if (mask & kWatchWrite) events |= POLLOUT;
+      fds_.push_back({fd, events, 0});
+    }
+    out->clear();
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n <= 0) return;
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      out->push_back({p.fd, (p.revents & POLLIN) != 0,
+                      (p.revents & POLLOUT) != 0,
+                      (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0});
+    }
+  }
+
+ private:
+  std::unordered_map<int, uint32_t> masks_;
+  std::vector<pollfd> fds_;
+};
+
+#if defined(__linux__)
+class EpollPoller : public Server::Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(0)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  void Watch(int fd, uint32_t mask) override {
+    epoll_event ev{};
+    ev.data.fd = fd;
+    if (mask & kWatchRead) ev.events |= EPOLLIN;
+    if (mask & kWatchWrite) ev.events |= EPOLLOUT;
+    const auto it = registered_.find(fd);
+    if (mask == 0) {
+      if (it != registered_.end()) {
+        ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+        registered_.erase(it);
+      }
+      return;
+    }
+    if (it == registered_.end()) {
+      ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+      registered_[fd] = mask;
+    } else if (it->second != mask) {
+      ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+      it->second = mask;
+    }
+  }
+
+  void Wait(int timeout_ms, std::vector<Event>* out) override {
+    events_.resize(std::max<size_t>(registered_.size() + 1, 16));
+    out->clear();
+    const int n = ::epoll_wait(epfd_, events_.data(),
+                               static_cast<int>(events_.size()), timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events_[i];
+      out->push_back({ev.data.fd, (ev.events & EPOLLIN) != 0,
+                      (ev.events & EPOLLOUT) != 0,
+                      (ev.events & (EPOLLERR | EPOLLHUP)) != 0});
+    }
+  }
+
+ private:
+  int epfd_ = -1;
+  std::unordered_map<int, uint32_t> registered_;
+  std::vector<epoll_event> events_;
+};
+#endif  // __linux__
+
+std::unique_ptr<Server::Poller> MakePoller(bool use_poll) {
+#if defined(__linux__)
+  if (!use_poll) return std::make_unique<EpollPoller>();
+#else
+  (void)use_poll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace
+
+Server::Server(serve::ServingRouter& router, ServerConfig config)
+    : router_(router), config_(Sanitized(std::move(config))) {}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 128) != 0 || !SetNonBlocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+
+  poller_ = MakePoller(config_.use_poll);
+  poller_->Watch(listen_fd_, kWatchRead);
+  poller_->Watch(wake_read_fd_, kWatchRead);
+
+  stopping_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_closed_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { LoopThread(); });
+  dispatchers_.reserve(config_.num_dispatchers);
+  for (int i = 0; i < config_.num_dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherThread(); });
+  }
+  return true;
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the loop so it notices the flag without waiting out a tick.
+  const char byte = 0;
+  if (wake_write_fd_ >= 0) {
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+  if (loop_.joinable()) loop_.join();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_closed_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+  dispatchers_.clear();
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  wake_read_fd_ = wake_write_fd_ = -1;
+  poller_.reset();
+}
+
+void Server::DispatcherThread() {
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] { return work_closed_ || !work_.empty(); });
+      if (work_.empty()) {
+        if (work_closed_) return;
+        continue;
+      }
+      work = std::move(work_.front());
+      work_.pop_front();
+    }
+    serve::RouterRequest request;
+    request.slot = std::move(work.request.slot);
+    request.lane = work.request.lane;
+    request.list = std::move(work.request.list);
+    // The future resolves from the router's worker pool (or inline on a
+    // cache hit / shed); blocking here is the dispatcher's whole job.
+    serve::RouterResponse routed = router_.Submit(std::move(request)).get();
+
+    WireResponse response;
+    response.request_id = work.request.request_id;
+    response.degraded = routed.degraded;
+    response.shed = routed.shed;
+    response.cache_hit = routed.cache_hit;
+    response.model_name = std::move(routed.model_name);
+    response.model_version = routed.model_version;
+    response.server_latency_us = routed.latency_us;
+    response.items = std::move(routed.items);
+
+    Completion completion;
+    completion.conn_id = work.conn_id;
+    EncodeScoreResponse(response, &completion.frame);
+    {
+      std::lock_guard<std::mutex> lock(completion_mu_);
+      completions_.push_back(std::move(completion));
+    }
+    const char byte = 0;
+    // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Server::LoopThread() {
+  std::vector<Poller::Event> events;
+  bool draining = false;
+  size_t total_inflight = 0;  // Recomputed below; loop-thread-only.
+
+  const auto recount_inflight = [&] {
+    total_inflight = 0;
+    for (const auto& [id, conn] : connections_) {
+      total_inflight += static_cast<size_t>(conn->inflight);
+    }
+  };
+
+  for (;;) {
+    DrainCompletions();
+
+    if (stopping_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      if (listen_fd_ >= 0) {
+        poller_->Watch(listen_fd_, 0);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      // From here on no new bytes are read and no buffered bytes are
+      // parsed: "in-flight" is frozen to the already-parsed requests.
+    }
+
+    if (draining) {
+      recount_inflight();
+      bool flushed = total_inflight == 0;
+      for (const auto& [id, conn] : connections_) {
+        flushed = flushed && conn->wbufs.empty();
+      }
+      if (flushed) break;  // Fall through to the FIN + linger phase.
+    }
+
+    std::vector<uint64_t> finished_eof;
+    for (const auto& [id, conn] : connections_) {
+      if (conn->peer_eof && conn->inflight == 0 && conn->wbufs.empty()) {
+        finished_eof.push_back(id);  // Half-closed peer, all answered.
+        continue;
+      }
+      uint32_t mask = 0;
+      if (!draining && !conn->peer_eof &&
+          conn->inflight < config_.max_inflight_per_conn) {
+        mask |= kWatchRead;
+      }
+      if (!conn->wbufs.empty()) mask |= kWatchWrite;
+      if (mask != conn->watch_mask) {
+        poller_->Watch(conn->fd, mask);
+        conn->watch_mask = mask;
+      }
+    }
+    for (const uint64_t id : finished_eof) CloseConnection(id);
+
+    poller_->Wait(static_cast<int>(config_.poll_tick_ms), &events);
+
+    for (const Poller::Event& event : events) {
+      if (event.fd == wake_read_fd_) {
+        char scratch[256];
+        while (::read(wake_read_fd_, scratch, sizeof(scratch)) > 0) {
+        }
+        continue;
+      }
+      if (event.fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      // Map fd -> connection (linear scan is fine at this fan-in; the
+      // map is keyed by id because ids, unlike fds, are never reused).
+      Connection* conn = nullptr;
+      for (const auto& [id, candidate] : connections_) {
+        if (candidate->fd == event.fd) {
+          conn = candidate.get();
+          break;
+        }
+      }
+      if (conn == nullptr) continue;  // Closed earlier this iteration.
+      if (event.error) {
+        CloseConnection(conn->id);
+        continue;
+      }
+      const uint64_t conn_id = conn->id;
+      if (event.writable) WriteReady(conn);
+      // WriteReady may close on EPIPE; re-resolve before reading.
+      if (event.readable && connections_.count(conn_id) != 0 && !draining) {
+        ReadReady(conn);
+      }
+    }
+
+    DrainCompletions();
+    EnforceTimeouts();
+  }
+
+  // Drain phase 2: every response is flushed. Send FIN so clients see a
+  // clean end-of-stream after their last response, then linger briefly,
+  // discarding whatever the client was still sending — closing with
+  // unread bytes in the receive queue would turn the FIN into an RST and
+  // could tear down responses still in the client's receive buffer.
+  for (const auto& [id, conn] : connections_) {
+    ::shutdown(conn->fd, SHUT_WR);
+    if (conn->watch_mask != kWatchRead) {
+      poller_->Watch(conn->fd, kWatchRead);
+      conn->watch_mask = kWatchRead;
+    }
+  }
+  const Clock::time_point linger_deadline =
+      Clock::now() + std::chrono::milliseconds(config_.drain_linger_ms);
+  while (!connections_.empty() && Clock::now() < linger_deadline) {
+    poller_->Wait(static_cast<int>(config_.poll_tick_ms), &events);
+    std::vector<uint64_t> finished;
+    for (const Poller::Event& event : events) {
+      for (const auto& [id, conn] : connections_) {
+        if (conn->fd != event.fd) continue;
+        char scratch[4096];
+        ssize_t n;
+        while ((n = ::read(conn->fd, scratch, sizeof(scratch))) > 0) {
+        }
+        if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+          finished.push_back(id);
+        }
+        break;
+      }
+    }
+    for (const uint64_t id : finished) CloseConnection(id);
+  }
+  std::vector<uint64_t> remaining;
+  remaining.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) remaining.push_back(id);
+  for (const uint64_t id : remaining) CloseConnection(id);
+}
+
+void Server::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or a transient error; the loop retries.
+    if (connections_.size() >=
+        static_cast<size_t>(config_.max_connections)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.so_sndbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.so_sndbuf,
+                   sizeof(config_.so_sndbuf));
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->last_read = conn->last_write_progress = Clock::now();
+    poller_->Watch(fd, kWatchRead);
+    conn->watch_mask = kWatchRead;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_.fetch_add(1, std::memory_order_relaxed);
+    connections_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void Server::ReadReady(Connection* conn) {
+  char scratch[16384];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, scratch, sizeof(scratch));
+    if (n > 0) {
+      bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                          std::memory_order_relaxed);
+      conn->rbuf.insert(conn->rbuf.end(), scratch, scratch + n);
+      conn->last_read = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0) {  // Hard error: the stream is gone.
+      CloseConnection(conn->id);
+      return;
+    }
+    // EOF. Parse what already arrived (a client may pipeline a batch and
+    // immediately half-close); responses owed are still answered and
+    // flushed before the close.
+    const uint64_t conn_id = conn->id;
+    ParseFrames(conn);
+    if (connections_.count(conn_id) == 0) return;  // Framing error closed.
+    conn->peer_eof = true;
+    if (conn->inflight == 0 && conn->wbufs.empty()) CloseConnection(conn_id);
+    return;
+  }
+  ParseFrames(conn);
+}
+
+void Server::ParseFrames(Connection* conn) {
+  size_t offset = 0;
+  const uint64_t conn_id = conn->id;
+  while (offset < conn->rbuf.size()) {
+    Frame frame;
+    size_t consumed = 0;
+    const DecodeStatus status =
+        ExtractFrame(conn->rbuf.data() + offset, conn->rbuf.size() - offset,
+                     &consumed, &frame, config_.limits);
+    if (status == DecodeStatus::kNeedMore) break;
+    if (status == DecodeStatus::kError) {
+      // Framing is lost: there is no way to find the next frame boundary,
+      // so the connection is closed (responses already in flight are
+      // dropped and counted).
+      closed_protocol_.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn_id);
+      return;
+    }
+    offset += consumed;
+    HandleFrame(conn, std::move(frame));
+    if (connections_.count(conn_id) == 0) return;  // Closed by handler.
+  }
+  conn->rbuf.erase(conn->rbuf.begin(),
+                   conn->rbuf.begin() + static_cast<ptrdiff_t>(offset));
+}
+
+void Server::HandleFrame(Connection* conn, Frame frame) {
+  if (frame.header.type != FrameType::kScoreRequest) {
+    // Framing survived, so the connection is still usable: answer with an
+    // error frame instead of disconnecting.
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<uint8_t> out;
+    EncodeError(frame.header.request_id, "unexpected frame type", &out);
+    error_frames_out_.fetch_add(1, std::memory_order_relaxed);
+    QueueWrite(conn, std::move(out));
+    return;
+  }
+  Work work;
+  if (!ParseScoreRequest(frame, &work.request, config_.limits)) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<uint8_t> out;
+    EncodeError(frame.header.request_id, "malformed score request", &out);
+    error_frames_out_.fetch_add(1, std::memory_order_relaxed);
+    QueueWrite(conn, std::move(out));
+    return;
+  }
+  frames_in_.fetch_add(1, std::memory_order_relaxed);
+  work.conn_id = conn->id;
+  conn->inflight++;
+  int prev = max_inflight_.load(std::memory_order_relaxed);
+  while (prev < conn->inflight &&
+         !max_inflight_.compare_exchange_weak(prev, conn->inflight,
+                                              std::memory_order_relaxed)) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_.push_back(std::move(work));
+  }
+  work_cv_.notify_one();
+}
+
+void Server::QueueWrite(Connection* conn, std::vector<uint8_t> bytes) {
+  QueueWriteTagged(conn, std::move(bytes), /*is_response=*/false);
+}
+
+void Server::QueueWriteTagged(Connection* conn, std::vector<uint8_t> bytes,
+                              bool is_response) {
+  conn->wbuf_bytes += bytes.size();
+  conn->wbufs.push_back({std::move(bytes), is_response});
+  if (conn->wbuf_bytes > config_.max_write_buffer_bytes) {
+    // Slow client: it stopped reading while responses kept arriving.
+    // Disconnecting bounds the server's memory; the client's unread
+    // responses are counted as dropped.
+    closed_slow_.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn->id);
+    return;
+  }
+  WriteReady(conn);  // Opportunistic flush; common case writes in full.
+}
+
+void Server::WriteReady(Connection* conn) {
+  while (!conn->wbufs.empty()) {
+    Connection::OutFrame& front = conn->wbufs.front();
+    const size_t remaining = front.bytes.size() - conn->woff;
+    const ssize_t n = ::send(conn->fd, front.bytes.data() + conn->woff,
+                             remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      CloseConnection(conn->id);
+      return;
+    }
+    bytes_out_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+    conn->wbuf_bytes -= static_cast<size_t>(n);
+    conn->woff += static_cast<size_t>(n);
+    conn->last_write_progress = Clock::now();
+    if (conn->woff < front.bytes.size()) return;  // Socket buffer full.
+    if (front.is_response) {
+      frames_out_.fetch_add(1, std::memory_order_relaxed);
+    }
+    conn->wbufs.pop_front();
+    conn->woff = 0;
+  }
+}
+
+void Server::DrainCompletions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    const auto it = connections_.find(completion.conn_id);
+    if (it == connections_.end()) {
+      // The connection died (slow client, protocol error, peer reset)
+      // between submit and completion. A graceful drain never takes this
+      // path — it waits for in-flight responses before closing anything.
+      dropped_responses_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Connection* conn = it->second.get();
+    conn->inflight--;
+    QueueWriteTagged(conn, std::move(completion.frame), /*is_response=*/true);
+  }
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  // Responses still owed (parsed but unanswered) or buffered-but-unsent
+  // are lost with the connection; count them so a graceful drain can
+  // prove it dropped nothing.
+  uint64_t lost = static_cast<uint64_t>(conn->inflight);
+  for (const Connection::OutFrame& frame : conn->wbufs) {
+    if (frame.is_response) ++lost;
+  }
+  if (lost > 0) dropped_responses_.fetch_add(lost, std::memory_order_relaxed);
+  poller_->Watch(conn->fd, 0);
+  ::close(conn->fd);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  connections_.erase(it);
+}
+
+void Server::EnforceTimeouts() {
+  if (config_.idle_timeout_ms == 0 && config_.write_stall_timeout_ms == 0) {
+    return;
+  }
+  const Clock::time_point now = Clock::now();
+  std::vector<std::pair<uint64_t, bool>> victims;  // (id, is_slow)
+  for (const auto& [id, conn] : connections_) {
+    if (config_.write_stall_timeout_ms > 0 && !conn->wbufs.empty() &&
+        now - conn->last_write_progress >
+            std::chrono::milliseconds(config_.write_stall_timeout_ms)) {
+      victims.emplace_back(id, true);
+      continue;
+    }
+    if (config_.idle_timeout_ms > 0 && conn->inflight == 0 &&
+        conn->wbufs.empty() &&
+        now - conn->last_read >
+            std::chrono::milliseconds(config_.idle_timeout_ms)) {
+      victims.emplace_back(id, false);
+    }
+  }
+  for (const auto& [id, is_slow] : victims) {
+    (is_slow ? closed_slow_ : closed_idle_)
+        .fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(id);
+  }
+}
+
+serve::NetStats Server::stats() const {
+  serve::NetStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_active = active_.load(std::memory_order_relaxed);
+  s.connections_rejected = rejected_.load(std::memory_order_relaxed);
+  s.closed_idle = closed_idle_.load(std::memory_order_relaxed);
+  s.closed_slow = closed_slow_.load(std::memory_order_relaxed);
+  s.closed_protocol_error = closed_protocol_.load(std::memory_order_relaxed);
+  s.frames_in = frames_in_.load(std::memory_order_relaxed);
+  s.frames_out = frames_out_.load(std::memory_order_relaxed);
+  s.error_frames_out = error_frames_out_.load(std::memory_order_relaxed);
+  s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.dropped_responses = dropped_responses_.load(std::memory_order_relaxed);
+  s.max_inflight_per_conn = max_inflight_.load(std::memory_order_relaxed);
+  return s;
+}
+
+serve::RouterStats Server::StatsWithNet() const {
+  serve::RouterStats stats = router_.stats();
+  stats.has_net = true;
+  stats.net = this->stats();
+  return stats;
+}
+
+}  // namespace rapid::net

@@ -100,14 +100,16 @@ std::string CacheStats::ToTable() const {
                 "  cache evictions %10llu\n"
                 "  cache expired   %10llu\n"
                 "  cache bypass    %10llu\n"
-                "  cache swept     %10llu\n",
+                "  cache swept     %10llu\n"
+                "  cache deferred  %10llu\n",
                 static_cast<unsigned long long>(hits), 100.0 * hit_rate(),
                 static_cast<unsigned long long>(misses),
                 static_cast<unsigned long long>(inserts),
                 static_cast<unsigned long long>(evictions),
                 static_cast<unsigned long long>(expired),
                 static_cast<unsigned long long>(bypass),
-                static_cast<unsigned long long>(swept));
+                static_cast<unsigned long long>(swept),
+                static_cast<unsigned long long>(deferred));
   return buf;
 }
 
@@ -116,14 +118,70 @@ std::string CacheStats::ToJson() const {
   std::snprintf(buf, sizeof(buf),
                 "{\"hits\": %llu, \"misses\": %llu, \"inserts\": %llu, "
                 "\"evictions\": %llu, \"expired\": %llu, \"bypass\": %llu, "
-                "\"swept\": %llu, \"hit_rate\": %.3f}",
+                "\"swept\": %llu, \"deferred\": %llu, \"hit_rate\": %.3f}",
                 static_cast<unsigned long long>(hits),
                 static_cast<unsigned long long>(misses),
                 static_cast<unsigned long long>(inserts),
                 static_cast<unsigned long long>(evictions),
                 static_cast<unsigned long long>(expired),
                 static_cast<unsigned long long>(bypass),
-                static_cast<unsigned long long>(swept), hit_rate());
+                static_cast<unsigned long long>(swept),
+                static_cast<unsigned long long>(deferred), hit_rate());
+  return buf;
+}
+
+std::string NetStats::ToTable() const {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "  net accepted    %10llu (active %llu, rejected %llu)\n"
+                "  net closed      %10llu idle, %llu slow, %llu protocol\n"
+                "  net frames in   %10llu (%llu bytes)\n"
+                "  net frames out  %10llu (%llu bytes, %llu errors)\n"
+                "  net decode errs %10llu\n"
+                "  net dropped     %10llu\n"
+                "  net max inflight%10d per connection\n",
+                static_cast<unsigned long long>(connections_accepted),
+                static_cast<unsigned long long>(connections_active),
+                static_cast<unsigned long long>(connections_rejected),
+                static_cast<unsigned long long>(closed_idle),
+                static_cast<unsigned long long>(closed_slow),
+                static_cast<unsigned long long>(closed_protocol_error),
+                static_cast<unsigned long long>(frames_in),
+                static_cast<unsigned long long>(bytes_in),
+                static_cast<unsigned long long>(frames_out),
+                static_cast<unsigned long long>(bytes_out),
+                static_cast<unsigned long long>(error_frames_out),
+                static_cast<unsigned long long>(decode_errors),
+                static_cast<unsigned long long>(dropped_responses),
+                max_inflight_per_conn);
+  return buf;
+}
+
+std::string NetStats::ToJson() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"connections_accepted\": %llu, \"connections_active\": %llu, "
+      "\"connections_rejected\": %llu, \"closed_idle\": %llu, "
+      "\"closed_slow\": %llu, \"closed_protocol_error\": %llu, "
+      "\"frames_in\": %llu, \"frames_out\": %llu, "
+      "\"error_frames_out\": %llu, \"decode_errors\": %llu, "
+      "\"bytes_in\": %llu, \"bytes_out\": %llu, "
+      "\"dropped_responses\": %llu, \"max_inflight_per_conn\": %d}",
+      static_cast<unsigned long long>(connections_accepted),
+      static_cast<unsigned long long>(connections_active),
+      static_cast<unsigned long long>(connections_rejected),
+      static_cast<unsigned long long>(closed_idle),
+      static_cast<unsigned long long>(closed_slow),
+      static_cast<unsigned long long>(closed_protocol_error),
+      static_cast<unsigned long long>(frames_in),
+      static_cast<unsigned long long>(frames_out),
+      static_cast<unsigned long long>(error_frames_out),
+      static_cast<unsigned long long>(decode_errors),
+      static_cast<unsigned long long>(bytes_in),
+      static_cast<unsigned long long>(bytes_out),
+      static_cast<unsigned long long>(dropped_responses),
+      max_inflight_per_conn);
   return buf;
 }
 

@@ -52,9 +52,54 @@ struct CacheStats {
   uint64_t bypass = 0;
   /// Dead-version entries reclaimed by the background sweep after a swap.
   uint64_t swept = 0;
+  /// Results not stored because their key had not been seen before
+  /// (`CachePolicy::admit_on_second_hit`): the first miss only records a
+  /// sighting; a repeat miss admits. 0 when the policy is off.
+  uint64_t deferred = 0;
 
   /// hits / (hits + misses); 0 when no lookups happened.
   double hit_rate() const;
+  /// Two-column human-readable block matching `ServingStats::ToTable`.
+  std::string ToTable() const;
+  /// Flat JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+/// Point-in-time counters of the network front-end (`net::Server`),
+/// surfaced through `RouterStats::net` when a server wraps the router.
+/// Defined here (not in net/) so `RouterStats` can embed and render it
+/// without the serve layer depending on sockets.
+struct NetStats {
+  /// Connections accepted over the server's lifetime.
+  uint64_t connections_accepted = 0;
+  /// Currently open connections.
+  uint64_t connections_active = 0;
+  /// Accepts refused because `max_connections` were already open.
+  uint64_t connections_rejected = 0;
+  /// Connections closed for crossing an idle timeout.
+  uint64_t closed_idle = 0;
+  /// Slow clients disconnected: write buffer over the cap, or no write
+  /// progress for the stall timeout while responses were pending.
+  uint64_t closed_slow = 0;
+  /// Connections closed because framing was lost (bad magic/version or an
+  /// oversized length) — the codec rejected the stream, not a crash.
+  uint64_t closed_protocol_error = 0;
+  /// Well-framed score requests parsed off the wire.
+  uint64_t frames_in = 0;
+  /// Response frames fully written to a socket.
+  uint64_t frames_out = 0;
+  /// Error frames sent for malformed-but-framed payloads / unknown types.
+  uint64_t error_frames_out = 0;
+  /// Frames whose payload failed strict decoding (connection survives).
+  uint64_t decode_errors = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  /// Responses whose connection was gone when they completed (slow-client
+  /// or error disconnects only — a graceful drain keeps this at 0).
+  uint64_t dropped_responses = 0;
+  /// Peak in-flight requests observed on any single connection.
+  int max_inflight_per_conn = 0;
+
   /// Two-column human-readable block matching `ServingStats::ToTable`.
   std::string ToTable() const;
   /// Flat JSON object (no trailing newline).

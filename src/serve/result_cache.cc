@@ -23,6 +23,8 @@ CachePolicy Sanitized(CachePolicy policy) {
   policy.num_shards = std::clamp<int>(policy.num_shards, 1,
                                       static_cast<int>(policy.capacity));
   policy.ttl_us = std::max<int64_t>(policy.ttl_us, 0);
+  policy.admission_sketch_slots =
+      std::max<size_t>(policy.admission_sketch_slots, 1);
   return policy;
 }
 
@@ -37,6 +39,7 @@ CacheStats ResultCache::Counters::Snapshot() const {
   s.expired = expired.load(std::memory_order_relaxed);
   s.bypass = bypass.load(std::memory_order_relaxed);
   s.swept = swept.load(std::memory_order_relaxed);
+  s.deferred = deferred.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -47,6 +50,9 @@ ResultCache::ResultCache(CachePolicy policy)
   shards_.reserve(static_cast<size_t>(policy_.num_shards));
   for (int i = 0; i < policy_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    if (policy_.enabled && policy_.admit_on_second_hit) {
+      shards_.back()->seen.assign(policy_.admission_sketch_slots, 0);
+    }
   }
   if (policy_.enabled) {
     sweeper_ = std::thread([this] { SweeperLoop(); });
@@ -136,6 +142,21 @@ void ResultCache::Insert(const std::string& slot, uint64_t version,
     it->second->inserted_at = Clock::now();
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
+  }
+  if (!shard.seen.empty()) {
+    // Second-hit admission: the first miss of a key only records its full
+    // hash in the sketch (|1 so an empty cell never matches); the repeat
+    // miss finds it and admits. A hot-swap resets nothing here — the
+    // version is part of the key, so every key re-earns admission under
+    // the new version, which is the conservative behaviour we want.
+    const uint64_t h = static_cast<uint64_t>(KeyHash{}(key)) | 1ull;
+    uint64_t& cell = shard.seen[h % shard.seen.size()];
+    if (cell != h) {
+      cell = h;
+      total_.deferred.fetch_add(1, std::memory_order_relaxed);
+      counters.deferred.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
   shard.lru.push_front(Entry{std::move(key), std::move(result), Clock::now()});
   shard.index.emplace(shard.lru.front().key, shard.lru.begin());

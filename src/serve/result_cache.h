@@ -43,6 +43,16 @@ struct CachePolicy {
   /// Slots that never consult the cache (counted as `bypass` per slot) —
   /// e.g. an exploration arm whose traffic must always hit the model.
   std::vector<std::string> bypass_slots;
+  /// Admission control for heavy-tailed traffic: store a result only on
+  /// the *second* miss of its key. One-off (user, candidate-set) requests
+  /// then never displace entries the hot set will actually re-read; the
+  /// price is one extra model run on each genuinely repeating key. First
+  /// sightings live in a small per-shard direct-mapped sketch, so a
+  /// sighting can be displaced by a colliding key (re-deferring the
+  /// victim) — an accepted approximation, like the LRU bound itself.
+  bool admit_on_second_hit = false;
+  /// Sketch cells per shard when `admit_on_second_hit` is set.
+  size_t admission_sketch_slots = 1024;
 };
 
 /// A sharded LRU of re-ranked responses keyed on
@@ -159,6 +169,10 @@ class ResultCache {
     /// Front = most recently used.
     std::list<Entry> lru;
     std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    /// Direct-mapped first-sighting sketch (`admit_on_second_hit`): cell
+    /// holds the full key hash (never 0) of the last first-seen key that
+    /// mapped there. Guarded by `mu`; empty when the policy is off.
+    std::vector<uint64_t> seen;
   };
   /// Per-slot (and aggregate) counters; all relaxed atomics.
   struct Counters {
@@ -169,6 +183,7 @@ class ResultCache {
     std::atomic<uint64_t> expired{0};
     std::atomic<uint64_t> bypass{0};
     std::atomic<uint64_t> swept{0};
+    std::atomic<uint64_t> deferred{0};
     CacheStats Snapshot() const;
   };
 

@@ -43,7 +43,7 @@ uint64_t ServingRouter::LoadSlot(const std::string& slot,
   // old version until the Publish below swaps the slot pointer.
   std::unique_ptr<rerank::NeuralReranker> model = Snapshot::LoadAny(path, data_);
   if (model == nullptr) return 0;
-  if (!CanaryPasses(slot, *model)) {
+  if (!CanaryPasses(slot, path, *model)) {
     canary_rejected_.fetch_add(1, std::memory_order_relaxed);
     return 0;
   }
@@ -80,13 +80,31 @@ bool ServingRouter::ClearCanary(const std::string& slot) {
 }
 
 bool ServingRouter::CanaryPasses(const std::string& slot,
+                                 const std::string& path,
                                  const rerank::NeuralReranker& model) const {
   CanaryProbe probe;
+  bool have_probe = false;
   {
     std::lock_guard<std::mutex> lock(canary_mu_);
     const auto it = canaries_.find(slot);
-    if (it == canaries_.end()) return true;
-    probe = it->second;
+    if (it != canaries_.end()) {
+      probe = it->second;
+      have_probe = true;
+    }
+  }
+  if (!have_probe) {
+    // No explicit canary for the slot: fall back to the probe the snapshot
+    // auto-recorded at save time (format v3+). A probe referencing entities
+    // outside this serving dataset was recorded against a different world —
+    // scoring it would index out of range — so it is treated as absent.
+    if (!Snapshot::ReadCanary(path, &probe)) return true;
+    if (probe.list.user_id < 0 ||
+        static_cast<size_t>(probe.list.user_id) >= data_.users.size()) {
+      return true;
+    }
+    for (int id : probe.list.items) {
+      if (id < 0 || static_cast<size_t>(id) >= data_.items.size()) return true;
+    }
   }
   const std::vector<float> scores = model.ScoreList(data_, probe.list);
   if (scores.size() != probe.expected_scores.size()) return false;
@@ -119,6 +137,21 @@ std::vector<int> ServingRouter::FallbackRerank(
           ? static_cast<const rerank::Reranker&>(mmr_fallback_)
           : static_cast<const rerank::Reranker&>(init_fallback_);
   return fallback.Rerank(data_, list);
+}
+
+bool ServingRouter::ListInBounds(const data::ImpressionList& list) const {
+  if (data_.users.empty() && data_.items.empty()) return true;
+  if (list.user_id < 0 ||
+      static_cast<size_t>(list.user_id) >= data_.users.size()) {
+    return false;
+  }
+  if (list.scores.size() != list.items.size()) return false;
+  for (const int item : list.items) {
+    if (item < 0 || static_cast<size_t>(item) >= data_.items.size()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void ServingRouter::Process(PendingRequest* request, bool shed) {
@@ -176,6 +209,27 @@ std::future<RouterResponse> ServingRouter::Submit(RouterRequest request) {
   pending.request = std::move(request);
   pending.enqueued_at = std::chrono::steady_clock::now();
   std::future<RouterResponse> future = pending.promise.get_future();
+
+  // Defensive bounds check on caller-supplied ids: a networked caller can
+  // put anything on the wire, and an out-of-range user or item id would
+  // index past the model's embedding tables. Such requests are answered
+  // with the candidates in submitted order — the only id-agnostic answer —
+  // and never reach a model or fallback heuristic. Datasets without users
+  // or items (heuristic-only setups) have no id universe to check against.
+  if (!ListInBounds(pending.request.list)) {
+    invalid_ids_.fetch_add(1, std::memory_order_relaxed);
+    RouterResponse response;
+    response.items = pending.request.list.items;
+    response.degraded = true;
+    response.latency_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - pending.enqueued_at)
+            .count();
+    aggregate_metrics_.RecordRequest(static_cast<uint64_t>(response.latency_us),
+                                     /*fallback=*/true);
+    pending.promise.set_value(std::move(response));
+    return future;
+  }
 
   if (shutdown_.load(std::memory_order_acquire)) {
     // Serve inline on the caller's thread so no submission is ever lost.
@@ -269,6 +323,7 @@ RouterStats ServingRouter::stats() const {
   out.total = aggregate_metrics_.Snapshot();
   out.cache = cache_.TotalStats();
   out.unknown_slot = unknown_slot_.load(std::memory_order_relaxed);
+  out.invalid_ids = invalid_ids_.load(std::memory_order_relaxed);
   out.canary_rejected = canary_rejected_.load(std::memory_order_relaxed);
   for (const std::string& name : registry_.Names()) {
     const auto served = registry_.Acquire(name);
@@ -284,10 +339,13 @@ std::string RouterStats::ToTable() const {
   char line[256];
   std::snprintf(line, sizeof(line),
                 "  unknown slot    %10llu\n"
+                "  invalid ids     %10llu\n"
                 "  canary rejected %10llu\n",
                 static_cast<unsigned long long>(unknown_slot),
+                static_cast<unsigned long long>(invalid_ids),
                 static_cast<unsigned long long>(canary_rejected));
   out += line;
+  if (has_net) out += net.ToTable();
   for (const SlotEntry& slot : slots) {
     std::snprintf(line, sizeof(line), "slot %s (%s v%llu):\n",
                   slot.slot.c_str(), slot.model_name.c_str(),
@@ -302,11 +360,13 @@ std::string RouterStats::ToTable() const {
 std::string RouterStats::ToJson() const {
   std::string out = "{\"total\": " + total.ToJson();
   out += ", \"cache\": " + cache.ToJson();
+  if (has_net) out += ", \"net\": " + net.ToJson();
   char buf[160];
   std::snprintf(buf, sizeof(buf),
-                ", \"unknown_slot\": %llu, \"canary_rejected\": %llu, "
-                "\"slots\": {",
+                ", \"unknown_slot\": %llu, \"invalid_ids\": %llu, "
+                "\"canary_rejected\": %llu, \"slots\": {",
                 static_cast<unsigned long long>(unknown_slot),
+                static_cast<unsigned long long>(invalid_ids),
                 static_cast<unsigned long long>(canary_rejected));
   out += buf;
   bool first = true;

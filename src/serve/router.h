@@ -23,6 +23,7 @@
 #include "serve/model_registry.h"
 #include "serve/request_queue.h"
 #include "serve/result_cache.h"
+#include "serve/snapshot.h"
 
 namespace rapid::serve {
 
@@ -81,20 +82,6 @@ struct RouterResponse {
   int64_t latency_us = 0;
 };
 
-/// A recorded probe for validating snapshots before they are published
-/// (`ServingRouter::SetCanary`): `expected_scores` is the fitted model's
-/// `ScoreList` output on `list`, captured at save time. A snapshot whose
-/// scores drift past `tolerance` on any item — including NaN — is
-/// corrupt-but-parseable and is rejected before the swap.
-struct CanaryProbe {
-  data::ImpressionList list;
-  std::vector<float> expected_scores;
-  /// Max absolute per-score drift. Snapshot round trips are bit-exact, so
-  /// any honest load reproduces the scores exactly; the tolerance only
-  /// absorbs future quantized/compressed formats.
-  float tolerance = 1e-4f;
-};
-
 /// Point-in-time view of the router: per-slot serving stats plus the
 /// aggregate across all traffic (including unknown-slot requests).
 struct RouterStats {
@@ -113,9 +100,18 @@ struct RouterStats {
   /// Requests whose slot key matched no registered slot (answered by the
   /// fallback heuristic, counted in `total` only).
   uint64_t unknown_slot = 0;
+  /// Requests rejected before reaching any model because they referenced
+  /// user or item ids outside the dataset (or mismatched score/item
+  /// lengths) — a remote caller probing the serving tier. Answered
+  /// degraded, in submitted order.
+  uint64_t invalid_ids = 0;
   /// Snapshots rejected by a canary probe before publish (`LoadSlot`
   /// returned 0 and the slot kept serving its previous version).
   uint64_t canary_rejected = 0;
+  /// Connection-layer counters, filled by `net::Server::StatsWithNet` when
+  /// a network front-end wraps this router; absent for in-process use.
+  bool has_net = false;
+  NetStats net;
 
   std::string ToTable() const;
   /// One JSON object: `{"total": {...}, "unknown_slot": n, "slots": {...}}`.
@@ -150,16 +146,19 @@ class ServingRouter {
   /// Hot swap: loads the family-tagged snapshot at `path` on the calling
   /// thread (workers keep serving the old version throughout the build),
   /// then atomically publishes it as the new current model of `slot`,
-  /// creating the slot on first use. If a canary probe is registered for
-  /// the slot, the candidate is scored against it *before* publish and a
-  /// drifting (corrupt-but-parseable) snapshot is rejected. Returns the
+  /// creating the slot on first use. The candidate is scored against a
+  /// canary probe *before* publish — the one set via `SetCanary`, or (for
+  /// format v3+ snapshots) the probe `Snapshot::Save` auto-recorded in the
+  /// file — and a drifting (corrupt-but-parseable) snapshot is rejected.
+  /// Returns the
   /// new version, or 0 if the snapshot failed to load or the canary
   /// rejected it — either way the slot keeps serving its current version.
   uint64_t LoadSlot(const std::string& slot, const std::string& path);
 
-  /// Registers (or replaces) the canary probe guarding `LoadSlot` for
-  /// `slot`. Record `probe.expected_scores` with `ScoreList` on the fitted
-  /// model at snapshot-save time.
+  /// Registers (or replaces) an explicit canary probe guarding `LoadSlot`
+  /// for `slot`, overriding the snapshot's auto-recorded probe. Record
+  /// `probe.expected_scores` with `ScoreList` on the fitted model at
+  /// snapshot-save time.
   void SetCanary(const std::string& slot, CanaryProbe probe);
 
   /// Drops the canary for `slot`; returns false if none was set.
@@ -221,9 +220,15 @@ class ServingRouter {
   void Process(PendingRequest* request, bool shed = false);
   /// The fallback heuristic for `list` under the configured policy.
   std::vector<int> FallbackRerank(const data::ImpressionList& list) const;
-  /// True if no canary is set for `slot` or `model` reproduces the probe's
-  /// recorded scores within tolerance.
-  bool CanaryPasses(const std::string& slot,
+  /// True if every id in `list` is inside the dataset's user/item universe
+  /// and the score vector matches the item vector — i.e. the request is
+  /// safe to hand to a model. Vacuously true for empty datasets.
+  bool ListInBounds(const data::ImpressionList& list) const;
+  /// True if `model` reproduces the recorded probe scores within
+  /// tolerance. The probe is the explicit canary set for `slot` when one
+  /// exists, else the one auto-recorded inside the snapshot at `path`
+  /// (format v3+); with neither, the check passes vacuously.
+  bool CanaryPasses(const std::string& slot, const std::string& path,
                     const rerank::NeuralReranker& model) const;
 
   const data::Dataset& data_;
@@ -238,6 +243,7 @@ class ServingRouter {
   std::atomic<uint64_t> canary_rejected_{0};
   ServingMetrics aggregate_metrics_;
   std::atomic<uint64_t> unknown_slot_{0};
+  std::atomic<uint64_t> invalid_ids_{0};
   BoundedRequestQueue<PendingRequest> queue_;
   std::vector<std::thread> workers_;
   std::atomic<bool> shutdown_{false};

@@ -1,6 +1,8 @@
 #include "serve/snapshot.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 
 #include "rerank/neural_models.h"
@@ -12,7 +14,18 @@ namespace {
 constexpr uint32_t kMagic = 0x52534E50;  // "RSNP"
 // v1: magic, version, Header (implicitly a RapidReranker).
 // v2: magic, version, family tag (int32), Header.
-constexpr uint32_t kVersion = 2;
+// v3: v2 + canary trailer after the weight blob (see below).
+constexpr uint32_t kVersion = 3;
+
+// Canary trailer: [payload][payload_len u32][kCanaryMagic u32] at EOF.
+// Payload: user_id i32, n u32, item ids i32[n], initial scores f32[n],
+// m u32, expected model scores f32[m], tolerance f32. Anchored at the file
+// *end* so readers recover it without parsing the weight blob, and pre-v3
+// readers (which stop at the end of the blob) never see it.
+constexpr uint32_t kCanaryMagic = 0x43534E50;  // "RSNC"
+// A probe is a handful of items; anything bigger is a corrupt length.
+constexpr uint32_t kMaxCanaryPayload = 1u << 16;
+constexpr int kCanaryProbeItems = 10;
 
 struct Header {
   int32_t hidden_dim = 0;
@@ -113,9 +126,52 @@ bool ReadHeader(std::istream& in, Header* h, SnapshotFamily* family,
   return true;
 }
 
+// Deterministic probe list: the dataset's first user over its first few
+// items, with synthetic descending initial scores. The specific choice is
+// arbitrary — the probe only needs to exercise the forward pass — but it
+// must be reproducible so the load-time check is exact.
+CanaryProbe MakeCanaryProbe(const rerank::NeuralReranker& model,
+                            const data::Dataset& data) {
+  CanaryProbe probe;
+  if (data.users.empty() || data.items.empty()) return probe;
+  probe.list.user_id = data.users.front().id;
+  const int n = std::min<int>(kCanaryProbeItems,
+                              static_cast<int>(data.items.size()));
+  for (int i = 0; i < n; ++i) {
+    probe.list.items.push_back(data.items[static_cast<size_t>(i)].id);
+    probe.list.scores.push_back(1.0f - 0.05f * static_cast<float>(i));
+  }
+  probe.expected_scores = model.ScoreList(data, probe.list);
+  return probe;
+}
+
+template <typename T>
+void PutTrailer(std::string* buf, T v) {
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool WriteCanaryTrailer(std::ostream& out, const CanaryProbe& probe) {
+  std::string payload;
+  PutTrailer<int32_t>(&payload, probe.list.user_id);
+  PutTrailer<uint32_t>(&payload,
+                       static_cast<uint32_t>(probe.list.items.size()));
+  for (int id : probe.list.items) PutTrailer<int32_t>(&payload, id);
+  for (float s : probe.list.scores) PutTrailer<float>(&payload, s);
+  PutTrailer<uint32_t>(&payload,
+                       static_cast<uint32_t>(probe.expected_scores.size()));
+  for (float s : probe.expected_scores) PutTrailer<float>(&payload, s);
+  PutTrailer<float>(&payload, probe.tolerance);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(reinterpret_cast<const char*>(&kCanaryMagic),
+            sizeof(kCanaryMagic));
+  return static_cast<bool>(out);
+}
+
 bool WriteSnapshot(const std::string& path, SnapshotFamily family,
-                   const Header& header,
-                   const rerank::NeuralReranker& model) {
+                   const Header& header, const rerank::NeuralReranker& model,
+                   const data::Dataset& data) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   const uint32_t magic = kMagic;
@@ -126,7 +182,12 @@ bool WriteSnapshot(const std::string& path, SnapshotFamily family,
   out.write(reinterpret_cast<const char*>(&family_tag), sizeof(family_tag));
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
   if (!out) return false;
-  return model.SaveModel(out);
+  if (!model.SaveModel(out)) return false;
+  // Auto-record the canary so every LoadSlot of this file is validated
+  // without the caller wiring SetCanary. An empty dataset (no probe to
+  // record) writes an empty-but-well-formed trailer; ReadCanary reports it
+  // as absent.
+  return WriteCanaryTrailer(out, MakeCanaryProbe(model, data));
 }
 
 bool FingerprintMatches(const Header& h, const data::Dataset& data) {
@@ -178,7 +239,7 @@ const char* SnapshotFamilyName(SnapshotFamily family) {
 bool Snapshot::Save(const std::string& path, const core::RapidReranker& model,
                     const data::Dataset& data) {
   return WriteSnapshot(path, SnapshotFamily::kRapid,
-                       MakeHeader(model.config(), data), model);
+                       MakeHeader(model.config(), data), model, data);
 }
 
 bool Snapshot::Save(const std::string& path,
@@ -192,7 +253,7 @@ bool Snapshot::Save(const std::string& path,
     return Save(path, *rapid, data);
   }
   return WriteSnapshot(path, family, MakeHeader(model.train_config(), data),
-                       model);
+                       model, data);
 }
 
 std::unique_ptr<core::RapidReranker> Snapshot::Load(const std::string& path,
@@ -238,6 +299,84 @@ bool Snapshot::ReadInfo(const std::string& path, SnapshotInfo* info) {
   Header h;
   if (!ReadHeader(in, &h, &info->family, &info->format_version)) return false;
   info->config = ConfigFromHeader(h);
+  return true;
+}
+
+namespace {
+
+// Bounds-checked reader over the trailer payload.
+class TrailerReader {
+ public:
+  TrailerReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Snapshot::ReadCanary(const std::string& path, CanaryProbe* probe) {
+  // Gate on the header first: the trailer is located from the file end, so
+  // without this check 4 bytes of weight data in a pre-v3 file could
+  // masquerade as a trailer magic.
+  SnapshotInfo info;
+  if (!ReadInfo(path, &info) || info.format_version < 3) return false;
+
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const std::streamoff file_size = in.tellg();
+  constexpr std::streamoff kFooterBytes = 8;  // payload_len + magic.
+  if (file_size < kFooterBytes) return false;
+  uint32_t payload_len = 0, magic = 0;
+  in.seekg(file_size - kFooterBytes);
+  in.read(reinterpret_cast<char*>(&payload_len), sizeof(payload_len));
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kCanaryMagic || payload_len > kMaxCanaryPayload ||
+      static_cast<std::streamoff>(payload_len) > file_size - kFooterBytes) {
+    return false;
+  }
+  std::string payload(payload_len, '\0');
+  in.seekg(file_size - kFooterBytes - static_cast<std::streamoff>(payload_len));
+  in.read(payload.data(), static_cast<std::streamsize>(payload_len));
+  if (!in) return false;
+
+  TrailerReader reader(payload.data(), payload.size());
+  CanaryProbe out;
+  int32_t user_id = 0;
+  uint32_t n = 0, m = 0;
+  if (!reader.Read(&user_id) || !reader.Read(&n)) return false;
+  if (n == 0 || n > static_cast<uint32_t>(kCanaryProbeItems)) return false;
+  out.list.user_id = user_id;
+  out.list.items.resize(n);
+  out.list.scores.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t id = 0;
+    if (!reader.Read(&id)) return false;
+    out.list.items[i] = id;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!reader.Read(&out.list.scores[i])) return false;
+  }
+  if (!reader.Read(&m) || m != n) return false;
+  out.expected_scores.resize(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    if (!reader.Read(&out.expected_scores[i])) return false;
+  }
+  if (!reader.Read(&out.tolerance) || !reader.AtEnd()) return false;
+  if (!(out.tolerance >= 0.0f)) return false;  // Rejects NaN tolerance.
+  *probe = std::move(out);
   return true;
 }
 

@@ -4,10 +4,31 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/rapid.h"
+#include "datagen/types.h"
 
 namespace rapid::serve {
+
+/// A recorded probe for validating snapshots before they are published
+/// (`ServingRouter::LoadSlot`): `expected_scores` is the fitted model's
+/// `ScoreList` output on `list`, captured at save time. A snapshot whose
+/// scores drift past `tolerance` on any item — including NaN — is
+/// corrupt-but-parseable and is rejected before the swap.
+///
+/// Since format v3, `Snapshot::Save` auto-records a probe into the
+/// `.rsnp` trailer, so every `LoadSlot` validates every snapshot without
+/// the caller wiring `ServingRouter::SetCanary` by hand; `SetCanary`
+/// remains as an override for custom probe lists.
+struct CanaryProbe {
+  data::ImpressionList list;
+  std::vector<float> expected_scores;
+  /// Max absolute per-score drift. Snapshot round trips are bit-exact, so
+  /// any honest load reproduces the scores exactly; the tolerance only
+  /// absorbs future quantized/compressed formats.
+  float tolerance = 1e-4f;
+};
 
 /// Which re-ranker family a snapshot rehydrates into. Stored as a tag in
 /// the snapshot header (format v2+) so a serving process can reconstruct
@@ -29,7 +50,7 @@ const char* SnapshotFamilyName(SnapshotFamily family);
 /// and the model registry.
 struct SnapshotInfo {
   SnapshotFamily family = SnapshotFamily::kRapid;
-  /// On-disk format version of the file (1 or 2).
+  /// On-disk format version of the file (1, 2, or 3).
   uint32_t format_version = 0;
   /// Full configuration. For `kRapid` every field is meaningful; for the
   /// baseline families only `train` (the shared `NeuralRerankConfig`)
@@ -48,7 +69,15 @@ struct SnapshotInfo {
 /// The format is versioned; loaders reject unknown versions, unknown
 /// family tags, mismatched dataset dimensions, and truncated weight blobs
 /// by returning null. v1 files (written before the family tag existed)
-/// still load, as `RapidReranker`.
+/// still load, as `RapidReranker`; v2 files (no canary trailer) load but
+/// report no embedded probe.
+///
+/// Format v3 appends a self-describing canary trailer after the weight
+/// blob: a deterministic probe list plus the model's scores on it at save
+/// time, closed by a fixed footer (`payload length`, trailer magic) at
+/// EOF. Readers locate it from the file end, so no weight-blob parsing is
+/// needed to recover the probe, and pre-v3 readers — which stop at the
+/// end of the weight blob — are untouched by the extra bytes.
 struct Snapshot {
   /// Writes `model`'s configuration and weights to `path`. `data` supplies
   /// the dimension fingerprint validated at load time. The model must have
@@ -89,6 +118,12 @@ struct Snapshot {
 
   /// Reads the header including the family tag and format version.
   static bool ReadInfo(const std::string& path, SnapshotInfo* info);
+
+  /// Recovers the canary probe auto-recorded by `Save` (format v3+).
+  /// Returns false — without touching `probe` — for pre-v3 files, a
+  /// missing/corrupt trailer, or an internally inconsistent payload; the
+  /// snapshot itself stays loadable either way.
+  static bool ReadCanary(const std::string& path, CanaryProbe* probe);
 };
 
 }  // namespace rapid::serve

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+
+namespace rapid {
+namespace {
+
+net::WireRequest SampleRequest(uint64_t id = 7) {
+  net::WireRequest request;
+  request.request_id = id;
+  request.slot = "main";
+  request.lane = serve::Lane::kLow;
+  request.deadline_us = 2500;
+  request.list.user_id = 42;
+  for (int i = 0; i < 10; ++i) {
+    request.list.items.push_back(100 + i);
+    request.list.scores.push_back(1.0f - 0.1f * static_cast<float>(i));
+  }
+  return request;
+}
+
+net::WireResponse SampleResponse(uint64_t id = 7) {
+  net::WireResponse response;
+  response.request_id = id;
+  response.degraded = true;
+  response.cache_hit = true;
+  response.model_name = "rapid-v2";
+  response.model_version = 9;
+  response.server_latency_us = 1234;
+  response.items = {3, 1, 4, 1, 5};
+  return response;
+}
+
+std::vector<uint8_t> Encoded(const net::WireRequest& request) {
+  std::vector<uint8_t> bytes;
+  net::EncodeScoreRequest(request, &bytes);
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+
+TEST(NetCodecTest, ScoreRequestRoundTrips) {
+  const net::WireRequest request = SampleRequest();
+  const std::vector<uint8_t> bytes = Encoded(request);
+  ASSERT_GE(bytes.size(), net::kFrameHeaderBytes);
+
+  size_t consumed = 0;
+  net::Frame frame;
+  ASSERT_EQ(net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame),
+            net::DecodeStatus::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(frame.header.type, net::FrameType::kScoreRequest);
+  EXPECT_EQ(frame.header.request_id, request.request_id);
+
+  net::WireRequest decoded;
+  ASSERT_TRUE(net::ParseScoreRequest(frame, &decoded));
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.slot, request.slot);
+  EXPECT_EQ(decoded.lane, request.lane);
+  EXPECT_EQ(decoded.deadline_us, request.deadline_us);
+  EXPECT_EQ(decoded.list.user_id, request.list.user_id);
+  EXPECT_EQ(decoded.list.items, request.list.items);
+  EXPECT_EQ(decoded.list.scores, request.list.scores);
+}
+
+TEST(NetCodecTest, ScoreResponseAndErrorRoundTrip) {
+  const net::WireResponse response = SampleResponse();
+  std::vector<uint8_t> bytes;
+  net::EncodeScoreResponse(response, &bytes);
+  net::EncodeError(11, "slot unknown", &bytes);  // Appended, same buffer.
+
+  size_t consumed = 0;
+  net::Frame frame;
+  ASSERT_EQ(net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame),
+            net::DecodeStatus::kOk);
+  net::WireResponse decoded;
+  ASSERT_TRUE(net::ParseScoreResponse(frame, &decoded));
+  EXPECT_EQ(decoded.request_id, response.request_id);
+  EXPECT_EQ(decoded.degraded, response.degraded);
+  EXPECT_EQ(decoded.shed, response.shed);
+  EXPECT_EQ(decoded.cache_hit, response.cache_hit);
+  EXPECT_EQ(decoded.model_name, response.model_name);
+  EXPECT_EQ(decoded.model_version, response.model_version);
+  EXPECT_EQ(decoded.server_latency_us, response.server_latency_us);
+  EXPECT_EQ(decoded.items, response.items);
+
+  // Second frame in the same flat buffer: the error report.
+  const size_t first = consumed;
+  ASSERT_EQ(net::ExtractFrame(bytes.data() + first, bytes.size() - first,
+                              &consumed, &frame),
+            net::DecodeStatus::kOk);
+  EXPECT_EQ(first + consumed, bytes.size());
+  net::WireError error;
+  ASSERT_TRUE(net::ParseError(frame, &error));
+  EXPECT_EQ(error.request_id, 11u);
+  EXPECT_EQ(error.message, "slot unknown");
+}
+
+TEST(NetCodecTest, RandomizedRequestsRoundTripExactly) {
+  std::mt19937_64 rng(20260805);
+  std::uniform_int_distribution<int> num_items(0, 64);
+  std::uniform_int_distribution<int> slot_len(0, 32);
+  std::uniform_real_distribution<float> score(-10.0f, 10.0f);
+  for (int trial = 0; trial < 200; ++trial) {
+    net::WireRequest request;
+    request.request_id = rng();
+    const int n = slot_len(rng);
+    for (int i = 0; i < n; ++i) {
+      request.slot.push_back(static_cast<char>('a' + (rng() % 26)));
+    }
+    request.lane = (rng() & 1) ? serve::Lane::kLow : serve::Lane::kHigh;
+    request.deadline_us = static_cast<int64_t>(rng() % 1'000'000);
+    request.list.user_id = static_cast<int>(rng() % 10'000);
+    const int items = num_items(rng);
+    for (int i = 0; i < items; ++i) {
+      request.list.items.push_back(static_cast<int>(rng() % 100'000));
+      request.list.scores.push_back(score(rng));
+    }
+
+    const std::vector<uint8_t> bytes = Encoded(request);
+    size_t consumed = 0;
+    net::Frame frame;
+    ASSERT_EQ(net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame),
+              net::DecodeStatus::kOk)
+        << trial;
+    ASSERT_EQ(consumed, bytes.size()) << trial;
+    net::WireRequest decoded;
+    ASSERT_TRUE(net::ParseScoreRequest(frame, &decoded)) << trial;
+    EXPECT_EQ(decoded.request_id, request.request_id);
+    EXPECT_EQ(decoded.slot, request.slot);
+    EXPECT_EQ(decoded.lane, request.lane);
+    EXPECT_EQ(decoded.deadline_us, request.deadline_us);
+    EXPECT_EQ(decoded.list.user_id, request.list.user_id);
+    EXPECT_EQ(decoded.list.items, request.list.items);
+    // Scores must survive bit-exactly (they feed the cache fingerprint).
+    ASSERT_EQ(decoded.list.scores.size(), request.list.scores.size());
+    if (!request.list.scores.empty()) {
+      EXPECT_EQ(0, std::memcmp(decoded.list.scores.data(),
+                               request.list.scores.data(),
+                               request.list.scores.size() * sizeof(float)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Framing robustness: torn, corrupt, and hostile buffers
+
+TEST(NetCodecTest, EveryTruncationIsNeedMoreNeverError) {
+  const std::vector<uint8_t> bytes = Encoded(SampleRequest());
+  // Any strict prefix of a valid frame is an incomplete read in progress:
+  // the decoder must ask for more bytes, not kill the connection. (A
+  // prefix shorter than the magic cannot be vetted yet either.)
+  for (size_t size = 0; size < bytes.size(); ++size) {
+    size_t consumed = 0;
+    net::Frame frame;
+    EXPECT_EQ(net::ExtractFrame(bytes.data(), size, &consumed, &frame),
+              net::DecodeStatus::kNeedMore)
+        << "prefix of " << size << " bytes";
+  }
+}
+
+struct CorruptCase {
+  const char* name;
+  size_t offset;      // Byte to overwrite...
+  uint8_t value;      // ...with this value.
+};
+
+TEST(NetCodecTest, CorruptHeadersAreRejectedWithoutCrash) {
+  const std::vector<uint8_t> valid = Encoded(SampleRequest());
+  const CorruptCase cases[] = {
+      {"bad magic byte 0", 0, 0x00},
+      {"bad magic byte 3", 3, 0xFF},
+      {"unknown version", 4, 99},
+      {"reserved flags set", 6, 0x01},
+      {"reserved flags high byte", 7, 0x80},
+  };
+  for (const CorruptCase& c : cases) {
+    std::vector<uint8_t> bytes = valid;
+    bytes[c.offset] = c.value;
+    size_t consumed = 0;
+    net::Frame frame;
+    EXPECT_EQ(net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame),
+              net::DecodeStatus::kError)
+        << c.name;
+  }
+
+  // An oversized payload length is rejected from the header alone — the
+  // decoder must not wait for (or allocate) a gigabyte that will never
+  // arrive.
+  std::vector<uint8_t> bytes = valid;
+  const uint32_t huge = 0x40000000;
+  std::memcpy(bytes.data() + 16, &huge, sizeof(huge));
+  size_t consumed = 0;
+  net::Frame frame;
+  EXPECT_EQ(net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame),
+            net::DecodeStatus::kError);
+
+  // A length just past the configured cap is equally dead, even though the
+  // header itself is well-formed.
+  net::CodecLimits limits;
+  limits.max_payload_bytes = 64;
+  std::vector<uint8_t> capped = valid;
+  const uint32_t over = 65;
+  std::memcpy(capped.data() + 16, &over, sizeof(over));
+  EXPECT_EQ(
+      net::ExtractFrame(capped.data(), capped.size(), &consumed, &frame, limits),
+      net::DecodeStatus::kError);
+}
+
+TEST(NetCodecTest, ZeroLengthPayloadFramesParseCleanly) {
+  // Hand-build a header-only frame (payload_len = 0) of each type. The
+  // framing layer accepts it; the payload parsers reject it as truncated
+  // without reading out of bounds.
+  for (uint8_t type = 1; type <= 3; ++type) {
+    std::vector<uint8_t> bytes(net::kFrameHeaderBytes, 0);
+    std::memcpy(bytes.data(), &net::kFrameMagic, 4);
+    bytes[4] = net::kProtocolVersion;
+    bytes[5] = type;
+    const uint64_t id = 5;
+    std::memcpy(bytes.data() + 8, &id, sizeof(id));
+
+    size_t consumed = 0;
+    net::Frame frame;
+    ASSERT_EQ(net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame),
+              net::DecodeStatus::kOk)
+        << int{type};
+    EXPECT_EQ(frame.payload.size(), 0u);
+    net::WireRequest request;
+    net::WireResponse response;
+    net::WireError error;
+    // Every payload starts with at least a length word, so a zero-byte
+    // payload is truncated for all three types.
+    EXPECT_FALSE(net::ParseScoreRequest(frame, &request)) << int{type};
+    EXPECT_FALSE(net::ParseScoreResponse(frame, &response)) << int{type};
+    EXPECT_FALSE(net::ParseError(frame, &error)) << int{type};
+  }
+}
+
+TEST(NetCodecTest, ItemCountPointingPastPayloadEndFailsCleanly) {
+  std::vector<uint8_t> bytes = Encoded(SampleRequest());
+  // The item-count word sits after slot (u16 len + 4 bytes of "main"),
+  // lane (u8), deadline (i64), and user id (i32) in the payload. Inflate
+  // it so the declared array runs far past the payload end.
+  const size_t count_off = net::kFrameHeaderBytes + 2 + 4 + 1 + 8 + 4;
+  ASSERT_LT(count_off + 4, bytes.size());
+  const uint32_t absurd = 0x00FFFFFF;
+  std::memcpy(bytes.data() + count_off, &absurd, sizeof(absurd));
+
+  size_t consumed = 0;
+  net::Frame frame;
+  ASSERT_EQ(net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame),
+            net::DecodeStatus::kOk);  // Framing is intact...
+  net::WireRequest decoded;
+  EXPECT_FALSE(net::ParseScoreRequest(frame, &decoded));  // ...payload not.
+}
+
+TEST(NetCodecTest, SingleBitFlipsNeverCrashTheDecoder) {
+  const std::vector<uint8_t> valid = Encoded(SampleRequest());
+  // Exhaustive single-bit corruption over the whole frame: every outcome
+  // (accept, need-more, error, parse failure) is acceptable — crashing,
+  // hanging, or reading out of bounds is not. ASan/UBSan builds give this
+  // test its teeth.
+  for (size_t byte = 0; byte < valid.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> bytes = valid;
+      bytes[byte] ^= static_cast<uint8_t>(1u << bit);
+      size_t consumed = 0;
+      net::Frame frame;
+      const net::DecodeStatus status =
+          net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame);
+      if (status == net::DecodeStatus::kOk) {
+        net::WireRequest decoded;
+        net::WireResponse response;
+        net::WireError error;
+        net::ParseScoreRequest(frame, &decoded);
+        net::ParseScoreResponse(frame, &response);
+        net::ParseError(frame, &error);
+      }
+    }
+  }
+}
+
+TEST(NetCodecTest, RandomGarbageBuffersNeverCrashTheDecoder) {
+  std::mt19937_64 rng(97);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> bytes(rng() % 256);
+    for (uint8_t& b : bytes) b = static_cast<uint8_t>(rng());
+    size_t consumed = 0;
+    net::Frame frame;
+    const net::DecodeStatus status =
+        net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame);
+    if (status == net::DecodeStatus::kOk) {
+      EXPECT_LE(consumed, bytes.size());
+      net::WireRequest request;
+      net::ParseScoreRequest(frame, &request);
+    }
+  }
+}
+
+TEST(NetCodecTest, LimitsBoundItemAndStringSizes) {
+  net::CodecLimits limits;
+  limits.max_items = 4;
+  net::WireRequest request = SampleRequest();  // 10 items > 4 allowed.
+  const std::vector<uint8_t> bytes = Encoded(request);
+  size_t consumed = 0;
+  net::Frame frame;
+  ASSERT_EQ(net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame),
+            net::DecodeStatus::kOk);
+  net::WireRequest decoded;
+  EXPECT_FALSE(net::ParseScoreRequest(frame, &decoded, limits));
+  EXPECT_TRUE(net::ParseScoreRequest(frame, &decoded));  // Default limits ok.
+
+  net::CodecLimits tight;
+  tight.max_string_bytes = 2;
+  EXPECT_FALSE(net::ParseScoreRequest(frame, &decoded, tight));  // "main" > 2.
+}
+
+}  // namespace
+}  // namespace rapid

@@ -110,6 +110,46 @@ TEST(ResultCacheTest, CapacityOneKeepsOnlyTheLatestEntry) {
   EXPECT_EQ(cache.TotalStats().evictions, 1u);
 }
 
+TEST(ResultCacheTest, SecondHitAdmissionDefersFirstSightings) {
+  serve::CachePolicy policy = UnitPolicy(8);
+  policy.admit_on_second_hit = true;
+  serve::ResultCache cache(policy);
+
+  // First miss of a key records a sighting, stores nothing.
+  cache.Insert("m", 1, /*fingerprint=*/1, Result(1, {1}));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("m", 1, 1).has_value());
+  EXPECT_EQ(cache.TotalStats().deferred, 1u);
+  EXPECT_EQ(cache.TotalStats().inserts, 0u);
+
+  // The repeat miss admits; the third request is a genuine hit.
+  cache.Insert("m", 1, 1, Result(1, {1}));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup("m", 1, 1).has_value());
+  EXPECT_EQ(cache.TotalStats().deferred, 1u);
+  EXPECT_EQ(cache.TotalStats().inserts, 1u);
+
+  // One-off keys never enter the LRU, so they cannot displace the hot
+  // entry no matter how many distinct ones stream past.
+  for (uint64_t fp = 100; fp < 200; ++fp) {
+    cache.Insert("m", 1, fp, Result(1));
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup("m", 1, 1).has_value());
+  EXPECT_EQ(cache.TotalStats().deferred, 101u);
+
+  // A new model version is a new key: admission is re-earned per version.
+  cache.Insert("m", 2, 1, Result(2, {1}));
+  EXPECT_FALSE(cache.Lookup("m", 2, 1).has_value());
+  cache.Insert("m", 2, 1, Result(2, {1}));
+  EXPECT_TRUE(cache.Lookup("m", 2, 1).has_value());
+
+  // The per-slot attribution and the JSON rendering carry the counter.
+  EXPECT_GE(cache.StatsFor("m").deferred, 1u);
+  EXPECT_NE(cache.TotalStats().ToJson().find("\"deferred\": "),
+            std::string::npos);
+}
+
 TEST(ResultCacheTest, TtlExpiresEntries) {
   serve::ResultCache cache(UnitPolicy(8, /*ttl_us=*/20'000));
   cache.Insert("m", 1, 1, Result(1));

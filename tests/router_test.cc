@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -440,18 +441,25 @@ TEST_F(RouterSnapshotTest, LoadSlotHotSwapsSnapshots) {
   EXPECT_EQ(r2.model_version, 2u);
 }
 
-// Copies `path` and XOR-flips the last `tail` bytes. The snapshot file
-// ends with the last weight matrix's float payload, so flipping only the
-// final float keeps the copy structurally parseable — dimensions and
-// magics intact, weights wrong (flipping every bit of a float always
-// changes its value, or yields NaN). That is exactly the failure mode a
-// canary must catch: corrupt-but-loadable.
+// Copies `path` and XOR-flips the last `tail` weight bytes — the bytes
+// just *before* the v3 canary trailer, located via the trailer footer's
+// payload length. Flipping only the final weight float keeps the copy
+// structurally parseable — dimensions, magics, and trailer intact, weights
+// wrong (flipping every bit of a float always changes its value, or
+// yields NaN). That is exactly the failure mode a canary must catch:
+// corrupt-but-loadable.
 std::string BitFlippedCopy(const std::string& path, size_t tail) {
   std::ifstream in(path, std::ios::binary);
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
-  EXPECT_GT(bytes.size(), tail);
-  for (size_t i = bytes.size() - tail; i < bytes.size(); ++i) {
+  uint32_t payload_len = 0;
+  EXPECT_GT(bytes.size(), 8u);
+  std::memcpy(&payload_len, bytes.data() + bytes.size() - 8,
+              sizeof(payload_len));
+  const size_t trailer = static_cast<size_t>(payload_len) + 8;
+  EXPECT_GT(bytes.size(), trailer + tail);
+  for (size_t i = bytes.size() - trailer - tail; i < bytes.size() - trailer;
+       ++i) {
     bytes[i] = static_cast<char>(bytes[i] ^ 0xFF);
   }
   const std::string out_path = path + ".corrupt";
@@ -477,6 +485,9 @@ TEST_F(RouterSnapshotTest, CanaryRejectsCorruptSnapshotBeforePublish) {
   // The bit-flipped snapshot parses but scores differently (or NaN): the
   // canary rejects it before publish and v1 keeps serving.
   const std::string corrupt = BitFlippedCopy(path, /*tail=*/4);
+  ASSERT_NE(serve::Snapshot::LoadAny(corrupt, data_), nullptr)
+      << "corrupt copy must stay parseable — the probe, not the parser, is "
+         "the gate under test";
   EXPECT_EQ(router.LoadSlot("main", corrupt), 0u);
   EXPECT_EQ(router.SlotVersion("main"), 1u);
   const serve::RouterResponse r =
@@ -488,11 +499,28 @@ TEST_F(RouterSnapshotTest, CanaryRejectsCorruptSnapshotBeforePublish) {
   EXPECT_NE(router.stats().ToJson().find("\"canary_rejected\": 1"),
             std::string::npos);
 
-  // Without the canary the same file loads fine — proof that the blob was
-  // still parseable and the probe (not the parser) was the gate.
+  // Clearing the explicit canary falls back to the probe the snapshot
+  // itself recorded at save time — the corrupt copy still cannot publish.
   EXPECT_TRUE(router.ClearCanary("main"));
   EXPECT_FALSE(router.ClearCanary("main"));
-  EXPECT_EQ(router.LoadSlot("main", corrupt), 2u);
+  EXPECT_EQ(router.LoadSlot("main", corrupt), 0u);
+  EXPECT_EQ(router.stats().canary_rejected, 2u);
+}
+
+// The embedded probe guards LoadSlot with zero caller wiring: no
+// SetCanary anywhere, yet the corrupt snapshot is rejected while the
+// faithful one publishes.
+TEST_F(RouterSnapshotTest, EmbeddedCanaryGuardsLoadSlotWithoutSetCanary) {
+  const std::string path = TrainAndSnapshot(8, 6, "router_autocanary.rsnp");
+  serve::ServingRouter router(data_, {});
+
+  const std::string corrupt = BitFlippedCopy(path, /*tail=*/4);
+  EXPECT_EQ(router.LoadSlot("main", corrupt), 0u);
+  EXPECT_EQ(router.stats().canary_rejected, 1u);
+  EXPECT_EQ(router.SlotVersion("main"), 0u);
+
+  EXPECT_EQ(router.LoadSlot("main", path), 1u);
+  EXPECT_EQ(router.SlotVersion("main"), 1u);
 }
 
 // Cache-on variant of the hot-swap acceptance test, sized for TSan: one

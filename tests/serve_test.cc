@@ -471,6 +471,54 @@ TEST_F(ServeTest, V1SnapshotsStillLoadAsRapid) {
   EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
 }
 
+TEST_F(ServeTest, SaveAutoRecordsCanaryProbeReadableFromTrailer) {
+  const core::RapidReranker trained = FittedModel();
+  const std::string path = ::testing::TempDir() + "/rapid_canary.rsnp";
+  ASSERT_TRUE(serve::Snapshot::Save(path, trained, data_));
+
+  serve::CanaryProbe probe;
+  ASSERT_TRUE(serve::Snapshot::ReadCanary(path, &probe));
+  ASSERT_FALSE(probe.list.items.empty());
+  ASSERT_EQ(probe.list.items.size(), probe.list.scores.size());
+  ASSERT_EQ(probe.list.items.size(), probe.expected_scores.size());
+  // The recorded scores are exactly the saved model's forward pass on the
+  // recorded list — what LoadSlot replays against a candidate snapshot.
+  const std::vector<float> replay = trained.ScoreList(data_, probe.list);
+  EXPECT_EQ(0, std::memcmp(replay.data(), probe.expected_scores.data(),
+                           replay.size() * sizeof(float)));
+
+  // A v1-style rewrite has no trailer to find: ReadCanary refuses before
+  // ever touching the file end.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  const std::string v1_path = ::testing::TempDir() + "/rapid_canary_v1.rsnp";
+  {
+    std::ofstream out(v1_path, std::ios::binary);
+    const uint32_t version = 1;
+    out.write(bytes.data(), 4);  // magic
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(bytes.data() + 12, bytes.size() - 12);  // skip family tag
+  }
+  serve::CanaryProbe ignored;
+  EXPECT_FALSE(serve::Snapshot::ReadCanary(v1_path, &ignored));
+  EXPECT_NE(serve::Snapshot::Load(v1_path, data_), nullptr);
+
+  // A corrupted trailer footer makes the probe unreadable, not the
+  // snapshot unloadable.
+  std::string torn = bytes;
+  torn.back() = static_cast<char>(torn.back() ^ 0xFF);
+  const std::string torn_path = ::testing::TempDir() + "/rapid_canary_t.rsnp";
+  std::ofstream(torn_path, std::ios::binary)
+      .write(torn.data(), static_cast<std::streamsize>(torn.size()));
+  EXPECT_FALSE(serve::Snapshot::ReadCanary(torn_path, &ignored));
+  EXPECT_NE(serve::Snapshot::Load(torn_path, data_), nullptr);
+}
+
 TEST_F(ServeTest, FamilyTaggedSnapshotRoundTripsBaselines) {
   rerank::NeuralRerankConfig cfg;
   cfg.epochs = 1;
@@ -485,7 +533,7 @@ TEST_F(ServeTest, FamilyTaggedSnapshotRoundTripsBaselines) {
   serve::SnapshotInfo info;
   ASSERT_TRUE(serve::Snapshot::ReadInfo(path, &info));
   EXPECT_EQ(info.family, serve::SnapshotFamily::kPrm);
-  EXPECT_EQ(info.format_version, 2u);
+  EXPECT_EQ(info.format_version, 3u);
   EXPECT_EQ(info.config.train.hidden_dim, 8);
   EXPECT_STREQ(serve::SnapshotFamilyName(info.family), "PRM");
 
