@@ -1,5 +1,6 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +31,34 @@ bool JsonFlag(int argc, char** argv) {
     if (std::strcmp(argv[i], "--json") == 0) return true;
   }
   return false;
+}
+
+std::string RepeatStats::SamplesJson() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) out << ", ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", samples[i]);
+    out << buf;
+  }
+  out << "]";
+  return out.str();
+}
+
+RepeatStats Repeat(int repetitions, const std::function<double()>& measure) {
+  RepeatStats stats;
+  stats.samples.reserve(static_cast<size_t>(std::max(repetitions, 1)));
+  for (int k = 0; k < std::max(repetitions, 1); ++k) {
+    stats.samples.push_back(measure());
+  }
+  std::vector<double> sorted = stats.samples;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min = sorted.front();
+  const size_t n = sorted.size();
+  stats.median = n % 2 == 1 ? sorted[n / 2]
+                            : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  return stats;
 }
 
 std::string TableJson(const eval::ResultTable& table,

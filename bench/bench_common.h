@@ -107,6 +107,26 @@ std::string RunMethodSweep(const eval::Environment& env,
 /// for perf-trajectory tracking.
 bool JsonFlag(int argc, char** argv);
 
+/// Result of repeating one timed measurement `K` times (see `Repeat`).
+/// Perf benches report `median` under the ledger's canonical metric key
+/// (the value `perf/ledger_trend.py` gates) and `min`/`samples` under
+/// non-gated side keys, so one noisy run on a shared box neither trips nor
+/// masks the trend gate.
+struct RepeatStats {
+  std::vector<double> samples;
+  double min = 0.0;
+  double median = 0.0;
+
+  /// The samples as a JSON array fragment, e.g. `[101.2, 99.8, 100.4]`.
+  std::string SamplesJson() const;
+};
+
+/// Runs `measure` `repetitions` times and summarizes the returned values.
+/// The first invocation is NOT discarded: callers that need a warm-up
+/// (page-in, allocator steady state) should run one themselves before
+/// timing — keeping that explicit avoids silently hiding first-run costs.
+RepeatStats Repeat(int repetitions, const std::function<double()>& measure);
+
 /// Renders a swept result table as one JSON object:
 /// `{"title": ..., "rows": [{"method": ..., "metrics": {"click@5": ...}}]}`
 /// with per-metric means, matching the numbers in the rendered table.

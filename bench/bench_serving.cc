@@ -114,50 +114,61 @@ int main(int argc, char** argv) {
   };
   const Mode modes[] = {{"compute", 0}, {"fetch+compute", 1500}};
 
+  // Every (mode, threads) cell is repeated: the ledger gate compares the
+  // median (stable on a shared box), while min and raw samples ride along
+  // under non-gated keys for manual inspection.
+  const int repetitions = 5;
+
   std::string results_json;
   bool first = true;
   for (const Mode& mode : modes) {
     const FetchStallReranker served(*model, mode.stall_us);
     double throughput_1 = 0.0;
     for (int threads : {1, 2, 4, 8}) {
-      serve::ServingConfig serving;
-      serving.num_threads = threads;
-      serving.max_batch = 4;
-      serving.max_wait_us = 100;
-      serving.queue_capacity = 256;
-      serving.deadline_us = 0;  // Measure the pure model path.
-      serve::ServingEngine engine(env.dataset(), served, serving);
+      serve::ServingStats stats;  // From the last repetition.
+      const bench::RepeatStats reps = bench::Repeat(repetitions, [&] {
+        serve::ServingConfig serving;
+        serving.num_threads = threads;
+        serving.max_batch = 4;
+        serving.max_wait_us = 100;
+        serving.queue_capacity = 256;
+        serving.deadline_us = 0;  // Measure the pure model path.
+        serve::ServingEngine engine(env.dataset(), served, serving);
 
-      const auto t0 = std::chrono::steady_clock::now();
-      std::vector<std::future<serve::RerankResponse>> futures;
-      futures.reserve(stream.size());
-      for (const data::ImpressionList* list : stream) {
-        futures.push_back(engine.Submit(*list));
-      }
-      for (auto& f : futures) f.get();
-      const double secs =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      engine.Shutdown();
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::future<serve::RerankResponse>> futures;
+        futures.reserve(stream.size());
+        for (const data::ImpressionList* list : stream) {
+          futures.push_back(engine.Submit(*list));
+        }
+        for (auto& f : futures) f.get();
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        engine.Shutdown();
+        stats = engine.stats();
+        return static_cast<double>(total_requests) / secs;
+      });
 
-      const serve::ServingStats stats = engine.stats();
-      const double throughput = static_cast<double>(total_requests) / secs;
+      const double throughput = reps.median;
       if (threads == 1) throughput_1 = throughput;
       std::fprintf(
           stderr,
-          "[serving] %-13s threads=%d  %7.0f req/s  (%.2fx vs 1 thread)  "
-          "p50=%.0fus p99=%.0fus\n",
-          mode.name, threads, throughput,
+          "[serving] %-13s threads=%d  %7.0f req/s median of %d "
+          "(min %.0f, %.2fx vs 1 thread)  p50=%.0fus p99=%.0fus\n",
+          mode.name, threads, throughput, repetitions, reps.min,
           throughput_1 > 0 ? throughput / throughput_1 : 1.0, stats.p50_us,
           stats.p99_us);
-      char row[768];
+      char row[1024];
       std::snprintf(row, sizeof(row),
                     "%s  {\"mode\": \"%s\", \"threads\": %d, "
                     "\"fetch_stall_us\": %d, \"throughput_rps\": %.1f, "
+                    "\"throughput_rps_min\": %.1f, "
+                    "\"throughput_rps_samples\": %s, "
                     "\"speedup_vs_1\": %.2f, \"stats\": %s}",
                     first ? "" : ",\n", mode.name, threads, mode.stall_us,
-                    throughput, throughput_1 > 0 ? throughput / throughput_1
-                                                 : 1.0,
+                    throughput, reps.min, reps.SamplesJson().c_str(),
+                    throughput_1 > 0 ? throughput / throughput_1 : 1.0,
                     stats.ToJson().c_str());
       results_json += row;
       first = false;

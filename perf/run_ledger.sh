@@ -32,6 +32,7 @@ fi
 
 benches=(
   "bench_serving --quick"
+  "bench_batch --quick --json"
   "bench_router --quick --json"
   "bench_cache --quick --json"
   "bench_net --quick --json"

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <unordered_map>
 
 #include "datagen/history.h"
 
@@ -13,21 +14,36 @@ using nn::Variable;
 
 // Per-item relevance input e_i = [x_u, x_v, tau_v, initial score] (paper
 // Section III-B plus the normalized initial score, so every neural
-// re-ranker in this repo sees identical per-item inputs — see DESIGN.md).
-nn::Matrix RelevanceFeatureMatrix(const data::Dataset& data,
-                                  const data::ImpressionList& list) {
-  return rerank::ListFeatureMatrix(data, list);
+// re-ranker in this repo sees identical per-item inputs — see DESIGN.md),
+// stacked list-major over a same-length batch.
+nn::Matrix RelevanceFeatureMatrix(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists) {
+  return rerank::BatchFeatureMatrix(data, lists);
 }
 
-std::vector<Variable> RowSequence(const nn::Matrix& feats) {
-  std::vector<Variable> rows;
-  rows.reserve(feats.rows());
-  for (int i = 0; i < feats.rows(); ++i) {
-    nn::Matrix r(1, feats.cols());
-    for (int c = 0; c < feats.cols(); ++c) r.at(0, c) = feats.at(i, c);
-    rows.push_back(Variable::Constant(std::move(r)));
+// idx[b*L + i] = i*B + b: reorders time-major recurrence output rows
+// (step-of-all-lists) back to list-major blocks.
+std::vector<int> ListMajorIndex(int B, int L) {
+  std::vector<int> idx(static_cast<size_t>(B) * L);
+  for (int b = 0; b < B; ++b) {
+    for (int i = 0; i < L; ++i) idx[b * L + i] = i * B + b;
   }
-  return rows;
+  return idx;
+}
+
+// Tiles a per-list (L x d) constant (e.g. the sinusoidal positional
+// encoding) B times: row b*L + i of the result is row i of `pe`.
+nn::Matrix TileRows(const nn::Matrix& pe, int B) {
+  nn::Matrix out(B * pe.rows(), pe.cols());
+  for (int b = 0; b < B; ++b) {
+    for (int i = 0; i < pe.rows(); ++i) {
+      const float* src = pe.row(i);
+      float* dst = out.row(b * pe.rows() + i);
+      for (int c = 0; c < pe.cols(); ++c) dst[c] = src[c];
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -110,15 +126,23 @@ void RapidReranker::InitNet(const data::Dataset& data, std::mt19937_64& rng) {
 }
 
 Variable RapidReranker::RelevanceStates(
-    const data::Dataset& data, const data::ImpressionList& list) const {
-  const nn::Matrix feats = RelevanceFeatureMatrix(data, list);
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists) const {
+  const int B = static_cast<int>(lists.size());
+  const int L = static_cast<int>(lists[0]->items.size());
+  const nn::Matrix feats = RelevanceFeatureMatrix(data, lists);
   if (rapid_config_.relevance_encoder == RelevanceEncoder::kBiLstm) {
-    return nn::ConcatRows(net_->bilstm->Forward(RowSequence(feats)));
+    // One time-major recurrence encodes all lists at once; rows evolve
+    // independently, so each list's states match its solo encoding.
+    Variable tm = nn::ConcatRows(
+        net_->bilstm->Forward(rerank::TimeMajorSteps(feats, B, L)));
+    if (B == 1) return tm;  // time-major == list-major for one list
+    return nn::GatherRows(tm, ListMajorIndex(B, L));
   }
   Variable h = net_->trans_proj->Forward(Variable::Constant(feats));
-  h = nn::Add(h, Variable::Constant(nn::SinusoidalPositionalEncoding(
-                     feats.rows(), h.cols())));
-  return net_->trans_enc->Forward(h);
+  h = nn::Add(h, Variable::Constant(TileRows(
+                     nn::SinusoidalPositionalEncoding(L, h.cols()), B)));
+  return net_->trans_enc->Forward(h, /*segment=*/L);
 }
 
 Variable RapidReranker::Theta(const data::Dataset& data, int user_id) const {
@@ -182,37 +206,51 @@ Variable RapidReranker::Theta(const data::Dataset& data, int user_id) const {
   return nn::Sigmoid(theta);
 }
 
-Variable RapidReranker::BuildLogits(const data::Dataset& data,
-                                    const data::ImpressionList& list,
-                                    bool training,
-                                    std::mt19937_64& rng) const {
-  const int L = static_cast<int>(list.items.size());
+Variable RapidReranker::BuildBatchLogits(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists, bool training,
+    std::mt19937_64& rng) const {
+  const int B = static_cast<int>(lists.size());
+  const int L = static_cast<int>(lists[0]->items.size());
   // Skip connection of the raw per-item features into the head alongside
   // the encoded listwise context (small-scale trainability; DESIGN.md).
   Variable head_in =
-      nn::ConcatCols({RelevanceStates(data, list),
-                      Variable::Constant(RelevanceFeatureMatrix(data, list))});
+      nn::ConcatCols({RelevanceStates(data, lists),
+                      Variable::Constant(RelevanceFeatureMatrix(data, lists))});
 
   if (rapid_config_.diversity_aggregator != DiversityAggregator::kNone) {
-    Variable theta = Theta(data, list.user_id);  // (1 x m)
-    // Marginal diversity d_R (Eq. 5, under the configured submodular
-    // function) as a constant (L x m), weighted by the personalized
-    // preference (Eq. 6).
-    const auto md = MarginalDiversityOf(rapid_config_.diversity_function,
-                                        data, list.items);
-    nn::Matrix d_mat(L, data.num_topics);
-    for (int i = 0; i < L; ++i) {
-      for (int j = 0; j < data.num_topics; ++j) d_mat.at(i, j) = md[i][j];
+    // The personalized diversity gain is inherently per list (theta is
+    // per user, d_R per candidate set): compute each list's (L x m) block
+    // and stack. A user appearing in several lists shares one Theta graph.
+    std::unordered_map<int, Variable> theta_by_user;
+    std::vector<Variable> deltas;
+    deltas.reserve(lists.size());
+    for (const data::ImpressionList* list : lists) {
+      auto it = theta_by_user.find(list->user_id);
+      if (it == theta_by_user.end()) {
+        it = theta_by_user.emplace(list->user_id, Theta(data, list->user_id))
+                 .first;
+      }
+      // Marginal diversity d_R (Eq. 5, under the configured submodular
+      // function) as a constant (L x m), weighted by the personalized
+      // preference (Eq. 6).
+      const auto md = MarginalDiversityOf(rapid_config_.diversity_function,
+                                          data, list->items);
+      nn::Matrix d_mat(L, data.num_topics);
+      for (int i = 0; i < L; ++i) {
+        for (int j = 0; j < data.num_topics; ++j) d_mat.at(i, j) = md[i][j];
+      }
+      deltas.push_back(nn::MulRowBroadcast(
+          Variable::Constant(std::move(d_mat)), it->second));
     }
-    Variable delta =
-        nn::MulRowBroadcast(Variable::Constant(std::move(d_mat)), theta);
+    Variable delta = B == 1 ? deltas[0] : nn::ConcatRows(deltas);
     // Alongside the per-topic gains, expose their sum `theta . d_i` — the
     // scalar personalized diversity gain — which is the easiest signal for
     // the head when m is large and the per-topic columns are sparse.
     head_in = nn::ConcatCols({head_in, delta, nn::SumCols(delta)});
   }
 
-  Variable mean_logits = net_->score_mlp->Forward(head_in);  // (L x 1)
+  Variable mean_logits = net_->score_mlp->Forward(head_in);  // (B*L x 1)
   if (rapid_config_.head == OutputHead::kDeterministic) {
     return mean_logits;
   }
@@ -221,9 +259,9 @@ Variable RapidReranker::BuildLogits(const data::Dataset& data,
   // the reparameterization trick, inference the UCB (mean + std).
   Variable sigma = nn::Softplus(net_->sigma_mlp->Forward(head_in));
   if (training) {
-    nn::Matrix noise(L, 1);
+    nn::Matrix noise(B * L, 1);
     std::normal_distribution<float> n01(0.0f, 1.0f);
-    for (int i = 0; i < L; ++i) noise.at(i, 0) = n01(rng);
+    for (int i = 0; i < B * L; ++i) noise.at(i, 0) = n01(rng);
     return nn::Add(mean_logits,
                    nn::Mul(sigma, Variable::Constant(std::move(noise))));
   }

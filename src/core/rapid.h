@@ -81,16 +81,20 @@ class RapidReranker : public rerank::NeuralReranker {
 
  protected:
   void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
-  nn::Variable BuildLogits(const data::Dataset& data,
-                           const data::ImpressionList& list, bool training,
-                           std::mt19937_64& rng) const override;
+  nn::Variable BuildBatchLogits(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists, bool training,
+      std::mt19937_64& rng) const override;
   std::vector<nn::Variable> Params() const override;
 
  private:
   struct Net;
-  /// Relevance representation H (L x 2q_h).
-  nn::Variable RelevanceStates(const data::Dataset& data,
-                               const data::ImpressionList& list) const;
+  /// Relevance representations of a batch of same-length lists, stacked
+  /// list-major: (B*L x 2q_h). Each list's block is bit-identical to its
+  /// solo encoding (time-major Bi-LSTM batching / per-list attention).
+  nn::Variable RelevanceStates(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists) const;
   /// Preference distribution theta (1 x m) for a user.
   nn::Variable Theta(const data::Dataset& data, int user_id) const;
 

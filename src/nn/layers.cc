@@ -173,10 +173,22 @@ std::vector<Variable> BiLstm::Params() const {
   return out;
 }
 
-Variable UnprojectedSelfAttention(const Variable& v) {
+Variable UnprojectedSelfAttention(const Variable& v, int segment) {
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(v.cols()));
-  Variable scores = Scale(MatMul(v, Transpose(v)), inv_sqrt_d);
-  return MatMul(SoftmaxRows(scores), v);
+  const int seg = segment > 0 ? segment : v.rows();
+  assert(seg > 0 && v.rows() % seg == 0);
+  if (seg == v.rows()) {
+    Variable scores = Scale(MatMul(v, Transpose(v)), inv_sqrt_d);
+    return MatMul(SoftmaxRows(scores), v);
+  }
+  std::vector<Variable> blocks;
+  blocks.reserve(v.rows() / seg);
+  for (int start = 0; start < v.rows(); start += seg) {
+    Variable vb = SliceRows(v, start, seg);
+    Variable scores = Scale(MatMul(vb, Transpose(vb)), inv_sqrt_d);
+    blocks.push_back(MatMul(SoftmaxRows(scores), vb));
+  }
+  return ConcatRows(blocks);
 }
 
 MultiHeadAttention::MultiHeadAttention(int dim, int num_heads,
@@ -191,8 +203,10 @@ MultiHeadAttention::MultiHeadAttention(int dim, int num_heads,
   assert(dim % num_heads == 0);
 }
 
-Variable MultiHeadAttention::Forward(const Variable& x) const {
+Variable MultiHeadAttention::Forward(const Variable& x, int segment) const {
   assert(x.cols() == dim_);
+  const int seg = segment > 0 ? segment : x.rows();
+  assert(seg > 0 && x.rows() % seg == 0);
   Variable q = wq_.Forward(x);
   Variable k = wk_.Forward(x);
   Variable v = wv_.Forward(x);
@@ -203,8 +217,23 @@ Variable MultiHeadAttention::Forward(const Variable& x) const {
     Variable qh = SliceCols(q, hidx * head_dim_, head_dim_);
     Variable kh = SliceCols(k, hidx * head_dim_, head_dim_);
     Variable vh = SliceCols(v, hidx * head_dim_, head_dim_);
-    Variable attn = SoftmaxRows(Scale(MatMul(qh, Transpose(kh)), inv_sqrt_d));
-    heads.push_back(MatMul(attn, vh));
+    if (seg == x.rows()) {
+      Variable attn =
+          SoftmaxRows(Scale(MatMul(qh, Transpose(kh)), inv_sqrt_d));
+      heads.push_back(MatMul(attn, vh));
+      continue;
+    }
+    std::vector<Variable> blocks;
+    blocks.reserve(x.rows() / seg);
+    for (int start = 0; start < x.rows(); start += seg) {
+      Variable qb = SliceRows(qh, start, seg);
+      Variable kb = SliceRows(kh, start, seg);
+      Variable vb = SliceRows(vh, start, seg);
+      Variable attn =
+          SoftmaxRows(Scale(MatMul(qb, Transpose(kb)), inv_sqrt_d));
+      blocks.push_back(MatMul(attn, vb));
+    }
+    heads.push_back(ConcatRows(blocks));
   }
   return wo_.Forward(ConcatCols(heads));
 }
@@ -228,8 +257,10 @@ TransformerEncoderLayer::TransformerEncoderLayer(int dim, int num_heads,
       ln2_gamma_(Variable::Parameter(Matrix::Constant(1, dim, 1.0f))),
       ln2_beta_(Variable::Parameter(Matrix(1, dim))) {}
 
-Variable TransformerEncoderLayer::Forward(const Variable& x) const {
-  Variable h = Add(x, mha_.Forward(LayerNorm(x, ln1_gamma_, ln1_beta_)));
+Variable TransformerEncoderLayer::Forward(const Variable& x,
+                                          int segment) const {
+  Variable h =
+      Add(x, mha_.Forward(LayerNorm(x, ln1_gamma_, ln1_beta_), segment));
   Variable h2 =
       Add(h, ffn2_.Forward(ffn1_.Forward(LayerNorm(h, ln2_gamma_, ln2_beta_))));
   return h2;

@@ -146,16 +146,25 @@ class BiLstm : public Module {
 
 /// Parameter-free scaled dot-product self-attention over the rows of `v`:
 /// `softmax(v v^T / sqrt(d)) v`. This is Eq.(2) of the RAPID paper.
-Variable UnprojectedSelfAttention(const Variable& v);
+///
+/// `segment > 0` treats the rows as independent contiguous blocks of
+/// `segment` rows (a batch of same-length lists stacked list-major):
+/// attention never crosses a block boundary, and each block's output is
+/// bit-identical to calling the function on that block alone. `segment ==
+/// 0` (default) attends over all rows — the single-list case.
+Variable UnprojectedSelfAttention(const Variable& v, int segment = 0);
 
 /// Multi-head self-attention with learned Q/K/V/O projections over the rows
-/// of an `(L x d)` input (one list at a time).
+/// of an `(L x d)` input — or, with `segment > 0`, a `(B*L x d)` stack of
+/// `B` independent length-`segment` blocks (see `UnprojectedSelfAttention`
+/// for the blocking contract). Projections run on the full matrix; the
+/// attention itself is computed per block.
 class MultiHeadAttention : public Module {
  public:
   /// `dim` must be divisible by `num_heads`.
   MultiHeadAttention(int dim, int num_heads, std::mt19937_64& rng);
 
-  Variable Forward(const Variable& x) const;
+  Variable Forward(const Variable& x, int segment = 0) const;
   std::vector<Variable> Params() const override;
 
  private:
@@ -167,12 +176,15 @@ class MultiHeadAttention : public Module {
 
 /// Pre-LN transformer encoder block: MHA + position-wise FFN with residual
 /// connections and layer normalization (used by PRM / SetRank / RAPID-trans).
+/// `segment` batches independent blocks through one forward, exactly as in
+/// `MultiHeadAttention::Forward` (LayerNorm and the FFN are row-wise and
+/// need no blocking).
 class TransformerEncoderLayer : public Module {
  public:
   TransformerEncoderLayer(int dim, int num_heads, int ffn_dim,
                           std::mt19937_64& rng);
 
-  Variable Forward(const Variable& x) const;
+  Variable Forward(const Variable& x, int segment = 0) const;
   std::vector<Variable> Params() const override;
 
  private:

@@ -394,6 +394,29 @@ Variable SliceRows(const Variable& x, int start, int len) {
   });
 }
 
+Variable GatherRows(const Variable& x, std::vector<int> rows) {
+  Matrix out(static_cast<int>(rows.size()), x.cols());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r] >= 0 && rows[r] < x.rows());
+    const float* src = x.value().row(rows[r]);
+    float* dst = out.row(static_cast<int>(r));
+    for (int c = 0; c < x.cols(); ++c) dst[c] = src[c];
+  }
+  return Variable::FromOp(std::move(out), {x},
+                          [rows = std::move(rows)](Node& n) {
+                            if (!NeedsGrad(n, 0)) return;
+                            Matrix& pg = n.parents[0]->grad;
+                            for (size_t r = 0; r < rows.size(); ++r) {
+                              const float* src =
+                                  n.grad.row(static_cast<int>(r));
+                              float* dst = pg.row(rows[r]);
+                              for (int c = 0; c < n.grad.cols(); ++c) {
+                                dst[c] += src[c];
+                              }
+                            }
+                          });
+}
+
 Variable Transpose(const Variable& x) {
   return Variable::FromOp(x.value().Transposed(), {x}, [](Node& n) {
     if (!NeedsGrad(n, 0)) return;

@@ -78,6 +78,12 @@ Variable SliceCols(const Variable& x, int start, int len);
 /// Row slice `[start, start+len)`.
 Variable SliceRows(const Variable& x, int start, int len);
 
+/// Row gather: output row `i` is row `rows[i]` of `x`. Indices may repeat
+/// (tiling a row) and need not cover `x`; the backward scatter-adds each
+/// output-row gradient into its source row. Used to reorder time-major RNN
+/// step outputs into list-major batches (see rerank::NeuralReranker).
+Variable GatherRows(const Variable& x, std::vector<int> rows);
+
 /// Matrix transpose.
 Variable Transpose(const Variable& x);
 

@@ -33,6 +33,39 @@ int ListFeatureDim(const data::Dataset& data) {
          data.num_topics + 1;
 }
 
+nn::Matrix BatchFeatureMatrix(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists) {
+  assert(!lists.empty());
+  const int L = static_cast<int>(lists[0]->items.size());
+  const int F = ListFeatureDim(data);
+  nn::Matrix out(static_cast<int>(lists.size()) * L, F);
+  for (size_t b = 0; b < lists.size(); ++b) {
+    assert(static_cast<int>(lists[b]->items.size()) == L);
+    const nn::Matrix m = ListFeatureMatrix(data, *lists[b]);
+    float* dst = out.row(static_cast<int>(b) * L);
+    for (int i = 0; i < m.size(); ++i) dst[i] = m.data()[i];
+  }
+  return out;
+}
+
+std::vector<nn::Variable> TimeMajorSteps(const nn::Matrix& feats, int batch,
+                                         int length) {
+  assert(feats.rows() == batch * length);
+  std::vector<nn::Variable> steps;
+  steps.reserve(length);
+  for (int t = 0; t < length; ++t) {
+    nn::Matrix x(batch, feats.cols());
+    for (int b = 0; b < batch; ++b) {
+      const float* src = feats.row(b * length + t);
+      float* dst = x.row(b);
+      for (int c = 0; c < feats.cols(); ++c) dst[c] = src[c];
+    }
+    steps.push_back(nn::Variable::Constant(std::move(x)));
+  }
+  return steps;
+}
+
 nn::Variable NeuralReranker::ListLoss(const data::Dataset& data,
                                       const data::ImpressionList& list,
                                       std::mt19937_64& rng) const {
@@ -131,20 +164,67 @@ bool NeuralReranker::LoadModel(const data::Dataset& data, std::istream& in) {
   return nn::LoadParams(in, &params);
 }
 
+nn::Variable NeuralReranker::BuildLogits(const data::Dataset& data,
+                                         const data::ImpressionList& list,
+                                         bool training,
+                                         std::mt19937_64& rng) const {
+  return BuildBatchLogits(data, {&list}, training, rng);
+}
+
 std::vector<float> NeuralReranker::ScoreList(
     const data::Dataset& data, const data::ImpressionList& list) const {
+  return ScoreBatch(data, {&list}).front();
+}
+
+std::vector<std::vector<float>> NeuralReranker::ScoreBatch(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists) const {
+  std::vector<std::vector<float>> out(lists.size());
+  if (lists.empty()) return out;
+
+  // Group positions by list length; the group order does not affect any
+  // output (each list's scores are read back from its own logit block).
+  std::vector<size_t> order(lists.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return lists[a]->items.size() < lists[b]->items.size();
+  });
+
   std::mt19937_64 rng(0);  // Inference paths must not consume randomness.
-  nn::Variable logits = BuildLogits(data, list, /*training=*/false, rng);
-  std::vector<float> out(list.items.size());
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = logits.value().at(static_cast<int>(i), 0);
+  size_t start = 0;
+  while (start < order.size()) {
+    const size_t L = lists[order[start]]->items.size();
+    size_t end = start;
+    while (end < order.size() && lists[order[end]]->items.size() == L) ++end;
+    if (L == 0) {  // Empty lists score to empty vectors; no forward to run.
+      start = end;
+      continue;
+    }
+    std::vector<const data::ImpressionList*> group;
+    group.reserve(end - start);
+    for (size_t g = start; g < end; ++g) group.push_back(lists[order[g]]);
+    nn::Variable logits =
+        BuildBatchLogits(data, group, /*training=*/false, rng);
+    assert(static_cast<size_t>(logits.rows()) == group.size() * L);
+    for (size_t g = start; g < end; ++g) {
+      std::vector<float>& scores = out[order[g]];
+      scores.resize(L);
+      const int base = static_cast<int>((g - start) * L);
+      for (size_t i = 0; i < L; ++i) {
+        scores[i] = logits.value().at(base + static_cast<int>(i), 0);
+      }
+    }
+    start = end;
   }
   return out;
 }
 
-std::vector<int> NeuralReranker::Rerank(
-    const data::Dataset& data, const data::ImpressionList& list) const {
-  const std::vector<float> scores = ScoreList(data, list);
+namespace {
+
+// Stable score-descending sort of a list's items (shared by the single and
+// batched rerank paths so both produce identical permutations).
+std::vector<int> SortByScores(const data::ImpressionList& list,
+                              const std::vector<float>& scores) {
   std::vector<int> idx(list.items.size());
   std::iota(idx.begin(), idx.end(), 0);
   std::stable_sort(idx.begin(), idx.end(), [&](int a, int b) {
@@ -153,6 +233,25 @@ std::vector<int> NeuralReranker::Rerank(
   std::vector<int> out;
   out.reserve(idx.size());
   for (int i : idx) out.push_back(list.items[i]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> NeuralReranker::Rerank(
+    const data::Dataset& data, const data::ImpressionList& list) const {
+  return SortByScores(list, ScoreList(data, list));
+}
+
+std::vector<std::vector<int>> NeuralReranker::RerankBatch(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists) const {
+  const std::vector<std::vector<float>> scores = ScoreBatch(data, lists);
+  std::vector<std::vector<int>> out;
+  out.reserve(lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    out.push_back(SortByScores(*lists[i], scores[i]));
+  }
   return out;
 }
 

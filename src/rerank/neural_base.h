@@ -37,16 +37,20 @@ struct NeuralRerankConfig {
 /// Base class for neural re-rankers: owns the training loop (Adam over
 /// mini-batches of lists, pointwise BCE on click labels, gradient
 /// clipping) and the score-then-sort inference. Subclasses implement the
-/// network: `InitNet` builds parameters, `BuildLogits` maps one list to a
-/// `(L x 1)` logit column.
+/// network: `InitNet` builds parameters, `BuildBatchLogits` maps a batch
+/// of same-length lists to one stacked `(B*L x 1)` logit column — the
+/// single forward implementation behind every entry point. `ScoreList` /
+/// `Rerank` are batch-of-one wrappers over it; `ScoreBatch` /
+/// `RerankBatch` group mixed-length inputs by length and run one forward
+/// per group.
 ///
 /// Thread safety: `Fit`/`LoadModel` are exclusive; after either completes,
-/// the const inference surface (`Rerank`/`ScoreList`/`SaveModel`) is safe
-/// to call concurrently from many threads (see the contract on
-/// `Reranker::Rerank`). Subclass `BuildLogits` implementations must uphold
-/// this: with `training == false` they may only *read* the network
-/// parameters and must keep all scratch state (graphs, buffers) local to
-/// the call.
+/// the const inference surface (`Rerank`/`RerankBatch`/`ScoreList`/
+/// `ScoreBatch`/`SaveModel`) is safe to call concurrently from many
+/// threads (see the contract on `Reranker::Rerank`). Subclass
+/// `BuildBatchLogits` implementations must uphold this: with `training ==
+/// false` they may only *read* the network parameters and must keep all
+/// scratch state (graphs, buffers) local to the call.
 class NeuralReranker : public Reranker {
  public:
   explicit NeuralReranker(NeuralRerankConfig config) : config_(config) {}
@@ -58,9 +62,29 @@ class NeuralReranker : public Reranker {
   std::vector<int> Rerank(const data::Dataset& data,
                           const data::ImpressionList& list) const override;
 
-  /// Per-item re-ranking scores in list order (inference mode).
-  virtual std::vector<float> ScoreList(const data::Dataset& data,
-                                       const data::ImpressionList& list) const;
+  /// Batched inference: groups same-length lists and runs one forward per
+  /// group through `ScoreBatch`; sorts each list by its scores. Output `i`
+  /// is bit-identical to `Rerank(data, *lists[i])`.
+  std::vector<std::vector<int>> RerankBatch(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists) const override;
+
+  /// Per-item re-ranking scores in list order (inference mode). A
+  /// batch-of-one wrapper over `ScoreBatch` — there is exactly one forward
+  /// implementation (`BuildBatchLogits`); do not override this in models
+  /// (pre-batching subclass overrides are deprecated, see DESIGN.md).
+  std::vector<float> ScoreList(const data::Dataset& data,
+                               const data::ImpressionList& list) const;
+
+  /// Per-item scores for several lists at once (inference mode). Lists may
+  /// have mixed lengths: same-length lists are grouped, each group is
+  /// concatenated list-major into one `(B*L x F)` block and scored by a
+  /// single `BuildBatchLogits` forward. Result `i` aligns with `lists[i]`
+  /// and is bit-identical to `ScoreList(data, *lists[i])` — batching is a
+  /// pure throughput optimization, never a numeric change.
+  std::vector<std::vector<float>> ScoreBatch(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists) const;
 
   /// Mean training loss of the last epoch.
   float final_loss() const { return final_loss_; }
@@ -88,12 +112,24 @@ class NeuralReranker : public Reranker {
   /// Builds the network parameters for `data`'s dimensions.
   virtual void InitNet(const data::Dataset& data, std::mt19937_64& rng) = 0;
 
-  /// Forward pass for one list. `training` enables stochastic paths
-  /// (exploration noise, dropout) using `rng`.
-  virtual nn::Variable BuildLogits(const data::Dataset& data,
-                                   const data::ImpressionList& list,
-                                   bool training,
-                                   std::mt19937_64& rng) const = 0;
+  /// The single forward implementation: logits for a batch of lists that
+  /// all share one length `L`, stacked list-major — row `b*L + i` is item
+  /// `i` of `lists[b]`, giving a `(B*L x 1)` output column. Implementations
+  /// must be bit-exact under concatenation: each list's logit block must
+  /// equal the `B == 1` forward of that list alone (attend per list via
+  /// the `segment` overloads in nn/layers.h; never mix rows across lists).
+  /// `training` enables stochastic paths (exploration noise, dropout)
+  /// using `rng`; the training loop always calls with `B == 1`.
+  virtual nn::Variable BuildBatchLogits(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists, bool training,
+      std::mt19937_64& rng) const = 0;
+
+  /// Batch-of-one convenience over `BuildBatchLogits` (training loop,
+  /// losses).
+  nn::Variable BuildLogits(const data::Dataset& data,
+                           const data::ImpressionList& list, bool training,
+                           std::mt19937_64& rng) const;
 
   /// All trainable parameters.
   virtual std::vector<nn::Variable> Params() const = 0;
@@ -112,6 +148,21 @@ class NeuralReranker : public Reranker {
 /// `[x_u, x_v, tau_v, normalized initial score]`, `F = q_u + q_v + m + 1`.
 nn::Matrix ListFeatureMatrix(const data::Dataset& data,
                              const data::ImpressionList& list);
+
+/// Stacks `ListFeatureMatrix` of each list into one `(B*L x F)` block,
+/// list-major (rows `[b*L, (b+1)*L)` hold list `b`). All lists must share
+/// one length `L`. Rows are bitwise copies of the per-list matrices.
+nn::Matrix BatchFeatureMatrix(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists);
+
+/// Splits a list-major `(B*L x F)` feature block into `L` time-major
+/// `(B x F)` constant steps: step `t`'s row `b` is block row `b*L + t`.
+/// Feed these to `Lstm`/`BiLstm`/`GruCell`, whose per-row arithmetic makes
+/// the batched recurrence bit-identical to `B` single-list runs; reorder
+/// the time-major step outputs back to list-major with `nn::GatherRows`.
+std::vector<nn::Variable> TimeMajorSteps(const nn::Matrix& feats, int batch,
+                                         int length);
 
 /// The input feature dimension of `ListFeatureMatrix` for `data`.
 int ListFeatureDim(const data::Dataset& data);

@@ -8,19 +8,6 @@ namespace {
 
 using nn::Variable;
 
-// Splits the (L x F) feature matrix into L single-row constants for
-// sequential (RNN) processing.
-std::vector<Variable> RowSequence(const nn::Matrix& feats) {
-  std::vector<Variable> rows;
-  rows.reserve(feats.rows());
-  for (int i = 0; i < feats.rows(); ++i) {
-    nn::Matrix r(1, feats.cols());
-    for (int c = 0; c < feats.cols(); ++c) r.at(0, c) = feats.at(i, c);
-    rows.push_back(Variable::Constant(std::move(r)));
-  }
-  return rows;
-}
-
 // (L x L) additive attention mask: 0 where attention is allowed,
 // -1e9 where blocked. `causal` blocks j > i; `band >= 0` additionally
 // blocks |i - j| > band.
@@ -36,17 +23,58 @@ nn::Matrix AttentionMask(int L, bool causal, int band) {
   return mask;
 }
 
-// Single-head projected attention with an additive mask.
+// Single-head projected attention with an additive (segment x segment)
+// mask. The projections run on the full (B*segment x d) matrix; the
+// attention itself is computed per length-`segment` block so lists in a
+// batch never mix (same blocking contract as nn::MultiHeadAttention).
 Variable MaskedAttention(const Variable& x, const nn::Linear& wq,
                          const nn::Linear& wk, const nn::Linear& wv,
-                         const nn::Matrix& mask) {
+                         const nn::Matrix& mask, int segment) {
   Variable q = wq.Forward(x);
   Variable k = wk.Forward(x);
   Variable v = wv.Forward(x);
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(q.cols()));
-  Variable scores = nn::Scale(nn::MatMul(q, nn::Transpose(k)), inv_sqrt_d);
-  scores = nn::Add(scores, Variable::Constant(mask));
-  return nn::MatMul(nn::SoftmaxRows(scores), v);
+  if (segment == x.rows()) {
+    Variable scores = nn::Scale(nn::MatMul(q, nn::Transpose(k)), inv_sqrt_d);
+    scores = nn::Add(scores, Variable::Constant(mask));
+    return nn::MatMul(nn::SoftmaxRows(scores), v);
+  }
+  std::vector<Variable> blocks;
+  blocks.reserve(x.rows() / segment);
+  for (int start = 0; start < x.rows(); start += segment) {
+    Variable qb = nn::SliceRows(q, start, segment);
+    Variable kb = nn::SliceRows(k, start, segment);
+    Variable vb = nn::SliceRows(v, start, segment);
+    Variable scores =
+        nn::Scale(nn::MatMul(qb, nn::Transpose(kb)), inv_sqrt_d);
+    scores = nn::Add(scores, Variable::Constant(mask));
+    blocks.push_back(nn::MatMul(nn::SoftmaxRows(scores), vb));
+  }
+  return nn::ConcatRows(blocks);
+}
+
+// Index map taking a time-major (L*B x d) step stack (row t*B + b) to the
+// list-major (B*L x d) layout (row b*L + i) used by the scoring heads.
+std::vector<int> ListMajorIndex(int B, int L) {
+  std::vector<int> idx(static_cast<size_t>(B) * L);
+  for (int b = 0; b < B; ++b) {
+    for (int i = 0; i < L; ++i) idx[b * L + i] = i * B + b;
+  }
+  return idx;
+}
+
+// Tiles a per-list (L x d) constant (e.g. the sinusoidal positional
+// encoding) B times: row b*L + i of the result is row i of `pe`.
+nn::Matrix TileRows(const nn::Matrix& pe, int B) {
+  nn::Matrix out(B * pe.rows(), pe.cols());
+  for (int b = 0; b < B; ++b) {
+    for (int i = 0; i < pe.rows(); ++i) {
+      const float* src = pe.row(i);
+      float* dst = out.row(b * pe.rows() + i);
+      for (int c = 0; c < pe.cols(); ++c) dst[c] = src[c];
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -69,23 +97,34 @@ void DlcmReranker::InitNet(const data::Dataset& data, std::mt19937_64& rng) {
   net_ = std::make_unique<Net>(ListFeatureDim(data), config_.hidden_dim, rng);
 }
 
-Variable DlcmReranker::BuildLogits(const data::Dataset& data,
-                                   const data::ImpressionList& list,
-                                   bool /*training*/,
-                                   std::mt19937_64& /*rng*/) const {
-  const std::vector<Variable> rows =
-      RowSequence(ListFeatureMatrix(data, list));
-  Variable h = Variable::Constant(nn::Matrix(1, net_->gru.hidden_dim()));
+Variable DlcmReranker::BuildBatchLogits(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists, bool /*training*/,
+    std::mt19937_64& /*rng*/) const {
+  const int B = static_cast<int>(lists.size());
+  const int L = static_cast<int>(lists[0]->items.size());
+  // One GRU recurrence over (B x F) time-major steps runs every list at
+  // once; each row evolves independently, so the states match B
+  // single-list runs bitwise.
+  const std::vector<Variable> steps =
+      TimeMajorSteps(BatchFeatureMatrix(data, lists), B, L);
+  Variable h = Variable::Constant(nn::Matrix(B, net_->gru.hidden_dim()));
   std::vector<Variable> states;
-  states.reserve(rows.size());
-  for (const Variable& x : rows) {
+  states.reserve(steps.size());
+  for (const Variable& x : steps) {
     h = net_->gru.Forward(x, h);
     states.push_back(h);
   }
-  // Score each item against the final (whole-list) context state.
-  Variable state_mat = nn::ConcatRows(states);  // (L x h)
-  std::vector<Variable> final_tiled(rows.size(), states.back());
-  Variable context = nn::ConcatRows(final_tiled);  // (L x h)
+  Variable tm = nn::ConcatRows(states);  // time-major (L*B x h)
+  // Score each item against its own list's final (whole-list) context
+  // state: gather the states back to list-major, and tile each list's
+  // final state (time step L-1) across its L rows.
+  std::vector<int> ctx_idx(static_cast<size_t>(B) * L);
+  for (int b = 0; b < B; ++b) {
+    for (int i = 0; i < L; ++i) ctx_idx[b * L + i] = (L - 1) * B + b;
+  }
+  Variable state_mat = nn::GatherRows(tm, ListMajorIndex(B, L));  // (B*L x h)
+  Variable context = nn::GatherRows(tm, std::move(ctx_idx));      // (B*L x h)
   return net_->scorer.Forward(nn::ConcatCols({state_mat, context}));
 }
 
@@ -114,16 +153,17 @@ void PrmReranker::InitNet(const data::Dataset& data, std::mt19937_64& rng) {
   net_ = std::make_unique<Net>(ListFeatureDim(data), config_.hidden_dim, rng);
 }
 
-Variable PrmReranker::BuildLogits(const data::Dataset& data,
-                                  const data::ImpressionList& list,
-                                  bool /*training*/,
-                                  std::mt19937_64& /*rng*/) const {
-  const int L = static_cast<int>(list.items.size());
-  Variable x = Variable::Constant(ListFeatureMatrix(data, list));
+Variable PrmReranker::BuildBatchLogits(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists, bool /*training*/,
+    std::mt19937_64& /*rng*/) const {
+  const int B = static_cast<int>(lists.size());
+  const int L = static_cast<int>(lists[0]->items.size());
+  Variable x = Variable::Constant(BatchFeatureMatrix(data, lists));
   Variable h = net_->input_proj.Forward(x);
-  h = nn::Add(h, Variable::Constant(
-                     nn::SinusoidalPositionalEncoding(L, h.cols())));
-  h = net_->encoder.Forward(h);
+  h = nn::Add(h, Variable::Constant(TileRows(
+                     nn::SinusoidalPositionalEncoding(L, h.cols()), B)));
+  h = net_->encoder.Forward(h, /*segment=*/L);
   return net_->scorer.Forward(h);
 }
 
@@ -157,15 +197,16 @@ void SetRankReranker::InitNet(const data::Dataset& data,
   net_ = std::make_unique<Net>(ListFeatureDim(data), config_.hidden_dim, rng);
 }
 
-Variable SetRankReranker::BuildLogits(const data::Dataset& data,
-                                      const data::ImpressionList& list,
-                                      bool /*training*/,
-                                      std::mt19937_64& /*rng*/) const {
+Variable SetRankReranker::BuildBatchLogits(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists, bool /*training*/,
+    std::mt19937_64& /*rng*/) const {
+  const int L = static_cast<int>(lists[0]->items.size());
   // No positional encoding: permutation-invariant by construction.
   Variable h = net_->input_proj.Forward(
-      Variable::Constant(ListFeatureMatrix(data, list)));
-  h = net_->block1.Forward(h);
-  h = net_->block2.Forward(h);
+      Variable::Constant(BatchFeatureMatrix(data, lists)));
+  h = net_->block1.Forward(h, /*segment=*/L);
+  h = net_->block2.Forward(h, /*segment=*/L);
   return net_->scorer.Forward(h);
 }
 
@@ -205,19 +246,19 @@ void SrgaReranker::InitNet(const data::Dataset& data, std::mt19937_64& rng) {
   net_ = std::make_unique<Net>(ListFeatureDim(data), config_.hidden_dim, rng);
 }
 
-Variable SrgaReranker::BuildLogits(const data::Dataset& data,
-                                   const data::ImpressionList& list,
-                                   bool /*training*/,
-                                   std::mt19937_64& /*rng*/) const {
-  const int L = static_cast<int>(list.items.size());
+Variable SrgaReranker::BuildBatchLogits(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists, bool /*training*/,
+    std::mt19937_64& /*rng*/) const {
+  const int L = static_cast<int>(lists[0]->items.size());
   Variable h = net_->input_proj.Forward(
-      Variable::Constant(ListFeatureMatrix(data, list)));
+      Variable::Constant(BatchFeatureMatrix(data, lists)));
   Variable glob =
       MaskedAttention(h, net_->wq_glob, net_->wk_glob, net_->wv_glob,
-                      AttentionMask(L, /*causal=*/true, /*band=*/-1));
+                      AttentionMask(L, /*causal=*/true, /*band=*/-1), L);
   Variable loc =
       MaskedAttention(h, net_->wq_loc, net_->wk_loc, net_->wv_loc,
-                      AttentionMask(L, /*causal=*/false, local_window_));
+                      AttentionMask(L, /*causal=*/false, local_window_), L);
   // Gated fusion g*glob + (1-g)*loc with a learned per-dimension gate.
   Variable g = nn::Sigmoid(net_->gate);
   Variable inv_g = nn::AddScalar(nn::Scale(g, -1.0f), 1.0f);
@@ -266,25 +307,32 @@ void DesaReranker::InitNet(const data::Dataset& data, std::mt19937_64& rng) {
                                config_.hidden_dim, rng);
 }
 
-Variable DesaReranker::BuildLogits(const data::Dataset& data,
-                                   const data::ImpressionList& list,
-                                   bool /*training*/,
-                                   std::mt19937_64& /*rng*/) const {
-  const int L = static_cast<int>(list.items.size());
+Variable DesaReranker::BuildBatchLogits(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists, bool /*training*/,
+    std::mt19937_64& /*rng*/) const {
+  const int B = static_cast<int>(lists.size());
+  const int L = static_cast<int>(lists[0]->items.size());
   // Relevance branch: projected multi-head self-attention over items.
   Variable h = net_->input_proj.Forward(
-      Variable::Constant(ListFeatureMatrix(data, list)));
-  Variable rel = nn::Add(h, net_->rel_attention.Forward(h));
+      Variable::Constant(BatchFeatureMatrix(data, lists)));
+  Variable rel = nn::Add(h, net_->rel_attention.Forward(h, /*segment=*/L));
 
   // Diversity branch: parameter-free self-attention over coverage rows —
   // each item's row becomes a mixture of similar items' coverages, so
-  // redundant items light up and novel ones stay distinct.
-  nn::Matrix cov(L, data.num_topics);
-  for (int i = 0; i < L; ++i) {
-    const auto& tau = data.item(list.items[i]).topic_coverage;
-    for (int j = 0; j < data.num_topics; ++j) cov.at(i, j) = tau[j];
+  // redundant items light up and novel ones stay distinct. Per-list
+  // blocks: redundancy is relative to the list an item sits in.
+  nn::Matrix cov(B * L, data.num_topics);
+  for (int b = 0; b < B; ++b) {
+    for (int i = 0; i < L; ++i) {
+      const auto& tau = data.item(lists[b]->items[i]).topic_coverage;
+      for (int j = 0; j < data.num_topics; ++j) {
+        cov.at(b * L + i, j) = tau[j];
+      }
+    }
   }
-  Variable div = nn::UnprojectedSelfAttention(Variable::Constant(cov));
+  Variable div =
+      nn::UnprojectedSelfAttention(Variable::Constant(cov), /*segment=*/L);
 
   return net_->scorer.Forward(nn::ConcatCols({rel, div}));
 }

@@ -20,9 +20,10 @@ class DlcmReranker : public NeuralReranker {
 
  protected:
   void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
-  nn::Variable BuildLogits(const data::Dataset& data,
-                           const data::ImpressionList& list, bool training,
-                           std::mt19937_64& rng) const override;
+  nn::Variable BuildBatchLogits(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists, bool training,
+      std::mt19937_64& rng) const override;
   std::vector<nn::Variable> Params() const override;
 
  private:
@@ -41,9 +42,10 @@ class PrmReranker : public NeuralReranker {
 
  protected:
   void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
-  nn::Variable BuildLogits(const data::Dataset& data,
-                           const data::ImpressionList& list, bool training,
-                           std::mt19937_64& rng) const override;
+  nn::Variable BuildBatchLogits(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists, bool training,
+      std::mt19937_64& rng) const override;
   std::vector<nn::Variable> Params() const override;
 
  private:
@@ -61,9 +63,10 @@ class SetRankReranker : public NeuralReranker {
 
  protected:
   void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
-  nn::Variable BuildLogits(const data::Dataset& data,
-                           const data::ImpressionList& list, bool training,
-                           std::mt19937_64& rng) const override;
+  nn::Variable BuildBatchLogits(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists, bool training,
+      std::mt19937_64& rng) const override;
   std::vector<nn::Variable> Params() const override;
 
  private:
@@ -83,9 +86,10 @@ class SrgaReranker : public NeuralReranker {
 
  protected:
   void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
-  nn::Variable BuildLogits(const data::Dataset& data,
-                           const data::ImpressionList& list, bool training,
-                           std::mt19937_64& rng) const override;
+  nn::Variable BuildBatchLogits(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists, bool training,
+      std::mt19937_64& rng) const override;
   std::vector<nn::Variable> Params() const override;
 
  private:
@@ -111,9 +115,10 @@ class DesaReranker : public NeuralReranker {
 
  protected:
   void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
-  nn::Variable BuildLogits(const data::Dataset& data,
-                           const data::ImpressionList& list, bool training,
-                           std::mt19937_64& rng) const override;
+  nn::Variable BuildBatchLogits(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists, bool training,
+      std::mt19937_64& rng) const override;
   std::vector<nn::Variable> Params() const override;
 
  private:

@@ -9,6 +9,17 @@ void Reranker::Fit(const data::Dataset& /*data*/,
                    const std::vector<data::ImpressionList>& /*train*/,
                    uint64_t /*seed*/) {}
 
+std::vector<std::vector<int>> Reranker::RerankBatch(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists) const {
+  std::vector<std::vector<int>> out;
+  out.reserve(lists.size());
+  for (const data::ImpressionList* list : lists) {
+    out.push_back(Rerank(data, *list));
+  }
+  return out;
+}
+
 std::vector<int> InitReranker::Rerank(
     const data::Dataset& /*data*/, const data::ImpressionList& list) const {
   return list.items;

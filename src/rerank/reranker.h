@@ -17,18 +17,19 @@ namespace rapid::rerank {
 /// ## Thread-safety contract (relied on by `serve::ServingEngine`)
 ///
 /// `Fit` (and `NeuralReranker::LoadModel`) require exclusive access. Once
-/// fitting/loading has completed, every const member — `Rerank`, `name`,
-/// and subclass const methods such as `NeuralReranker::ScoreList` — MUST be
-/// safe to call concurrently from any number of threads with no external
-/// locking. Concretely, implementations of the const inference path must
-/// not mutate shared state: no memoization caches, no reused scratch
-/// buffers, no member RNGs. Any working memory (autograd graphs, feature
-/// matrices, RNGs for tie-breaking) is allocated per call or thread-local.
+/// fitting/loading has completed, every const member — `Rerank`,
+/// `RerankBatch`, `name`, and subclass const methods such as
+/// `NeuralReranker::ScoreList`/`ScoreBatch` — MUST be safe to call
+/// concurrently from any number of threads with no external locking.
+/// Concretely, implementations of the const inference path must not mutate
+/// shared state: no memoization caches, no reused scratch buffers, no
+/// member RNGs. Any working memory (autograd graphs, feature matrices,
+/// RNGs for tie-breaking) is allocated per call or thread-local.
 ///
 /// The in-tree implementations satisfy this by construction (audited for
 /// the serving subsystem): the heuristic methods are pure functions of
 /// their arguments, and the neural methods build a fresh autograd graph
-/// per `BuildLogits` call whose only shared nodes are the parameter
+/// per `BuildBatchLogits` call whose only shared nodes are the parameter
 /// leaves, which inference only reads (`Backward` is never invoked on the
 /// inference path, so even lazy gradient allocation cannot race).
 class Reranker {
@@ -48,6 +49,17 @@ class Reranker {
   /// Evaluation metrics are computed over prefixes of this permutation.
   virtual std::vector<int> Rerank(const data::Dataset& data,
                                   const data::ImpressionList& list) const = 0;
+
+  /// Re-ranks several lists in one call; result `i` corresponds to
+  /// `lists[i]` and is bit-identical to `Rerank(data, *lists[i])`. The
+  /// default loops `Rerank` (heuristics, decorators); `NeuralReranker`
+  /// overrides it with a true batched forward pass that groups same-length
+  /// lists into single matrix computations. The pointers must be non-null
+  /// and stay valid for the duration of the call. Same thread-safety
+  /// contract as `Rerank`.
+  virtual std::vector<std::vector<int>> RerankBatch(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists) const;
 };
 
 /// The identity re-ranker: returns the initial ranking unchanged ("Init"

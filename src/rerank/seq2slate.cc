@@ -105,10 +105,8 @@ nn::Variable Seq2SlateReranker::ListLoss(const data::Dataset& data,
   return nn::MeanAll(nn::ConcatRows(step_losses));
 }
 
-nn::Variable Seq2SlateReranker::BuildLogits(const data::Dataset& data,
-                                            const data::ImpressionList& list,
-                                            bool /*training*/,
-                                            std::mt19937_64& /*rng*/) const {
+nn::Variable Seq2SlateReranker::GreedyLogits(
+    const data::Dataset& data, const data::ImpressionList& list) const {
   // Greedy decode; logits are the step index at which each item was
   // picked, negated so earlier picks score higher (permutation-compatible
   // with the score-and-sort base-class plumbing).
@@ -121,6 +119,21 @@ nn::Variable Seq2SlateReranker::BuildLogits(const data::Dataset& data,
     out.at(pos, 0) = -static_cast<float>(rank);
   }
   return Variable::Constant(std::move(out));
+}
+
+nn::Variable Seq2SlateReranker::BuildBatchLogits(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists, bool /*training*/,
+    std::mt19937_64& /*rng*/) const {
+  // The pointer decode is sequential per list, so the batch is a loop;
+  // stacking keeps each list's logits bit-identical to its solo decode.
+  if (lists.size() == 1) return GreedyLogits(data, *lists[0]);
+  std::vector<Variable> blocks;
+  blocks.reserve(lists.size());
+  for (const data::ImpressionList* list : lists) {
+    blocks.push_back(GreedyLogits(data, *list));
+  }
+  return nn::ConcatRows(blocks);
 }
 
 std::vector<int> Seq2SlateReranker::Rerank(
@@ -150,17 +163,6 @@ std::vector<int> Seq2SlateReranker::Rerank(
     selected[best] = true;
     out.push_back(list.items[best]);
     dec_in = nn::SliceRows(enc, best, 1);
-  }
-  return out;
-}
-
-std::vector<float> Seq2SlateReranker::ScoreList(
-    const data::Dataset& data, const data::ImpressionList& list) const {
-  std::mt19937_64 rng(0);
-  Variable logits = BuildLogits(data, list, false, rng);
-  std::vector<float> out(list.items.size());
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = logits.value().at(static_cast<int>(i), 0);
   }
   return out;
 }

@@ -32,16 +32,16 @@ class Seq2SlateReranker : public NeuralReranker {
   std::vector<int> Rerank(const data::Dataset& data,
                           const data::ImpressionList& list) const override;
 
-  /// Greedy pointer probabilities of the generated order (diagnostics).
-  std::vector<float> ScoreList(const data::Dataset& data,
-                               const data::ImpressionList& list)
-      const override;
-
  protected:
   void InitNet(const data::Dataset& data, std::mt19937_64& rng) override;
-  nn::Variable BuildLogits(const data::Dataset& data,
-                           const data::ImpressionList& list, bool training,
-                           std::mt19937_64& rng) const override;
+  /// Greedy decode per list (the pointer decoding is inherently
+  /// sequential), stacked list-major; each list's block is its `-rank`
+  /// logits, so `ScoreBatch` grouping is a pure loop with no numeric
+  /// interaction between lists.
+  nn::Variable BuildBatchLogits(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists, bool training,
+      std::mt19937_64& rng) const override;
   nn::Variable ListLoss(const data::Dataset& data,
                         const data::ImpressionList& list,
                         std::mt19937_64& rng) const override;
@@ -49,6 +49,10 @@ class Seq2SlateReranker : public NeuralReranker {
 
  private:
   struct Net;
+  /// Greedy-decode logits for one list: item `i` scores `-rank(i)` in the
+  /// generated order.
+  nn::Variable GreedyLogits(const data::Dataset& data,
+                            const data::ImpressionList& list) const;
   /// Encoder states for a list: (L x h).
   nn::Variable Encode(const data::Dataset& data,
                       const data::ImpressionList& list) const;

@@ -39,8 +39,52 @@ void ServingEngine::WorkerLoop() {
   while (queue_.PopBatch(static_cast<size_t>(config_.max_batch),
                          std::chrono::microseconds(config_.max_wait_us),
                          &batch) > 0) {
-    for (PendingRequest& request : batch) Process(&request);
+    ProcessBatch(&batch);
     batch.clear();
+  }
+}
+
+void ServingEngine::ProcessBatch(std::vector<PendingRequest>* batch) {
+  // Triage once at batch start: requests whose deadline already passed in
+  // the queue get the cheap fallback; the rest share one batched model
+  // forward. (The per-request path re-checked the deadline between
+  // requests; checking once up front is equivalent for accounting — the
+  // model pass serves the whole batch at once anyway.)
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<PendingRequest*> model_bound;
+  model_bound.reserve(batch->size());
+  for (PendingRequest& request : *batch) {
+    const int64_t waited_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now - request.enqueued_at)
+            .count();
+    if (config_.deadline_us > 0 && waited_us > config_.deadline_us) {
+      Process(&request, /*force_fallback=*/true);
+    } else {
+      model_bound.push_back(&request);
+    }
+  }
+  if (model_bound.empty()) return;
+
+  metrics_.RecordBatch(static_cast<int>(model_bound.size()));
+  std::vector<const data::ImpressionList*> lists;
+  lists.reserve(model_bound.size());
+  for (const PendingRequest* request : model_bound) {
+    lists.push_back(&request->list);
+  }
+  std::vector<std::vector<int>> permutations =
+      model_.RerankBatch(data_, lists);
+  for (size_t i = 0; i < model_bound.size(); ++i) {
+    PendingRequest* request = model_bound[i];
+    RerankResponse response;
+    response.items = std::move(permutations[i]);
+    response.latency_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - request->enqueued_at)
+            .count();
+    metrics_.RecordRequest(static_cast<uint64_t>(response.latency_us),
+                           /*fallback=*/false);
+    request->promise.set_value(std::move(response));
   }
 }
 

@@ -52,7 +52,9 @@ struct RerankResponse {
 
 /// The online serving core: a bounded request queue feeding a fixed pool
 /// of worker threads that micro-batch incoming `ImpressionList` requests
-/// and run the fitted re-ranker on each.
+/// and answer each dequeued batch with a single `Reranker::RerankBatch`
+/// call — neural models group same-length lists into one matrix forward
+/// per group (see rerank/neural_base.h), amortizing per-call overhead.
 ///
 /// The engine borrows `data` and `model`; both must outlive it and `model`
 /// must already be fitted (or snapshot-loaded). Workers call only the
@@ -103,6 +105,11 @@ class ServingEngine {
   };
 
   void WorkerLoop();
+  /// Runs one dequeued micro-batch: deadline-blown requests fall back
+  /// individually, the rest are answered by a single
+  /// `Reranker::RerankBatch` call (one grouped forward pass for neural
+  /// models). Records the realized model-bound batch size.
+  void ProcessBatch(std::vector<PendingRequest>* batch);
   /// Runs one request (model or deadline fallback) and fulfills its
   /// promise. `force_fallback` skips the model unconditionally (used when
   /// the submission already timed out waiting for queue space).

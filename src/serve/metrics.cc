@@ -1,5 +1,6 @@
 #include "serve/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <vector>
@@ -50,6 +51,20 @@ void ServingMetrics::RecordQueueDepth(int depth) {
   }
 }
 
+void ServingMetrics::RecordBatch(int size) {
+  if (size <= 0) return;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_lists_.fetch_add(static_cast<uint64_t>(size),
+                           std::memory_order_relaxed);
+  int prev = max_batch_size_.load(std::memory_order_relaxed);
+  while (prev < size &&
+         !max_batch_size_.compare_exchange_weak(prev, size,
+                                                std::memory_order_relaxed)) {
+  }
+  const int bin = std::min(size - 1, ServingStats::kBatchHistBins - 1);
+  batch_hist_[bin].fetch_add(1, std::memory_order_relaxed);
+}
+
 ServingStats ServingMetrics::Snapshot() const {
   ServingStats s;
   s.requests = requests_.load(std::memory_order_relaxed);
@@ -57,6 +72,12 @@ ServingStats ServingMetrics::Snapshot() const {
   s.shed = shed_.load(std::memory_order_relaxed);
   s.max_us = max_us_.load(std::memory_order_relaxed);
   s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_lists = batched_lists_.load(std::memory_order_relaxed);
+  s.max_batch_size = max_batch_size_.load(std::memory_order_relaxed);
+  for (int i = 0; i < ServingStats::kBatchHistBins; ++i) {
+    s.batch_size_hist[i] = batch_hist_[i].load(std::memory_order_relaxed);
+  }
   if (s.requests == 0) return s;
   s.mean_us = static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
               static_cast<double>(s.requests);
@@ -186,7 +207,11 @@ std::string NetStats::ToJson() const {
 }
 
 std::string ServingStats::ToTable() const {
-  char buf[512];
+  char buf[1024];
+  const double mean_batch =
+      batches == 0 ? 0.0
+                   : static_cast<double>(batched_lists) /
+                         static_cast<double>(batches);
   std::snprintf(buf, sizeof(buf),
                 "  requests        %10llu\n"
                 "  fallbacks       %10llu\n"
@@ -196,28 +221,43 @@ std::string ServingStats::ToTable() const {
                 "  p99 latency     %10.0f us\n"
                 "  mean latency    %10.0f us\n"
                 "  max latency     %10llu us\n"
-                "  max queue depth %10d\n",
+                "  max queue depth %10d\n"
+                "  model batches   %10llu (mean size %.2f, max %d)\n"
+                "  batched lists   %10llu\n",
                 static_cast<unsigned long long>(requests),
                 static_cast<unsigned long long>(fallbacks),
                 static_cast<unsigned long long>(shed), p50_us, p95_us,
                 p99_us, mean_us, static_cast<unsigned long long>(max_us),
-                max_queue_depth);
+                max_queue_depth, static_cast<unsigned long long>(batches),
+                mean_batch, max_batch_size,
+                static_cast<unsigned long long>(batched_lists));
   return buf;
 }
 
 std::string ServingStats::ToJson() const {
-  char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                "{\"requests\": %llu, \"fallbacks\": %llu, \"shed\": %llu, "
-                "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
-                "\"mean_us\": %.1f, \"max_us\": %llu, "
-                "\"max_queue_depth\": %d}",
-                static_cast<unsigned long long>(requests),
-                static_cast<unsigned long long>(fallbacks),
-                static_cast<unsigned long long>(shed), p50_us, p95_us,
-                p99_us, mean_us, static_cast<unsigned long long>(max_us),
-                max_queue_depth);
-  return buf;
+  char buf[1024];
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "{\"requests\": %llu, \"fallbacks\": %llu, \"shed\": %llu, "
+      "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+      "\"mean_us\": %.1f, \"max_us\": %llu, "
+      "\"max_queue_depth\": %d, \"batches\": %llu, "
+      "\"batched_lists\": %llu, \"max_batch_size\": %d, "
+      "\"batch_size_hist\": [",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(fallbacks),
+      static_cast<unsigned long long>(shed), p50_us, p95_us, p99_us, mean_us,
+      static_cast<unsigned long long>(max_us), max_queue_depth,
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(batched_lists), max_batch_size);
+  std::string out(buf, static_cast<size_t>(n));
+  for (int i = 0; i < kBatchHistBins; ++i) {
+    std::snprintf(buf, sizeof(buf), i == 0 ? "%llu" : ", %llu",
+                  static_cast<unsigned long long>(batch_size_hist[i]));
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace rapid::serve

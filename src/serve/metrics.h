@@ -11,6 +11,11 @@ namespace rapid::serve {
 /// A point-in-time summary of a `ServingMetrics` instance, safe to copy
 /// around and render after the engine has been shut down.
 struct ServingStats {
+  /// Size of the fixed realized-batch-size histogram: bin `i` counts
+  /// model-bound batches of exactly `i + 1` requests; the last bin absorbs
+  /// everything at or above `kBatchHistBins`.
+  static constexpr int kBatchHistBins = 16;
+
   /// Completed requests (including degraded and shed ones).
   uint64_t requests = 0;
   /// Requests answered by the fallback heuristic after a deadline miss.
@@ -27,6 +32,15 @@ struct ServingStats {
   uint64_t max_us = 0;
   /// Highest queue depth observed at submit time.
   int max_queue_depth = 0;
+  /// Model-bound micro-batches executed via the batched forward path
+  /// (`Reranker::RerankBatch`), including size-1 batches.
+  uint64_t batches = 0;
+  /// Requests served through those batches (sum of realized batch sizes).
+  uint64_t batched_lists = 0;
+  /// Largest realized batch.
+  int max_batch_size = 0;
+  /// Realized batch-size distribution; see `kBatchHistBins`.
+  std::array<uint64_t, kBatchHistBins> batch_size_hist{};
 
   /// Two-column human-readable table.
   std::string ToTable() const;
@@ -123,6 +137,11 @@ class ServingMetrics {
   /// Records the queue depth seen when a request was enqueued.
   void RecordQueueDepth(int depth);
 
+  /// Records one model-bound micro-batch of `size` requests executed
+  /// through the batched forward path (size-1 batches included — the
+  /// distribution shows how well batching amortizes under real load).
+  void RecordBatch(int size);
+
   /// Summarizes counters and percentile estimates.
   ServingStats Snapshot() const;
 
@@ -141,6 +160,11 @@ class ServingMetrics {
   std::atomic<uint64_t> max_us_{0};
   std::atomic<int> max_queue_depth_{0};
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_lists_{0};
+  std::atomic<int> max_batch_size_{0};
+  std::array<std::atomic<uint64_t>, ServingStats::kBatchHistBins>
+      batch_hist_{};
 };
 
 }  // namespace rapid::serve

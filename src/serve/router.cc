@@ -125,8 +125,85 @@ void ServingRouter::WorkerLoop() {
   while (queue_.PopBatch(static_cast<size_t>(config_.max_batch),
                          std::chrono::microseconds(config_.max_wait_us),
                          &batch) > 0) {
-    for (PendingRequest& request : batch) Process(&request);
+    ProcessBatch(&batch);
     batch.clear();
+  }
+}
+
+void ServingRouter::ProcessBatch(std::vector<PendingRequest>* batch) {
+  // Triage: resolve each request's slot exactly once (the swap-consistency
+  // invariant — attribution and cache inserts below reuse the same
+  // resolved version) and peel off requests the model won't answer.
+  // Survivors are grouped by resolved model so a dequeued batch mixing
+  // slots, or racing a hot swap, still runs one batched forward per
+  // distinct published model.
+  const auto now = std::chrono::steady_clock::now();
+  struct Group {
+    std::shared_ptr<const ServedModel> served;
+    std::vector<PendingRequest*> requests;
+  };
+  std::vector<Group> groups;
+  for (PendingRequest& request : *batch) {
+    const int64_t waited_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now - request.enqueued_at)
+            .count();
+    std::shared_ptr<const ServedModel> served;
+    if (!(config_.deadline_us > 0 && waited_us >= config_.deadline_us)) {
+      served = registry_.Acquire(request.request.slot);
+    }
+    if (served == nullptr) {
+      // Deadline blown or unknown slot: the per-request path owns the
+      // fallback answer and its accounting.
+      Process(&request);
+      continue;
+    }
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (g.served.get() == served.get()) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back({std::move(served), {}});
+      group = &groups.back();
+    }
+    group->requests.push_back(&request);
+  }
+
+  for (Group& group : groups) {
+    aggregate_metrics_.RecordBatch(static_cast<int>(group.requests.size()));
+    group.served->metrics->RecordBatch(
+        static_cast<int>(group.requests.size()));
+    std::vector<const data::ImpressionList*> lists;
+    lists.reserve(group.requests.size());
+    for (const PendingRequest* request : group.requests) {
+      lists.push_back(&request->request.list);
+    }
+    std::vector<std::vector<int>> permutations =
+        group.served->model->RerankBatch(data_, lists);
+    for (size_t i = 0; i < group.requests.size(); ++i) {
+      PendingRequest* request = group.requests[i];
+      RouterResponse response;
+      response.items = std::move(permutations[i]);
+      response.model_name = group.served->model_name;
+      response.model_version = group.served->version;
+      if (request->cacheable) {
+        cache_.Insert(request->request.slot, group.served->version,
+                      request->fingerprint,
+                      {response.items, group.served->model_name,
+                       group.served->version});
+      }
+      response.latency_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - request->enqueued_at)
+              .count();
+      const uint64_t latency = static_cast<uint64_t>(response.latency_us);
+      aggregate_metrics_.RecordRequest(latency, /*fallback=*/false);
+      group.served->metrics->RecordRequest(latency, /*fallback=*/false);
+      request->promise.set_value(std::move(response));
+    }
   }
 }
 

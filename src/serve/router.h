@@ -125,7 +125,9 @@ struct RouterStats {
 /// starvation-free) guarded by an `AdmissionController`: under the `kShed`
 /// policy a request arriving above its lane's depth watermark is answered
 /// immediately by the cheap fallback heuristic instead of blocking the
-/// caller. Workers micro-batch across slots; each request resolves its
+/// caller. Workers micro-batch across slots, grouping each dequeued batch
+/// by resolved model and answering every group with a single
+/// `Reranker::RerankBatch` call; each request resolves its
 /// slot to the currently published `ServedModel` exactly once, so a
 /// concurrent `LoadSlot` swap is invisible except through the version
 /// stamped on each response: in-flight requests finish on the old model,
@@ -215,6 +217,13 @@ class ServingRouter {
   };
 
   void WorkerLoop();
+  /// Runs one dequeued micro-batch: each request resolves its slot once;
+  /// deadline-blown and unknown-slot requests take the per-request
+  /// fallback path, the rest are grouped by the published model that will
+  /// answer them and served by one `Reranker::RerankBatch` call per group
+  /// (so a batch mixing slots still batches within each slot). Realized
+  /// group sizes are recorded on the aggregate and per-slot metrics.
+  void ProcessBatch(std::vector<PendingRequest>* batch);
   /// Runs one request (model, fallback, or forced shed) and fulfills its
   /// promise.
   void Process(PendingRequest* request, bool shed = false);
