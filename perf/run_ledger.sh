@@ -36,6 +36,7 @@ benches=(
   "bench_router --quick --json"
   "bench_cache --quick --json"
   "bench_net --quick --json"
+  "bench_shard --quick --json"
 )
 if [[ "$mode" == "full" ]]; then
   benches+=("bench_table5 --json" "bench_table6 --json")

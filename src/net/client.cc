@@ -17,6 +17,8 @@ Client::~Client() { Close(); }
 
 bool Client::Connect(const std::string& host, uint16_t port) {
   Close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return false;
   sockaddr_in addr{};
@@ -45,77 +47,107 @@ void Client::FinishSending() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
 
-uint64_t Client::Send(WireRequest* request) {
-  if (fd_ < 0) return 0;
-  if (request->request_id == 0) request->request_id = next_request_id_++;
-  std::vector<uint8_t> frame;
-  EncodeScoreRequest(*request, &frame);
+bool Client::Reconnect() {
+  if (host_.empty()) return false;
+  return Connect(host_, port_);
+}
+
+bool Client::WriteAll(const std::vector<uint8_t>& frame) {
   size_t written = 0;
   while (written < frame.size()) {
     const ssize_t n = ::send(fd_, frame.data() + written,
                              frame.size() - written, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return 0;
+      return false;
     }
     written += static_cast<size_t>(n);
   }
-  return request->request_id;
+  return true;
+}
+
+uint64_t Client::Send(WireRequest* request) {
+  if (fd_ < 0) return 0;
+  if (request->request_id == 0) request->request_id = next_request_id_++;
+  std::vector<uint8_t> frame;
+  EncodeScoreRequest(*request, &frame);
+  return WriteAll(frame) ? request->request_id : 0;
 }
 
 bool Client::ReadFrame(Reply* out, int timeout_ms) {
+  return ReadFrameStatus(out, timeout_ms) == RecvStatus::kOk;
+}
+
+Client::RecvStatus Client::ReadFrameStatus(Reply* out, int timeout_ms) {
   for (;;) {
     // A complete frame may already be buffered from an earlier read.
     Frame frame;
     size_t consumed = 0;
     const DecodeStatus status =
         ExtractFrame(rbuf_.data(), rbuf_.size(), &consumed, &frame, limits_);
-    if (status == DecodeStatus::kError) return false;
+    if (status == DecodeStatus::kError) return RecvStatus::kClosed;
     if (status == DecodeStatus::kOk) {
       rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<ptrdiff_t>(consumed));
+      out->type = frame.header.type;
       if (frame.header.type == FrameType::kScoreResponse) {
         out->is_error = false;
-        return ParseScoreResponse(frame, &out->response, limits_);
+        return ParseScoreResponse(frame, &out->response, limits_)
+                   ? RecvStatus::kOk
+                   : RecvStatus::kClosed;
+      }
+      if (frame.header.type == FrameType::kStatsResponse) {
+        out->is_error = false;
+        return ParseStatsResponse(frame, &out->stats, limits_)
+                   ? RecvStatus::kOk
+                   : RecvStatus::kClosed;
+      }
+      if (frame.header.type == FrameType::kLoadSlotResponse) {
+        out->is_error = false;
+        return ParseLoadResponse(frame, &out->load, limits_)
+                   ? RecvStatus::kOk
+                   : RecvStatus::kClosed;
       }
       if (frame.header.type == FrameType::kError) {
         WireError error;
-        if (!ParseError(frame, &error, limits_)) return false;
+        if (!ParseError(frame, &error, limits_)) return RecvStatus::kClosed;
         out->is_error = true;
         out->error_request_id = error.request_id;
         out->error_message = std::move(error.message);
-        return true;
+        return RecvStatus::kOk;
       }
-      return false;  // A server never sends request frames.
+      return RecvStatus::kClosed;  // A server never sends request frames.
     }
     if (timeout_ms >= 0) {
       pollfd pfd{fd_, POLLIN, 0};
       const int ready = ::poll(&pfd, 1, timeout_ms);
-      if (ready <= 0) return false;  // Timeout or poll error.
+      if (ready <= 0) return RecvStatus::kTimeout;
     }
     uint8_t scratch[16384];
     const ssize_t n = ::read(fd_, scratch, sizeof(scratch));
-    if (n == 0) return false;  // Clean EOF (server drained and closed).
+    if (n == 0) return RecvStatus::kClosed;  // Clean EOF (server drained).
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return RecvStatus::kClosed;
     }
     rbuf_.insert(rbuf_.end(), scratch, scratch + n);
   }
 }
 
 bool Client::Receive(Reply* out, int timeout_ms) {
+  return ReceiveStatus(out, timeout_ms) == RecvStatus::kOk;
+}
+
+Client::RecvStatus Client::ReceiveStatus(Reply* out, int timeout_ms) {
   if (!stashed_.empty()) {
     *out = std::move(stashed_.front());
     stashed_.pop_front();
-    return true;
+    return RecvStatus::kOk;
   }
-  if (fd_ < 0) return false;
-  return ReadFrame(out, timeout_ms);
+  if (fd_ < 0) return RecvStatus::kClosed;
+  return ReadFrameStatus(out, timeout_ms);
 }
 
-bool Client::Call(WireRequest request, Reply* out, int timeout_ms) {
-  const uint64_t id = Send(&request);
-  if (id == 0) return false;
+bool Client::WaitFor(uint64_t id, Reply* out, int timeout_ms) {
   // Drain replies until this request's arrives; out-of-order replies to
   // earlier pipelined sends are stashed for later Receive calls.
   for (auto it = stashed_.begin(); it != stashed_.end(); ++it) {
@@ -134,6 +166,75 @@ bool Client::Call(WireRequest request, Reply* out, int timeout_ms) {
     }
     stashed_.push_back(std::move(reply));
   }
+}
+
+bool Client::Call(WireRequest request, Reply* out, int timeout_ms) {
+  const uint64_t id = Send(&request);
+  if (id == 0) return false;
+  return WaitFor(id, out, timeout_ms);
+}
+
+bool Client::GetStats(serve::RouterStats* out, int timeout_ms) {
+  if (fd_ < 0) return false;
+  WireStatsRequest request;
+  request.request_id = next_request_id_++;
+  request.format = StatsFormat::kBinary;
+  std::vector<uint8_t> frame;
+  EncodeStatsRequest(request, &frame);
+  if (!WriteAll(frame)) return false;
+  Reply reply;
+  if (!WaitFor(request.request_id, &reply, timeout_ms)) return false;
+  if (reply.is_error || reply.type != FrameType::kStatsResponse ||
+      reply.stats.format != StatsFormat::kBinary) {
+    return false;
+  }
+  *out = std::move(reply.stats.stats);
+  return true;
+}
+
+bool Client::GetStatsJson(std::string* out, int timeout_ms) {
+  if (fd_ < 0) return false;
+  WireStatsRequest request;
+  request.request_id = next_request_id_++;
+  request.format = StatsFormat::kJson;
+  std::vector<uint8_t> frame;
+  EncodeStatsRequest(request, &frame);
+  if (!WriteAll(frame)) return false;
+  Reply reply;
+  if (!WaitFor(request.request_id, &reply, timeout_ms)) return false;
+  if (reply.is_error || reply.type != FrameType::kStatsResponse ||
+      reply.stats.format != StatsFormat::kJson) {
+    return false;
+  }
+  *out = std::move(reply.stats.json);
+  return true;
+}
+
+bool Client::RemoteLoadSlot(const std::string& slot, const std::string& path,
+                            uint64_t* version, std::string* message,
+                            int timeout_ms) {
+  *version = 0;
+  if (fd_ < 0) return false;
+  WireLoadRequest request;
+  request.request_id = next_request_id_++;
+  request.slot = slot;
+  request.path = path;
+  std::vector<uint8_t> frame;
+  EncodeLoadRequest(request, &frame);
+  if (!WriteAll(frame)) return false;
+  Reply reply;
+  if (!WaitFor(request.request_id, &reply, timeout_ms)) return false;
+  if (reply.is_error) {
+    // The server answered but refused (remote load disabled, or a peer
+    // that predates the frame type) — an application-level "no", not a
+    // transport failure.
+    if (message != nullptr) *message = std::move(reply.error_message);
+    return true;
+  }
+  if (reply.type != FrameType::kLoadSlotResponse) return false;
+  *version = reply.load.version;
+  if (message != nullptr) *message = std::move(reply.load.message);
+  return true;
 }
 
 }  // namespace rapid::net

@@ -19,14 +19,27 @@ namespace rapid::net {
 /// connections, which is exactly what the load driver does).
 class Client {
  public:
-  /// One received frame: either a score response or a server-side error
-  /// report for the given request id.
+  /// One received frame: a score response, a stats or load-slot answer, or
+  /// a server-side error report for the given request id. `type` says
+  /// which of the bodies is meaningful.
   struct Reply {
+    FrameType type = FrameType::kScoreResponse;
     WireResponse response;
+    WireStatsResponse stats;
+    WireLoadResponse load;
     bool is_error = false;
     std::string error_message;
     uint64_t request_id() const {
-      return is_error ? error_request_id : response.request_id;
+      switch (type) {
+        case FrameType::kStatsResponse:
+          return stats.request_id;
+        case FrameType::kLoadSlotResponse:
+          return load.request_id;
+        case FrameType::kError:
+          return error_request_id;
+        default:
+          return response.request_id;
+      }
     }
     uint64_t error_request_id = 0;
   };
@@ -38,8 +51,15 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to `host:port`. Returns false on any socket error.
+  /// Connects to `host:port`. Returns false on any socket error. The
+  /// address is remembered for `Reconnect`.
   bool Connect(const std::string& host, uint16_t port);
+
+  /// Re-dials the address of the last `Connect` (a shard router's
+  /// recovery hook after a shard restart). Any in-flight pipelined state
+  /// is discarded with the old socket. False if never connected or the
+  /// dial fails.
+  bool Reconnect();
 
   void Close();
   bool connected() const { return fd_ >= 0; }
@@ -58,16 +78,52 @@ class Client {
   /// Returns false on timeout, EOF, or a protocol error.
   bool Receive(Reply* out, int timeout_ms = -1);
 
+  /// `Receive` outcome with the failure cause split out: a caller polling
+  /// in slices (the shard router's receiver thread) must tell "nothing
+  /// arrived yet" from "this connection is dead and needs a redial".
+  enum class RecvStatus {
+    kOk,
+    /// The timeout elapsed with no complete frame; the connection is fine.
+    kTimeout,
+    /// EOF, a socket error, or lost framing — redial to recover.
+    kClosed,
+  };
+  RecvStatus ReceiveStatus(Reply* out, int timeout_ms = -1);
+
   /// Synchronous convenience: `Send` + receive until *this* request's
   /// reply arrives, stashing any other pipelined replies for later
   /// `Receive` calls.
   bool Call(WireRequest request, Reply* out, int timeout_ms = -1);
 
+  /// Fetches the server's `RouterStats` snapshot in structured binary
+  /// form. False on transport failure or if the server answered with an
+  /// error frame (e.g. a pre-stats peer).
+  bool GetStats(serve::RouterStats* out, int timeout_ms = -1);
+
+  /// Same scrape, but as the server-rendered `ToJson` text.
+  bool GetStatsJson(std::string* out, int timeout_ms = -1);
+
+  /// Asks the server to `LoadSlot(slot, path)` (the path names a snapshot
+  /// on the *server's* filesystem). True when a load response arrived:
+  /// `*version` is the published version, 0 when the server refused
+  /// (disabled, bad snapshot, canary rejection) with the reason in
+  /// `*message`. False only on transport failure.
+  bool RemoteLoadSlot(const std::string& slot, const std::string& path,
+                      uint64_t* version, std::string* message = nullptr,
+                      int timeout_ms = -1);
+
  private:
   /// Blocking-reads one frame off the socket into `out`.
   bool ReadFrame(Reply* out, int timeout_ms);
+  RecvStatus ReadFrameStatus(Reply* out, int timeout_ms);
+  /// Blocking-writes `frame`; false on any write failure.
+  bool WriteAll(const std::vector<uint8_t>& frame);
+  /// Drains replies until `id`'s arrives (others are stashed).
+  bool WaitFor(uint64_t id, Reply* out, int timeout_ms);
 
   int fd_ = -1;
+  std::string host_;
+  uint16_t port_ = 0;
   uint64_t next_request_id_ = 1;
   std::vector<uint8_t> rbuf_;
   std::deque<Reply> stashed_;

@@ -94,6 +94,163 @@ constexpr uint8_t kFlagDegraded = 1;
 constexpr uint8_t kFlagShed = 2;
 constexpr uint8_t kFlagCacheHit = 4;
 
+// --- Binary RouterStats payload -------------------------------------------
+//
+// The structured stats format the shard layer merges: plain field dumps in
+// declaration order, each nested block prefixed by nothing (the layout IS
+// the schema, strict on both ends — a field added later must extend the
+// encoder and decoder together, which one test pins).
+
+void AppendServingStats(std::vector<uint8_t>* out,
+                        const serve::ServingStats& s) {
+  Append<uint64_t>(out, s.requests);
+  Append<uint64_t>(out, s.fallbacks);
+  Append<uint64_t>(out, s.shed);
+  Append<double>(out, s.p50_us);
+  Append<double>(out, s.p95_us);
+  Append<double>(out, s.p99_us);
+  Append<double>(out, s.mean_us);
+  Append<uint64_t>(out, s.max_us);
+  Append<int32_t>(out, s.max_queue_depth);
+  Append<uint64_t>(out, s.batches);
+  Append<uint64_t>(out, s.batched_lists);
+  Append<int32_t>(out, s.max_batch_size);
+  Append<uint32_t>(out, serve::ServingStats::kBatchHistBins);
+  AppendBytes(out, s.batch_size_hist.data(),
+              s.batch_size_hist.size() * sizeof(uint64_t));
+}
+
+bool ReadServingStats(ByteReader* reader, serve::ServingStats* s) {
+  int32_t max_queue_depth = 0, max_batch_size = 0;
+  uint32_t bins = 0;
+  if (!reader->Read(&s->requests) || !reader->Read(&s->fallbacks) ||
+      !reader->Read(&s->shed) || !reader->Read(&s->p50_us) ||
+      !reader->Read(&s->p95_us) || !reader->Read(&s->p99_us) ||
+      !reader->Read(&s->mean_us) || !reader->Read(&s->max_us) ||
+      !reader->Read(&max_queue_depth) || !reader->Read(&s->batches) ||
+      !reader->Read(&s->batched_lists) || !reader->Read(&max_batch_size) ||
+      !reader->Read(&bins) ||
+      bins != serve::ServingStats::kBatchHistBins) {
+    return false;
+  }
+  s->max_queue_depth = max_queue_depth;
+  s->max_batch_size = max_batch_size;
+  for (uint64_t& bin : s->batch_size_hist) {
+    if (!reader->Read(&bin)) return false;
+  }
+  return true;
+}
+
+void AppendCacheStats(std::vector<uint8_t>* out, const serve::CacheStats& s) {
+  Append<uint64_t>(out, s.hits);
+  Append<uint64_t>(out, s.misses);
+  Append<uint64_t>(out, s.inserts);
+  Append<uint64_t>(out, s.evictions);
+  Append<uint64_t>(out, s.expired);
+  Append<uint64_t>(out, s.bypass);
+  Append<uint64_t>(out, s.swept);
+  Append<uint64_t>(out, s.deferred);
+  Append<uint64_t>(out, s.negative_hits);
+  Append<uint64_t>(out, s.negative_inserts);
+}
+
+bool ReadCacheStats(ByteReader* reader, serve::CacheStats* s) {
+  return reader->Read(&s->hits) && reader->Read(&s->misses) &&
+         reader->Read(&s->inserts) && reader->Read(&s->evictions) &&
+         reader->Read(&s->expired) && reader->Read(&s->bypass) &&
+         reader->Read(&s->swept) && reader->Read(&s->deferred) &&
+         reader->Read(&s->negative_hits) &&
+         reader->Read(&s->negative_inserts);
+}
+
+void AppendNetStats(std::vector<uint8_t>* out, const serve::NetStats& s) {
+  Append<uint64_t>(out, s.connections_accepted);
+  Append<uint64_t>(out, s.connections_active);
+  Append<uint64_t>(out, s.connections_rejected);
+  Append<uint64_t>(out, s.closed_idle);
+  Append<uint64_t>(out, s.closed_slow);
+  Append<uint64_t>(out, s.closed_protocol_error);
+  Append<uint64_t>(out, s.frames_in);
+  Append<uint64_t>(out, s.frames_out);
+  Append<uint64_t>(out, s.error_frames_out);
+  Append<uint64_t>(out, s.decode_errors);
+  Append<uint64_t>(out, s.bytes_in);
+  Append<uint64_t>(out, s.bytes_out);
+  Append<uint64_t>(out, s.dropped_responses);
+  Append<uint64_t>(out, s.stats_frames);
+  Append<uint64_t>(out, s.load_frames);
+  Append<int32_t>(out, s.max_inflight_per_conn);
+}
+
+bool ReadNetStats(ByteReader* reader, serve::NetStats* s) {
+  int32_t max_inflight = 0;
+  if (!reader->Read(&s->connections_accepted) ||
+      !reader->Read(&s->connections_active) ||
+      !reader->Read(&s->connections_rejected) ||
+      !reader->Read(&s->closed_idle) || !reader->Read(&s->closed_slow) ||
+      !reader->Read(&s->closed_protocol_error) ||
+      !reader->Read(&s->frames_in) || !reader->Read(&s->frames_out) ||
+      !reader->Read(&s->error_frames_out) ||
+      !reader->Read(&s->decode_errors) || !reader->Read(&s->bytes_in) ||
+      !reader->Read(&s->bytes_out) || !reader->Read(&s->dropped_responses) ||
+      !reader->Read(&s->stats_frames) || !reader->Read(&s->load_frames) ||
+      !reader->Read(&max_inflight)) {
+    return false;
+  }
+  s->max_inflight_per_conn = max_inflight;
+  return true;
+}
+
+void AppendRouterStats(std::vector<uint8_t>* out,
+                       const serve::RouterStats& s) {
+  AppendServingStats(out, s.total);
+  AppendCacheStats(out, s.cache);
+  Append<uint64_t>(out, s.unknown_slot);
+  Append<uint64_t>(out, s.invalid_ids);
+  Append<uint64_t>(out, s.canary_rejected);
+  Append<uint64_t>(out, s.quota_shed);
+  Append<uint8_t>(out, s.has_net ? 1 : 0);
+  if (s.has_net) AppendNetStats(out, s.net);
+  Append<uint32_t>(out, static_cast<uint32_t>(s.slots.size()));
+  for (const serve::RouterStats::SlotEntry& slot : s.slots) {
+    AppendString(out, slot.slot);
+    AppendString(out, slot.model_name);
+    Append<uint64_t>(out, slot.version);
+    AppendServingStats(out, slot.stats);
+    AppendCacheStats(out, slot.cache);
+  }
+}
+
+bool ReadRouterStats(ByteReader* reader, serve::RouterStats* s,
+                     const CodecLimits& limits) {
+  uint8_t has_net = 0;
+  uint32_t num_slots = 0;
+  if (!ReadServingStats(reader, &s->total) ||
+      !ReadCacheStats(reader, &s->cache) || !reader->Read(&s->unknown_slot) ||
+      !reader->Read(&s->invalid_ids) || !reader->Read(&s->canary_rejected) ||
+      !reader->Read(&s->quota_shed) || !reader->Read(&has_net) ||
+      has_net > 1) {
+    return false;
+  }
+  s->has_net = has_net != 0;
+  if (s->has_net && !ReadNetStats(reader, &s->net)) return false;
+  if (!reader->Read(&num_slots) || num_slots > limits.max_items) return false;
+  s->slots.clear();
+  s->slots.reserve(num_slots);
+  for (uint32_t i = 0; i < num_slots; ++i) {
+    serve::RouterStats::SlotEntry entry;
+    if (!reader->ReadString(&entry.slot, limits.max_string_bytes) ||
+        !reader->ReadString(&entry.model_name, limits.max_string_bytes) ||
+        !reader->Read(&entry.version) ||
+        !ReadServingStats(reader, &entry.stats) ||
+        !ReadCacheStats(reader, &entry.cache)) {
+      return false;
+    }
+    s->slots.push_back(std::move(entry));
+  }
+  return true;
+}
+
 }  // namespace
 
 void EncodeScoreRequest(const WireRequest& request,
@@ -136,6 +293,44 @@ void EncodeError(uint64_t request_id, std::string_view message,
   std::vector<uint8_t> payload;
   AppendString(&payload, message.substr(0, 255));
   AppendFrame(out, FrameType::kError, request_id, payload);
+}
+
+void EncodeStatsRequest(const WireStatsRequest& request,
+                        std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  Append<uint8_t>(&payload, static_cast<uint8_t>(request.format));
+  AppendFrame(out, FrameType::kStatsRequest, request.request_id, payload);
+}
+
+void EncodeStatsResponse(const WireStatsResponse& response,
+                         std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  Append<uint8_t>(&payload, static_cast<uint8_t>(response.format));
+  if (response.format == StatsFormat::kJson) {
+    // Raw bytes, not a length-prefixed string: the JSON body routinely
+    // exceeds the string limit, and the frame length already bounds it.
+    AppendBytes(&payload, response.json.data(), response.json.size());
+  } else {
+    AppendRouterStats(&payload, response.stats);
+  }
+  AppendFrame(out, FrameType::kStatsResponse, response.request_id, payload);
+}
+
+void EncodeLoadRequest(const WireLoadRequest& request,
+                       std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  AppendString(&payload, request.slot);
+  AppendString(&payload, request.path);
+  AppendFrame(out, FrameType::kLoadSlotRequest, request.request_id, payload);
+}
+
+void EncodeLoadResponse(const WireLoadResponse& response,
+                        std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  Append<uint64_t>(&payload, response.version);
+  AppendString(&payload, std::string_view(response.message).substr(0, 255));
+  AppendFrame(out, FrameType::kLoadSlotResponse, response.request_id,
+              payload);
 }
 
 DecodeStatus ExtractFrame(const uint8_t* data, size_t size, size_t* consumed,
@@ -219,6 +414,59 @@ bool ParseError(const Frame& frame, WireError* out,
   out->request_id = frame.header.request_id;
   ByteReader reader(frame.payload.data(), frame.payload.size());
   return reader.ReadString(&out->message, limits.max_string_bytes) &&
+         reader.AtEnd();
+}
+
+bool ParseStatsRequest(const Frame& frame, WireStatsRequest* out,
+                       const CodecLimits& limits) {
+  (void)limits;
+  if (frame.header.type != FrameType::kStatsRequest) return false;
+  out->request_id = frame.header.request_id;
+  ByteReader reader(frame.payload.data(), frame.payload.size());
+  uint8_t format = 0;
+  if (!reader.Read(&format) || format > 1 || !reader.AtEnd()) return false;
+  out->format = static_cast<StatsFormat>(format);
+  return true;
+}
+
+bool ParseStatsResponse(const Frame& frame, WireStatsResponse* out,
+                        const CodecLimits& limits) {
+  if (frame.header.type != FrameType::kStatsResponse) return false;
+  out->request_id = frame.header.request_id;
+  ByteReader reader(frame.payload.data(), frame.payload.size());
+  uint8_t format = 0;
+  if (!reader.Read(&format) || format > 1) return false;
+  out->format = static_cast<StatsFormat>(format);
+  if (out->format == StatsFormat::kJson) {
+    // Everything after the format byte is the JSON body.
+    out->json.assign(
+        reinterpret_cast<const char*>(frame.payload.data()) + 1,
+        frame.payload.size() - 1);
+    out->stats = serve::RouterStats{};
+    return true;
+  }
+  out->json.clear();
+  out->stats = serve::RouterStats{};
+  return ReadRouterStats(&reader, &out->stats, limits) && reader.AtEnd();
+}
+
+bool ParseLoadRequest(const Frame& frame, WireLoadRequest* out,
+                      const CodecLimits& limits) {
+  if (frame.header.type != FrameType::kLoadSlotRequest) return false;
+  out->request_id = frame.header.request_id;
+  ByteReader reader(frame.payload.data(), frame.payload.size());
+  return reader.ReadString(&out->slot, limits.max_string_bytes) &&
+         reader.ReadString(&out->path, limits.max_string_bytes) &&
+         reader.AtEnd();
+}
+
+bool ParseLoadResponse(const Frame& frame, WireLoadResponse* out,
+                       const CodecLimits& limits) {
+  if (frame.header.type != FrameType::kLoadSlotResponse) return false;
+  out->request_id = frame.header.request_id;
+  ByteReader reader(frame.payload.data(), frame.payload.size());
+  return reader.Read(&out->version) &&
+         reader.ReadString(&out->message, limits.max_string_bytes) &&
          reader.AtEnd();
 }
 

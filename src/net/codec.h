@@ -9,6 +9,7 @@
 
 #include "datagen/types.h"
 #include "serve/admission.h"
+#include "serve/router.h"
 
 namespace rapid::net {
 
@@ -52,6 +53,31 @@ enum class FrameType : uint8_t {
   /// Server -> client: the request could not be served (malformed payload,
   /// unknown frame type, server draining). Payload is a UTF-8 message.
   kError = 3,
+  /// Client -> server: asks for the router's `RouterStats` snapshot, in
+  /// the format named by the payload's `StatsFormat` byte. Added after the
+  /// first protocol release *without* a version bump: a peer that predates
+  /// it answers with a `kError` frame ("unknown frame type"), which
+  /// callers surface — new frame types are a compatible extension, unlike
+  /// a layout change to an existing frame.
+  kStatsRequest = 4,
+  kStatsResponse = 5,
+  /// Client -> server: asks the server to `LoadSlot(slot, path)` — the
+  /// remote-rollout primitive the shard coordinator drives. Servers refuse
+  /// it unless explicitly enabled (`ServerConfig::enable_remote_load`):
+  /// the path names a file on the *server's* filesystem, so the frame is
+  /// trusted-operator API, not public surface.
+  kLoadSlotRequest = 6,
+  kLoadSlotResponse = 7,
+};
+
+/// How a `kStatsRequest` wants its answer encoded.
+enum class StatsFormat : uint8_t {
+  /// Structured binary payload (`ParseStatsResponse` fills a
+  /// `serve::RouterStats`) — what the shard layer merges across a fleet.
+  kBinary = 0,
+  /// The router's `ToJson` text as the raw payload bytes (not
+  /// length-prefixed — JSON outgrows the string limit), for scrapers.
+  kJson = 1,
 };
 
 /// Decoder bounds, enforced before any allocation sized from wire data.
@@ -111,6 +137,38 @@ struct WireError {
   std::string message;
 };
 
+/// A stats scrape as it crosses the wire.
+struct WireStatsRequest {
+  uint64_t request_id = 0;
+  StatsFormat format = StatsFormat::kBinary;
+};
+
+/// The answer: exactly one of `stats` (kBinary) or `json` (kJson) is
+/// meaningful, per `format`.
+struct WireStatsResponse {
+  uint64_t request_id = 0;
+  StatsFormat format = StatsFormat::kBinary;
+  serve::RouterStats stats;
+  std::string json;
+};
+
+/// A remote `LoadSlot` as it crosses the wire. `path` names a snapshot on
+/// the receiving server's filesystem.
+struct WireLoadRequest {
+  uint64_t request_id = 0;
+  std::string slot;
+  std::string path;
+};
+
+struct WireLoadResponse {
+  uint64_t request_id = 0;
+  /// The newly published version, or 0 when the load failed (bad
+  /// snapshot, canary rejection) and the slot kept its previous version.
+  uint64_t version = 0;
+  /// Human-readable detail, empty on success.
+  std::string message;
+};
+
 /// Appends one encoded frame to `out` (does not clear it), so a pipelined
 /// batch can be serialized into one flat buffer and written with one
 /// syscall.
@@ -119,6 +177,14 @@ void EncodeScoreResponse(const WireResponse& response,
                          std::vector<uint8_t>* out);
 void EncodeError(uint64_t request_id, std::string_view message,
                  std::vector<uint8_t>* out);
+void EncodeStatsRequest(const WireStatsRequest& request,
+                        std::vector<uint8_t>* out);
+void EncodeStatsResponse(const WireStatsResponse& response,
+                         std::vector<uint8_t>* out);
+void EncodeLoadRequest(const WireLoadRequest& request,
+                       std::vector<uint8_t>* out);
+void EncodeLoadResponse(const WireLoadResponse& response,
+                        std::vector<uint8_t>* out);
 
 enum class DecodeStatus {
   /// One complete frame extracted; `*consumed` bytes were used.
@@ -146,6 +212,14 @@ bool ParseScoreResponse(const Frame& frame, WireResponse* out,
                         const CodecLimits& limits = {});
 bool ParseError(const Frame& frame, WireError* out,
                 const CodecLimits& limits = {});
+bool ParseStatsRequest(const Frame& frame, WireStatsRequest* out,
+                       const CodecLimits& limits = {});
+bool ParseStatsResponse(const Frame& frame, WireStatsResponse* out,
+                        const CodecLimits& limits = {});
+bool ParseLoadRequest(const Frame& frame, WireLoadRequest* out,
+                      const CodecLimits& limits = {});
+bool ParseLoadResponse(const Frame& frame, WireLoadResponse* out,
+                       const CodecLimits& limits = {});
 
 }  // namespace rapid::net
 

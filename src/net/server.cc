@@ -277,27 +277,49 @@ void Server::DispatcherThread() {
       work = std::move(work_.front());
       work_.pop_front();
     }
-    serve::RouterRequest request;
-    request.slot = std::move(work.request.slot);
-    request.lane = work.request.lane;
-    request.list = std::move(work.request.list);
-    // The future resolves from the router's worker pool (or inline on a
-    // cache hit / shed); blocking here is the dispatcher's whole job.
-    serve::RouterResponse routed = router_.Submit(std::move(request)).get();
-
-    WireResponse response;
-    response.request_id = work.request.request_id;
-    response.degraded = routed.degraded;
-    response.shed = routed.shed;
-    response.cache_hit = routed.cache_hit;
-    response.model_name = std::move(routed.model_name);
-    response.model_version = routed.model_version;
-    response.server_latency_us = routed.latency_us;
-    response.items = std::move(routed.items);
-
     Completion completion;
     completion.conn_id = work.conn_id;
-    EncodeScoreResponse(response, &completion.frame);
+    if (work.type == FrameType::kStatsRequest) {
+      WireStatsResponse response;
+      response.request_id = work.admin_request_id;
+      response.format = work.stats_format;
+      if (work.stats_format == StatsFormat::kJson) {
+        response.json = StatsWithNet().ToJson();
+      } else {
+        response.stats = StatsWithNet();
+      }
+      EncodeStatsResponse(response, &completion.frame);
+    } else if (work.type == FrameType::kLoadSlotRequest) {
+      // The expensive part (snapshot rebuild + canary probe) runs here on
+      // the dispatcher, never on the event loop; scoring traffic keeps
+      // flowing on the old version until the publish inside LoadSlot.
+      WireLoadResponse response;
+      response.request_id = work.admin_request_id;
+      response.version = router_.LoadSlot(work.load_slot, work.load_path);
+      if (response.version == 0) {
+        response.message = "snapshot load failed or canary rejected";
+      }
+      EncodeLoadResponse(response, &completion.frame);
+    } else {
+      serve::RouterRequest request;
+      request.slot = std::move(work.request.slot);
+      request.lane = work.request.lane;
+      request.list = std::move(work.request.list);
+      // The future resolves from the router's worker pool (or inline on a
+      // cache hit / shed); blocking here is the dispatcher's whole job.
+      serve::RouterResponse routed = router_.Submit(std::move(request)).get();
+
+      WireResponse response;
+      response.request_id = work.request.request_id;
+      response.degraded = routed.degraded;
+      response.shed = routed.shed;
+      response.cache_hit = routed.cache_hit;
+      response.model_name = std::move(routed.model_name);
+      response.model_version = routed.model_version;
+      response.server_latency_us = routed.latency_us;
+      response.items = std::move(routed.items);
+      EncodeScoreResponse(response, &completion.frame);
+    }
     {
       std::lock_guard<std::mutex> lock(completion_mu_);
       completions_.push_back(std::move(completion));
@@ -524,27 +546,74 @@ void Server::ParseFrames(Connection* conn) {
 }
 
 void Server::HandleFrame(Connection* conn, Frame frame) {
-  if (frame.header.type != FrameType::kScoreRequest) {
-    // Framing survived, so the connection is still usable: answer with an
-    // error frame instead of disconnecting.
+  // Malformed-but-framed payloads and unwanted types are answered with an
+  // error frame instead of disconnecting — framing survived, so the
+  // connection is still usable.
+  const auto answer_error = [&](const char* message) {
     decode_errors_.fetch_add(1, std::memory_order_relaxed);
     std::vector<uint8_t> out;
-    EncodeError(frame.header.request_id, "unexpected frame type", &out);
+    EncodeError(frame.header.request_id, message, &out);
     error_frames_out_.fetch_add(1, std::memory_order_relaxed);
     QueueWrite(conn, std::move(out));
+  };
+
+  if (frame.header.type == FrameType::kStatsRequest) {
+    WireStatsRequest stats_request;
+    if (!ParseStatsRequest(frame, &stats_request, config_.limits)) {
+      answer_error("malformed stats request");
+      return;
+    }
+    stats_frames_.fetch_add(1, std::memory_order_relaxed);
+    Work work;
+    work.conn_id = conn->id;
+    work.type = FrameType::kStatsRequest;
+    work.admin_request_id = stats_request.request_id;
+    work.stats_format = stats_request.format;
+    EnqueueWork(conn, std::move(work));
+    return;
+  }
+
+  if (frame.header.type == FrameType::kLoadSlotRequest) {
+    WireLoadRequest load_request;
+    if (!ParseLoadRequest(frame, &load_request, config_.limits)) {
+      answer_error("malformed load request");
+      return;
+    }
+    load_frames_.fetch_add(1, std::memory_order_relaxed);
+    if (!config_.enable_remote_load) {
+      // Refused, not dropped: the caller gets a definite answer and the
+      // connection keeps serving score traffic.
+      std::vector<uint8_t> out;
+      EncodeError(frame.header.request_id, "remote load disabled", &out);
+      error_frames_out_.fetch_add(1, std::memory_order_relaxed);
+      QueueWrite(conn, std::move(out));
+      return;
+    }
+    Work work;
+    work.conn_id = conn->id;
+    work.type = FrameType::kLoadSlotRequest;
+    work.admin_request_id = load_request.request_id;
+    work.load_slot = std::move(load_request.slot);
+    work.load_path = std::move(load_request.path);
+    EnqueueWork(conn, std::move(work));
+    return;
+  }
+
+  if (frame.header.type != FrameType::kScoreRequest) {
+    answer_error("unexpected frame type");
     return;
   }
   Work work;
   if (!ParseScoreRequest(frame, &work.request, config_.limits)) {
-    decode_errors_.fetch_add(1, std::memory_order_relaxed);
-    std::vector<uint8_t> out;
-    EncodeError(frame.header.request_id, "malformed score request", &out);
-    error_frames_out_.fetch_add(1, std::memory_order_relaxed);
-    QueueWrite(conn, std::move(out));
+    answer_error("malformed score request");
     return;
   }
   frames_in_.fetch_add(1, std::memory_order_relaxed);
   work.conn_id = conn->id;
+  EnqueueWork(conn, std::move(work));
+}
+
+void Server::EnqueueWork(Connection* conn, Work work) {
   conn->inflight++;
   int prev = max_inflight_.load(std::memory_order_relaxed);
   while (prev < conn->inflight &&
@@ -682,6 +751,8 @@ serve::NetStats Server::stats() const {
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   s.dropped_responses = dropped_responses_.load(std::memory_order_relaxed);
+  s.stats_frames = stats_frames_.load(std::memory_order_relaxed);
+  s.load_frames = load_frames_.load(std::memory_order_relaxed);
   s.max_inflight_per_conn = max_inflight_.load(std::memory_order_relaxed);
   return s;
 }

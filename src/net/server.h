@@ -59,6 +59,13 @@ struct ServerConfig {
   /// write buffer sees any pressure) — used by the slow-client tests and
   /// `bench_net`'s injection phase.
   int so_sndbuf = 0;
+  /// Allow `kLoadSlotRequest` frames to drive `ServingRouter::LoadSlot`
+  /// remotely. Off by default: the frame carries a filesystem path the
+  /// server will open, so it is trusted-operator surface (the shard
+  /// rollout coordinator), not something an internet-facing listener
+  /// should honor. When off, the frame is answered with an error frame
+  /// and the connection survives.
+  bool enable_remote_load = false;
   /// Force the portable poll(2) backend instead of epoll(7) (Linux).
   /// Functionally identical; epoll scales better past a few hundred fds.
   bool use_poll = false;
@@ -131,7 +138,16 @@ class Server {
 
   struct Work {
     uint64_t conn_id = 0;
+    /// What the dispatcher should do: score (the default), answer a stats
+    /// scrape, or apply a remote snapshot load. Admin work rides the same
+    /// queue and inflight accounting as scores, so a graceful drain
+    /// flushes admin answers too.
+    FrameType type = FrameType::kScoreRequest;
     WireRequest request;
+    uint64_t admin_request_id = 0;
+    StatsFormat stats_format = StatsFormat::kBinary;
+    std::string load_slot;
+    std::string load_path;
   };
   struct Completion {
     uint64_t conn_id = 0;
@@ -148,6 +164,9 @@ class Server {
   void WriteReady(Connection* conn);
   void ParseFrames(Connection* conn);
   void HandleFrame(Connection* conn, Frame frame);
+  /// Charges the connection's inflight count and hands `work` to the
+  /// dispatcher pool.
+  void EnqueueWork(Connection* conn, Work work);
   /// Appends bytes to the connection's write queue and tries an
   /// opportunistic immediate flush.
   void QueueWrite(Connection* conn, std::vector<uint8_t> bytes);
@@ -200,6 +219,8 @@ class Server {
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
   std::atomic<uint64_t> dropped_responses_{0};
+  std::atomic<uint64_t> stats_frames_{0};
+  std::atomic<uint64_t> load_frames_{0};
   std::atomic<int> max_inflight_{0};
 };
 

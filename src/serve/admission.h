@@ -1,7 +1,13 @@
 #ifndef RAPID_SERVE_ADMISSION_H_
 #define RAPID_SERVE_ADMISSION_H_
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace rapid::serve {
 
@@ -38,12 +44,21 @@ struct AdmissionConfig {
   /// Starvation-free drain: after this many consecutive high-lane pops
   /// while low-lane work waited, one low-lane request is served.
   int high_bursts_per_low = 4;
+  /// Optional per-slot queue-depth quotas: at most this many requests of a
+  /// slot may sit in the queue at once; a request arriving above its
+  /// slot's quota is shed (answered by the fallback) regardless of the
+  /// global policy, so one tenant's burst cannot fill the shared queue and
+  /// starve every other slot. Slots without an entry are unlimited.
+  /// Quota sheds are counted in `RouterStats::quota_shed`. Non-positive
+  /// quotas are clamped to 1.
+  std::vector<std::pair<std::string, int>> slot_quotas;
 };
 
-/// Decides, per request, whether it enters the queue or is shed. Stateless
-/// after construction (all watermarks resolved against the queue
-/// capacity), so `Admit` is safe to call from any number of submitter
-/// threads concurrently.
+/// Decides, per request, whether it enters the queue or is shed. The lane
+/// watermarks are resolved against the queue capacity at construction, so
+/// `Admit` is safe to call from any number of submitter threads
+/// concurrently; per-slot quota charges are tracked in atomics behind a
+/// const map (no lock on the submit path).
 ///
 /// Ordering note: the router consults its result cache *before* admission
 /// — a cache hit is answered inline without entering either lane, so hits
@@ -59,6 +74,23 @@ class AdmissionController {
   /// backpressure is applied by the queue itself, not here.
   bool Admit(Lane lane, size_t depth) const;
 
+  /// Per-slot quota charge, called once per request just before it enters
+  /// the queue. Returns false — without charging — when `slot` has a quota
+  /// and its queued count is already at it: the caller must shed. A true
+  /// return must be balanced by exactly one `ReleaseSlot`, either when the
+  /// request is dequeued or when the push it guarded fails. Slots without
+  /// a quota always charge successfully (and keep no count).
+  bool TryChargeSlot(const std::string& slot);
+
+  /// Returns a successful `TryChargeSlot` charge for `slot`.
+  void ReleaseSlot(const std::string& slot);
+
+  bool has_quotas() const { return !quotas_.empty(); }
+
+  /// Currently queued (charged) requests of a quota'd slot; 0 for slots
+  /// without a quota. Racy gauge, for tests and stats.
+  int SlotDepth(const std::string& slot) const;
+
   const AdmissionConfig& config() const { return config_; }
 
   /// The resolved shed watermark for a lane, in requests.
@@ -67,9 +99,16 @@ class AdmissionController {
   }
 
  private:
+  struct SlotQuota {
+    int limit = 0;
+    std::atomic<int> depth{0};
+  };
+
   AdmissionConfig config_;
   size_t low_mark_ = 0;
   size_t high_mark_ = 0;
+  /// Immutable after construction; only the atomic depths mutate.
+  std::unordered_map<std::string, std::unique_ptr<SlotQuota>> quotas_;
 };
 
 }  // namespace rapid::serve

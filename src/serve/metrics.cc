@@ -122,7 +122,8 @@ std::string CacheStats::ToTable() const {
                 "  cache expired   %10llu\n"
                 "  cache bypass    %10llu\n"
                 "  cache swept     %10llu\n"
-                "  cache deferred  %10llu\n",
+                "  cache deferred  %10llu\n"
+                "  cache negative  %10llu hits, %llu inserts\n",
                 static_cast<unsigned long long>(hits), 100.0 * hit_rate(),
                 static_cast<unsigned long long>(misses),
                 static_cast<unsigned long long>(inserts),
@@ -130,7 +131,9 @@ std::string CacheStats::ToTable() const {
                 static_cast<unsigned long long>(expired),
                 static_cast<unsigned long long>(bypass),
                 static_cast<unsigned long long>(swept),
-                static_cast<unsigned long long>(deferred));
+                static_cast<unsigned long long>(deferred),
+                static_cast<unsigned long long>(negative_hits),
+                static_cast<unsigned long long>(negative_inserts));
   return buf;
 }
 
@@ -139,7 +142,9 @@ std::string CacheStats::ToJson() const {
   std::snprintf(buf, sizeof(buf),
                 "{\"hits\": %llu, \"misses\": %llu, \"inserts\": %llu, "
                 "\"evictions\": %llu, \"expired\": %llu, \"bypass\": %llu, "
-                "\"swept\": %llu, \"deferred\": %llu, \"hit_rate\": %.3f}",
+                "\"swept\": %llu, \"deferred\": %llu, "
+                "\"negative_hits\": %llu, \"negative_inserts\": %llu, "
+                "\"hit_rate\": %.3f}",
                 static_cast<unsigned long long>(hits),
                 static_cast<unsigned long long>(misses),
                 static_cast<unsigned long long>(inserts),
@@ -147,7 +152,10 @@ std::string CacheStats::ToJson() const {
                 static_cast<unsigned long long>(expired),
                 static_cast<unsigned long long>(bypass),
                 static_cast<unsigned long long>(swept),
-                static_cast<unsigned long long>(deferred), hit_rate());
+                static_cast<unsigned long long>(deferred),
+                static_cast<unsigned long long>(negative_hits),
+                static_cast<unsigned long long>(negative_inserts),
+                hit_rate());
   return buf;
 }
 
@@ -160,6 +168,7 @@ std::string NetStats::ToTable() const {
                 "  net frames out  %10llu (%llu bytes, %llu errors)\n"
                 "  net decode errs %10llu\n"
                 "  net dropped     %10llu\n"
+                "  net admin       %10llu stats, %llu loads\n"
                 "  net max inflight%10d per connection\n",
                 static_cast<unsigned long long>(connections_accepted),
                 static_cast<unsigned long long>(connections_active),
@@ -174,6 +183,8 @@ std::string NetStats::ToTable() const {
                 static_cast<unsigned long long>(error_frames_out),
                 static_cast<unsigned long long>(decode_errors),
                 static_cast<unsigned long long>(dropped_responses),
+                static_cast<unsigned long long>(stats_frames),
+                static_cast<unsigned long long>(load_frames),
                 max_inflight_per_conn);
   return buf;
 }
@@ -188,7 +199,8 @@ std::string NetStats::ToJson() const {
       "\"frames_in\": %llu, \"frames_out\": %llu, "
       "\"error_frames_out\": %llu, \"decode_errors\": %llu, "
       "\"bytes_in\": %llu, \"bytes_out\": %llu, "
-      "\"dropped_responses\": %llu, \"max_inflight_per_conn\": %d}",
+      "\"dropped_responses\": %llu, \"stats_frames\": %llu, "
+      "\"load_frames\": %llu, \"max_inflight_per_conn\": %d}",
       static_cast<unsigned long long>(connections_accepted),
       static_cast<unsigned long long>(connections_active),
       static_cast<unsigned long long>(connections_rejected),
@@ -202,6 +214,8 @@ std::string NetStats::ToJson() const {
       static_cast<unsigned long long>(bytes_in),
       static_cast<unsigned long long>(bytes_out),
       static_cast<unsigned long long>(dropped_responses),
+      static_cast<unsigned long long>(stats_frames),
+      static_cast<unsigned long long>(load_frames),
       max_inflight_per_conn);
   return buf;
 }

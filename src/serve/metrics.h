@@ -70,6 +70,14 @@ struct CacheStats {
   /// (`CachePolicy::admit_on_second_hit`): the first miss only records a
   /// sighting; a repeat miss admits. 0 when the policy is off.
   uint64_t deferred = 0;
+  /// Rejected requests (unknown slot / invalid ids) answered from the
+  /// negative cache instead of re-running the bounds check or the
+  /// fallback heuristic. Not part of `hit_rate()` — every submission
+  /// probes the negative side when the policy is on, and counting those
+  /// probes as misses would wreck the positive hit rate.
+  uint64_t negative_hits = 0;
+  /// Degraded answers remembered by the negative cache.
+  uint64_t negative_inserts = 0;
 
   /// hits / (hits + misses); 0 when no lookups happened.
   double hit_rate() const;
@@ -111,6 +119,11 @@ struct NetStats {
   /// Responses whose connection was gone when they completed (slow-client
   /// or error disconnects only — a graceful drain keeps this at 0).
   uint64_t dropped_responses = 0;
+  /// Stats scrapes (`kStatsRequest` frames) parsed off the wire.
+  uint64_t stats_frames = 0;
+  /// Remote load requests (`kLoadSlotRequest` frames) parsed off the
+  /// wire, counting refused ones (remote load disabled).
+  uint64_t load_frames = 0;
   /// Peak in-flight requests observed on any single connection.
   int max_inflight_per_conn = 0;
 

@@ -23,6 +23,7 @@ CachePolicy Sanitized(CachePolicy policy) {
   policy.num_shards = std::clamp<int>(policy.num_shards, 1,
                                       static_cast<int>(policy.capacity));
   policy.ttl_us = std::max<int64_t>(policy.ttl_us, 0);
+  policy.negative_ttl_us = std::max<int64_t>(policy.negative_ttl_us, 0);
   policy.admission_sketch_slots =
       std::max<size_t>(policy.admission_sketch_slots, 1);
   return policy;
@@ -40,6 +41,8 @@ CacheStats ResultCache::Counters::Snapshot() const {
   s.bypass = bypass.load(std::memory_order_relaxed);
   s.swept = swept.load(std::memory_order_relaxed);
   s.deferred = deferred.load(std::memory_order_relaxed);
+  s.negative_hits = negative_hits.load(std::memory_order_relaxed);
+  s.negative_inserts = negative_inserts.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -162,6 +165,61 @@ void ResultCache::Insert(const std::string& slot, uint64_t version,
   shard.index.emplace(shard.lru.front().key, shard.lru.begin());
   total_.inserts.fetch_add(1, std::memory_order_relaxed);
   counters.inserts.fetch_add(1, std::memory_order_relaxed);
+  while (shard.lru.size() > per_shard_capacity_) {
+    const Entry& victim = shard.lru.back();
+    total_.evictions.fetch_add(1, std::memory_order_relaxed);
+    CountersFor(victim.key.slot)
+        .evictions.fetch_add(1, std::memory_order_relaxed);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+  }
+}
+
+std::optional<std::vector<int>> ResultCache::LookupNegative(
+    const std::string& slot, uint64_t fingerprint) {
+  if (!NegativeEnabled()) return std::nullopt;
+  Key key{slot, 0, fingerprint};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  if (ExpiredAt(*it->second, Clock::now())) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    Counters& counters = CountersFor(slot);
+    total_.expired.fetch_add(1, std::memory_order_relaxed);
+    counters.expired.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  Counters& counters = CountersFor(slot);
+  total_.negative_hits.fetch_add(1, std::memory_order_relaxed);
+  counters.negative_hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result.items;
+}
+
+void ResultCache::InsertNegative(const std::string& slot, uint64_t fingerprint,
+                                 std::vector<int> items) {
+  if (!NegativeEnabled()) return;
+  Key key{slot, 0, fingerprint};
+  Shard& shard = ShardFor(key);
+  Counters& counters = CountersFor(slot);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->result.items = std::move(items);
+    it->second->inserted_at = Clock::now();
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  // No second-hit sketch here: the goal is absorbing the second arrival of
+  // the same bad request, so the first rejection must already store.
+  shard.lru.push_front(Entry{std::move(key),
+                             CachedResult{std::move(items), "", 0},
+                             Clock::now()});
+  shard.index.emplace(shard.lru.front().key, shard.lru.begin());
+  total_.negative_inserts.fetch_add(1, std::memory_order_relaxed);
+  counters.negative_inserts.fetch_add(1, std::memory_order_relaxed);
   while (shard.lru.size() > per_shard_capacity_) {
     const Entry& victim = shard.lru.back();
     total_.evictions.fetch_add(1, std::memory_order_relaxed);

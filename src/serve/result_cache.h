@@ -53,6 +53,19 @@ struct CachePolicy {
   bool admit_on_second_hit = false;
   /// Sketch cells per shard when `admit_on_second_hit` is set.
   size_t admission_sketch_slots = 1024;
+  /// Negative-result caching (0 = off): rejections that never reach a
+  /// model — unknown-slot and invalid-id requests — are remembered for
+  /// this many microseconds, so a remote caller replaying the same bad
+  /// request is answered from memory instead of re-running the bounds
+  /// check or occupying a queue slot and a worker for the fallback
+  /// heuristic. Entries are keyed under the reserved version 0 (registry
+  /// versions start at 1, so they can never shadow a real result) and are
+  /// swept like any dead version when the slot publishes — a slot that
+  /// comes into existence invalidates its own unknown-slot entries. The
+  /// TTL should be short: between an insert racing a publish and the
+  /// sweep, a stale negative entry can answer degraded for at most one
+  /// TTL. Requires `enabled`.
+  int64_t negative_ttl_us = 0;
 };
 
 /// A sharded LRU of re-ranked responses keyed on
@@ -105,6 +118,26 @@ class ResultCache {
 
   /// False when the cache is disabled or `slot` is on the bypass list.
   bool EnabledFor(const std::string& slot) const;
+
+  /// True when negative-result caching is active (`enabled` plus a
+  /// positive `negative_ttl_us`).
+  bool NegativeEnabled() const {
+    return policy_.enabled && policy_.negative_ttl_us > 0;
+  }
+
+  /// Probes the negative cache (version-0 entries) for a previously
+  /// rejected (slot, list) request. Hits count as `negative_hits`; misses
+  /// are not counted at all — every submission probes here when the
+  /// policy is on, and folding those into `misses` would wreck the
+  /// positive cache's hit rate.
+  std::optional<std::vector<int>> LookupNegative(const std::string& slot,
+                                                 uint64_t fingerprint);
+
+  /// Remembers the degraded answer of a rejected request under the
+  /// reserved version 0 with the negative TTL. Bypasses second-hit
+  /// admission: the whole point is absorbing the *second* arrival.
+  void InsertNegative(const std::string& slot, uint64_t fingerprint,
+                      std::vector<int> items);
 
   /// Counts a request that skipped the cache for `slot`.
   void RecordBypass(const std::string& slot);
@@ -184,6 +217,8 @@ class ResultCache {
     std::atomic<uint64_t> bypass{0};
     std::atomic<uint64_t> swept{0};
     std::atomic<uint64_t> deferred{0};
+    std::atomic<uint64_t> negative_hits{0};
+    std::atomic<uint64_t> negative_inserts{0};
     CacheStats Snapshot() const;
   };
 
@@ -193,8 +228,12 @@ class ResultCache {
   /// Find-or-create the counter block for `slot` (short leaf lock).
   Counters& CountersFor(const std::string& slot);
   bool ExpiredAt(const Entry& entry, Clock::time_point now) const {
-    return policy_.ttl_us > 0 &&
-           now - entry.inserted_at >= std::chrono::microseconds(policy_.ttl_us);
+    // Version 0 marks a negative entry, which lives on its own (short)
+    // TTL; positive entries use the regular one.
+    const int64_t ttl_us =
+        entry.key.version == 0 ? policy_.negative_ttl_us : policy_.ttl_us;
+    return ttl_us > 0 &&
+           now - entry.inserted_at >= std::chrono::microseconds(ttl_us);
   }
 
   void SweeperLoop();

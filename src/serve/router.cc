@@ -144,6 +144,12 @@ void ServingRouter::ProcessBatch(std::vector<PendingRequest>* batch) {
   };
   std::vector<Group> groups;
   for (PendingRequest& request : *batch) {
+    // The request left the queue: its slot-quota charge is returned now,
+    // before any processing, so the quota tracks queue depth only.
+    if (request.charged) {
+      admission_.ReleaseSlot(request.request.slot);
+      request.charged = false;
+    }
     const int64_t waited_us =
         std::chrono::duration_cast<std::chrono::microseconds>(
             now - request.enqueued_at)
@@ -253,6 +259,13 @@ void ServingRouter::Process(PendingRequest* request, bool shed) {
     response.shed = shed;
     if (!shed && !deadline_blown && served == nullptr) {
       unknown_slot_.fetch_add(1, std::memory_order_relaxed);
+      // Remember the rejection so a replay of the same bad request is
+      // answered inline at submit time. The fingerprint was computed on
+      // the submit path (negative lookups precede everything else there).
+      if (cache_.NegativeEnabled()) {
+        cache_.InsertNegative(request->request.slot, request->fingerprint,
+                              response.items);
+      }
     }
   } else {
     response.items = served->model->Rerank(data_, request->request.list);
@@ -287,6 +300,30 @@ std::future<RouterResponse> ServingRouter::Submit(RouterRequest request) {
   pending.enqueued_at = std::chrono::steady_clock::now();
   std::future<RouterResponse> future = pending.promise.get_future();
 
+  // Replayed bad traffic first: a (slot, list) pair the router already
+  // rejected — invalid ids or an unknown slot — is answered from the
+  // negative cache before re-running the bounds check or occupying a
+  // queue slot for the fallback heuristic.
+  if (cache_.NegativeEnabled()) {
+    pending.fingerprint = ResultCache::Fingerprint(pending.request.list);
+    std::optional<std::vector<int>> remembered =
+        cache_.LookupNegative(pending.request.slot, pending.fingerprint);
+    if (remembered.has_value()) {
+      RouterResponse response;
+      response.items = std::move(*remembered);
+      response.degraded = true;
+      response.cache_hit = true;
+      response.latency_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - pending.enqueued_at)
+              .count();
+      aggregate_metrics_.RecordRequest(
+          static_cast<uint64_t>(response.latency_us), /*fallback=*/true);
+      pending.promise.set_value(std::move(response));
+      return future;
+    }
+  }
+
   // Defensive bounds check on caller-supplied ids: a networked caller can
   // put anything on the wire, and an out-of-range user or item id would
   // index past the model's embedding tables. Such requests are answered
@@ -298,6 +335,10 @@ std::future<RouterResponse> ServingRouter::Submit(RouterRequest request) {
     RouterResponse response;
     response.items = pending.request.list.items;
     response.degraded = true;
+    if (cache_.NegativeEnabled()) {
+      cache_.InsertNegative(pending.request.slot, pending.fingerprint,
+                            response.items);
+    }
     response.latency_us =
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - pending.enqueued_at)
@@ -325,7 +366,9 @@ std::future<RouterResponse> ServingRouter::Submit(RouterRequest request) {
       // lookup is harmless: the response is stamped with the same version
       // whose cached output it carries, exactly as if the request had been
       // processed an instant before the swap.
-      pending.fingerprint = ResultCache::Fingerprint(pending.request.list);
+      if (pending.fingerprint == 0) {
+        pending.fingerprint = ResultCache::Fingerprint(pending.request.list);
+      }
       pending.cacheable = true;
       std::optional<ResultCache::CachedResult> hit = cache_.Lookup(
           pending.request.slot, served->version, pending.fingerprint);
@@ -353,6 +396,14 @@ std::future<RouterResponse> ServingRouter::Submit(RouterRequest request) {
     Process(&pending, /*shed=*/true);
     return future;
   }
+  // Per-slot quota, independent of the global policy: one tenant's burst
+  // is shed at its own budget even while the shared queue has room.
+  if (!admission_.TryChargeSlot(pending.request.slot)) {
+    quota_shed_.fetch_add(1, std::memory_order_relaxed);
+    Process(&pending, /*shed=*/true);
+    return future;
+  }
+  pending.charged = admission_.has_quotas();
 
   using PushResult = BoundedRequestQueue<PendingRequest>::PushResult;
   PushResult result;
@@ -376,11 +427,20 @@ std::future<RouterResponse> ServingRouter::Submit(RouterRequest request) {
     case PushResult::kFull:
       // Shed mode: full queue. Block mode: the deadline elapsed while the
       // producer waited, so the request is already past saving — answer
-      // with the fallback instead of the model.
+      // with the fallback instead of the model. Either way the request
+      // never entered the queue, so its quota charge comes back here.
+      if (pending.charged) {
+        admission_.ReleaseSlot(pending.request.slot);
+        pending.charged = false;
+      }
       Process(&pending,
               /*shed=*/admission_.config().policy == AdmissionPolicy::kShed);
       break;
     case PushResult::kClosed:
+      if (pending.charged) {
+        admission_.ReleaseSlot(pending.request.slot);
+        pending.charged = false;
+      }
       Process(&pending);
       break;
   }
@@ -402,6 +462,7 @@ RouterStats ServingRouter::stats() const {
   out.unknown_slot = unknown_slot_.load(std::memory_order_relaxed);
   out.invalid_ids = invalid_ids_.load(std::memory_order_relaxed);
   out.canary_rejected = canary_rejected_.load(std::memory_order_relaxed);
+  out.quota_shed = quota_shed_.load(std::memory_order_relaxed);
   for (const std::string& name : registry_.Names()) {
     const auto served = registry_.Acquire(name);
     if (served == nullptr) continue;  // Removed since Names().
@@ -417,10 +478,12 @@ std::string RouterStats::ToTable() const {
   std::snprintf(line, sizeof(line),
                 "  unknown slot    %10llu\n"
                 "  invalid ids     %10llu\n"
-                "  canary rejected %10llu\n",
+                "  canary rejected %10llu\n"
+                "  quota shed      %10llu\n",
                 static_cast<unsigned long long>(unknown_slot),
                 static_cast<unsigned long long>(invalid_ids),
-                static_cast<unsigned long long>(canary_rejected));
+                static_cast<unsigned long long>(canary_rejected),
+                static_cast<unsigned long long>(quota_shed));
   out += line;
   if (has_net) out += net.ToTable();
   for (const SlotEntry& slot : slots) {
@@ -438,13 +501,15 @@ std::string RouterStats::ToJson() const {
   std::string out = "{\"total\": " + total.ToJson();
   out += ", \"cache\": " + cache.ToJson();
   if (has_net) out += ", \"net\": " + net.ToJson();
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
                 ", \"unknown_slot\": %llu, \"invalid_ids\": %llu, "
-                "\"canary_rejected\": %llu, \"slots\": {",
+                "\"canary_rejected\": %llu, \"quota_shed\": %llu, "
+                "\"slots\": {",
                 static_cast<unsigned long long>(unknown_slot),
                 static_cast<unsigned long long>(invalid_ids),
-                static_cast<unsigned long long>(canary_rejected));
+                static_cast<unsigned long long>(canary_rejected),
+                static_cast<unsigned long long>(quota_shed));
   out += buf;
   bool first = true;
   for (const SlotEntry& slot : slots) {

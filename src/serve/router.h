@@ -75,8 +75,11 @@ struct RouterResponse {
   std::string model_name;
   uint64_t model_version = 0;
   /// True if the result cache answered inline (queue and admission lanes
-  /// bypassed). The items are byte-identical to what the stamped model
-  /// version would have produced — only the latency differs.
+  /// bypassed). For non-degraded hits the items are byte-identical to what
+  /// the stamped model version would have produced — only the latency
+  /// differs. With `degraded` also set, the hit came from the *negative*
+  /// cache: a replay of a previously rejected request, answered with the
+  /// remembered degraded items.
   bool cache_hit = false;
   /// End-to-end latency (submit -> response ready), microseconds.
   int64_t latency_us = 0;
@@ -108,6 +111,10 @@ struct RouterStats {
   /// Snapshots rejected by a canary probe before publish (`LoadSlot`
   /// returned 0 and the slot kept serving its previous version).
   uint64_t canary_rejected = 0;
+  /// Requests shed because their slot's queue-depth quota
+  /// (`AdmissionConfig::slot_quotas`) was exhausted — also counted in the
+  /// regular `shed` totals; this isolates the per-tenant cause.
+  uint64_t quota_shed = 0;
   /// Connection-layer counters, filled by `net::Server::StatsWithNet` when
   /// a network front-end wraps this router; absent for in-process use.
   bool has_net = false;
@@ -214,6 +221,10 @@ class ServingRouter {
     /// this request inserts its result under the version that served it.
     bool cacheable = false;
     uint64_t fingerprint = 0;
+    /// Holds a slot-quota charge (`AdmissionController::TryChargeSlot`)
+    /// that must be released exactly once — on dequeue, or when the push
+    /// it guarded fails.
+    bool charged = false;
   };
 
   void WorkerLoop();
@@ -253,6 +264,7 @@ class ServingRouter {
   ServingMetrics aggregate_metrics_;
   std::atomic<uint64_t> unknown_slot_{0};
   std::atomic<uint64_t> invalid_ids_{0};
+  std::atomic<uint64_t> quota_shed_{0};
   BoundedRequestQueue<PendingRequest> queue_;
   std::vector<std::thread> workers_;
   std::atomic<bool> shutdown_{false};

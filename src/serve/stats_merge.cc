@@ -1,0 +1,109 @@
+#include "serve/stats_merge.h"
+
+#include <algorithm>
+
+namespace rapid::serve {
+
+namespace {
+
+/// Request-weighted average of one percentile estimate. Exact only when
+/// every shard has the same latency distribution; see the header note.
+double WeightedPercentile(double a, uint64_t wa, double b, uint64_t wb) {
+  const uint64_t total = wa + wb;
+  if (total == 0) return 0.0;
+  return (a * static_cast<double>(wa) + b * static_cast<double>(wb)) /
+         static_cast<double>(total);
+}
+
+}  // namespace
+
+void MergeInto(ServingStats* dst, const ServingStats& src) {
+  dst->p50_us = WeightedPercentile(dst->p50_us, dst->requests, src.p50_us,
+                                   src.requests);
+  dst->p95_us = WeightedPercentile(dst->p95_us, dst->requests, src.p95_us,
+                                   src.requests);
+  dst->p99_us = WeightedPercentile(dst->p99_us, dst->requests, src.p99_us,
+                                   src.requests);
+  dst->mean_us = WeightedPercentile(dst->mean_us, dst->requests, src.mean_us,
+                                    src.requests);
+  dst->requests += src.requests;
+  dst->fallbacks += src.fallbacks;
+  dst->shed += src.shed;
+  dst->max_us = std::max(dst->max_us, src.max_us);
+  dst->max_queue_depth = std::max(dst->max_queue_depth, src.max_queue_depth);
+  dst->batches += src.batches;
+  dst->batched_lists += src.batched_lists;
+  dst->max_batch_size = std::max(dst->max_batch_size, src.max_batch_size);
+  for (int i = 0; i < ServingStats::kBatchHistBins; ++i) {
+    dst->batch_size_hist[i] += src.batch_size_hist[i];
+  }
+}
+
+void MergeInto(CacheStats* dst, const CacheStats& src) {
+  dst->hits += src.hits;
+  dst->misses += src.misses;
+  dst->inserts += src.inserts;
+  dst->evictions += src.evictions;
+  dst->expired += src.expired;
+  dst->bypass += src.bypass;
+  dst->swept += src.swept;
+  dst->deferred += src.deferred;
+  dst->negative_hits += src.negative_hits;
+  dst->negative_inserts += src.negative_inserts;
+}
+
+void MergeInto(NetStats* dst, const NetStats& src) {
+  dst->connections_accepted += src.connections_accepted;
+  dst->connections_active += src.connections_active;
+  dst->connections_rejected += src.connections_rejected;
+  dst->closed_idle += src.closed_idle;
+  dst->closed_slow += src.closed_slow;
+  dst->closed_protocol_error += src.closed_protocol_error;
+  dst->frames_in += src.frames_in;
+  dst->frames_out += src.frames_out;
+  dst->error_frames_out += src.error_frames_out;
+  dst->decode_errors += src.decode_errors;
+  dst->bytes_in += src.bytes_in;
+  dst->bytes_out += src.bytes_out;
+  dst->dropped_responses += src.dropped_responses;
+  dst->stats_frames += src.stats_frames;
+  dst->load_frames += src.load_frames;
+  dst->max_inflight_per_conn =
+      std::max(dst->max_inflight_per_conn, src.max_inflight_per_conn);
+}
+
+void MergeInto(RouterStats* dst, const RouterStats& src) {
+  MergeInto(&dst->total, src.total);
+  MergeInto(&dst->cache, src.cache);
+  dst->unknown_slot += src.unknown_slot;
+  dst->invalid_ids += src.invalid_ids;
+  dst->canary_rejected += src.canary_rejected;
+  dst->quota_shed += src.quota_shed;
+  if (src.has_net) {
+    MergeInto(&dst->net, src.net);
+    dst->has_net = true;
+  }
+  for (const RouterStats::SlotEntry& slot : src.slots) {
+    auto it = std::find_if(dst->slots.begin(), dst->slots.end(),
+                           [&slot](const RouterStats::SlotEntry& entry) {
+                             return entry.slot == slot.slot;
+                           });
+    if (it == dst->slots.end()) {
+      dst->slots.push_back(slot);
+      continue;
+    }
+    MergeInto(&it->stats, slot.stats);
+    MergeInto(&it->cache, slot.cache);
+    // Mid-rollout version skew: report the newest published version (the
+    // one the fleet is converging to) rather than an arbitrary shard's.
+    if (slot.version > it->version) {
+      it->version = slot.version;
+      it->model_name = slot.model_name;
+    }
+  }
+  std::sort(dst->slots.begin(), dst->slots.end(),
+            [](const RouterStats::SlotEntry& a,
+               const RouterStats::SlotEntry& b) { return a.slot < b.slot; });
+}
+
+}  // namespace rapid::serve

@@ -1,0 +1,39 @@
+#ifndef RAPID_SERVE_STATS_MERGE_H_
+#define RAPID_SERVE_STATS_MERGE_H_
+
+#include "serve/router.h"
+
+namespace rapid::serve {
+
+/// Fleet-wide stats aggregation: fold per-shard snapshots into one view
+/// that renders through the same `ToTable`/`ToJson` as a single process.
+///
+/// Counters sum, gauges and maxima take the max, and latency percentiles
+/// are merged as *request-weighted averages* — an approximation (the true
+/// fleet percentile needs the underlying histograms, which don't cross
+/// the wire), documented rather than hidden: with shards serving similar
+/// traffic the weighted average tracks the true value closely, and a
+/// pathological shard still drags the merged number in the right
+/// direction. `mean_us` and `max_us` are exact.
+
+/// Folds `src` into `dst` (sums, maxes, weighted percentiles).
+void MergeInto(ServingStats* dst, const ServingStats& src);
+
+/// Folds `src` into `dst` (pure counter sums).
+void MergeInto(CacheStats* dst, const CacheStats& src);
+
+/// Folds `src` into `dst`: counters sum, `connections_active` sums (each
+/// shard's gauge counts distinct sockets), `max_inflight_per_conn` maxes.
+void MergeInto(NetStats* dst, const NetStats& src);
+
+/// Folds a full per-shard snapshot into `dst`: totals and cache merge as
+/// above, rejection counters sum, per-slot entries merge by slot name
+/// (a slot present on several shards becomes one entry; mid-rollout
+/// version skew keeps the highest version and its model name). `dst->net`
+/// merges only when `src.has_net` — a fleet view has net counters as soon
+/// as any shard reported them.
+void MergeInto(RouterStats* dst, const RouterStats& src);
+
+}  // namespace rapid::serve
+
+#endif  // RAPID_SERVE_STATS_MERGE_H_

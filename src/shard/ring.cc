@@ -1,0 +1,70 @@
+#include "shard/ring.h"
+
+#include <algorithm>
+
+namespace rapid::shard {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mixer. The ring
+/// only needs uniformity and determinism, not cryptographic strength.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t PointHash(uint64_t seed, int shard, int replica) {
+  // Chain the mixer so (shard, replica) pairs land independently; a plain
+  // xor of the three would correlate neighbouring replicas.
+  return Mix64(Mix64(Mix64(seed) ^ static_cast<uint64_t>(shard)) ^
+               static_cast<uint64_t>(replica));
+}
+
+}  // namespace
+
+HashRing::HashRing(RingConfig config) : config_(config) {
+  config_.virtual_nodes = std::max(config_.virtual_nodes, 1);
+}
+
+void HashRing::AddShard(int shard_id) {
+  for (const Point& point : points_) {
+    if (point.shard == shard_id) return;
+  }
+  points_.reserve(points_.size() + static_cast<size_t>(config_.virtual_nodes));
+  for (int replica = 0; replica < config_.virtual_nodes; ++replica) {
+    points_.push_back({PointHash(config_.seed, shard_id, replica), shard_id});
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+bool HashRing::RemoveShard(int shard_id) {
+  const size_t before = points_.size();
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [shard_id](const Point& point) {
+                                 return point.shard == shard_id;
+                               }),
+                points_.end());
+  return points_.size() != before;  // Erase keeps the sorted order.
+}
+
+int HashRing::ShardFor(int64_t user_id) const {
+  if (points_.empty()) return -1;
+  const uint64_t h = Mix64(Mix64(config_.seed) ^ static_cast<uint64_t>(user_id));
+  // First point at or after the key, wrapping past the top of the circle.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& point, uint64_t key) { return point.hash < key; });
+  return it == points_.end() ? points_.front().shard : it->shard;
+}
+
+std::vector<int> HashRing::Shards() const {
+  std::vector<int> shards;
+  for (const Point& point : points_) shards.push_back(point.shard);
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+}  // namespace rapid::shard

@@ -1,0 +1,75 @@
+#ifndef RAPID_SHARD_RING_H_
+#define RAPID_SHARD_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rapid::shard {
+
+/// Consistent-hash ring configuration.
+struct RingConfig {
+  /// Virtual nodes per shard. More points smooth the load split (the
+  /// max/mean user-count ratio across shards shrinks roughly with
+  /// 1/sqrt(virtual_nodes)) at the cost of a larger sorted point array;
+  /// lookups stay O(log(shards * virtual_nodes)). Clamped to >= 1.
+  int virtual_nodes = 128;
+  /// Seeds every point and key hash. Two rings built with the same seed
+  /// and membership assign every user identically — the shard router and
+  /// any external tooling can agree on placement without talking.
+  uint64_t seed = 0x5eed5eed5eed5eedull;
+};
+
+/// A seeded consistent-hash ring mapping user ids onto shard ids.
+///
+/// Each shard contributes `virtual_nodes` pseudo-random points on a
+/// 64-bit circle; a user id hashes to a point and walks clockwise to the
+/// next shard point. The property this buys over `user % N`: adding or
+/// removing one shard of N remaps only the keys whose arc the change
+/// touches — an expected 1/N fraction — instead of nearly all of them,
+/// so a membership change invalidates at most one shard's worth of
+/// per-shard state (caches, affinity) rather than the fleet's.
+///
+/// Deterministic: placement depends only on (seed, membership), not on
+/// insertion order. Not thread-safe during mutation; lookups are const
+/// and safe to share once membership is settled.
+class HashRing {
+ public:
+  explicit HashRing(RingConfig config = {});
+
+  /// Adds `shard_id`'s virtual nodes. Adding a present shard is a no-op.
+  void AddShard(int shard_id);
+
+  /// Removes `shard_id`'s points; false if it was never added.
+  bool RemoveShard(int shard_id);
+
+  /// The shard owning `user_id`, or -1 on an empty ring.
+  int ShardFor(int64_t user_id) const;
+
+  /// Distinct shard ids on the ring, sorted.
+  std::vector<int> Shards() const;
+
+  bool empty() const { return points_.empty(); }
+  size_t num_points() const { return points_.size(); }
+
+  const RingConfig& config() const { return config_; }
+
+ private:
+  struct Point {
+    uint64_t hash = 0;
+    int shard = -1;
+    bool operator<(const Point& other) const {
+      // Tie-break on shard id so equal hashes (astronomically rare but
+      // possible) still order deterministically across rebuilds.
+      return hash != other.hash ? hash < other.hash : shard < other.shard;
+    }
+  };
+
+  RingConfig config_;
+  /// Sorted by hash; binary-searched per lookup.
+  std::vector<Point> points_;
+};
+
+}  // namespace rapid::shard
+
+#endif  // RAPID_SHARD_RING_H_

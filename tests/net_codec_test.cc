@@ -322,5 +322,168 @@ TEST(NetCodecTest, LimitsBoundItemAndStringSizes) {
   EXPECT_FALSE(net::ParseScoreRequest(frame, &decoded, tight));  // "main" > 2.
 }
 
+// ---------------------------------------------------------------------------
+// Admin frames (stats scrape, remote load)
+
+net::Frame ExtractOne(const std::vector<uint8_t>& bytes) {
+  size_t consumed = 0;
+  net::Frame frame;
+  EXPECT_EQ(net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame),
+            net::DecodeStatus::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  return frame;
+}
+
+TEST(NetCodecTest, StatsRequestRoundTrips) {
+  net::WireStatsRequest request;
+  request.request_id = 21;
+  request.format = net::StatsFormat::kJson;
+  std::vector<uint8_t> bytes;
+  net::EncodeStatsRequest(request, &bytes);
+  const net::Frame frame = ExtractOne(bytes);
+  EXPECT_EQ(frame.header.type, net::FrameType::kStatsRequest);
+
+  net::WireStatsRequest decoded;
+  ASSERT_TRUE(net::ParseStatsRequest(frame, &decoded));
+  EXPECT_EQ(decoded.request_id, 21u);
+  EXPECT_EQ(decoded.format, net::StatsFormat::kJson);
+}
+
+TEST(NetCodecTest, BinaryStatsResponseRoundTripsEveryField) {
+  net::WireStatsResponse response;
+  response.request_id = 22;
+  response.format = net::StatsFormat::kBinary;
+  serve::RouterStats& stats = response.stats;
+  stats.total.requests = 1000;
+  stats.total.fallbacks = 10;
+  stats.total.shed = 5;
+  stats.total.p50_us = 120.5;
+  stats.total.p99_us = 900.25;
+  stats.total.mean_us = 150.0;
+  stats.total.max_us = 5000;
+  stats.total.max_queue_depth = 17;
+  stats.total.batches = 64;
+  stats.total.batched_lists = 512;
+  stats.total.max_batch_size = 8;
+  stats.total.batch_size_hist[3] = 12;
+  stats.cache.hits = 7;
+  stats.cache.negative_hits = 3;
+  stats.cache.negative_inserts = 4;
+  stats.unknown_slot = 2;
+  stats.invalid_ids = 9;
+  stats.canary_rejected = 1;
+  stats.quota_shed = 6;
+  stats.has_net = true;
+  stats.net.frames_in = 111;
+  stats.net.stats_frames = 4;
+  stats.net.load_frames = 2;
+  stats.net.max_inflight_per_conn = 13;
+  serve::RouterStats::SlotEntry slot;
+  slot.slot = "main";
+  slot.model_name = "rapid-v2";
+  slot.version = 5;
+  slot.stats.requests = 1000;
+  slot.cache.hits = 7;
+  stats.slots.push_back(slot);
+
+  std::vector<uint8_t> bytes;
+  net::EncodeStatsResponse(response, &bytes);
+  const net::Frame frame = ExtractOne(bytes);
+  EXPECT_EQ(frame.header.type, net::FrameType::kStatsResponse);
+
+  net::WireStatsResponse decoded;
+  ASSERT_TRUE(net::ParseStatsResponse(frame, &decoded));
+  EXPECT_EQ(decoded.request_id, 22u);
+  EXPECT_EQ(decoded.format, net::StatsFormat::kBinary);
+  EXPECT_EQ(decoded.stats.total.requests, 1000u);
+  EXPECT_DOUBLE_EQ(decoded.stats.total.p50_us, 120.5);
+  EXPECT_DOUBLE_EQ(decoded.stats.total.p99_us, 900.25);
+  EXPECT_EQ(decoded.stats.total.max_us, 5000u);
+  EXPECT_EQ(decoded.stats.total.max_queue_depth, 17);
+  EXPECT_EQ(decoded.stats.total.batch_size_hist[3], 12u);
+  EXPECT_EQ(decoded.stats.cache.negative_hits, 3u);
+  EXPECT_EQ(decoded.stats.cache.negative_inserts, 4u);
+  EXPECT_EQ(decoded.stats.unknown_slot, 2u);
+  EXPECT_EQ(decoded.stats.invalid_ids, 9u);
+  EXPECT_EQ(decoded.stats.canary_rejected, 1u);
+  EXPECT_EQ(decoded.stats.quota_shed, 6u);
+  ASSERT_TRUE(decoded.stats.has_net);
+  EXPECT_EQ(decoded.stats.net.frames_in, 111u);
+  EXPECT_EQ(decoded.stats.net.stats_frames, 4u);
+  EXPECT_EQ(decoded.stats.net.load_frames, 2u);
+  EXPECT_EQ(decoded.stats.net.max_inflight_per_conn, 13);
+  ASSERT_EQ(decoded.stats.slots.size(), 1u);
+  EXPECT_EQ(decoded.stats.slots[0].slot, "main");
+  EXPECT_EQ(decoded.stats.slots[0].model_name, "rapid-v2");
+  EXPECT_EQ(decoded.stats.slots[0].version, 5u);
+  EXPECT_EQ(decoded.stats.slots[0].stats.requests, 1000u);
+  EXPECT_EQ(decoded.stats.slots[0].cache.hits, 7u);
+}
+
+TEST(NetCodecTest, JsonStatsResponseCarriesArbitrarilyLongText) {
+  net::WireStatsResponse response;
+  response.request_id = 23;
+  response.format = net::StatsFormat::kJson;
+  // Deliberately far beyond max_string_bytes: the JSON rendering is raw
+  // payload, not a length-prefixed string.
+  response.json.assign(10'000, 'x');
+  std::vector<uint8_t> bytes;
+  net::EncodeStatsResponse(response, &bytes);
+  net::WireStatsResponse decoded;
+  ASSERT_TRUE(net::ParseStatsResponse(ExtractOne(bytes), &decoded));
+  EXPECT_EQ(decoded.format, net::StatsFormat::kJson);
+  EXPECT_EQ(decoded.json, response.json);
+}
+
+TEST(NetCodecTest, LoadFramesRoundTrip) {
+  net::WireLoadRequest request;
+  request.request_id = 31;
+  request.slot = "main";
+  request.path = "/snapshots/model.rsnp";
+  std::vector<uint8_t> bytes;
+  net::EncodeLoadRequest(request, &bytes);
+  net::Frame frame = ExtractOne(bytes);
+  EXPECT_EQ(frame.header.type, net::FrameType::kLoadSlotRequest);
+  net::WireLoadRequest decoded_request;
+  ASSERT_TRUE(net::ParseLoadRequest(frame, &decoded_request));
+  EXPECT_EQ(decoded_request.request_id, 31u);
+  EXPECT_EQ(decoded_request.slot, "main");
+  EXPECT_EQ(decoded_request.path, "/snapshots/model.rsnp");
+
+  net::WireLoadResponse response;
+  response.request_id = 31;
+  response.version = 0;  // A refusal carries its reason.
+  response.message = "canary rejected";
+  bytes.clear();
+  net::EncodeLoadResponse(response, &bytes);
+  net::WireLoadResponse decoded_response;
+  ASSERT_TRUE(net::ParseLoadResponse(ExtractOne(bytes), &decoded_response));
+  EXPECT_EQ(decoded_response.request_id, 31u);
+  EXPECT_EQ(decoded_response.version, 0u);
+  EXPECT_EQ(decoded_response.message, "canary rejected");
+}
+
+TEST(NetCodecTest, TruncatedStatsResponseFailsCleanly) {
+  net::WireStatsResponse response;
+  response.request_id = 24;
+  response.format = net::StatsFormat::kBinary;
+  response.stats.total.requests = 5;
+  std::vector<uint8_t> full;
+  net::EncodeStatsResponse(response, &full);
+  // Chop the payload but fix up the header length so framing still parses:
+  // strict payload decoding must reject every truncation, never crash.
+  for (size_t cut = net::kFrameHeaderBytes; cut < full.size(); cut += 7) {
+    std::vector<uint8_t> bytes(full.begin(), full.begin() + static_cast<ptrdiff_t>(cut));
+    const uint32_t payload_len = static_cast<uint32_t>(cut - net::kFrameHeaderBytes);
+    std::memcpy(bytes.data() + 16, &payload_len, 4);
+    size_t consumed = 0;
+    net::Frame frame;
+    ASSERT_EQ(net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame),
+              net::DecodeStatus::kOk);
+    net::WireStatsResponse decoded;
+    EXPECT_FALSE(net::ParseStatsResponse(frame, &decoded)) << "cut=" << cut;
+  }
+}
+
 }  // namespace
 }  // namespace rapid

@@ -520,6 +520,67 @@ TEST(NetServerTest, PollBackendServesIdentically) {
   EXPECT_EQ(reply.response.items, Rotated(TenItemList().items, 4));
 }
 
+TEST(NetServerTest, StatsScrapeOverTheWireMatchesLocalReadout) {
+  const data::Dataset data;
+  serve::ServingRouter router(data, {});
+  router.InstallSlot("main", std::make_shared<RotateReranker>(2));
+  net::Server server(router);
+  ASSERT_TRUE(server.Start());
+
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  for (int i = 0; i < 3; ++i) {
+    net::Client::Reply reply;
+    ASSERT_TRUE(client.Call(MakeRequest("main", TenItemList(i)), &reply, 2000));
+    ASSERT_FALSE(reply.is_error);
+  }
+
+  // Binary scrape: the structured RouterStats crosses the wire intact.
+  serve::RouterStats scraped;
+  ASSERT_TRUE(client.GetStats(&scraped, 2000));
+  EXPECT_EQ(scraped.total.requests, 3u);
+  ASSERT_EQ(scraped.slots.size(), 1u);
+  EXPECT_EQ(scraped.slots[0].slot, "main");
+  EXPECT_EQ(scraped.slots[0].model_name, "rotate-2");
+  ASSERT_TRUE(scraped.has_net);
+  EXPECT_EQ(scraped.net.frames_in, 3u);
+
+  // JSON scrape: the server-rendered text, unbounded by string limits.
+  std::string json;
+  ASSERT_TRUE(client.GetStatsJson(&json, 2000));
+  EXPECT_NE(json.find("\"requests\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"net\""), std::string::npos);
+
+  EXPECT_TRUE(EventuallyTrue([&] { return server.stats().stats_frames == 2u; }));
+  // Admin frames are not score frames: frames_in counts scores only.
+  EXPECT_EQ(server.stats().frames_in, 3u);
+}
+
+TEST(NetServerTest, RemoteLoadDisabledIsRefusedAndConnectionSurvives) {
+  const data::Dataset data;
+  serve::ServingRouter router(data, {});
+  router.InstallSlot("main", std::make_shared<RotateReranker>(1));
+  net::Server server(router);  // enable_remote_load defaults to false.
+  ASSERT_TRUE(server.Start());
+
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  uint64_t version = 99;
+  std::string message;
+  // True = the server answered; version 0 + message = application refusal.
+  ASSERT_TRUE(client.RemoteLoadSlot("main", "/tmp/nope.rsnp", &version,
+                                    &message, 2000));
+  EXPECT_EQ(version, 0u);
+  EXPECT_NE(message.find("disabled"), std::string::npos);
+  EXPECT_TRUE(EventuallyTrue([&] { return server.stats().load_frames == 1u; }));
+
+  // The refusal was an error frame, not a disconnect.
+  net::Client::Reply reply;
+  ASSERT_TRUE(client.Call(MakeRequest("main", TenItemList()), &reply, 2000));
+  ASSERT_FALSE(reply.is_error);
+  EXPECT_EQ(reply.response.items, Rotated(TenItemList().items, 1));
+}
+
 // End-to-end with real fitted models over real sockets: concurrent client
 // threads stream requests while the main thread hot-swaps snapshots via
 // LoadSlot. Every response must be internally consistent — the items must
@@ -592,6 +653,37 @@ TEST_F(NetSwapTest, OutOfRangeIdsAreRejectedBeforeReachingTheModel) {
   ASSERT_TRUE(client.Call(MakeRequest("main", train_[0]), &reply, 2000));
   ASSERT_FALSE(reply.is_error);
   EXPECT_FALSE(reply.response.degraded);
+  EXPECT_EQ(reply.response.model_version, 1u);
+}
+
+TEST_F(NetSwapTest, RemoteLoadPublishesWhenEnabled) {
+  const std::string path = TrainAndSnapshot(8, 5, "net_remote_load.rsnp");
+  serve::ServingRouter router(data_, {});
+  net::ServerConfig cfg;
+  cfg.enable_remote_load = true;
+  net::Server server(router, cfg);
+  ASSERT_TRUE(server.Start());
+
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  uint64_t version = 0;
+  std::string message;
+  ASSERT_TRUE(client.RemoteLoadSlot("main", path, &version, &message, 10'000));
+  EXPECT_EQ(version, 1u) << message;
+
+  // The remotely loaded snapshot serves real traffic on this connection.
+  net::Client::Reply reply;
+  ASSERT_TRUE(client.Call(MakeRequest("main", train_[0]), &reply, 5000));
+  ASSERT_FALSE(reply.is_error);
+  EXPECT_FALSE(reply.response.degraded);
+  EXPECT_EQ(reply.response.model_version, 1u);
+
+  // A bad path is refused with a reason; the published version survives.
+  ASSERT_TRUE(client.RemoteLoadSlot("main", path + ".missing", &version,
+                                    &message, 10'000));
+  EXPECT_EQ(version, 0u);
+  EXPECT_FALSE(message.empty());
+  ASSERT_TRUE(client.Call(MakeRequest("main", train_[0]), &reply, 5000));
   EXPECT_EQ(reply.response.model_version, 1u);
 }
 

@@ -416,5 +416,116 @@ TEST_F(RouterCacheModelTest, PermutedCandidateListMisses) {
   EXPECT_EQ(stats.cache.inserts, 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Negative-result caching: degraded answers for rejected requests are
+// remembered under the reserved version 0, with their own (short) TTL.
+
+TEST(ResultCacheTest, NegativeEntriesHaveOwnTtlAndCounters) {
+  serve::CachePolicy policy = UnitPolicy(8);
+  policy.negative_ttl_us = 20'000;  // 20ms.
+  serve::ResultCache cache(policy);
+  ASSERT_TRUE(cache.NegativeEnabled());
+
+  EXPECT_FALSE(cache.LookupNegative("m", /*fingerprint=*/1).has_value());
+  cache.InsertNegative("m", 1, {9, 8, 7});
+  const auto hit = cache.LookupNegative("m", 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (std::vector<int>{9, 8, 7}));
+  // Negative entries never shadow positive lookups: same fingerprint on a
+  // real version is a miss.
+  EXPECT_FALSE(cache.Lookup("m", /*version=*/1, 1).has_value());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(cache.LookupNegative("m", 1).has_value());  // TTL elapsed.
+
+  const serve::CacheStats stats = cache.TotalStats();
+  EXPECT_EQ(stats.negative_inserts, 1u);
+  EXPECT_EQ(stats.negative_hits, 1u);
+}
+
+TEST(ResultCacheTest, NegativeCachingDisabledWithoutTtl) {
+  serve::ResultCache cache(UnitPolicy(8));  // negative_ttl_us defaults to 0.
+  EXPECT_FALSE(cache.NegativeEnabled());
+}
+
+TEST(RouterCacheTest, NegativeCacheRemembersUnknownSlotUntilPublish) {
+  const data::Dataset data;
+  serve::RouterConfig cfg;
+  cfg.cache.enabled = true;
+  cfg.cache.negative_ttl_us = 5'000'000;  // Long enough to never expire here.
+  serve::ServingRouter router(data, cfg);
+
+  const data::ImpressionList list = TenItemList();
+  // First rejection runs the fallback and remembers the degraded answer.
+  const serve::RouterResponse first =
+      router.Submit({"ghost", serve::Lane::kHigh, list}).get();
+  EXPECT_TRUE(first.degraded);
+  EXPECT_FALSE(first.cache_hit);
+  // The repeat is answered inline from the negative cache — degraded AND
+  // cache_hit, same remembered ordering.
+  const serve::RouterResponse second =
+      router.Submit({"ghost", serve::Lane::kHigh, list}).get();
+  EXPECT_TRUE(second.degraded);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.items, first.items);
+  EXPECT_EQ(second.model_version, 0u);
+
+  // Publishing the slot sweeps its negative entries: the request must now
+  // reach the model instead of replaying "no such slot".
+  router.InstallSlot("ghost", std::make_shared<RotateReranker>(3));
+  router.DrainCacheMaintenance();
+  const serve::RouterResponse served =
+      router.Submit({"ghost", serve::Lane::kHigh, list}).get();
+  EXPECT_FALSE(served.degraded);
+  EXPECT_EQ(served.items, Rotated(list.items, 3));
+  EXPECT_EQ(served.model_version, 1u);
+
+  router.Shutdown();
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.cache.negative_inserts, 1u);
+  EXPECT_EQ(stats.cache.negative_hits, 1u);
+  EXPECT_EQ(stats.unknown_slot, 1u);  // The negative hit did not recount it.
+  EXPECT_NE(stats.ToTable().find("cache negative"), std::string::npos);
+  EXPECT_NE(stats.ToJson().find("\"negative_hits\""), std::string::npos);
+}
+
+TEST_F(RouterCacheModelTest, NegativeCacheShortCircuitsInvalidIdProbes) {
+  serve::RouterConfig cfg;
+  cfg.cache.enabled = true;
+  cfg.cache.negative_ttl_us = 5'000'000;
+  serve::ServingRouter router(data_, cfg);
+  ASSERT_EQ(router.LoadSlot("main", path_), 1u);
+
+  data::ImpressionList hostile;
+  hostile.user_id = 0;
+  for (int i = 0; i < 10; ++i) {
+    hostile.items.push_back(1'000'000 + i);  // Outside the dataset.
+    hostile.scores.push_back(1.0f);
+  }
+  const serve::RouterResponse first =
+      router.Submit({"main", serve::Lane::kHigh, hostile}).get();
+  EXPECT_TRUE(first.degraded);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.items, hostile.items);  // Submitted order.
+
+  // A repeat probe skips the bounds re-check entirely.
+  const serve::RouterResponse second =
+      router.Submit({"main", serve::Lane::kHigh, hostile}).get();
+  EXPECT_TRUE(second.degraded);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.items, hostile.items);
+
+  // Valid traffic on the same slot is untouched by the negative entries.
+  const serve::RouterResponse good =
+      router.Submit({"main", serve::Lane::kHigh, train_.front()}).get();
+  EXPECT_FALSE(good.degraded);
+
+  router.Shutdown();
+  const serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.invalid_ids, 1u);  // Counted once, not per probe.
+  EXPECT_EQ(stats.cache.negative_hits, 1u);
+  EXPECT_EQ(stats.cache.negative_inserts, 1u);
+}
+
 }  // namespace
 }  // namespace rapid

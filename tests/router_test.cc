@@ -300,6 +300,59 @@ TEST(ServingRouterTest, ShedModeRejectsAboveWatermarkAndNeverBlocks) {
   EXPECT_EQ(stats.slots[0].stats.shed, static_cast<uint64_t>(shed));
 }
 
+TEST(ServingRouterTest, SlotQuotaShedsOnlyTheNoisyTenant) {
+  const data::Dataset data;
+  serve::RouterConfig cfg;
+  cfg.num_threads = 1;
+  cfg.max_batch = 1;
+  cfg.max_wait_us = 0;
+  cfg.queue_capacity = 64;
+  cfg.admission.policy = serve::AdmissionPolicy::kShed;
+  // Global watermarks far above the burst: only the per-slot quota bites.
+  cfg.admission.low_lane_watermark = 64;
+  cfg.admission.high_lane_watermark = 64;
+  cfg.admission.slot_quotas = {{"noisy", 2}};
+  serve::ServingRouter router(data, cfg);
+  router.InstallSlot("noisy", std::make_shared<RotateReranker>(1, 5000));
+  router.InstallSlot("quiet", std::make_shared<RotateReranker>(2, 0));
+
+  const data::ImpressionList list = TenItemList();
+  std::vector<std::future<serve::RouterResponse>> noisy, quiet;
+  for (int i = 0; i < 16; ++i) {
+    noisy.push_back(router.Submit({"noisy", serve::Lane::kHigh, list}));
+  }
+  for (int i = 0; i < 8; ++i) {
+    quiet.push_back(router.Submit({"quiet", serve::Lane::kHigh, list}));
+  }
+  int noisy_shed = 0, quiet_shed = 0;
+  for (auto& f : noisy) {
+    const serve::RouterResponse r = f.get();
+    if (r.shed) {
+      ++noisy_shed;
+      EXPECT_TRUE(r.degraded);
+      EXPECT_EQ(r.items, list.items);  // Fallback, not the model.
+    }
+  }
+  for (auto& f : quiet) quiet_shed += f.get().shed ? 1 : 0;
+
+  // The noisy tenant's burst of 16 against a depth quota of 2 mostly
+  // sheds; the quiet tenant rides through untouched.
+  EXPECT_GT(noisy_shed, 0);
+  EXPECT_EQ(quiet_shed, 0);
+  serve::RouterStats stats = router.stats();
+  EXPECT_EQ(stats.quota_shed, static_cast<uint64_t>(noisy_shed));
+  EXPECT_EQ(stats.total.shed, static_cast<uint64_t>(noisy_shed));
+  EXPECT_NE(stats.ToTable().find("quota shed"), std::string::npos);
+  EXPECT_NE(stats.ToJson().find("\"quota_shed\""), std::string::npos);
+
+  // The quota tracks queue depth, not lifetime count: once the burst has
+  // drained, the same slot admits again — nothing leaked a slot charge.
+  const serve::RouterResponse later =
+      router.Submit({"noisy", serve::Lane::kHigh, list}).get();
+  EXPECT_FALSE(later.shed);
+  router.Shutdown();
+}
+
 TEST(ServingRouterTest, HighLaneSurvivesLowLaneFlood) {
   const data::Dataset data;
   serve::RouterConfig cfg;
