@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -157,9 +158,23 @@ bool Client::WaitFor(uint64_t id, Reply* out, int timeout_ms) {
       return true;
     }
   }
+  // One absolute deadline bounds the whole wait: each unrelated pipelined
+  // reply that arrives must not restart the clock, or a busy connection
+  // could block a synchronous caller far past its timeout.
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   for (;;) {
+    int remaining_ms = -1;
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left < 0) return false;
+      remaining_ms = static_cast<int>(left);
+    }
     Reply reply;
-    if (!ReadFrame(&reply, timeout_ms)) return false;
+    if (!ReadFrame(&reply, remaining_ms)) return false;
     if (reply.request_id() == id) {
       *out = std::move(reply);
       return true;

@@ -119,6 +119,8 @@ class Client {
   /// Blocking-writes `frame`; false on any write failure.
   bool WriteAll(const std::vector<uint8_t>& frame);
   /// Drains replies until `id`'s arrives (others are stashed).
+  /// `timeout_ms` bounds the *whole* wait with one absolute deadline, not
+  /// each frame read.
   bool WaitFor(uint64_t id, Reply* out, int timeout_ms);
 
   int fd_ = -1;

@@ -1,5 +1,6 @@
 #include "net/codec.h"
 
+#include <cstdint>
 #include <cstring>
 
 namespace rapid::net {
@@ -26,6 +27,11 @@ void AppendBytes(std::vector<uint8_t>* out, const void* data, size_t n) {
 }
 
 void AppendString(std::vector<uint8_t>* out, std::string_view s) {
+  // The length prefix is 16-bit: truncate oversized strings to what it can
+  // describe rather than emit a desynchronized frame (prefix says 64KiB-n,
+  // payload carries more). Decoders additionally cap accepted lengths at
+  // CodecLimits::max_string_bytes.
+  if (s.size() > UINT16_MAX) s = s.substr(0, UINT16_MAX);
   Append<uint16_t>(out, static_cast<uint16_t>(s.size()));
   AppendBytes(out, s.data(), s.size());
 }

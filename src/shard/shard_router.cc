@@ -95,19 +95,24 @@ std::future<ShardReply> ShardRouter::Submit(net::WireRequest request) {
       Clock::now() + std::chrono::milliseconds(config_.request_timeout_ms);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    // Re-checked under the lock: Shutdown's final drain (FailAllPending)
+    // also takes shard.mu, so an entry inserted while this load still saw
+    // `running_` is ordered before that drain and gets failed by it —
+    // never stranded after the receiver has been joined.
+    if (!running_.load(std::memory_order_acquire)) {
+      promise.set_value(FailedReply(shard_index, "shard router shut down"));
+      return future;
+    }
     auto [it, inserted] = shard.pending.try_emplace(id);
     it->second.promise = std::move(promise);
     it->second.deadline = deadline;
-    bool sent = shard.client.connected() && shard.client.Send(&request) != 0;
-    for (int attempt = 0; !sent && attempt < config_.send_retries; ++attempt) {
-      // One inline redial covers the common half-dead socket (server
-      // restarted between our sends); repeated failures are the receiver's
-      // problem — it owns backoff.
-      if (!shard.client.Reconnect()) break;
-      shard.reconnects.fetch_add(1, std::memory_order_relaxed);
-      sent = shard.client.Send(&request) != 0;
-    }
+    const bool sent =
+        shard.client.connected() && shard.client.Send(&request) != 0;
     if (!sent) {
+      // Never redial here: the receiver thread reads this Client without
+      // the lock, so only it may reconnect (Reconnect mutates the fd and
+      // buffers a concurrent read is using). Mark the shard down, fail
+      // this request, and let the receiver's backoff loop recover.
       shard.healthy.store(false, std::memory_order_release);
       shard.failed.fetch_add(1, std::memory_order_relaxed);
       Pending pending = std::move(it->second);
@@ -207,6 +212,12 @@ void ShardRouter::ReceiverLoop(Shard* shard) {
   int backoff_ms = config_.backoff_initial_ms;
   while (running_.load(std::memory_order_acquire)) {
     if (!shard->healthy.load(std::memory_order_acquire)) {
+      // A submit may have marked the shard down on a send failure without
+      // draining the map (it owns neither the socket nor the redial).
+      // Whatever is still in flight can never be answered once we redial —
+      // Reconnect discards the old stream — so fail it ahead of the
+      // timeout scan.
+      FailAllPending(shard, "shard connection lost");
       // Redial with exponential backoff. Sleep *outside* the lock so
       // Submit's fast-fail path never blocks behind a backoff wait.
       {

@@ -34,9 +34,6 @@ struct ShardRouterConfig {
   /// reply (the shard may still answer later; the late reply is dropped
   /// by id). 0 disables the scan.
   int request_timeout_ms = 2000;
-  /// After a send fails on a live-looking shard, how many immediate
-  /// redial-and-resend attempts to make before failing the request.
-  int send_retries = 1;
   /// Receiver redial backoff after a shard connection dies: first retry
   /// after `backoff_initial_ms`, doubling to `backoff_max_ms`.
   int backoff_initial_ms = 10;
@@ -149,9 +146,15 @@ struct FleetStats {
 /// that guards the pending map and the socket write; each shard's
 /// receiver thread reads the same socket *without* that mutex (POSIX
 /// allows concurrent read/write on one fd) and takes it only to resolve
-/// pending entries or redial. Request ids are assigned and the pending
-/// entry inserted *before* the bytes hit the wire, so a reply can never
-/// race its own bookkeeping.
+/// pending entries or redial. The receiver alone may reconnect or close
+/// the connection — `Reconnect` replaces the fd and read buffers its own
+/// lock-free read is using, so a sender that hits a send failure only
+/// marks the shard unhealthy and fails the request; the redial is the
+/// receiver's. Request ids are assigned and the pending entry inserted
+/// *before* the bytes hit the wire, so a reply can never race its own
+/// bookkeeping, and `Submit` re-checks `running_` under the shard lock so
+/// a racing `Shutdown` always drains (never strands) a just-registered
+/// promise.
 ///
 /// Admin traffic (stats scrape, rollout) uses short-lived dedicated
 /// connections per call, never the pipelined score connections.

@@ -463,6 +463,50 @@ TEST(NetCodecTest, LoadFramesRoundTrip) {
   EXPECT_EQ(decoded_response.message, "canary rejected");
 }
 
+TEST(NetCodecTest, OversizedStringsTruncateWithoutDesynchronizingFrames) {
+  // A string longer than the 16-bit length prefix can describe must not
+  // emit a frame whose prefix disagrees with its payload: the encoder
+  // clamps to 64KiB-1 bytes and the next frame on the buffer still parses.
+  net::WireLoadRequest request;
+  request.request_id = 77;
+  request.slot = "main";
+  request.path = std::string(100000, 'p');
+  std::vector<uint8_t> bytes;
+  net::EncodeLoadRequest(request, &bytes);
+  net::WireLoadResponse trailer;
+  trailer.request_id = 78;
+  trailer.version = 5;
+  trailer.message = "next frame intact";
+  net::EncodeLoadResponse(trailer, &bytes);
+
+  net::CodecLimits big;
+  big.max_string_bytes = 1u << 17;  // Decode bound above the encode clamp.
+
+  size_t consumed = 0;
+  net::Frame frame;
+  ASSERT_EQ(
+      net::ExtractFrame(bytes.data(), bytes.size(), &consumed, &frame, big),
+      net::DecodeStatus::kOk);
+  net::WireLoadRequest decoded;
+  ASSERT_TRUE(net::ParseLoadRequest(frame, &decoded, big));
+  EXPECT_EQ(decoded.slot, "main");
+  EXPECT_EQ(decoded.path.size(), 65535u);
+  EXPECT_EQ(decoded.path, request.path.substr(0, 65535));
+
+  // The frame boundary survived the truncation: the trailing frame is
+  // exactly the remaining bytes and decodes cleanly.
+  size_t consumed2 = 0;
+  net::Frame frame2;
+  ASSERT_EQ(net::ExtractFrame(bytes.data() + consumed, bytes.size() - consumed,
+                              &consumed2, &frame2, big),
+            net::DecodeStatus::kOk);
+  EXPECT_EQ(consumed2, bytes.size() - consumed);
+  net::WireLoadResponse decoded2;
+  ASSERT_TRUE(net::ParseLoadResponse(frame2, &decoded2, big));
+  EXPECT_EQ(decoded2.request_id, 78u);
+  EXPECT_EQ(decoded2.message, "next frame intact");
+}
+
 TEST(NetCodecTest, TruncatedStatsResponseFailsCleanly) {
   net::WireStatsResponse response;
   response.request_id = 24;

@@ -520,6 +520,57 @@ TEST(NetServerTest, PollBackendServesIdentically) {
   EXPECT_EQ(reply.response.items, Rotated(TenItemList().items, 4));
 }
 
+TEST(NetServerTest, SynchronousWaitIsBoundedByOneDeadlineNotPerFrame) {
+  // A stream of unrelated pipelined replies must not restart Call's clock:
+  // the fake server below answers a request id the client never issued,
+  // every 25ms, and the Call (200ms timeout) must still return promptly.
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  std::atomic<bool> stop{false};
+  std::thread feeder([&] {
+    int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) return;
+    // 40 unrelated frames over ~1s: an implementation that grants the full
+    // timeout to every ReadFrame would sit here the whole second.
+    for (int i = 0; i < 40 && !stop.load(); ++i) {
+      net::WireResponse unrelated;
+      unrelated.request_id = 999900 + i;
+      std::vector<uint8_t> frame;
+      net::EncodeScoreResponse(unrelated, &frame);
+      if (::send(conn, frame.data(), frame.size(), MSG_NOSIGNAL) < 0) break;
+      std::this_thread::sleep_for(25ms);
+    }
+    ::close(conn);
+  });
+
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port));
+  net::WireRequest request = MakeRequest("main", TenItemList());
+  net::Client::Reply reply;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.Call(std::move(request), &reply, 200));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 150);
+  EXPECT_LT(elapsed.count(), 700) << "per-frame timeout restarted the clock";
+
+  stop.store(true);
+  feeder.join();
+  ::close(listener);
+}
+
 TEST(NetServerTest, StatsScrapeOverTheWireMatchesLocalReadout) {
   const data::Dataset data;
   serve::ServingRouter router(data, {});
