@@ -288,4 +288,28 @@ Dataset GenerateDataset(const SimConfig& config, uint64_t seed) {
   return data;
 }
 
+void ApplyPreferenceDrift(Dataset* data, int rotate_topics, float blend) {
+  const int m = data->num_topics;
+  if (m <= 0) return;
+  const float b = std::clamp(blend, 0.0f, 1.0f);
+  const int shift = ((rotate_topics % m) + m) % m;
+  if (b == 0.0f || shift == 0) return;
+  std::vector<float> rotated(static_cast<size_t>(m));
+  for (User& user : data->users) {
+    if (static_cast<int>(user.topic_pref.size()) != m) continue;
+    for (int j = 0; j < m; ++j) {
+      rotated[j] = user.topic_pref[(j + shift) % m];
+    }
+    float sum = 0.0f;
+    for (int j = 0; j < m; ++j) {
+      user.topic_pref[j] = (1.0f - b) * user.topic_pref[j] + b * rotated[j];
+      sum += user.topic_pref[j];
+    }
+    if (sum > 0.0f) {
+      for (float& x : user.topic_pref) x /= sum;
+    }
+    user.diversity_appetite = NormalizedEntropy(user.topic_pref);
+  }
+}
+
 }  // namespace rapid::data

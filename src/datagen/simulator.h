@@ -73,6 +73,17 @@ float TrueRelevance(const User& user, const Item& item);
 /// The raw (pre-sigmoid) relevance logit; exposed for samplers and tests.
 float TrueRelevanceLogit(const User& user, const Item& item);
 
+/// Non-stationarity injector for online-learning experiments: shifts every
+/// user's *hidden* topic preference by blending it with a copy cyclically
+/// rotated `rotate_topics` positions —
+/// `theta' = (1 - blend) * theta + blend * rotate(theta, rotate_topics)`,
+/// renormalized — and recomputes `diversity_appetite` from the new
+/// distribution. Observable `features` are deliberately left untouched:
+/// clicks change while model inputs do not, which is exactly the drift a
+/// frozen model cannot follow and a feedback-trained one can. `blend` is
+/// clamped to [0, 1]; `blend = 1` is a pure rotation.
+void ApplyPreferenceDrift(Dataset* data, int rotate_topics, float blend);
+
 }  // namespace rapid::data
 
 #endif  // RAPID_DATAGEN_SIMULATOR_H_

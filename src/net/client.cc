@@ -108,6 +108,12 @@ Client::RecvStatus Client::ReadFrameStatus(Reply* out, int timeout_ms) {
                    ? RecvStatus::kOk
                    : RecvStatus::kClosed;
       }
+      if (frame.header.type == FrameType::kFeedbackAck) {
+        out->is_error = false;
+        return ParseFeedbackAck(frame, &out->feedback_ack, limits_)
+                   ? RecvStatus::kOk
+                   : RecvStatus::kClosed;
+      }
       if (frame.header.type == FrameType::kError) {
         WireError error;
         if (!ParseError(frame, &error, limits_)) return RecvStatus::kClosed;
@@ -221,7 +227,53 @@ bool Client::GetStatsJson(std::string* out, int timeout_ms) {
       reply.stats.format != StatsFormat::kJson) {
     return false;
   }
-  *out = std::move(reply.stats.json);
+  *out = std::move(reply.stats.text);
+  return true;
+}
+
+bool Client::GetStatsPrometheus(std::string* out, int timeout_ms) {
+  if (fd_ < 0) return false;
+  WireStatsRequest request;
+  request.request_id = next_request_id_++;
+  request.format = StatsFormat::kPrometheus;
+  std::vector<uint8_t> frame;
+  EncodeStatsRequest(request, &frame);
+  if (!WriteAll(frame)) return false;
+  Reply reply;
+  if (!WaitFor(request.request_id, &reply, timeout_ms)) return false;
+  if (reply.is_error || reply.type != FrameType::kStatsResponse ||
+      reply.stats.format != StatsFormat::kPrometheus) {
+    return false;
+  }
+  *out = std::move(reply.stats.text);
+  return true;
+}
+
+bool Client::SendFeedback(const std::string& slot, uint64_t model_version,
+                          int user_id, const std::vector<int>& items,
+                          const std::vector<uint8_t>& clicks, bool* accepted,
+                          int timeout_ms) {
+  if (accepted != nullptr) *accepted = false;
+  if (fd_ < 0) return false;
+  WireFeedback feedback;
+  feedback.request_id = next_request_id_++;
+  feedback.slot = slot;
+  feedback.model_version = model_version;
+  feedback.user_id = user_id;
+  feedback.items = items;
+  feedback.clicks = clicks;
+  std::vector<uint8_t> frame;
+  EncodeFeedback(feedback, &frame);
+  if (!WriteAll(frame)) return false;
+  Reply reply;
+  if (!WaitFor(feedback.request_id, &reply, timeout_ms)) return false;
+  if (reply.is_error) {
+    // Answered but refused (feedback disabled, or a peer that predates the
+    // frame type) — an application-level "no", not a transport failure.
+    return true;
+  }
+  if (reply.type != FrameType::kFeedbackAck) return false;
+  if (accepted != nullptr) *accepted = reply.feedback_ack.accepted;
   return true;
 }
 

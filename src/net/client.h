@@ -27,6 +27,7 @@ class Client {
     WireResponse response;
     WireStatsResponse stats;
     WireLoadResponse load;
+    WireFeedbackAck feedback_ack;
     bool is_error = false;
     std::string error_message;
     uint64_t request_id() const {
@@ -35,6 +36,8 @@ class Client {
           return stats.request_id;
         case FrameType::kLoadSlotResponse:
           return load.request_id;
+        case FrameType::kFeedbackAck:
+          return feedback_ack.request_id;
         case FrameType::kError:
           return error_request_id;
         default:
@@ -102,6 +105,21 @@ class Client {
 
   /// Same scrape, but as the server-rendered `ToJson` text.
   bool GetStatsJson(std::string* out, int timeout_ms = -1);
+
+  /// Same scrape, in Prometheus text exposition format — what a scrape
+  /// bridge relays to the metrics tier verbatim.
+  bool GetStatsPrometheus(std::string* out, int timeout_ms = -1);
+
+  /// Reports one served list back to the server's feedback log: `items`
+  /// in the order they were shown, one 0/1 click label per item. True
+  /// when the server acked; `*accepted` (when non-null) says whether the
+  /// event made it into the log or was shed (log full) / refused
+  /// (feedback disabled — reported via `accepted=false` after an error
+  /// frame). False only on transport failure.
+  bool SendFeedback(const std::string& slot, uint64_t model_version,
+                    int user_id, const std::vector<int>& items,
+                    const std::vector<uint8_t>& clicks, bool* accepted,
+                    int timeout_ms = -1);
 
   /// Asks the server to `LoadSlot(slot, path)` (the path names a snapshot
   /// on the *server's* filesystem). True when a load response arrived:

@@ -124,6 +124,11 @@ void AppendServingStats(std::vector<uint8_t>* out,
   Append<uint32_t>(out, serve::ServingStats::kBatchHistBins);
   AppendBytes(out, s.batch_size_hist.data(),
               s.batch_size_hist.size() * sizeof(uint64_t));
+  // Raw latency buckets travel with the snapshot so fleet merges can
+  // recompute exact percentiles (see serve/stats_merge.h).
+  Append<uint32_t>(out, serve::ServingStats::kLatencyHistBins);
+  AppendBytes(out, s.latency_hist.data(),
+              s.latency_hist.size() * sizeof(uint64_t));
 }
 
 bool ReadServingStats(ByteReader* reader, serve::ServingStats* s) {
@@ -142,6 +147,14 @@ bool ReadServingStats(ByteReader* reader, serve::ServingStats* s) {
   s->max_queue_depth = max_queue_depth;
   s->max_batch_size = max_batch_size;
   for (uint64_t& bin : s->batch_size_hist) {
+    if (!reader->Read(&bin)) return false;
+  }
+  uint32_t latency_bins = 0;
+  if (!reader->Read(&latency_bins) ||
+      latency_bins != serve::ServingStats::kLatencyHistBins) {
+    return false;
+  }
+  for (uint64_t& bin : s->latency_hist) {
     if (!reader->Read(&bin)) return false;
   }
   return true;
@@ -185,6 +198,7 @@ void AppendNetStats(std::vector<uint8_t>* out, const serve::NetStats& s) {
   Append<uint64_t>(out, s.dropped_responses);
   Append<uint64_t>(out, s.stats_frames);
   Append<uint64_t>(out, s.load_frames);
+  Append<uint64_t>(out, s.feedback_frames);
   Append<int32_t>(out, s.max_inflight_per_conn);
 }
 
@@ -200,11 +214,34 @@ bool ReadNetStats(ByteReader* reader, serve::NetStats* s) {
       !reader->Read(&s->decode_errors) || !reader->Read(&s->bytes_in) ||
       !reader->Read(&s->bytes_out) || !reader->Read(&s->dropped_responses) ||
       !reader->Read(&s->stats_frames) || !reader->Read(&s->load_frames) ||
-      !reader->Read(&max_inflight)) {
+      !reader->Read(&s->feedback_frames) || !reader->Read(&max_inflight)) {
     return false;
   }
   s->max_inflight_per_conn = max_inflight;
   return true;
+}
+
+void AppendOnlineStats(std::vector<uint8_t>* out,
+                       const serve::OnlineStats& s) {
+  Append<uint64_t>(out, s.feedback_appended);
+  Append<uint64_t>(out, s.feedback_dropped);
+  Append<uint64_t>(out, s.feedback_drained);
+  Append<uint64_t>(out, s.train_rounds);
+  Append<uint64_t>(out, s.trained_lists);
+  Append<uint64_t>(out, s.publishes);
+  Append<uint64_t>(out, s.publish_rejected);
+  Append<uint64_t>(out, s.publish_skipped);
+  Append<uint64_t>(out, s.last_published_version);
+}
+
+bool ReadOnlineStats(ByteReader* reader, serve::OnlineStats* s) {
+  return reader->Read(&s->feedback_appended) &&
+         reader->Read(&s->feedback_dropped) &&
+         reader->Read(&s->feedback_drained) &&
+         reader->Read(&s->train_rounds) && reader->Read(&s->trained_lists) &&
+         reader->Read(&s->publishes) && reader->Read(&s->publish_rejected) &&
+         reader->Read(&s->publish_skipped) &&
+         reader->Read(&s->last_published_version);
 }
 
 void AppendRouterStats(std::vector<uint8_t>* out,
@@ -217,6 +254,8 @@ void AppendRouterStats(std::vector<uint8_t>* out,
   Append<uint64_t>(out, s.quota_shed);
   Append<uint8_t>(out, s.has_net ? 1 : 0);
   if (s.has_net) AppendNetStats(out, s.net);
+  Append<uint8_t>(out, s.has_online ? 1 : 0);
+  if (s.has_online) AppendOnlineStats(out, s.online);
   Append<uint32_t>(out, static_cast<uint32_t>(s.slots.size()));
   for (const serve::RouterStats::SlotEntry& slot : s.slots) {
     AppendString(out, slot.slot);
@@ -240,6 +279,10 @@ bool ReadRouterStats(ByteReader* reader, serve::RouterStats* s,
   }
   s->has_net = has_net != 0;
   if (s->has_net && !ReadNetStats(reader, &s->net)) return false;
+  uint8_t has_online = 0;
+  if (!reader->Read(&has_online) || has_online > 1) return false;
+  s->has_online = has_online != 0;
+  if (s->has_online && !ReadOnlineStats(reader, &s->online)) return false;
   if (!reader->Read(&num_slots) || num_slots > limits.max_items) return false;
   s->slots.clear();
   s->slots.reserve(num_slots);
@@ -312,12 +355,13 @@ void EncodeStatsResponse(const WireStatsResponse& response,
                          std::vector<uint8_t>* out) {
   std::vector<uint8_t> payload;
   Append<uint8_t>(&payload, static_cast<uint8_t>(response.format));
-  if (response.format == StatsFormat::kJson) {
-    // Raw bytes, not a length-prefixed string: the JSON body routinely
-    // exceeds the string limit, and the frame length already bounds it.
-    AppendBytes(&payload, response.json.data(), response.json.size());
-  } else {
+  if (response.format == StatsFormat::kBinary) {
     AppendRouterStats(&payload, response.stats);
+  } else {
+    // kJson / kPrometheus: raw bytes, not a length-prefixed string — the
+    // text body routinely exceeds the string limit, and the frame length
+    // already bounds it.
+    AppendBytes(&payload, response.text.data(), response.text.size());
   }
   AppendFrame(out, FrameType::kStatsResponse, response.request_id, payload);
 }
@@ -430,7 +474,7 @@ bool ParseStatsRequest(const Frame& frame, WireStatsRequest* out,
   out->request_id = frame.header.request_id;
   ByteReader reader(frame.payload.data(), frame.payload.size());
   uint8_t format = 0;
-  if (!reader.Read(&format) || format > 1 || !reader.AtEnd()) return false;
+  if (!reader.Read(&format) || format > 2 || !reader.AtEnd()) return false;
   out->format = static_cast<StatsFormat>(format);
   return true;
 }
@@ -441,19 +485,76 @@ bool ParseStatsResponse(const Frame& frame, WireStatsResponse* out,
   out->request_id = frame.header.request_id;
   ByteReader reader(frame.payload.data(), frame.payload.size());
   uint8_t format = 0;
-  if (!reader.Read(&format) || format > 1) return false;
+  if (!reader.Read(&format) || format > 2) return false;
   out->format = static_cast<StatsFormat>(format);
-  if (out->format == StatsFormat::kJson) {
-    // Everything after the format byte is the JSON body.
-    out->json.assign(
+  if (out->format != StatsFormat::kBinary) {
+    // Everything after the format byte is the text body (JSON or
+    // Prometheus exposition).
+    out->text.assign(
         reinterpret_cast<const char*>(frame.payload.data()) + 1,
         frame.payload.size() - 1);
     out->stats = serve::RouterStats{};
     return true;
   }
-  out->json.clear();
+  out->text.clear();
   out->stats = serve::RouterStats{};
   return ReadRouterStats(&reader, &out->stats, limits) && reader.AtEnd();
+}
+
+void EncodeFeedback(const WireFeedback& feedback, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  AppendString(&payload, feedback.slot);
+  Append<uint64_t>(&payload, feedback.model_version);
+  Append<int32_t>(&payload, feedback.user_id);
+  Append<uint32_t>(&payload, static_cast<uint32_t>(feedback.items.size()));
+  AppendBytes(&payload, feedback.items.data(),
+              feedback.items.size() * sizeof(int));
+  Append<uint32_t>(&payload, static_cast<uint32_t>(feedback.clicks.size()));
+  AppendBytes(&payload, feedback.clicks.data(), feedback.clicks.size());
+  AppendFrame(out, FrameType::kFeedback, feedback.request_id, payload);
+}
+
+void EncodeFeedbackAck(const WireFeedbackAck& ack,
+                       std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  Append<uint8_t>(&payload, ack.accepted ? 1 : 0);
+  AppendString(&payload, std::string_view(ack.message).substr(0, 255));
+  AppendFrame(out, FrameType::kFeedbackAck, ack.request_id, payload);
+}
+
+bool ParseFeedback(const Frame& frame, WireFeedback* out,
+                   const CodecLimits& limits) {
+  if (frame.header.type != FrameType::kFeedback) return false;
+  out->request_id = frame.header.request_id;
+  ByteReader reader(frame.payload.data(), frame.payload.size());
+  if (!reader.ReadString(&out->slot, limits.max_string_bytes) ||
+      !reader.Read(&out->model_version) || !reader.Read(&out->user_id) ||
+      !reader.ReadArray(&out->items, limits.max_items) ||
+      !reader.ReadArray(&out->clicks, limits.max_items)) {
+    return false;
+  }
+  // One label per served item — a mismatch is an internally inconsistent
+  // payload, not something the trainer should guess about.
+  if (out->clicks.size() != out->items.size()) return false;
+  for (const uint8_t click : out->clicks) {
+    if (click > 1) return false;
+  }
+  return reader.AtEnd();
+}
+
+bool ParseFeedbackAck(const Frame& frame, WireFeedbackAck* out,
+                      const CodecLimits& limits) {
+  if (frame.header.type != FrameType::kFeedbackAck) return false;
+  out->request_id = frame.header.request_id;
+  ByteReader reader(frame.payload.data(), frame.payload.size());
+  uint8_t accepted = 0;
+  if (!reader.Read(&accepted) || accepted > 1 ||
+      !reader.ReadString(&out->message, limits.max_string_bytes) ||
+      !reader.AtEnd()) {
+    return false;
+  }
+  out->accepted = accepted != 0;
+  return true;
 }
 
 bool ParseLoadRequest(const Frame& frame, WireLoadRequest* out,

@@ -68,6 +68,14 @@ enum class FrameType : uint8_t {
   /// trusted-operator API, not public surface.
   kLoadSlotRequest = 6,
   kLoadSlotResponse = 7,
+  /// Client -> server: one served impression list plus its observed
+  /// click labels — the raw material of the online learning loop. The
+  /// server appends it to its `online::FeedbackLog` (refusing with
+  /// `kError` when no log is configured) and answers `kFeedbackAck`.
+  /// Like the admin frames, a compatible extension: an old peer answers
+  /// `kError` ("unknown frame type").
+  kFeedback = 8,
+  kFeedbackAck = 9,
 };
 
 /// How a `kStatsRequest` wants its answer encoded.
@@ -78,6 +86,9 @@ enum class StatsFormat : uint8_t {
   /// The router's `ToJson` text as the raw payload bytes (not
   /// length-prefixed — JSON outgrows the string limit), for scrapers.
   kJson = 1,
+  /// Prometheus text exposition (`serve::RenderPrometheus`), raw payload
+  /// bytes like kJson, for standard metric collectors.
+  kPrometheus = 2,
 };
 
 /// Decoder bounds, enforced before any allocation sized from wire data.
@@ -143,13 +154,13 @@ struct WireStatsRequest {
   StatsFormat format = StatsFormat::kBinary;
 };
 
-/// The answer: exactly one of `stats` (kBinary) or `json` (kJson) is
-/// meaningful, per `format`.
+/// The answer: exactly one of `stats` (kBinary) or `text` (kJson /
+/// kPrometheus) is meaningful, per `format`.
 struct WireStatsResponse {
   uint64_t request_id = 0;
   StatsFormat format = StatsFormat::kBinary;
   serve::RouterStats stats;
-  std::string json;
+  std::string text;
 };
 
 /// A remote `LoadSlot` as it crosses the wire. `path` names a snapshot on
@@ -169,6 +180,30 @@ struct WireLoadResponse {
   std::string message;
 };
 
+/// One served impression and its observed clicks, as they cross the wire
+/// back to the trainer. `items` is the list *as served* (post-rerank
+/// order matters — the DCM click model is positional) and `clicks` is one
+/// 0/1 label per item; a length mismatch fails the parse.
+struct WireFeedback {
+  uint64_t request_id = 0;
+  /// The slot that served the list, so one log can feed per-slot trainers.
+  std::string slot;
+  /// The model version stamped on the serving response; lets the trainer
+  /// attribute feedback to the exact published model that earned it.
+  uint64_t model_version = 0;
+  int32_t user_id = 0;
+  std::vector<int> items;
+  std::vector<uint8_t> clicks;
+};
+
+struct WireFeedbackAck {
+  uint64_t request_id = 0;
+  /// False when the event was not logged (log full, or feedback disabled
+  /// on this server); `message` carries the reason.
+  bool accepted = false;
+  std::string message;
+};
+
 /// Appends one encoded frame to `out` (does not clear it), so a pipelined
 /// batch can be serialized into one flat buffer and written with one
 /// syscall.
@@ -185,6 +220,8 @@ void EncodeLoadRequest(const WireLoadRequest& request,
                        std::vector<uint8_t>* out);
 void EncodeLoadResponse(const WireLoadResponse& response,
                         std::vector<uint8_t>* out);
+void EncodeFeedback(const WireFeedback& feedback, std::vector<uint8_t>* out);
+void EncodeFeedbackAck(const WireFeedbackAck& ack, std::vector<uint8_t>* out);
 
 enum class DecodeStatus {
   /// One complete frame extracted; `*consumed` bytes were used.
@@ -220,6 +257,10 @@ bool ParseLoadRequest(const Frame& frame, WireLoadRequest* out,
                       const CodecLimits& limits = {});
 bool ParseLoadResponse(const Frame& frame, WireLoadResponse* out,
                        const CodecLimits& limits = {});
+bool ParseFeedback(const Frame& frame, WireFeedback* out,
+                   const CodecLimits& limits = {});
+bool ParseFeedbackAck(const Frame& frame, WireFeedbackAck* out,
+                      const CodecLimits& limits = {});
 
 }  // namespace rapid::net
 

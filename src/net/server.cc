@@ -14,6 +14,9 @@
 #include <cstring>
 #include <utility>
 
+#include "online/feedback.h"
+#include "serve/prometheus.h"
+
 #if defined(__linux__)
 #include <sys/epoll.h>
 #endif
@@ -284,7 +287,9 @@ void Server::DispatcherThread() {
       response.request_id = work.admin_request_id;
       response.format = work.stats_format;
       if (work.stats_format == StatsFormat::kJson) {
-        response.json = StatsWithNet().ToJson();
+        response.text = StatsWithNet().ToJson();
+      } else if (work.stats_format == StatsFormat::kPrometheus) {
+        response.text = serve::RenderPrometheus(StatsWithNet());
       } else {
         response.stats = StatsWithNet();
       }
@@ -599,6 +604,42 @@ void Server::HandleFrame(Connection* conn, Frame frame) {
     return;
   }
 
+  if (frame.header.type == FrameType::kFeedback) {
+    WireFeedback feedback;
+    if (!ParseFeedback(frame, &feedback, config_.limits)) {
+      answer_error("malformed feedback frame");
+      return;
+    }
+    feedback_frames_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.feedback_log == nullptr) {
+      // Refused, not dropped: the caller gets a definite answer and the
+      // connection keeps serving score traffic.
+      std::vector<uint8_t> out;
+      EncodeError(frame.header.request_id, "feedback disabled", &out);
+      error_frames_out_.fetch_add(1, std::memory_order_relaxed);
+      QueueWrite(conn, std::move(out));
+      return;
+    }
+    // Handled inline on the event loop: Append is an O(1) bounded push
+    // that drops (never blocks) on a full log, so there is nothing worth
+    // a dispatcher round-trip.
+    online::FeedbackEvent event;
+    event.slot = std::move(feedback.slot);
+    event.model_version = feedback.model_version;
+    event.list.user_id = feedback.user_id;
+    event.list.items = std::move(feedback.items);
+    event.list.clicks.assign(feedback.clicks.begin(), feedback.clicks.end());
+    const bool accepted = config_.feedback_log->Append(std::move(event));
+    WireFeedbackAck ack;
+    ack.request_id = feedback.request_id;
+    ack.accepted = accepted;
+    if (!accepted) ack.message = "feedback log full or closed";
+    std::vector<uint8_t> out;
+    EncodeFeedbackAck(ack, &out);
+    QueueWrite(conn, std::move(out));
+    return;
+  }
+
   if (frame.header.type != FrameType::kScoreRequest) {
     answer_error("unexpected frame type");
     return;
@@ -753,6 +794,7 @@ serve::NetStats Server::stats() const {
   s.dropped_responses = dropped_responses_.load(std::memory_order_relaxed);
   s.stats_frames = stats_frames_.load(std::memory_order_relaxed);
   s.load_frames = load_frames_.load(std::memory_order_relaxed);
+  s.feedback_frames = feedback_frames_.load(std::memory_order_relaxed);
   s.max_inflight_per_conn = max_inflight_.load(std::memory_order_relaxed);
   return s;
 }
@@ -761,6 +803,10 @@ serve::RouterStats Server::StatsWithNet() const {
   serve::RouterStats stats = router_.stats();
   stats.has_net = true;
   stats.net = this->stats();
+  if (config_.online_stats) {
+    stats.online = config_.online_stats();
+    stats.has_online = true;
+  }
   return stats;
 }
 

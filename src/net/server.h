@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -15,6 +16,10 @@
 #include "net/codec.h"
 #include "serve/metrics.h"
 #include "serve/router.h"
+
+namespace rapid::online {
+class FeedbackLog;
+}  // namespace rapid::online
 
 namespace rapid::net {
 
@@ -66,6 +71,19 @@ struct ServerConfig {
   /// should honor. When off, the frame is answered with an error frame
   /// and the connection survives.
   bool enable_remote_load = false;
+  /// Destination for `kFeedback` frames (impressions + clicks from served
+  /// lists). Null = feedback disabled: the frame is answered with an
+  /// error frame and the connection survives. When set, appends are O(1)
+  /// and bounded (the log drops, never blocks), so the event loop handles
+  /// them inline without a dispatcher round-trip; the ack reports whether
+  /// the event was accepted or dropped. Must outlive the server.
+  online::FeedbackLog* feedback_log = nullptr;
+  /// Optional provider of online-loop counters (typically
+  /// `OnlineTrainer::Stats`). When set, stats scrapes and `StatsWithNet`
+  /// include the `online` block. Called from dispatcher threads and from
+  /// `StatsWithNet` callers — must be thread-safe. Must outlive the
+  /// server.
+  std::function<serve::OnlineStats()> online_stats;
   /// Force the portable poll(2) backend instead of epoll(7) (Linux).
   /// Functionally identical; epoll scales better past a few hundred fds.
   bool use_poll = false;
@@ -221,6 +239,7 @@ class Server {
   std::atomic<uint64_t> dropped_responses_{0};
   std::atomic<uint64_t> stats_frames_{0};
   std::atomic<uint64_t> load_frames_{0};
+  std::atomic<uint64_t> feedback_frames_{0};
   std::atomic<int> max_inflight_{0};
 };
 

@@ -1,0 +1,75 @@
+#include "online/feedback.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rapid::online {
+
+FeedbackLog::FeedbackLog(FeedbackLogConfig config)
+    : capacity_(std::max<size_t>(config.capacity, 1)) {}
+
+bool FeedbackLog::Append(FeedbackEvent event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || events_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    events_.push_back(std::move(event));
+    ++appended_;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+size_t FeedbackLog::Drain(size_t max, std::vector<FeedbackEvent>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = std::min(max, events_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(events_.front()));
+    events_.pop_front();
+  }
+  drained_ += n;
+  return n;
+}
+
+size_t FeedbackLog::WaitDrain(size_t max, std::chrono::milliseconds timeout,
+                              std::vector<FeedbackEvent>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout,
+               [this] { return closed_ || !events_.empty(); });
+  const size_t n = std::min(max, events_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(events_.front()));
+    events_.pop_front();
+  }
+  drained_ += n;
+  return n;
+}
+
+void FeedbackLog::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool FeedbackLog::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t FeedbackLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void FeedbackLog::FillStats(serve::OnlineStats* stats) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats->feedback_appended = appended_;
+  stats->feedback_dropped = dropped_;
+  stats->feedback_drained = drained_;
+}
+
+}  // namespace rapid::online

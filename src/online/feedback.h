@@ -1,0 +1,83 @@
+#ifndef RAPID_ONLINE_FEEDBACK_H_
+#define RAPID_ONLINE_FEEDBACK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "datagen/types.h"
+#include "serve/metrics.h"
+
+namespace rapid::online {
+
+/// One unit of the feedback stream: an impression list *as served* (the
+/// post-rerank order, which the positional DCM click model depends on)
+/// with its observed click labels in `list.clicks`, attributed to the
+/// slot and published model version that earned it.
+struct FeedbackEvent {
+  std::string slot;
+  uint64_t model_version = 0;
+  data::ImpressionList list;
+};
+
+struct FeedbackLogConfig {
+  /// Events held at once; an append against a full log is *dropped* (and
+  /// counted), never blocked — the serving path must stay O(1) bounded.
+  size_t capacity = 4096;
+};
+
+/// The bounded, lock-guarded buffer between the serving tier and the
+/// background trainer. The net server (or an in-process caller) appends
+/// one event per served list; the trainer drains batches. Appends never
+/// block: a full log sheds the oldest-news-first way a metrics pipe
+/// should — the new event is dropped and counted, and training continues
+/// on what fit. `Close` wakes blocked drainers for shutdown; events still
+/// buffered remain drainable after close, but further appends drop.
+///
+/// Thread safety: every method is safe to call concurrently.
+class FeedbackLog {
+ public:
+  explicit FeedbackLog(FeedbackLogConfig config = {});
+
+  /// Appends one event. Returns false — counting a drop — when the log is
+  /// full or closed.
+  bool Append(FeedbackEvent event);
+
+  /// Moves up to `max` events (FIFO) into `out` (appended; not cleared).
+  /// Non-blocking; returns the number drained.
+  size_t Drain(size_t max, std::vector<FeedbackEvent>* out);
+
+  /// Like `Drain`, but blocks until at least one event is available, the
+  /// log closes, or `timeout` elapses. Returns the number drained (0 on
+  /// timeout or on a drained-dry closed log).
+  size_t WaitDrain(size_t max, std::chrono::milliseconds timeout,
+                   std::vector<FeedbackEvent>* out);
+
+  /// Marks the log closed and wakes blocked drainers. Idempotent.
+  void Close();
+
+  bool closed() const;
+  size_t size() const;
+
+  /// Fills the `feedback_*` fields of `stats` (leaves the trainer fields
+  /// untouched, so the trainer can layer its own counters on top).
+  void FillStats(serve::OnlineStats* stats) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<FeedbackEvent> events_;
+  bool closed_ = false;
+  uint64_t appended_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t drained_ = 0;
+};
+
+}  // namespace rapid::online
+
+#endif  // RAPID_ONLINE_FEEDBACK_H_

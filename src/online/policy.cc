@@ -1,0 +1,111 @@
+#include "online/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+namespace rapid::online {
+
+uint64_t PullCounts::Count(int user, int item) const {
+  const Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(user)) << 32) |
+      static_cast<uint32_t>(item);
+  const auto it = shard.counts.find(key);
+  return it == shard.counts.end() ? 0 : it->second;
+}
+
+uint64_t PullCounts::UserTotal(int user) const {
+  const Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.user_totals.find(user);
+  return it == shard.user_totals.end() ? 0 : it->second;
+}
+
+void PullCounts::Record(int user, const std::vector<int>& items, int top_k) {
+  const size_t n = top_k <= 0
+                       ? items.size()
+                       : std::min(items.size(), static_cast<size_t>(top_k));
+  if (n == 0) return;
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(user)) << 32) |
+        static_cast<uint32_t>(items[i]);
+    ++shard.counts[key];
+  }
+  shard.user_totals[user] += n;
+}
+
+OnlinePolicy::OnlinePolicy(std::shared_ptr<const rerank::Reranker> base,
+                           std::shared_ptr<PullCounts> pulls,
+                           OnlinePolicyConfig config)
+    : base_(std::move(base)),
+      neural_base_(dynamic_cast<const rerank::NeuralReranker*>(base_.get())),
+      pulls_(std::move(pulls)),
+      config_(config) {}
+
+std::string OnlinePolicy::name() const {
+  return "UCB(" + base_->name() + ")";
+}
+
+std::vector<double> OnlinePolicy::BaseScores(
+    const data::Dataset& data, const data::ImpressionList& list) const {
+  const size_t n = list.items.size();
+  std::vector<double> scores(n, 0.0);
+  if (neural_base_ != nullptr) {
+    const std::vector<float> raw = neural_base_->ScoreList(data, list);
+    double lo = raw.empty() ? 0.0 : raw[0], hi = lo;
+    for (const float s : raw) {
+      lo = std::min<double>(lo, s);
+      hi = std::max<double>(hi, s);
+    }
+    const double span = hi - lo;
+    for (size_t i = 0; i < n; ++i) {
+      scores[i] = span > 0.0 ? (raw[i] - lo) / span : 0.5;
+    }
+    return scores;
+  }
+  // Heuristic base: no scores to read, so derive relevance from the
+  // base's ranking — position p of n maps to (n - p) / n.
+  const std::vector<int> ranked = base_->Rerank(data, list);
+  for (size_t p = 0; p < ranked.size(); ++p) {
+    const auto it = std::find(list.items.begin(), list.items.end(), ranked[p]);
+    if (it == list.items.end()) continue;
+    const size_t i = static_cast<size_t>(it - list.items.begin());
+    scores[i] = static_cast<double>(n - p) / static_cast<double>(n);
+  }
+  return scores;
+}
+
+std::vector<int> OnlinePolicy::Rerank(const data::Dataset& data,
+                                      const data::ImpressionList& list) const {
+  const size_t n = list.items.size();
+  if (n == 0) return {};
+  std::vector<double> scores = BaseScores(data, list);
+  const double total_pulls =
+      static_cast<double>(pulls_->UserTotal(list.user_id));
+  if (config_.exploration > 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      const double pulled =
+          static_cast<double>(pulls_->Count(list.user_id, list.items[i]));
+      scores[i] += config_.exploration *
+                   std::sqrt(std::log(1.0 + total_pulls) / (1.0 + pulled));
+    }
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::vector<int> out;
+  out.reserve(n);
+  for (const size_t i : order) out.push_back(list.items[i]);
+  pulls_->Record(list.user_id, out, config_.record_top_k);
+  return out;
+}
+
+}  // namespace rapid::online

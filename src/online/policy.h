@@ -1,0 +1,104 @@
+#ifndef RAPID_ONLINE_POLICY_H_
+#define RAPID_ONLINE_POLICY_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rerank/neural_base.h"
+#include "rerank/reranker.h"
+
+namespace rapid::online {
+
+/// Concurrent per-(user, item) pull counter behind the UCB bonus.
+/// Sharded by user so concurrent serving threads rarely contend; every
+/// method locks internally, which keeps `OnlinePolicy::Rerank` honest
+/// about the `Reranker` const-inference thread-safety contract.
+class PullCounts {
+ public:
+  /// Times `item` was served to `user` (in a recorded top-k prefix).
+  uint64_t Count(int user, int item) const;
+
+  /// Total recorded pulls for `user` across all items.
+  uint64_t UserTotal(int user) const;
+
+  /// Records one serve of the first `top_k` entries of `items` to `user`.
+  void Record(int user, const std::vector<int>& items, int top_k);
+
+ private:
+  static constexpr int kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    /// (user << 32 | item) -> pulls.
+    std::unordered_map<uint64_t, uint64_t> counts;
+    /// user -> total pulls.
+    std::unordered_map<int, uint64_t> user_totals;
+  };
+  Shard& ShardFor(int user) const {
+    return shards_[static_cast<uint32_t>(user) % kShards];
+  }
+
+  mutable std::array<Shard, kShards> shards_;
+};
+
+struct OnlinePolicyConfig {
+  /// Scale of the UCB exploration bonus added to the min-max-normalized
+  /// base scores. 0 reproduces the base ranking exactly.
+  double exploration = 0.3;
+  /// How many of the served list's leading items count as "pulled" — the
+  /// prefix a user actually examines under the DCM. <= 0 records the
+  /// whole list.
+  int record_top_k = 5;
+};
+
+/// UCB-explored serving: a `Reranker` decorator that re-scores each list
+/// as `normalized_base_score + exploration * sqrt(log(1 + N_u) /
+/// (1 + n_{u,i}))` — the optimism bonus of the paper's RAPID-pro bandit,
+/// built from per-(user, item) pull counts — and records the served
+/// prefix as pulls. Items the user has rarely seen get boosted until the
+/// feedback loop has evidence about them; as counts grow the policy
+/// converges back to the base model's ranking.
+///
+/// Installed per slot via `serve::ServingRouter::SetSlotWrapper`, so
+/// deterministic serving stays the default for every other slot. The
+/// shared `PullCounts` survives republishes: each trainer publish wraps
+/// the fresh model around the same accumulated counts.
+///
+/// Thread safety: `Rerank`/`RerankBatch` are const and internally
+/// synchronized (see `PullCounts`), satisfying the serving contract.
+/// Exploration slots should be on the result cache's bypass list — a
+/// cached permutation would freeze exploration and skip pull recording.
+class OnlinePolicy : public rerank::Reranker {
+ public:
+  OnlinePolicy(std::shared_ptr<const rerank::Reranker> base,
+               std::shared_ptr<PullCounts> pulls,
+               OnlinePolicyConfig config = {});
+
+  std::string name() const override;
+
+  std::vector<int> Rerank(const data::Dataset& data,
+                          const data::ImpressionList& list) const override;
+
+  const rerank::Reranker& base() const { return *base_; }
+
+ private:
+  /// Base relevance in [0, 1] per item, in list order: the neural model's
+  /// min-max-normalized scores when the base is a `NeuralReranker`, else
+  /// scores derived from the base's ranking positions.
+  std::vector<double> BaseScores(const data::Dataset& data,
+                                 const data::ImpressionList& list) const;
+
+  std::shared_ptr<const rerank::Reranker> base_;
+  /// Cached `dynamic_cast` of `base_` (null for heuristic bases).
+  const rerank::NeuralReranker* neural_base_;
+  std::shared_ptr<PullCounts> pulls_;
+  OnlinePolicyConfig config_;
+};
+
+}  // namespace rapid::online
+
+#endif  // RAPID_ONLINE_POLICY_H_

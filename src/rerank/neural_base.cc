@@ -109,12 +109,26 @@ void NeuralReranker::Fit(const data::Dataset& data,
                          uint64_t seed) {
   std::mt19937_64 rng(seed);
   InitNet(data, rng);
+  TrainLoop(data, train, rng, config_.epochs);
+}
+
+void NeuralReranker::FineTune(const data::Dataset& data,
+                              const std::vector<data::ImpressionList>& train,
+                              uint64_t seed, int epochs) {
+  if (train.empty() || epochs <= 0) return;
+  std::mt19937_64 rng(seed);
+  TrainLoop(data, train, rng, epochs);
+}
+
+void NeuralReranker::TrainLoop(const data::Dataset& data,
+                               const std::vector<data::ImpressionList>& train,
+                               std::mt19937_64& rng, int epochs) {
   nn::Adam opt(Params(), config_.learning_rate);
 
   std::vector<int> order(train.size());
   std::iota(order.begin(), order.end(), 0);
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int epoch = 0; epoch < epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng);
     double epoch_loss = 0.0;
     int batches = 0;

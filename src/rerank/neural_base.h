@@ -59,6 +59,17 @@ class NeuralReranker : public Reranker {
            const std::vector<data::ImpressionList>& train,
            uint64_t seed) override;
 
+  /// Continues training on `train` *without* re-initializing the network:
+  /// `epochs` passes of the same mini-batch loop as `Fit` (fresh Adam
+  /// state per call) over the already-fitted parameters — the online
+  /// trainer's incremental update on drained feedback batches. Requires a
+  /// prior `Fit` or `LoadModel`; exclusive access like `Fit` (never call
+  /// concurrently with inference on the same object). No-op on an empty
+  /// `train`.
+  void FineTune(const data::Dataset& data,
+                const std::vector<data::ImpressionList>& train, uint64_t seed,
+                int epochs = 1);
+
   std::vector<int> Rerank(const data::Dataset& data,
                           const data::ImpressionList& list) const override;
 
@@ -142,6 +153,12 @@ class NeuralReranker : public Reranker {
 
   NeuralRerankConfig config_;
   float final_loss_ = 0.0f;
+
+ private:
+  /// The shared mini-batch Adam loop behind `Fit` and `FineTune`.
+  void TrainLoop(const data::Dataset& data,
+                 const std::vector<data::ImpressionList>& train,
+                 std::mt19937_64& rng, int epochs);
 };
 
 /// Builds the `(L x F)` per-item input matrix of a list:

@@ -3,28 +3,54 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
-#include <vector>
 
 namespace rapid::serve {
 
-int ServingMetrics::BucketIndex(uint64_t us) {
-  if (us < (1u << kSubBucketBits)) return static_cast<int>(us);
-  // Octave = position of the highest set bit; the next kSubBucketBits bits
-  // select the sub-bucket, giving a fixed relative resolution of
-  // 2^-kSubBucketBits (~12.5% bucket width, ~9% mean error).
+int ServingStats::LatencyBucketIndex(uint64_t us) {
+  constexpr int kBits = kLatencySubBucketBits;
+  if (us < (1u << kBits)) return static_cast<int>(us);
+  // Octave = position of the highest set bit; the next kBits bits select
+  // the sub-bucket, giving a fixed relative resolution of 2^-kBits
+  // (~12.5% bucket width, ~9% mean error).
   const int octave = 63 - std::countl_zero(us);
-  const int sub =
-      static_cast<int>((us >> (octave - kSubBucketBits)) & ((1 << kSubBucketBits) - 1));
-  const int index = ((octave - kSubBucketBits + 1) << kSubBucketBits) + sub;
-  return index < kNumBuckets ? index : kNumBuckets - 1;
+  const int sub = static_cast<int>((us >> (octave - kBits)) & ((1 << kBits) - 1));
+  const int index = ((octave - kBits + 1) << kBits) + sub;
+  return index < kLatencyHistBins ? index : kLatencyHistBins - 1;
 }
 
-double ServingMetrics::BucketValue(int index) {
-  if (index < (1 << kSubBucketBits)) return index;
-  const int octave = (index >> kSubBucketBits) + kSubBucketBits - 1;
-  const int sub = index & ((1 << kSubBucketBits) - 1);
+double ServingStats::LatencyBucketValue(int index) {
+  constexpr int kBits = kLatencySubBucketBits;
+  if (index < (1 << kBits)) return index;
+  const int octave = (index >> kBits) + kBits - 1;
+  const int sub = index & ((1 << kBits) - 1);
   const double base = static_cast<double>(1ull << octave);
-  return base + sub * (base / (1 << kSubBucketBits));
+  return base + sub * (base / (1 << kBits));
+}
+
+bool ServingStats::HasLatencyHist() const {
+  for (int i = 0; i < kLatencyHistBins; ++i) {
+    if (latency_hist[i] != 0) return true;
+  }
+  return false;
+}
+
+void ServingStats::RecomputeLatencyPercentiles() {
+  uint64_t total = 0;
+  for (int i = 0; i < kLatencyHistBins; ++i) total += latency_hist[i];
+  if (total == 0) return;
+  auto percentile = [&](double q) -> double {
+    const uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(total - 1));
+    uint64_t seen = 0;
+    for (int i = 0; i < kLatencyHistBins; ++i) {
+      seen += latency_hist[i];
+      if (seen > rank) return LatencyBucketValue(i);
+    }
+    return LatencyBucketValue(kLatencyHistBins - 1);
+  };
+  p50_us = percentile(0.50);
+  p95_us = percentile(0.95);
+  p99_us = percentile(0.99);
 }
 
 void ServingMetrics::RecordRequest(uint64_t latency_us, bool fallback) {
@@ -36,7 +62,8 @@ void ServingMetrics::RecordRequest(uint64_t latency_us, bool fallback) {
          !max_us_.compare_exchange_weak(prev, latency_us,
                                         std::memory_order_relaxed)) {
   }
-  buckets_[BucketIndex(latency_us)].fetch_add(1, std::memory_order_relaxed);
+  buckets_[ServingStats::LatencyBucketIndex(latency_us)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void ServingMetrics::RecordShed() {
@@ -81,28 +108,10 @@ ServingStats ServingMetrics::Snapshot() const {
   if (s.requests == 0) return s;
   s.mean_us = static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
               static_cast<double>(s.requests);
-
-  std::vector<uint64_t> counts(kNumBuckets);
-  uint64_t total = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
+    s.latency_hist[i] = buckets_[i].load(std::memory_order_relaxed);
   }
-  auto percentile = [&](double q) -> double {
-    const uint64_t rank =
-        static_cast<uint64_t>(q * static_cast<double>(total - 1));
-    uint64_t seen = 0;
-    for (int i = 0; i < kNumBuckets; ++i) {
-      seen += counts[i];
-      if (seen > rank) return BucketValue(i);
-    }
-    return BucketValue(kNumBuckets - 1);
-  };
-  if (total > 0) {
-    s.p50_us = percentile(0.50);
-    s.p95_us = percentile(0.95);
-    s.p99_us = percentile(0.99);
-  }
+  s.RecomputeLatencyPercentiles();
   return s;
 }
 
@@ -169,6 +178,7 @@ std::string NetStats::ToTable() const {
                 "  net decode errs %10llu\n"
                 "  net dropped     %10llu\n"
                 "  net admin       %10llu stats, %llu loads\n"
+                "  net feedback    %10llu\n"
                 "  net max inflight%10d per connection\n",
                 static_cast<unsigned long long>(connections_accepted),
                 static_cast<unsigned long long>(connections_active),
@@ -185,6 +195,7 @@ std::string NetStats::ToTable() const {
                 static_cast<unsigned long long>(dropped_responses),
                 static_cast<unsigned long long>(stats_frames),
                 static_cast<unsigned long long>(load_frames),
+                static_cast<unsigned long long>(feedback_frames),
                 max_inflight_per_conn);
   return buf;
 }
@@ -200,7 +211,8 @@ std::string NetStats::ToJson() const {
       "\"error_frames_out\": %llu, \"decode_errors\": %llu, "
       "\"bytes_in\": %llu, \"bytes_out\": %llu, "
       "\"dropped_responses\": %llu, \"stats_frames\": %llu, "
-      "\"load_frames\": %llu, \"max_inflight_per_conn\": %d}",
+      "\"load_frames\": %llu, \"feedback_frames\": %llu, "
+      "\"max_inflight_per_conn\": %d}",
       static_cast<unsigned long long>(connections_accepted),
       static_cast<unsigned long long>(connections_active),
       static_cast<unsigned long long>(connections_rejected),
@@ -216,7 +228,49 @@ std::string NetStats::ToJson() const {
       static_cast<unsigned long long>(dropped_responses),
       static_cast<unsigned long long>(stats_frames),
       static_cast<unsigned long long>(load_frames),
+      static_cast<unsigned long long>(feedback_frames),
       max_inflight_per_conn);
+  return buf;
+}
+
+std::string OnlineStats::ToTable() const {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "  feedback        %10llu appended, %llu dropped, "
+                "%llu drained\n"
+                "  train rounds    %10llu (%llu lists)\n"
+                "  publishes       %10llu (rejected %llu, skipped %llu)\n"
+                "  published ver   %10llu\n",
+                static_cast<unsigned long long>(feedback_appended),
+                static_cast<unsigned long long>(feedback_dropped),
+                static_cast<unsigned long long>(feedback_drained),
+                static_cast<unsigned long long>(train_rounds),
+                static_cast<unsigned long long>(trained_lists),
+                static_cast<unsigned long long>(publishes),
+                static_cast<unsigned long long>(publish_rejected),
+                static_cast<unsigned long long>(publish_skipped),
+                static_cast<unsigned long long>(last_published_version));
+  return buf;
+}
+
+std::string OnlineStats::ToJson() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"feedback_appended\": %llu, \"feedback_dropped\": %llu, "
+      "\"feedback_drained\": %llu, \"train_rounds\": %llu, "
+      "\"trained_lists\": %llu, \"publishes\": %llu, "
+      "\"publish_rejected\": %llu, \"publish_skipped\": %llu, "
+      "\"last_published_version\": %llu}",
+      static_cast<unsigned long long>(feedback_appended),
+      static_cast<unsigned long long>(feedback_dropped),
+      static_cast<unsigned long long>(feedback_drained),
+      static_cast<unsigned long long>(train_rounds),
+      static_cast<unsigned long long>(trained_lists),
+      static_cast<unsigned long long>(publishes),
+      static_cast<unsigned long long>(publish_rejected),
+      static_cast<unsigned long long>(publish_skipped),
+      static_cast<unsigned long long>(last_published_version));
   return buf;
 }
 

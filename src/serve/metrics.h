@@ -16,6 +16,18 @@ struct ServingStats {
   /// everything at or above `kBatchHistBins`.
   static constexpr int kBatchHistBins = 16;
 
+  /// Latency histogram geometry (HDR-style: 32 octaves x 8 sub-buckets,
+  /// ~9% relative error). The raw bucket counts travel with the snapshot
+  /// so fleet merges can sum histograms and recompute exact percentiles
+  /// instead of averaging per-shard percentile points.
+  static constexpr int kLatencySubBucketBits = 3;
+  static constexpr int kLatencyHistBins = 32 << kLatencySubBucketBits;
+
+  /// Bucket index for a latency sample, in microseconds.
+  static int LatencyBucketIndex(uint64_t us);
+  /// Representative (lower-bound) latency of a bucket, in microseconds.
+  static double LatencyBucketValue(int index);
+
   /// Completed requests (including degraded and shed ones).
   uint64_t requests = 0;
   /// Requests answered by the fallback heuristic after a deadline miss.
@@ -41,6 +53,16 @@ struct ServingStats {
   int max_batch_size = 0;
   /// Realized batch-size distribution; see `kBatchHistBins`.
   std::array<uint64_t, kBatchHistBins> batch_size_hist{};
+  /// Raw latency bucket counts (see `kLatencyHistBins`). All zero for
+  /// stats that predate histogram transport (old wire peers); consumers
+  /// must fall back to the precomputed percentile points then.
+  std::array<uint64_t, kLatencyHistBins> latency_hist{};
+
+  /// True when `latency_hist` carries at least one sample.
+  bool HasLatencyHist() const;
+  /// Recomputes p50/p95/p99 from `latency_hist`. No-op when the
+  /// histogram is empty (keeps whatever percentile points were set).
+  void RecomputeLatencyPercentiles();
 
   /// Two-column human-readable table.
   std::string ToTable() const;
@@ -124,8 +146,43 @@ struct NetStats {
   /// Remote load requests (`kLoadSlotRequest` frames) parsed off the
   /// wire, counting refused ones (remote load disabled).
   uint64_t load_frames = 0;
+  /// Feedback frames (`kFeedback`) parsed off the wire, counting ones
+  /// refused because no feedback log was configured.
+  uint64_t feedback_frames = 0;
   /// Peak in-flight requests observed on any single connection.
   int max_inflight_per_conn = 0;
+
+  /// Two-column human-readable block matching `ServingStats::ToTable`.
+  std::string ToTable() const;
+  /// Flat JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+/// Point-in-time counters of the online learning loop (`src/online/`:
+/// feedback log + background trainer), surfaced through
+/// `RouterStats::online` when the loop wraps a router. Defined here for
+/// the same reason as `NetStats`: the serve layer embeds and renders the
+/// numbers without depending on the online subsystem.
+struct OnlineStats {
+  /// Feedback events accepted into the bounded log.
+  uint64_t feedback_appended = 0;
+  /// Feedback events rejected because the log was full (or closed).
+  uint64_t feedback_dropped = 0;
+  /// Feedback events handed to a drainer (the trainer).
+  uint64_t feedback_drained = 0;
+  /// Fine-tune rounds the trainer completed.
+  uint64_t train_rounds = 0;
+  /// Feedback lists consumed across those rounds.
+  uint64_t trained_lists = 0;
+  /// Snapshots published through the canary-guarded `LoadSlot` path.
+  uint64_t publishes = 0;
+  /// Publish attempts rejected (canary failure or snapshot I/O error);
+  /// the previous version kept serving.
+  uint64_t publish_rejected = 0;
+  /// Publish cadences skipped because no new feedback had arrived.
+  uint64_t publish_skipped = 0;
+  /// Slot version of the newest accepted publish (0 before the first).
+  uint64_t last_published_version = 0;
 
   /// Two-column human-readable block matching `ServingStats::ToTable`.
   std::string ToTable() const;
@@ -159,12 +216,10 @@ class ServingMetrics {
   ServingStats Snapshot() const;
 
  private:
-  static constexpr int kSubBucketBits = 3;  // 8 sub-buckets per octave.
-  static constexpr int kNumBuckets = 32 << kSubBucketBits;
-
-  static int BucketIndex(uint64_t us);
-  /// Representative (lower-bound) latency of a bucket, in microseconds.
-  static double BucketValue(int index);
+  // Bucket geometry lives on ServingStats so snapshots can carry the raw
+  // histogram across the wire and mergers can recompute percentiles.
+  static constexpr int kSubBucketBits = ServingStats::kLatencySubBucketBits;
+  static constexpr int kNumBuckets = ServingStats::kLatencyHistBins;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> fallbacks_{0};

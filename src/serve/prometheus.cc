@@ -1,0 +1,264 @@
+#include "serve/prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rapid::serve {
+
+namespace {
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped.
+std::string EscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+class Renderer {
+ public:
+  void Header(const char* name, const char* help, const char* type) {
+    out_ += "# HELP ";
+    out_ += name;
+    out_ += ' ';
+    out_ += help;
+    out_ += "\n# TYPE ";
+    out_ += name;
+    out_ += ' ';
+    out_ += type;
+    out_ += '\n';
+  }
+
+  void Counter(const char* name, const char* help, uint64_t value,
+               const std::string& labels = "") {
+    Header(name, help, "counter");
+    Sample(name, labels, value);
+  }
+
+  void Gauge(const char* name, const char* help, double value,
+             const std::string& labels = "") {
+    Header(name, help, "gauge");
+    Sample(name, labels, value);
+  }
+
+  void Sample(const std::string& name, const std::string& labels,
+              uint64_t value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+    out_ += name + labels + buf;
+  }
+
+  void Sample(const std::string& name, const std::string& labels,
+              double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %.6g\n", value);
+    out_ += name + labels + buf;
+  }
+
+  /// One native cumulative histogram from raw latency buckets. Empty
+  /// buckets are skipped (the series stays cumulative and valid); the
+  /// mandatory `+Inf` bucket, `_sum`, and `_count` always render.
+  void LatencyHistogram(const char* name, const ServingStats& stats,
+                        const std::string& labels) {
+    Header(name, "End-to-end request latency.", "histogram");
+    const std::string base = std::string(name) + "_bucket";
+    uint64_t cumulative = 0;
+    for (int i = 0; i < ServingStats::kLatencyHistBins; ++i) {
+      if (stats.latency_hist[i] == 0) continue;
+      cumulative += stats.latency_hist[i];
+      // A bucket's upper bound is the next bucket's representative value.
+      char le[64];
+      if (i + 1 < ServingStats::kLatencyHistBins) {
+        std::snprintf(le, sizeof(le), "%.6g",
+                      ServingStats::LatencyBucketValue(i + 1));
+      } else {
+        std::snprintf(le, sizeof(le), "+Inf");
+      }
+      Sample(base, MergeLabels(labels, std::string("le=\"") + le + "\""),
+             cumulative);
+    }
+    Sample(base, MergeLabels(labels, "le=\"+Inf\""), cumulative);
+    Sample(std::string(name) + "_sum", labels,
+           stats.mean_us * static_cast<double>(stats.requests));
+    Sample(std::string(name) + "_count", labels, stats.requests);
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  static std::string MergeLabels(const std::string& labels,
+                                 const std::string& extra) {
+    if (labels.empty()) return "{" + extra + "}";
+    // labels is "{a="b"}" — splice the extra pair before the brace.
+    return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+  }
+
+  std::string out_;
+};
+
+std::string SlotLabels(const RouterStats::SlotEntry& slot) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(slot.version));
+  return "{slot=\"" + EscapeLabel(slot.slot) + "\",model=\"" +
+         EscapeLabel(slot.model_name) + "\",version=\"" + buf + "\"}";
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const RouterStats& stats) {
+  Renderer r;
+
+  r.Counter("rapid_requests_total", "Completed requests.",
+            stats.total.requests);
+  r.Counter("rapid_fallbacks_total",
+            "Requests answered by the fallback heuristic.",
+            stats.total.fallbacks);
+  r.Counter("rapid_shed_total", "Requests rejected by admission control.",
+            stats.total.shed);
+  r.LatencyHistogram("rapid_request_latency_microseconds", stats.total, "");
+  r.Header("rapid_latency_quantile_microseconds",
+           "Precomputed latency percentile points.", "gauge");
+  r.Sample("rapid_latency_quantile_microseconds", "{quantile=\"0.5\"}",
+           stats.total.p50_us);
+  r.Sample("rapid_latency_quantile_microseconds", "{quantile=\"0.95\"}",
+           stats.total.p95_us);
+  r.Sample("rapid_latency_quantile_microseconds", "{quantile=\"0.99\"}",
+           stats.total.p99_us);
+  r.Gauge("rapid_max_latency_microseconds", "Largest observed latency.",
+          static_cast<double>(stats.total.max_us));
+  r.Gauge("rapid_max_queue_depth", "Highest queue depth observed at submit.",
+          stats.total.max_queue_depth);
+  r.Counter("rapid_model_batches_total",
+            "Model-bound micro-batches executed.", stats.total.batches);
+  r.Counter("rapid_batched_lists_total",
+            "Requests served through micro-batches.",
+            stats.total.batched_lists);
+
+  r.Counter("rapid_cache_hits_total", "Result-cache hits.", stats.cache.hits);
+  r.Counter("rapid_cache_misses_total", "Result-cache misses.",
+            stats.cache.misses);
+  r.Counter("rapid_cache_inserts_total", "Result-cache inserts.",
+            stats.cache.inserts);
+  r.Counter("rapid_cache_evictions_total", "Result-cache LRU evictions.",
+            stats.cache.evictions);
+  r.Counter("rapid_cache_negative_hits_total",
+            "Rejected requests answered from the negative cache.",
+            stats.cache.negative_hits);
+
+  r.Counter("rapid_unknown_slot_total",
+            "Requests naming no registered slot.", stats.unknown_slot);
+  r.Counter("rapid_invalid_ids_total",
+            "Requests rejected by the id bounds check.", stats.invalid_ids);
+  r.Counter("rapid_canary_rejected_total",
+            "Snapshots rejected by a canary probe before publish.",
+            stats.canary_rejected);
+  r.Counter("rapid_quota_shed_total",
+            "Requests shed by a per-slot admission quota.", stats.quota_shed);
+
+  if (stats.has_net) {
+    const NetStats& n = stats.net;
+    r.Counter("rapid_net_connections_accepted_total",
+              "Connections accepted.", n.connections_accepted);
+    r.Gauge("rapid_net_connections_active", "Currently open connections.",
+            static_cast<double>(n.connections_active));
+    r.Counter("rapid_net_connections_rejected_total",
+              "Accepts refused at the connection cap.",
+              n.connections_rejected);
+    r.Header("rapid_net_closed_total",
+             "Connections closed by protective limits.", "counter");
+    r.Sample("rapid_net_closed_total", "{reason=\"idle\"}", n.closed_idle);
+    r.Sample("rapid_net_closed_total", "{reason=\"slow\"}", n.closed_slow);
+    r.Sample("rapid_net_closed_total", "{reason=\"protocol\"}",
+             n.closed_protocol_error);
+    r.Counter("rapid_net_frames_in_total", "Score requests parsed.",
+              n.frames_in);
+    r.Counter("rapid_net_frames_out_total", "Response frames written.",
+              n.frames_out);
+    r.Counter("rapid_net_error_frames_total", "Error frames sent.",
+              n.error_frames_out);
+    r.Counter("rapid_net_decode_errors_total",
+              "Frames whose payload failed strict decoding.", n.decode_errors);
+    r.Counter("rapid_net_bytes_in_total", "Bytes read.", n.bytes_in);
+    r.Counter("rapid_net_bytes_out_total", "Bytes written.", n.bytes_out);
+    r.Counter("rapid_net_dropped_responses_total",
+              "Responses whose connection was gone at completion.",
+              n.dropped_responses);
+    r.Counter("rapid_net_stats_frames_total", "Stats scrapes parsed.",
+              n.stats_frames);
+    r.Counter("rapid_net_load_frames_total", "Remote load requests parsed.",
+              n.load_frames);
+    r.Counter("rapid_net_feedback_frames_total", "Feedback frames parsed.",
+              n.feedback_frames);
+  }
+
+  if (stats.has_online) {
+    const OnlineStats& o = stats.online;
+    r.Counter("rapid_online_feedback_appended_total",
+              "Feedback events accepted into the log.", o.feedback_appended);
+    r.Counter("rapid_online_feedback_dropped_total",
+              "Feedback events rejected by the bounded log.",
+              o.feedback_dropped);
+    r.Counter("rapid_online_feedback_drained_total",
+              "Feedback events handed to the trainer.", o.feedback_drained);
+    r.Counter("rapid_online_train_rounds_total",
+              "Fine-tune rounds completed.", o.train_rounds);
+    r.Counter("rapid_online_trained_lists_total",
+              "Feedback lists consumed by training.", o.trained_lists);
+    r.Counter("rapid_online_publishes_total",
+              "Snapshots published through the canary-guarded LoadSlot.",
+              o.publishes);
+    r.Counter("rapid_online_publish_rejected_total",
+              "Publishes rejected by the canary or snapshot I/O.",
+              o.publish_rejected);
+    r.Counter("rapid_online_publish_skipped_total",
+              "Publish cadences skipped for lack of new feedback.",
+              o.publish_skipped);
+    r.Gauge("rapid_online_last_published_version",
+            "Slot version of the newest accepted publish.",
+            static_cast<double>(o.last_published_version));
+  }
+
+  if (!stats.slots.empty()) {
+    r.Header("rapid_slot_requests_total", "Completed requests per slot.",
+             "counter");
+    for (const auto& slot : stats.slots) {
+      r.Sample("rapid_slot_requests_total", SlotLabels(slot),
+               slot.stats.requests);
+    }
+    r.Header("rapid_slot_fallbacks_total",
+             "Fallback-answered requests per slot.", "counter");
+    for (const auto& slot : stats.slots) {
+      r.Sample("rapid_slot_fallbacks_total", SlotLabels(slot),
+               slot.stats.fallbacks);
+    }
+    r.Header("rapid_slot_cache_hits_total", "Result-cache hits per slot.",
+             "counter");
+    for (const auto& slot : stats.slots) {
+      r.Sample("rapid_slot_cache_hits_total", SlotLabels(slot),
+               slot.cache.hits);
+    }
+    r.Header("rapid_slot_version", "Published model version per slot.",
+             "gauge");
+    for (const auto& slot : stats.slots) {
+      r.Sample("rapid_slot_version",
+               "{slot=\"" + EscapeLabel(slot.slot) + "\",model=\"" +
+                   EscapeLabel(slot.model_name) + "\"}",
+               slot.version);
+    }
+  }
+
+  return r.Take();
+}
+
+}  // namespace rapid::serve

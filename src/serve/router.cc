@@ -48,7 +48,8 @@ uint64_t ServingRouter::LoadSlot(const std::string& slot,
     return 0;
   }
   const uint64_t version = registry_.Publish(
-      slot, std::shared_ptr<const rerank::Reranker>(std::move(model)));
+      slot, WrapForSlot(slot, std::shared_ptr<const rerank::Reranker>(
+                                  std::move(model))));
   // Entries cached under older versions became unreachable with the
   // publish (the version is part of the key); reclaim their memory.
   cache_.ScheduleSweep(slot, version);
@@ -58,9 +59,40 @@ uint64_t ServingRouter::LoadSlot(const std::string& slot,
 uint64_t ServingRouter::InstallSlot(
     const std::string& slot, std::shared_ptr<const rerank::Reranker> model) {
   if (model == nullptr) return 0;
-  const uint64_t version = registry_.Publish(slot, std::move(model));
+  const uint64_t version = registry_.Publish(slot, WrapForSlot(slot, std::move(model)));
   cache_.ScheduleSweep(slot, version);
   return version;
+}
+
+void ServingRouter::SetSlotWrapper(const std::string& slot,
+                                   ModelWrapper wrapper) {
+  std::lock_guard<std::mutex> lock(wrapper_mu_);
+  if (wrapper == nullptr) {
+    wrappers_.erase(slot);
+  } else {
+    wrappers_[slot] = std::move(wrapper);
+  }
+}
+
+bool ServingRouter::ClearSlotWrapper(const std::string& slot) {
+  std::lock_guard<std::mutex> lock(wrapper_mu_);
+  return wrappers_.erase(slot) > 0;
+}
+
+std::shared_ptr<const rerank::Reranker> ServingRouter::WrapForSlot(
+    const std::string& slot,
+    std::shared_ptr<const rerank::Reranker> model) const {
+  ModelWrapper wrapper;
+  {
+    std::lock_guard<std::mutex> lock(wrapper_mu_);
+    const auto it = wrappers_.find(slot);
+    if (it == wrappers_.end()) return model;
+    wrapper = it->second;  // Copied so the user callback runs unlocked.
+  }
+  std::shared_ptr<const rerank::Reranker> wrapped = wrapper(model);
+  // A wrapper returning null must not turn a valid publish into an
+  // unpublish; fall back to the unwrapped model.
+  return wrapped != nullptr ? std::move(wrapped) : std::move(model);
 }
 
 bool ServingRouter::RemoveSlot(const std::string& slot) {
@@ -486,6 +518,7 @@ std::string RouterStats::ToTable() const {
                 static_cast<unsigned long long>(quota_shed));
   out += line;
   if (has_net) out += net.ToTable();
+  if (has_online) out += online.ToTable();
   for (const SlotEntry& slot : slots) {
     std::snprintf(line, sizeof(line), "slot %s (%s v%llu):\n",
                   slot.slot.c_str(), slot.model_name.c_str(),
@@ -501,6 +534,7 @@ std::string RouterStats::ToJson() const {
   std::string out = "{\"total\": " + total.ToJson();
   out += ", \"cache\": " + cache.ToJson();
   if (has_net) out += ", \"net\": " + net.ToJson();
+  if (has_online) out += ", \"online\": " + online.ToJson();
   char buf[192];
   std::snprintf(buf, sizeof(buf),
                 ", \"unknown_slot\": %llu, \"invalid_ids\": %llu, "

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -119,6 +120,11 @@ struct RouterStats {
   /// a network front-end wraps this router; absent for in-process use.
   bool has_net = false;
   NetStats net;
+  /// Online-loop counters (feedback log + background trainer), filled by
+  /// `online::OnlineTrainer::FillStats` / the net server's online-stats
+  /// provider when the loop wraps this router; absent otherwise.
+  bool has_online = false;
+  OnlineStats online;
 
   std::string ToTable() const;
   /// One JSON object: `{"total": {...}, "unknown_slot": n, "slots": {...}}`.
@@ -177,6 +183,22 @@ class ServingRouter {
   /// as `LoadSlot`). Useful for heuristic models and tests.
   uint64_t InstallSlot(const std::string& slot,
                        std::shared_ptr<const rerank::Reranker> model);
+
+  /// Decorates every model published into `slot` — by `LoadSlot` (after
+  /// the canary passes) and `InstallSlot` alike. The wrapper receives the
+  /// validated base model and returns the model actually published; it
+  /// must uphold the `Reranker` const-inference thread-safety contract.
+  /// This is how `online::OnlinePolicy` layers UCB exploration onto a
+  /// slot without the serve layer depending on the online subsystem.
+  /// Takes effect on the *next* publish; slots without a wrapper publish
+  /// the base model unchanged (deterministic serving stays the default).
+  using ModelWrapper = std::function<std::shared_ptr<const rerank::Reranker>(
+      std::shared_ptr<const rerank::Reranker>)>;
+  void SetSlotWrapper(const std::string& slot, ModelWrapper wrapper);
+
+  /// Drops the wrapper for `slot`; returns false if none was set. Already
+  /// published wrapped models keep serving until the next publish.
+  bool ClearSlotWrapper(const std::string& slot);
 
   /// Unregisters `slot`. In-flight requests finish on the retiring model;
   /// subsequent submissions to the slot degrade to the fallback.
@@ -258,8 +280,15 @@ class ServingRouter {
   ModelRegistry registry_;
   AdmissionController admission_;
   ResultCache cache_;
+  /// Applies the registered wrapper for `slot` (if any) to `model`.
+  std::shared_ptr<const rerank::Reranker> WrapForSlot(
+      const std::string& slot,
+      std::shared_ptr<const rerank::Reranker> model) const;
+
   mutable std::mutex canary_mu_;
   std::map<std::string, CanaryProbe> canaries_;
+  mutable std::mutex wrapper_mu_;
+  std::map<std::string, ModelWrapper> wrappers_;
   std::atomic<uint64_t> canary_rejected_{0};
   ServingMetrics aggregate_metrics_;
   std::atomic<uint64_t> unknown_slot_{0};

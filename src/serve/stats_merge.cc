@@ -6,8 +6,9 @@ namespace rapid::serve {
 
 namespace {
 
-/// Request-weighted average of one percentile estimate. Exact only when
-/// every shard has the same latency distribution; see the header note.
+/// Request-weighted average of one per-shard point. Used for `mean_us`
+/// (where it is exact) and as the percentile fallback for histogram-less
+/// peers (where it is an approximation; see the header note).
 double WeightedPercentile(double a, uint64_t wa, double b, uint64_t wb) {
   const uint64_t total = wa + wb;
   if (total == 0) return 0.0;
@@ -18,14 +19,28 @@ double WeightedPercentile(double a, uint64_t wa, double b, uint64_t wb) {
 }  // namespace
 
 void MergeInto(ServingStats* dst, const ServingStats& src) {
-  dst->p50_us = WeightedPercentile(dst->p50_us, dst->requests, src.p50_us,
-                                   src.requests);
-  dst->p95_us = WeightedPercentile(dst->p95_us, dst->requests, src.p95_us,
-                                   src.requests);
-  dst->p99_us = WeightedPercentile(dst->p99_us, dst->requests, src.p99_us,
-                                   src.requests);
+  // Sum the raw histograms first; if the merged histogram has samples the
+  // fleet percentiles are recomputed exactly from it below. The weighted
+  // average only survives as a fallback for stats from peers that predate
+  // histogram transport (their latency_hist is all zero).
+  const double fallback_p50 = WeightedPercentile(dst->p50_us, dst->requests,
+                                                 src.p50_us, src.requests);
+  const double fallback_p95 = WeightedPercentile(dst->p95_us, dst->requests,
+                                                 src.p95_us, src.requests);
+  const double fallback_p99 = WeightedPercentile(dst->p99_us, dst->requests,
+                                                 src.p99_us, src.requests);
   dst->mean_us = WeightedPercentile(dst->mean_us, dst->requests, src.mean_us,
                                     src.requests);
+  for (int i = 0; i < ServingStats::kLatencyHistBins; ++i) {
+    dst->latency_hist[i] += src.latency_hist[i];
+  }
+  if (dst->HasLatencyHist()) {
+    dst->RecomputeLatencyPercentiles();
+  } else {
+    dst->p50_us = fallback_p50;
+    dst->p95_us = fallback_p95;
+    dst->p99_us = fallback_p99;
+  }
   dst->requests += src.requests;
   dst->fallbacks += src.fallbacks;
   dst->shed += src.shed;
@@ -68,8 +83,22 @@ void MergeInto(NetStats* dst, const NetStats& src) {
   dst->dropped_responses += src.dropped_responses;
   dst->stats_frames += src.stats_frames;
   dst->load_frames += src.load_frames;
+  dst->feedback_frames += src.feedback_frames;
   dst->max_inflight_per_conn =
       std::max(dst->max_inflight_per_conn, src.max_inflight_per_conn);
+}
+
+void MergeInto(OnlineStats* dst, const OnlineStats& src) {
+  dst->feedback_appended += src.feedback_appended;
+  dst->feedback_dropped += src.feedback_dropped;
+  dst->feedback_drained += src.feedback_drained;
+  dst->train_rounds += src.train_rounds;
+  dst->trained_lists += src.trained_lists;
+  dst->publishes += src.publishes;
+  dst->publish_rejected += src.publish_rejected;
+  dst->publish_skipped += src.publish_skipped;
+  dst->last_published_version =
+      std::max(dst->last_published_version, src.last_published_version);
 }
 
 void MergeInto(RouterStats* dst, const RouterStats& src) {
@@ -82,6 +111,10 @@ void MergeInto(RouterStats* dst, const RouterStats& src) {
   if (src.has_net) {
     MergeInto(&dst->net, src.net);
     dst->has_net = true;
+  }
+  if (src.has_online) {
+    MergeInto(&dst->online, src.online);
+    dst->has_online = true;
   }
   for (const RouterStats::SlotEntry& slot : src.slots) {
     auto it = std::find_if(dst->slots.begin(), dst->slots.end(),

@@ -9,14 +9,15 @@ namespace rapid::serve {
 /// that renders through the same `ToTable`/`ToJson` as a single process.
 ///
 /// Counters sum, gauges and maxima take the max, and latency percentiles
-/// are merged as *request-weighted averages* — an approximation (the true
-/// fleet percentile needs the underlying histograms, which don't cross
-/// the wire), documented rather than hidden: with shards serving similar
-/// traffic the weighted average tracks the true value closely, and a
-/// pathological shard still drags the merged number in the right
-/// direction. `mean_us` and `max_us` are exact.
+/// are **exact**: snapshots carry their raw latency histograms
+/// (`ServingStats::latency_hist`), the merge sums them bucket-wise and
+/// recomputes p50/p95/p99 from the fleet histogram. Only when neither
+/// side has a histogram (an old peer that predates histogram transport)
+/// does the merge fall back to the request-weighted average of the
+/// percentile points — an approximation, documented rather than hidden.
+/// `mean_us` and `max_us` are exact in both modes.
 
-/// Folds `src` into `dst` (sums, maxes, weighted percentiles).
+/// Folds `src` into `dst` (sums, maxes, exact histogram percentiles).
 void MergeInto(ServingStats* dst, const ServingStats& src);
 
 /// Folds `src` into `dst` (pure counter sums).
@@ -25,6 +26,9 @@ void MergeInto(CacheStats* dst, const CacheStats& src);
 /// Folds `src` into `dst`: counters sum, `connections_active` sums (each
 /// shard's gauge counts distinct sockets), `max_inflight_per_conn` maxes.
 void MergeInto(NetStats* dst, const NetStats& src);
+
+/// Folds `src` into `dst`: counters sum, `last_published_version` maxes.
+void MergeInto(OnlineStats* dst, const OnlineStats& src);
 
 /// Folds a full per-shard snapshot into `dst`: totals and cache merge as
 /// above, rejection counters sum, per-slot entries merge by slot name

@@ -366,6 +366,8 @@ TEST(NetCodecTest, BinaryStatsResponseRoundTripsEveryField) {
   stats.total.batched_lists = 512;
   stats.total.max_batch_size = 8;
   stats.total.batch_size_hist[3] = 12;
+  stats.total.latency_hist[0] = 40;
+  stats.total.latency_hist[200] = 2;
   stats.cache.hits = 7;
   stats.cache.negative_hits = 3;
   stats.cache.negative_inserts = 4;
@@ -377,7 +379,18 @@ TEST(NetCodecTest, BinaryStatsResponseRoundTripsEveryField) {
   stats.net.frames_in = 111;
   stats.net.stats_frames = 4;
   stats.net.load_frames = 2;
+  stats.net.feedback_frames = 15;
   stats.net.max_inflight_per_conn = 13;
+  stats.has_online = true;
+  stats.online.feedback_appended = 90;
+  stats.online.feedback_dropped = 1;
+  stats.online.feedback_drained = 88;
+  stats.online.train_rounds = 11;
+  stats.online.trained_lists = 88;
+  stats.online.publishes = 3;
+  stats.online.publish_rejected = 1;
+  stats.online.publish_skipped = 2;
+  stats.online.last_published_version = 4;
   serve::RouterStats::SlotEntry slot;
   slot.slot = "main";
   slot.model_name = "rapid-v2";
@@ -401,6 +414,8 @@ TEST(NetCodecTest, BinaryStatsResponseRoundTripsEveryField) {
   EXPECT_EQ(decoded.stats.total.max_us, 5000u);
   EXPECT_EQ(decoded.stats.total.max_queue_depth, 17);
   EXPECT_EQ(decoded.stats.total.batch_size_hist[3], 12u);
+  EXPECT_EQ(decoded.stats.total.latency_hist[0], 40u);
+  EXPECT_EQ(decoded.stats.total.latency_hist[200], 2u);
   EXPECT_EQ(decoded.stats.cache.negative_hits, 3u);
   EXPECT_EQ(decoded.stats.cache.negative_inserts, 4u);
   EXPECT_EQ(decoded.stats.unknown_slot, 2u);
@@ -411,7 +426,18 @@ TEST(NetCodecTest, BinaryStatsResponseRoundTripsEveryField) {
   EXPECT_EQ(decoded.stats.net.frames_in, 111u);
   EXPECT_EQ(decoded.stats.net.stats_frames, 4u);
   EXPECT_EQ(decoded.stats.net.load_frames, 2u);
+  EXPECT_EQ(decoded.stats.net.feedback_frames, 15u);
   EXPECT_EQ(decoded.stats.net.max_inflight_per_conn, 13);
+  ASSERT_TRUE(decoded.stats.has_online);
+  EXPECT_EQ(decoded.stats.online.feedback_appended, 90u);
+  EXPECT_EQ(decoded.stats.online.feedback_dropped, 1u);
+  EXPECT_EQ(decoded.stats.online.feedback_drained, 88u);
+  EXPECT_EQ(decoded.stats.online.train_rounds, 11u);
+  EXPECT_EQ(decoded.stats.online.trained_lists, 88u);
+  EXPECT_EQ(decoded.stats.online.publishes, 3u);
+  EXPECT_EQ(decoded.stats.online.publish_rejected, 1u);
+  EXPECT_EQ(decoded.stats.online.publish_skipped, 2u);
+  EXPECT_EQ(decoded.stats.online.last_published_version, 4u);
   ASSERT_EQ(decoded.stats.slots.size(), 1u);
   EXPECT_EQ(decoded.stats.slots[0].slot, "main");
   EXPECT_EQ(decoded.stats.slots[0].model_name, "rapid-v2");
@@ -426,13 +452,26 @@ TEST(NetCodecTest, JsonStatsResponseCarriesArbitrarilyLongText) {
   response.format = net::StatsFormat::kJson;
   // Deliberately far beyond max_string_bytes: the JSON rendering is raw
   // payload, not a length-prefixed string.
-  response.json.assign(10'000, 'x');
+  response.text.assign(10'000, 'x');
   std::vector<uint8_t> bytes;
   net::EncodeStatsResponse(response, &bytes);
   net::WireStatsResponse decoded;
   ASSERT_TRUE(net::ParseStatsResponse(ExtractOne(bytes), &decoded));
   EXPECT_EQ(decoded.format, net::StatsFormat::kJson);
-  EXPECT_EQ(decoded.json, response.json);
+  EXPECT_EQ(decoded.text, response.text);
+}
+
+TEST(NetCodecTest, PrometheusStatsResponseUsesTheTextChannel) {
+  net::WireStatsResponse response;
+  response.request_id = 25;
+  response.format = net::StatsFormat::kPrometheus;
+  response.text = "# TYPE rapid_requests_total counter\nrapid_requests_total 5\n";
+  std::vector<uint8_t> bytes;
+  net::EncodeStatsResponse(response, &bytes);
+  net::WireStatsResponse decoded;
+  ASSERT_TRUE(net::ParseStatsResponse(ExtractOne(bytes), &decoded));
+  EXPECT_EQ(decoded.format, net::StatsFormat::kPrometheus);
+  EXPECT_EQ(decoded.text, response.text);
 }
 
 TEST(NetCodecTest, LoadFramesRoundTrip) {
@@ -505,6 +544,74 @@ TEST(NetCodecTest, OversizedStringsTruncateWithoutDesynchronizingFrames) {
   ASSERT_TRUE(net::ParseLoadResponse(frame2, &decoded2, big));
   EXPECT_EQ(decoded2.request_id, 78u);
   EXPECT_EQ(decoded2.message, "next frame intact");
+}
+
+TEST(NetCodecTest, FeedbackFramesRoundTrip) {
+  net::WireFeedback feedback;
+  feedback.request_id = 41;
+  feedback.slot = "online";
+  feedback.model_version = 6;
+  feedback.user_id = 42;
+  feedback.items = {9, 3, 7, 1};
+  feedback.clicks = {1, 0, 0, 1};
+  std::vector<uint8_t> bytes;
+  net::EncodeFeedback(feedback, &bytes);
+  net::Frame frame = ExtractOne(bytes);
+  EXPECT_EQ(frame.header.type, net::FrameType::kFeedback);
+  net::WireFeedback decoded;
+  ASSERT_TRUE(net::ParseFeedback(frame, &decoded));
+  EXPECT_EQ(decoded.request_id, 41u);
+  EXPECT_EQ(decoded.slot, "online");
+  EXPECT_EQ(decoded.model_version, 6u);
+  EXPECT_EQ(decoded.user_id, 42);
+  EXPECT_EQ(decoded.items, feedback.items);
+  EXPECT_EQ(decoded.clicks, feedback.clicks);
+
+  net::WireFeedbackAck ack;
+  ack.request_id = 41;
+  ack.accepted = false;
+  ack.message = "feedback log full or closed";
+  bytes.clear();
+  net::EncodeFeedbackAck(ack, &bytes);
+  net::WireFeedbackAck decoded_ack;
+  ASSERT_TRUE(net::ParseFeedbackAck(ExtractOne(bytes), &decoded_ack));
+  EXPECT_EQ(decoded_ack.request_id, 41u);
+  EXPECT_FALSE(decoded_ack.accepted);
+  EXPECT_EQ(decoded_ack.message, "feedback log full or closed");
+}
+
+TEST(NetCodecTest, FeedbackClickLabelsMustAlignAndBeBinary) {
+  net::WireFeedback feedback;
+  feedback.request_id = 42;
+  feedback.slot = "online";
+  feedback.user_id = 1;
+  feedback.items = {5, 6, 7};
+  feedback.clicks = {1, 0, 1};
+  std::vector<uint8_t> bytes;
+  net::EncodeFeedback(feedback, &bytes);
+
+  // Click count sits last on the wire; shrink it so the arrays disagree.
+  {
+    std::vector<uint8_t> torn = bytes;
+    const size_t clicks_count_off = torn.size() - feedback.clicks.size() - 4;
+    const uint32_t two = 2;
+    std::memcpy(torn.data() + clicks_count_off, &two, sizeof(two));
+    // Fix the header length so framing still accepts the shorter payload.
+    const uint32_t payload_len =
+        static_cast<uint32_t>(torn.size() - 1 - net::kFrameHeaderBytes);
+    std::memcpy(torn.data() + 16, &payload_len, 4);
+    torn.pop_back();
+    net::WireFeedback decoded;
+    EXPECT_FALSE(net::ParseFeedback(ExtractOne(torn), &decoded));
+  }
+
+  // A click label other than 0/1 is rejected, not clamped.
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[bad.size() - 1] = 7;
+    net::WireFeedback decoded;
+    EXPECT_FALSE(net::ParseFeedback(ExtractOne(bad), &decoded));
+  }
 }
 
 TEST(NetCodecTest, TruncatedStatsResponseFailsCleanly) {

@@ -1,0 +1,113 @@
+#ifndef RAPID_TESTS_PROPTEST_H_
+#define RAPID_TESTS_PROPTEST_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+// A deliberately small seeded property-testing harness: generate random
+// inputs, check a predicate over each, and on the first failure greedily
+// shrink the counterexample before reporting it. No macros, no global
+// registry — just three callables:
+//
+//   proptest::ForAll(seed, trials,
+//       /*gen=*/    [](std::mt19937_64& rng) -> T { ... },
+//       /*shrink=*/ [](const T& v) -> std::vector<T> { ... },
+//       /*check=*/  [](const T& v) -> bool { ... },
+//       /*describe=*/[](const T& v) -> std::string { ... });
+//
+// returns a `testing::AssertionResult`, so tests wrap it in EXPECT_TRUE.
+// `shrink` proposes strictly-smaller candidates; the harness repeatedly
+// takes the first candidate that still fails until none do, yielding a
+// locally minimal counterexample. The seed is printed on failure so a run
+// is reproducible by construction.
+namespace rapid::proptest {
+
+template <typename T, typename Gen, typename Shrink, typename Check,
+          typename Describe>
+testing::AssertionResult ForAllImpl(uint64_t seed, int trials, Gen gen,
+                                    Shrink shrink, Check check,
+                                    Describe describe) {
+  std::mt19937_64 rng(seed);
+  for (int trial = 0; trial < trials; ++trial) {
+    T value = gen(rng);
+    if (check(value)) continue;
+    // Greedy shrink: restart from the first still-failing candidate until
+    // a fixed point. Bounded by total size, since candidates shrink.
+    int shrink_steps = 0;
+    for (bool shrunk = true; shrunk && shrink_steps < 10'000;) {
+      shrunk = false;
+      for (T& candidate : shrink(value)) {
+        if (!check(candidate)) {
+          value = std::move(candidate);
+          shrunk = true;
+          ++shrink_steps;
+          break;
+        }
+      }
+    }
+    return testing::AssertionFailure()
+           << "property failed at trial " << trial << " (seed " << seed
+           << ", " << shrink_steps << " shrink steps); minimal "
+           << "counterexample: " << describe(value);
+  }
+  return testing::AssertionSuccess();
+}
+
+template <typename Gen, typename Shrink, typename Check, typename Describe>
+testing::AssertionResult ForAll(uint64_t seed, int trials, Gen gen,
+                                Shrink shrink, Check check,
+                                Describe describe) {
+  using T = decltype(gen(std::declval<std::mt19937_64&>()));
+  return ForAllImpl<T>(seed, trials, gen, shrink, check, describe);
+}
+
+/// Standard shrinker for byte buffers: remove chunks of halving size from
+/// every offset, then zero out individual non-zero bytes. Produces only
+/// candidates that are smaller (or equal-size but simpler), so greedy
+/// shrinking terminates.
+inline std::vector<std::vector<uint8_t>> ShrinkBytes(
+    const std::vector<uint8_t>& bytes) {
+  std::vector<std::vector<uint8_t>> out;
+  for (size_t chunk = bytes.size(); chunk >= 1; chunk /= 2) {
+    for (size_t at = 0; at + chunk <= bytes.size(); at += chunk) {
+      std::vector<uint8_t> candidate;
+      candidate.reserve(bytes.size() - chunk);
+      candidate.insert(candidate.end(), bytes.begin(),
+                       bytes.begin() + static_cast<ptrdiff_t>(at));
+      candidate.insert(candidate.end(),
+                       bytes.begin() + static_cast<ptrdiff_t>(at + chunk),
+                       bytes.end());
+      out.push_back(std::move(candidate));
+    }
+    if (chunk == 1) break;
+  }
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (bytes[i] == 0) continue;
+    std::vector<uint8_t> candidate = bytes;
+    candidate[i] = 0;
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+inline std::string DescribeBytes(const std::vector<uint8_t>& bytes) {
+  std::ostringstream os;
+  os << bytes.size() << " bytes [";
+  const size_t shown = bytes.size() < 64 ? bytes.size() : 64;
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) os << ' ';
+    os << std::hex << static_cast<int>(bytes[i]) << std::dec;
+  }
+  if (shown < bytes.size()) os << " ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace rapid::proptest
+
+#endif  // RAPID_TESTS_PROPTEST_H_

@@ -588,5 +588,79 @@ TEST(StatsMergeTest, CountersSumMaximaMaxPercentilesWeight) {
   EXPECT_EQ(merged.slots[1].stats.requests, 400u);
 }
 
+TEST(StatsMergeTest, HistogramsSumAndPercentilesAreExactNotWeighted) {
+  // Shard A: 90 fast requests (~100us). Shard B: 10 slow ones (~5ms).
+  // The fleet p99 lives in B's bucket; a request-weighted average of the
+  // per-shard p99 points would land nowhere near it.
+  const int fast_bin = serve::ServingStats::LatencyBucketIndex(100);
+  const int slow_bin = serve::ServingStats::LatencyBucketIndex(5000);
+  ASSERT_NE(fast_bin, slow_bin);
+
+  serve::ServingStats a, b;
+  a.requests = 90;
+  a.latency_hist[fast_bin] = 90;
+  a.p50_us = a.p95_us = a.p99_us = 111.0;  // Stale points, must be ignored.
+  b.requests = 10;
+  b.latency_hist[slow_bin] = 10;
+  b.p50_us = b.p95_us = b.p99_us = 5555.0;
+
+  serve::ServingStats merged;
+  serve::MergeInto(&merged, a);
+  serve::MergeInto(&merged, b);
+
+  EXPECT_EQ(merged.requests, 100u);
+  EXPECT_EQ(merged.latency_hist[fast_bin], 90u);
+  EXPECT_EQ(merged.latency_hist[slow_bin], 10u);
+  // Rank 49 of 100 sits in the fast bucket; ranks 94 and 99 in the slow
+  // one. Exact recompute returns bucket lower bounds, not 111/5555 blends.
+  const double fast_us = serve::ServingStats::LatencyBucketValue(fast_bin);
+  const double slow_us = serve::ServingStats::LatencyBucketValue(slow_bin);
+  EXPECT_DOUBLE_EQ(merged.p50_us, fast_us);
+  EXPECT_DOUBLE_EQ(merged.p95_us, slow_us);
+  EXPECT_DOUBLE_EQ(merged.p99_us, slow_us);
+  // The weighted average of the stale points (0.9*111 + 0.1*5555 = 655.4)
+  // must NOT survive anywhere.
+  EXPECT_GT(merged.p99_us, 1000.0);
+}
+
+TEST(StatsMergeTest, OnlineCountersSumVersionsMaxAndPresencePropagates) {
+  serve::RouterStats a, b, c;
+  a.has_online = true;
+  a.online.feedback_appended = 10;
+  a.online.feedback_dropped = 1;
+  a.online.feedback_drained = 9;
+  a.online.train_rounds = 3;
+  a.online.trained_lists = 9;
+  a.online.publishes = 2;
+  a.online.publish_rejected = 1;
+  a.online.publish_skipped = 0;
+  a.online.last_published_version = 7;
+  b.has_online = true;
+  b.online.feedback_appended = 5;
+  b.online.publish_skipped = 2;
+  b.online.last_published_version = 4;
+  // c has no online loop; merging it must not clear the flag.
+
+  serve::RouterStats merged;
+  serve::MergeInto(&merged, a);
+  serve::MergeInto(&merged, b);
+  serve::MergeInto(&merged, c);
+
+  EXPECT_TRUE(merged.has_online);
+  EXPECT_EQ(merged.online.feedback_appended, 15u);
+  EXPECT_EQ(merged.online.feedback_dropped, 1u);
+  EXPECT_EQ(merged.online.feedback_drained, 9u);
+  EXPECT_EQ(merged.online.train_rounds, 3u);
+  EXPECT_EQ(merged.online.trained_lists, 9u);
+  EXPECT_EQ(merged.online.publishes, 2u);
+  EXPECT_EQ(merged.online.publish_rejected, 1u);
+  EXPECT_EQ(merged.online.publish_skipped, 2u);
+  EXPECT_EQ(merged.online.last_published_version, 7u);
+
+  serve::RouterStats none;
+  serve::MergeInto(&none, c);
+  EXPECT_FALSE(none.has_online);
+}
+
 }  // namespace
 }  // namespace rapid
