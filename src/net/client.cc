@@ -56,8 +56,16 @@ bool Client::Reconnect() {
 bool Client::WriteAll(const std::vector<uint8_t>& frame) {
   size_t written = 0;
   while (written < frame.size()) {
-    const ssize_t n = ::send(fd_, frame.data() + written,
-                             frame.size() - written, MSG_NOSIGNAL);
+    size_t want = frame.size() - written;
+    if (fault_plan_ != nullptr) {
+      if (fault_plan_->InjectReset()) {
+        // Mid-frame reset: the server is left holding a torn prefix.
+        AbortConnection();
+        return false;
+      }
+      want = fault_plan_->ClampWrite(want);
+    }
+    const ssize_t n = ::send(fd_, frame.data() + written, want, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;
@@ -65,6 +73,15 @@ bool Client::WriteAll(const std::vector<uint8_t>& frame) {
     written += static_cast<size_t>(n);
   }
   return true;
+}
+
+void Client::AbortConnection() {
+  if (fd_ < 0) return;
+  // SO_LINGER with zero timeout turns close() into an RST — the server's
+  // read path sees a hard error, not a clean EOF.
+  const linger hard{1, 0};
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  Close();
 }
 
 uint64_t Client::Send(WireRequest* request) {
@@ -130,7 +147,15 @@ Client::RecvStatus Client::ReadFrameStatus(Reply* out, int timeout_ms) {
       if (ready <= 0) return RecvStatus::kTimeout;
     }
     uint8_t scratch[16384];
-    const ssize_t n = ::read(fd_, scratch, sizeof(scratch));
+    size_t want = sizeof(scratch);
+    if (fault_plan_ != nullptr) {
+      if (fault_plan_->InjectReset()) {
+        AbortConnection();
+        return RecvStatus::kClosed;
+      }
+      want = fault_plan_->ClampRead(want);
+    }
+    const ssize_t n = ::read(fd_, scratch, want);
     if (n == 0) return RecvStatus::kClosed;  // Clean EOF (server drained).
     if (n < 0) {
       if (errno == EINTR) continue;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/codec.h"
+#include "net/fault.h"
 
 namespace rapid::net {
 
@@ -121,6 +122,15 @@ class Client {
                     const std::vector<uint8_t>& clicks, bool* accepted,
                     int timeout_ms = -1);
 
+  /// Deterministic fault injection (tests only; see net/fault.h): when a
+  /// plan is set, writes may be split partial, reads clamped short, and
+  /// the connection aborted with an RST mid-stream — on the plan's
+  /// seeded, replayable schedule. The client is single-threaded, so the
+  /// plan's injection points are visited in a deterministic order and a
+  /// faulty session replays bit-identically from its seed. Null restores
+  /// the untouched I/O paths. Borrowed; must outlive the client.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
   /// Asks the server to `LoadSlot(slot, path)` (the path names a snapshot
   /// on the *server's* filesystem). True when a load response arrived:
   /// `*version` is the published version, 0 when the server refused
@@ -136,6 +146,9 @@ class Client {
   RecvStatus ReadFrameStatus(Reply* out, int timeout_ms);
   /// Blocking-writes `frame`; false on any write failure.
   bool WriteAll(const std::vector<uint8_t>& frame);
+  /// Fault seam: tears the connection down with an RST (SO_LINGER 0) so
+  /// the server sees a genuine reset, not a polite FIN.
+  void AbortConnection();
   /// Drains replies until `id`'s arrives (others are stashed).
   /// `timeout_ms` bounds the *whole* wait with one absolute deadline, not
   /// each frame read.
@@ -148,6 +161,7 @@ class Client {
   std::vector<uint8_t> rbuf_;
   std::deque<Reply> stashed_;
   CodecLimits limits_;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace rapid::net

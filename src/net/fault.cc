@@ -1,0 +1,147 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rapid::net {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixing the shard ring uses; cheap and
+/// statistically fine for schedule decisions.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+FaultConfig Sanitized(FaultConfig cfg) {
+  const auto clamp01 = [](double rate) {
+    return std::clamp(rate, 0.0, 1.0);
+  };
+  cfg.partial_write_rate = clamp01(cfg.partial_write_rate);
+  cfg.short_read_rate = clamp01(cfg.short_read_rate);
+  cfg.reset_rate = clamp01(cfg.reset_rate);
+  cfg.delay_rate = clamp01(cfg.delay_rate);
+  cfg.max_delay_ticks = std::max(cfg.max_delay_ticks, 1);
+  cfg.min_io_bytes = std::max<size_t>(cfg.min_io_bytes, 1);
+  return cfg;
+}
+
+const char* KindName(FaultDecision::Kind kind) {
+  switch (kind) {
+    case FaultDecision::Kind::kPartialWrite:
+      return "partial_write";
+    case FaultDecision::Kind::kShortRead:
+      return "short_read";
+    case FaultDecision::Kind::kReset:
+      return "reset";
+    case FaultDecision::Kind::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultConfig config) : config_(Sanitized(config)) {}
+
+uint64_t FaultPlan::Draw(uint64_t op, uint64_t salt) const {
+  return Mix(config_.seed ^ Mix(op ^ Mix(salt)));
+}
+
+double FaultPlan::DrawUnit(uint64_t op, uint64_t salt) const {
+  // 53 mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Draw(op, salt) >> 11) * 0x1.0p-53;
+}
+
+void FaultPlan::Record(uint64_t op, FaultDecision::Kind kind, uint64_t arg) {
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  trace_.push_back({op, kind, arg});
+}
+
+size_t FaultPlan::ClampWrite(size_t want) {
+  const uint64_t op = next_op_.fetch_add(1, std::memory_order_relaxed);
+  if (want <= config_.min_io_bytes) return want;
+  if (DrawUnit(op, 1) >= config_.partial_write_rate) return want;
+  const size_t span = want - config_.min_io_bytes;
+  const size_t allowed = config_.min_io_bytes + Draw(op, 2) % span;
+  Record(op, FaultDecision::Kind::kPartialWrite, allowed);
+  return allowed;
+}
+
+size_t FaultPlan::ClampRead(size_t want) {
+  const uint64_t op = next_op_.fetch_add(1, std::memory_order_relaxed);
+  if (want <= config_.min_io_bytes) return want;
+  if (DrawUnit(op, 3) >= config_.short_read_rate) return want;
+  // Short reads bias tiny: sliced headers are where resume bugs live.
+  const size_t cap = std::min<size_t>(want, 16);
+  const size_t allowed =
+      config_.min_io_bytes + Draw(op, 4) % std::max<size_t>(cap, 1);
+  const size_t clamped = std::min(allowed, want);
+  Record(op, FaultDecision::Kind::kShortRead, clamped);
+  return clamped;
+}
+
+bool FaultPlan::InjectReset() {
+  const uint64_t op = next_op_.fetch_add(1, std::memory_order_relaxed);
+  if (DrawUnit(op, 5) >= config_.reset_rate) return false;
+  Record(op, FaultDecision::Kind::kReset, 1);
+  return true;
+}
+
+int FaultPlan::NextFrameDelayTicks() {
+  const uint64_t op = next_op_.fetch_add(1, std::memory_order_relaxed);
+  if (DrawUnit(op, 6) >= config_.delay_rate) return 0;
+  const int ticks =
+      1 + static_cast<int>(Draw(op, 7) %
+                           static_cast<uint64_t>(config_.max_delay_ticks));
+  Record(op, FaultDecision::Kind::kDelay, static_cast<uint64_t>(ticks));
+  return ticks;
+}
+
+std::vector<FaultDecision> FaultPlan::Trace() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_;
+}
+
+uint64_t FaultPlan::TraceDigest() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis.
+  const auto fold = [&hash](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (v >> (byte * 8)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const FaultDecision& d : trace_) {
+    fold(d.op);
+    fold(static_cast<uint64_t>(d.kind));
+    fold(d.arg);
+  }
+  return hash;
+}
+
+std::string FaultPlan::TraceSummary(size_t max_entries) const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  std::ostringstream os;
+  os << trace_.size() << " faults";
+  const size_t shown = std::min(trace_.size(), max_entries);
+  for (size_t i = 0; i < shown; ++i) {
+    os << (i == 0 ? ": " : ", ") << "op " << trace_[i].op << ' '
+       << KindName(trace_[i].kind) << '(' << trace_[i].arg << ')';
+  }
+  if (shown < trace_.size()) os << ", ...";
+  return os.str();
+}
+
+void FaultPlan::Restart() {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  trace_.clear();
+  next_op_.store(0, std::memory_order_relaxed);
+  faults_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rapid::net

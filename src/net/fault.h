@@ -1,0 +1,127 @@
+#ifndef RAPID_NET_FAULT_H_
+#define RAPID_NET_FAULT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rapid::net {
+
+/// Deterministic fault-injection rates. All rates are probabilities in
+/// [0, 1] evaluated independently at each injection point; 0 disables
+/// that fault class. The *schedule* is a pure function of `seed` and the
+/// injection-point visit order, never of wall-clock or kernel state —
+/// which is what makes a faulty run replayable (see `FaultPlan`).
+struct FaultConfig {
+  uint64_t seed = 1;
+  /// Probability a socket write is split short (a "partial write"): only
+  /// a prefix of the requested bytes is handed to the kernel, the rest
+  /// follows at the next writable opportunity. Exercises every resume
+  /// path that a full-buffer `send` would.
+  double partial_write_rate = 0.0;
+  /// Probability a socket read is clamped to a small byte count (a
+  /// "short read"): frames arrive sliced at arbitrary offsets, so every
+  /// `kNeedMore` resume path in the decoder runs for real.
+  double short_read_rate = 0.0;
+  /// Probability the connection is torn down at an injection point. The
+  /// client seam aborts with an RST (SO_LINGER 0); the server seam drops
+  /// the connection as if the peer vanished.
+  double reset_rate = 0.0;
+  /// Probability a completed response frame is held back for
+  /// 1..max_delay_ticks event-loop ticks before entering the socket —
+  /// reorders wall-clock arrival against completion order and stretches
+  /// pipelining windows (server seam only).
+  double delay_rate = 0.0;
+  int max_delay_ticks = 3;
+  /// Floor for clamped reads/writes, bytes. >= 1.
+  size_t min_io_bytes = 1;
+};
+
+/// One recorded fault decision: the op index at which it fired, what it
+/// was, and its magnitude (bytes allowed for clamps, ticks for delays,
+/// 1 for resets).
+struct FaultDecision {
+  uint64_t op = 0;
+  enum class Kind : uint8_t { kPartialWrite, kShortRead, kReset, kDelay };
+  Kind kind = Kind::kPartialWrite;
+  uint64_t arg = 0;
+};
+
+/// A seeded, deterministic fault schedule shared by the net seams.
+///
+/// Every injection point (`ClampWrite`, `ClampRead`, `InjectReset`,
+/// `NextFrameDelayTicks`) consumes one op index from an atomic counter;
+/// the decision for op `i` is a pure function of `(config.seed, i)`. Two
+/// runs that visit the injection points in the same order therefore
+/// inject *exactly* the same faults — and both seams guarantee that
+/// order: the server's points are all visited by its single event-loop
+/// thread, the client's by its single calling thread. The plan records
+/// every fired fault in a trace whose FNV-1a `TraceDigest` gives a
+/// compact replay-bit-identity check: same seed, same digest.
+///
+/// Test-only surface — a null plan pointer (the default everywhere)
+/// compiles to the untouched I/O paths.
+///
+/// Thread safety: all methods are safe to call concurrently (atomic op
+/// counter, mutex-guarded trace), though replay determinism additionally
+/// requires a deterministic visit order as above.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultConfig config = {});
+
+  /// Bytes the caller may hand to `send` out of `want` (>= 1). Returns
+  /// `want` untouched unless a partial-write fault fires.
+  size_t ClampWrite(size_t want);
+
+  /// Bytes the caller may ask `read` for out of `want` (>= 1).
+  size_t ClampRead(size_t want);
+
+  /// True when the connection should be torn down right now.
+  bool InjectReset();
+
+  /// Event-loop ticks to hold the next completed frame back; 0 = none.
+  int NextFrameDelayTicks();
+
+  /// Injection points visited so far (fired or not).
+  uint64_t ops() const { return next_op_.load(std::memory_order_relaxed); }
+
+  /// Faults actually fired so far.
+  uint64_t faults() const { return faults_.load(std::memory_order_relaxed); }
+
+  /// Every fired fault, in firing order.
+  std::vector<FaultDecision> Trace() const;
+
+  /// FNV-1a over the trace — equal digests mean the two runs fired
+  /// byte-identical fault schedules.
+  uint64_t TraceDigest() const;
+
+  /// Human-readable trace summary for failure messages ("op 17
+  /// short_read->3B, op 41 reset, ...", truncated).
+  std::string TraceSummary(size_t max_entries = 16) const;
+
+  /// Rewinds the schedule to op 0 and clears the trace: the same plan
+  /// object replays its schedule from the start.
+  void Restart();
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  /// Pure decision bits for `(seed, op, salt)`.
+  uint64_t Draw(uint64_t op, uint64_t salt) const;
+  /// Uniform double in [0, 1) from `Draw`.
+  double DrawUnit(uint64_t op, uint64_t salt) const;
+  void Record(uint64_t op, FaultDecision::Kind kind, uint64_t arg);
+
+  const FaultConfig config_;
+  std::atomic<uint64_t> next_op_{0};
+  std::atomic<uint64_t> faults_{0};
+  mutable std::mutex trace_mu_;
+  std::vector<FaultDecision> trace_;
+};
+
+}  // namespace rapid::net
+
+#endif  // RAPID_NET_FAULT_H_

@@ -60,6 +60,9 @@ struct Server::Connection {
   struct OutFrame {
     std::vector<uint8_t> bytes;
     bool is_response = false;
+    /// Fault seam: event-loop ticks this frame is still held back before
+    /// any of it enters the socket. 0 outside fault-injected runs.
+    int delay_ticks = 0;
   };
   std::deque<OutFrame> wbufs;
   size_t woff = 0;
@@ -425,6 +428,7 @@ void Server::LoopThread() {
     }
 
     DrainCompletions();
+    TickFaultDelays();
     EnforceTimeouts();
   }
 
@@ -497,8 +501,18 @@ void Server::AcceptReady() {
 
 void Server::ReadReady(Connection* conn) {
   char scratch[16384];
+  if (config_.fault_plan != nullptr && config_.fault_plan->InjectReset()) {
+    // Injected peer loss: the connection vanishes exactly as it would on
+    // a hard socket error — owed responses are counted dropped.
+    CloseConnection(conn->id);
+    return;
+  }
   for (;;) {
-    const ssize_t n = ::read(conn->fd, scratch, sizeof(scratch));
+    size_t want = sizeof(scratch);
+    if (config_.fault_plan != nullptr) {
+      want = config_.fault_plan->ClampRead(want);
+    }
+    const ssize_t n = ::read(conn->fd, scratch, want);
     if (n > 0) {
       bytes_in_.fetch_add(static_cast<uint64_t>(n),
                           std::memory_order_relaxed);
@@ -675,7 +689,11 @@ void Server::QueueWrite(Connection* conn, std::vector<uint8_t> bytes) {
 void Server::QueueWriteTagged(Connection* conn, std::vector<uint8_t> bytes,
                               bool is_response) {
   conn->wbuf_bytes += bytes.size();
-  conn->wbufs.push_back({std::move(bytes), is_response});
+  int delay_ticks = 0;
+  if (config_.fault_plan != nullptr) {
+    delay_ticks = config_.fault_plan->NextFrameDelayTicks();
+  }
+  conn->wbufs.push_back({std::move(bytes), is_response, delay_ticks});
   if (conn->wbuf_bytes > config_.max_write_buffer_bytes) {
     // Slow client: it stopped reading while responses kept arriving.
     // Disconnecting bounds the server's memory; the client's unread
@@ -690,9 +708,14 @@ void Server::QueueWriteTagged(Connection* conn, std::vector<uint8_t> bytes,
 void Server::WriteReady(Connection* conn) {
   while (!conn->wbufs.empty()) {
     Connection::OutFrame& front = conn->wbufs.front();
+    if (front.delay_ticks > 0) return;  // Held by the fault seam.
     const size_t remaining = front.bytes.size() - conn->woff;
+    size_t allowed = remaining;
+    if (config_.fault_plan != nullptr) {
+      allowed = config_.fault_plan->ClampWrite(remaining);
+    }
     const ssize_t n = ::send(conn->fd, front.bytes.data() + conn->woff,
-                             remaining, MSG_NOSIGNAL);
+                             allowed, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       CloseConnection(conn->id);
@@ -748,6 +771,24 @@ void Server::CloseConnection(uint64_t conn_id) {
   ::close(conn->fd);
   active_.fetch_sub(1, std::memory_order_relaxed);
   connections_.erase(it);
+}
+
+void Server::TickFaultDelays() {
+  if (config_.fault_plan == nullptr) return;
+  std::vector<uint64_t> ready;
+  for (const auto& [id, conn] : connections_) {
+    // Only the front frame ages: held frames serialize behind it, which
+    // keeps per-connection response bytes in completion order (the frame
+    // *content* already correlates by request id).
+    if (!conn->wbufs.empty() && conn->wbufs.front().delay_ticks > 0 &&
+        --conn->wbufs.front().delay_ticks == 0) {
+      ready.push_back(id);
+    }
+  }
+  for (const uint64_t id : ready) {
+    const auto it = connections_.find(id);
+    if (it != connections_.end()) WriteReady(it->second.get());
+  }
 }
 
 void Server::EnforceTimeouts() {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/codec.h"
+#include "net/fault.h"
 #include "serve/metrics.h"
 #include "serve/router.h"
 
@@ -89,6 +90,13 @@ struct ServerConfig {
   bool use_poll = false;
   /// Decoder bounds applied to every inbound frame.
   CodecLimits limits;
+  /// Deterministic fault injection (tests only; see net/fault.h). When
+  /// set, socket reads/writes on the event loop consult the plan: reads
+  /// may be clamped short, writes split partial, connections dropped, and
+  /// completed response frames held for a few ticks — all on a seeded,
+  /// replayable schedule. Null (the default) leaves every I/O path
+  /// untouched. Borrowed; must outlive the server.
+  FaultPlan* fault_plan = nullptr;
 };
 
 /// The network serving front-end: a non-blocking accept + connection loop
@@ -194,6 +202,9 @@ class Server {
   void CloseConnection(uint64_t conn_id);
   void UpdateInterest(Connection* conn);
   void EnforceTimeouts();
+  /// Fault seam: ages injected frame delays by one event-loop tick and
+  /// flushes frames whose hold expired. No-op without a fault plan.
+  void TickFaultDelays();
   /// True once every parsed request has been answered and flushed.
   bool DrainComplete() const;
 

@@ -1,0 +1,211 @@
+// Property suite for the batched-inference contract
+// (rerank/neural_base.h): for every neural model family, `ScoreBatch`
+// over an *arbitrary* batch composition — random prefixes of the
+// candidate pool, duplicated lists, empty lists, singleton and
+// mixed-length groups — must reproduce per-list `ScoreList` bitwise, and
+// `RerankBatch` must reproduce `Rerank`. The fixed-composition version of
+// this check lives in batch_score_test.cc; here the composition itself is
+// the random variable, and counterexamples shrink to a minimal batch with
+// a replayable seed (see tests/proptest.h).
+//
+// Each family is fitted exactly once per process (1 epoch, hidden_dim 8)
+// and then scored read-only across all trials.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "click/dcm.h"
+#include "core/rapid.h"
+#include "datagen/simulator.h"
+#include "proptest.h"
+#include "rerank/neural_models.h"
+#include "rerank/seq2slate.h"
+
+namespace rapid {
+namespace {
+
+/// Dataset, training lists, and one fitted model per family — built once
+/// and shared read-only by every trial (the const-inference contract the
+/// serving tier relies on is exactly what makes this sharing legal).
+struct FittedFamilies {
+  data::Dataset data;
+  std::vector<data::ImpressionList> train;
+  std::vector<std::unique_ptr<rerank::NeuralReranker>> models;
+
+  FittedFamilies() {
+    data::SimConfig cfg;
+    cfg.kind = data::DatasetKind::kTaobao;
+    cfg.num_users = 20;
+    cfg.num_items = 120;
+    cfg.rerank_lists_per_user = 2;
+    data = data::GenerateDataset(cfg, 101);
+    click::GroundTruthClickModel dcm(&data, click::DcmConfig{});
+    std::mt19937_64 rng(2);
+    for (const data::Request& req : data.rerank_train_requests) {
+      data::ImpressionList list;
+      list.user_id = req.user_id;
+      list.items.assign(req.candidates.begin(), req.candidates.begin() + 10);
+      for (int i = 0; i < 10; ++i) list.scores.push_back(1.0f - 0.05f * i);
+      list.clicks = dcm.SimulateClicks(list.user_id, list.items, rng);
+      train.push_back(std::move(list));
+    }
+
+    rerank::NeuralRerankConfig small;
+    small.epochs = 1;
+    small.hidden_dim = 8;
+    models.push_back(std::make_unique<rerank::DlcmReranker>(small));
+    models.push_back(std::make_unique<rerank::PrmReranker>(small));
+    models.push_back(std::make_unique<rerank::SetRankReranker>(small));
+    models.push_back(std::make_unique<rerank::SrgaReranker>(small));
+    rerank::NeuralRerankConfig desa = small;
+    desa.loss = rerank::RerankLoss::kPairwiseLogistic;
+    models.push_back(std::make_unique<rerank::DesaReranker>(desa));
+    models.push_back(std::make_unique<rerank::Seq2SlateReranker>(small));
+    core::RapidConfig rapid_cfg;
+    rapid_cfg.train = small;
+    rapid_cfg.hidden_dim = 8;
+    models.push_back(std::make_unique<core::RapidReranker>(rapid_cfg));
+    for (auto& model : models) model->Fit(data, train, 6);
+  }
+};
+
+const FittedFamilies& Families() {
+  static const FittedFamilies* families = new FittedFamilies();
+  return *families;
+}
+
+/// One batch member: a prefix of a training list, or an empty list.
+struct BatchItem {
+  int source = 0;  // Index into the training pool; -1 = empty list.
+  int keep = 1;    // Prefix length (ignored for empty lists).
+};
+
+std::vector<BatchItem> RandomBatch(std::mt19937_64& rng) {
+  const int pool = static_cast<int>(Families().train.size());
+  std::uniform_int_distribution<int> len(1, 12);
+  std::uniform_int_distribution<int> source(-1, pool - 1);
+  std::uniform_int_distribution<int> keep(1, 10);
+  std::vector<BatchItem> batch(static_cast<size_t>(len(rng)));
+  for (BatchItem& item : batch) {
+    item.source = source(rng);
+    item.keep = keep(rng);
+  }
+  return batch;
+}
+
+std::string DescribeBatch(const std::vector<BatchItem>& batch) {
+  std::ostringstream os;
+  os << batch.size() << " lists [";
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (i > 0) os << ' ';
+    if (batch[i].source < 0) {
+      os << "empty";
+    } else {
+      os << batch[i].source << ":" << batch[i].keep;
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+std::vector<data::ImpressionList> Materialize(
+    const std::vector<BatchItem>& batch) {
+  const FittedFamilies& f = Families();
+  std::vector<data::ImpressionList> lists;
+  lists.reserve(batch.size());
+  for (const BatchItem& item : batch) {
+    if (item.source < 0) {
+      data::ImpressionList empty;
+      empty.user_id = f.train.front().user_id;
+      lists.push_back(std::move(empty));
+      continue;
+    }
+    data::ImpressionList list = f.train[static_cast<size_t>(item.source)];
+    const int keep =
+        std::min(item.keep, static_cast<int>(list.items.size()));
+    list.items.resize(static_cast<size_t>(keep));
+    list.scores.resize(static_cast<size_t>(keep));
+    list.clicks.clear();
+    lists.push_back(std::move(list));
+  }
+  return lists;
+}
+
+/// The invariant: batching is a pure throughput optimization, never a
+/// numeric change — bitwise, for any composition.
+bool CheckBatchEqualsSingle(const rerank::NeuralReranker& model,
+                            const std::vector<BatchItem>& batch) {
+  const FittedFamilies& f = Families();
+  const std::vector<data::ImpressionList> lists = Materialize(batch);
+  std::vector<const data::ImpressionList*> ptrs;
+  for (const data::ImpressionList& list : lists) ptrs.push_back(&list);
+
+  const std::vector<std::vector<float>> batched = model.ScoreBatch(f.data, ptrs);
+  if (batched.size() != lists.size()) return false;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    const std::vector<float> single = model.ScoreList(f.data, lists[i]);
+    if (batched[i].size() != single.size()) return false;
+    if (!single.empty() &&
+        std::memcmp(batched[i].data(), single.data(),
+                    single.size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  const std::vector<std::vector<int>> reranked = model.RerankBatch(f.data, ptrs);
+  if (reranked.size() != lists.size()) return false;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (reranked[i] != model.Rerank(f.data, lists[i])) return false;
+  }
+  return true;
+}
+
+testing::AssertionResult FamilyHoldsForArbitraryBatches(size_t family,
+                                                        uint64_t seed) {
+  const rerank::NeuralReranker& model = *Families().models[family];
+  return proptest::ForAll(
+      seed, /*trials=*/12, RandomBatch, proptest::ShrinkOps<BatchItem>,
+      [&model](const std::vector<BatchItem>& batch) {
+        return CheckBatchEqualsSingle(model, batch);
+      },
+      [&model](const std::vector<BatchItem>& batch) {
+        return model.name() + ": " + DescribeBatch(batch);
+      });
+}
+
+TEST(BatchPropertyTest, DlcmBatchesAreBitExactForArbitraryCompositions) {
+  EXPECT_TRUE(FamilyHoldsForArbitraryBatches(0, 20260830));
+}
+
+TEST(BatchPropertyTest, PrmBatchesAreBitExactForArbitraryCompositions) {
+  EXPECT_TRUE(FamilyHoldsForArbitraryBatches(1, 20260831));
+}
+
+TEST(BatchPropertyTest, SetRankBatchesAreBitExactForArbitraryCompositions) {
+  EXPECT_TRUE(FamilyHoldsForArbitraryBatches(2, 20260832));
+}
+
+TEST(BatchPropertyTest, SrgaBatchesAreBitExactForArbitraryCompositions) {
+  EXPECT_TRUE(FamilyHoldsForArbitraryBatches(3, 20260833));
+}
+
+TEST(BatchPropertyTest, DesaBatchesAreBitExactForArbitraryCompositions) {
+  EXPECT_TRUE(FamilyHoldsForArbitraryBatches(4, 20260834));
+}
+
+TEST(BatchPropertyTest, Seq2SlateBatchesAreBitExactForArbitraryCompositions) {
+  EXPECT_TRUE(FamilyHoldsForArbitraryBatches(5, 20260835));
+}
+
+TEST(BatchPropertyTest, RapidBatchesAreBitExactForArbitraryCompositions) {
+  EXPECT_TRUE(FamilyHoldsForArbitraryBatches(6, 20260836));
+}
+
+}  // namespace
+}  // namespace rapid

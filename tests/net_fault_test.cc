@@ -1,0 +1,435 @@
+// Fault-injection tests for the network layer (net/fault.h): a seeded
+// `FaultPlan` drives partial writes, short reads, connection resets, and
+// delayed response frames through the *real* server and client I/O paths,
+// and every run is replayable from its seed:
+//
+//   - the plan's decisions are a pure function of (seed, op index);
+//   - a faulty client session replays bit-identically — same fault trace
+//     digest, same response payloads — across two runs with one seed;
+//   - RST-torn connections recover by reconnect, and no response ever
+//     pairs a model version with items that version did not produce, even
+//     with hot swaps racing the faults;
+//   - server-side delayed frames keep request/response correlation intact
+//     and a graceful drain still drops zero responses;
+//   - feedback frames survive a faulty transport losslessly and in order.
+//
+// Every assertion message carries the active seed; export
+// RAPID_PROPTEST_SEED=<seed> to replay a failing schedule exactly
+// (tests/proptest.h documents the recipe).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/fault.h"
+#include "net/server.h"
+#include "online/feedback.h"
+#include "proptest.h"
+#include "serve/router.h"
+
+namespace rapid {
+namespace {
+
+using namespace std::chrono_literals;
+
+class RotateReranker : public rerank::Reranker {
+ public:
+  explicit RotateReranker(int shift) : shift_(shift) {}
+
+  std::string name() const override {
+    return "rotate-" + std::to_string(shift_);
+  }
+
+  std::vector<int> Rerank(const data::Dataset& /*data*/,
+                          const data::ImpressionList& list) const override {
+    std::vector<int> out = list.items;
+    if (!out.empty()) {
+      std::rotate(out.begin(),
+                  out.begin() + (shift_ % static_cast<int>(out.size())),
+                  out.end());
+    }
+    return out;
+  }
+
+ private:
+  const int shift_;
+};
+
+data::ImpressionList TenItemList(int user_id = 0) {
+  data::ImpressionList list;
+  list.user_id = user_id;
+  for (int i = 0; i < 10; ++i) {
+    list.items.push_back(i);
+    list.scores.push_back(1.0f - 0.05f * i);
+  }
+  return list;
+}
+
+std::vector<int> Rotated(const std::vector<int>& items, int shift) {
+  std::vector<int> out = items;
+  std::rotate(out.begin(), out.begin() + shift, out.end());
+  return out;
+}
+
+net::WireRequest MakeRequest(const std::string& slot,
+                             const data::ImpressionList& list) {
+  net::WireRequest request;
+  request.slot = slot;
+  request.lane = serve::Lane::kHigh;
+  request.list = list;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan is a pure function of (seed, op index).
+
+TEST(FaultPlanTest, DecisionsAreAPureFunctionOfSeedAndOpIndex) {
+  net::FaultConfig config;
+  config.seed = proptest::SeedFromEnv(20260850);
+  config.partial_write_rate = 0.5;
+  config.short_read_rate = 0.5;
+  config.reset_rate = 0.1;
+  config.delay_rate = 0.5;
+
+  auto drive = [](net::FaultPlan& plan) {
+    std::vector<uint64_t> decisions;
+    for (int i = 0; i < 200; ++i) {
+      switch (i % 4) {
+        case 0:
+          decisions.push_back(plan.ClampWrite(1000));
+          break;
+        case 1:
+          decisions.push_back(plan.ClampRead(1000));
+          break;
+        case 2:
+          decisions.push_back(plan.InjectReset() ? 1 : 0);
+          break;
+        default:
+          decisions.push_back(
+              static_cast<uint64_t>(plan.NextFrameDelayTicks()));
+      }
+    }
+    return decisions;
+  };
+
+  net::FaultPlan a(config);
+  net::FaultPlan b(config);
+  EXPECT_EQ(drive(a), drive(b)) << "seed " << config.seed;
+  EXPECT_EQ(a.TraceDigest(), b.TraceDigest()) << "seed " << config.seed;
+  EXPECT_GT(a.faults(), 0u) << "seed " << config.seed;
+
+  // Restart rewinds to op 0: the same plan object replays itself.
+  a.Restart();
+  const std::vector<uint64_t> first = drive(a);
+  a.Restart();
+  EXPECT_EQ(drive(a), first) << "seed " << config.seed;
+
+  // A different seed gives a genuinely different schedule.
+  net::FaultConfig other = config;
+  other.seed = config.seed + 1;
+  net::FaultPlan c(other);
+  EXPECT_NE(drive(c), first) << "seed " << config.seed;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical replay of a faulty client session.
+
+/// One observed session: the fault trace digest plus every response's
+/// payload, keyed by request id.
+struct SessionRecord {
+  uint64_t digest = 0;
+  uint64_t faults = 0;
+  std::map<uint64_t, std::pair<uint64_t, std::vector<int>>> responses;
+
+  bool operator==(const SessionRecord& other) const {
+    return digest == other.digest && faults == other.faults &&
+           responses == other.responses;
+  }
+};
+
+/// Runs one pipelined session against `port` with write-path faults from
+/// `seed`. All sends complete before the first read: the write-side op
+/// sequence is then a pure function of the seed (reads also consume plan
+/// ops, but their count is timing-dependent — with the read-fault rates
+/// at zero those ops never fire, so the trace stays deterministic).
+SessionRecord RunFaultySession(uint16_t port, uint64_t seed, int requests) {
+  net::FaultConfig config;
+  config.seed = seed;
+  config.partial_write_rate = 0.6;
+  net::FaultPlan plan(config);
+
+  net::Client client;
+  client.set_fault_plan(&plan);
+  SessionRecord record;
+  if (!client.Connect("127.0.0.1", port)) return record;
+  for (int i = 0; i < requests; ++i) {
+    net::WireRequest request = MakeRequest("main", TenItemList(i));
+    const uint64_t id = client.Send(&request);
+    if (id == 0) return record;  // Write faults never kill the session.
+  }
+  record.digest = plan.TraceDigest();
+  record.faults = plan.faults();
+  for (int i = 0; i < requests; ++i) {
+    net::Client::Reply reply;
+    if (!client.Receive(&reply, /*timeout_ms=*/5000) || reply.is_error) {
+      return record;
+    }
+    record.responses[reply.response.request_id] = {
+        reply.response.model_version, reply.response.items};
+  }
+  return record;
+}
+
+TEST(NetFaultTest, FaultySessionReplaysBitIdenticallyFromItsSeed) {
+  const data::Dataset data;
+  serve::ServingRouter router(data, {});
+  ASSERT_EQ(router.InstallSlot("main", std::make_shared<RotateReranker>(3)),
+            1u);
+  net::Server server(router);
+  ASSERT_TRUE(server.Start());
+
+  const uint64_t seed = proptest::SeedFromEnv(20260851);
+  constexpr int kRequests = 20;
+  const SessionRecord first = RunFaultySession(server.port(), seed, kRequests);
+  const SessionRecord second = RunFaultySession(server.port(), seed, kRequests);
+
+  ASSERT_EQ(first.responses.size(), static_cast<size_t>(kRequests))
+      << "seed " << seed;
+  EXPECT_GT(first.faults, 0u) << "seed " << seed
+                              << ": no partial write ever fired";
+  EXPECT_TRUE(first == second)
+      << "seed " << seed << " did not replay bit-identically; run 1 trace: "
+      << first.digest << " (" << first.faults << " faults), run 2 trace: "
+      << second.digest << " (" << second.faults << " faults)";
+
+  // Faults changed the byte-level schedule, never the answers: every
+  // response matches the fault-free model output for its request.
+  uint64_t expected_id = 1;
+  for (const auto& [id, payload] : first.responses) {
+    EXPECT_EQ(id, expected_id++) << "seed " << seed;
+    EXPECT_EQ(payload.first, 1u) << "seed " << seed;
+    EXPECT_EQ(payload.second, Rotated(TenItemList(0).items, 3))
+        << "seed " << seed << " request " << id;
+  }
+  server.Stop();
+  EXPECT_EQ(server.stats().dropped_responses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Resets + reconnect racing hot swaps: no stale (version, items) pair.
+
+TEST(NetFaultTest, ResetsRecoverByReconnectWithoutStaleVersionItemsPairs) {
+  const data::Dataset data;
+  serve::ServingRouter router(data, {});
+  std::vector<std::pair<uint64_t, int>> published;  // (version, shift).
+  const uint64_t first =
+      router.InstallSlot("main", std::make_shared<RotateReranker>(1));
+  ASSERT_EQ(first, 1u);
+  published.emplace_back(first, 1);
+
+  net::Server server(router);
+  ASSERT_TRUE(server.Start());
+
+  // Swaps race the faulty client below; results are read after join.
+  std::thread swapper([&] {
+    for (int i = 0; i < 30; ++i) {
+      std::this_thread::sleep_for(1ms);
+      const int shift = 1 + i % 9;
+      const uint64_t version = router.InstallSlot(
+          "main", std::make_shared<RotateReranker>(shift));
+      published.emplace_back(version, shift);
+    }
+  });
+
+  const uint64_t seed = proptest::SeedFromEnv(20260852);
+  net::FaultConfig config;
+  config.seed = seed;
+  config.partial_write_rate = 0.3;
+  config.short_read_rate = 0.3;
+  config.reset_rate = 0.05;
+  net::FaultPlan plan(config);
+
+  net::Client client;
+  client.set_fault_plan(&plan);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  std::vector<net::WireResponse> succeeded;
+  for (int i = 0; i < 60; ++i) {
+    if (!client.connected() && !client.Reconnect()) continue;
+    net::Client::Reply reply;
+    if (client.Call(MakeRequest("main", TenItemList(i)), &reply,
+                    /*timeout_ms=*/3000) &&
+        !reply.is_error) {
+      succeeded.push_back(reply.response);
+    }
+  }
+  swapper.join();
+
+  uint64_t resets = 0;
+  for (const net::FaultDecision& decision : plan.Trace()) {
+    if (decision.kind == net::FaultDecision::Kind::kReset) ++resets;
+  }
+  EXPECT_GT(resets, 0u) << "seed " << seed << ": no reset ever fired — "
+                        << plan.TraceSummary();
+  EXPECT_FALSE(succeeded.empty()) << "seed " << seed;
+
+  // Monotone publishes, and every successful response pairs its stamped
+  // version with exactly that version's output — faults and swaps never
+  // produce a stale or torn pair.
+  std::map<uint64_t, int> shift_of_version;
+  uint64_t max_version = 0;
+  for (const auto& [version, shift] : published) {
+    ASSERT_GT(version, max_version) << "seed " << seed;
+    max_version = version;
+    shift_of_version[version] = shift;
+  }
+  for (const net::WireResponse& response : succeeded) {
+    ASSERT_FALSE(response.degraded) << "seed " << seed;
+    const auto it = shift_of_version.find(response.model_version);
+    ASSERT_NE(it, shift_of_version.end())
+        << "seed " << seed << ": unpublished version "
+        << response.model_version;
+    EXPECT_EQ(response.items, Rotated(TenItemList(0).items, it->second))
+        << "seed " << seed << " version " << response.model_version;
+  }
+
+  // The server survived every RST: a clean client still gets answers.
+  client.set_fault_plan(nullptr);
+  ASSERT_TRUE(client.connected() || client.Reconnect());
+  net::Client::Reply reply;
+  ASSERT_TRUE(client.Call(MakeRequest("main", TenItemList(99)), &reply,
+                          /*timeout_ms=*/3000))
+      << "seed " << seed;
+  EXPECT_FALSE(reply.is_error);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Server-side delays: correlation intact, graceful drain still clean.
+
+TEST(NetFaultTest, DelayedFramesKeepCorrelationAndDrainDropsNothing) {
+  const data::Dataset data;
+  serve::ServingRouter router(data, {});
+  ASSERT_EQ(router.InstallSlot("main", std::make_shared<RotateReranker>(2)),
+            1u);
+
+  const uint64_t seed = proptest::SeedFromEnv(20260853);
+  net::FaultConfig config;
+  config.seed = seed;
+  config.delay_rate = 0.8;
+  config.max_delay_ticks = 3;
+  config.short_read_rate = 0.3;  // Server-side reads arrive in shreds too.
+  net::FaultPlan plan(config);
+
+  net::ServerConfig server_config;
+  server_config.poll_tick_ms = 5;  // Delay ticks age quickly.
+  server_config.fault_plan = &plan;
+  net::Server server(router, server_config);
+  ASSERT_TRUE(server.Start());
+
+  net::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  constexpr int kRequests = 30;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kRequests; ++i) {
+    net::WireRequest request = MakeRequest("main", TenItemList(i));
+    const uint64_t id = client.Send(&request);
+    ASSERT_NE(id, 0u) << "seed " << seed;
+    ids.push_back(id);
+  }
+  // Held-back frames must still pair every answer with its question: all
+  // replies arrive (in whatever order the delays produce) and the id set
+  // matches the requests exactly.
+  std::map<uint64_t, std::vector<int>> answered;
+  for (int i = 0; i < kRequests; ++i) {
+    net::Client::Reply reply;
+    ASSERT_TRUE(client.Receive(&reply, /*timeout_ms=*/5000))
+        << "seed " << seed << " reply " << i;
+    ASSERT_FALSE(reply.is_error) << "seed " << seed;
+    answered[reply.response.request_id] = reply.response.items;
+  }
+  ASSERT_EQ(answered.size(), ids.size()) << "seed " << seed;
+  for (uint64_t id : ids) {
+    const auto it = answered.find(id);
+    ASSERT_NE(it, answered.end()) << "seed " << seed << " request " << id;
+    EXPECT_EQ(it->second, Rotated(TenItemList(0).items, 2))
+        << "seed " << seed << " request " << id;
+  }
+  EXPECT_GT(plan.faults(), 0u)
+      << "seed " << seed << ": no delay ever fired — " << plan.TraceSummary();
+
+  server.Stop();  // Graceful drain must flush held frames, not drop them.
+  EXPECT_EQ(server.stats().dropped_responses, 0u) << "seed " << seed;
+}
+
+// ---------------------------------------------------------------------------
+// Feedback frames over a faulty transport: lossless, ordered, uncorrupted.
+
+TEST(NetFaultTest, FeedbackSurvivesFaultyTransportLosslesslyAndInOrder) {
+  const data::Dataset data;
+  serve::ServingRouter router(data, {});
+  ASSERT_EQ(router.InstallSlot("main", std::make_shared<RotateReranker>(1)),
+            1u);
+
+  const uint64_t seed = proptest::SeedFromEnv(20260854);
+  net::FaultConfig server_faults_config;
+  server_faults_config.seed = seed;
+  server_faults_config.short_read_rate = 0.5;  // Frames arrive byte-by-byte.
+  net::FaultPlan server_faults(server_faults_config);
+
+  online::FeedbackLog log;
+  net::ServerConfig server_config;
+  server_config.feedback_log = &log;
+  server_config.fault_plan = &server_faults;
+  net::Server server(router, server_config);
+  ASSERT_TRUE(server.Start());
+
+  net::FaultConfig client_faults_config;
+  client_faults_config.seed = seed + 1;
+  client_faults_config.partial_write_rate = 0.6;  // Torn-prefix writes.
+  net::FaultPlan client_faults(client_faults_config);
+
+  net::Client client;
+  client.set_fault_plan(&client_faults);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+
+  constexpr int kEvents = 12;
+  for (int i = 0; i < kEvents; ++i) {
+    const std::vector<int> items = {i, i + 1, i + 2};
+    const std::vector<uint8_t> clicks = {1, 0, static_cast<uint8_t>(i % 2)};
+    bool accepted = false;
+    ASSERT_TRUE(client.SendFeedback("main", 1, /*user_id=*/i, items, clicks,
+                                    &accepted, /*timeout_ms=*/5000))
+        << "seed " << seed << " event " << i;
+    EXPECT_TRUE(accepted) << "seed " << seed << " event " << i;
+  }
+  EXPECT_GT(server_faults.faults() + client_faults.faults(), 0u)
+      << "seed " << seed;
+
+  // Every event landed exactly once, in order, uncorrupted.
+  std::vector<online::FeedbackEvent> drained;
+  ASSERT_EQ(log.Drain(kEvents + 1, &drained), static_cast<size_t>(kEvents))
+      << "seed " << seed;
+  for (int i = 0; i < kEvents; ++i) {
+    const online::FeedbackEvent& event = drained[static_cast<size_t>(i)];
+    EXPECT_EQ(event.slot, "main") << "seed " << seed;
+    EXPECT_EQ(event.list.user_id, i) << "seed " << seed;
+    EXPECT_EQ(event.list.items, (std::vector<int>{i, i + 1, i + 2}))
+        << "seed " << seed;
+    ASSERT_EQ(event.list.clicks.size(), 3u) << "seed " << seed;
+    EXPECT_EQ(event.list.clicks[2], i % 2) << "seed " << seed;
+  }
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace rapid

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <random>
 #include <sstream>
 #include <string>
@@ -23,25 +26,90 @@
 // returns a `testing::AssertionResult`, so tests wrap it in EXPECT_TRUE.
 // `shrink` proposes strictly-smaller candidates; the harness repeatedly
 // takes the first candidate that still fails until none do, yielding a
-// locally minimal counterexample. The seed is printed on failure so a run
-// is reproducible by construction.
+// locally minimal counterexample. Shrinking is budgeted (a bounded number
+// of candidate checks and a wall-clock cap): when the budget runs out the
+// harness reports the smallest counterexample found *so far* instead of
+// spinning until full minimality — a slow `check` never turns one failure
+// into a hung test run.
+//
+// ## Replaying a failing seed
+//
+// Every failure message prints the seed that produced it. The
+// `RAPID_PROPTEST_SEED` environment variable overrides the seed passed to
+// `ForAll` process-wide, so a failing run is replayed exactly with:
+//
+//   RAPID_PROPTEST_SEED=<seed> ./build/tests/<suite> --gtest_filter=<T>
+//
+// where <T> names the single failing test (Suite.TestName).
+//
+// Filter to the single failing test: the override applies to every
+// `ForAll` in the process, and other tests in the binary would run under
+// a seed they were not tuned for (legal, but noisy). Decimal and 0x-hex
+// values are accepted. The same schedule, trial index, and shrink path
+// are reproduced by construction — generation is a pure function of the
+// seed, and fault schedules (`net::FaultPlan`) derive from it the same
+// way.
 namespace rapid::proptest {
+
+/// Caps on the greedy shrink loop. `max_checks` bounds the total number
+/// of candidate `check` calls spent shrinking one counterexample;
+/// `time_limit` bounds its wall-clock. Whichever trips first ends the
+/// shrink with the smallest still-failing value found so far.
+struct ShrinkBudget {
+  int max_checks = 2000;
+  std::chrono::milliseconds time_limit{2000};
+};
+
+/// The `RAPID_PROPTEST_SEED` override: returns the env seed when the
+/// variable is set to a parseable integer (decimal, or hex with 0x),
+/// otherwise `default_seed`. `ForAll` applies this automatically; it is
+/// exposed for tests that seed schedules outside the harness (e.g. the
+/// fault-injection suites).
+inline uint64_t SeedFromEnv(uint64_t default_seed) {
+  const char* raw = std::getenv("RAPID_PROPTEST_SEED");
+  if (raw == nullptr || *raw == '\0') return default_seed;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 0);
+  if (end == raw || *end != '\0') return default_seed;
+  static bool announced = false;
+  if (!announced) {
+    announced = true;
+    std::fprintf(stderr,
+                 "[proptest] RAPID_PROPTEST_SEED=%llu overrides every "
+                 "ForAll seed in this process\n",
+                 parsed);
+  }
+  return parsed;
+}
 
 template <typename T, typename Gen, typename Shrink, typename Check,
           typename Describe>
 testing::AssertionResult ForAllImpl(uint64_t seed, int trials, Gen gen,
                                     Shrink shrink, Check check,
-                                    Describe describe) {
+                                    Describe describe,
+                                    ShrinkBudget budget = {}) {
+  seed = SeedFromEnv(seed);
   std::mt19937_64 rng(seed);
   for (int trial = 0; trial < trials; ++trial) {
     T value = gen(rng);
     if (check(value)) continue;
     // Greedy shrink: restart from the first still-failing candidate until
-    // a fixed point. Bounded by total size, since candidates shrink.
+    // a fixed point or the budget runs out. `value` is always the
+    // smallest still-failing input seen, so exhaustion degrades the
+    // report from "minimal" to "smallest found so far" — never to a hang.
+    const auto deadline = std::chrono::steady_clock::now() + budget.time_limit;
     int shrink_steps = 0;
-    for (bool shrunk = true; shrunk && shrink_steps < 10'000;) {
+    int checks_spent = 0;
+    bool exhausted = false;
+    for (bool shrunk = true; shrunk && !exhausted;) {
       shrunk = false;
       for (T& candidate : shrink(value)) {
+        if (checks_spent >= budget.max_checks ||
+            std::chrono::steady_clock::now() >= deadline) {
+          exhausted = true;
+          break;
+        }
+        ++checks_spent;
         if (!check(candidate)) {
           value = std::move(candidate);
           shrunk = true;
@@ -52,8 +120,13 @@ testing::AssertionResult ForAllImpl(uint64_t seed, int trials, Gen gen,
     }
     return testing::AssertionFailure()
            << "property failed at trial " << trial << " (seed " << seed
-           << ", " << shrink_steps << " shrink steps); minimal "
-           << "counterexample: " << describe(value);
+           << ", " << shrink_steps << " shrink steps); "
+           << (exhausted ? "shrink budget exhausted — smallest "
+                           "counterexample found so far: "
+                         : "minimal counterexample: ")
+           << describe(value)
+           << "\nreplay with: RAPID_PROPTEST_SEED=" << seed
+           << " <test binary> --gtest_filter=<this test>";
   }
   return testing::AssertionSuccess();
 }
@@ -61,9 +134,9 @@ testing::AssertionResult ForAllImpl(uint64_t seed, int trials, Gen gen,
 template <typename Gen, typename Shrink, typename Check, typename Describe>
 testing::AssertionResult ForAll(uint64_t seed, int trials, Gen gen,
                                 Shrink shrink, Check check,
-                                Describe describe) {
+                                Describe describe, ShrinkBudget budget = {}) {
   using T = decltype(gen(std::declval<std::mt19937_64&>()));
-  return ForAllImpl<T>(seed, trials, gen, shrink, check, describe);
+  return ForAllImpl<T>(seed, trials, gen, shrink, check, describe, budget);
 }
 
 /// Standard shrinker for byte buffers: remove chunks of halving size from
@@ -90,6 +163,26 @@ inline std::vector<std::vector<uint8_t>> ShrinkBytes(
     if (bytes[i] == 0) continue;
     std::vector<uint8_t> candidate = bytes;
     candidate[i] = 0;
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+/// Standard shrinker for operation schedules (vectors of ops): drop the
+/// back half, drop one op at every position, then drop single ops from
+/// the back. Candidates are strictly shorter, so greedy shrinking
+/// terminates; most schedule-shaped properties minimize well under it.
+template <typename Op>
+std::vector<std::vector<Op>> ShrinkOps(const std::vector<Op>& ops) {
+  std::vector<std::vector<Op>> out;
+  if (ops.empty()) return out;
+  out.emplace_back(ops.begin(), ops.begin() + static_cast<ptrdiff_t>(ops.size() / 2));
+  for (size_t skip = 0; skip < ops.size(); ++skip) {
+    std::vector<Op> candidate;
+    candidate.reserve(ops.size() - 1);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (i != skip) candidate.push_back(ops[i]);
+    }
     out.push_back(std::move(candidate));
   }
   return out;

@@ -1,0 +1,179 @@
+// Property suite for the consistent-hash ring (shard/ring.h): under an
+// arbitrary sequence of AddShard/RemoveShard membership changes,
+//
+//   - removing a shard remaps only the keys that shard owned;
+//   - adding a shard moves keys only *onto* the new shard;
+//   - either change moves a bounded fraction of the keyspace (~1/N with
+//     slack for virtual-node variance), never "almost everything";
+//   - placement is a pure function of (seed, membership) — rebuilding the
+//     ring with the surviving members in a different insertion order
+//     reproduces every assignment.
+//
+// Counterexamples shrink to a minimal op schedule and print a replayable
+// seed (see tests/proptest.h).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proptest.h"
+#include "shard/ring.h"
+
+namespace rapid {
+namespace {
+
+struct RingOp {
+  bool add = true;
+  int shard = 0;
+};
+
+std::string DescribeOps(const std::vector<RingOp>& ops) {
+  std::ostringstream os;
+  os << ops.size() << " ops [";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << (ops[i].add ? "+" : "-") << ops[i].shard;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::vector<RingOp> RandomOps(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> len(1, 14);
+  std::uniform_int_distribution<int> shard(0, 7);
+  std::uniform_int_distribution<int> kind(0, 2);
+  std::vector<RingOp> ops(static_cast<size_t>(len(rng)));
+  for (RingOp& op : ops) {
+    // Bias toward adds so schedules usually build up a few-shard fleet,
+    // but keep removes (including removes of absent shards) common.
+    op.add = kind(rng) != 0;
+    op.shard = shard(rng);
+  }
+  return ops;
+}
+
+constexpr int kNumKeys = 1500;
+
+std::vector<int> Owners(const shard::HashRing& ring) {
+  std::vector<int> owners(kNumKeys);
+  for (int key = 0; key < kNumKeys; ++key) {
+    owners[static_cast<size_t>(key)] = ring.ShardFor(key);
+  }
+  return owners;
+}
+
+/// Applies `ops` while checking the remap invariants after every step.
+/// Returns false on the first violation.
+bool CheckChurn(const std::vector<RingOp>& ops) {
+  shard::HashRing ring;
+  std::set<int> members;
+  std::vector<int> before = Owners(ring);
+  for (const RingOp& op : ops) {
+    const bool was_member = members.count(op.shard) > 0;
+    if (op.add) {
+      ring.AddShard(op.shard);
+      members.insert(op.shard);
+    } else {
+      const bool removed = ring.RemoveShard(op.shard);
+      if (removed != was_member) return false;  // Absent removes report false.
+      members.erase(op.shard);
+    }
+    const std::vector<int> after = Owners(ring);
+
+    // Empty ring: every lookup answers -1 and nothing else to check.
+    if (members.empty()) {
+      for (int owner : after) {
+        if (owner != -1) return false;
+      }
+      before = after;
+      continue;
+    }
+    // Assigned owners are always live members.
+    for (int owner : after) {
+      if (members.count(owner) == 0) return false;
+    }
+
+    int moved = 0;
+    for (int key = 0; key < kNumKeys; ++key) {
+      const int old_owner = before[static_cast<size_t>(key)];
+      const int new_owner = after[static_cast<size_t>(key)];
+      if (old_owner == new_owner) continue;
+      ++moved;
+      if (op.add && was_member) return false;  // Re-add must be a no-op.
+      if (!op.add && !was_member) return false;  // Absent remove likewise.
+      // Directional churn: an add only pulls keys onto the new shard; a
+      // remove only moves keys that the departed shard owned.
+      if (op.add && new_owner != op.shard) return false;
+      if (!op.add && old_owner != op.shard) return false;
+    }
+
+    // Bounded churn: a membership change touches about one shard's arc,
+    // an expected 1/N of the keyspace. Virtual-node variance (128 points
+    // per shard) keeps real arcs within ~2x of even, plus absolute slack
+    // for tiny fleets and the first-shard case (where 1/N = everything).
+    const size_t fleet = members.size();
+    const int expected = kNumKeys / static_cast<int>(fleet);
+    const int bound = 2 * expected + 60;
+    if (moved > bound) return false;
+
+    before = after;
+  }
+
+  // Determinism: the final assignment depends only on (seed, membership),
+  // not on the path that built it — rebuild with reversed insertion order.
+  shard::HashRing rebuilt;
+  std::vector<int> final_members(members.begin(), members.end());
+  std::reverse(final_members.begin(), final_members.end());
+  for (int shard_id : final_members) rebuilt.AddShard(shard_id);
+  return Owners(rebuilt) == before;
+}
+
+TEST(RingPropertyTest, ChurnBoundHoldsUnderArbitraryMembershipSequences) {
+  EXPECT_TRUE(proptest::ForAll(
+      /*seed=*/20260820, /*trials=*/60, RandomOps, proptest::ShrinkOps<RingOp>,
+      CheckChurn, DescribeOps));
+}
+
+TEST(RingPropertyTest, SeededRingsAgreeAcrossIndependentBuilds) {
+  // Two processes that never talk must place every user identically from
+  // (seed, membership) alone — the shard router's planning assumption.
+  EXPECT_TRUE(proptest::ForAll(
+      /*seed=*/20260821, /*trials=*/40, RandomOps, proptest::ShrinkOps<RingOp>,
+      [](const std::vector<RingOp>& ops) {
+        shard::HashRing a;
+        shard::HashRing b;
+        for (const RingOp& op : ops) {
+          if (op.add) {
+            a.AddShard(op.shard);
+            b.AddShard(op.shard);
+          } else {
+            a.RemoveShard(op.shard);
+            b.RemoveShard(op.shard);
+          }
+          if (a.Shards() != b.Shards()) return false;
+        }
+        return Owners(a) == Owners(b) && a.num_points() == b.num_points();
+      },
+      DescribeOps));
+}
+
+TEST(RingPropertyTest, EmptyRingAnswersNoOwner) {
+  shard::HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.ShardFor(42), -1);
+  EXPECT_FALSE(ring.RemoveShard(0));
+  ring.AddShard(3);
+  ring.AddShard(3);  // Idempotent.
+  EXPECT_EQ(ring.Shards(), std::vector<int>{3});
+  EXPECT_TRUE(ring.RemoveShard(3));
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.ShardFor(42), -1);
+}
+
+}  // namespace
+}  // namespace rapid

@@ -662,5 +662,100 @@ TEST(StatsMergeTest, OnlineCountersSumVersionsMaxAndPresencePropagates) {
   EXPECT_FALSE(none.has_online);
 }
 
+TEST(StatsMergeTest, EmptyFleetMergeStaysZeroWithoutNaN) {
+  // A coordinator scraping zero shards (or shards that served nothing)
+  // must render a well-formed all-zero view: the weighted-percentile
+  // fallback divides by total requests, and an empty merge must not turn
+  // that into NaN or garbage.
+  serve::RouterStats merged;
+  serve::MergeInto(&merged, serve::RouterStats{});
+  serve::MergeInto(&merged, serve::RouterStats{});
+
+  EXPECT_EQ(merged.total.requests, 0u);
+  EXPECT_EQ(merged.total.p50_us, 0.0);
+  EXPECT_EQ(merged.total.p95_us, 0.0);
+  EXPECT_EQ(merged.total.p99_us, 0.0);
+  EXPECT_EQ(merged.total.mean_us, 0.0);
+  EXPECT_EQ(merged.total.max_us, 0u);
+  EXPECT_FALSE(merged.total.HasLatencyHist());
+  EXPECT_TRUE(merged.slots.empty());
+  EXPECT_FALSE(merged.has_net);
+  EXPECT_FALSE(merged.has_online);
+  // The empty view still renders through both formatters.
+  EXPECT_FALSE(merged.ToTable().empty());
+  EXPECT_NE(merged.ToJson().find("\"total\""), std::string::npos);
+}
+
+TEST(StatsMergeTest, AllHistogramLessPeersUseExactWeightedFallback) {
+  // Peers that predate histogram transport report percentile points with
+  // all-zero histograms; the merge must fall back to the request-weighted
+  // average — and that fallback math must be exact, for every percentile
+  // and for the mean.
+  serve::ServingStats a, b;
+  a.requests = 100;
+  a.p50_us = 100.0;
+  a.p95_us = 200.0;
+  a.p99_us = 300.0;
+  a.mean_us = 120.0;
+  b.requests = 300;
+  b.p50_us = 200.0;
+  b.p95_us = 400.0;
+  b.p99_us = 700.0;
+  b.mean_us = 240.0;
+
+  serve::ServingStats merged;
+  serve::MergeInto(&merged, a);
+  serve::MergeInto(&merged, b);
+
+  EXPECT_EQ(merged.requests, 400u);
+  EXPECT_FALSE(merged.HasLatencyHist());
+  EXPECT_NEAR(merged.p50_us, (100.0 * 100 + 200.0 * 300) / 400, 1e-9);
+  EXPECT_NEAR(merged.p95_us, (200.0 * 100 + 400.0 * 300) / 400, 1e-9);
+  EXPECT_NEAR(merged.p99_us, (300.0 * 100 + 700.0 * 300) / 400, 1e-9);
+  EXPECT_NEAR(merged.mean_us, (120.0 * 100 + 240.0 * 300) / 400, 1e-9);
+
+  // Merging a zero-request peer into the fallback view changes nothing.
+  serve::MergeInto(&merged, serve::ServingStats{});
+  EXPECT_NEAR(merged.p99_us, (300.0 * 100 + 700.0 * 300) / 400, 1e-9);
+}
+
+TEST(StatsMergeTest, MixedHistogramAndHistogramLessPeersPinTheRecompute) {
+  // One modern peer (with a histogram) plus one legacy peer (points
+  // only): the documented behavior is that any histogram sample wins —
+  // percentiles recompute from the merged histogram and the legacy
+  // percentile points are ignored, while request counts and mean still
+  // include the legacy side. Pinned so a refactor that silently blends
+  // the two regimes fails loudly.
+  const int bin = serve::ServingStats::LatencyBucketIndex(800);
+  serve::ServingStats modern, legacy;
+  modern.requests = 50;
+  modern.latency_hist[bin] = 50;
+  modern.mean_us = 800.0;
+  legacy.requests = 150;
+  legacy.p50_us = legacy.p95_us = legacy.p99_us = 9999.0;
+  legacy.mean_us = 100.0;
+
+  // Either merge order lands in the same regime: the histogram survives.
+  const double bucket_us = serve::ServingStats::LatencyBucketValue(bin);
+  {
+    serve::ServingStats merged = modern;
+    serve::MergeInto(&merged, legacy);
+    EXPECT_EQ(merged.requests, 200u);
+    EXPECT_TRUE(merged.HasLatencyHist());
+    EXPECT_DOUBLE_EQ(merged.p50_us, bucket_us);
+    EXPECT_DOUBLE_EQ(merged.p99_us, bucket_us);
+    EXPECT_NEAR(merged.mean_us, (800.0 * 50 + 100.0 * 150) / 200, 1e-9);
+  }
+  {
+    serve::ServingStats merged = legacy;
+    serve::MergeInto(&merged, modern);
+    EXPECT_EQ(merged.requests, 200u);
+    EXPECT_TRUE(merged.HasLatencyHist());
+    EXPECT_DOUBLE_EQ(merged.p50_us, bucket_us);
+    EXPECT_DOUBLE_EQ(merged.p99_us, bucket_us);
+    EXPECT_NEAR(merged.mean_us, (100.0 * 150 + 800.0 * 50) / 200, 1e-9);
+  }
+}
+
 }  // namespace
 }  // namespace rapid
