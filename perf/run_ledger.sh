@@ -37,6 +37,7 @@ benches=(
   "bench_cache --quick --json"
   "bench_net --quick --json"
   "bench_shard --quick --json"
+  "bench_page --quick --json"
 )
 if [[ "$mode" == "full" ]]; then
   benches+=("bench_table5 --json" "bench_table6 --json")

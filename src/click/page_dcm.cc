@@ -1,0 +1,82 @@
+#include "click/page_dcm.h"
+
+#include <algorithm>
+
+#include "datagen/simulator.h"
+
+namespace rapid::click {
+
+namespace {
+
+void Absorb(const data::Item& item, std::vector<float>* residual) {
+  for (size_t j = 0; j < residual->size(); ++j) {
+    (*residual)[j] *= 1.0f - item.topic_coverage[j];
+  }
+}
+
+}  // namespace
+
+float PageDcm::Attraction(int user_id, int item_id,
+                          const std::vector<float>& residual) const {
+  const data::User& user = data_->user(user_id);
+  const data::Item& item = data_->item(item_id);
+  const float rel = data::TrueRelevance(user, item);
+  const std::vector<float> rho = base_.Rho(user_id);
+  float div = 0.0f;
+  for (int j = 0; j < data_->num_topics; ++j) {
+    div += rho[j] * item.topic_coverage[j] * residual[j];
+  }
+  const float phi =
+      config_.dcm.lambda * rel + (1.0f - config_.dcm.lambda) * div;
+  return std::clamp(phi, 0.0f, 1.0f);
+}
+
+float PageDcm::ExpectedPageUtility(int user_id,
+                                   const std::vector<std::vector<int>>& lists,
+                                   int k) const {
+  std::vector<float> residual(data_->num_topics, 1.0f);
+  double examined = 1.0;  // P(the user examines the next position).
+  double expected = 0.0;
+  for (const std::vector<int>& list : lists) {
+    const int n = k < 0 ? static_cast<int>(list.size())
+                        : std::min<int>(k, static_cast<int>(list.size()));
+    for (int pos = 0; pos < n; ++pos) {
+      const double phi = Attraction(user_id, list[pos], residual);
+      expected += examined * phi;
+      examined *= 1.0 - base_.Termination(pos + 1) * phi;
+      Absorb(data_->item(list[pos]), &residual);
+    }
+    examined *= config_.list_continue;
+  }
+  return static_cast<float>(expected);
+}
+
+std::vector<std::vector<int>> PageDcm::SimulateClicks(
+    int user_id, const std::vector<std::vector<int>>& lists,
+    std::mt19937_64& rng, int k) const {
+  std::vector<float> residual(data_->num_topics, 1.0f);
+  std::uniform_real_distribution<float> uni(0.0f, 1.0f);
+  std::vector<std::vector<int>> clicks;
+  clicks.reserve(lists.size());
+  bool scanning = true;
+  for (const std::vector<int>& list : lists) {
+    const int n = k < 0 ? static_cast<int>(list.size())
+                        : std::min<int>(k, static_cast<int>(list.size()));
+    std::vector<int> list_clicks(n, 0);
+    for (int pos = 0; scanning && pos < n; ++pos) {
+      const float phi = Attraction(user_id, list[pos], residual);
+      // Only examined items enter the user's coverage memory on a sampled
+      // path (the analytic utility absorbs all shown items instead).
+      Absorb(data_->item(list[pos]), &residual);
+      if (uni(rng) < phi) {
+        list_clicks[pos] = 1;
+        if (uni(rng) < base_.Termination(pos + 1)) scanning = false;
+      }
+    }
+    clicks.push_back(std::move(list_clicks));
+    if (scanning && uni(rng) >= config_.list_continue) scanning = false;
+  }
+  return clicks;
+}
+
+}  // namespace rapid::click

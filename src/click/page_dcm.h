@@ -1,0 +1,66 @@
+#ifndef RAPID_CLICK_PAGE_DCM_H_
+#define RAPID_CLICK_PAGE_DCM_H_
+
+#include <random>
+#include <vector>
+
+#include "click/dcm.h"
+#include "datagen/types.h"
+
+namespace rapid::click {
+
+/// Parameters of the page-level DCM environment: the per-list DCM plus how
+/// the user moves between sibling lists.
+struct PageDcmConfig {
+  DcmConfig dcm;
+  /// Probability the user continues to the next list after reaching the
+  /// end of a list without a satisfaction-termination.
+  float list_continue = 0.8f;
+};
+
+/// The page-level ground-truth user model: a DCM scan over the page's
+/// lists *with cross-list coverage memory*. Within each list the
+/// examination process is the per-list DCM (click ~ Bernoulli(phi), then
+/// terminate with eps(k) on a click), but the attraction's coverage-gain
+/// term `zeta` is marginal with respect to *everything shown earlier on
+/// the page*, not just the current list's prefix — a banner repeating the
+/// feed's topics attracts fewer clicks, which is exactly the signal a
+/// joint page reranker can win on. After finishing a list unsatisfied the
+/// user moves to the next with probability `list_continue`.
+class PageDcm {
+ public:
+  PageDcm(const data::Dataset* data, const PageDcmConfig& config)
+      : data_(data), config_(config), base_(data, config.dcm) {}
+
+  /// Attraction of `item_id` for this user given the page-wide residual
+  /// uncovered-mass vector (`residual[j] = prod_shown (1 - tau_v^j)`):
+  /// `phi = lambda * alpha + (1 - lambda) * sum_j rho_j tau_v^j residual_j`,
+  /// clamped to [0, 1].
+  float Attraction(int user_id, int item_id,
+                   const std::vector<float>& residual) const;
+
+  /// Expected total clicks across the page's list prefixes (top-`k` per
+  /// list; `k < 0` = whole lists), analytic. The coverage memory absorbs
+  /// every shown item deterministically (the same expected-coverage
+  /// treatment the per-list `GroundTruthClickModel` applies to prefixes).
+  float ExpectedPageUtility(int user_id,
+                            const std::vector<std::vector<int>>& lists,
+                            int k = -1) const;
+
+  /// Samples one scan of the page. Returns one 0/1 click vector per list
+  /// (prefix length per list; all-zero for lists the user never reached).
+  std::vector<std::vector<int>> SimulateClicks(
+      int user_id, const std::vector<std::vector<int>>& lists,
+      std::mt19937_64& rng, int k = -1) const;
+
+  const PageDcmConfig& config() const { return config_; }
+
+ private:
+  const data::Dataset* data_;
+  PageDcmConfig config_;
+  GroundTruthClickModel base_;
+};
+
+}  // namespace rapid::click
+
+#endif  // RAPID_CLICK_PAGE_DCM_H_

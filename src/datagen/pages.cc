@@ -1,0 +1,99 @@
+#include "datagen/pages.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <unordered_set>
+
+#include "datagen/simulator.h"
+
+namespace rapid::data {
+
+namespace {
+
+/// Samples `count` distinct item ids from the catalog, skipping any id in
+/// `taken`. Falls back to fewer when the catalog is nearly exhausted.
+std::vector<int> SampleDistinct(int catalog, int count,
+                                const std::unordered_set<int>& taken,
+                                std::mt19937_64& rng) {
+  std::vector<int> out;
+  std::unordered_set<int> used = taken;
+  std::uniform_int_distribution<int> pick(0, catalog - 1);
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < count && attempts < catalog * 8) {
+    const int id = pick(rng);
+    ++attempts;
+    if (used.insert(id).second) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PageSession> GeneratePageSessions(const Dataset& data,
+                                              const PageGenConfig& config,
+                                              uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0x70616765u);  // "page"
+  std::normal_distribution<float> noise(0.0f, config.score_noise);
+  const int catalog = static_cast<int>(data.items.size());
+  std::vector<PageSession> sessions;
+  if (catalog == 0 || data.users.empty()) return sessions;
+  sessions.reserve(config.num_pages);
+
+  for (int p = 0; p < config.num_pages; ++p) {
+    PageSession session;
+    session.user_id = p % static_cast<int>(data.users.size());
+    const User& user = data.user(session.user_id);
+    session.diversity_budget = user.diversity_appetite * config.budget_scale *
+                               static_cast<float>(config.lists_per_page);
+
+    // The page's shared "trending" pool, common to every sibling list.
+    const std::vector<int> pool =
+        SampleDistinct(catalog, config.shared_pool_size, {}, rng);
+
+    session.lists.reserve(config.lists_per_page);
+    for (int l = 0; l < config.lists_per_page; ++l) {
+      ImpressionList list;
+      list.user_id = session.user_id;
+      const int from_pool = std::min(
+          static_cast<int>(pool.size()),
+          static_cast<int>(config.shared_frac *
+                           static_cast<float>(config.items_per_list)));
+      std::unordered_set<int> used;
+      std::vector<int> shuffled = pool;
+      std::shuffle(shuffled.begin(), shuffled.end(), rng);
+      for (int i = 0; i < from_pool; ++i) {
+        list.items.push_back(shuffled[i]);
+        used.insert(shuffled[i]);
+      }
+      for (const int id : SampleDistinct(
+               catalog, config.items_per_list - from_pool, used, rng)) {
+        list.items.push_back(id);
+      }
+      // Stand-in initial ranker: noisy true relevance, sorted descending —
+      // the same observation model the candidate generator uses, so page
+      // sessions need no trained ranker to be realistic.
+      list.scores.reserve(list.items.size());
+      for (const int id : list.items) {
+        list.scores.push_back(TrueRelevance(user, data.item(id)) +
+                              noise(rng));
+      }
+      std::vector<int> order(list.items.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return list.scores[a] > list.scores[b];
+      });
+      ImpressionList ranked;
+      ranked.user_id = list.user_id;
+      for (const int at : order) {
+        ranked.items.push_back(list.items[at]);
+        ranked.scores.push_back(list.scores[at]);
+      }
+      session.lists.push_back(std::move(ranked));
+    }
+    sessions.push_back(std::move(session));
+  }
+  return sessions;
+}
+
+}  // namespace rapid::data

@@ -131,6 +131,12 @@ Client::RecvStatus Client::ReadFrameStatus(Reply* out, int timeout_ms) {
                    ? RecvStatus::kOk
                    : RecvStatus::kClosed;
       }
+      if (frame.header.type == FrameType::kPageResponse) {
+        out->is_error = false;
+        return ParsePageResponse(frame, &out->page, limits_)
+                   ? RecvStatus::kOk
+                   : RecvStatus::kClosed;
+      }
       if (frame.header.type == FrameType::kError) {
         WireError error;
         if (!ParseError(frame, &error, limits_)) return RecvStatus::kClosed;
@@ -216,6 +222,20 @@ bool Client::WaitFor(uint64_t id, Reply* out, int timeout_ms) {
 
 bool Client::Call(WireRequest request, Reply* out, int timeout_ms) {
   const uint64_t id = Send(&request);
+  if (id == 0) return false;
+  return WaitFor(id, out, timeout_ms);
+}
+
+uint64_t Client::SendPage(WirePageRequest* request) {
+  if (fd_ < 0) return 0;
+  if (request->request_id == 0) request->request_id = next_request_id_++;
+  std::vector<uint8_t> frame;
+  EncodePageRequest(*request, &frame);
+  return WriteAll(frame) ? request->request_id : 0;
+}
+
+bool Client::CallPage(WirePageRequest request, Reply* out, int timeout_ms) {
+  const uint64_t id = SendPage(&request);
   if (id == 0) return false;
   return WaitFor(id, out, timeout_ms);
 }

@@ -29,6 +29,7 @@ class Client {
     WireStatsResponse stats;
     WireLoadResponse load;
     WireFeedbackAck feedback_ack;
+    WirePageResponse page;
     bool is_error = false;
     std::string error_message;
     uint64_t request_id() const {
@@ -39,6 +40,8 @@ class Client {
           return load.request_id;
         case FrameType::kFeedbackAck:
           return feedback_ack.request_id;
+        case FrameType::kPageResponse:
+          return page.request_id;
         case FrameType::kError:
           return error_request_id;
         default:
@@ -98,6 +101,14 @@ class Client {
   /// reply arrives, stashing any other pipelined replies for later
   /// `Receive` calls.
   bool Call(WireRequest request, Reply* out, int timeout_ms = -1);
+
+  /// Encodes and writes one page-request frame (many candidate lists in
+  /// one frame). Same id-assignment and pipelining contract as `Send`.
+  uint64_t SendPage(WirePageRequest* request);
+
+  /// Synchronous page round-trip: `SendPage` + wait for this page's
+  /// reply, stashing any other pipelined replies.
+  bool CallPage(WirePageRequest request, Reply* out, int timeout_ms = -1);
 
   /// Fetches the server's `RouterStats` snapshot in structured binary
   /// form. False on transport failure or if the server answered with an

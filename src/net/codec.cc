@@ -244,6 +244,36 @@ bool ReadOnlineStats(ByteReader* reader, serve::OnlineStats* s) {
          reader->Read(&s->last_published_version);
 }
 
+void AppendPageStats(std::vector<uint8_t>* out, const serve::PageStats& s) {
+  Append<uint64_t>(out, s.pages);
+  Append<uint64_t>(out, s.page_lists);
+  Append<uint64_t>(out, s.joint_pages);
+  Append<uint64_t>(out, s.degraded_pages);
+  Append<uint32_t>(out, serve::PageStats::kListsHistBins);
+  AppendBytes(out, s.lists_per_page_hist.data(),
+              s.lists_per_page_hist.size() * sizeof(uint64_t));
+  Append<uint64_t>(out, s.redundancy_millitopics);
+  Append<int32_t>(out, s.max_lists_per_page);
+}
+
+bool ReadPageStats(ByteReader* reader, serve::PageStats* s) {
+  uint32_t bins = 0;
+  if (!reader->Read(&s->pages) || !reader->Read(&s->page_lists) ||
+      !reader->Read(&s->joint_pages) || !reader->Read(&s->degraded_pages) ||
+      !reader->Read(&bins) || bins != serve::PageStats::kListsHistBins) {
+    return false;
+  }
+  for (uint64_t& bin : s->lists_per_page_hist) {
+    if (!reader->Read(&bin)) return false;
+  }
+  int32_t max_lists = 0;
+  if (!reader->Read(&s->redundancy_millitopics) || !reader->Read(&max_lists)) {
+    return false;
+  }
+  s->max_lists_per_page = max_lists;
+  return true;
+}
+
 void AppendRouterStats(std::vector<uint8_t>* out,
                        const serve::RouterStats& s) {
   AppendServingStats(out, s.total);
@@ -256,6 +286,8 @@ void AppendRouterStats(std::vector<uint8_t>* out,
   if (s.has_net) AppendNetStats(out, s.net);
   Append<uint8_t>(out, s.has_online ? 1 : 0);
   if (s.has_online) AppendOnlineStats(out, s.online);
+  Append<uint8_t>(out, s.has_page ? 1 : 0);
+  if (s.has_page) AppendPageStats(out, s.page);
   Append<uint32_t>(out, static_cast<uint32_t>(s.slots.size()));
   for (const serve::RouterStats::SlotEntry& slot : s.slots) {
     AppendString(out, slot.slot);
@@ -283,6 +315,10 @@ bool ReadRouterStats(ByteReader* reader, serve::RouterStats* s,
   if (!reader->Read(&has_online) || has_online > 1) return false;
   s->has_online = has_online != 0;
   if (s->has_online && !ReadOnlineStats(reader, &s->online)) return false;
+  uint8_t has_page = 0;
+  if (!reader->Read(&has_page) || has_page > 1) return false;
+  s->has_page = has_page != 0;
+  if (s->has_page && !ReadPageStats(reader, &s->page)) return false;
   if (!reader->Read(&num_slots) || num_slots > limits.max_items) return false;
   s->slots.clear();
   s->slots.reserve(num_slots);
@@ -555,6 +591,102 @@ bool ParseFeedbackAck(const Frame& frame, WireFeedbackAck* out,
   }
   out->accepted = accepted != 0;
   return true;
+}
+
+void EncodePageRequest(const WirePageRequest& request,
+                       std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  AppendString(&payload, request.slot);
+  Append<uint8_t>(&payload, request.lane == serve::Lane::kHigh ? 0 : 1);
+  Append<int64_t>(&payload, request.deadline_us);
+  Append<int32_t>(&payload, request.user_id);
+  Append<float>(&payload, request.diversity_budget);
+  Append<uint8_t>(&payload, request.joint ? 1 : 0);
+  Append<int32_t>(&payload, request.top_k);
+  Append<uint32_t>(&payload, static_cast<uint32_t>(request.lists.size()));
+  for (const data::ImpressionList& list : request.lists) {
+    Append<uint32_t>(&payload, static_cast<uint32_t>(list.items.size()));
+    AppendBytes(&payload, list.items.data(),
+                list.items.size() * sizeof(int));
+    Append<uint32_t>(&payload, static_cast<uint32_t>(list.scores.size()));
+    AppendBytes(&payload, list.scores.data(),
+                list.scores.size() * sizeof(float));
+  }
+  AppendFrame(out, FrameType::kPageRequest, request.request_id, payload);
+}
+
+void EncodePageResponse(const WirePageResponse& response,
+                        std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  Append<uint8_t>(&payload, response.degraded ? kFlagDegraded : 0);
+  Append<uint64_t>(&payload, response.model_version);
+  AppendString(&payload, response.model_name);
+  Append<int64_t>(&payload, response.server_latency_us);
+  Append<float>(&payload, response.page_coverage);
+  Append<float>(&payload, response.cross_list_redundancy);
+  Append<uint32_t>(&payload, static_cast<uint32_t>(response.lists.size()));
+  for (const std::vector<int>& list : response.lists) {
+    Append<uint32_t>(&payload, static_cast<uint32_t>(list.size()));
+    AppendBytes(&payload, list.data(), list.size() * sizeof(int));
+  }
+  AppendFrame(out, FrameType::kPageResponse, response.request_id, payload);
+}
+
+bool ParsePageRequest(const Frame& frame, WirePageRequest* out,
+                      const CodecLimits& limits) {
+  if (frame.header.type != FrameType::kPageRequest) return false;
+  out->request_id = frame.header.request_id;
+  ByteReader reader(frame.payload.data(), frame.payload.size());
+  uint8_t lane = 0;
+  uint32_t num_lists = 0;
+  if (!reader.ReadString(&out->slot, limits.max_string_bytes) ||
+      !reader.Read(&lane) || lane > 1 || !reader.Read(&out->deadline_us) ||
+      !reader.Read(&out->user_id) || !reader.Read(&out->diversity_budget) ||
+      !reader.Read(&out->joint) || out->joint > 1 ||
+      !reader.Read(&out->top_k) || out->top_k < 0 ||
+      !reader.Read(&num_lists) || num_lists == 0 ||
+      num_lists > limits.max_lists_per_page) {
+    return false;
+  }
+  out->lane = lane == 0 ? serve::Lane::kHigh : serve::Lane::kLow;
+  out->lists.clear();
+  out->lists.reserve(num_lists);
+  for (uint32_t l = 0; l < num_lists; ++l) {
+    data::ImpressionList list;
+    if (!reader.ReadArray(&list.items, limits.max_items) ||
+        !reader.ReadArray(&list.scores, limits.max_items)) {
+      return false;
+    }
+    out->lists.push_back(std::move(list));
+  }
+  return reader.AtEnd();
+}
+
+bool ParsePageResponse(const Frame& frame, WirePageResponse* out,
+                       const CodecLimits& limits) {
+  if (frame.header.type != FrameType::kPageResponse) return false;
+  out->request_id = frame.header.request_id;
+  ByteReader reader(frame.payload.data(), frame.payload.size());
+  uint8_t flags = 0;
+  uint32_t num_lists = 0;
+  if (!reader.Read(&flags) || flags > kFlagDegraded ||
+      !reader.Read(&out->model_version) ||
+      !reader.ReadString(&out->model_name, limits.max_string_bytes) ||
+      !reader.Read(&out->server_latency_us) ||
+      !reader.Read(&out->page_coverage) ||
+      !reader.Read(&out->cross_list_redundancy) ||
+      !reader.Read(&num_lists) || num_lists > limits.max_lists_per_page) {
+    return false;
+  }
+  out->degraded = (flags & kFlagDegraded) != 0;
+  out->lists.clear();
+  out->lists.reserve(num_lists);
+  for (uint32_t l = 0; l < num_lists; ++l) {
+    std::vector<int> items;
+    if (!reader.ReadArray(&items, limits.max_items)) return false;
+    out->lists.push_back(std::move(items));
+  }
+  return reader.AtEnd();
 }
 
 bool ParseLoadRequest(const Frame& frame, WireLoadRequest* out,

@@ -76,6 +76,17 @@ enum class FrameType : uint8_t {
   /// `kError` ("unknown frame type").
   kFeedback = 8,
   kFeedbackAck = 9,
+  /// Client -> server: one *page* — several candidate lists for one user
+  /// plus a shared diversity budget. The server fans the lists into one
+  /// router micro-batch, runs the cross-list greedy pass (`src/page/`)
+  /// over the returned orders, and answers `kPageResponse` with every
+  /// list's final permutation. One frame carrying L lists amortizes
+  /// syscalls and dispatcher round-trips over L single-list frames — the
+  /// bulk-scoring batch frame. Like the other post-v1 frames, a
+  /// compatible extension: an old peer answers `kError`
+  /// ("unknown frame type").
+  kPageRequest = 10,
+  kPageResponse = 11,
 };
 
 /// How a `kStatsRequest` wants its answer encoded.
@@ -99,6 +110,9 @@ struct CodecLimits {
   uint32_t max_items = 4096;
   /// Slot-name / model-name / error-message length.
   uint32_t max_string_bytes = 256;
+  /// Candidate lists one page frame may carry (each list is additionally
+  /// bounded by `max_items`).
+  uint32_t max_lists_per_page = 64;
 };
 
 struct FrameHeader {
@@ -204,6 +218,48 @@ struct WireFeedbackAck {
   std::string message;
 };
 
+/// One page as it crosses the wire: the routing envelope, the user's
+/// diversity budget, and N candidate lists (each list's `items` and
+/// `scores` are meaningful; the per-list `user_id` and `clicks` never
+/// cross — the page-level `user_id` applies to every list).
+struct WirePageRequest {
+  uint64_t request_id = 0;
+  std::string slot;
+  serve::Lane lane = serve::Lane::kHigh;
+  /// Advisory, as on `WireRequest`.
+  int64_t deadline_us = 0;
+  int32_t user_id = 0;
+  /// Per-user diversity budget in mean-topic units (see
+  /// `page::PageRequest::diversity_budget`). The server sanitizes
+  /// non-finite or negative values to 0.
+  float diversity_budget = 0.0f;
+  /// 1 = joint cross-list pass (the default), 0 = independent per-list
+  /// baseline — on the wire so a caller can A/B both against one server.
+  uint8_t joint = 1;
+  /// Positions per list receiving the diversity treatment; 0 = all.
+  int32_t top_k = 0;
+  std::vector<data::ImpressionList> lists;
+};
+
+/// The reranked page as it crosses the wire.
+struct WirePageResponse {
+  uint64_t request_id = 0;
+  /// True when any list was answered degraded — the cross-list pass is
+  /// skipped and the router's per-list orders returned unchanged.
+  bool degraded = false;
+  /// Attribution of the model that scored the lists (first non-degraded
+  /// list's stamp; empty/0 when the whole page degraded).
+  std::string model_name;
+  uint64_t model_version = 0;
+  int64_t server_latency_us = 0;
+  /// Mean-topic coverage of the served page's treated prefixes.
+  float page_coverage = 0.0f;
+  /// Duplicated topic mass across sibling lists (mean-topic units).
+  float cross_list_redundancy = 0.0f;
+  /// One permutation per submitted list, in submission order.
+  std::vector<std::vector<int>> lists;
+};
+
 /// Appends one encoded frame to `out` (does not clear it), so a pipelined
 /// batch can be serialized into one flat buffer and written with one
 /// syscall.
@@ -222,6 +278,10 @@ void EncodeLoadResponse(const WireLoadResponse& response,
                         std::vector<uint8_t>* out);
 void EncodeFeedback(const WireFeedback& feedback, std::vector<uint8_t>* out);
 void EncodeFeedbackAck(const WireFeedbackAck& ack, std::vector<uint8_t>* out);
+void EncodePageRequest(const WirePageRequest& request,
+                       std::vector<uint8_t>* out);
+void EncodePageResponse(const WirePageResponse& response,
+                        std::vector<uint8_t>* out);
 
 enum class DecodeStatus {
   /// One complete frame extracted; `*consumed` bytes were used.
@@ -261,6 +321,10 @@ bool ParseFeedback(const Frame& frame, WireFeedback* out,
                    const CodecLimits& limits = {});
 bool ParseFeedbackAck(const Frame& frame, WireFeedbackAck* out,
                       const CodecLimits& limits = {});
+bool ParsePageRequest(const Frame& frame, WirePageRequest* out,
+                      const CodecLimits& limits = {});
+bool ParsePageResponse(const Frame& frame, WirePageResponse* out,
+                       const CodecLimits& limits = {});
 
 }  // namespace rapid::net
 

@@ -12,9 +12,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <future>
 #include <utility>
 
 #include "online/feedback.h"
+#include "page/page.h"
 #include "serve/prometheus.h"
 
 #if defined(__linux__)
@@ -308,6 +310,8 @@ void Server::DispatcherThread() {
         response.message = "snapshot load failed or canary rejected";
       }
       EncodeLoadResponse(response, &completion.frame);
+    } else if (work.type == FrameType::kPageRequest) {
+      ServePage(std::move(work.page), &completion.frame);
     } else {
       serve::RouterRequest request;
       request.slot = std::move(work.request.slot);
@@ -336,6 +340,90 @@ void Server::DispatcherThread() {
     // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
     [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
   }
+}
+
+void Server::ServePage(WirePageRequest page, std::vector<uint8_t>* frame_out) {
+  const size_t num_lists = page.lists.size();
+  // Submit every list before gathering: the router's micro-batcher sees the
+  // whole page at once, so the lists score in one (or few) model batches —
+  // the throughput edge `bench_page` measures against per-list frames.
+  std::vector<std::future<serve::RouterResponse>> futures;
+  futures.reserve(num_lists);
+  for (data::ImpressionList& list : page.lists) {
+    list.user_id = page.user_id;
+    serve::RouterRequest request;
+    request.slot = page.slot;
+    request.lane = page.lane;
+    request.list = std::move(list);
+    futures.push_back(router_.Submit(std::move(request)));
+  }
+
+  WirePageResponse response;
+  response.request_id = page.request_id;
+  const data::Dataset& data = router_.dataset();
+  const int num_items = static_cast<int>(data.items.size());
+  bool degraded = false;
+  int64_t latency_us = 0;
+  std::vector<std::vector<int>> routed(num_lists);
+  for (size_t l = 0; l < num_lists; ++l) {
+    serve::RouterResponse reply = futures[l].get();
+    if (l == 0) {
+      response.model_name = std::move(reply.model_name);
+      response.model_version = reply.model_version;
+    }
+    degraded = degraded || reply.degraded || reply.shed;
+    latency_us = std::max(latency_us, reply.latency_us);
+    for (const int item : reply.items) {
+      // Degraded fallbacks echo the input order, which may carry ids
+      // outside the catalog; the coverage pass must never index them.
+      if (item < 0 || item >= num_items) degraded = true;
+    }
+    routed[l] = std::move(reply.items);
+  }
+
+  response.server_latency_us = latency_us;
+  response.degraded = degraded;
+  float redundancy = 0.0f;
+  if (degraded) {
+    // Best effort: the router orders are already relevance-ranked; skip
+    // the cross-list pass rather than risk reading out-of-catalog items.
+    response.lists = std::move(routed);
+  } else {
+    page::PageRerankConfig cfg;
+    cfg.joint = page.joint != 0;
+    cfg.top_k = page.top_k;
+    page::PageReranker reranker(data, cfg);
+    std::vector<std::vector<float>> relevance;
+    relevance.reserve(num_lists);
+    for (const std::vector<int>& list : routed) {
+      relevance.push_back(page::PageReranker::RankRelevance(list.size()));
+    }
+    page::PageResult result =
+        reranker.Rerank(routed, relevance, page.diversity_budget);
+    response.page_coverage = result.page_coverage;
+    response.cross_list_redundancy = result.cross_list_redundancy;
+    redundancy = result.cross_list_redundancy;
+    response.lists = std::move(result.lists);
+    if (cfg.joint) joint_pages_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  pages_served_.fetch_add(1, std::memory_order_relaxed);
+  page_lists_.fetch_add(num_lists, std::memory_order_relaxed);
+  if (degraded) degraded_pages_.fetch_add(1, std::memory_order_relaxed);
+  const int bin = std::min<int>(static_cast<int>(num_lists),
+                                serve::PageStats::kListsHistBins) -
+                  1;
+  if (bin >= 0) page_hist_[bin].fetch_add(1, std::memory_order_relaxed);
+  page_redundancy_mt_.fetch_add(
+      static_cast<uint64_t>(std::max(redundancy, 0.0f) * 1000.0f),
+      std::memory_order_relaxed);
+  int prev = page_max_lists_.load(std::memory_order_relaxed);
+  while (prev < static_cast<int>(num_lists) &&
+         !page_max_lists_.compare_exchange_weak(
+             prev, static_cast<int>(num_lists), std::memory_order_relaxed)) {
+  }
+
+  EncodePageResponse(response, frame_out);
 }
 
 void Server::LoopThread() {
@@ -654,6 +742,19 @@ void Server::HandleFrame(Connection* conn, Frame frame) {
     return;
   }
 
+  if (frame.header.type == FrameType::kPageRequest) {
+    Work work;
+    if (!ParsePageRequest(frame, &work.page, config_.limits)) {
+      answer_error("malformed page request");
+      return;
+    }
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    work.conn_id = conn->id;
+    work.type = FrameType::kPageRequest;
+    EnqueueWork(conn, std::move(work));
+    return;
+  }
+
   if (frame.header.type != FrameType::kScoreRequest) {
     answer_error("unexpected frame type");
     return;
@@ -847,6 +948,21 @@ serve::RouterStats Server::StatsWithNet() const {
   if (config_.online_stats) {
     stats.online = config_.online_stats();
     stats.has_online = true;
+  }
+  if (pages_served_.load(std::memory_order_relaxed) > 0) {
+    serve::PageStats& p = stats.page;
+    p.pages = pages_served_.load(std::memory_order_relaxed);
+    p.page_lists = page_lists_.load(std::memory_order_relaxed);
+    p.joint_pages = joint_pages_.load(std::memory_order_relaxed);
+    p.degraded_pages = degraded_pages_.load(std::memory_order_relaxed);
+    for (int i = 0; i < serve::PageStats::kListsHistBins; ++i) {
+      p.lists_per_page_hist[i] =
+          page_hist_[i].load(std::memory_order_relaxed);
+    }
+    p.redundancy_millitopics =
+        page_redundancy_mt_.load(std::memory_order_relaxed);
+    p.max_lists_per_page = page_max_lists_.load(std::memory_order_relaxed);
+    stats.has_page = true;
   }
   return stats;
 }

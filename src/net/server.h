@@ -1,6 +1,7 @@
 #ifndef RAPID_NET_SERVER_H_
 #define RAPID_NET_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -174,6 +175,7 @@ class Server {
     StatsFormat stats_format = StatsFormat::kBinary;
     std::string load_slot;
     std::string load_path;
+    WirePageRequest page;
   };
   struct Completion {
     uint64_t conn_id = 0;
@@ -182,6 +184,11 @@ class Server {
 
   void LoopThread();
   void DispatcherThread();
+  /// Page fan-out on a dispatcher thread: submits every list of the page
+  /// through the router (they micro-batch together), gathers the routed
+  /// orders, runs the cross-list greedy pass when every list came back
+  /// clean, and encodes the page response frame into `frame_out`.
+  void ServePage(WirePageRequest page, std::vector<uint8_t>* frame_out);
 
   void AcceptReady();
   /// Reads until EAGAIN, then parses every complete frame in the buffer.
@@ -252,6 +259,16 @@ class Server {
   std::atomic<uint64_t> load_frames_{0};
   std::atomic<uint64_t> feedback_frames_{0};
   std::atomic<int> max_inflight_{0};
+
+  // Page-serving counters (see serve::PageStats).
+  std::atomic<uint64_t> pages_served_{0};
+  std::atomic<uint64_t> page_lists_{0};
+  std::atomic<uint64_t> joint_pages_{0};
+  std::atomic<uint64_t> degraded_pages_{0};
+  std::array<std::atomic<uint64_t>, serve::PageStats::kListsHistBins>
+      page_hist_{};
+  std::atomic<uint64_t> page_redundancy_mt_{0};
+  std::atomic<int> page_max_lists_{0};
 };
 
 }  // namespace rapid::net

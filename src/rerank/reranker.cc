@@ -49,4 +49,22 @@ float CoverageCosine(const data::Item& a, const data::Item& b) {
   return static_cast<float>(dot / std::sqrt(na * nb));
 }
 
+float MarginalCoverageGain(const data::Item& item,
+                           const std::vector<float>& residual) {
+  const size_t m = residual.size();
+  if (m == 0) return 0.0f;
+  double gain = 0.0;
+  for (size_t j = 0; j < m && j < item.topic_coverage.size(); ++j) {
+    gain += item.topic_coverage[j] * residual[j];
+  }
+  return static_cast<float>(gain / static_cast<double>(m));
+}
+
+void AbsorbCoverage(const data::Item& item, std::vector<float>* residual) {
+  for (size_t j = 0; j < residual->size() && j < item.topic_coverage.size();
+       ++j) {
+    (*residual)[j] *= 1.0f - item.topic_coverage[j];
+  }
+}
+
 }  // namespace rapid::rerank

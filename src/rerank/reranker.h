@@ -80,6 +80,21 @@ std::vector<float> NormalizedScores(const data::ImpressionList& list);
 /// is all-zero).
 float CoverageCosine(const data::Item& a, const data::Item& b);
 
+/// The RAPID coverage function (Eq. 4) factored into externalized state:
+/// `residual[j]` is the uncovered probability mass of topic j given
+/// everything already selected, i.e. `prod_v (1 - tau_v^j)` over the
+/// selections so far. Keeping the residual outside any single list is what
+/// lets a *page* share one coverage state across sibling lists — an item's
+/// marginal gain shrinks when a sibling list already covered its topics.
+///
+/// Marginal coverage gain of adding `item` against `residual`, averaged
+/// over topics: `(1/m) sum_j tau_v^j * residual[j]`, in [0, 1].
+float MarginalCoverageGain(const data::Item& item,
+                           const std::vector<float>& residual);
+
+/// Folds `item` into `residual` in place: `residual[j] *= (1 - tau_v^j)`.
+void AbsorbCoverage(const data::Item& item, std::vector<float>* residual);
+
 }  // namespace rapid::rerank
 
 #endif  // RAPID_RERANK_RERANKER_H_

@@ -274,6 +274,53 @@ std::string OnlineStats::ToJson() const {
   return buf;
 }
 
+std::string PageStats::ToTable() const {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "  pages           %10llu (%llu lists, max %d per page)\n"
+                "  page joint      %10llu\n"
+                "  page degraded   %10llu\n"
+                "  page redundancy %10llu millitopics\n",
+                static_cast<unsigned long long>(pages),
+                static_cast<unsigned long long>(page_lists),
+                max_lists_per_page,
+                static_cast<unsigned long long>(joint_pages),
+                static_cast<unsigned long long>(degraded_pages),
+                static_cast<unsigned long long>(redundancy_millitopics));
+  std::string out = buf;
+  out += "  lists/page hist ";
+  for (int i = 0; i < kListsHistBins; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%llu", i == 0 ? "" : " ",
+                  static_cast<unsigned long long>(lists_per_page_hist[i]));
+    out += buf;
+  }
+  out += "\n";
+  return out;
+}
+
+std::string PageStats::ToJson() const {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "{\"pages\": %llu, \"page_lists\": %llu, "
+                "\"joint_pages\": %llu, \"degraded_pages\": %llu, "
+                "\"redundancy_millitopics\": %llu, "
+                "\"max_lists_per_page\": %d, \"lists_per_page_hist\": [",
+                static_cast<unsigned long long>(pages),
+                static_cast<unsigned long long>(page_lists),
+                static_cast<unsigned long long>(joint_pages),
+                static_cast<unsigned long long>(degraded_pages),
+                static_cast<unsigned long long>(redundancy_millitopics),
+                max_lists_per_page);
+  std::string out = buf;
+  for (int i = 0; i < kListsHistBins; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%llu", i == 0 ? "" : ", ",
+                  static_cast<unsigned long long>(lists_per_page_hist[i]));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
 std::string ServingStats::ToTable() const {
   char buf[1024];
   const double mean_batch =

@@ -190,6 +190,42 @@ struct OnlineStats {
   std::string ToJson() const;
 };
 
+/// Point-in-time counters of the page-level reranking path (`src/page/`
+/// served through `net::Server`'s `kPageRequest` dispatch), surfaced
+/// through `RouterStats::page` when a network front-end serves pages.
+/// Defined here for the same reason as `NetStats`: the serve layer embeds
+/// and renders the numbers without depending on the page subsystem.
+struct PageStats {
+  /// Size of the fixed lists-per-page histogram: bin `i` counts pages
+  /// carrying exactly `i + 1` lists; the last bin absorbs everything at or
+  /// above `kListsHistBins`.
+  static constexpr int kListsHistBins = 8;
+
+  /// Page requests served end to end (one `kPageRequest` frame each).
+  uint64_t pages = 0;
+  /// Candidate lists carried by those pages (sum of lists per page).
+  uint64_t page_lists = 0;
+  /// Pages served with the joint cross-list pass (the rest ran the
+  /// independent per-list baseline the caller requested).
+  uint64_t joint_pages = 0;
+  /// Pages with at least one degraded list (fallback answered) — the
+  /// cross-list pass is skipped and the router's per-list orders returned.
+  uint64_t degraded_pages = 0;
+  /// Lists-per-page distribution; see `kListsHistBins`.
+  std::array<uint64_t, kListsHistBins> lists_per_page_hist{};
+  /// Cross-list redundancy observed on served pages, accumulated in
+  /// milli-topics (1000 x the mean-topic coverage mass duplicated across
+  /// sibling lists; see `page::CrossListRedundancy`).
+  uint64_t redundancy_millitopics = 0;
+  /// Largest page seen, in lists.
+  int max_lists_per_page = 0;
+
+  /// Two-column human-readable block matching `ServingStats::ToTable`.
+  std::string ToTable() const;
+  /// Flat JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
 /// Lock-free serving-side metrics: request/fallback/shed counters, an
 /// HDR-style log-bucketed latency histogram (32 octaves x 8 sub-buckets,
 /// ~9% relative error), and a max queue-depth gauge. All recording methods

@@ -229,6 +229,32 @@ std::string RenderPrometheus(const RouterStats& stats) {
             static_cast<double>(o.last_published_version));
   }
 
+  if (stats.has_page) {
+    const PageStats& p = stats.page;
+    r.Counter("rapid_page_pages_total",
+              "Page requests served end to end.", p.pages);
+    r.Counter("rapid_page_lists_total",
+              "Candidate lists carried by page requests.", p.page_lists);
+    r.Counter("rapid_page_joint_total",
+              "Pages served with the joint cross-list pass.", p.joint_pages);
+    r.Counter("rapid_page_degraded_total",
+              "Pages with at least one degraded list.", p.degraded_pages);
+    r.Counter("rapid_page_redundancy_millitopics_total",
+              "Cross-list redundancy observed on served pages.",
+              p.redundancy_millitopics);
+    r.Gauge("rapid_page_max_lists", "Largest page seen, in lists.",
+            static_cast<double>(p.max_lists_per_page));
+    r.Header("rapid_page_lists_per_page_total",
+             "Pages by number of lists carried.", "counter");
+    for (int i = 0; i < PageStats::kListsHistBins; ++i) {
+      char label[48];
+      std::snprintf(label, sizeof(label), "{lists=\"%d%s\"}", i + 1,
+                    i + 1 == PageStats::kListsHistBins ? "+" : "");
+      r.Sample("rapid_page_lists_per_page_total", label,
+               p.lists_per_page_hist[i]);
+    }
+  }
+
   if (!stats.slots.empty()) {
     r.Header("rapid_slot_requests_total", "Completed requests per slot.",
              "counter");

@@ -519,6 +519,7 @@ std::string RouterStats::ToTable() const {
   out += line;
   if (has_net) out += net.ToTable();
   if (has_online) out += online.ToTable();
+  if (has_page) out += page.ToTable();
   for (const SlotEntry& slot : slots) {
     std::snprintf(line, sizeof(line), "slot %s (%s v%llu):\n",
                   slot.slot.c_str(), slot.model_name.c_str(),
@@ -535,6 +536,7 @@ std::string RouterStats::ToJson() const {
   out += ", \"cache\": " + cache.ToJson();
   if (has_net) out += ", \"net\": " + net.ToJson();
   if (has_online) out += ", \"online\": " + online.ToJson();
+  if (has_page) out += ", \"page\": " + page.ToJson();
   char buf[192];
   std::snprintf(buf, sizeof(buf),
                 ", \"unknown_slot\": %llu, \"invalid_ids\": %llu, "

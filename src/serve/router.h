@@ -125,6 +125,11 @@ struct RouterStats {
   /// provider when the loop wraps this router; absent otherwise.
   bool has_online = false;
   OnlineStats online;
+  /// Page-level reranking counters (`src/page/` served over the wire),
+  /// filled by `net::Server::StatsWithNet`; absent for in-process use and
+  /// for servers that never saw a `kPageRequest` frame.
+  bool has_page = false;
+  PageStats page;
 
   std::string ToTable() const;
   /// One JSON object: `{"total": {...}, "unknown_slot": n, "slots": {...}}`.
@@ -233,6 +238,10 @@ class ServingRouter {
   RouterStats stats() const;
 
   const RouterConfig& config() const { return config_; }
+
+  /// The borrowed dataset this router serves against — the item catalog
+  /// the page-level cross-list pass needs for topic-coverage vectors.
+  const data::Dataset& dataset() const { return data_; }
 
  private:
   struct PendingRequest {

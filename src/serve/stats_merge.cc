@@ -101,6 +101,19 @@ void MergeInto(OnlineStats* dst, const OnlineStats& src) {
       std::max(dst->last_published_version, src.last_published_version);
 }
 
+void MergeInto(PageStats* dst, const PageStats& src) {
+  dst->pages += src.pages;
+  dst->page_lists += src.page_lists;
+  dst->joint_pages += src.joint_pages;
+  dst->degraded_pages += src.degraded_pages;
+  for (int i = 0; i < PageStats::kListsHistBins; ++i) {
+    dst->lists_per_page_hist[i] += src.lists_per_page_hist[i];
+  }
+  dst->redundancy_millitopics += src.redundancy_millitopics;
+  dst->max_lists_per_page =
+      std::max(dst->max_lists_per_page, src.max_lists_per_page);
+}
+
 void MergeInto(RouterStats* dst, const RouterStats& src) {
   MergeInto(&dst->total, src.total);
   MergeInto(&dst->cache, src.cache);
@@ -115,6 +128,10 @@ void MergeInto(RouterStats* dst, const RouterStats& src) {
   if (src.has_online) {
     MergeInto(&dst->online, src.online);
     dst->has_online = true;
+  }
+  if (src.has_page) {
+    MergeInto(&dst->page, src.page);
+    dst->has_page = true;
   }
   for (const RouterStats::SlotEntry& slot : src.slots) {
     auto it = std::find_if(dst->slots.begin(), dst->slots.end(),

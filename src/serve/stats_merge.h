@@ -30,6 +30,10 @@ void MergeInto(NetStats* dst, const NetStats& src);
 /// Folds `src` into `dst`: counters sum, `last_published_version` maxes.
 void MergeInto(OnlineStats* dst, const OnlineStats& src);
 
+/// Folds `src` into `dst`: counters and the lists-per-page histogram sum,
+/// `max_lists_per_page` maxes.
+void MergeInto(PageStats* dst, const PageStats& src);
+
 /// Folds a full per-shard snapshot into `dst`: totals and cache merge as
 /// above, rejection counters sum, per-slot entries merge by slot name
 /// (a slot present on several shards becomes one entry; mid-rollout

@@ -193,6 +193,20 @@ serve::RouterStats RandomRouterStats(std::mt19937_64& rng) {
     stats.online.publishes = rng() % 100;
     stats.online.last_published_version = rng() % 100;
   }
+  if (rng() & 1) {
+    stats.has_page = true;
+    stats.page.pages = rng() % 10'000;
+    stats.page.page_lists = rng() % 100'000;
+    stats.page.joint_pages = rng() % 10'000;
+    stats.page.degraded_pages = rng() % 100;
+    for (int i = 0; i < 3; ++i) {
+      stats.page.lists_per_page_hist[rng() %
+                                     serve::PageStats::kListsHistBins] =
+          rng() % 50;
+    }
+    stats.page.redundancy_millitopics = rng() % 100'000;
+    stats.page.max_lists_per_page = static_cast<int>(rng() % 64);
+  }
   const size_t slots = rng() % 4;
   for (size_t i = 0; i < slots; ++i) {
     serve::RouterStats::SlotEntry slot;
@@ -225,6 +239,12 @@ std::vector<serve::RouterStats> ShrinkRouterStats(
     no_net.has_net = false;
     no_net.net = serve::NetStats{};
     out.push_back(std::move(no_net));
+  }
+  if (s.has_page) {
+    serve::RouterStats no_page = s;
+    no_page.has_page = false;
+    no_page.page = serve::PageStats{};
+    out.push_back(std::move(no_page));
   }
   return out;
 }
@@ -315,6 +335,155 @@ TEST(CodecPropertyTest, LoadFramesDecodeEncodeIsIdentity) {
       [](const LoadPair& p) { return "slot='" + p.request.slot + "'"; }));
 }
 
+net::WirePageRequest RandomPageRequest(std::mt19937_64& rng) {
+  net::WirePageRequest request;
+  request.request_id = rng();
+  request.slot = RandomSlot(rng);
+  request.lane = (rng() & 1) ? serve::Lane::kLow : serve::Lane::kHigh;
+  request.deadline_us = static_cast<int64_t>(rng() % 1'000'000);
+  request.user_id = static_cast<int>(rng() % 10'000);
+  std::uniform_real_distribution<float> budget(0.0f, 8.0f);
+  request.diversity_budget = budget(rng);
+  request.joint = static_cast<uint8_t>(rng() & 1);
+  request.top_k = static_cast<int>(rng() % 20);
+  const size_t num_lists = 1 + rng() % 6;
+  std::uniform_real_distribution<float> score(-100.0f, 100.0f);
+  for (size_t l = 0; l < num_lists; ++l) {
+    data::ImpressionList list;
+    const size_t n = rng() % 32;
+    for (size_t i = 0; i < n; ++i) {
+      list.items.push_back(static_cast<int>(rng() % 100'000));
+      list.scores.push_back(score(rng));
+    }
+    request.lists.push_back(std::move(list));
+  }
+  return request;
+}
+
+std::vector<net::WirePageRequest> ShrinkPageRequest(
+    const net::WirePageRequest& r) {
+  std::vector<net::WirePageRequest> out;
+  if (r.lists.size() > 1) {
+    net::WirePageRequest fewer = r;
+    fewer.lists.pop_back();
+    out.push_back(std::move(fewer));
+  }
+  if (!r.lists.empty() && !r.lists.back().items.empty()) {
+    net::WirePageRequest smaller = r;
+    smaller.lists.back().items.resize(r.lists.back().items.size() / 2);
+    smaller.lists.back().scores.resize(r.lists.back().items.size() / 2);
+    out.push_back(std::move(smaller));
+  }
+  if (!r.slot.empty()) {
+    net::WirePageRequest no_slot = r;
+    no_slot.slot.clear();
+    out.push_back(std::move(no_slot));
+  }
+  return out;
+}
+
+std::string DescribePageRequest(const net::WirePageRequest& r) {
+  std::ostringstream os;
+  os << "slot='" << r.slot << "' lists=" << r.lists.size();
+  for (const data::ImpressionList& list : r.lists) {
+    os << " n=" << list.items.size();
+  }
+  return os.str();
+}
+
+TEST(CodecPropertyTest, PageRequestDecodeEncodeIsIdentity) {
+  EXPECT_TRUE(proptest::ForAll(
+      20260814, 300, RandomPageRequest, ShrinkPageRequest,
+      [](const net::WirePageRequest& request) {
+        std::vector<uint8_t> bytes;
+        net::EncodePageRequest(request, &bytes);
+        size_t consumed = 0;
+        net::Frame frame;
+        if (net::ExtractFrame(bytes.data(), bytes.size(), &consumed,
+                              &frame) != net::DecodeStatus::kOk ||
+            consumed != bytes.size()) {
+          return false;
+        }
+        net::WirePageRequest decoded;
+        if (!net::ParsePageRequest(frame, &decoded)) return false;
+        if (decoded.lists.size() != request.lists.size()) return false;
+        std::vector<uint8_t> again;
+        net::EncodePageRequest(decoded, &again);
+        return again == bytes;
+      },
+      DescribePageRequest));
+}
+
+net::WirePageResponse RandomPageResponse(std::mt19937_64& rng) {
+  net::WirePageResponse response;
+  response.request_id = rng();
+  response.degraded = (rng() & 1) != 0;
+  response.model_name = RandomSlot(rng);
+  response.model_version = rng() % 1000;
+  response.server_latency_us = static_cast<int64_t>(rng() % 1'000'000);
+  std::uniform_real_distribution<float> unit(0.0f, 1.0f);
+  response.page_coverage = unit(rng);
+  response.cross_list_redundancy = unit(rng);
+  const size_t num_lists = rng() % 6;
+  for (size_t l = 0; l < num_lists; ++l) {
+    std::vector<int> items(rng() % 32);
+    for (int& item : items) item = static_cast<int>(rng() % 100'000);
+    response.lists.push_back(std::move(items));
+  }
+  return response;
+}
+
+TEST(CodecPropertyTest, PageResponseDecodeEncodeIsIdentity) {
+  EXPECT_TRUE(proptest::ForAll(
+      20260815, 300, RandomPageResponse,
+      [](const net::WirePageResponse& r) {
+        std::vector<net::WirePageResponse> out;
+        if (!r.lists.empty()) {
+          net::WirePageResponse fewer = r;
+          fewer.lists.pop_back();
+          out.push_back(std::move(fewer));
+        }
+        return out;
+      },
+      [](const net::WirePageResponse& response) {
+        std::vector<uint8_t> bytes;
+        net::EncodePageResponse(response, &bytes);
+        size_t consumed = 0;
+        net::Frame frame;
+        if (net::ExtractFrame(bytes.data(), bytes.size(), &consumed,
+                              &frame) != net::DecodeStatus::kOk) {
+          return false;
+        }
+        net::WirePageResponse decoded;
+        if (!net::ParsePageResponse(frame, &decoded)) return false;
+        std::vector<uint8_t> again;
+        net::EncodePageResponse(decoded, &again);
+        return again == bytes;
+      },
+      [](const net::WirePageResponse& r) {
+        return "lists=" + std::to_string(r.lists.size());
+      }));
+}
+
+TEST(CodecPropertyTest, EveryStrictPagePrefixIsNeedMore) {
+  EXPECT_TRUE(proptest::ForAll(
+      20260816, 60, RandomPageRequest, ShrinkPageRequest,
+      [](const net::WirePageRequest& request) {
+        std::vector<uint8_t> bytes;
+        net::EncodePageRequest(request, &bytes);
+        for (size_t size = 0; size < bytes.size(); ++size) {
+          size_t consumed = 0;
+          net::Frame frame;
+          if (net::ExtractFrame(bytes.data(), size, &consumed, &frame) !=
+              net::DecodeStatus::kNeedMore) {
+            return false;
+          }
+        }
+        return true;
+      },
+      DescribePageRequest));
+}
+
 // ---------------------------------------------------------------------------
 // No input may crash the decoder
 
@@ -335,6 +504,8 @@ bool DecoderSurvives(const std::vector<uint8_t>& bytes) {
     net::WireLoadResponse load_response;
     net::WireFeedback feedback;
     net::WireFeedbackAck ack;
+    net::WirePageRequest page_request;
+    net::WirePageResponse page_response;
     net::WireError error;
     net::ParseScoreRequest(frame, &request);
     net::ParseScoreResponse(frame, &response);
@@ -344,6 +515,8 @@ bool DecoderSurvives(const std::vector<uint8_t>& bytes) {
     net::ParseLoadResponse(frame, &load_response);
     net::ParseFeedback(frame, &feedback);
     net::ParseFeedbackAck(frame, &ack);
+    net::ParsePageRequest(frame, &page_request);
+    net::ParsePageResponse(frame, &page_response);
     net::ParseError(frame, &error);
   }
   return true;
@@ -368,7 +541,7 @@ TEST(CodecPropertyTest, MutatedValidFramesNeverCrashAnyParser) {
       20260813, 600,
       [](std::mt19937_64& rng) {
         std::vector<uint8_t> bytes;
-        switch (rng() % 4) {
+        switch (rng() % 6) {
           case 0:
             net::EncodeFeedback(RandomFeedback(rng), &bytes);
             break;
@@ -382,6 +555,12 @@ TEST(CodecPropertyTest, MutatedValidFramesNeverCrashAnyParser) {
             net::EncodeStatsResponse(response, &bytes);
             break;
           }
+          case 3:
+            net::EncodePageRequest(RandomPageRequest(rng), &bytes);
+            break;
+          case 4:
+            net::EncodePageResponse(RandomPageResponse(rng), &bytes);
+            break;
           default: {
             net::WireFeedbackAck ack;
             ack.accepted = true;

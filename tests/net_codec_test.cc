@@ -381,6 +381,15 @@ TEST(NetCodecTest, BinaryStatsResponseRoundTripsEveryField) {
   stats.net.load_frames = 2;
   stats.net.feedback_frames = 15;
   stats.net.max_inflight_per_conn = 13;
+  stats.has_page = true;
+  stats.page.pages = 41;
+  stats.page.page_lists = 123;
+  stats.page.joint_pages = 40;
+  stats.page.degraded_pages = 1;
+  stats.page.lists_per_page_hist[2] = 39;
+  stats.page.lists_per_page_hist[7] = 2;
+  stats.page.redundancy_millitopics = 523;
+  stats.page.max_lists_per_page = 12;
   stats.has_online = true;
   stats.online.feedback_appended = 90;
   stats.online.feedback_dropped = 1;
@@ -438,6 +447,15 @@ TEST(NetCodecTest, BinaryStatsResponseRoundTripsEveryField) {
   EXPECT_EQ(decoded.stats.online.publish_rejected, 1u);
   EXPECT_EQ(decoded.stats.online.publish_skipped, 2u);
   EXPECT_EQ(decoded.stats.online.last_published_version, 4u);
+  ASSERT_TRUE(decoded.stats.has_page);
+  EXPECT_EQ(decoded.stats.page.pages, 41u);
+  EXPECT_EQ(decoded.stats.page.page_lists, 123u);
+  EXPECT_EQ(decoded.stats.page.joint_pages, 40u);
+  EXPECT_EQ(decoded.stats.page.degraded_pages, 1u);
+  EXPECT_EQ(decoded.stats.page.lists_per_page_hist[2], 39u);
+  EXPECT_EQ(decoded.stats.page.lists_per_page_hist[7], 2u);
+  EXPECT_EQ(decoded.stats.page.redundancy_millitopics, 523u);
+  EXPECT_EQ(decoded.stats.page.max_lists_per_page, 12);
   ASSERT_EQ(decoded.stats.slots.size(), 1u);
   EXPECT_EQ(decoded.stats.slots[0].slot, "main");
   EXPECT_EQ(decoded.stats.slots[0].model_name, "rapid-v2");
@@ -612,6 +630,105 @@ TEST(NetCodecTest, FeedbackClickLabelsMustAlignAndBeBinary) {
     net::WireFeedback decoded;
     EXPECT_FALSE(net::ParseFeedback(ExtractOne(bad), &decoded));
   }
+}
+
+net::WirePageRequest SamplePageRequest(uint64_t id = 31) {
+  net::WirePageRequest request;
+  request.request_id = id;
+  request.slot = "main";
+  request.lane = serve::Lane::kLow;
+  request.deadline_us = 9000;
+  request.user_id = 17;
+  request.diversity_budget = 1.75f;
+  request.joint = 1;
+  request.top_k = 5;
+  for (int l = 0; l < 3; ++l) {
+    data::ImpressionList list;
+    for (int i = 0; i < 4 + l; ++i) {
+      list.items.push_back(l * 100 + i);
+      list.scores.push_back(0.9f - 0.05f * static_cast<float>(i));
+    }
+    request.lists.push_back(std::move(list));
+  }
+  return request;
+}
+
+TEST(NetCodecTest, PageRequestRoundTrips) {
+  const net::WirePageRequest request = SamplePageRequest();
+  std::vector<uint8_t> bytes;
+  net::EncodePageRequest(request, &bytes);
+  const net::Frame frame = ExtractOne(bytes);
+  EXPECT_EQ(frame.header.type, net::FrameType::kPageRequest);
+
+  net::WirePageRequest decoded;
+  ASSERT_TRUE(net::ParsePageRequest(frame, &decoded));
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.slot, request.slot);
+  EXPECT_EQ(decoded.lane, request.lane);
+  EXPECT_EQ(decoded.deadline_us, request.deadline_us);
+  EXPECT_EQ(decoded.user_id, request.user_id);
+  EXPECT_FLOAT_EQ(decoded.diversity_budget, request.diversity_budget);
+  EXPECT_EQ(decoded.joint, request.joint);
+  EXPECT_EQ(decoded.top_k, request.top_k);
+  ASSERT_EQ(decoded.lists.size(), request.lists.size());
+  for (size_t l = 0; l < request.lists.size(); ++l) {
+    EXPECT_EQ(decoded.lists[l].items, request.lists[l].items);
+    EXPECT_EQ(decoded.lists[l].scores, request.lists[l].scores);
+  }
+}
+
+TEST(NetCodecTest, PageResponseRoundTrips) {
+  net::WirePageResponse response;
+  response.request_id = 32;
+  response.degraded = true;
+  response.model_name = "rapid-v3";
+  response.model_version = 12;
+  response.server_latency_us = 777;
+  response.page_coverage = 0.625f;
+  response.cross_list_redundancy = 0.125f;
+  response.lists = {{5, 3, 1}, {}, {9, 8, 7, 6}};
+
+  std::vector<uint8_t> bytes;
+  net::EncodePageResponse(response, &bytes);
+  const net::Frame frame = ExtractOne(bytes);
+  EXPECT_EQ(frame.header.type, net::FrameType::kPageResponse);
+
+  net::WirePageResponse decoded;
+  ASSERT_TRUE(net::ParsePageResponse(frame, &decoded));
+  EXPECT_EQ(decoded.request_id, 32u);
+  EXPECT_TRUE(decoded.degraded);
+  EXPECT_EQ(decoded.model_name, "rapid-v3");
+  EXPECT_EQ(decoded.model_version, 12u);
+  EXPECT_EQ(decoded.server_latency_us, 777);
+  EXPECT_FLOAT_EQ(decoded.page_coverage, 0.625f);
+  EXPECT_FLOAT_EQ(decoded.cross_list_redundancy, 0.125f);
+  EXPECT_EQ(decoded.lists, response.lists);
+}
+
+TEST(NetCodecTest, PageRequestLimitsListsAndItems) {
+  net::CodecLimits limits;
+  limits.max_lists_per_page = 2;
+  net::WirePageRequest request = SamplePageRequest();  // 3 lists.
+  std::vector<uint8_t> bytes;
+  net::EncodePageRequest(request, &bytes);
+  net::Frame frame = ExtractOne(bytes);
+  net::WirePageRequest decoded;
+  EXPECT_FALSE(net::ParsePageRequest(frame, &decoded, limits));
+
+  // An empty page carries no lists to score — rejected outright.
+  request.lists.clear();
+  bytes.clear();
+  net::EncodePageRequest(request, &bytes);
+  frame = ExtractOne(bytes);
+  EXPECT_FALSE(net::ParsePageRequest(frame, &decoded));
+
+  net::CodecLimits tight;
+  tight.max_items = 3;
+  net::WirePageRequest big = SamplePageRequest();  // Lists of 4..6 items.
+  bytes.clear();
+  net::EncodePageRequest(big, &bytes);
+  frame = ExtractOne(bytes);
+  EXPECT_FALSE(net::ParsePageRequest(frame, &decoded, tight));
 }
 
 TEST(NetCodecTest, TruncatedStatsResponseFailsCleanly) {

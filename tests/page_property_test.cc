@@ -1,0 +1,203 @@
+// Property-based invariants of the page-level reranker: every output list
+// is a permutation of its input, results are deterministic, zero budget
+// degenerates to pure relevance order, and the coverage diagnostics stay
+// inside their mathematical bounds — swept over random pages, list shapes,
+// budgets, and joint/independent configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datagen/simulator.h"
+#include "page/page.h"
+#include "proptest.h"
+
+namespace rapid {
+namespace {
+
+const data::Dataset& SharedDataset() {
+  static const data::Dataset data = [] {
+    data::SimConfig cfg;
+    cfg.kind = data::DatasetKind::kTaobao;
+    cfg.num_users = 10;
+    cfg.num_items = 80;
+    return data::GenerateDataset(cfg, 404);
+  }();
+  return data;
+}
+
+struct PageCase {
+  std::vector<std::vector<int>> lists;
+  std::vector<std::vector<float>> relevance;
+  float budget = 0.0f;
+  page::PageRerankConfig config;
+};
+
+PageCase RandomPageCase(std::mt19937_64& rng) {
+  const data::Dataset& data = SharedDataset();
+  PageCase page;
+  const size_t num_lists = 1 + rng() % 4;
+  std::uniform_real_distribution<float> unit(0.0f, 1.0f);
+  for (size_t l = 0; l < num_lists; ++l) {
+    const size_t n = rng() % 12;
+    std::vector<int> items(n);
+    std::vector<float> relevance(n);
+    for (size_t i = 0; i < n; ++i) {
+      items[i] = static_cast<int>(rng() % data.items.size());
+      relevance[i] = unit(rng);
+    }
+    page.lists.push_back(std::move(items));
+    page.relevance.push_back(std::move(relevance));
+  }
+  page.budget = unit(rng) * 4.0f;
+  page.config.joint = (rng() & 1) != 0;
+  page.config.lambda = unit(rng);
+  page.config.top_k = static_cast<int>(rng() % 8);
+  return page;
+}
+
+std::vector<PageCase> ShrinkPageCase(const PageCase& page) {
+  std::vector<PageCase> out;
+  if (page.lists.size() > 1) {
+    PageCase fewer = page;
+    fewer.lists.pop_back();
+    fewer.relevance.pop_back();
+    out.push_back(std::move(fewer));
+  }
+  if (!page.lists.empty() && !page.lists.back().empty()) {
+    PageCase smaller = page;
+    smaller.lists.back().resize(page.lists.back().size() / 2);
+    smaller.relevance.back().resize(page.lists.back().size() / 2);
+    out.push_back(std::move(smaller));
+  }
+  if (page.budget > 0.0f) {
+    PageCase broke = page;
+    broke.budget = 0.0f;
+    out.push_back(std::move(broke));
+  }
+  return out;
+}
+
+std::string DescribePageCase(const PageCase& page) {
+  std::ostringstream os;
+  os << "lists=" << page.lists.size() << " budget=" << page.budget
+     << (page.config.joint ? " joint" : " indep")
+     << " lambda=" << page.config.lambda << " top_k=" << page.config.top_k;
+  for (const std::vector<int>& list : page.lists) os << " n=" << list.size();
+  return os.str();
+}
+
+bool IsPermutationOf(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return sa == sb;
+}
+
+TEST(PagePropertyTest, EveryOutputListIsAPermutationOfItsInput) {
+  EXPECT_TRUE(proptest::ForAll(
+      20260817, 200, RandomPageCase, ShrinkPageCase,
+      [](const PageCase& page) {
+        const page::PageReranker reranker(SharedDataset(), page.config);
+        const page::PageResult result =
+            reranker.Rerank(page.lists, page.relevance, page.budget);
+        if (result.lists.size() != page.lists.size()) return false;
+        for (size_t l = 0; l < page.lists.size(); ++l) {
+          if (!IsPermutationOf(result.lists[l], page.lists[l])) return false;
+        }
+        return true;
+      },
+      DescribePageCase));
+}
+
+TEST(PagePropertyTest, RerankIsDeterministic) {
+  EXPECT_TRUE(proptest::ForAll(
+      20260818, 100, RandomPageCase, ShrinkPageCase,
+      [](const PageCase& page) {
+        const page::PageReranker reranker(SharedDataset(), page.config);
+        const page::PageResult a =
+            reranker.Rerank(page.lists, page.relevance, page.budget);
+        const page::PageResult b =
+            reranker.Rerank(page.lists, page.relevance, page.budget);
+        return a.lists == b.lists && a.page_coverage == b.page_coverage &&
+               a.diversity_spent == b.diversity_spent;
+      },
+      DescribePageCase));
+}
+
+TEST(PagePropertyTest, ZeroBudgetSortsEachListByRelevance) {
+  EXPECT_TRUE(proptest::ForAll(
+      20260819, 150, RandomPageCase, ShrinkPageCase,
+      [](const PageCase& page) {
+        const page::PageReranker reranker(SharedDataset(), page.config);
+        const page::PageResult result =
+            reranker.Rerank(page.lists, page.relevance, 0.0f);
+        if (result.diversity_spent != 0.0f) return false;
+        for (size_t l = 0; l < page.lists.size(); ++l) {
+          // The emitted order must be non-increasing in relevance.
+          float prev = 2.0f;
+          for (const int item : result.lists[l]) {
+            const auto at = std::find(page.lists[l].begin(),
+                                      page.lists[l].end(), item);
+            float rel = page.relevance[l][static_cast<size_t>(
+                at - page.lists[l].begin())];
+            // Duplicated ids share the first occurrence's relevance; skip
+            // the monotonicity check for them (the permutation property
+            // still pins correctness).
+            bool duplicated =
+                std::count(page.lists[l].begin(), page.lists[l].end(), item) >
+                1;
+            if (!duplicated && rel > prev + 1e-6f) return false;
+            if (!duplicated) prev = rel;
+          }
+        }
+        return true;
+      },
+      DescribePageCase));
+}
+
+TEST(PagePropertyTest, CoverageDiagnosticsStayInBounds) {
+  EXPECT_TRUE(proptest::ForAll(
+      20260820, 200, RandomPageCase, ShrinkPageCase,
+      [](const PageCase& page) {
+        const page::PageReranker reranker(SharedDataset(), page.config);
+        const page::PageResult result =
+            reranker.Rerank(page.lists, page.relevance, page.budget);
+        if (result.page_coverage < 0.0f || result.page_coverage > 1.0f) {
+          return false;
+        }
+        if (result.cross_list_redundancy < 0.0f) return false;
+        if (result.diversity_spent < 0.0f) return false;
+        // The budget gate admits one final overshoot of at most one
+        // item's gain, and a single gain is bounded by 1.
+        return result.diversity_spent <= page.budget + 1.0f;
+      },
+      DescribePageCase));
+}
+
+TEST(PagePropertyTest, CoverageIsPermutationInvariantOverWholeLists) {
+  // With top_k=0 the coverage of a page is a function of the item *sets*,
+  // not their order — shuffling every list must not change it.
+  EXPECT_TRUE(proptest::ForAll(
+      20260821, 150, RandomPageCase, ShrinkPageCase,
+      [](const PageCase& page) {
+        const data::Dataset& data = SharedDataset();
+        const float before = page::PageCoverage(data, page.lists);
+        std::mt19937_64 shuffle_rng(99);
+        std::vector<std::vector<int>> shuffled = page.lists;
+        for (std::vector<int>& list : shuffled) {
+          std::shuffle(list.begin(), list.end(), shuffle_rng);
+        }
+        const float after = page::PageCoverage(data, shuffled);
+        return std::abs(before - after) < 1e-5f;
+      },
+      DescribePageCase));
+}
+
+}  // namespace
+}  // namespace rapid

@@ -47,10 +47,40 @@ TEST(PrometheusTest, RendersCoreCountersWithHelpAndType) {
       text, "rapid_latency_quantile_microseconds{quantile=\"0.5\"} 120.5\n"));
   EXPECT_TRUE(Contains(
       text, "rapid_latency_quantile_microseconds{quantile=\"0.99\"} 900.25\n"));
-  // Net and online sections are absent unless their blocks are present.
+  // Net, online, and page sections are absent unless their blocks are
+  // present.
   EXPECT_FALSE(Contains(text, "rapid_net_"));
   EXPECT_FALSE(Contains(text, "rapid_online_"));
+  EXPECT_FALSE(Contains(text, "rapid_page_"));
   EXPECT_FALSE(Contains(text, "rapid_slot_"));
+}
+
+TEST(PrometheusTest, PageBlockRendersWhenPresent) {
+  serve::RouterStats stats = SampleStats();
+  stats.has_page = true;
+  stats.page.pages = 40;
+  stats.page.page_lists = 120;
+  stats.page.joint_pages = 39;
+  stats.page.degraded_pages = 1;
+  stats.page.lists_per_page_hist[2] = 38;
+  stats.page.lists_per_page_hist[7] = 2;
+  stats.page.redundancy_millitopics = 523;
+  stats.page.max_lists_per_page = 12;
+
+  const std::string text = serve::RenderPrometheus(stats);
+  EXPECT_TRUE(Contains(text, "# TYPE rapid_page_pages_total counter"));
+  EXPECT_TRUE(Contains(text, "rapid_page_pages_total 40\n"));
+  EXPECT_TRUE(Contains(text, "rapid_page_lists_total 120\n"));
+  EXPECT_TRUE(Contains(text, "rapid_page_joint_total 39\n"));
+  EXPECT_TRUE(Contains(text, "rapid_page_degraded_total 1\n"));
+  EXPECT_TRUE(Contains(text, "rapid_page_redundancy_millitopics_total 523\n"));
+  EXPECT_TRUE(Contains(text, "rapid_page_max_lists 12\n"));
+  // The lists-per-page histogram labels each bin by its list count; the
+  // last bin is open-ended.
+  EXPECT_TRUE(Contains(
+      text, "rapid_page_lists_per_page_total{lists=\"3\"} 38\n"));
+  EXPECT_TRUE(Contains(
+      text, "rapid_page_lists_per_page_total{lists=\"8+\"} 2\n"));
 }
 
 TEST(PrometheusTest, LatencyHistogramIsCumulativeWithInfBucket) {
@@ -141,6 +171,10 @@ TEST(PrometheusTest, EveryLineIsACommentOrASample) {
   serve::RouterStats stats = SampleStats();
   stats.has_net = true;
   stats.has_online = true;
+  stats.has_page = true;
+  stats.page.pages = 3;
+  stats.page.lists_per_page_hist[0] = 1;
+  stats.page.lists_per_page_hist[7] = 2;
   stats.total.latency_hist[3] = 7;
   serve::RouterStats::SlotEntry slot;
   slot.slot = "a";

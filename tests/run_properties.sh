@@ -35,6 +35,7 @@ targets=(
   batch_property_test
   online_property_test
   net_fault_test
+  page_property_test
 )
 
 echo "== property suites: ${targets[*]}"
