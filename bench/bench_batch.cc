@@ -62,11 +62,11 @@ class FetchStallBatchReranker : public rapid::rerank::Reranker {
     return inner_.Rerank(data, list);
   }
 
-  std::vector<std::vector<int>> RerankBatch(
-      const rapid::data::Dataset& data,
-      const std::vector<const ImpressionList*>& lists) const override {
+  void RerankBatchInto(const rapid::data::Dataset& data,
+                       const std::vector<const ImpressionList*>& lists,
+                       std::vector<std::vector<int>>* out) const override {
     Stall();
-    return inner_.RerankBatch(data, lists);
+    inner_.RerankBatchInto(data, lists, out);
   }
 
  private:

@@ -26,11 +26,18 @@ std::string RunMethodSweep(const eval::Environment& env,
   return table.Render(title);
 }
 
-bool JsonFlag(int argc, char** argv) {
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) return true;
+    if (std::strcmp(argv[i], "--json") == 0) args.json = true;
+    if (std::strcmp(argv[i], "--quick") == 0) args.quick = true;
+    if (std::strcmp(argv[i], "--check") == 0) args.check = true;
   }
-  return false;
+  return args;
+}
+
+bool JsonFlag(int argc, char** argv) {
+  return BenchArgs::Parse(argc, argv).json;
 }
 
 std::string RepeatStats::SamplesJson() const {
@@ -59,6 +66,18 @@ RepeatStats Repeat(int repetitions, const std::function<double()>& measure) {
   stats.median = n % 2 == 1 ? sorted[n / 2]
                             : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
   return stats;
+}
+
+std::string MetricJson(const std::string& key, const RepeatStats& stats,
+                       const std::string& extra) {
+  std::ostringstream out;
+  char buf[128];
+  out << "{";
+  if (!extra.empty()) out << extra << ", ";
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.1f, \"%s_min\": %.1f, ",
+                key.c_str(), stats.median, key.c_str(), stats.min);
+  out << buf << "\"" << key << "_samples\": " << stats.SamplesJson() << "}";
+  return out.str();
 }
 
 std::string TableJson(const eval::ResultTable& table,

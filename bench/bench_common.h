@@ -102,9 +102,24 @@ std::string RunMethodSweep(const eval::Environment& env,
                            const std::string& title,
                            eval::ResultTable* table_out = nullptr);
 
+/// The standard perf-bench command line, parsed in exactly one place. All
+/// bench binaries accept the same three flags (unknown arguments are
+/// ignored so wrappers can pass extras through):
+///   --json   machine-readable output for perf/run_ledger.sh
+///   --quick  reduced workload for gates and CI
+///   --check  enforce the bench's acceptance thresholds (exit 1 on fail)
+struct BenchArgs {
+  bool json = false;
+  bool quick = false;
+  bool check = false;
+
+  static BenchArgs Parse(int argc, char** argv);
+};
+
 /// True when the command line contains `--json`. Bench binaries use this to
 /// switch from the human-readable paper tables to machine-readable output
-/// for perf-trajectory tracking.
+/// for perf-trajectory tracking. (Equivalent to `BenchArgs::Parse(...).json`
+/// — kept for the table/figure binaries that take no other flags.)
 bool JsonFlag(int argc, char** argv);
 
 /// Result of repeating one timed measurement `K` times (see `Repeat`).
@@ -126,6 +141,15 @@ struct RepeatStats {
 /// (page-in, allocator steady state) should run one themselves before
 /// timing — keeping that explicit avoids silently hiding first-run costs.
 RepeatStats Repeat(int repetitions, const std::function<double()>& measure);
+
+/// Renders one repeated measurement as a JSON object fragment under the
+/// ledger's key convention: the gated median under `key`, plus
+/// `<key>_min` and `<key>_samples` side keys. `extra` (optional) is
+/// spliced verbatim after the metric keys, e.g. `"\"backend\": \"avx2\""`.
+/// This is the one emit path for per-metric rows, so every bench's ledger
+/// entries stay mergeable by `perf/ledger_trend.py`.
+std::string MetricJson(const std::string& key, const RepeatStats& stats,
+                       const std::string& extra = "");
 
 /// Renders a swept result table as one JSON object:
 /// `{"title": ..., "rows": [{"method": ..., "metrics": {"click@5": ...}}]}`

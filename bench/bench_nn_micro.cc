@@ -1,138 +1,307 @@
-// Microbenchmarks of the rapid::nn substrate: matmul kernels, recurrent
-// cells, attention blocks, and a full RAPID forward/backward pass. These
-// bound the per-request latency budget discussed in the paper's efficiency
-// analysis (Section V-B).
+// Microbenchmarks of the rapid::nn substrate: the GEMM kernels behind
+// `nn::Gemm`, the vectorized activations, recurrent/attention blocks, and
+// a GEMM-dominated MLP forward pass — each timed under both kernel
+// backends (scalar reference vs AVX2/FMA when compiled in). These bound
+// the per-request latency budget discussed in the paper's efficiency
+// analysis (Section V-B) and gate the SIMD work: `--check` fails unless
+// the AVX2 forward beats scalar by >= 1.5x, the two backends agree within
+// tolerance, and a warm no-grad forward under an arena scope performs
+// zero heap allocations.
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <random>
+#include <string>
+#include <vector>
 
-#include "click/dcm.h"
-#include "core/rapid.h"
-#include "datagen/simulator.h"
+#include "bench/bench_common.h"
+#include "nn/arena.h"
+#include "nn/kernels.h"
 #include "nn/layers.h"
-#include "nn/optimizer.h"
+#include "nn/matrix.h"
+#include "nn/variable.h"
 
 namespace {
 
-using namespace rapid;
-using nn::Matrix;
-using nn::Variable;
+using rapid::nn::Matrix;
+using rapid::nn::Variable;
 
-void BM_MatMul(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// GFLOP/s of `Gemm(a, b, &out)` at size n, repeated enough to dominate
+// timer noise.
+double GemmGflops(int n, int inner_iters) {
   std::mt19937_64 rng(1);
-  Matrix a = Matrix::Randn(n, n, 1.0f, rng);
-  Matrix b = Matrix::Randn(n, n, 1.0f, rng);
+  const Matrix a = Matrix::Randn(n, n, 1.0f, rng);
+  const Matrix b = Matrix::Randn(n, n, 1.0f, rng);
   Matrix out;
-  for (auto _ : state) {
-    nn::MatMul(a, b, &out);
-    benchmark::DoNotOptimize(out.data());
+  rapid::nn::Gemm(a, b, &out);  // Warm the output buffer.
+  const double t0 = Now();
+  for (int it = 0; it < inner_iters; ++it) {
+    rapid::nn::Gemm(a, b, &out);
   }
-  state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+  const double secs = Now() - t0;
+  const double flops = 2.0 * n * n * n * inner_iters;
+  return flops / secs / 1e9;
 }
-BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
 
-void BM_LstmStep(benchmark::State& state) {
-  const int batch = 20, in = 32, hidden = static_cast<int>(state.range(0));
+// Melements/s of the sigmoid activation kernel over a flat buffer.
+double SigmoidMeps(int size, int inner_iters) {
   std::mt19937_64 rng(2);
-  nn::LstmCell cell(in, hidden, rng);
-  Variable x = Variable::Constant(Matrix::Randn(batch, in, 1.0f, rng));
-  Variable h = Variable::Constant(Matrix(batch, hidden));
-  Variable c = Variable::Constant(Matrix(batch, hidden));
-  for (auto _ : state) {
-    auto [h2, c2] = cell.Forward(x, h, c);
-    benchmark::DoNotOptimize(h2.value().data());
+  const Matrix x = Matrix::Randn(1, size, 1.0f, rng);
+  Matrix y(1, size);
+  const double t0 = Now();
+  for (int it = 0; it < inner_iters; ++it) {
+    rapid::nn::kernel::Active().sigmoid(x.data(), y.data(), size);
   }
+  const double secs = Now() - t0;
+  return static_cast<double>(size) * inner_iters / secs / 1e6;
 }
-BENCHMARK(BM_LstmStep)->Arg(16)->Arg(64);
 
-void BM_TransformerEncoderLayer(benchmark::State& state) {
-  const int L = 20, d = static_cast<int>(state.range(0));
+// Rows/s of a GEMM-dominated MLP forward (no-grad, arena-scoped) — the
+// shape of the serving hot path, minus data plumbing.
+double MlpForwardRowsPerSec(rapid::nn::Mlp& mlp, const Variable& x,
+                            int inner_iters) {
+  const double t0 = Now();
+  for (int it = 0; it < inner_iters; ++it) {
+    rapid::nn::arena::ArenaScope scope;
+    rapid::nn::NoGradScope no_grad;
+    Variable y = mlp.Forward(x);
+  }
+  const double secs = Now() - t0;
+  return static_cast<double>(x.rows()) * inner_iters / secs;
+}
+
+// Steps/s of one LSTM cell step (forward only, no-grad).
+double LstmStepsPerSec(int hidden, int inner_iters) {
+  const int batch = 20, in = 32;
   std::mt19937_64 rng(3);
-  nn::TransformerEncoderLayer enc(d, 2, 2 * d, rng);
-  Variable x = Variable::Constant(Matrix::Randn(L, d, 1.0f, rng));
-  for (auto _ : state) {
-    Variable y = enc.Forward(x);
-    benchmark::DoNotOptimize(y.value().data());
+  rapid::nn::LstmCell cell(in, hidden, rng);
+  const Variable x = Variable::Constant(Matrix::Randn(batch, in, 1.0f, rng));
+  const Variable h = Variable::Constant(Matrix(batch, hidden));
+  const Variable c = Variable::Constant(Matrix(batch, hidden));
+  const double t0 = Now();
+  for (int it = 0; it < inner_iters; ++it) {
+    rapid::nn::arena::ArenaScope scope;
+    rapid::nn::NoGradScope no_grad;
+    auto [h2, c2] = cell.Forward(x, h, c);
   }
+  return inner_iters / (Now() - t0);
 }
-BENCHMARK(BM_TransformerEncoderLayer)->Arg(16)->Arg(64);
 
-void BM_MlpForwardBackward(benchmark::State& state) {
+// Layers/s of one transformer encoder layer forward (no-grad).
+double EncoderLayersPerSec(int d, int inner_iters) {
+  const int L = 20;
   std::mt19937_64 rng(4);
-  nn::Mlp mlp({32, 64, 64, 1}, rng);
-  Variable x = Variable::Constant(Matrix::Randn(20, 32, 1.0f, rng));
-  nn::Adam opt(mlp.Params(), 1e-3f);
-  for (auto _ : state) {
-    opt.ZeroGrad();
-    Variable loss = nn::MeanAll(nn::Square(mlp.Forward(x)));
-    loss.Backward();
-    opt.Step();
-    benchmark::DoNotOptimize(loss.value().data());
+  rapid::nn::TransformerEncoderLayer enc(d, 2, 2 * d, rng);
+  const Variable x = Variable::Constant(Matrix::Randn(L, d, 1.0f, rng));
+  const double t0 = Now();
+  for (int it = 0; it < inner_iters; ++it) {
+    rapid::nn::arena::ArenaScope scope;
+    rapid::nn::NoGradScope no_grad;
+    Variable y = enc.Forward(x);
   }
+  return inner_iters / (Now() - t0);
 }
-BENCHMARK(BM_MlpForwardBackward);
-
-struct RapidFixture {
-  RapidFixture() {
-    data::SimConfig sim;
-    sim.kind = data::DatasetKind::kTaobao;
-    sim.num_users = 30;
-    sim.num_items = 200;
-    sim.rerank_lists_per_user = 2;
-    data = data::GenerateDataset(sim, 5);
-    click::GroundTruthClickModel dcm(&data, click::DcmConfig{});
-    std::mt19937_64 rng(6);
-    for (const data::Request& req : data.rerank_train_requests) {
-      data::ImpressionList list;
-      list.user_id = req.user_id;
-      list.items.assign(req.candidates.begin(), req.candidates.begin() + 20);
-      for (int i = 0; i < 20; ++i) list.scores.push_back(1.0f - 0.04f * i);
-      list.clicks = dcm.SimulateClicks(list.user_id, list.items, rng);
-      train.push_back(std::move(list));
-    }
-    core::RapidConfig cfg;
-    cfg.train.epochs = 1;
-    model = std::make_unique<core::RapidReranker>(cfg);
-    model->Fit(data, train, 7);
-  }
-  data::Dataset data;
-  std::vector<data::ImpressionList> train;
-  std::unique_ptr<core::RapidReranker> model;
-};
-
-RapidFixture& Fixture() {
-  static RapidFixture* f = new RapidFixture();
-  return *f;
-}
-
-// Per-request inference latency of the full RAPID model (L=20).
-void BM_RapidInferOneList(benchmark::State& state) {
-  RapidFixture& f = Fixture();
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.model->ScoreList(f.data, f.train[i]));
-    i = (i + 1) % f.train.size();
-  }
-}
-BENCHMARK(BM_RapidInferOneList)->Unit(benchmark::kMillisecond);
-
-// One full training step (16 lists) of RAPID.
-void BM_RapidTrainStep(benchmark::State& state) {
-  RapidFixture& f = Fixture();
-  std::vector<data::ImpressionList> batch(f.train.begin(),
-                                          f.train.begin() + 16);
-  for (auto _ : state) {
-    core::RapidConfig cfg;
-    cfg.train.epochs = 1;
-    core::RapidReranker model(cfg);
-    model.Fit(f.data, batch, 8);
-    benchmark::DoNotOptimize(model.final_loss());
-  }
-}
-BENCHMARK(BM_RapidTrainStep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  namespace bench = rapid::bench;
+  namespace kernel = rapid::nn::kernel;
+  namespace arena = rapid::nn::arena;
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+
+  const bool have_avx2 = kernel::Avx2Available();
+  std::vector<kernel::Backend> backends = {kernel::Backend::kScalar};
+  if (have_avx2) backends.push_back(kernel::Backend::kAvx2);
+  const int repetitions = 5;
+  const int scale = args.quick ? 1 : 4;
+
+  std::fprintf(stderr, "[nn_micro] backends: scalar%s\n",
+               have_avx2 ? " avx2" : " (avx2 unavailable)");
+
+  // The forward workload shared by the speedup gate and the exactness
+  // check: an MLP whose cost is almost entirely its two 64x64 GEMMs.
+  std::mt19937_64 rng(5);
+  rapid::nn::Mlp mlp({32, 64, 64, 1}, rng);
+  const Variable fwd_x = Variable::Constant(Matrix::Randn(160, 32, 1.0f, rng));
+
+  std::string results_json;
+  auto emit = [&](const std::string& row) {
+    results_json += results_json.empty() ? "  " : ",\n  ";
+    results_json += row;
+  };
+
+  double fwd_median[2] = {0.0, 0.0};  // [scalar, avx2]
+  Matrix fwd_out[2];
+  for (const kernel::Backend backend : backends) {
+    kernel::ScopedBackendOverride override_backend(backend);
+    const char* name = kernel::BackendName(kernel::ActiveBackend());
+    const int bi = backend == kernel::Backend::kScalar ? 0 : 1;
+
+    for (const int n : {64, 128}) {
+      const int iters = scale * (n == 64 ? 200 : 40);
+      const bench::RepeatStats reps = bench::Repeat(
+          repetitions, [&] { return GemmGflops(n, iters); });
+      std::fprintf(stderr, "[nn_micro] %-6s gemm n=%-3d %8.2f GFLOP/s\n",
+                   name, n, reps.median);
+      char extra[96];
+      std::snprintf(extra, sizeof(extra),
+                    "\"kernel\": \"gemm\", \"backend\": \"%s\", \"n\": %d",
+                    name, n);
+      emit(bench::MetricJson("gflops", reps, extra));
+    }
+
+    {
+      const bench::RepeatStats reps = bench::Repeat(
+          repetitions, [&] { return SigmoidMeps(1 << 16, scale * 100); });
+      std::fprintf(stderr, "[nn_micro] %-6s sigmoid     %8.1f Melem/s\n",
+                   name, reps.median);
+      char extra[96];
+      std::snprintf(extra, sizeof(extra),
+                    "\"kernel\": \"sigmoid\", \"backend\": \"%s\"", name);
+      emit(bench::MetricJson("melems", reps, extra));
+    }
+
+    {
+      const bench::RepeatStats reps = bench::Repeat(repetitions, [&] {
+        return MlpForwardRowsPerSec(mlp, fwd_x, scale * 50);
+      });
+      fwd_median[bi] = reps.median;
+      std::fprintf(stderr, "[nn_micro] %-6s mlp forward %8.0f rows/s\n",
+                   name, reps.median);
+      char extra[96];
+      std::snprintf(extra, sizeof(extra),
+                    "\"kernel\": \"mlp_forward\", \"backend\": \"%s\"", name);
+      emit(bench::MetricJson("rows_per_sec", reps, extra));
+    }
+
+    {
+      // Arena lifetime rule 1 in action: the output buffer must be sized
+      // on the heap BEFORE the scope opens — a Matrix assigned inside the
+      // scope would live in rewound arena memory (and both backends would
+      // land on the same rewound address, voiding the comparison).
+      fwd_out[bi] = Matrix(fwd_x.rows(), 1);
+      rapid::nn::arena::ArenaScope scope;
+      rapid::nn::NoGradScope no_grad;
+      const Matrix& y = mlp.Forward(fwd_x).value();
+      std::memcpy(fwd_out[bi].data(), y.data(),
+                  static_cast<size_t>(y.size()) * sizeof(float));
+    }
+
+    {
+      const bench::RepeatStats reps = bench::Repeat(
+          repetitions, [&] { return LstmStepsPerSec(64, scale * 100); });
+      std::fprintf(stderr, "[nn_micro] %-6s lstm h=64   %8.0f steps/s\n",
+                   name, reps.median);
+      char extra[96];
+      std::snprintf(extra, sizeof(extra),
+                    "\"kernel\": \"lstm_step\", \"backend\": \"%s\"", name);
+      emit(bench::MetricJson("steps_per_sec", reps, extra));
+    }
+
+    {
+      const bench::RepeatStats reps = bench::Repeat(
+          repetitions, [&] { return EncoderLayersPerSec(64, scale * 50); });
+      std::fprintf(stderr, "[nn_micro] %-6s encoder d=64%8.0f layers/s\n",
+                   name, reps.median);
+      char extra[96];
+      std::snprintf(extra, sizeof(extra),
+                    "\"kernel\": \"encoder\", \"backend\": \"%s\"", name);
+      emit(bench::MetricJson("layers_per_sec", reps, extra));
+    }
+  }
+
+  // Cross-backend agreement on the forward output (rounding-level drift
+  // only: FMA contraction and the vectorized exp).
+  double max_diff = 0.0;
+  if (have_avx2) {
+    for (int i = 0; i < fwd_out[0].size(); ++i) {
+      max_diff = std::max(
+          max_diff, std::fabs(static_cast<double>(fwd_out[0].data()[i]) -
+                              fwd_out[1].data()[i]));
+    }
+    std::fprintf(stderr, "[nn_micro] scalar-vs-avx2 forward max |diff| %.3g\n",
+                 max_diff);
+  }
+
+  // Zero-allocation check: after one warm-up forward, a no-grad forward
+  // inside an arena scope must touch neither malloc nor a new chunk.
+  bool zero_alloc = true;
+  if (arena::Enabled()) {
+    {
+      arena::ArenaScope warm;
+      rapid::nn::NoGradScope no_grad;
+      Variable y = mlp.Forward(fwd_x);
+    }
+    const arena::ThreadCounters before = arena::CountersThisThread();
+    {
+      arena::ArenaScope scope;
+      rapid::nn::NoGradScope no_grad;
+      Variable y = mlp.Forward(fwd_x);
+    }
+    const arena::ThreadCounters after = arena::CountersThisThread();
+    const uint64_t heap = after.heap_allocs - before.heap_allocs;
+    const uint64_t chunks = after.chunk_mallocs - before.chunk_mallocs;
+    zero_alloc = heap == 0 && chunks == 0;
+    std::fprintf(stderr,
+                 "[nn_micro] warm forward allocations: heap=%llu chunks=%llu "
+                 "(arena allocs %llu)\n",
+                 static_cast<unsigned long long>(heap),
+                 static_cast<unsigned long long>(chunks),
+                 static_cast<unsigned long long>(after.arena_allocs -
+                                                 before.arena_allocs));
+  } else {
+    std::fprintf(stderr,
+                 "[nn_micro] arena disabled; skipping zero-alloc check\n");
+  }
+
+  const double forward_speedup =
+      have_avx2 && fwd_median[0] > 0 ? fwd_median[1] / fwd_median[0] : 0.0;
+  if (have_avx2) {
+    std::fprintf(stderr, "[nn_micro] mlp forward avx2/scalar: %.2fx\n",
+                 forward_speedup);
+  }
+
+  std::printf(
+      "{\"bench\": \"nn_micro\", \"avx2\": %s, \"repetitions\": %d, "
+      "\"forward_speedup\": %.2f, \"forward_max_diff\": %.3g, "
+      "\"zero_alloc\": %s, \"results\": [\n%s\n]}\n",
+      have_avx2 ? "true" : "false", repetitions, forward_speedup, max_diff,
+      zero_alloc ? "true" : "false", results_json.c_str());
+
+  if (args.check) {
+    bool ok = true;
+    if (have_avx2 && forward_speedup < 1.5) {
+      std::fprintf(stderr,
+                   "[nn_micro] CHECK FAILED: avx2 forward %.2fx < 1.5x over "
+                   "scalar\n",
+                   forward_speedup);
+      ok = false;
+    }
+    if (have_avx2 && max_diff > 1e-3) {
+      std::fprintf(stderr,
+                   "[nn_micro] CHECK FAILED: backends disagree by %.3g "
+                   "(> 1e-3)\n",
+                   max_diff);
+      ok = false;
+    }
+    if (!zero_alloc) {
+      std::fprintf(stderr,
+                   "[nn_micro] CHECK FAILED: warm arena-scoped forward "
+                   "allocated on the heap\n");
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::fprintf(stderr, "[nn_micro] check passed%s\n",
+                 have_avx2 ? "" : " (scalar-only host: speedup gate skipped)");
+  }
+  return 0;
+}

@@ -32,6 +32,7 @@ fi
 
 benches=(
   "bench_serving --quick"
+  "bench_nn_micro --quick --json"
   "bench_batch --quick --json"
   "bench_router --quick --json"
   "bench_cache --quick --json"

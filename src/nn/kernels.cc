@@ -1,0 +1,218 @@
+#include "nn/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rapid::nn::kernel {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar backend. These loops are the pre-kernel-layer implementations moved
+// verbatim from nn/matrix.cc and nn/ops.cc: the scalar backend must stay
+// bit-exact with the code the committed snapshot canaries and exactness
+// gates were recorded against. Do not "improve" the arithmetic here.
+// ---------------------------------------------------------------------------
+
+// c += a * b with the i-k-j loop order so the inner loop streams over
+// contiguous rows of `b` and `c`.
+void ScalarGemmNN(const float* a, const float* b, float* c, int m, int n,
+                  int k) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// c += a^T * b ; a is (k x m), b is (k x n), c is (m x n).
+void ScalarGemmTN(const float* a, const float* b, float* c, int m, int n,
+                  int k) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a + static_cast<size_t>(kk) * m;
+    const float* brow = b + static_cast<size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// c += a * b^T ; a is (m x k), b is (n x k), c is (m x n).
+void ScalarGemmNT(const float* a, const float* b, float* c, int m, int n,
+                  int k) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * k;
+      double s = 0.0;
+      for (int kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] += static_cast<float>(s);
+    }
+  }
+}
+
+void ScalarSigmoid(const float* x, float* y, int n) {
+  for (int i = 0; i < n; ++i) {
+    const float v = x[i];
+    y[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                     : std::exp(v) / (1.0f + std::exp(v));
+  }
+}
+
+void ScalarTanh(const float* x, float* y, int n) {
+  for (int i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void ScalarRelu(const float* x, float* y, int n) {
+  for (int i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void ScalarSoftmaxRows(float* data, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    float* row = data + static_cast<size_t>(r) * cols;
+    float mx = row[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    double sum = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int c = 0; c < cols; ++c) row[c] *= inv;
+  }
+}
+
+void ScalarAdd(const float* a, const float* b, float* y, int n) {
+  for (int i = 0; i < n; ++i) y[i] = a[i] + b[i];
+}
+
+void ScalarMul(const float* a, const float* b, float* y, int n) {
+  for (int i = 0; i < n; ++i) y[i] = a[i] * b[i];
+}
+
+void ScalarAxpy(float* y, float s, const float* x, int n) {
+  for (int i = 0; i < n; ++i) y[i] += s * x[i];
+}
+
+void ScalarScale(float* y, float s, int n) {
+  for (int i = 0; i < n; ++i) y[i] *= s;
+}
+
+void ScalarBiasRow(float* a, const float* bias, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    float* arow = a + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) arow[c] += bias[c];
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    &ScalarGemmNN, &ScalarGemmTN, &ScalarGemmNT,
+    &ScalarSigmoid, &ScalarTanh, &ScalarRelu, &ScalarSoftmaxRows,
+    &ScalarAdd, &ScalarMul, &ScalarAxpy, &ScalarScale, &ScalarBiasRow,
+};
+
+// ---------------------------------------------------------------------------
+// Dispatch. The AVX2 table lives in kernels_avx2.cc (compiled with
+// -mavx2 -mfma) and is referenced only when the build carries it.
+// ---------------------------------------------------------------------------
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Backend SelectStartupBackend() {
+  const char* env = std::getenv("RAPID_KERNEL_BACKEND");
+  const bool available = Avx2Available();
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (available) return Backend::kAvx2;
+      std::fprintf(stderr,
+                   "[rapid.nn.kernel] RAPID_KERNEL_BACKEND=avx2 requested "
+                   "but unavailable (%s); using scalar\n",
+#ifdef RAPID_HAVE_AVX2
+                   "CPU lacks AVX2/FMA"
+#else
+                   "built without RAPID_ENABLE_AVX2"
+#endif
+      );
+      return Backend::kScalar;
+    }
+    if (std::strcmp(env, "auto") != 0) {
+      std::fprintf(stderr,
+                   "[rapid.nn.kernel] unknown RAPID_KERNEL_BACKEND='%s' "
+                   "(want scalar|avx2|auto); using auto\n",
+                   env);
+    }
+  }
+  return available ? Backend::kAvx2 : Backend::kScalar;
+}
+
+// The override hook is a plain atomic (not thread_local): benches/tests
+// flip it in single-threaded phases; steady-state serving never touches it
+// after startup, so the relaxed load in Active() costs nothing.
+std::atomic<Backend> g_backend{SelectStartupBackend()};
+
+}  // namespace
+
+#ifdef RAPID_HAVE_AVX2
+// Defined in kernels_avx2.cc.
+const KernelTable& Avx2Table();
+#endif
+
+bool Avx2Available() {
+#ifdef RAPID_HAVE_AVX2
+  static const bool available = CpuHasAvx2Fma();
+  return available;
+#else
+  return false;
+#endif
+}
+
+const KernelTable& ScalarTable() { return kScalarTable; }
+
+Backend ActiveBackend() {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+const KernelTable& Active() {
+#ifdef RAPID_HAVE_AVX2
+  if (ActiveBackend() == Backend::kAvx2) return Avx2Table();
+#endif
+  return kScalarTable;
+}
+
+const char* BackendName(Backend backend) {
+  return backend == Backend::kAvx2 ? "avx2" : "scalar";
+}
+
+ScopedBackendOverride::ScopedBackendOverride(Backend backend)
+    : previous_(g_backend.load(std::memory_order_relaxed)),
+      forced_(backend == Backend::kAvx2 && !Avx2Available()
+                  ? Backend::kScalar
+                  : backend) {
+  g_backend.store(forced_, std::memory_order_relaxed);
+}
+
+ScopedBackendOverride::~ScopedBackendOverride() {
+  g_backend.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace rapid::nn::kernel

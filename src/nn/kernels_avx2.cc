@@ -1,0 +1,473 @@
+// AVX2/FMA kernel backend. This translation unit is the only one compiled
+// with -mavx2 -mfma (see src/nn/CMakeLists.txt); nothing here may be
+// called unless `Avx2Available()` returned true.
+//
+// Exactness discipline (see kernels.h): every output element carries ONE
+// accumulation chain whose operation sequence depends only on that
+// element's operands — register blocking never reassociates a chain, and
+// vector tails are handled with masked loads/stores so tail elements
+// execute the exact same instruction sequence as full lanes. That makes
+// each kernel shape-tiling independent, which is what the bitwise
+// batched-vs-single gates rely on. Results are NOT bitwise-equal to the
+// scalar backend (FMA contraction, vectorized exp); the scalar-vs-AVX2
+// property suite bounds that drift.
+//
+// Finite-input contract: unlike the scalar GEMM (which skips zero
+// multipliers), the FMA chain evaluates 0 * b; for non-finite operands the
+// two backends therefore diverge beyond rounding. All in-tree callers feed
+// finite features and weights.
+
+#ifdef RAPID_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "nn/kernels.h"
+
+namespace rapid::nn::kernel {
+
+namespace {
+
+// Lane mask covering the first `r` (1..7) floats of a vector.
+inline __m256i TailMask(int r) {
+  alignas(32) static const int32_t kMaskSrc[16] = {-1, -1, -1, -1, -1, -1,
+                                                   -1, -1, 0,  0,  0,  0,
+                                                   0,  0,  0,  0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskSrc + 8 - r));
+}
+
+// exp(x) for finite x, Cephes-style: clamp, range-reduce by ln2 with a
+// two-step Cody-Waite subtraction, degree-6 polynomial, scale by 2^n via
+// the exponent field. ~1-2 ulp over the clamped range.
+inline __m256 Exp256(__m256 x) {
+  const __m256 kHi = _mm256_set1_ps(88.3762626647949f);
+  const __m256 kLo = _mm256_set1_ps(-87.3365478515625f);
+  x = _mm256_min_ps(_mm256_max_ps(x, kLo), kHi);
+
+  const __m256 kLog2e = _mm256_set1_ps(1.44269504088896341f);
+  __m256 n = _mm256_round_ps(_mm256_mul_ps(x, kLog2e),
+                             _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256 kC1 = _mm256_set1_ps(0.693359375f);
+  const __m256 kC2 = _mm256_set1_ps(-2.12194440e-4f);
+  __m256 r = _mm256_fnmadd_ps(n, kC1, x);
+  r = _mm256_fnmadd_ps(n, kC2, r);
+
+  __m256 p = _mm256_set1_ps(1.9875691500e-4f);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.3981999507e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(8.3334519073e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(4.1665795894e-2f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.6666665459e-1f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(5.0000001201e-1f));
+  const __m256 r2 = _mm256_mul_ps(r, r);
+  __m256 y = _mm256_fmadd_ps(p, r2, _mm256_add_ps(r, _mm256_set1_ps(1.0f)));
+
+  const __m256i ni = _mm256_cvtps_epi32(n);
+  const __m256i pow2 =
+      _mm256_slli_epi32(_mm256_add_epi32(ni, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2));
+}
+
+// Fixed-order horizontal sum: (lo + hi) pairwise reduced. The reduction
+// order is a pure function of the lane values, keeping dot products
+// shape-tiling independent.
+inline float HSum256(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_movehdup_ps(s));
+  return _mm_cvtss_f32(s);
+}
+
+inline float HMax256(__m256 v) {
+  __m128 s = _mm_max_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_movehdup_ps(s));
+  return _mm_cvtss_f32(s);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: c += a * b. Register-blocked 4 rows x 16 columns; every row's
+// j-lane keeps a single FMA chain over k, so the 4-row and 1-row paths
+// produce bitwise-identical rows (row blocking must not change values).
+// ---------------------------------------------------------------------------
+
+// One row: crow[j..] += sum_k arow[kk] * b[kk][j] for a 16/8/masked tile.
+inline void GemmRowTile16(const float* arow, const float* b, float* crow,
+                          int j, int n, int k) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  for (int kk = 0; kk < k; ++kk) {
+    const __m256 av = _mm256_broadcast_ss(arow + kk);
+    const float* brow = b + static_cast<size_t>(kk) * n + j;
+    acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), acc0);
+    acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), acc1);
+  }
+  _mm256_storeu_ps(crow + j,
+                   _mm256_add_ps(_mm256_loadu_ps(crow + j), acc0));
+  _mm256_storeu_ps(crow + j + 8,
+                   _mm256_add_ps(_mm256_loadu_ps(crow + j + 8), acc1));
+}
+
+inline void GemmRowTile8(const float* arow, const float* b, float* crow,
+                         int j, int n, int k) {
+  __m256 acc = _mm256_setzero_ps();
+  for (int kk = 0; kk < k; ++kk) {
+    const __m256 av = _mm256_broadcast_ss(arow + kk);
+    acc = _mm256_fmadd_ps(
+        av, _mm256_loadu_ps(b + static_cast<size_t>(kk) * n + j), acc);
+  }
+  _mm256_storeu_ps(crow + j,
+                   _mm256_add_ps(_mm256_loadu_ps(crow + j), acc));
+}
+
+inline void GemmRowTileTail(const float* arow, const float* b, float* crow,
+                            int j, int n, int k, int rem) {
+  const __m256i mask = TailMask(rem);
+  __m256 acc = _mm256_setzero_ps();
+  for (int kk = 0; kk < k; ++kk) {
+    const __m256 av = _mm256_broadcast_ss(arow + kk);
+    acc = _mm256_fmadd_ps(
+        av,
+        _mm256_maskload_ps(b + static_cast<size_t>(kk) * n + j, mask),
+        acc);
+  }
+  _mm256_maskstore_ps(
+      crow + j, mask,
+      _mm256_add_ps(_mm256_maskload_ps(crow + j, mask), acc));
+}
+
+// Four rows sharing each loaded b-tile (the b reuse is where the win over
+// the one-row path comes from).
+inline void GemmRows4Tile16(const float* a, int lda, const float* b,
+                            float* c, int ldc, int j, int n, int k) {
+  __m256 acc[4][2];
+  for (int r = 0; r < 4; ++r) {
+    acc[r][0] = _mm256_setzero_ps();
+    acc[r][1] = _mm256_setzero_ps();
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    const float* brow = b + static_cast<size_t>(kk) * n + j;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    for (int r = 0; r < 4; ++r) {
+      const __m256 av =
+          _mm256_broadcast_ss(a + static_cast<size_t>(r) * lda + kk);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < 4; ++r) {
+    float* crow = c + static_cast<size_t>(r) * ldc + j;
+    _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc[r][0]));
+    _mm256_storeu_ps(crow + 8,
+                     _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[r][1]));
+  }
+}
+
+void Avx2GemmNN(const float* a, const float* b, float* c, int m, int n,
+                int k) {
+  const int n16 = n - n % 16;
+  const int n8 = n - n % 8;
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* ablk = a + static_cast<size_t>(i) * k;
+    float* cblk = c + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j < n16; j += 16) GemmRows4Tile16(ablk, k, b, cblk, n, j, n, k);
+    for (int r = 0; r < 4; ++r) {
+      const float* arow = ablk + static_cast<size_t>(r) * k;
+      float* crow = cblk + static_cast<size_t>(r) * n;
+      int jj = j;
+      for (; jj < n8; jj += 8) GemmRowTile8(arow, b, crow, jj, n, k);
+      if (jj < n) GemmRowTileTail(arow, b, crow, jj, n, k, n - jj);
+    }
+  }
+  for (; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j < n16; j += 16) GemmRowTile16(arow, b, crow, j, n, k);
+    for (; j < n8; j += 8) GemmRowTile8(arow, b, crow, j, n, k);
+    if (j < n) GemmRowTileTail(arow, b, crow, j, n, k, n - j);
+  }
+}
+
+// c += a^T * b; a is (k x m). Identical chain structure to NN — only the
+// address of the broadcast scalar changes (column walk of a).
+void Avx2GemmTN(const float* a, const float* b, float* c, int m, int n,
+                int k) {
+  const int n8 = n - n % 8;
+  for (int i = 0; i < m; ++i) {
+    const float* acol = a + i;  // a[kk][i] = acol[kk * m]
+    float* crow = c + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j < n8; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (int kk = 0; kk < k; ++kk) {
+        const __m256 av =
+            _mm256_broadcast_ss(acol + static_cast<size_t>(kk) * m);
+        acc = _mm256_fmadd_ps(
+            av, _mm256_loadu_ps(b + static_cast<size_t>(kk) * n + j), acc);
+      }
+      _mm256_storeu_ps(crow + j,
+                       _mm256_add_ps(_mm256_loadu_ps(crow + j), acc));
+    }
+    if (j < n) {
+      const __m256i mask = TailMask(n - j);
+      __m256 acc = _mm256_setzero_ps();
+      for (int kk = 0; kk < k; ++kk) {
+        const __m256 av =
+            _mm256_broadcast_ss(acol + static_cast<size_t>(kk) * m);
+        acc = _mm256_fmadd_ps(
+            av,
+            _mm256_maskload_ps(b + static_cast<size_t>(kk) * n + j, mask),
+            acc);
+      }
+      _mm256_maskstore_ps(
+          crow + j, mask,
+          _mm256_add_ps(_mm256_maskload_ps(crow + j, mask), acc));
+    }
+  }
+}
+
+// c += a * b^T: independent dot products, vectorized over k with one FMA
+// chain per (i, j) and a fixed-order horizontal reduction.
+void Avx2GemmNT(const float* a, const float* b, float* c, int m, int n,
+                int k) {
+  const int k8 = k - k % 8;
+  const int krem = k - k8;
+  const __m256i kmask = krem > 0 ? TailMask(krem) : _mm256_setzero_si256();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * k;
+      __m256 acc = _mm256_setzero_ps();
+      for (int kk = 0; kk < k8; kk += 8) {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(arow + kk),
+                              _mm256_loadu_ps(brow + kk), acc);
+      }
+      if (krem > 0) {
+        acc = _mm256_fmadd_ps(_mm256_maskload_ps(arow + k8, kmask),
+                              _mm256_maskload_ps(brow + k8, kmask), acc);
+      }
+      crow[j] += HSum256(acc);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise / activation kernels. Tail elements run through the same
+// masked vector path as full lanes (value depends only on the input value).
+// ---------------------------------------------------------------------------
+
+// sigmoid(v) = num / (1 + e) with e = exp(-|v|) and num = v >= 0 ? 1 : e —
+// the vector form of the scalar code's two stable branches.
+inline __m256 Sigmoid256(__m256 v) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 absv =
+      _mm256_andnot_ps(_mm256_set1_ps(-0.0f), v);
+  const __m256 e = Exp256(_mm256_sub_ps(zero, absv));
+  const __m256 neg = _mm256_cmp_ps(v, zero, _CMP_LT_OQ);
+  const __m256 num = _mm256_blendv_ps(one, e, neg);
+  return _mm256_div_ps(num, _mm256_add_ps(one, e));
+}
+
+void Avx2Sigmoid(const float* x, float* y, int n) {
+  const int n8 = n - n % 8;
+  int i = 0;
+  for (; i < n8; i += 8) {
+    _mm256_storeu_ps(y + i, Sigmoid256(_mm256_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    _mm256_maskstore_ps(y + i, mask,
+                        Sigmoid256(_mm256_maskload_ps(x + i, mask)));
+  }
+}
+
+// tanh(v) = sign(v) * (e - 1) / (e + 1) with e = exp(2|v|). Absolute error
+// stays ~1e-7 across the range (relative error degrades near 0, where the
+// absolute tolerance of the property suite covers it).
+inline __m256 Tanh256(__m256 v) {
+  const __m256 signbit = _mm256_set1_ps(-0.0f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 sign = _mm256_and_ps(v, signbit);
+  const __m256 absv = _mm256_andnot_ps(signbit, v);
+  const __m256 e = Exp256(_mm256_mul_ps(absv, _mm256_set1_ps(2.0f)));
+  const __m256 t =
+      _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one));
+  return _mm256_or_ps(t, sign);
+}
+
+void Avx2Tanh(const float* x, float* y, int n) {
+  const int n8 = n - n % 8;
+  int i = 0;
+  for (; i < n8; i += 8) {
+    _mm256_storeu_ps(y + i, Tanh256(_mm256_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    _mm256_maskstore_ps(y + i, mask,
+                        Tanh256(_mm256_maskload_ps(x + i, mask)));
+  }
+}
+
+void Avx2Relu(const float* x, float* y, int n) {
+  const __m256 zero = _mm256_setzero_ps();
+  const int n8 = n - n % 8;
+  int i = 0;
+  for (; i < n8; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    _mm256_maskstore_ps(
+        y + i, mask,
+        _mm256_max_ps(_mm256_maskload_ps(x + i, mask), zero));
+  }
+}
+
+void Avx2SoftmaxRows(float* data, int rows, int cols) {
+  const int c8 = cols - cols % 8;
+  const int rem = cols - c8;
+  const __m256i mask = rem > 0 ? TailMask(rem) : _mm256_setzero_si256();
+  const __m256 ninf = _mm256_set1_ps(-3.4028235e38f);
+  for (int r = 0; r < rows; ++r) {
+    float* row = data + static_cast<size_t>(r) * cols;
+    // Row max (masked-out lanes pinned to -FLT_MAX).
+    __m256 vmax = ninf;
+    for (int c = 0; c < c8; c += 8) {
+      vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(row + c));
+    }
+    if (rem > 0) {
+      const __m256 tail = _mm256_blendv_ps(
+          ninf, _mm256_maskload_ps(row + c8, mask),
+          _mm256_castsi256_ps(mask));
+      vmax = _mm256_max_ps(vmax, tail);
+    }
+    const __m256 mx = _mm256_set1_ps(HMax256(vmax));
+    // exp(x - max), accumulating the row sum.
+    __m256 vsum = _mm256_setzero_ps();
+    for (int c = 0; c < c8; c += 8) {
+      const __m256 e = Exp256(_mm256_sub_ps(_mm256_loadu_ps(row + c), mx));
+      _mm256_storeu_ps(row + c, e);
+      vsum = _mm256_add_ps(vsum, e);
+    }
+    if (rem > 0) {
+      const __m256 e =
+          Exp256(_mm256_sub_ps(_mm256_maskload_ps(row + c8, mask), mx));
+      _mm256_maskstore_ps(row + c8, mask, e);
+      vsum = _mm256_add_ps(
+          vsum, _mm256_and_ps(e, _mm256_castsi256_ps(mask)));
+    }
+    const __m256 inv = _mm256_set1_ps(1.0f / HSum256(vsum));
+    for (int c = 0; c < c8; c += 8) {
+      _mm256_storeu_ps(row + c,
+                       _mm256_mul_ps(_mm256_loadu_ps(row + c), inv));
+    }
+    if (rem > 0) {
+      _mm256_maskstore_ps(
+          row + c8, mask,
+          _mm256_mul_ps(_mm256_maskload_ps(row + c8, mask), inv));
+    }
+  }
+}
+
+void Avx2Add(const float* a, const float* b, float* y, int n) {
+  const int n8 = n - n % 8;
+  int i = 0;
+  for (; i < n8; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    _mm256_maskstore_ps(y + i, mask,
+                        _mm256_add_ps(_mm256_maskload_ps(a + i, mask),
+                                      _mm256_maskload_ps(b + i, mask)));
+  }
+}
+
+void Avx2Mul(const float* a, const float* b, float* y, int n) {
+  const int n8 = n - n % 8;
+  int i = 0;
+  for (; i < n8; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    _mm256_maskstore_ps(y + i, mask,
+                        _mm256_mul_ps(_mm256_maskload_ps(a + i, mask),
+                                      _mm256_maskload_ps(b + i, mask)));
+  }
+}
+
+void Avx2Axpy(float* y, float s, const float* x, int n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  const int n8 = n - n % 8;
+  int i = 0;
+  for (; i < n8; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(vs, _mm256_loadu_ps(x + i),
+                                            _mm256_loadu_ps(y + i)));
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    _mm256_maskstore_ps(y + i, mask,
+                        _mm256_fmadd_ps(vs, _mm256_maskload_ps(x + i, mask),
+                                        _mm256_maskload_ps(y + i, mask)));
+  }
+}
+
+void Avx2Scale(float* y, float s, int n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  const int n8 = n - n % 8;
+  int i = 0;
+  for (; i < n8; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), vs));
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    _mm256_maskstore_ps(
+        y + i, mask,
+        _mm256_mul_ps(_mm256_maskload_ps(y + i, mask), vs));
+  }
+}
+
+void Avx2BiasRow(float* a, const float* bias, int rows, int cols) {
+  const int c8 = cols - cols % 8;
+  const int rem = cols - c8;
+  const __m256i mask = rem > 0 ? TailMask(rem) : _mm256_setzero_si256();
+  for (int r = 0; r < rows; ++r) {
+    float* arow = a + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < c8; c += 8) {
+      _mm256_storeu_ps(arow + c, _mm256_add_ps(_mm256_loadu_ps(arow + c),
+                                               _mm256_loadu_ps(bias + c)));
+    }
+    if (rem > 0) {
+      _mm256_maskstore_ps(
+          arow + c8, mask,
+          _mm256_add_ps(_mm256_maskload_ps(arow + c8, mask),
+                        _mm256_maskload_ps(bias + c8, mask)));
+    }
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    &Avx2GemmNN, &Avx2GemmTN, &Avx2GemmNT,
+    &Avx2Sigmoid, &Avx2Tanh, &Avx2Relu, &Avx2SoftmaxRows,
+    &Avx2Add, &Avx2Mul, &Avx2Axpy, &Avx2Scale, &Avx2BiasRow,
+};
+
+}  // namespace
+
+const KernelTable& Avx2Table() { return kAvx2Table; }
+
+}  // namespace rapid::nn::kernel
+
+#endif  // RAPID_HAVE_AVX2

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "nn/kernels.h"
+
 namespace rapid::nn {
 
 Matrix::Matrix(int rows, int cols)
@@ -110,71 +112,39 @@ std::string Matrix::ToString() const {
   return os.str();
 }
 
-namespace {
-
-// Core matmul kernel: out(+)= a * b with the i-k-j loop order so the inner
-// loop streams over contiguous rows of `b` and `out`.
-void MatMulKernel(const Matrix& a, const Matrix& b, Matrix* out,
-                  bool accumulate) {
-  assert(a.cols() == b.rows());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  if (!accumulate || out->rows() != m || out->cols() != n) {
-    assert(!accumulate || out->empty());
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out, GemmOpts opts) {
+  const int m = opts.trans_a ? a.cols() : a.rows();
+  const int k = opts.trans_a ? a.rows() : a.cols();
+  const int n = opts.trans_b ? b.rows() : b.cols();
+  assert(k == (opts.trans_b ? b.cols() : b.rows()));
+  if (opts.accumulate) {
+    assert(out->rows() == m && out->cols() == n);
+  } else if (out->rows() != m || out->cols() != n) {
     *out = Matrix(m, n);
+  } else {
+    // Warm path: reuse the existing buffer. Zeroing first lets both forms
+    // share one accumulation chain per element in the kernels.
+    out->SetZero();
   }
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(kk);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
-
-void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
-  MatMulKernel(a, b, out, /*accumulate=*/false);
-}
-
-void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* out) {
-  assert(out->rows() == a.rows() && out->cols() == b.cols());
-  MatMulKernel(a, b, out, /*accumulate=*/true);
-}
-
-void MatMulTransAAcc(const Matrix& a, const Matrix& b, Matrix* out) {
-  // out(+)= a^T * b ; a is (k x m), b is (k x n), out is (m x n).
-  assert(a.rows() == b.rows());
-  assert(out->rows() == a.cols() && out->cols() == b.cols());
-  const int k = a.rows(), m = a.cols(), n = b.cols();
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = a.row(kk);
-    const float* brow = b.row(kk);
+  if (m == 0 || n == 0 || k == 0) return;
+  const kernel::KernelTable& kt = kernel::Active();
+  if (!opts.trans_a && !opts.trans_b) {
+    kt.gemm_nn(a.data(), b.data(), out->data(), m, n, k);
+  } else if (opts.trans_a && !opts.trans_b) {
+    kt.gemm_tn(a.data(), b.data(), out->data(), m, n, k);
+  } else if (!opts.trans_a && opts.trans_b) {
+    kt.gemm_nt(a.data(), b.data(), out->data(), m, n, k);
+  } else {
+    // Doubly-transposed form: no hot caller, one backend-independent
+    // reference loop. out += a^T * b^T; a is (k x m), b is (n x k).
     for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
       float* orow = out->row(i);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
-void MatMulTransBAcc(const Matrix& a, const Matrix& b, Matrix* out) {
-  // out(+)= a * b^T ; a is (m x k), b is (n x k), out is (m x n).
-  assert(a.cols() == b.cols());
-  assert(out->rows() == a.rows() && out->cols() == b.rows());
-  const int m = a.rows(), k = a.cols(), n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      double s = 0.0;
-      for (int kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-      orow[j] += static_cast<float>(s);
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b.row(j);
+        double s = 0.0;
+        for (int kk = 0; kk < k; ++kk) s += a.at(kk, i) * brow[kk];
+        orow[j] += static_cast<float>(s);
+      }
     }
   }
 }
@@ -182,44 +152,42 @@ void MatMulTransBAcc(const Matrix& a, const Matrix& b, Matrix* out) {
 Matrix Add(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows() && a.cols() == b.cols());
   Matrix out = a;
-  AddInPlace(&out, b);
+  kernel::Active().add(out.data(), b.data(), out.data(), out.size());
   return out;
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows() && a.cols() == b.cols());
   Matrix out = a;
-  for (int i = 0; i < out.size(); ++i) out.data()[i] -= b.data()[i];
+  // a - b == a + (-1)*b exactly in IEEE, so axpy keeps this bit-exact.
+  kernel::Active().axpy(out.data(), -1.0f, b.data(), out.size());
   return out;
 }
 
 Matrix Mul(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows() && a.cols() == b.cols());
   Matrix out = a;
-  for (int i = 0; i < out.size(); ++i) out.data()[i] *= b.data()[i];
+  kernel::Active().mul(out.data(), b.data(), out.data(), out.size());
   return out;
 }
 
 void AddInPlace(Matrix* a, const Matrix& b) {
   assert(a->rows() == b.rows() && a->cols() == b.cols());
-  for (int i = 0; i < a->size(); ++i) a->data()[i] += b.data()[i];
+  kernel::Active().add(a->data(), b.data(), a->data(), a->size());
 }
 
 void AxpyInPlace(Matrix* a, float s, const Matrix& b) {
   assert(a->rows() == b.rows() && a->cols() == b.cols());
-  for (int i = 0; i < a->size(); ++i) a->data()[i] += s * b.data()[i];
+  kernel::Active().axpy(a->data(), s, b.data(), a->size());
 }
 
 void ScaleInPlace(Matrix* a, float s) {
-  for (int i = 0; i < a->size(); ++i) a->data()[i] *= s;
+  kernel::Active().scale(a->data(), s, a->size());
 }
 
 void AddRowBroadcastInPlace(Matrix* a, const Matrix& bias) {
   assert(bias.rows() == 1 && bias.cols() == a->cols());
-  for (int r = 0; r < a->rows(); ++r) {
-    float* arow = a->row(r);
-    for (int c = 0; c < a->cols(); ++c) arow[c] += bias.at(0, c);
-  }
+  kernel::Active().bias_row(a->data(), bias.data(), a->rows(), a->cols());
 }
 
 }  // namespace rapid::nn

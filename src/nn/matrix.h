@@ -104,14 +104,26 @@ class Matrix {
   std::vector<float> data_;
 };
 
-/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized.
-void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
-/// out += a * b (accumulating matmul).
-void MatMulAcc(const Matrix& a, const Matrix& b, Matrix* out);
-/// out += a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
-void MatMulTransAAcc(const Matrix& a, const Matrix& b, Matrix* out);
-/// out += a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
-void MatMulTransBAcc(const Matrix& a, const Matrix& b, Matrix* out);
+/// Options for `Gemm`. Designated initializers keep call sites readable:
+/// `Gemm(a, b, &out, {.trans_b = true, .accumulate = true})`.
+struct GemmOpts {
+  bool trans_a = false;
+  bool trans_b = false;
+  bool accumulate = false;
+};
+
+/// General matrix multiply: `out (+)= op(a) * op(b)` where `op` optionally
+/// transposes. Shapes after transposition must contract: op(a) is (m x k),
+/// op(b) is (k x n), out is (m x n).
+///
+/// With `accumulate == false` (default), `out` is shaped/zeroed and then
+/// written; its existing buffer is reused when the shape already matches,
+/// so a warm caller allocates nothing. With `accumulate == true`, `out`
+/// must already have the exact result shape and is added into. `out` must
+/// not alias `a` or `b`.
+///
+/// Dispatches to the runtime-selected kernel backend (see nn/kernels.h).
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out, GemmOpts opts = {});
 
 /// out = a + b, elementwise; shapes must match.
 Matrix Add(const Matrix& a, const Matrix& b);

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/kernels.h"
+
 namespace rapid::nn {
 
 namespace {
@@ -17,14 +19,16 @@ bool NeedsGrad(const Node& n, int i) { return n.parents[i]->requires_grad; }
 Variable MatMul(const Variable& a, const Variable& b) {
   assert(a.cols() == b.rows());
   Matrix out;
-  nn::MatMul(a.value(), b.value(), &out);
+  Gemm(a.value(), b.value(), &out);
   return Variable::FromOp(std::move(out), {a, b}, [](Node& n) {
     // dL/da += dL/dout * b^T ; dL/db += a^T * dL/dout.
     if (NeedsGrad(n, 0)) {
-      MatMulTransBAcc(n.grad, n.parents[1]->value, &n.parents[0]->grad);
+      Gemm(n.grad, n.parents[1]->value, &n.parents[0]->grad,
+           {.trans_b = true, .accumulate = true});
     }
     if (NeedsGrad(n, 1)) {
-      MatMulTransAAcc(n.parents[0]->value, n.grad, &n.parents[1]->grad);
+      Gemm(n.parents[0]->value, n.grad, &n.parents[1]->grad,
+           {.trans_a = true, .accumulate = true});
     }
   });
 }
@@ -149,13 +153,8 @@ Variable AddScalar(const Variable& a, float s) {
 }
 
 Variable Sigmoid(const Variable& x) {
-  Matrix out = x.value();
-  for (int i = 0; i < out.size(); ++i) {
-    const float v = out.data()[i];
-    out.data()[i] =
-        v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
-                  : std::exp(v) / (1.0f + std::exp(v));
-  }
+  Matrix out(x.rows(), x.cols());
+  kernel::Active().sigmoid(x.value().data(), out.data(), out.size());
   return Variable::FromOp(std::move(out), {x}, [](Node& n) {
     if (!NeedsGrad(n, 0)) return;
     Matrix& pg = n.parents[0]->grad;
@@ -167,8 +166,8 @@ Variable Sigmoid(const Variable& x) {
 }
 
 Variable Tanh(const Variable& x) {
-  Matrix out = x.value();
-  for (int i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(out.data()[i]);
+  Matrix out(x.rows(), x.cols());
+  kernel::Active().tanh_act(x.value().data(), out.data(), out.size());
   return Variable::FromOp(std::move(out), {x}, [](Node& n) {
     if (!NeedsGrad(n, 0)) return;
     Matrix& pg = n.parents[0]->grad;
@@ -180,10 +179,8 @@ Variable Tanh(const Variable& x) {
 }
 
 Variable Relu(const Variable& x) {
-  Matrix out = x.value();
-  for (int i = 0; i < out.size(); ++i) {
-    out.data()[i] = out.data()[i] > 0.0f ? out.data()[i] : 0.0f;
-  }
+  Matrix out(x.rows(), x.cols());
+  kernel::Active().relu(x.value().data(), out.data(), out.size());
   return Variable::FromOp(std::move(out), {x}, [](Node& n) {
     if (!NeedsGrad(n, 0)) return;
     Matrix& pg = n.parents[0]->grad;
@@ -257,18 +254,7 @@ Variable Log(const Variable& x) {
 
 Variable SoftmaxRows(const Variable& x) {
   Matrix out = x.value();
-  for (int r = 0; r < out.rows(); ++r) {
-    float* row = out.row(r);
-    float mx = row[0];
-    for (int c = 1; c < out.cols(); ++c) mx = std::max(mx, row[c]);
-    double sum = 0.0;
-    for (int c = 0; c < out.cols(); ++c) {
-      row[c] = std::exp(row[c] - mx);
-      sum += row[c];
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int c = 0; c < out.cols(); ++c) row[c] *= inv;
-  }
+  kernel::Active().softmax_rows(out.data(), out.rows(), out.cols());
   return Variable::FromOp(std::move(out), {x}, [](Node& n) {
     if (!NeedsGrad(n, 0)) return;
     Matrix& pg = n.parents[0]->grad;

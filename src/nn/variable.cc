@@ -22,18 +22,17 @@ Variable Variable::Parameter(Matrix value) {
   return Variable(std::move(node));
 }
 
-Variable Variable::FromOp(Matrix value, std::vector<Variable> parents,
-                          std::function<void(internal::Node&)> backward_fn) {
-  auto node = std::make_shared<internal::Node>();
-  node->value = std::move(value);
-  node->is_leaf = false;
-  for (const Variable& p : parents) {
-    node->parents.push_back(p.node());
-    if (p.requires_grad()) node->requires_grad = true;
-  }
-  if (node->requires_grad) node->backward_fn = std::move(backward_fn);
-  return Variable(std::move(node));
+namespace {
+thread_local bool tl_grad_enabled = true;
+}  // namespace
+
+bool GradEnabled() { return tl_grad_enabled; }
+
+NoGradScope::NoGradScope() : prev_(tl_grad_enabled) {
+  tl_grad_enabled = false;
 }
+
+NoGradScope::~NoGradScope() { tl_grad_enabled = prev_; }
 
 void Variable::ZeroGrad() {
   if (node_->grad.rows() != node_->value.rows() ||

@@ -11,6 +11,25 @@ namespace rapid::nn {
 
 class Variable;
 
+/// True when ops record the autograd graph on this thread (the default).
+/// Inside a `NoGradScope`, op outputs are detached: no parent edges, no
+/// backward closures — which is what lets an inference forward allocate
+/// nothing that outlives its arena scope (see nn/arena.h).
+bool GradEnabled();
+
+/// RAII: disables gradient recording on this thread for its lifetime.
+/// Nests; restores the previous mode on destruction.
+class NoGradScope {
+ public:
+  NoGradScope();
+  ~NoGradScope();
+  NoGradScope(const NoGradScope&) = delete;
+  NoGradScope& operator=(const NoGradScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
 namespace internal {
 
 /// A node in the define-by-run autograd graph. Holds the forward value, the
@@ -53,9 +72,32 @@ class Variable {
   /// Wraps a trainable leaf parameter. Gradients accumulate into `grad()`.
   static Variable Parameter(Matrix value);
 
-  /// Internal: creates an op-output node.
+  /// Internal: creates an op-output node. `backward_fn` is any callable
+  /// `void(internal::Node&)`; it is only materialized into a
+  /// `std::function` (one heap allocation) when grad mode is on AND some
+  /// parent requires grad — a `NoGradScope` forward builds detached nodes
+  /// with no parent edges and no closures.
+  template <class BackwardFn>
   static Variable FromOp(Matrix value, std::vector<Variable> parents,
-                         std::function<void(internal::Node&)> backward_fn);
+                         BackwardFn&& backward_fn) {
+    auto node = std::make_shared<internal::Node>();
+    node->value = std::move(value);
+    node->is_leaf = false;
+    if (GradEnabled()) {
+      node->parents.reserve(parents.size());
+      for (const Variable& p : parents) {
+        node->parents.push_back(p.node());
+        if (p.requires_grad()) node->requires_grad = true;
+      }
+      if (node->requires_grad) {
+        node->backward_fn = std::function<void(internal::Node&)>(
+            std::forward<BackwardFn>(backward_fn));
+      } else {
+        node->parents.clear();
+      }
+    }
+    return Variable(std::move(node));
+  }
 
   /// The forward value.
   const Matrix& value() const { return node_->value; }

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <numeric>
 
+#include "nn/arena.h"
 #include "nn/serialize.h"
+#include "nn/variable.h"
 
 namespace rapid::rerank {
 
@@ -193,8 +195,28 @@ std::vector<float> NeuralReranker::ScoreList(
 std::vector<std::vector<float>> NeuralReranker::ScoreBatch(
     const data::Dataset& data,
     const std::vector<const data::ImpressionList*>& lists) const {
-  std::vector<std::vector<float>> out(lists.size());
-  if (lists.empty()) return out;
+  std::vector<std::vector<float>> out;
+  ScoreBatchInto(data, lists, &out);
+  return out;
+}
+
+void NeuralReranker::ScoreBatchInto(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists,
+    std::vector<std::vector<float>>* out) const {
+  // Pre-size every output vector before any arena scope opens: a scope
+  // rewind must never reclaim a buffer the caller keeps (nn/arena.h rule 1).
+  out->resize(lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    (*out)[i].resize(lists[i]->items.size());
+  }
+  if (lists.empty()) return;
+
+  std::mt19937_64 rng(0);  // Inference paths must not consume randomness.
+
+  // Everything below is scratch; it comes from (and returns to) the
+  // thread-local arena.
+  nn::arena::ArenaScope scratch_scope;
 
   // Group positions by list length; the group order does not affect any
   // output (each list's scores are read back from its own logit block).
@@ -204,7 +226,6 @@ std::vector<std::vector<float>> NeuralReranker::ScoreBatch(
     return lists[a]->items.size() < lists[b]->items.size();
   });
 
-  std::mt19937_64 rng(0);  // Inference paths must not consume randomness.
   size_t start = 0;
   while (start < order.size()) {
     const size_t L = lists[order[start]]->items.size();
@@ -214,6 +235,12 @@ std::vector<std::vector<float>> NeuralReranker::ScoreBatch(
       start = end;
       continue;
     }
+    // Per-group scope: feature blocks and the whole forward graph are
+    // reclaimed before the next group runs, keeping the high-water mark at
+    // max-over-groups rather than sum. No-grad mode keeps the graph free of
+    // parent edges and backward closures (inference never calls Backward).
+    nn::arena::ArenaScope group_scope;
+    nn::NoGradScope no_grad;
     std::vector<const data::ImpressionList*> group;
     group.reserve(end - start);
     for (size_t g = start; g < end; ++g) group.push_back(lists[order[g]]);
@@ -221,8 +248,7 @@ std::vector<std::vector<float>> NeuralReranker::ScoreBatch(
         BuildBatchLogits(data, group, /*training=*/false, rng);
     assert(static_cast<size_t>(logits.rows()) == group.size() * L);
     for (size_t g = start; g < end; ++g) {
-      std::vector<float>& scores = out[order[g]];
-      scores.resize(L);
+      std::vector<float>& scores = (*out)[order[g]];
       const int base = static_cast<int>((g - start) * L);
       for (size_t i = 0; i < L; ++i) {
         scores[i] = logits.value().at(base + static_cast<int>(i), 0);
@@ -230,7 +256,6 @@ std::vector<std::vector<float>> NeuralReranker::ScoreBatch(
     }
     start = end;
   }
-  return out;
 }
 
 namespace {
@@ -257,16 +282,34 @@ std::vector<int> NeuralReranker::Rerank(
   return SortByScores(list, ScoreList(data, list));
 }
 
-std::vector<std::vector<int>> NeuralReranker::RerankBatch(
+void NeuralReranker::RerankBatchInto(
     const data::Dataset& data,
-    const std::vector<const data::ImpressionList*>& lists) const {
-  const std::vector<std::vector<float>> scores = ScoreBatch(data, lists);
-  std::vector<std::vector<int>> out;
-  out.reserve(lists.size());
+    const std::vector<const data::ImpressionList*>& lists,
+    std::vector<std::vector<int>>* out) const {
+  // Thread-local score scratch: (re)sized inside ScoreBatchInto before any
+  // arena scope opens, so its buffers are heap-backed, warm after the first
+  // call on a thread, and never handed across threads.
+  static thread_local std::vector<std::vector<float>> scores;
+  ScoreBatchInto(data, lists, &scores);
+  // Pre-size the output permutations outside the arena scope (they outlive
+  // it); the sort below then allocates at most stable_sort's temporary
+  // buffer, which the arena absorbs.
+  out->resize(lists.size());
   for (size_t i = 0; i < lists.size(); ++i) {
-    out.push_back(SortByScores(*lists[i], scores[i]));
+    (*out)[i].resize(lists[i]->items.size());
   }
-  return out;
+  nn::arena::ArenaScope sort_scope;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    const data::ImpressionList& list = *lists[i];
+    const std::vector<float>& s = scores[i];
+    std::vector<int>& perm = (*out)[i];
+    // Same stable index sort as SortByScores, done in place so the single
+    // and batched paths stay permutation-identical.
+    std::iota(perm.begin(), perm.end(), 0);
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&s](int a, int b) { return s[a] > s[b]; });
+    for (int& v : perm) v = list.items[v];
+  }
 }
 
 }  // namespace rapid::rerank

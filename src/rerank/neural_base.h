@@ -74,11 +74,14 @@ class NeuralReranker : public Reranker {
                           const data::ImpressionList& list) const override;
 
   /// Batched inference: groups same-length lists and runs one forward per
-  /// group through `ScoreBatch`; sorts each list by its scores. Output `i`
-  /// is bit-identical to `Rerank(data, *lists[i])`.
-  std::vector<std::vector<int>> RerankBatch(
+  /// group through `ScoreBatchInto`; sorts each list by its scores. Output
+  /// `i` is bit-identical to `Rerank(data, *lists[i])`. The whole call runs
+  /// under the thread-local arena (nn/arena.h) in no-grad mode — on a warm
+  /// thread with a reused `*out` it performs zero heap allocations.
+  void RerankBatchInto(
       const data::Dataset& data,
-      const std::vector<const data::ImpressionList*>& lists) const override;
+      const std::vector<const data::ImpressionList*>& lists,
+      std::vector<std::vector<int>>* out) const override;
 
   /// Per-item re-ranking scores in list order (inference mode). A
   /// batch-of-one wrapper over `ScoreBatch` — there is exactly one forward
@@ -96,6 +99,16 @@ class NeuralReranker : public Reranker {
   std::vector<std::vector<float>> ScoreBatch(
       const data::Dataset& data,
       const std::vector<const data::ImpressionList*>& lists) const;
+
+  /// `ScoreBatch` into caller-owned storage. `*out` is resized to
+  /// `lists.size()` and each inner vector to its list length *before* any
+  /// arena scope opens (outputs must never live in the arena — see
+  /// nn/arena.h lifetime rules); all forward-pass temporaries come from
+  /// per-group arena scopes in no-grad mode, so a warm caller that reuses
+  /// `*out` allocates nothing on the heap.
+  void ScoreBatchInto(const data::Dataset& data,
+                      const std::vector<const data::ImpressionList*>& lists,
+                      std::vector<std::vector<float>>* out) const;
 
   /// Mean training loss of the last epoch.
   float final_loss() const { return final_loss_; }

@@ -9,14 +9,23 @@ void Reranker::Fit(const data::Dataset& /*data*/,
                    const std::vector<data::ImpressionList>& /*train*/,
                    uint64_t /*seed*/) {}
 
+void Reranker::RerankBatchInto(
+    const data::Dataset& data,
+    const std::vector<const data::ImpressionList*>& lists,
+    std::vector<std::vector<int>>* out) const {
+  out->resize(lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    // Assign rather than push_back so a warm caller's inner vectors keep
+    // their capacity across calls.
+    (*out)[i] = Rerank(data, *lists[i]);
+  }
+}
+
 std::vector<std::vector<int>> Reranker::RerankBatch(
     const data::Dataset& data,
     const std::vector<const data::ImpressionList*>& lists) const {
   std::vector<std::vector<int>> out;
-  out.reserve(lists.size());
-  for (const data::ImpressionList* list : lists) {
-    out.push_back(Rerank(data, *list));
-  }
+  RerankBatchInto(data, lists, &out);
   return out;
 }
 

@@ -50,14 +50,25 @@ class Reranker {
   virtual std::vector<int> Rerank(const data::Dataset& data,
                                   const data::ImpressionList& list) const = 0;
 
-  /// Re-ranks several lists in one call; result `i` corresponds to
-  /// `lists[i]` and is bit-identical to `Rerank(data, *lists[i])`. The
-  /// default loops `Rerank` (heuristics, decorators); `NeuralReranker`
-  /// overrides it with a true batched forward pass that groups same-length
-  /// lists into single matrix computations. The pointers must be non-null
-  /// and stay valid for the duration of the call. Same thread-safety
-  /// contract as `Rerank`.
-  virtual std::vector<std::vector<int>> RerankBatch(
+  /// Re-ranks several lists into `*out` — the batched workhorse behind
+  /// `RerankBatch`. `*out` is resized to `lists.size()`; existing inner
+  /// vectors (and their capacity) are reused, so a steady-state caller
+  /// that passes the same scratch object back in allocates nothing here.
+  /// Result `i` corresponds to `lists[i]` and is bit-identical to
+  /// `Rerank(data, *lists[i])`. The default loops `Rerank` (heuristics,
+  /// decorators); `NeuralReranker` overrides it with a true batched
+  /// forward pass that groups same-length lists into single matrix
+  /// computations and runs them out of the thread-local arena (see
+  /// nn/arena.h). The pointers must be non-null and stay valid for the
+  /// duration of the call. Same thread-safety contract as `Rerank`
+  /// (`*out` itself is the caller's and must not be shared).
+  virtual void RerankBatchInto(
+      const data::Dataset& data,
+      const std::vector<const data::ImpressionList*>& lists,
+      std::vector<std::vector<int>>* out) const;
+
+  /// Convenience wrapper over `RerankBatchInto` returning a fresh vector.
+  std::vector<std::vector<int>> RerankBatch(
       const data::Dataset& data,
       const std::vector<const data::ImpressionList*>& lists) const;
 };

@@ -72,12 +72,17 @@ void ServingEngine::ProcessBatch(std::vector<PendingRequest>* batch) {
   for (const PendingRequest* request : model_bound) {
     lists.push_back(&request->list);
   }
-  std::vector<std::vector<int>> permutations =
-      model_.RerankBatch(data_, lists);
+  // Per-worker batched-inference scratch, reused across batches so the
+  // model's warm zero-allocation path (see NeuralReranker::RerankBatchInto)
+  // is actually exercised in serving.
+  static thread_local std::vector<std::vector<int>> permutations;
+  model_.RerankBatchInto(data_, lists, &permutations);
   for (size_t i = 0; i < model_bound.size(); ++i) {
     PendingRequest* request = model_bound[i];
     RerankResponse response;
-    response.items = std::move(permutations[i]);
+    // Copy (not move): the response crosses threads via the promise, while
+    // the scratch buffer stays warm for the next batch.
+    response.items = permutations[i];
     response.latency_us =
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - request->enqueued_at)

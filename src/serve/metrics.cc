@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstdio>
 
+#include "nn/arena.h"
+
 namespace rapid::serve {
 
 int ServingStats::LatencyBucketIndex(uint64_t us) {
@@ -105,6 +107,12 @@ ServingStats ServingMetrics::Snapshot() const {
   for (int i = 0; i < ServingStats::kBatchHistBins; ++i) {
     s.batch_size_hist[i] = batch_hist_[i].load(std::memory_order_relaxed);
   }
+  const nn::arena::GlobalStats arena = nn::arena::GlobalArenaStats();
+  s.arena_heap_allocs = arena.heap_allocs;
+  s.arena_allocs = arena.arena_allocs;
+  s.arena_chunk_mallocs = arena.chunk_mallocs;
+  s.arena_reserved_bytes = arena.reserved_bytes;
+  s.arena_high_water_bytes = arena.high_water_bytes;
   if (s.requests == 0) return s;
   s.mean_us = static_cast<double>(total_us_.load(std::memory_order_relaxed)) /
               static_cast<double>(s.requests);
@@ -338,14 +346,21 @@ std::string ServingStats::ToTable() const {
                 "  max latency     %10llu us\n"
                 "  max queue depth %10d\n"
                 "  model batches   %10llu (mean size %.2f, max %d)\n"
-                "  batched lists   %10llu\n",
+                "  batched lists   %10llu\n"
+                "  arena allocs    %10llu (heap %llu, chunks %llu)\n"
+                "  arena bytes     %10llu reserved (high water %llu)\n",
                 static_cast<unsigned long long>(requests),
                 static_cast<unsigned long long>(fallbacks),
                 static_cast<unsigned long long>(shed), p50_us, p95_us,
                 p99_us, mean_us, static_cast<unsigned long long>(max_us),
                 max_queue_depth, static_cast<unsigned long long>(batches),
                 mean_batch, max_batch_size,
-                static_cast<unsigned long long>(batched_lists));
+                static_cast<unsigned long long>(batched_lists),
+                static_cast<unsigned long long>(arena_allocs),
+                static_cast<unsigned long long>(arena_heap_allocs),
+                static_cast<unsigned long long>(arena_chunk_mallocs),
+                static_cast<unsigned long long>(arena_reserved_bytes),
+                static_cast<unsigned long long>(arena_high_water_bytes));
   return buf;
 }
 
@@ -358,13 +373,21 @@ std::string ServingStats::ToJson() const {
       "\"mean_us\": %.1f, \"max_us\": %llu, "
       "\"max_queue_depth\": %d, \"batches\": %llu, "
       "\"batched_lists\": %llu, \"max_batch_size\": %d, "
+      "\"arena_allocs\": %llu, \"arena_heap_allocs\": %llu, "
+      "\"arena_chunk_mallocs\": %llu, \"arena_reserved_bytes\": %llu, "
+      "\"arena_high_water_bytes\": %llu, "
       "\"batch_size_hist\": [",
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(fallbacks),
       static_cast<unsigned long long>(shed), p50_us, p95_us, p99_us, mean_us,
       static_cast<unsigned long long>(max_us), max_queue_depth,
       static_cast<unsigned long long>(batches),
-      static_cast<unsigned long long>(batched_lists), max_batch_size);
+      static_cast<unsigned long long>(batched_lists), max_batch_size,
+      static_cast<unsigned long long>(arena_allocs),
+      static_cast<unsigned long long>(arena_heap_allocs),
+      static_cast<unsigned long long>(arena_chunk_mallocs),
+      static_cast<unsigned long long>(arena_reserved_bytes),
+      static_cast<unsigned long long>(arena_high_water_bytes));
   std::string out(buf, static_cast<size_t>(n));
   for (int i = 0; i < kBatchHistBins; ++i) {
     std::snprintf(buf, sizeof(buf), i == 0 ? "%llu" : ", %llu",

@@ -58,6 +58,23 @@ struct ServingStats {
   /// must fall back to the precomputed percentile points then.
   std::array<uint64_t, kLatencyHistBins> latency_hist{};
 
+  /// Process-wide scratch-arena telemetry (see nn/arena.h), captured at
+  /// `Snapshot()` time from `nn::arena::GlobalArenaStats()`. The
+  /// steady-state invariant the counters make observable: once every
+  /// worker's first batch has warmed its arena, `arena_heap_allocs` and
+  /// `arena_chunk_mallocs` stop moving while `arena_allocs` keeps growing.
+  /// Process-local gauges — not merged over the wire (remote snapshots
+  /// report zeros).
+  uint64_t arena_heap_allocs = 0;
+  /// Bump allocations served from thread arenas (inference temporaries).
+  uint64_t arena_allocs = 0;
+  /// 1 MiB chunk mallocs backing the arenas (growth events).
+  uint64_t arena_chunk_mallocs = 0;
+  /// Bytes currently reserved by all thread arenas.
+  uint64_t arena_reserved_bytes = 0;
+  /// Peak bytes live inside any single arena scope, process lifetime.
+  uint64_t arena_high_water_bytes = 0;
+
   /// True when `latency_hist` carries at least one sample.
   bool HasLatencyHist() const;
   /// Recomputes p50/p95/p99 from `latency_hist`. No-op when the

@@ -219,12 +219,16 @@ void ServingRouter::ProcessBatch(std::vector<PendingRequest>* batch) {
     for (const PendingRequest* request : group.requests) {
       lists.push_back(&request->request.list);
     }
-    std::vector<std::vector<int>> permutations =
-        group.served->model->RerankBatch(data_, lists);
+    // Per-worker scratch kept warm across batches — the model's batched
+    // path allocates nothing on the heap once this is sized.
+    static thread_local std::vector<std::vector<int>> permutations;
+    group.served->model->RerankBatchInto(data_, lists, &permutations);
     for (size_t i = 0; i < group.requests.size(); ++i) {
       PendingRequest* request = group.requests[i];
       RouterResponse response;
-      response.items = std::move(permutations[i]);
+      // Copy out of the scratch; the response (and the cache insert below)
+      // own their items independently of the reused buffer.
+      response.items = permutations[i];
       response.model_name = group.served->model_name;
       response.model_version = group.served->version;
       if (request->cacheable) {

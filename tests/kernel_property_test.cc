@@ -1,0 +1,404 @@
+// Property suite for the dispatched math kernels (nn/kernels.h): the
+// scalar backend is the bit-for-bit reference the repo's exactness gates
+// stand on, and the AVX2 backend must agree with it to rounding. Shapes
+// are generated around the vector-width boundaries (tails of 1..15 lanes,
+// 1-row/1-col, empty) where masked-tail bugs live, across all Gemm
+// transpose/accumulate combinations. Also proves the tiling-independence
+// claim both backends make: an output element's bits do not depend on the
+// shape of the matrix it is computed inside.
+
+#include "nn/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "proptest.h"
+
+namespace rapid::nn {
+namespace {
+
+namespace kernel = rapid::nn::kernel;
+
+// Dimensions biased to straddle the 8- and 16-lane boundaries of the AVX2
+// kernels, plus degenerate cases.
+int BoundaryDim(std::mt19937_64& rng) {
+  static const int kDims[] = {0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 23, 31, 32, 33};
+  std::uniform_int_distribution<int> pick(0, 15);
+  const int p = pick(rng);
+  if (p < 14) return kDims[p];
+  std::uniform_int_distribution<int> any(1, 48);
+  return any(rng);
+}
+
+struct GemmCase {
+  int m = 1, n = 1, k = 1;
+  bool trans_a = false, trans_b = false, accumulate = false;
+  uint64_t data_seed = 0;
+};
+
+std::string Describe(const GemmCase& c) {
+  std::ostringstream os;
+  os << "Gemm m=" << c.m << " n=" << c.n << " k=" << c.k
+     << " trans_a=" << c.trans_a << " trans_b=" << c.trans_b
+     << " accumulate=" << c.accumulate << " data_seed=" << c.data_seed;
+  return os.str();
+}
+
+// Shrinks toward small dims and the plain NN non-accumulating form.
+std::vector<GemmCase> Shrink(const GemmCase& c) {
+  std::vector<GemmCase> out;
+  for (int dim = 0; dim < 3; ++dim) {
+    int GemmCase::* field =
+        dim == 0 ? &GemmCase::m : dim == 1 ? &GemmCase::n : &GemmCase::k;
+    if (c.*field > 0) {
+      GemmCase smaller = c;
+      smaller.*field = (c.*field) / 2;
+      out.push_back(smaller);
+    }
+  }
+  for (bool GemmCase::* flag :
+       {&GemmCase::trans_a, &GemmCase::trans_b, &GemmCase::accumulate}) {
+    if (c.*flag) {
+      GemmCase simpler = c;
+      simpler.*flag = false;
+      out.push_back(simpler);
+    }
+  }
+  return out;
+}
+
+GemmCase GenCase(std::mt19937_64& rng) {
+  GemmCase c;
+  c.m = BoundaryDim(rng);
+  c.n = BoundaryDim(rng);
+  c.k = BoundaryDim(rng);
+  c.trans_a = rng() % 2 == 0;
+  c.trans_b = rng() % 2 == 0;
+  c.accumulate = rng() % 2 == 0;
+  c.data_seed = rng();
+  return c;
+}
+
+// Runs the case under `backend` (falling back to scalar when AVX2 is not
+// available, which degrades the cross-backend check to a self-check).
+Matrix RunGemm(const GemmCase& c, kernel::Backend backend) {
+  kernel::ScopedBackendOverride force(backend);
+  std::mt19937_64 rng(c.data_seed);
+  const Matrix a = c.trans_a ? Matrix::Randn(c.k, c.m, 1.0f, rng)
+                             : Matrix::Randn(c.m, c.k, 1.0f, rng);
+  const Matrix b = c.trans_b ? Matrix::Randn(c.n, c.k, 1.0f, rng)
+                             : Matrix::Randn(c.k, c.n, 1.0f, rng);
+  Matrix out;
+  if (c.accumulate) out = Matrix::Randn(c.m, c.n, 1.0f, rng);
+  Gemm(a, b, &out,
+       {.trans_a = c.trans_a, .trans_b = c.trans_b,
+        .accumulate = c.accumulate});
+  return out;
+}
+
+// Double-precision reference, independent of the kernel layer.
+Matrix ReferenceGemm(const GemmCase& c) {
+  std::mt19937_64 rng(c.data_seed);
+  const Matrix a = c.trans_a ? Matrix::Randn(c.k, c.m, 1.0f, rng)
+                             : Matrix::Randn(c.m, c.k, 1.0f, rng);
+  const Matrix b = c.trans_b ? Matrix::Randn(c.n, c.k, 1.0f, rng)
+                             : Matrix::Randn(c.k, c.n, 1.0f, rng);
+  Matrix out(c.m, c.n);
+  if (c.accumulate) out = Matrix::Randn(c.m, c.n, 1.0f, rng);
+  for (int i = 0; i < c.m; ++i) {
+    for (int j = 0; j < c.n; ++j) {
+      double s = out.at(i, j);
+      for (int kk = 0; kk < c.k; ++kk) {
+        const float av = c.trans_a ? a.at(kk, i) : a.at(i, kk);
+        const float bv = c.trans_b ? b.at(j, kk) : b.at(kk, j);
+        s += static_cast<double>(av) * bv;
+      }
+      out.at(i, j) = static_cast<float>(s);
+    }
+  }
+  return out;
+}
+
+// Absolute tolerance for a length-k dot product of ~N(0,1) values: each
+// partial sum has magnitude ~sqrt(k), so rounding differences (FMA
+// contraction, summation order inside one lane) stay far below this.
+float GemmTol(int k) { return 1e-4f * std::sqrt(static_cast<float>(k) + 1.0f); }
+
+TEST(KernelPropertyTest, GemmBackendsAgreeOnSeededShapes) {
+  EXPECT_TRUE(proptest::ForAll(
+      /*seed=*/0xC0FFEE01, /*trials=*/80, GenCase, Shrink,
+      [](const GemmCase& c) {
+        const Matrix scalar = RunGemm(c, kernel::Backend::kScalar);
+        const Matrix simd = RunGemm(c, kernel::Backend::kAvx2);
+        const Matrix ref = ReferenceGemm(c);
+        return scalar.AllClose(simd, GemmTol(c.k)) &&
+               scalar.AllClose(ref, GemmTol(c.k)) &&
+               simd.AllClose(ref, GemmTol(c.k));
+      },
+      Describe));
+}
+
+// Shape-tiling independence, the property the batched-inference exactness
+// contract rests on: an output element computed inside a full matrix is
+// bitwise the element computed alone (1x1 output), on BOTH backends. This
+// is what guarantees register blocking and masked tails never change bits.
+TEST(KernelPropertyTest, GemmElementsIndependentOfTiling) {
+  std::vector<kernel::Backend> backends = {kernel::Backend::kScalar};
+  if (kernel::Avx2Available()) backends.push_back(kernel::Backend::kAvx2);
+  for (const kernel::Backend backend : backends) {
+    EXPECT_TRUE(proptest::ForAll(
+        /*seed=*/0xC0FFEE02, /*trials=*/20,
+        [](std::mt19937_64& rng) {
+          GemmCase c = GenCase(rng);
+          c.m = std::max(1, std::min(c.m, 9));
+          c.n = std::max(1, std::min(c.n, 20));
+          c.k = std::max(1, c.k);
+          c.accumulate = false;
+          return c;
+        },
+        Shrink,
+        [backend](const GemmCase& c) {
+          kernel::ScopedBackendOverride force(backend);
+          std::mt19937_64 rng(c.data_seed);
+          const Matrix a = c.trans_a ? Matrix::Randn(c.k, c.m, 1.0f, rng)
+                                     : Matrix::Randn(c.m, c.k, 1.0f, rng);
+          const Matrix b = c.trans_b ? Matrix::Randn(c.n, c.k, 1.0f, rng)
+                                     : Matrix::Randn(c.k, c.n, 1.0f, rng);
+          Matrix full;
+          Gemm(a, b, &full, {.trans_a = c.trans_a, .trans_b = c.trans_b});
+          for (int i = 0; i < c.m; ++i) {
+            for (int j = 0; j < c.n; ++j) {
+              // The same element as a 1x1 product, keeping each operand in
+              // its original layout and the SAME transpose flags so the
+              // probe runs through the same kernel as the full call.
+              Matrix sub_a = c.trans_a ? Matrix(c.k, 1) : Matrix(1, c.k);
+              Matrix sub_b = c.trans_b ? Matrix(1, c.k) : Matrix(c.k, 1);
+              for (int kk = 0; kk < c.k; ++kk) {
+                sub_a.data()[kk] = c.trans_a ? a.at(kk, i) : a.at(i, kk);
+                sub_b.data()[kk] = c.trans_b ? b.at(j, kk) : b.at(kk, j);
+              }
+              Matrix one;
+              Gemm(sub_a, sub_b, &one,
+                   {.trans_a = c.trans_a, .trans_b = c.trans_b});
+              if (std::memcmp(&one.at(0, 0), &full.at(i, j), sizeof(float)) !=
+                  0) {
+                return false;
+              }
+            }
+          }
+          return true;
+        },
+        Describe));
+  }
+}
+
+struct VecCase {
+  std::vector<float> values;
+  uint64_t op_seed = 0;
+};
+
+VecCase GenVec(std::mt19937_64& rng) {
+  VecCase c;
+  const int n = BoundaryDim(rng);
+  std::normal_distribution<float> dist(0.0f, 4.0f);  // Exercises exp clamps.
+  c.values.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) c.values.push_back(dist(rng));
+  c.op_seed = rng();
+  return c;
+}
+
+std::vector<VecCase> ShrinkVec(const VecCase& c) {
+  std::vector<VecCase> out;
+  if (c.values.empty()) return out;
+  VecCase half = c;
+  half.values.resize(c.values.size() / 2);
+  out.push_back(std::move(half));
+  for (size_t i = 0; i < c.values.size(); ++i) {
+    if (c.values[i] == 0.0f) continue;
+    VecCase zeroed = c;
+    zeroed.values[i] = 0.0f;
+    out.push_back(std::move(zeroed));
+  }
+  return out;
+}
+
+std::string DescribeVec(const VecCase& c) {
+  std::ostringstream os;
+  os << c.values.size() << " floats [";
+  for (size_t i = 0; i < c.values.size() && i < 16; ++i) {
+    if (i) os << ", ";
+    os << c.values[i];
+  }
+  if (c.values.size() > 16) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+TEST(KernelPropertyTest, ActivationsAgreeAcrossBackends) {
+  EXPECT_TRUE(proptest::ForAll(
+      /*seed=*/0xC0FFEE03, /*trials=*/60, GenVec, ShrinkVec,
+      [](const VecCase& c) {
+        const int n = static_cast<int>(c.values.size());
+        std::vector<float> a(static_cast<size_t>(n)), b(a);
+        {
+          kernel::ScopedBackendOverride force(kernel::Backend::kScalar);
+          kernel::Active().sigmoid(c.values.data(), a.data(), n);
+        }
+        {
+          kernel::ScopedBackendOverride force(kernel::Backend::kAvx2);
+          kernel::Active().sigmoid(c.values.data(), b.data(), n);
+        }
+        for (int i = 0; i < n; ++i) {
+          if (std::fabs(a[i] - b[i]) > 2e-6f) return false;
+        }
+        {
+          kernel::ScopedBackendOverride force(kernel::Backend::kScalar);
+          kernel::Active().tanh_act(c.values.data(), a.data(), n);
+        }
+        {
+          kernel::ScopedBackendOverride force(kernel::Backend::kAvx2);
+          kernel::Active().tanh_act(c.values.data(), b.data(), n);
+        }
+        for (int i = 0; i < n; ++i) {
+          if (std::fabs(a[i] - b[i]) > 1e-5f) return false;
+        }
+        return true;
+      },
+      DescribeVec));
+}
+
+TEST(KernelPropertyTest, BitExactElementwiseOpsMatchAcrossBackends) {
+  EXPECT_TRUE(proptest::ForAll(
+      /*seed=*/0xC0FFEE04, /*trials=*/60, GenVec, ShrinkVec,
+      [](const VecCase& c) {
+        const int n = static_cast<int>(c.values.size());
+        std::mt19937_64 rng(c.op_seed);
+        std::normal_distribution<float> dist(0.0f, 2.0f);
+        std::vector<float> other(static_cast<size_t>(n));
+        for (float& v : other) v = dist(rng);
+        const float s = dist(rng);
+
+        auto run = [&](kernel::Backend backend, int op) {
+          kernel::ScopedBackendOverride force(backend);
+          const kernel::KernelTable& kt = kernel::Active();
+          std::vector<float> y(static_cast<size_t>(n));
+          switch (op) {
+            case 0:  // relu: maxps(x, 0) == (x > 0 ? x : 0) bit for bit.
+              kt.relu(c.values.data(), y.data(), n);
+              break;
+            case 1:  // add: one rounding on both backends.
+              kt.add(c.values.data(), other.data(), y.data(), n);
+              break;
+            case 2:  // mul: one rounding on both backends.
+              kt.mul(c.values.data(), other.data(), y.data(), n);
+              break;
+            case 3:  // axpy with s=-1: (-1)*x is exact, so FMA == sub.
+              y = c.values;
+              kt.axpy(y.data(), -1.0f, other.data(), n);
+              break;
+            case 4:  // scale: one rounding on both backends.
+              y = c.values;
+              kt.scale(y.data(), s, n);
+              break;
+            default:  // bias_row over a 1-row matrix: plain adds.
+              y = c.values;
+              kt.bias_row(y.data(), other.data(), 1, n);
+              break;
+          }
+          return y;
+        };
+        for (int op = 0; op <= 5; ++op) {
+          const std::vector<float> a = run(kernel::Backend::kScalar, op);
+          const std::vector<float> b = run(kernel::Backend::kAvx2, op);
+          if (n > 0 && std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(float)) != 0) {
+            return false;
+          }
+        }
+        return true;
+      },
+      DescribeVec));
+}
+
+TEST(KernelPropertyTest, SoftmaxRowsAgreeAcrossBackends) {
+  EXPECT_TRUE(proptest::ForAll(
+      /*seed=*/0xC0FFEE05, /*trials=*/40, GenVec, ShrinkVec,
+      [](const VecCase& c) {
+        const int cols = static_cast<int>(c.values.size());
+        if (cols == 0) return true;
+        const int rows = 3;
+        std::mt19937_64 rng(c.op_seed);
+        Matrix x(rows, cols);
+        for (int r = 0; r < rows; ++r) {
+          for (int j = 0; j < cols; ++j) {
+            x.at(r, j) = c.values[static_cast<size_t>(j)] +
+                         0.1f * static_cast<float>(r);
+          }
+        }
+        Matrix a = x, b = x;
+        {
+          kernel::ScopedBackendOverride force(kernel::Backend::kScalar);
+          kernel::Active().softmax_rows(a.data(), rows, cols);
+        }
+        {
+          kernel::ScopedBackendOverride force(kernel::Backend::kAvx2);
+          kernel::Active().softmax_rows(b.data(), rows, cols);
+        }
+        if (!a.AllClose(b, 2e-6f)) return false;
+        // Rows must sum to 1 on both backends.
+        for (int r = 0; r < rows; ++r) {
+          double sa = 0.0, sb = 0.0;
+          for (int j = 0; j < cols; ++j) {
+            sa += a.at(r, j);
+            sb += b.at(r, j);
+          }
+          if (std::fabs(sa - 1.0) > 1e-4 || std::fabs(sb - 1.0) > 1e-4) {
+            return false;
+          }
+        }
+        return true;
+      },
+      DescribeVec));
+}
+
+// The startup dispatcher must honor RAPID_KERNEL_BACKEND: this test runs
+// both bare (backend = whatever the host supports) and re-registered in
+// ctest with RAPID_KERNEL_BACKEND=scalar, where it proves the env override
+// actually forced the scalar reference kernels.
+TEST(KernelDispatchTest, StartupBackendHonorsEnvironment) {
+  const char* env = std::getenv("RAPID_KERNEL_BACKEND");
+  const std::string choice = env == nullptr ? "" : env;
+  if (choice == "scalar") {
+    EXPECT_EQ(kernel::ActiveBackend(), kernel::Backend::kScalar);
+  } else if (choice == "avx2") {
+    if (kernel::Avx2Available()) {
+      EXPECT_EQ(kernel::ActiveBackend(), kernel::Backend::kAvx2);
+    }
+  } else {
+    EXPECT_EQ(kernel::ActiveBackend(), kernel::Avx2Available()
+                                           ? kernel::Backend::kAvx2
+                                           : kernel::Backend::kScalar);
+  }
+  EXPECT_STREQ(kernel::BackendName(kernel::Backend::kScalar), "scalar");
+}
+
+TEST(KernelDispatchTest, ScopedOverrideRestoresPreviousBackend) {
+  const kernel::Backend before = kernel::ActiveBackend();
+  {
+    kernel::ScopedBackendOverride force(kernel::Backend::kScalar);
+    EXPECT_EQ(kernel::ActiveBackend(), kernel::Backend::kScalar);
+    EXPECT_EQ(force.forced(), kernel::Backend::kScalar);
+  }
+  EXPECT_EQ(kernel::ActiveBackend(), before);
+}
+
+}  // namespace
+}  // namespace rapid::nn

@@ -245,7 +245,7 @@ TEST(OptimizerTest, AdamConvergesOnLinearRegression) {
   Matrix x = Matrix::Randn(32, 3, 1.0f, rng);
   Matrix true_w(3, 1, {1.0f, -2.0f, 0.5f});
   Matrix y;
-  MatMul(x, true_w, &y);
+  Gemm(x, true_w, &y);
   Variable w = Variable::Parameter(Matrix(3, 1));
   Adam opt({w}, 0.05f);
   for (int i = 0; i < 500; ++i) {

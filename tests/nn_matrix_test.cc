@@ -104,11 +104,11 @@ TEST(MatrixTest, AllClose) {
   EXPECT_FALSE(a.AllClose(c, 1.0f));  // Shape mismatch.
 }
 
-TEST(MatMulTest, KnownProduct) {
+TEST(GemmTest, KnownProduct) {
   Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
   Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
   Matrix out;
-  MatMul(a, b, &out);
+  Gemm(a, b, &out);
   EXPECT_EQ(out.rows(), 2);
   EXPECT_EQ(out.cols(), 2);
   EXPECT_FLOAT_EQ(out.at(0, 0), 58.0f);
@@ -117,43 +117,62 @@ TEST(MatMulTest, KnownProduct) {
   EXPECT_FLOAT_EQ(out.at(1, 1), 154.0f);
 }
 
-TEST(MatMulTest, IdentityIsNeutral) {
+TEST(GemmTest, IdentityIsNeutral) {
   std::mt19937_64 rng(1);
   Matrix a = Matrix::Randn(4, 4, 1.0f, rng);
   Matrix out;
-  MatMul(a, Matrix::Identity(4), &out);
+  Gemm(a, Matrix::Identity(4), &out);
   EXPECT_TRUE(out.AllClose(a, 1e-6f));
 }
 
-TEST(MatMulTest, TransAAccMatchesExplicitTranspose) {
+TEST(GemmTest, TransAAccMatchesExplicitTranspose) {
   std::mt19937_64 rng(2);
   Matrix a = Matrix::Randn(5, 3, 1.0f, rng);
   Matrix b = Matrix::Randn(5, 4, 1.0f, rng);
   Matrix expect;
-  MatMul(a.Transposed(), b, &expect);
+  Gemm(a.Transposed(), b, &expect);
   Matrix got(3, 4);
-  MatMulTransAAcc(a, b, &got);
+  Gemm(a, b, &got, {.trans_a = true, .accumulate = true});
   EXPECT_TRUE(got.AllClose(expect, 1e-4f));
 }
 
-TEST(MatMulTest, TransBAccMatchesExplicitTranspose) {
+TEST(GemmTest, TransBAccMatchesExplicitTranspose) {
   std::mt19937_64 rng(3);
   Matrix a = Matrix::Randn(5, 3, 1.0f, rng);
   Matrix b = Matrix::Randn(4, 3, 1.0f, rng);
   Matrix expect;
-  MatMul(a, b.Transposed(), &expect);
+  Gemm(a, b.Transposed(), &expect);
   Matrix got(5, 4);
-  MatMulTransBAcc(a, b, &got);
+  Gemm(a, b, &got, {.trans_b = true, .accumulate = true});
   EXPECT_TRUE(got.AllClose(expect, 1e-4f));
 }
 
-TEST(MatMulTest, AccumulationAddsOnTop) {
+TEST(GemmTest, TransBothMatchesExplicitTranspose) {
+  std::mt19937_64 rng(4);
+  Matrix a = Matrix::Randn(3, 5, 1.0f, rng);
+  Matrix b = Matrix::Randn(4, 3, 1.0f, rng);
+  Matrix expect;
+  Gemm(a.Transposed(), b.Transposed(), &expect);
+  Matrix got;
+  Gemm(a, b, &got, {.trans_a = true, .trans_b = true});
+  EXPECT_TRUE(got.AllClose(expect, 1e-4f));
+}
+
+TEST(GemmTest, AccumulationAddsOnTop) {
   Matrix a = Matrix::Identity(2);
   Matrix b(2, 2, {1, 2, 3, 4});
   Matrix out = Matrix::Constant(2, 2, 10.0f);
-  MatMulAcc(a, b, &out);
+  Gemm(a, b, &out, {.accumulate = true});
   EXPECT_FLOAT_EQ(out.at(0, 0), 11.0f);
   EXPECT_FLOAT_EQ(out.at(1, 1), 14.0f);
+}
+
+TEST(GemmTest, NonAccumulateOverwritesWarmBuffer) {
+  Matrix a = Matrix::Identity(2);
+  Matrix b(2, 2, {1, 2, 3, 4});
+  Matrix out = Matrix::Constant(2, 2, 99.0f);  // right shape, stale values
+  Gemm(a, b, &out);
+  EXPECT_TRUE(out.Equals(b));
 }
 
 TEST(ElementwiseTest, AddSubMul) {
